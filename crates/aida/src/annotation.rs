@@ -1,0 +1,94 @@
+//! Key/value annotations attached to analysis objects.
+//!
+//! AIDA attaches a small string-keyed metadata map to every managed object
+//! (title, axis labels, fill style hints …). We keep insertion order so that
+//! rendered legends are stable.
+
+use serde::{Deserialize, Serialize};
+
+/// Ordered key/value annotation map.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Annotation {
+    items: Vec<(String, String)>,
+}
+
+impl Annotation {
+    /// Empty annotation set.
+    pub fn new() -> Self {
+        Annotation { items: Vec::new() }
+    }
+
+    /// Set (insert or replace) a key.
+    pub fn set(&mut self, key: &str, value: impl Into<String>) {
+        let value = value.into();
+        if let Some(slot) = self.items.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.items.push((key.to_string(), value));
+        }
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.items
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Remove a key, returning its previous value.
+    pub fn remove(&mut self, key: &str) -> Option<String> {
+        let pos = self.items.iter().position(|(k, _)| k == key)?;
+        Some(self.items.remove(pos).1)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no annotations are set.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.items.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_replace() {
+        let mut a = Annotation::new();
+        assert!(a.is_empty());
+        a.set("title", "Mass");
+        a.set("xlabel", "GeV");
+        assert_eq!(a.get("title"), Some("Mass"));
+        a.set("title", "Invariant mass");
+        assert_eq!(a.get("title"), Some("Invariant mass"));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn remove_and_missing() {
+        let mut a = Annotation::new();
+        a.set("k", "v");
+        assert_eq!(a.remove("k"), Some("v".to_string()));
+        assert_eq!(a.remove("k"), None);
+        assert_eq!(a.get("k"), None);
+    }
+
+    #[test]
+    fn iteration_order_is_insertion_order() {
+        let mut a = Annotation::new();
+        a.set("b", "2");
+        a.set("a", "1");
+        let keys: Vec<&str> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["b", "a"]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Binning axes for histograms and profiles.
+//!
+//! AIDA's `IAxis` abstraction: an axis maps a coordinate to a bin index and
+//! exposes bin edges. Two flavours exist, fixed-width and variable-width
+//! (explicit edge list). Out-of-range coordinates map to the distinguished
+//! [`UNDERFLOW`] / [`OVERFLOW`] indices, mirroring AIDA's convention.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a bin on an axis: either an in-range bin `0..nbins`, or one of
+/// the two out-of-range sentinels.
+pub type BinIndex = i64;
+
+/// Sentinel bin index for coordinates below the axis lower edge.
+pub const UNDERFLOW: BinIndex = -2;
+/// Sentinel bin index for coordinates at or above the axis upper edge
+/// (and for NaN coordinates, which AIDA treats as overflow).
+pub const OVERFLOW: BinIndex = -1;
+
+/// A histogram axis: fixed-width or variable-width binning over `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Axis {
+    /// `nbins` equal-width bins between `lo` (inclusive) and `hi` (exclusive).
+    Fixed {
+        /// Number of bins.
+        nbins: usize,
+        /// Lower edge (inclusive).
+        lo: f64,
+        /// Upper edge (exclusive).
+        hi: f64,
+    },
+    /// Bins defined by an ascending edge list; bin `i` spans
+    /// `[edges[i], edges[i+1])`. Requires at least two edges.
+    Variable {
+        /// Strictly increasing bin edges (`len >= 2`).
+        edges: Vec<f64>,
+    },
+}
+
+impl Axis {
+    /// Create a fixed-width axis.
+    ///
+    /// # Panics
+    /// Panics if `nbins == 0`, if `lo >= hi`, or if either bound is not finite.
+    pub fn fixed(nbins: usize, lo: f64, hi: f64) -> Self {
+        assert!(nbins > 0, "axis must have at least one bin");
+        assert!(lo.is_finite() && hi.is_finite(), "axis bounds must be finite");
+        assert!(lo < hi, "axis lower edge must be below upper edge");
+        Axis::Fixed { nbins, lo, hi }
+    }
+
+    /// Create a variable-width axis from an ascending edge list.
+    ///
+    /// # Panics
+    /// Panics if fewer than two edges are given, any edge is non-finite, or
+    /// the edges are not strictly increasing.
+    pub fn variable(edges: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "variable axis needs at least two edges");
+        assert!(
+            edges.iter().all(|e| e.is_finite()),
+            "axis edges must be finite"
+        );
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "axis edges must be strictly increasing"
+        );
+        Axis::Variable { edges }
+    }
+
+    /// Number of in-range bins.
+    pub fn bins(&self) -> usize {
+        match self {
+            Axis::Fixed { nbins, .. } => *nbins,
+            Axis::Variable { edges } => edges.len() - 1,
+        }
+    }
+
+    /// Lower edge of the axis.
+    pub fn lower_edge(&self) -> f64 {
+        match self {
+            Axis::Fixed { lo, .. } => *lo,
+            Axis::Variable { edges } => edges[0],
+        }
+    }
+
+    /// Upper edge of the axis.
+    pub fn upper_edge(&self) -> f64 {
+        match self {
+            Axis::Fixed { hi, .. } => *hi,
+            Axis::Variable { edges } => *edges.last().expect("non-empty edges"),
+        }
+    }
+
+    /// Map a coordinate to a bin index ([`UNDERFLOW`] / [`OVERFLOW`] when out
+    /// of range; NaN maps to overflow, matching AIDA).
+    pub fn coord_to_index(&self, x: f64) -> BinIndex {
+        if x.is_nan() {
+            return OVERFLOW;
+        }
+        match self {
+            Axis::Fixed { nbins, lo, hi } => {
+                if x < *lo {
+                    UNDERFLOW
+                } else if x >= *hi {
+                    OVERFLOW
+                } else {
+                    let frac = (x - lo) / (hi - lo);
+                    let mut idx = ((frac * *nbins as f64) as usize).min(nbins - 1);
+                    // Correct floating-point edge effects so the result is
+                    // consistent with `bin_lower_edge`: a coordinate exactly
+                    // on an edge belongs to the bin above it.
+                    let edge = |i: usize| lo + (hi - lo) * i as f64 / *nbins as f64;
+                    if idx + 1 < *nbins && x >= edge(idx + 1) {
+                        idx += 1;
+                    } else if x < edge(idx) && idx > 0 {
+                        idx -= 1;
+                    }
+                    idx as BinIndex
+                }
+            }
+            Axis::Variable { edges } => {
+                if x < edges[0] {
+                    return UNDERFLOW;
+                }
+                if x >= *edges.last().expect("non-empty edges") {
+                    return OVERFLOW;
+                }
+                // Binary search for the bin whose [lower, upper) contains x.
+                match edges.binary_search_by(|e| e.partial_cmp(&x).expect("finite edges")) {
+                    Ok(i) => i.min(edges.len() - 2) as BinIndex,
+                    Err(i) => (i - 1) as BinIndex,
+                }
+            }
+        }
+    }
+
+    /// Lower edge of in-range bin `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.bins()`.
+    pub fn bin_lower_edge(&self, i: usize) -> f64 {
+        assert!(i < self.bins(), "bin index out of range");
+        match self {
+            Axis::Fixed { nbins, lo, hi } => lo + (hi - lo) * i as f64 / *nbins as f64,
+            Axis::Variable { edges } => edges[i],
+        }
+    }
+
+    /// Upper edge of in-range bin `i`.
+    pub fn bin_upper_edge(&self, i: usize) -> f64 {
+        assert!(i < self.bins(), "bin index out of range");
+        match self {
+            Axis::Fixed { nbins, lo, hi } => lo + (hi - lo) * (i + 1) as f64 / *nbins as f64,
+            Axis::Variable { edges } => edges[i + 1],
+        }
+    }
+
+    /// Centre of in-range bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        0.5 * (self.bin_lower_edge(i) + self.bin_upper_edge(i))
+    }
+
+    /// Width of in-range bin `i`.
+    pub fn bin_width(&self, i: usize) -> f64 {
+        self.bin_upper_edge(i) - self.bin_lower_edge(i)
+    }
+
+    /// True if two axes have identical binning (required for merging).
+    pub fn compatible(&self, other: &Axis) -> bool {
+        self == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_axis_maps_coords_to_bins() {
+        let a = Axis::fixed(10, 0.0, 10.0);
+        assert_eq!(a.bins(), 10);
+        assert_eq!(a.coord_to_index(0.0), 0);
+        assert_eq!(a.coord_to_index(0.999), 0);
+        assert_eq!(a.coord_to_index(5.0), 5);
+        assert_eq!(a.coord_to_index(9.999), 9);
+    }
+
+    #[test]
+    fn fixed_axis_out_of_range() {
+        let a = Axis::fixed(10, 0.0, 10.0);
+        assert_eq!(a.coord_to_index(-0.001), UNDERFLOW);
+        assert_eq!(a.coord_to_index(10.0), OVERFLOW);
+        assert_eq!(a.coord_to_index(1e30), OVERFLOW);
+        assert_eq!(a.coord_to_index(f64::NAN), OVERFLOW);
+    }
+
+    #[test]
+    fn fixed_axis_edges_and_centers() {
+        let a = Axis::fixed(4, 0.0, 2.0);
+        assert!((a.bin_lower_edge(0) - 0.0).abs() < 1e-12);
+        assert!((a.bin_upper_edge(3) - 2.0).abs() < 1e-12);
+        assert!((a.bin_center(1) - 0.75).abs() < 1e-12);
+        assert!((a.bin_width(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variable_axis_binary_search() {
+        let a = Axis::variable(vec![0.0, 1.0, 10.0, 100.0]);
+        assert_eq!(a.bins(), 3);
+        assert_eq!(a.coord_to_index(0.5), 0);
+        assert_eq!(a.coord_to_index(1.0), 1); // exact edge belongs to upper bin
+        assert_eq!(a.coord_to_index(9.99), 1);
+        assert_eq!(a.coord_to_index(99.0), 2);
+        assert_eq!(a.coord_to_index(100.0), OVERFLOW);
+        assert_eq!(a.coord_to_index(-1.0), UNDERFLOW);
+    }
+
+    #[test]
+    fn variable_axis_edges() {
+        let a = Axis::variable(vec![0.0, 1.0, 10.0]);
+        assert_eq!(a.bin_lower_edge(1), 1.0);
+        assert_eq!(a.bin_upper_edge(1), 10.0);
+        assert_eq!(a.lower_edge(), 0.0);
+        assert_eq!(a.upper_edge(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn variable_axis_rejects_unsorted_edges() {
+        Axis::variable(vec![0.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn fixed_axis_rejects_zero_bins() {
+        Axis::fixed(0, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower edge must be below")]
+    fn fixed_axis_rejects_inverted_range() {
+        Axis::fixed(5, 1.0, 0.0);
+    }
+
+    #[test]
+    fn compatibility_is_exact_equality() {
+        let a = Axis::fixed(10, 0.0, 1.0);
+        let b = Axis::fixed(10, 0.0, 1.0);
+        let c = Axis::fixed(11, 0.0, 1.0);
+        assert!(a.compatible(&b));
+        assert!(!a.compatible(&c));
+    }
+
+    #[test]
+    fn every_in_range_coord_lands_in_its_bin() {
+        let a = Axis::fixed(37, -3.0, 11.0);
+        for i in 0..a.bins() {
+            let c = a.bin_center(i);
+            assert_eq!(a.coord_to_index(c), i as BinIndex);
+            let lo = a.bin_lower_edge(i);
+            assert_eq!(a.coord_to_index(lo), i as BinIndex, "lower edge of bin {i}");
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! Unbinned "clouds" (AIDA `ICloud1D` / `ICloud2D`).
+//!
+//! A cloud stores raw `(x, w)` points until a storage budget is exceeded,
+//! then automatically converts itself to a histogram whose range covers the
+//! points seen so far. This lets analysis code book a plot before knowing the
+//! data range — common in exploratory interactive analysis.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist1d::Histogram1D;
+use crate::hist2d::Histogram2D;
+use crate::object::{MergeError, Mergeable};
+
+/// Default number of stored points before auto-conversion.
+pub const DEFAULT_MAX_ENTRIES: usize = 100_000;
+/// Number of bins used when a cloud auto-converts.
+pub const AUTO_BINS: usize = 50;
+/// Fractional margin added around the observed range on auto-conversion so
+/// edge points stay in range.
+const RANGE_MARGIN: f64 = 0.05;
+
+/// Internal state: still collecting points, or already converted.
+#[allow(clippy::large_enum_variant)] // Histogram1D is big; clouds are few
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum State1D {
+    Points(Vec<(f64, f64)>),
+    Histogram(Histogram1D),
+}
+
+/// A one-dimensional cloud.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cloud1D {
+    title: String,
+    max_entries: usize,
+    state: State1D,
+}
+
+impl Cloud1D {
+    /// New cloud with the default storage budget.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self::with_max_entries(title, DEFAULT_MAX_ENTRIES)
+    }
+
+    /// New cloud that converts after `max_entries` stored points.
+    pub fn with_max_entries(title: impl Into<String>, max_entries: usize) -> Self {
+        Cloud1D {
+            title: title.into(),
+            max_entries: max_entries.max(1),
+            state: State1D::Points(Vec::new()),
+        }
+    }
+
+    /// Cloud title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// True once the cloud has been converted to a histogram.
+    pub fn is_converted(&self) -> bool {
+        matches!(self.state, State1D::Histogram(_))
+    }
+
+    /// Total entries filled.
+    pub fn entries(&self) -> u64 {
+        match &self.state {
+            State1D::Points(p) => p.len() as u64,
+            State1D::Histogram(h) => h.all_entries(),
+        }
+    }
+
+    /// Fill one weighted point.
+    pub fn fill(&mut self, x: f64, w: f64) {
+        match &mut self.state {
+            State1D::Points(p) => {
+                p.push((x, w));
+                if p.len() >= self.max_entries {
+                    self.convert_auto();
+                }
+            }
+            State1D::Histogram(h) => h.fill(x, w),
+        }
+    }
+
+    /// Fill with unit weight.
+    pub fn fill1(&mut self, x: f64) {
+        self.fill(x, 1.0);
+    }
+
+    /// Weighted mean of all filled points.
+    pub fn mean(&self) -> f64 {
+        match &self.state {
+            State1D::Points(p) => {
+                let sw: f64 = p.iter().map(|(_, w)| w).sum();
+                if sw == 0.0 {
+                    f64::NAN
+                } else {
+                    p.iter().map(|(x, w)| x * w).sum::<f64>() / sw
+                }
+            }
+            State1D::Histogram(h) => h.mean(),
+        }
+    }
+
+    /// Force conversion with an explicit binning.
+    pub fn convert(&mut self, nbins: usize, lo: f64, hi: f64) {
+        if let State1D::Points(p) = &self.state {
+            let mut h = Histogram1D::new(self.title.clone(), nbins, lo, hi);
+            for &(x, w) in p {
+                h.fill(x, w);
+            }
+            self.state = State1D::Histogram(h);
+        }
+    }
+
+    fn convert_auto(&mut self) {
+        if let State1D::Points(p) = &self.state {
+            let (mut lo, mut hi) = p.iter().fold(
+                (f64::INFINITY, f64::NEG_INFINITY),
+                |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)),
+            );
+            if !lo.is_finite() || !hi.is_finite() {
+                lo = 0.0;
+                hi = 1.0;
+            }
+            if lo == hi {
+                // Degenerate range: widen around the single value.
+                lo -= 0.5;
+                hi += 0.5;
+            }
+            let margin = (hi - lo) * RANGE_MARGIN;
+            self.convert(AUTO_BINS, lo - margin, hi + margin);
+        }
+    }
+
+    /// Borrow the converted histogram (None while still collecting points).
+    pub fn histogram(&self) -> Option<&Histogram1D> {
+        match &self.state {
+            State1D::Points(_) => None,
+            State1D::Histogram(h) => Some(h),
+        }
+    }
+
+    /// Materialize a histogram view without mutating the cloud.
+    pub fn to_histogram(&self, nbins: usize, lo: f64, hi: f64) -> Histogram1D {
+        match &self.state {
+            State1D::Points(p) => {
+                let mut h = Histogram1D::new(self.title.clone(), nbins, lo, hi);
+                for &(x, w) in p {
+                    h.fill(x, w);
+                }
+                h
+            }
+            State1D::Histogram(h) => {
+                let mut out = Histogram1D::new(self.title.clone(), nbins, lo, hi);
+                for (c, b) in h.iter_bins() {
+                    if b.sum_w != 0.0 {
+                        out.fill(c, b.sum_w);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Clear back to point-collecting mode.
+    pub fn reset(&mut self) {
+        self.state = State1D::Points(Vec::new());
+    }
+}
+
+impl Mergeable for Cloud1D {
+    /// Merging clouds: point+point concatenates (possibly triggering
+    /// conversion); histogram+histogram merges binned; mixed states convert
+    /// the unconverted side to the converted side's binning first.
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        match (&mut self.state, &other.state) {
+            (State1D::Points(a), State1D::Points(b)) => {
+                a.extend_from_slice(b);
+                if a.len() >= self.max_entries {
+                    self.convert_auto();
+                }
+                Ok(())
+            }
+            (State1D::Histogram(h), State1D::Points(b)) => {
+                for &(x, w) in b {
+                    h.fill(x, w);
+                }
+                Ok(())
+            }
+            (State1D::Points(a), State1D::Histogram(hb)) => {
+                let mut h = hb.clone_empty();
+                for &(x, w) in a.iter() {
+                    h.fill(x, w);
+                }
+                h.merge(hb)?;
+                self.state = State1D::Histogram(h);
+                Ok(())
+            }
+            (State1D::Histogram(ha), State1D::Histogram(hb)) => ha.merge(hb),
+        }
+    }
+}
+
+/// A two-dimensional cloud (stores `(x, y, w)` triplets).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cloud2D {
+    title: String,
+    max_entries: usize,
+    points: Vec<(f64, f64, f64)>,
+    converted: Option<Histogram2D>,
+}
+
+impl Cloud2D {
+    /// New 2-D cloud with the default storage budget.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self::with_max_entries(title, DEFAULT_MAX_ENTRIES)
+    }
+
+    /// New 2-D cloud converting after `max_entries` points.
+    pub fn with_max_entries(title: impl Into<String>, max_entries: usize) -> Self {
+        Cloud2D {
+            title: title.into(),
+            max_entries: max_entries.max(1),
+            points: Vec::new(),
+            converted: None,
+        }
+    }
+
+    /// Cloud title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// True once converted to a 2-D histogram.
+    pub fn is_converted(&self) -> bool {
+        self.converted.is_some()
+    }
+
+    /// Total entries filled.
+    pub fn entries(&self) -> u64 {
+        match &self.converted {
+            Some(h) => h.all_entries(),
+            None => self.points.len() as u64,
+        }
+    }
+
+    /// Fill one weighted point.
+    pub fn fill(&mut self, x: f64, y: f64, w: f64) {
+        match &mut self.converted {
+            Some(h) => h.fill(x, y, w),
+            None => {
+                self.points.push((x, y, w));
+                if self.points.len() >= self.max_entries {
+                    self.convert_auto();
+                }
+            }
+        }
+    }
+
+    /// Fill with unit weight.
+    pub fn fill1(&mut self, x: f64, y: f64) {
+        self.fill(x, y, 1.0);
+    }
+
+    fn convert_auto(&mut self) {
+        let (mut xlo, mut xhi, mut ylo, mut yhi) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for &(x, y, _) in &self.points {
+            xlo = xlo.min(x);
+            xhi = xhi.max(x);
+            ylo = ylo.min(y);
+            yhi = yhi.max(y);
+        }
+        if !xlo.is_finite() {
+            xlo = 0.0;
+            xhi = 1.0;
+        }
+        if !ylo.is_finite() {
+            ylo = 0.0;
+            yhi = 1.0;
+        }
+        if xlo == xhi {
+            xlo -= 0.5;
+            xhi += 0.5;
+        }
+        if ylo == yhi {
+            ylo -= 0.5;
+            yhi += 0.5;
+        }
+        let mx = (xhi - xlo) * RANGE_MARGIN;
+        let my = (yhi - ylo) * RANGE_MARGIN;
+        self.convert(AUTO_BINS, xlo - mx, xhi + mx, AUTO_BINS, ylo - my, yhi + my);
+    }
+
+    /// Force conversion with explicit binning.
+    #[allow(clippy::too_many_arguments)]
+    pub fn convert(&mut self, nx: usize, xlo: f64, xhi: f64, ny: usize, ylo: f64, yhi: f64) {
+        if self.converted.is_none() {
+            let mut h = Histogram2D::new(self.title.clone(), nx, xlo, xhi, ny, ylo, yhi);
+            for &(x, y, w) in &self.points {
+                h.fill(x, y, w);
+            }
+            self.points.clear();
+            self.converted = Some(h);
+        }
+    }
+
+    /// Borrow the converted histogram if conversion has happened.
+    pub fn histogram(&self) -> Option<&Histogram2D> {
+        self.converted.as_ref()
+    }
+
+    /// Clear back to point-collecting mode.
+    pub fn reset(&mut self) {
+        self.points.clear();
+        self.converted = None;
+    }
+}
+
+impl Mergeable for Cloud2D {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        match (&mut self.converted, &other.converted) {
+            (None, None) => {
+                self.points.extend_from_slice(&other.points);
+                if self.points.len() >= self.max_entries {
+                    self.convert_auto();
+                }
+                Ok(())
+            }
+            (Some(h), None) => {
+                for &(x, y, w) in &other.points {
+                    h.fill(x, y, w);
+                }
+                Ok(())
+            }
+            (None, Some(hb)) => {
+                let mut h = hb.clone_empty();
+                for &(x, y, w) in &self.points {
+                    h.fill(x, y, w);
+                }
+                h.merge(hb)?;
+                self.points.clear();
+                self.converted = Some(h);
+                Ok(())
+            }
+            (Some(ha), Some(hb)) => ha.merge(hb),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cloud_collects_then_converts() {
+        let mut c = Cloud1D::with_max_entries("t", 10);
+        for i in 0..9 {
+            c.fill1(i as f64);
+        }
+        assert!(!c.is_converted());
+        c.fill1(9.0);
+        assert!(c.is_converted());
+        assert_eq!(c.entries(), 10);
+        // All points must be in range after auto-conversion.
+        assert_eq!(c.histogram().unwrap().extra_entries(), 0);
+    }
+
+    #[test]
+    fn cloud_mean_before_and_after_conversion() {
+        let mut c = Cloud1D::with_max_entries("t", 4);
+        c.fill1(1.0);
+        c.fill1(3.0);
+        assert!((c.mean() - 2.0).abs() < 1e-12);
+        c.fill1(1.0);
+        c.fill1(3.0);
+        assert!(c.is_converted());
+        assert!((c.mean() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_single_value_converts_safely() {
+        let mut c = Cloud1D::with_max_entries("t", 3);
+        c.fill1(5.0);
+        c.fill1(5.0);
+        c.fill1(5.0);
+        assert!(c.is_converted());
+        assert_eq!(c.histogram().unwrap().entries(), 3);
+    }
+
+    #[test]
+    fn merge_points_points() {
+        let mut a = Cloud1D::with_max_entries("t", 100);
+        let mut b = Cloud1D::with_max_entries("t", 100);
+        a.fill1(1.0);
+        b.fill1(2.0);
+        a.merge(&b).unwrap();
+        assert_eq!(a.entries(), 2);
+        assert!(!a.is_converted());
+    }
+
+    #[test]
+    fn merge_mixed_states_preserves_entries() {
+        let mut a = Cloud1D::with_max_entries("t", 2);
+        a.fill1(0.0);
+        a.fill1(10.0); // converts
+        assert!(a.is_converted());
+        let mut b = Cloud1D::with_max_entries("t", 100);
+        b.fill1(5.0);
+        a.merge(&b).unwrap();
+        assert_eq!(a.entries(), 3);
+
+        // And the other direction: points-side adopts histogram binning.
+        let mut c = Cloud1D::with_max_entries("t", 100);
+        c.fill1(3.0);
+        c.merge(&a).unwrap();
+        assert!(c.is_converted());
+        assert_eq!(c.entries(), 4);
+    }
+
+    #[test]
+    fn explicit_convert_and_to_histogram() {
+        let mut c = Cloud1D::new("t");
+        c.fill(2.5, 2.0);
+        let h = c.to_histogram(10, 0.0, 10.0);
+        assert_eq!(h.entries(), 1);
+        assert!((h.bin_height(2) - 2.0).abs() < 1e-12);
+        c.convert(10, 0.0, 10.0);
+        assert!(c.is_converted());
+    }
+
+    #[test]
+    fn cloud2d_lifecycle() {
+        let mut c = Cloud2D::with_max_entries("t", 5);
+        for i in 0..5 {
+            c.fill1(i as f64, (i * 2) as f64);
+        }
+        assert!(c.is_converted());
+        assert_eq!(c.entries(), 5);
+        let h = c.histogram().unwrap();
+        assert_eq!(h.all_entries(), 5);
+        assert_eq!(h.entries(), 5); // no out-of-range after auto-convert
+    }
+
+    #[test]
+    fn cloud2d_merge_all_state_pairs() {
+        let mk = |n: usize| {
+            let mut c = Cloud2D::with_max_entries("t", 3);
+            for i in 0..n {
+                c.fill1(i as f64, i as f64);
+            }
+            c
+        };
+        // points + points
+        let mut a = mk(1);
+        a.merge(&mk(1)).unwrap();
+        assert_eq!(a.entries(), 2);
+        // converted + points
+        let mut b = mk(3);
+        assert!(b.is_converted());
+        b.merge(&mk(2)).unwrap();
+        assert_eq!(b.entries(), 5);
+        // points + converted
+        let mut c = mk(2);
+        c.merge(&mk(3)).unwrap();
+        assert!(c.is_converted());
+        assert_eq!(c.entries(), 5);
+        // converted + converted
+        let mut d = mk(3);
+        d.merge(&mk(3)).unwrap();
+        assert_eq!(d.entries(), 6);
+    }
+
+    #[test]
+    fn reset_returns_to_point_mode() {
+        let mut c = Cloud1D::with_max_entries("t", 1);
+        c.fill1(1.0);
+        assert!(c.is_converted());
+        c.reset();
+        assert!(!c.is_converted());
+        assert_eq!(c.entries(), 0);
+    }
+}

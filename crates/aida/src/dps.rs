@@ -1,0 +1,216 @@
+//! Data point sets (AIDA `IDataPointSet`).
+//!
+//! A `DataPointSet` holds measured points of fixed dimension, each coordinate
+//! carrying a value and asymmetric errors. The experiment harness uses these
+//! for paper-table series (e.g. staging time vs node count).
+
+use serde::{Deserialize, Serialize};
+
+use crate::annotation::Annotation;
+use crate::object::{MergeError, Mergeable};
+
+/// One coordinate of a data point: value with minus/plus errors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Central value.
+    pub value: f64,
+    /// Error towards smaller values.
+    pub error_minus: f64,
+    /// Error towards larger values.
+    pub error_plus: f64,
+}
+
+impl Measurement {
+    /// Measurement with symmetric error.
+    pub fn new(value: f64, error: f64) -> Self {
+        Measurement {
+            value,
+            error_minus: error,
+            error_plus: error,
+        }
+    }
+
+    /// Measurement with no error.
+    pub fn exact(value: f64) -> Self {
+        Self::new(value, 0.0)
+    }
+}
+
+/// One point: a measurement per dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// One [`Measurement`] per dimension.
+    pub coords: Vec<Measurement>,
+}
+
+impl DataPoint {
+    /// Build a point from `(value, error)` pairs.
+    pub fn new(coords: Vec<Measurement>) -> Self {
+        DataPoint { coords }
+    }
+
+    /// Convenience: 2-D point `(x ± 0, y ± yerr)`.
+    pub fn xy(x: f64, y: f64, yerr: f64) -> Self {
+        DataPoint {
+            coords: vec![Measurement::exact(x), Measurement::new(y, yerr)],
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn dimension(&self) -> usize {
+        self.coords.len()
+    }
+}
+
+/// A titled, fixed-dimension collection of [`DataPoint`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataPointSet {
+    title: String,
+    dimension: usize,
+    points: Vec<DataPoint>,
+    /// Key/value annotations.
+    pub annotation: Annotation,
+}
+
+impl DataPointSet {
+    /// New empty set of the given dimension.
+    pub fn new(title: impl Into<String>, dimension: usize) -> Self {
+        assert!(dimension > 0, "data point set needs at least one dimension");
+        DataPointSet {
+            title: title.into(),
+            dimension,
+            points: Vec::new(),
+            annotation: Annotation::new(),
+        }
+    }
+
+    /// Set title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Dimension of every point.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Append a point.
+    ///
+    /// # Panics
+    /// Panics if the point's dimension does not match the set's.
+    pub fn add(&mut self, p: DataPoint) {
+        assert_eq!(
+            p.dimension(),
+            self.dimension,
+            "point dimension must match set dimension"
+        );
+        self.points.push(p);
+    }
+
+    /// Convenience for 2-D sets.
+    pub fn add_xy(&mut self, x: f64, y: f64, yerr: f64) {
+        self.add(DataPoint::xy(x, y, yerr));
+    }
+
+    /// Borrow point `i`.
+    pub fn point(&self, i: usize) -> &DataPoint {
+        &self.points[i]
+    }
+
+    /// Iterate points.
+    pub fn iter(&self) -> impl Iterator<Item = &DataPoint> {
+        self.points.iter()
+    }
+
+    /// Sort points by the value of coordinate `dim` (NaNs last).
+    pub fn sort_by_coord(&mut self, dim: usize) {
+        self.points.sort_by(|a, b| {
+            a.coords[dim]
+                .value
+                .partial_cmp(&b.coords[dim].value)
+                .unwrap_or(std::cmp::Ordering::Greater)
+        });
+    }
+
+    /// Remove all points.
+    pub fn clear(&mut self) {
+        self.points.clear();
+    }
+}
+
+impl Mergeable for DataPointSet {
+    /// Merging concatenates points (dimension must match).
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if self.dimension != other.dimension {
+            return Err(MergeError::IncompatibleBinning {
+                what: format!("datapointset '{}' dimension mismatch", self.title),
+            });
+        }
+        self.points.extend(other.points.iter().cloned());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_access() {
+        let mut s = DataPointSet::new("times", 2);
+        s.add_xy(1.0, 330.0, 5.0);
+        s.add_xy(16.0, 78.0, 2.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.point(1).coords[0].value, 16.0);
+        assert_eq!(s.point(0).coords[1].error_plus, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must match")]
+    fn rejects_wrong_dimension() {
+        let mut s = DataPointSet::new("t", 3);
+        s.add(DataPoint::xy(1.0, 2.0, 0.0));
+    }
+
+    #[test]
+    fn sort_by_coordinate() {
+        let mut s = DataPointSet::new("t", 2);
+        s.add_xy(3.0, 1.0, 0.0);
+        s.add_xy(1.0, 2.0, 0.0);
+        s.add_xy(2.0, 3.0, 0.0);
+        s.sort_by_coord(0);
+        let xs: Vec<f64> = s.iter().map(|p| p.coords[0].value).collect();
+        assert_eq!(xs, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = DataPointSet::new("t", 2);
+        let mut b = DataPointSet::new("t", 2);
+        a.add_xy(1.0, 1.0, 0.0);
+        b.add_xy(2.0, 2.0, 0.0);
+        a.merge(&b).unwrap();
+        assert_eq!(a.len(), 2);
+        let c = DataPointSet::new("t", 3);
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn measurement_constructors() {
+        let m = Measurement::exact(5.0);
+        assert_eq!(m.error_minus, 0.0);
+        let m = Measurement::new(5.0, 1.0);
+        assert_eq!(m.error_plus, 1.0);
+        assert_eq!(m.error_minus, 1.0);
+    }
+}

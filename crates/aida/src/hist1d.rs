@@ -1,0 +1,408 @@
+//! One-dimensional weighted histogram (AIDA `IHistogram1D`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::annotation::Annotation;
+use crate::axis::{Axis, BinIndex, OVERFLOW, UNDERFLOW};
+use crate::object::{MergeError, Mergeable};
+use crate::stats::WeightedStats;
+
+/// Per-bin accumulator. Raw sums are kept so that merging is exact and the
+/// in-bin mean/rms can be computed (AIDA `binMean`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Bin {
+    /// Number of fills landing in this bin.
+    pub entries: u64,
+    /// Σw
+    pub sum_w: f64,
+    /// Σw² (for the bin error)
+    pub sum_w2: f64,
+    /// Σw·x (for the in-bin mean)
+    pub sum_wx: f64,
+    /// Σw·x²
+    pub sum_wx2: f64,
+}
+
+impl Bin {
+    fn fill(&mut self, x: f64, w: f64) {
+        self.entries += 1;
+        self.sum_w += w;
+        self.sum_w2 += w * w;
+        self.sum_wx += w * x;
+        self.sum_wx2 += w * x * x;
+    }
+
+    fn merge(&mut self, other: &Bin) {
+        self.entries += other.entries;
+        self.sum_w += other.sum_w;
+        self.sum_w2 += other.sum_w2;
+        self.sum_wx += other.sum_wx;
+        self.sum_wx2 += other.sum_wx2;
+    }
+
+    fn scale(&mut self, f: f64) {
+        self.sum_w *= f;
+        self.sum_w2 *= f * f;
+        self.sum_wx *= f;
+        self.sum_wx2 *= f;
+    }
+
+    /// Height of the bin (Σw).
+    pub fn height(&self) -> f64 {
+        self.sum_w
+    }
+
+    /// Poisson-style error on the height, √(Σw²).
+    pub fn error(&self) -> f64 {
+        self.sum_w2.sqrt()
+    }
+
+    /// Weighted mean of the coordinates that filled this bin.
+    pub fn mean(&self) -> f64 {
+        if self.sum_w == 0.0 {
+            f64::NAN
+        } else {
+            self.sum_wx / self.sum_w
+        }
+    }
+}
+
+/// A one-dimensional histogram: a title, an [`Axis`], in-range bins, and
+/// under/overflow bins, plus global [`WeightedStats`] of the filled
+/// coordinates (computed from *all* fills, like AIDA's `mean()`/`rms()` of
+/// in-range data — we follow ROOT/AIDA and use in-range fills only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram1D {
+    title: String,
+    axis: Axis,
+    bins: Vec<Bin>,
+    underflow: Bin,
+    overflow: Bin,
+    /// Stats over in-range fills.
+    stats: WeightedStats,
+    /// Key/value annotations (axis labels etc.).
+    pub annotation: Annotation,
+}
+
+impl Histogram1D {
+    /// Fixed-width histogram with `nbins` bins on `[lo, hi)`.
+    pub fn new(title: impl Into<String>, nbins: usize, lo: f64, hi: f64) -> Self {
+        Self::with_axis(title, Axis::fixed(nbins, lo, hi))
+    }
+
+    /// Histogram over an arbitrary axis.
+    pub fn with_axis(title: impl Into<String>, axis: Axis) -> Self {
+        let n = axis.bins();
+        Histogram1D {
+            title: title.into(),
+            axis,
+            bins: vec![Bin::default(); n],
+            underflow: Bin::default(),
+            overflow: Bin::default(),
+            stats: WeightedStats::new(),
+            annotation: Annotation::new(),
+        }
+    }
+
+    /// An empty histogram with the same title/axis/annotations.
+    pub fn clone_empty(&self) -> Self {
+        let mut h = Histogram1D::with_axis(self.title.clone(), self.axis.clone());
+        h.annotation = self.annotation.clone();
+        h
+    }
+
+    /// Histogram title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Set the title.
+    pub fn set_title(&mut self, t: impl Into<String>) {
+        self.title = t.into();
+    }
+
+    /// The binning axis.
+    pub fn axis(&self) -> &Axis {
+        &self.axis
+    }
+
+    /// Fill with coordinate `x` and weight `w`.
+    pub fn fill(&mut self, x: f64, w: f64) {
+        match self.axis.coord_to_index(x) {
+            UNDERFLOW => self.underflow.fill(x, w),
+            OVERFLOW => self.overflow.fill(x, w),
+            i => {
+                self.bins[i as usize].fill(x, w);
+                self.stats.fill(x, w);
+            }
+        }
+    }
+
+    /// Fill with unit weight.
+    pub fn fill1(&mut self, x: f64) {
+        self.fill(x, 1.0);
+    }
+
+    /// Access a bin by [`BinIndex`] (including the under/overflow sentinels).
+    pub fn bin(&self, index: BinIndex) -> &Bin {
+        match index {
+            UNDERFLOW => &self.underflow,
+            OVERFLOW => &self.overflow,
+            i => &self.bins[i as usize],
+        }
+    }
+
+    /// Height (Σw) of in-range bin `i`.
+    pub fn bin_height(&self, i: usize) -> f64 {
+        self.bins[i].height()
+    }
+
+    /// Error (√Σw²) of in-range bin `i`.
+    pub fn bin_error(&self, i: usize) -> f64 {
+        self.bins[i].error()
+    }
+
+    /// Entries in in-range bin `i`.
+    pub fn bin_entries(&self, i: usize) -> u64 {
+        self.bins[i].entries
+    }
+
+    /// Entries in range (excludes under/overflow).
+    pub fn entries(&self) -> u64 {
+        self.stats.entries
+    }
+
+    /// Entries including under/overflow.
+    pub fn all_entries(&self) -> u64 {
+        self.stats.entries + self.underflow.entries + self.overflow.entries
+    }
+
+    /// Entries that fell outside the axis.
+    pub fn extra_entries(&self) -> u64 {
+        self.underflow.entries + self.overflow.entries
+    }
+
+    /// Σw over in-range bins.
+    pub fn sum_bin_heights(&self) -> f64 {
+        self.bins.iter().map(Bin::height).sum()
+    }
+
+    /// Σw over all bins including under/overflow.
+    pub fn sum_all_bin_heights(&self) -> f64 {
+        self.sum_bin_heights() + self.underflow.height() + self.overflow.height()
+    }
+
+    /// Height of the tallest in-range bin (0 for an empty histogram).
+    pub fn max_bin_height(&self) -> f64 {
+        self.bins.iter().map(Bin::height).fold(0.0, f64::max)
+    }
+
+    /// Weighted mean of in-range fills.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Weighted RMS of in-range fills.
+    pub fn rms(&self) -> f64 {
+        self.stats.rms()
+    }
+
+    /// The underflow bin.
+    pub fn underflow(&self) -> &Bin {
+        &self.underflow
+    }
+
+    /// The overflow bin.
+    pub fn overflow(&self) -> &Bin {
+        &self.overflow
+    }
+
+    /// Multiply every bin content by `factor`.
+    pub fn scale(&mut self, factor: f64) {
+        for b in &mut self.bins {
+            b.scale(factor);
+        }
+        self.underflow.scale(factor);
+        self.overflow.scale(factor);
+        self.stats.scale(factor);
+    }
+
+    /// Clear all contents, keeping title/axis/annotations.
+    pub fn reset(&mut self) {
+        for b in &mut self.bins {
+            *b = Bin::default();
+        }
+        self.underflow = Bin::default();
+        self.overflow = Bin::default();
+        self.stats.reset();
+    }
+
+    /// Overwrite in-range bin `i` with a raw accumulator. Intended for
+    /// projections and other bulk constructions inside this crate; global
+    /// stats are *not* updated (see [`Histogram1D::set_stats_raw`]).
+    pub fn set_bin_raw(&mut self, i: usize, bin: Bin) {
+        self.bins[i] = bin;
+    }
+
+    /// Overwrite the global in-range statistics. Pairs with
+    /// [`Histogram1D::set_bin_raw`] when building a histogram from
+    /// precomputed accumulators.
+    pub fn set_stats_raw(&mut self, stats: WeightedStats) {
+        self.stats = stats;
+    }
+
+    /// Snapshot of the global in-range statistics.
+    pub fn stats_snapshot(&self) -> WeightedStats {
+        self.stats.clone()
+    }
+
+    /// Overwrite the under/overflow accumulators (bulk construction).
+    pub fn set_flow_raw(&mut self, underflow: Bin, overflow: Bin) {
+        self.underflow = underflow;
+        self.overflow = overflow;
+    }
+
+    /// Iterate in-range bins with their centres: `(center, &Bin)`.
+    pub fn iter_bins(&self) -> impl Iterator<Item = (f64, &Bin)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (self.axis.bin_center(i), b))
+    }
+}
+
+impl Mergeable for Histogram1D {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if !self.axis.compatible(&other.axis) {
+            return Err(MergeError::IncompatibleBinning {
+                what: format!("histogram1d '{}'", self.title),
+            });
+        }
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            a.merge(b);
+        }
+        self.underflow.merge(&other.underflow);
+        self.overflow.merge(&other.overflow);
+        self.stats.merge(&other.stats);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-10 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn fill_lands_in_the_right_bin() {
+        let mut h = Histogram1D::new("t", 10, 0.0, 10.0);
+        h.fill1(3.5);
+        assert_eq!(h.bin_entries(3), 1);
+        assert_eq!(h.bin_height(3), 1.0);
+        assert_eq!(h.entries(), 1);
+    }
+
+    #[test]
+    fn under_and_overflow_are_tracked() {
+        let mut h = Histogram1D::new("t", 4, 0.0, 1.0);
+        h.fill1(-5.0);
+        h.fill1(2.0);
+        h.fill1(0.5);
+        assert_eq!(h.underflow().entries, 1);
+        assert_eq!(h.overflow().entries, 1);
+        assert_eq!(h.entries(), 1);
+        assert_eq!(h.all_entries(), 3);
+        assert_eq!(h.extra_entries(), 2);
+    }
+
+    #[test]
+    fn weighted_fill_heights_and_errors() {
+        let mut h = Histogram1D::new("t", 2, 0.0, 2.0);
+        h.fill(0.5, 2.0);
+        h.fill(0.5, 3.0);
+        assert!(approx(h.bin_height(0), 5.0));
+        assert!(approx(h.bin_error(0), (4.0f64 + 9.0).sqrt()));
+    }
+
+    #[test]
+    fn mean_and_rms_track_in_range_fills() {
+        let mut h = Histogram1D::new("t", 100, 0.0, 10.0);
+        h.fill1(2.0);
+        h.fill1(4.0);
+        h.fill1(100.0); // overflow, excluded from stats
+        assert!(approx(h.mean(), 3.0));
+        assert!(approx(h.rms(), 1.0));
+    }
+
+    #[test]
+    fn merge_is_exact_partition_of_fills() {
+        let mut whole = Histogram1D::new("t", 20, -5.0, 5.0);
+        let mut a = whole.clone_empty();
+        let mut b = whole.clone_empty();
+        for i in 0..500 {
+            let x = ((i * 37) % 113) as f64 / 10.0 - 5.5;
+            let w = 1.0 + (i % 4) as f64 * 0.5;
+            whole.fill(x, w);
+            if i % 3 == 0 {
+                a.fill(x, w)
+            } else {
+                b.fill(x, w)
+            }
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.all_entries(), whole.all_entries());
+        for i in 0..20 {
+            assert!(approx(a.bin_height(i), whole.bin_height(i)));
+            assert_eq!(a.bin_entries(i), whole.bin_entries(i));
+        }
+        assert!(approx(a.mean(), whole.mean()));
+        assert!(approx(a.rms(), whole.rms()));
+    }
+
+    #[test]
+    fn merge_rejects_incompatible_axes() {
+        let mut a = Histogram1D::new("t", 10, 0.0, 1.0);
+        let b = Histogram1D::new("t", 11, 0.0, 1.0);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn scale_then_height() {
+        let mut h = Histogram1D::new("t", 1, 0.0, 1.0);
+        h.fill(0.5, 2.0);
+        h.scale(0.5);
+        assert!(approx(h.bin_height(0), 1.0));
+        // Entries are unaffected by scaling.
+        assert_eq!(h.entries(), 1);
+    }
+
+    #[test]
+    fn reset_clears_everything_but_identity() {
+        let mut h = Histogram1D::new("mass", 5, 0.0, 1.0);
+        h.annotation.set("xlabel", "GeV");
+        h.fill1(0.5);
+        h.reset();
+        assert_eq!(h.all_entries(), 0);
+        assert_eq!(h.title(), "mass");
+        assert_eq!(h.annotation.get("xlabel"), Some("GeV"));
+        assert_eq!(h.sum_all_bin_heights(), 0.0);
+    }
+
+    #[test]
+    fn max_bin_height_of_empty_is_zero() {
+        let h = Histogram1D::new("t", 3, 0.0, 1.0);
+        assert_eq!(h.max_bin_height(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut h = Histogram1D::new("t", 4, 0.0, 4.0);
+        h.fill(1.5, 2.0);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Histogram1D = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+}

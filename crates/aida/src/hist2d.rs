@@ -1,0 +1,401 @@
+//! Two-dimensional weighted histogram (AIDA `IHistogram2D`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::annotation::Annotation;
+use crate::axis::{Axis, BinIndex, OVERFLOW, UNDERFLOW};
+use crate::object::{MergeError, Mergeable};
+use crate::stats::WeightedStats;
+
+/// Per-cell accumulator for 2-D histograms.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Number of fills landing in this cell.
+    pub entries: u64,
+    /// Σw
+    pub sum_w: f64,
+    /// Σw²
+    pub sum_w2: f64,
+}
+
+impl Cell {
+    fn fill(&mut self, w: f64) {
+        self.entries += 1;
+        self.sum_w += w;
+        self.sum_w2 += w * w;
+    }
+
+    fn merge(&mut self, o: &Cell) {
+        self.entries += o.entries;
+        self.sum_w += o.sum_w;
+        self.sum_w2 += o.sum_w2;
+    }
+
+    fn scale(&mut self, f: f64) {
+        self.sum_w *= f;
+        self.sum_w2 *= f * f;
+    }
+
+    /// Cell content (Σw).
+    pub fn height(&self) -> f64 {
+        self.sum_w
+    }
+
+    /// Error on the content, √(Σw²).
+    pub fn error(&self) -> f64 {
+        self.sum_w2.sqrt()
+    }
+}
+
+/// Storage index over the extended grid: in-range bins plus a rim of
+/// under/overflow cells on each axis. Internally cells live on an
+/// `(nx + 2) × (ny + 2)` grid where slot 0 is underflow and slot `n + 1`
+/// is overflow.
+fn slot(index: BinIndex, n: usize) -> usize {
+    match index {
+        UNDERFLOW => 0,
+        OVERFLOW => n + 1,
+        i => i as usize + 1,
+    }
+}
+
+/// A two-dimensional histogram with full under/overflow rim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram2D {
+    title: String,
+    x_axis: Axis,
+    y_axis: Axis,
+    /// `(nx + 2) * (ny + 2)` cells, row-major over the extended grid.
+    cells: Vec<Cell>,
+    x_stats: WeightedStats,
+    y_stats: WeightedStats,
+    /// Key/value annotations.
+    pub annotation: Annotation,
+}
+
+impl Histogram2D {
+    /// Fixed-width 2-D histogram.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        title: impl Into<String>,
+        nx: usize,
+        xlo: f64,
+        xhi: f64,
+        ny: usize,
+        ylo: f64,
+        yhi: f64,
+    ) -> Self {
+        Self::with_axes(title, Axis::fixed(nx, xlo, xhi), Axis::fixed(ny, ylo, yhi))
+    }
+
+    /// 2-D histogram over arbitrary axes.
+    pub fn with_axes(title: impl Into<String>, x_axis: Axis, y_axis: Axis) -> Self {
+        let nslots = (x_axis.bins() + 2) * (y_axis.bins() + 2);
+        Histogram2D {
+            title: title.into(),
+            x_axis,
+            y_axis,
+            cells: vec![Cell::default(); nslots],
+            x_stats: WeightedStats::new(),
+            y_stats: WeightedStats::new(),
+            annotation: Annotation::new(),
+        }
+    }
+
+    /// An empty clone with identical axes and annotations.
+    pub fn clone_empty(&self) -> Self {
+        let mut h =
+            Histogram2D::with_axes(self.title.clone(), self.x_axis.clone(), self.y_axis.clone());
+        h.annotation = self.annotation.clone();
+        h
+    }
+
+    /// Histogram title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// X axis.
+    pub fn x_axis(&self) -> &Axis {
+        &self.x_axis
+    }
+
+    /// Y axis.
+    pub fn y_axis(&self) -> &Axis {
+        &self.y_axis
+    }
+
+    fn cell_index(&self, ix: BinIndex, iy: BinIndex) -> usize {
+        let sx = slot(ix, self.x_axis.bins());
+        let sy = slot(iy, self.y_axis.bins());
+        sy * (self.x_axis.bins() + 2) + sx
+    }
+
+    /// Fill with coordinates `(x, y)` and weight `w`.
+    pub fn fill(&mut self, x: f64, y: f64, w: f64) {
+        let ix = self.x_axis.coord_to_index(x);
+        let iy = self.y_axis.coord_to_index(y);
+        let idx = self.cell_index(ix, iy);
+        self.cells[idx].fill(w);
+        if ix >= 0 && iy >= 0 {
+            self.x_stats.fill(x, w);
+            self.y_stats.fill(y, w);
+        }
+    }
+
+    /// Fill with unit weight.
+    pub fn fill1(&mut self, x: f64, y: f64) {
+        self.fill(x, y, 1.0);
+    }
+
+    /// Access a cell by bin indices (sentinels allowed).
+    pub fn cell(&self, ix: BinIndex, iy: BinIndex) -> &Cell {
+        &self.cells[self.cell_index(ix, iy)]
+    }
+
+    /// Content of in-range cell `(ix, iy)`.
+    pub fn bin_height(&self, ix: usize, iy: usize) -> f64 {
+        self.cell(ix as BinIndex, iy as BinIndex).height()
+    }
+
+    /// Entries of in-range cell `(ix, iy)`.
+    pub fn bin_entries(&self, ix: usize, iy: usize) -> u64 {
+        self.cell(ix as BinIndex, iy as BinIndex).entries
+    }
+
+    /// In-range entries.
+    pub fn entries(&self) -> u64 {
+        self.x_stats.entries
+    }
+
+    /// All entries including the under/overflow rim.
+    pub fn all_entries(&self) -> u64 {
+        self.cells.iter().map(|c| c.entries).sum()
+    }
+
+    /// Tallest in-range cell content.
+    pub fn max_bin_height(&self) -> f64 {
+        let mut m = 0.0f64;
+        for iy in 0..self.y_axis.bins() {
+            for ix in 0..self.x_axis.bins() {
+                m = m.max(self.bin_height(ix, iy));
+            }
+        }
+        m
+    }
+
+    /// Weighted mean of in-range x coordinates.
+    pub fn mean_x(&self) -> f64 {
+        self.x_stats.mean()
+    }
+
+    /// Weighted mean of in-range y coordinates.
+    pub fn mean_y(&self) -> f64 {
+        self.y_stats.mean()
+    }
+
+    /// Weighted RMS of in-range x coordinates.
+    pub fn rms_x(&self) -> f64 {
+        self.x_stats.rms()
+    }
+
+    /// Weighted RMS of in-range y coordinates.
+    pub fn rms_y(&self) -> f64 {
+        self.y_stats.rms()
+    }
+
+    /// Project onto the x axis (summing over all in-range y bins).
+    ///
+    /// The projected histogram places each cell's weight at the cell's x bin
+    /// centre; heights and entry counts are preserved exactly, bin errors are
+    /// preserved (Σw² adds), and the projection's global stats are inherited
+    /// from this histogram's x stats.
+    pub fn projection_x(&self) -> crate::hist1d::Histogram1D {
+        let mut h = crate::hist1d::Histogram1D::with_axis(
+            format!("{} (x projection)", self.title),
+            self.x_axis.clone(),
+        );
+        for ix in 0..self.x_axis.bins() {
+            let center = self.x_axis.bin_center(ix);
+            let mut acc = crate::hist1d::Bin::default();
+            for iy in 0..self.y_axis.bins() {
+                let c = self.cell(ix as BinIndex, iy as BinIndex);
+                acc.entries += c.entries;
+                acc.sum_w += c.sum_w;
+                acc.sum_w2 += c.sum_w2;
+                acc.sum_wx += c.sum_w * center;
+                acc.sum_wx2 += c.sum_w * center * center;
+            }
+            h.set_bin_raw(ix, acc);
+        }
+        h.set_stats_raw(self.x_stats.clone());
+        h
+    }
+
+    /// Project onto the y axis (summing over all in-range x bins);
+    /// mirror of [`Histogram2D::projection_x`].
+    pub fn projection_y(&self) -> crate::hist1d::Histogram1D {
+        let mut h = crate::hist1d::Histogram1D::with_axis(
+            format!("{} (y projection)", self.title),
+            self.y_axis.clone(),
+        );
+        for iy in 0..self.y_axis.bins() {
+            let center = self.y_axis.bin_center(iy);
+            let mut acc = crate::hist1d::Bin::default();
+            for ix in 0..self.x_axis.bins() {
+                let c = self.cell(ix as BinIndex, iy as BinIndex);
+                acc.entries += c.entries;
+                acc.sum_w += c.sum_w;
+                acc.sum_w2 += c.sum_w2;
+                acc.sum_wx += c.sum_w * center;
+                acc.sum_wx2 += c.sum_w * center * center;
+            }
+            h.set_bin_raw(iy, acc);
+        }
+        h.set_stats_raw(self.y_stats.clone());
+        h
+    }
+
+    /// Multiply every cell content by `factor`.
+    pub fn scale(&mut self, factor: f64) {
+        for c in &mut self.cells {
+            c.scale(factor);
+        }
+        self.x_stats.scale(factor);
+        self.y_stats.scale(factor);
+    }
+
+    /// Clear all contents.
+    pub fn reset(&mut self) {
+        for c in &mut self.cells {
+            *c = Cell::default();
+        }
+        self.x_stats.reset();
+        self.y_stats.reset();
+    }
+}
+
+impl Mergeable for Histogram2D {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if !self.x_axis.compatible(&other.x_axis) || !self.y_axis.compatible(&other.y_axis) {
+            return Err(MergeError::IncompatibleBinning {
+                what: format!("histogram2d '{}'", self.title),
+            });
+        }
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            a.merge(b);
+        }
+        self.x_stats.merge(&other.x_stats);
+        self.y_stats.merge(&other.y_stats);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-10 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn fill_lands_in_correct_cell() {
+        let mut h = Histogram2D::new("t", 10, 0.0, 10.0, 5, 0.0, 5.0);
+        h.fill1(3.5, 2.5);
+        assert_eq!(h.bin_entries(3, 2), 1);
+        assert!(approx(h.bin_height(3, 2), 1.0));
+        assert_eq!(h.entries(), 1);
+    }
+
+    #[test]
+    fn overflow_rim_catches_out_of_range() {
+        let mut h = Histogram2D::new("t", 2, 0.0, 1.0, 2, 0.0, 1.0);
+        h.fill1(5.0, 0.25); // x overflow, y in range (bin 0)
+        h.fill1(-1.0, -1.0); // both underflow
+        assert_eq!(h.entries(), 0);
+        assert_eq!(h.all_entries(), 2);
+        assert_eq!(h.cell(OVERFLOW, 0).entries, 1);
+        assert_eq!(h.cell(UNDERFLOW, UNDERFLOW).entries, 1);
+    }
+
+    #[test]
+    fn means_track_in_range_fills_only() {
+        let mut h = Histogram2D::new("t", 10, 0.0, 10.0, 10, 0.0, 10.0);
+        h.fill1(2.0, 4.0);
+        h.fill1(4.0, 8.0);
+        h.fill1(100.0, 100.0);
+        assert!(approx(h.mean_x(), 3.0));
+        assert!(approx(h.mean_y(), 6.0));
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let mut whole = Histogram2D::new("t", 8, 0.0, 8.0, 8, 0.0, 8.0);
+        let mut a = whole.clone_empty();
+        let mut b = whole.clone_empty();
+        for i in 0..400 {
+            let x = ((i * 13) % 97) as f64 / 10.0;
+            let y = ((i * 29) % 89) as f64 / 10.0;
+            let w = 1.0 + (i % 2) as f64;
+            whole.fill(x, y, w);
+            if i % 2 == 0 {
+                a.fill(x, y, w)
+            } else {
+                b.fill(x, y, w)
+            }
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.all_entries(), whole.all_entries());
+        for ix in 0..8 {
+            for iy in 0..8 {
+                assert!(approx(a.bin_height(ix, iy), whole.bin_height(ix, iy)));
+            }
+        }
+        assert!(approx(a.mean_x(), whole.mean_x()));
+        assert!(approx(a.rms_y(), whole.rms_y()));
+    }
+
+    #[test]
+    fn merge_rejects_different_axes() {
+        let mut a = Histogram2D::new("t", 2, 0.0, 1.0, 2, 0.0, 1.0);
+        let b = Histogram2D::new("t", 2, 0.0, 1.0, 3, 0.0, 1.0);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn projection_preserves_totals() {
+        let mut h = Histogram2D::new("t", 4, 0.0, 4.0, 4, 0.0, 4.0);
+        h.fill1(0.5, 0.5);
+        h.fill1(0.5, 3.5);
+        h.fill1(2.5, 1.5);
+        let px = h.projection_x();
+        assert_eq!(px.entries(), 3);
+        assert!(approx(px.bin_height(0), 2.0));
+        assert!(approx(px.bin_height(2), 1.0));
+    }
+
+    #[test]
+    fn projection_y_preserves_totals() {
+        let mut h = Histogram2D::new("t", 4, 0.0, 4.0, 4, 0.0, 4.0);
+        h.fill1(0.5, 0.5);
+        h.fill1(3.5, 0.5);
+        h.fill1(2.5, 2.5);
+        let py = h.projection_y();
+        assert_eq!(py.entries(), 3);
+        assert!((py.bin_height(0) - 2.0).abs() < 1e-12);
+        assert!((py.bin_height(2) - 1.0).abs() < 1e-12);
+        assert!((py.mean() - h.mean_y()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_and_reset() {
+        let mut h = Histogram2D::new("t", 2, 0.0, 2.0, 2, 0.0, 2.0);
+        h.fill(0.5, 0.5, 4.0);
+        h.scale(0.25);
+        assert!(approx(h.bin_height(0, 0), 1.0));
+        h.reset();
+        assert_eq!(h.all_entries(), 0);
+        assert_eq!(h.max_bin_height(), 0.0);
+    }
+}

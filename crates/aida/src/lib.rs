@@ -1,0 +1,62 @@
+//! `ipa-aida` — an AIDA-like analysis toolkit.
+//!
+//! This crate is the Rust stand-in for the *Abstract Interfaces for Data
+//! Analysis* (AIDA) toolkit the paper's reference implementation uses to
+//! accumulate and merge analysis results. It provides:
+//!
+//! * binned accumulators: [`Histogram1D`], [`Histogram2D`], [`Profile1D`],
+//! * unbinned accumulators: [`Cloud1D`], [`Cloud2D`] (with automatic
+//!   conversion to histograms once a storage budget is exceeded),
+//! * [`DataPointSet`] for measured points with errors,
+//! * [`Tuple`] (ntuple) column storage with histogram projections,
+//! * a hierarchical named-object [`Tree`] (`/dir/subdir/object` paths) that is
+//!   the unit shipped from analysis engines to the AIDA manager service,
+//! * exact, associative merging of partial results (the property the IPA
+//!   framework's continuous result merging relies on), and
+//! * ASCII and SVG rendering for "professional-quality visualizations"
+//!   (the paper's Figure 4 panel) without a GUI toolkit.
+//!
+//! Everything is `serde`-serializable so partial results can cross the
+//! engine → manager → client boundary.
+//!
+//! # Example
+//!
+//! ```
+//! use ipa_aida::{Histogram1D, Mergeable};
+//!
+//! let mut worker_a = Histogram1D::new("mass", 50, 0.0, 250.0);
+//! let mut worker_b = worker_a.clone_empty();
+//! worker_a.fill(125.0, 1.0);
+//! worker_b.fill(91.2, 1.0);
+//! worker_a.merge(&worker_b).unwrap();
+//! assert_eq!(worker_a.all_entries(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod annotation;
+pub mod axis;
+pub mod cloud;
+pub mod dps;
+pub mod hist1d;
+pub mod hist2d;
+pub mod object;
+pub mod ops;
+pub mod profile;
+pub mod render;
+pub mod stats;
+pub mod tree;
+pub mod tuple;
+
+pub use annotation::Annotation;
+pub use axis::{Axis, BinIndex, OVERFLOW, UNDERFLOW};
+pub use cloud::{Cloud1D, Cloud2D};
+pub use dps::{DataPoint, DataPointSet, Measurement};
+pub use hist1d::Histogram1D;
+pub use hist2d::Histogram2D;
+pub use object::{AidaObject, MergeError, Mergeable};
+pub use ops::{add_scaled, fit_gaussian, fit_gaussian_in, normalized, rebin, GaussianFit};
+pub use profile::Profile1D;
+pub use stats::WeightedStats;
+pub use tree::{Tree, TreeError};
+pub use tuple::{ColumnType, Tuple, TupleError, Value};

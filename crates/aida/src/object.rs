@@ -1,0 +1,228 @@
+//! The polymorphic analysis object and the merge contract.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::cloud::{Cloud1D, Cloud2D};
+use crate::dps::DataPointSet;
+use crate::hist1d::Histogram1D;
+use crate::hist2d::Histogram2D;
+use crate::profile::Profile1D;
+use crate::tuple::Tuple;
+
+/// Error combining two partial results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// Axes / schema / dimension differ between the two sides.
+    IncompatibleBinning {
+        /// Human-readable description of the object that failed.
+        what: String,
+    },
+    /// The two objects are different kinds (e.g. 1-D vs 2-D histogram).
+    KindMismatch {
+        /// Kind of the receiving object.
+        ours: &'static str,
+        /// Kind of the incoming object.
+        theirs: &'static str,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::IncompatibleBinning { what } => {
+                write!(f, "incompatible binning/schema merging {what}")
+            }
+            MergeError::KindMismatch { ours, theirs } => {
+                write!(f, "cannot merge object kind {theirs} into {ours}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Types whose partial results from different engines can be combined.
+///
+/// Implementations must be *exact* for counts and raw weight sums, and
+/// (up to floating-point reassociation) independent of merge order — this is
+/// what lets the AIDA manager merge engine results continuously as they
+/// arrive, in any order.
+pub trait Mergeable {
+    /// Absorb `other` into `self`.
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError>;
+}
+
+/// Any object a [`crate::Tree`] can hold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AidaObject {
+    /// 1-D histogram.
+    H1(Histogram1D),
+    /// 2-D histogram.
+    H2(Histogram2D),
+    /// Profile histogram.
+    P1(Profile1D),
+    /// 1-D cloud.
+    C1(Cloud1D),
+    /// 2-D cloud.
+    C2(Cloud2D),
+    /// Data point set.
+    Dps(DataPointSet),
+    /// Ntuple.
+    Tup(Tuple),
+}
+
+impl AidaObject {
+    /// Short kind name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AidaObject::H1(_) => "Histogram1D",
+            AidaObject::H2(_) => "Histogram2D",
+            AidaObject::P1(_) => "Profile1D",
+            AidaObject::C1(_) => "Cloud1D",
+            AidaObject::C2(_) => "Cloud2D",
+            AidaObject::Dps(_) => "DataPointSet",
+            AidaObject::Tup(_) => "Tuple",
+        }
+    }
+
+    /// Title of the wrapped object.
+    pub fn title(&self) -> &str {
+        match self {
+            AidaObject::H1(h) => h.title(),
+            AidaObject::H2(h) => h.title(),
+            AidaObject::P1(p) => p.title(),
+            AidaObject::C1(c) => c.title(),
+            AidaObject::C2(c) => c.title(),
+            AidaObject::Dps(d) => d.title(),
+            AidaObject::Tup(t) => t.title(),
+        }
+    }
+
+    /// Total entries / rows / points in the wrapped object.
+    pub fn entries(&self) -> u64 {
+        match self {
+            AidaObject::H1(h) => h.all_entries(),
+            AidaObject::H2(h) => h.all_entries(),
+            AidaObject::P1(p) => p.all_entries(),
+            AidaObject::C1(c) => c.entries(),
+            AidaObject::C2(c) => c.entries(),
+            AidaObject::Dps(d) => d.len() as u64,
+            AidaObject::Tup(t) => t.rows() as u64,
+        }
+    }
+
+    /// Borrow as a 1-D histogram if that is what this is.
+    pub fn as_h1(&self) -> Option<&Histogram1D> {
+        match self {
+            AidaObject::H1(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a 2-D histogram if that is what this is.
+    pub fn as_h2(&self) -> Option<&Histogram2D> {
+        match self {
+            AidaObject::H2(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a profile if that is what this is.
+    pub fn as_p1(&self) -> Option<&Profile1D> {
+        match self {
+            AidaObject::P1(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a tuple if that is what this is.
+    pub fn as_tuple(&self) -> Option<&Tuple> {
+        match self {
+            AidaObject::Tup(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl Mergeable for AidaObject {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        match (self, other) {
+            (AidaObject::H1(a), AidaObject::H1(b)) => a.merge(b),
+            (AidaObject::H2(a), AidaObject::H2(b)) => a.merge(b),
+            (AidaObject::P1(a), AidaObject::P1(b)) => a.merge(b),
+            (AidaObject::C1(a), AidaObject::C1(b)) => a.merge(b),
+            (AidaObject::C2(a), AidaObject::C2(b)) => a.merge(b),
+            (AidaObject::Dps(a), AidaObject::Dps(b)) => a.merge(b),
+            (AidaObject::Tup(a), AidaObject::Tup(b)) => a.merge(b),
+            (me, other) => Err(MergeError::KindMismatch {
+                ours: me.kind(),
+                theirs: other.kind(),
+            }),
+        }
+    }
+}
+
+macro_rules! from_impl {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for AidaObject {
+            fn from(v: $ty) -> Self {
+                AidaObject::$variant(v)
+            }
+        }
+    };
+}
+
+from_impl!(H1, Histogram1D);
+from_impl!(H2, Histogram2D);
+from_impl!(P1, Profile1D);
+from_impl!(C1, Cloud1D);
+from_impl!(C2, Cloud2D);
+from_impl!(Dps, DataPointSet);
+from_impl!(Tup, Tuple);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_and_title() {
+        let o: AidaObject = Histogram1D::new("mass", 10, 0.0, 1.0).into();
+        assert_eq!(o.kind(), "Histogram1D");
+        assert_eq!(o.title(), "mass");
+        assert!(o.as_h1().is_some());
+        assert!(o.as_h2().is_none());
+    }
+
+    #[test]
+    fn same_kind_merges() {
+        let mut a: AidaObject = Histogram1D::new("t", 10, 0.0, 1.0).into();
+        let mut h = Histogram1D::new("t", 10, 0.0, 1.0);
+        h.fill1(0.5);
+        let b: AidaObject = h.into();
+        a.merge(&b).unwrap();
+        assert_eq!(a.entries(), 1);
+    }
+
+    #[test]
+    fn kind_mismatch_is_an_error() {
+        let mut a: AidaObject = Histogram1D::new("t", 10, 0.0, 1.0).into();
+        let b: AidaObject = Profile1D::new("t", 10, 0.0, 1.0).into();
+        let err = a.merge(&b).unwrap_err();
+        assert!(matches!(err, MergeError::KindMismatch { .. }));
+        assert!(err.to_string().contains("Profile1D"));
+    }
+
+    #[test]
+    fn entries_across_kinds() {
+        let mut c = Cloud1D::new("c");
+        c.fill1(1.0);
+        let o: AidaObject = c.into();
+        assert_eq!(o.entries(), 1);
+
+        let mut d = DataPointSet::new("d", 2);
+        d.add_xy(1.0, 2.0, 0.0);
+        let o: AidaObject = d.into();
+        assert_eq!(o.entries(), 1);
+    }
+}

@@ -1,0 +1,328 @@
+//! Histogram arithmetic and peak analysis.
+//!
+//! The operations an analyst applies to merged spectra: rebinning,
+//! normalization, scaled addition (background subtraction), and a
+//! Gaussian peak fit — what turns the Figure-4 mass plot into a measured
+//! resonance mass and width.
+
+use crate::axis::Axis;
+use crate::hist1d::{Bin, Histogram1D};
+use crate::object::MergeError;
+
+/// Merge groups of `k` adjacent bins into one (the last group may cover
+/// fewer source bins when `k` does not divide the bin count). Entries,
+/// heights, and errors are preserved exactly.
+pub fn rebin(h: &Histogram1D, k: usize) -> Histogram1D {
+    let k = k.max(1);
+    let n = h.axis().bins();
+    let groups = n.div_ceil(k);
+    // Build the coarse axis from the source edges so uneven tails keep
+    // exact boundaries.
+    let mut edges = Vec::with_capacity(groups + 1);
+    for g in 0..groups {
+        edges.push(h.axis().bin_lower_edge(g * k));
+    }
+    edges.push(h.axis().upper_edge());
+    let mut out = Histogram1D::with_axis(format!("{} (rebin {k})", h.title()), Axis::variable(edges));
+    for g in 0..groups {
+        let mut acc = Bin::default();
+        for i in (g * k)..((g + 1) * k).min(n) {
+            let b = h.bin(i as i64);
+            acc.entries += b.entries;
+            acc.sum_w += b.sum_w;
+            acc.sum_w2 += b.sum_w2;
+            acc.sum_wx += b.sum_wx;
+            acc.sum_wx2 += b.sum_wx2;
+        }
+        out.set_bin_raw(g, acc);
+    }
+    // Global stats and under/overflow carry over unchanged.
+    out.set_stats_raw(h.stats_snapshot());
+    out.set_flow_raw(h.underflow().clone(), h.overflow().clone());
+    out
+}
+
+/// A copy scaled so the in-range integral (Σ heights) is `target`
+/// (no-op on an empty histogram).
+pub fn normalized(h: &Histogram1D, target: f64) -> Histogram1D {
+    let mut out = h.clone();
+    let integral = h.sum_bin_heights();
+    if integral != 0.0 {
+        out.scale(target / integral);
+    }
+    out
+}
+
+/// `a + c·b` bin by bin (binning must match). With `c = -1` this is the
+/// classic background subtraction.
+pub fn add_scaled(a: &Histogram1D, b: &Histogram1D, c: f64) -> Result<Histogram1D, MergeError> {
+    if !a.axis().compatible(b.axis()) {
+        return Err(MergeError::IncompatibleBinning {
+            what: format!("add_scaled('{}', '{}')", a.title(), b.title()),
+        });
+    }
+    let mut scaled = b.clone();
+    scaled.scale(c);
+    let mut out = a.clone();
+    use crate::object::Mergeable;
+    out.merge(&scaled)?;
+    Ok(out)
+}
+
+/// Result of [`fit_gaussian`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianFit {
+    /// Peak amplitude (height at the mean, in content units).
+    pub amplitude: f64,
+    /// Fitted mean.
+    pub mean: f64,
+    /// Fitted standard deviation.
+    pub sigma: f64,
+    /// Bins used in the fit.
+    pub bins_used: usize,
+}
+
+/// Fit a Gaussian to the histogram's peak region by the log-parabola
+/// method: for Gaussian counts, `ln y` is a parabola in `x`, so a
+/// weighted least-squares parabola through `(bin center, ln height)`
+/// gives closed-form `(A, μ, σ)`. `window` selects bins within
+/// `window · rms` of the tallest bin; bins with non-positive content are
+/// skipped. Returns `None` when fewer than three usable bins exist or the
+/// curvature has the wrong sign (no peak).
+pub fn fit_gaussian(h: &Histogram1D, window: f64) -> Option<GaussianFit> {
+    fit_gaussian_in(h, h.axis().lower_edge(), h.axis().upper_edge(), window)
+}
+
+/// Like [`fit_gaussian`], but the peak is searched only inside
+/// `[search_lo, search_hi]` — the standard move when a combinatorial
+/// background dominates elsewhere in the spectrum (e.g. looking for the
+/// Higgs above the low-mass continuum).
+pub fn fit_gaussian_in(
+    h: &Histogram1D,
+    search_lo: f64,
+    search_hi: f64,
+    window: f64,
+) -> Option<GaussianFit> {
+    let n = h.axis().bins();
+    // Find the tallest bin inside the search range.
+    let (mut peak_bin, mut peak_h) = (0usize, 0.0f64);
+    for i in 0..n {
+        let c = h.axis().bin_center(i);
+        if c < search_lo || c > search_hi {
+            continue;
+        }
+        if h.bin_height(i) > peak_h {
+            peak_h = h.bin_height(i);
+            peak_bin = i;
+        }
+    }
+    if peak_h <= 0.0 {
+        return None;
+    }
+    let center = h.axis().bin_center(peak_bin);
+    // Half-width of the fit window: prefer a local estimate from bins
+    // around the peak rather than the global rms (background pulls it).
+    let mut half_width = 0.0;
+    for i in peak_bin..n {
+        if h.bin_height(i) < peak_h / 2.0 {
+            half_width = h.axis().bin_center(i) - center;
+            break;
+        }
+    }
+    if half_width <= 0.0 {
+        half_width = h.axis().bin_width(peak_bin) * 2.0;
+    }
+    let span = window.max(0.5) * half_width;
+
+    // Weighted parabola fit on (x, ln y): weights y (≈ 1/var of ln y for
+    // Poisson counts).
+    let (mut s0, mut s1, mut s2, mut s3, mut s4) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    let (mut t0, mut t1, mut t2) = (0.0, 0.0, 0.0);
+    let mut bins_used = 0usize;
+    for i in 0..n {
+        let x = h.axis().bin_center(i) - center; // shift for conditioning
+        if x.abs() > span {
+            continue;
+        }
+        let y = h.bin_height(i);
+        if y <= 0.0 {
+            continue;
+        }
+        let w = y;
+        let ly = y.ln();
+        s0 += w;
+        s1 += w * x;
+        s2 += w * x * x;
+        s3 += w * x * x * x;
+        s4 += w * x * x * x * x;
+        t0 += w * ly;
+        t1 += w * x * ly;
+        t2 += w * x * x * ly;
+        bins_used += 1;
+    }
+    if bins_used < 3 {
+        return None;
+    }
+    // Solve the 3×3 normal equations for ly = a + b·x + c·x².
+    let m = [[s0, s1, s2], [s1, s2, s3], [s2, s3, s4]];
+    let rhs = [t0, t1, t2];
+    let det = det3(&m);
+    if det.abs() < 1e-12 {
+        return None;
+    }
+    let a = det3(&replace_col(&m, 0, &rhs)) / det;
+    let b = det3(&replace_col(&m, 1, &rhs)) / det;
+    let c = det3(&replace_col(&m, 2, &rhs)) / det;
+    if c >= 0.0 {
+        return None; // opens upward: not a peak
+    }
+    let sigma = (-1.0 / (2.0 * c)).sqrt();
+    let mu = -b / (2.0 * c) + center;
+    let amplitude = (a - b * b / (4.0 * c)).exp();
+    // Sanity: a "peak" wider than the axis or centred outside it is just
+    // numerical noise on a flat / featureless spectrum.
+    let span_axis = h.axis().upper_edge() - h.axis().lower_edge();
+    if !sigma.is_finite() || sigma > span_axis || mu < h.axis().lower_edge() || mu > h.axis().upper_edge()
+    {
+        return None;
+    }
+    Some(GaussianFit {
+        amplitude,
+        mean: mu,
+        sigma,
+        bins_used,
+    })
+}
+
+fn det3(m: &[[f64; 3]; 3]) -> f64 {
+    m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+        - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+        + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+}
+
+fn replace_col(m: &[[f64; 3]; 3], col: usize, v: &[f64; 3]) -> [[f64; 3]; 3] {
+    let mut out = *m;
+    for r in 0..3 {
+        out[r][col] = v[r];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_hist(mean: f64, sigma: f64, entries: usize) -> Histogram1D {
+        // Deterministic quasi-random Gaussian fills via the inverse-erf-free
+        // Box–Muller with a fixed LCG.
+        let mut h = Histogram1D::new("g", 120, mean - 6.0 * sigma, mean + 6.0 * sigma);
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        for _ in 0..entries {
+            let (u1, u2): (f64, f64) = (next().max(1e-12), next());
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            h.fill1(mean + sigma * z);
+        }
+        h
+    }
+
+    #[test]
+    fn rebin_preserves_totals() {
+        let h = gaussian_hist(50.0, 5.0, 20_000);
+        for k in [1, 2, 3, 7, 120, 500] {
+            let r = rebin(&h, k);
+            assert_eq!(r.entries(), h.entries(), "k={k}");
+            assert!((r.sum_bin_heights() - h.sum_bin_heights()).abs() < 1e-9, "k={k}");
+            assert!((r.mean() - h.mean()).abs() < 1e-9);
+        }
+        let r = rebin(&h, 2);
+        assert_eq!(r.axis().bins(), 60);
+        // Uneven division: 120 bins / 7 = 18 groups (17×7 + 1×1).
+        let r = rebin(&h, 7);
+        assert_eq!(r.axis().bins(), 18);
+        assert!((r.axis().upper_edge() - h.axis().upper_edge()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_integral() {
+        let h = gaussian_hist(0.0, 1.0, 5_000);
+        let n = normalized(&h, 1.0);
+        assert!((n.sum_bin_heights() - 1.0).abs() < 1e-9);
+        // Empty histogram stays empty without NaNs.
+        let e = Histogram1D::new("e", 10, 0.0, 1.0);
+        let ne = normalized(&e, 1.0);
+        assert_eq!(ne.sum_bin_heights(), 0.0);
+    }
+
+    #[test]
+    fn add_scaled_subtracts_background() {
+        let mut sig = Histogram1D::new("s", 10, 0.0, 10.0);
+        let mut bkg = sig.clone_empty();
+        for i in 0..10 {
+            let x = i as f64 + 0.5;
+            // Signal region is bins 4-5 on a flat background of 50.
+            for _ in 0..50 {
+                sig.fill1(x);
+                bkg.fill1(x);
+            }
+        }
+        for _ in 0..100 {
+            sig.fill1(4.5);
+        }
+        let sub = add_scaled(&sig, &bkg, -1.0).unwrap();
+        assert!((sub.bin_height(4) - 100.0).abs() < 1e-9);
+        assert!((sub.bin_height(0)).abs() < 1e-9);
+        // Mismatched binning errors.
+        let other = Histogram1D::new("o", 11, 0.0, 10.0);
+        assert!(add_scaled(&sig, &other, -1.0).is_err());
+    }
+
+    #[test]
+    fn gaussian_fit_recovers_parameters() {
+        let h = gaussian_hist(120.0, 4.0, 100_000);
+        let fit = fit_gaussian(&h, 1.5).expect("fit converges");
+        assert!((fit.mean - 120.0).abs() < 0.2, "mean {}", fit.mean);
+        assert!((fit.sigma - 4.0).abs() < 0.4, "sigma {}", fit.sigma);
+        assert!(fit.bins_used >= 3);
+        // Amplitude ≈ N · binwidth / (σ√2π).
+        let expect_amp = 100_000.0 * h.axis().bin_width(0) / (4.0 * (std::f64::consts::TAU).sqrt());
+        assert!(
+            (fit.amplitude - expect_amp).abs() < 0.15 * expect_amp,
+            "amp {} vs {}",
+            fit.amplitude,
+            expect_amp
+        );
+    }
+
+    #[test]
+    fn gaussian_fit_rejects_empty_and_flat() {
+        let e = Histogram1D::new("e", 50, 0.0, 1.0);
+        assert!(fit_gaussian(&e, 2.0).is_none());
+        let mut flat = Histogram1D::new("f", 50, 0.0, 50.0);
+        for i in 0..50 {
+            for _ in 0..10 {
+                flat.fill1(i as f64 + 0.5);
+            }
+        }
+        // A perfectly flat spectrum has no downward curvature.
+        assert!(fit_gaussian(&flat, 50.0).is_none());
+    }
+
+    #[test]
+    fn gaussian_fit_on_peak_over_background() {
+        // Peak + flat background: fitted mean still lands on the peak.
+        let mut h = gaussian_hist(80.0, 3.0, 50_000);
+        let (lo, hi) = (h.axis().lower_edge(), h.axis().upper_edge());
+        let mut state = 12345u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = ((state >> 11) as f64) / ((1u64 << 53) as f64);
+            h.fill1(lo + u * (hi - lo));
+        }
+        let fit = fit_gaussian(&h, 1.0).expect("fit");
+        assert!((fit.mean - 80.0).abs() < 0.5, "mean {}", fit.mean);
+    }
+}

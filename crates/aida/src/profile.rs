@@ -1,0 +1,240 @@
+//! One-dimensional profile histogram (AIDA `IProfile1D`).
+//!
+//! A profile stores, per x bin, the weighted statistics of the y values
+//! filled into it — the standard tool for "mean y vs x" plots (e.g. mean
+//! calorimeter response vs energy).
+
+use serde::{Deserialize, Serialize};
+
+use crate::annotation::Annotation;
+use crate::axis::{Axis, BinIndex, OVERFLOW, UNDERFLOW};
+use crate::object::{MergeError, Mergeable};
+use crate::stats::WeightedStats;
+
+/// A profile histogram: per-bin [`WeightedStats`] of y over an x [`Axis`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile1D {
+    title: String,
+    axis: Axis,
+    bins: Vec<WeightedStats>,
+    underflow: WeightedStats,
+    overflow: WeightedStats,
+    /// Key/value annotations.
+    pub annotation: Annotation,
+}
+
+impl Profile1D {
+    /// Fixed-width profile with `nbins` x bins on `[lo, hi)`.
+    pub fn new(title: impl Into<String>, nbins: usize, lo: f64, hi: f64) -> Self {
+        Self::with_axis(title, Axis::fixed(nbins, lo, hi))
+    }
+
+    /// Profile over an arbitrary x axis.
+    pub fn with_axis(title: impl Into<String>, axis: Axis) -> Self {
+        let n = axis.bins();
+        Profile1D {
+            title: title.into(),
+            axis,
+            bins: vec![WeightedStats::new(); n],
+            underflow: WeightedStats::new(),
+            overflow: WeightedStats::new(),
+            annotation: Annotation::new(),
+        }
+    }
+
+    /// Empty clone with identical axis/title/annotations.
+    pub fn clone_empty(&self) -> Self {
+        let mut p = Profile1D::with_axis(self.title.clone(), self.axis.clone());
+        p.annotation = self.annotation.clone();
+        p
+    }
+
+    /// Profile title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The x axis.
+    pub fn axis(&self) -> &Axis {
+        &self.axis
+    }
+
+    /// Fill `(x, y)` with weight `w`.
+    pub fn fill(&mut self, x: f64, y: f64, w: f64) {
+        match self.axis.coord_to_index(x) {
+            UNDERFLOW => self.underflow.fill(y, w),
+            OVERFLOW => self.overflow.fill(y, w),
+            i => self.bins[i as usize].fill(y, w),
+        }
+    }
+
+    /// Fill with unit weight.
+    pub fn fill1(&mut self, x: f64, y: f64) {
+        self.fill(x, y, 1.0);
+    }
+
+    /// The y statistics of in-range bin `i`, or of the under/overflow
+    /// sentinels.
+    pub fn bin(&self, index: BinIndex) -> &WeightedStats {
+        match index {
+            UNDERFLOW => &self.underflow,
+            OVERFLOW => &self.overflow,
+            i => &self.bins[i as usize],
+        }
+    }
+
+    /// Mean y in bin `i` (AIDA `binHeight`), NaN when the bin is empty.
+    pub fn bin_mean(&self, i: usize) -> f64 {
+        self.bins[i].mean()
+    }
+
+    /// RMS of y in bin `i` (AIDA `binRms`).
+    pub fn bin_rms(&self, i: usize) -> f64 {
+        self.bins[i].rms()
+    }
+
+    /// Standard error on the bin mean: rms/√Neff, NaN when empty.
+    pub fn bin_error(&self, i: usize) -> f64 {
+        let neff = self.bins[i].effective_entries();
+        if neff == 0.0 {
+            f64::NAN
+        } else {
+            self.bins[i].rms() / neff.sqrt()
+        }
+    }
+
+    /// Entries in in-range bin `i`.
+    pub fn bin_entries(&self, i: usize) -> u64 {
+        self.bins[i].entries
+    }
+
+    /// Total in-range entries.
+    pub fn entries(&self) -> u64 {
+        self.bins.iter().map(|b| b.entries).sum()
+    }
+
+    /// All entries including under/overflow.
+    pub fn all_entries(&self) -> u64 {
+        self.entries() + self.underflow.entries + self.overflow.entries
+    }
+
+    /// Clear all contents.
+    pub fn reset(&mut self) {
+        for b in &mut self.bins {
+            b.reset();
+        }
+        self.underflow.reset();
+        self.overflow.reset();
+    }
+
+    /// Iterate `(bin_center, &WeightedStats)` over in-range bins.
+    pub fn iter_bins(&self) -> impl Iterator<Item = (f64, &WeightedStats)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (self.axis.bin_center(i), b))
+    }
+}
+
+impl Mergeable for Profile1D {
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if !self.axis.compatible(&other.axis) {
+            return Err(MergeError::IncompatibleBinning {
+                what: format!("profile1d '{}'", self.title),
+            });
+        }
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            a.merge(b);
+        }
+        self.underflow.merge(&other.underflow);
+        self.overflow.merge(&other.overflow);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-10 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn bin_mean_tracks_y() {
+        let mut p = Profile1D::new("resp", 10, 0.0, 10.0);
+        p.fill1(2.5, 4.0);
+        p.fill1(2.7, 6.0);
+        assert!(approx(p.bin_mean(2), 5.0));
+        assert!(approx(p.bin_rms(2), 1.0));
+        assert_eq!(p.bin_entries(2), 2);
+    }
+
+    #[test]
+    fn under_overflow_in_x() {
+        let mut p = Profile1D::new("t", 2, 0.0, 1.0);
+        p.fill1(-1.0, 7.0);
+        p.fill1(9.0, 3.0);
+        assert_eq!(p.entries(), 0);
+        assert_eq!(p.all_entries(), 2);
+        assert!(approx(p.bin(UNDERFLOW).mean(), 7.0));
+        assert!(approx(p.bin(OVERFLOW).mean(), 3.0));
+    }
+
+    #[test]
+    fn bin_error_shrinks_with_entries() {
+        let mut p = Profile1D::new("t", 1, 0.0, 1.0);
+        for i in 0..100 {
+            p.fill1(0.5, if i % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        // rms = 1, Neff = 100 → error = 0.1
+        assert!(approx(p.bin_error(0), 0.1));
+    }
+
+    #[test]
+    fn empty_bin_mean_is_nan() {
+        let p = Profile1D::new("t", 3, 0.0, 3.0);
+        assert!(p.bin_mean(1).is_nan());
+        assert!(p.bin_error(1).is_nan());
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let mut whole = Profile1D::new("t", 5, 0.0, 5.0);
+        let mut a = whole.clone_empty();
+        let mut b = whole.clone_empty();
+        for i in 0..300 {
+            let x = ((i * 7) % 50) as f64 / 10.0;
+            let y = (i % 11) as f64 - 5.0;
+            whole.fill1(x, y);
+            if i % 2 == 0 {
+                a.fill1(x, y)
+            } else {
+                b.fill1(x, y)
+            }
+        }
+        a.merge(&b).unwrap();
+        for i in 0..5 {
+            if whole.bin_entries(i) > 0 {
+                assert!(approx(a.bin_mean(i), whole.bin_mean(i)));
+                assert!(approx(a.bin_rms(i), whole.bin_rms(i)));
+            }
+            assert_eq!(a.bin_entries(i), whole.bin_entries(i));
+        }
+    }
+
+    #[test]
+    fn merge_rejects_incompatible() {
+        let mut a = Profile1D::new("t", 5, 0.0, 5.0);
+        let b = Profile1D::new("t", 6, 0.0, 5.0);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut p = Profile1D::new("t", 2, 0.0, 2.0);
+        p.fill1(0.5, 1.0);
+        p.reset();
+        assert_eq!(p.all_entries(), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Terminal rendering of histograms and profiles.
+//!
+//! Produces a fixed-width textual plot suitable for a live-updating client
+//! panel: horizontal bars for 1-D histograms, a character-ramp heat map for
+//! 2-D histograms.
+
+use crate::hist1d::Histogram1D;
+use crate::hist2d::Histogram2D;
+use crate::profile::Profile1D;
+
+/// Rendering options for ASCII output.
+#[derive(Debug, Clone)]
+pub struct AsciiOptions {
+    /// Width of the bar area in characters.
+    pub width: usize,
+    /// Character used for bars.
+    pub bar_char: char,
+    /// Include the statistics footer (entries / mean / rms).
+    pub stats_footer: bool,
+}
+
+impl Default for AsciiOptions {
+    fn default() -> Self {
+        AsciiOptions {
+            width: 60,
+            bar_char: '█',
+            stats_footer: true,
+        }
+    }
+}
+
+/// Character ramp for 2-D heat maps, from empty to full.
+const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Render a 1-D histogram as horizontal bars, one line per bin.
+pub fn render_h1_ascii(h: &Histogram1D, opts: &AsciiOptions) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", h.title()));
+    let max = h.max_bin_height();
+    let axis = h.axis();
+    for i in 0..axis.bins() {
+        let height = h.bin_height(i);
+        let bar_len = if max > 0.0 {
+            ((height / max) * opts.width as f64).round() as usize
+        } else {
+            0
+        };
+        let bar: String = std::iter::repeat_n(opts.bar_char, bar_len).collect();
+        out.push_str(&format!(
+            "{:>10.3} |{:<width$}| {:.6}\n",
+            axis.bin_lower_edge(i),
+            bar,
+            height,
+            width = opts.width
+        ));
+    }
+    if opts.stats_footer {
+        out.push_str(&format!(
+            "entries={} (uflow={} oflow={}) mean={:.4} rms={:.4}\n",
+            h.entries(),
+            h.underflow().entries,
+            h.overflow().entries,
+            h.mean(),
+            h.rms()
+        ));
+    }
+    out
+}
+
+/// Render a 2-D histogram as a character-ramp heat map (y increases upward).
+pub fn render_h2_ascii(h: &Histogram2D, _opts: &AsciiOptions) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", h.title()));
+    let max = h.max_bin_height();
+    let nx = h.x_axis().bins();
+    let ny = h.y_axis().bins();
+    for iy in (0..ny).rev() {
+        out.push_str(&format!("{:>8.2} |", h.y_axis().bin_lower_edge(iy)));
+        for ix in 0..nx {
+            let v = h.bin_height(ix, iy);
+            let c = if max > 0.0 {
+                let level = ((v / max) * (RAMP.len() - 1) as f64).round() as usize;
+                RAMP[level.min(RAMP.len() - 1)]
+            } else {
+                RAMP[0]
+            };
+            out.push(c);
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "x: [{:.2}, {:.2})  y: [{:.2}, {:.2})  entries={}\n",
+        h.x_axis().lower_edge(),
+        h.x_axis().upper_edge(),
+        h.y_axis().lower_edge(),
+        h.y_axis().upper_edge(),
+        h.entries()
+    ));
+    out
+}
+
+/// Render a profile as `mean ± error` markers, one line per bin.
+pub fn render_profile_ascii(p: &Profile1D, opts: &AsciiOptions) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", p.title()));
+    // Find y range over non-empty bins.
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for i in 0..p.axis().bins() {
+        if p.bin_entries(i) > 0 {
+            let m = p.bin_mean(i);
+            lo = lo.min(m);
+            hi = hi.max(m);
+        }
+    }
+    if !lo.is_finite() {
+        lo = 0.0;
+        hi = 1.0;
+    }
+    if lo == hi {
+        lo -= 0.5;
+        hi += 0.5;
+    }
+    for i in 0..p.axis().bins() {
+        let label = format!("{:>10.3} |", p.axis().bin_lower_edge(i));
+        out.push_str(&label);
+        if p.bin_entries(i) == 0 {
+            out.push_str(&" ".repeat(opts.width));
+            out.push_str("|\n");
+            continue;
+        }
+        let m = p.bin_mean(i);
+        let pos = (((m - lo) / (hi - lo)) * (opts.width - 1) as f64).round() as usize;
+        let mut line: Vec<char> = vec![' '; opts.width];
+        line[pos.min(opts.width - 1)] = 'o';
+        out.extend(line);
+        out.push_str(&format!("| {m:.4}\n"));
+    }
+    if opts.stats_footer {
+        out.push_str(&format!("entries={}\n", p.entries()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h1_render_contains_bars_and_stats() {
+        let mut h = Histogram1D::new("mass", 4, 0.0, 4.0);
+        for _ in 0..10 {
+            h.fill1(1.5);
+        }
+        h.fill1(2.5);
+        let s = render_h1_ascii(&h, &AsciiOptions::default());
+        assert!(s.starts_with("mass\n"));
+        assert!(s.contains('█'));
+        assert!(s.contains("entries=11"));
+        assert_eq!(s.lines().count(), 1 + 4 + 1); // title + bins + footer
+    }
+
+    #[test]
+    fn h1_empty_histogram_renders_without_panicking() {
+        let h = Histogram1D::new("empty", 3, 0.0, 1.0);
+        let s = render_h1_ascii(&h, &AsciiOptions::default());
+        assert!(s.contains("entries=0"));
+    }
+
+    #[test]
+    fn h2_heatmap_has_one_row_per_y_bin() {
+        let mut h = Histogram2D::new("xy", 5, 0.0, 5.0, 3, 0.0, 3.0);
+        h.fill1(2.5, 1.5);
+        let s = render_h2_ascii(&h, &AsciiOptions::default());
+        assert_eq!(s.lines().count(), 1 + 3 + 1);
+        assert!(s.contains('@')); // the single filled cell is at max level
+    }
+
+    #[test]
+    fn profile_marks_bin_means() {
+        let mut p = Profile1D::new("prof", 2, 0.0, 2.0);
+        p.fill1(0.5, 1.0);
+        p.fill1(1.5, 3.0);
+        let s = render_profile_ascii(&p, &AsciiOptions::default());
+        assert!(s.contains('o'));
+        assert!(s.contains("entries=2"));
+    }
+
+    #[test]
+    fn custom_width_is_respected() {
+        let mut h = Histogram1D::new("t", 1, 0.0, 1.0);
+        h.fill1(0.5);
+        let opts = AsciiOptions {
+            width: 10,
+            ..AsciiOptions::default()
+        };
+        let s = render_h1_ascii(&h, &opts);
+        let bar_line = s.lines().nth(1).unwrap();
+        // bar area is exactly 10 chars between the pipes
+        let between = bar_line.split('|').nth(1).unwrap();
+        assert_eq!(between.chars().count(), 10);
+    }
+}

@@ -1,0 +1,13 @@
+//! Rendering of analysis objects.
+//!
+//! The paper's client (JAS3) renders merged histograms in a Swing GUI
+//! (Figure 4). Headless equivalents here:
+//!
+//! * [`ascii`] — terminal rendering for the interactive client's live view,
+//! * [`svg`] — vector output for "professional-quality visualizations".
+
+pub mod ascii;
+pub mod svg;
+
+pub use ascii::{render_h1_ascii, render_h2_ascii, render_profile_ascii, AsciiOptions};
+pub use svg::{render_h1_svg, render_h2_svg, render_series_svg, Series, SvgOptions};

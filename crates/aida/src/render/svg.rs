@@ -1,0 +1,347 @@
+//! SVG rendering of histograms and series.
+//!
+//! Self-contained SVG output (no external renderer) for the client's
+//! "professional-quality visualizations" and for the experiment harness's
+//! Figure-5 style plots.
+
+use crate::hist1d::Histogram1D;
+use crate::hist2d::Histogram2D;
+
+/// Options for SVG output.
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Total image width in pixels.
+    pub width: u32,
+    /// Total image height in pixels.
+    pub height: u32,
+    /// Margin around the plot area in pixels.
+    pub margin: u32,
+    /// Bar/line colour (CSS).
+    pub color: String,
+    /// Draw per-bin error bars on 1-D histograms.
+    pub error_bars: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 640,
+            height: 420,
+            margin: 50,
+            color: "#3572b0".to_string(),
+            error_bars: true,
+        }
+    }
+}
+
+/// One polyline series for [`render_series_svg`].
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// CSS colour.
+    pub color: String,
+    /// `(x, y)` points; rendered in the given order.
+    pub points: Vec<(f64, f64)>,
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+struct Frame {
+    w: f64,
+    h: f64,
+    m: f64,
+    xlo: f64,
+    xhi: f64,
+    ylo: f64,
+    yhi: f64,
+}
+
+impl Frame {
+    fn px(&self, x: f64) -> f64 {
+        self.m + (x - self.xlo) / (self.xhi - self.xlo) * (self.w - 2.0 * self.m)
+    }
+
+    fn py(&self, y: f64) -> f64 {
+        self.h - self.m - (y - self.ylo) / (self.yhi - self.ylo) * (self.h - 2.0 * self.m)
+    }
+
+    fn axes(&self, title: &str, out: &mut String) {
+        out.push_str(&format!(
+            "<rect x='{:.1}' y='{:.1}' width='{:.1}' height='{:.1}' fill='none' stroke='#444'/>\n",
+            self.m,
+            self.m,
+            self.w - 2.0 * self.m,
+            self.h - 2.0 * self.m
+        ));
+        out.push_str(&format!(
+            "<text x='{:.1}' y='{:.1}' font-family='sans-serif' font-size='14' text-anchor='middle'>{}</text>\n",
+            self.w / 2.0,
+            self.m - 12.0,
+            esc(title)
+        ));
+        // Min/max tick labels on each axis.
+        out.push_str(&format!(
+            "<text x='{:.1}' y='{:.1}' font-family='sans-serif' font-size='11'>{:.3}</text>\n",
+            self.m,
+            self.h - self.m + 16.0,
+            self.xlo
+        ));
+        out.push_str(&format!(
+            "<text x='{:.1}' y='{:.1}' font-family='sans-serif' font-size='11' text-anchor='end'>{:.3}</text>\n",
+            self.w - self.m,
+            self.h - self.m + 16.0,
+            self.xhi
+        ));
+        out.push_str(&format!(
+            "<text x='{:.1}' y='{:.1}' font-family='sans-serif' font-size='11' text-anchor='end'>{:.3}</text>\n",
+            self.m - 4.0,
+            self.h - self.m,
+            self.ylo
+        ));
+        out.push_str(&format!(
+            "<text x='{:.1}' y='{:.1}' font-family='sans-serif' font-size='11' text-anchor='end'>{:.3}</text>\n",
+            self.m - 4.0,
+            self.m + 10.0,
+            self.yhi
+        ));
+    }
+}
+
+fn svg_open(w: u32, h: u32) -> String {
+    format!(
+        "<svg xmlns='http://www.w3.org/2000/svg' width='{w}' height='{h}' viewBox='0 0 {w} {h}'>\n<rect width='{w}' height='{h}' fill='white'/>\n"
+    )
+}
+
+/// Render a 1-D histogram as an SVG bar chart.
+pub fn render_h1_svg(h: &Histogram1D, opts: &SvgOptions) -> String {
+    let mut out = svg_open(opts.width, opts.height);
+    let max = h.max_bin_height().max(1e-300);
+    let f = Frame {
+        w: opts.width as f64,
+        h: opts.height as f64,
+        m: opts.margin as f64,
+        xlo: h.axis().lower_edge(),
+        xhi: h.axis().upper_edge(),
+        ylo: 0.0,
+        yhi: max * 1.05,
+    };
+    f.axes(h.title(), &mut out);
+    for i in 0..h.axis().bins() {
+        let v = h.bin_height(i);
+        if v == 0.0 {
+            continue;
+        }
+        let x0 = f.px(h.axis().bin_lower_edge(i));
+        let x1 = f.px(h.axis().bin_upper_edge(i));
+        let y = f.py(v);
+        out.push_str(&format!(
+            "<rect x='{:.2}' y='{:.2}' width='{:.2}' height='{:.2}' fill='{}' fill-opacity='0.75'/>\n",
+            x0,
+            y,
+            (x1 - x0).max(0.5),
+            f.py(0.0) - y,
+            opts.color
+        ));
+        if opts.error_bars {
+            let e = h.bin_error(i);
+            if e > 0.0 {
+                let xm = 0.5 * (x0 + x1);
+                out.push_str(&format!(
+                    "<line x1='{:.2}' y1='{:.2}' x2='{:.2}' y2='{:.2}' stroke='#222' stroke-width='1'/>\n",
+                    xm,
+                    f.py((v - e).max(0.0)),
+                    xm,
+                    f.py((v + e).min(f.yhi))
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "<text x='{:.1}' y='{:.1}' font-family='sans-serif' font-size='11'>entries={} mean={:.4} rms={:.4}</text>\n",
+        f.m,
+        f.h - 8.0,
+        h.entries(),
+        h.mean(),
+        h.rms()
+    ));
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Render a 2-D histogram as an SVG heat map (blue→red colour scale).
+pub fn render_h2_svg(h: &Histogram2D, opts: &SvgOptions) -> String {
+    let mut out = svg_open(opts.width, opts.height);
+    let max = h.max_bin_height().max(1e-300);
+    let f = Frame {
+        w: opts.width as f64,
+        h: opts.height as f64,
+        m: opts.margin as f64,
+        xlo: h.x_axis().lower_edge(),
+        xhi: h.x_axis().upper_edge(),
+        ylo: h.y_axis().lower_edge(),
+        yhi: h.y_axis().upper_edge(),
+    };
+    f.axes(h.title(), &mut out);
+    for iy in 0..h.y_axis().bins() {
+        for ix in 0..h.x_axis().bins() {
+            let v = h.bin_height(ix, iy);
+            if v == 0.0 {
+                continue;
+            }
+            let t = (v / max).clamp(0.0, 1.0);
+            let r = (t * 255.0) as u8;
+            let b = ((1.0 - t) * 255.0) as u8;
+            let x0 = f.px(h.x_axis().bin_lower_edge(ix));
+            let x1 = f.px(h.x_axis().bin_upper_edge(ix));
+            let y0 = f.py(h.y_axis().bin_upper_edge(iy));
+            let y1 = f.py(h.y_axis().bin_lower_edge(iy));
+            out.push_str(&format!(
+                "<rect x='{:.2}' y='{:.2}' width='{:.2}' height='{:.2}' fill='rgb({},40,{})'/>\n",
+                x0,
+                y0,
+                (x1 - x0).max(0.5),
+                (y1 - y0).max(0.5),
+                r,
+                b
+            ));
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Render one or more `(x, y)` series as SVG polylines with a legend.
+/// Used for the paper's Figure-5 style time-vs-parameter plots.
+pub fn render_series_svg(title: &str, series: &[Series], opts: &SvgOptions) -> String {
+    let mut out = svg_open(opts.width, opts.height);
+    let (mut xlo, mut xhi, mut ylo, mut yhi) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
+    for s in series {
+        for &(x, y) in &s.points {
+            xlo = xlo.min(x);
+            xhi = xhi.max(x);
+            ylo = ylo.min(y);
+            yhi = yhi.max(y);
+        }
+    }
+    if !xlo.is_finite() {
+        xlo = 0.0;
+        xhi = 1.0;
+        ylo = 0.0;
+        yhi = 1.0;
+    }
+    if xlo == xhi {
+        xhi = xlo + 1.0;
+    }
+    if ylo == yhi {
+        yhi = ylo + 1.0;
+    }
+    let f = Frame {
+        w: opts.width as f64,
+        h: opts.height as f64,
+        m: opts.margin as f64,
+        xlo,
+        xhi,
+        ylo: 0.0f64.min(ylo),
+        yhi: yhi * 1.05,
+    };
+    f.axes(title, &mut out);
+    for (si, s) in series.iter().enumerate() {
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.2},{:.2}", f.px(x), f.py(y)))
+            .collect();
+        out.push_str(&format!(
+            "<polyline points='{}' fill='none' stroke='{}' stroke-width='2'/>\n",
+            pts.join(" "),
+            s.color
+        ));
+        // Legend entry.
+        let ly = f.m + 16.0 * (si as f64 + 1.0);
+        out.push_str(&format!(
+            "<line x1='{:.1}' y1='{:.1}' x2='{:.1}' y2='{:.1}' stroke='{}' stroke-width='2'/>\n",
+            f.w - f.m - 120.0,
+            ly,
+            f.w - f.m - 95.0,
+            ly,
+            s.color
+        ));
+        out.push_str(&format!(
+            "<text x='{:.1}' y='{:.1}' font-family='sans-serif' font-size='11'>{}</text>\n",
+            f.w - f.m - 90.0,
+            ly + 4.0,
+            esc(&s.label)
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h1_svg_is_well_formed() {
+        let mut h = Histogram1D::new("mass <check&escape>", 10, 0.0, 10.0);
+        h.fill1(5.0);
+        let s = render_h1_svg(&h, &SvgOptions::default());
+        assert!(s.starts_with("<svg"));
+        assert!(s.ends_with("</svg>\n"));
+        assert!(s.contains("&lt;check&amp;escape&gt;"));
+        assert!(s.contains("<rect"));
+        assert_eq!(s.matches("<svg").count(), 1);
+    }
+
+    #[test]
+    fn h1_svg_empty_histogram_no_bars() {
+        let h = Histogram1D::new("e", 5, 0.0, 1.0);
+        let s = render_h1_svg(&h, &SvgOptions::default());
+        // Only background + frame rects, no bar rects with fill-opacity.
+        assert!(!s.contains("fill-opacity"));
+    }
+
+    #[test]
+    fn h2_svg_renders_cells() {
+        let mut h = Histogram2D::new("xy", 4, 0.0, 4.0, 4, 0.0, 4.0);
+        h.fill1(1.5, 2.5);
+        h.fill(3.5, 0.5, 0.5);
+        let s = render_h2_svg(&h, &SvgOptions::default());
+        assert!(s.contains("rgb(255,40,0)")); // max cell fully red
+    }
+
+    #[test]
+    fn series_svg_has_polyline_per_series() {
+        let series = vec![
+            Series {
+                label: "local".into(),
+                color: "#c90".into(),
+                points: vec![(1.0, 11.5), (100.0, 1150.0)],
+            },
+            Series {
+                label: "grid".into(),
+                color: "#36b".into(),
+                points: vec![(1.0, 60.0), (100.0, 90.0)],
+            },
+        ];
+        let s = render_series_svg("figure 5", &series, &SvgOptions::default());
+        assert_eq!(s.matches("<polyline").count(), 2);
+        assert!(s.contains("local"));
+        assert!(s.contains("grid"));
+    }
+
+    #[test]
+    fn series_svg_empty_input_is_safe() {
+        let s = render_series_svg("empty", &[], &SvgOptions::default());
+        assert!(s.contains("</svg>"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Weighted running statistics.
+//!
+//! The moment accumulator shared by histograms, profiles, and clouds. It
+//! stores raw sums (Σw, Σwx, Σwx², …) rather than derived quantities so that
+//! merging partial results from different analysis engines is *exact* — the
+//! property the IPA result-merge plane depends on.
+
+use serde::{Deserialize, Serialize};
+
+/// Running weighted statistics for a one-dimensional quantity.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WeightedStats {
+    /// Number of `fill` calls (unweighted entry count).
+    pub entries: u64,
+    /// Σw
+    pub sum_w: f64,
+    /// Σw²
+    pub sum_w2: f64,
+    /// Σw·x
+    pub sum_wx: f64,
+    /// Σw·x²
+    pub sum_wx2: f64,
+    /// Smallest x seen (NaN when empty).
+    pub min: f64,
+    /// Largest x seen (NaN when empty).
+    pub max: f64,
+}
+
+impl WeightedStats {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        WeightedStats {
+            entries: 0,
+            sum_w: 0.0,
+            sum_w2: 0.0,
+            sum_wx: 0.0,
+            sum_wx2: 0.0,
+            min: f64::NAN,
+            max: f64::NAN,
+        }
+    }
+
+    /// Accumulate one observation `x` with weight `w`.
+    pub fn fill(&mut self, x: f64, w: f64) {
+        self.entries += 1;
+        self.sum_w += w;
+        self.sum_w2 += w * w;
+        self.sum_wx += w * x;
+        self.sum_wx2 += w * x * x;
+        if self.min.is_nan() || x < self.min {
+            self.min = x;
+        }
+        if self.max.is_nan() || x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Weighted mean, or NaN when no weight has been accumulated.
+    pub fn mean(&self) -> f64 {
+        if self.sum_w == 0.0 {
+            f64::NAN
+        } else {
+            self.sum_wx / self.sum_w
+        }
+    }
+
+    /// Weighted RMS (population standard deviation), or NaN when empty.
+    pub fn rms(&self) -> f64 {
+        if self.sum_w == 0.0 {
+            return f64::NAN;
+        }
+        let m = self.mean();
+        // Guard against tiny negative values from cancellation.
+        (self.sum_wx2 / self.sum_w - m * m).max(0.0).sqrt()
+    }
+
+    /// Effective number of entries, Neff = (Σw)²/Σw².
+    pub fn effective_entries(&self) -> f64 {
+        if self.sum_w2 == 0.0 {
+            0.0
+        } else {
+            self.sum_w * self.sum_w / self.sum_w2
+        }
+    }
+
+    /// True if nothing has been filled.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Absorb another accumulator; exact (raw sums add).
+    pub fn merge(&mut self, other: &WeightedStats) {
+        self.entries += other.entries;
+        self.sum_w += other.sum_w;
+        self.sum_w2 += other.sum_w2;
+        self.sum_wx += other.sum_wx;
+        self.sum_wx2 += other.sum_wx2;
+        if !other.min.is_nan() && (self.min.is_nan() || other.min < self.min) {
+            self.min = other.min;
+        }
+        if !other.max.is_nan() && (self.max.is_nan() || other.max > self.max) {
+            self.max = other.max;
+        }
+    }
+
+    /// Multiply all accumulated weights by `factor` (histogram `scale`).
+    pub fn scale(&mut self, factor: f64) {
+        self.sum_w *= factor;
+        self.sum_w2 *= factor * factor;
+        self.sum_wx *= factor;
+        self.sum_wx2 *= factor;
+    }
+
+    /// Reset to the empty state.
+    pub fn reset(&mut self) {
+        *self = WeightedStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-12 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn empty_stats_are_nan() {
+        let s = WeightedStats::new();
+        assert!(s.mean().is_nan());
+        assert!(s.rms().is_nan());
+        assert!(s.min.is_nan());
+        assert!(s.is_empty());
+        assert_eq!(s.effective_entries(), 0.0);
+    }
+
+    #[test]
+    fn unweighted_mean_and_rms() {
+        let mut s = WeightedStats::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.fill(x, 1.0);
+        }
+        assert!(approx(s.mean(), 2.5));
+        assert!(approx(s.rms(), (1.25f64).sqrt()));
+        assert_eq!(s.entries, 4);
+        assert!(approx(s.effective_entries(), 4.0));
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn weights_shift_the_mean() {
+        let mut s = WeightedStats::new();
+        s.fill(0.0, 1.0);
+        s.fill(10.0, 3.0);
+        assert!(approx(s.mean(), 7.5));
+    }
+
+    #[test]
+    fn merge_equals_sequential_fill() {
+        let mut all = WeightedStats::new();
+        let mut a = WeightedStats::new();
+        let mut b = WeightedStats::new();
+        for i in 0..100 {
+            let x = (i as f64) * 0.37 - 5.0;
+            let w = 1.0 + (i % 3) as f64;
+            all.fill(x, w);
+            if i % 2 == 0 {
+                a.fill(x, w);
+            } else {
+                b.fill(x, w);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.entries, all.entries);
+        assert!(approx(a.sum_w, all.sum_w));
+        assert!(approx(a.sum_wx, all.sum_wx));
+        assert!(approx(a.sum_wx2, all.sum_wx2));
+        assert_eq!(a.min, all.min);
+        assert_eq!(a.max, all.max);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = WeightedStats::new();
+        s.fill(3.0, 2.0);
+        let before = s.clone();
+        s.merge(&WeightedStats::new());
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn scale_preserves_mean_and_rms() {
+        let mut s = WeightedStats::new();
+        s.fill(1.0, 1.0);
+        s.fill(5.0, 2.0);
+        let (m, r) = (s.mean(), s.rms());
+        s.scale(3.0);
+        assert!(approx(s.mean(), m));
+        assert!(approx(s.rms(), r));
+        assert!(approx(s.sum_w, 9.0));
+    }
+
+    #[test]
+    fn rms_never_negative_sqrt() {
+        let mut s = WeightedStats::new();
+        // Identical values: variance should be exactly 0, not NaN from -0.0 noise.
+        for _ in 0..1000 {
+            s.fill(0.1 + 0.2, 1.0);
+        }
+        assert!(s.rms() >= 0.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Hierarchical named-object tree (AIDA `ITree`).
+//!
+//! Analysis code books objects under absolute paths (`/higgs/mass`), and the
+//! whole tree is the unit of result exchange: each analysis engine ships its
+//! tree to the AIDA manager, which merges trees path-by-path. Paths are
+//! `/`-separated, directories are implicit, and iteration order is
+//! deterministic (sorted) so merged output is stable.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::object::{AidaObject, MergeError, Mergeable};
+
+/// Errors from tree operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeError {
+    /// Path is syntactically invalid (empty, relative, empty segment).
+    BadPath(String),
+    /// No object stored at the path.
+    NotFound(String),
+    /// An object already exists at the path.
+    AlreadyExists(String),
+    /// Merging the object at a path failed.
+    Merge {
+        /// The path whose objects could not be combined.
+        path: String,
+        /// The underlying merge error.
+        source: MergeError,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::BadPath(p) => write!(f, "bad object path '{p}'"),
+            TreeError::NotFound(p) => write!(f, "no object at '{p}'"),
+            TreeError::AlreadyExists(p) => write!(f, "object already exists at '{p}'"),
+            TreeError::Merge { path, source } => write!(f, "merging '{path}': {source}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Validate and normalize an absolute object path.
+///
+/// Rules: must start with `/`, must have at least one segment, no empty
+/// segments, no trailing slash. Returns the normalized form.
+pub fn normalize_path(path: &str) -> Result<String, TreeError> {
+    if !path.starts_with('/') {
+        return Err(TreeError::BadPath(path.to_string()));
+    }
+    let segs: Vec<&str> = path[1..].split('/').collect();
+    if segs.is_empty() || segs.iter().any(|s| s.is_empty()) {
+        return Err(TreeError::BadPath(path.to_string()));
+    }
+    Ok(format!("/{}", segs.join("/")))
+}
+
+/// A sorted map from absolute path to [`AidaObject`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Tree {
+    objects: BTreeMap<String, AidaObject>,
+}
+
+impl Tree {
+    /// New empty tree.
+    pub fn new() -> Self {
+        Tree::default()
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no objects are stored.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Store an object, failing if the path is taken.
+    pub fn put(&mut self, path: &str, obj: impl Into<AidaObject>) -> Result<(), TreeError> {
+        let p = normalize_path(path)?;
+        if self.objects.contains_key(&p) {
+            return Err(TreeError::AlreadyExists(p));
+        }
+        self.objects.insert(p, obj.into());
+        Ok(())
+    }
+
+    /// Store an object, replacing any existing one at the path.
+    pub fn put_replace(
+        &mut self,
+        path: &str,
+        obj: impl Into<AidaObject>,
+    ) -> Result<(), TreeError> {
+        let p = normalize_path(path)?;
+        self.objects.insert(p, obj.into());
+        Ok(())
+    }
+
+    /// Borrow the object at `path`.
+    pub fn get(&self, path: &str) -> Result<&AidaObject, TreeError> {
+        let p = normalize_path(path)?;
+        self.objects.get(&p).ok_or(TreeError::NotFound(p))
+    }
+
+    /// Mutably borrow the object at `path`.
+    pub fn get_mut(&mut self, path: &str) -> Result<&mut AidaObject, TreeError> {
+        let p = normalize_path(path)?;
+        self.objects.get_mut(&p).ok_or(TreeError::NotFound(p))
+    }
+
+    /// Remove and return the object at `path`.
+    pub fn remove(&mut self, path: &str) -> Result<AidaObject, TreeError> {
+        let p = normalize_path(path)?;
+        self.objects.remove(&p).ok_or(TreeError::NotFound(p))
+    }
+
+    /// True if an object exists at `path`.
+    pub fn contains(&self, path: &str) -> bool {
+        normalize_path(path)
+            .map(|p| self.objects.contains_key(&p))
+            .unwrap_or(false)
+    }
+
+    /// All object paths, sorted.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.objects.keys().map(String::as_str)
+    }
+
+    /// Iterate `(path, object)` pairs in sorted path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &AidaObject)> {
+        self.objects.iter().map(|(p, o)| (p.as_str(), o))
+    }
+
+    /// Direct children of directory `dir`: object names and sub-directory
+    /// names (each sub-directory listed once, with a trailing `/`).
+    pub fn ls(&self, dir: &str) -> Result<Vec<String>, TreeError> {
+        let prefix = if dir == "/" {
+            "/".to_string()
+        } else {
+            format!("{}/", normalize_path(dir)?)
+        };
+        let mut out: Vec<String> = Vec::new();
+        for path in self.objects.keys() {
+            if let Some(rest) = path.strip_prefix(&prefix) {
+                let entry = match rest.find('/') {
+                    Some(i) => format!("{}/", &rest[..i]),
+                    None => rest.to_string(),
+                };
+                if out.last() != Some(&entry) && !out.contains(&entry) {
+                    out.push(entry);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// All paths under a directory prefix (recursive).
+    pub fn find(&self, dir: &str) -> Vec<&str> {
+        let prefix = if dir == "/" {
+            "/".to_string()
+        } else {
+            match normalize_path(dir) {
+                Ok(p) => format!("{p}/"),
+                Err(_) => return Vec::new(),
+            }
+        };
+        self.objects
+            .keys()
+            .filter(|p| p.starts_with(&prefix))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Total entries across all objects (used as a progress heartbeat).
+    pub fn total_entries(&self) -> u64 {
+        self.objects.values().map(AidaObject::entries).sum()
+    }
+
+    /// Reset every object's contents (booked structure survives).
+    pub fn reset_all(&mut self) {
+        for obj in self.objects.values_mut() {
+            match obj {
+                AidaObject::H1(h) => h.reset(),
+                AidaObject::H2(h) => h.reset(),
+                AidaObject::P1(p) => p.reset(),
+                AidaObject::C1(c) => c.reset(),
+                AidaObject::C2(c) => c.reset(),
+                AidaObject::Dps(d) => d.clear(),
+                AidaObject::Tup(t) => t.reset(),
+            }
+        }
+    }
+}
+
+impl Mergeable for Tree {
+    /// Merge another tree path-by-path: common paths merge their objects,
+    /// paths only in `other` are copied in.
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        for (path, theirs) in &other.objects {
+            match self.objects.get_mut(path) {
+                Some(ours) => ours.merge(theirs)?,
+                None => {
+                    self.objects.insert(path.clone(), theirs.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist1d::Histogram1D;
+    use crate::profile::Profile1D;
+
+    fn h(title: &str) -> Histogram1D {
+        Histogram1D::new(title, 10, 0.0, 1.0)
+    }
+
+    #[test]
+    fn put_get_remove() {
+        let mut t = Tree::new();
+        t.put("/a/b/mass", h("m")).unwrap();
+        assert!(t.contains("/a/b/mass"));
+        assert_eq!(t.get("/a/b/mass").unwrap().title(), "m");
+        assert_eq!(t.len(), 1);
+        t.remove("/a/b/mass").unwrap();
+        assert!(t.is_empty());
+        assert!(matches!(t.get("/a/b/mass"), Err(TreeError::NotFound(_))));
+    }
+
+    #[test]
+    fn duplicate_put_is_rejected_but_replace_works() {
+        let mut t = Tree::new();
+        t.put("/x", h("1")).unwrap();
+        assert!(matches!(
+            t.put("/x", h("2")),
+            Err(TreeError::AlreadyExists(_))
+        ));
+        t.put_replace("/x", h("2")).unwrap();
+        assert_eq!(t.get("/x").unwrap().title(), "2");
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let mut t = Tree::new();
+        assert!(matches!(t.put("relative", h("x")), Err(TreeError::BadPath(_))));
+        assert!(matches!(t.put("/a//b", h("x")), Err(TreeError::BadPath(_))));
+        assert!(matches!(t.put("/", h("x")), Err(TreeError::BadPath(_))));
+        assert!(matches!(t.put("/a/", h("x")), Err(TreeError::BadPath(_))));
+    }
+
+    #[test]
+    fn ls_lists_direct_children_only() {
+        let mut t = Tree::new();
+        t.put("/top/h1", h("a")).unwrap();
+        t.put("/top/sub/h2", h("b")).unwrap();
+        t.put("/top/sub/h3", h("c")).unwrap();
+        t.put("/other", h("d")).unwrap();
+        let ls = t.ls("/top").unwrap();
+        assert_eq!(ls, vec!["h1".to_string(), "sub/".to_string()]);
+        let root = t.ls("/").unwrap();
+        assert_eq!(root, vec!["other".to_string(), "top/".to_string()]);
+    }
+
+    #[test]
+    fn find_is_recursive() {
+        let mut t = Tree::new();
+        t.put("/a/x", h("1")).unwrap();
+        t.put("/a/b/y", h("2")).unwrap();
+        t.put("/c/z", h("3")).unwrap();
+        assert_eq!(t.find("/a"), vec!["/a/b/y", "/a/x"]);
+        assert_eq!(t.find("/").len(), 3);
+        assert!(t.find("/nope").is_empty());
+    }
+
+    #[test]
+    fn merge_combines_and_copies() {
+        let mut ours = Tree::new();
+        let mut h1 = h("m");
+        h1.fill1(0.5);
+        ours.put("/m", h1).unwrap();
+
+        let mut theirs = Tree::new();
+        let mut h2 = h("m");
+        h2.fill1(0.6);
+        theirs.put("/m", h2).unwrap();
+        let mut p = Profile1D::new("p", 10, 0.0, 1.0);
+        p.fill1(0.5, 2.0);
+        theirs.put("/only/theirs", p).unwrap();
+
+        ours.merge(&theirs).unwrap();
+        assert_eq!(ours.get("/m").unwrap().entries(), 2);
+        assert!(ours.contains("/only/theirs"));
+        assert_eq!(ours.total_entries(), 3);
+    }
+
+    #[test]
+    fn merge_kind_conflict_fails() {
+        let mut a = Tree::new();
+        a.put("/x", h("h")).unwrap();
+        let mut b = Tree::new();
+        b.put("/x", Profile1D::new("p", 10, 0.0, 1.0)).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn reset_all_keeps_structure() {
+        let mut t = Tree::new();
+        let mut h1 = h("m");
+        h1.fill1(0.5);
+        t.put("/m", h1).unwrap();
+        t.reset_all();
+        assert!(t.contains("/m"));
+        assert_eq!(t.total_entries(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = Tree::new();
+        let mut h1 = h("m");
+        h1.fill1(0.25);
+        t.put("/dir/m", h1).unwrap();
+        let s = serde_json::to_string(&t).unwrap();
+        let back: Tree = serde_json::from_str(&s).unwrap();
+        assert_eq!(t, back);
+    }
+}

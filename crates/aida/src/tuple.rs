@@ -1,0 +1,484 @@
+//! Ntuples (AIDA `ITuple`): typed column storage with histogram projection.
+//!
+//! Analysis code frequently books an ntuple, fills one row per event, and
+//! later projects columns into histograms. Columns are stored contiguously
+//! per type (struct-of-arrays) for cache-friendly scans.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::hist1d::Histogram1D;
+use crate::hist2d::Histogram2D;
+use crate::object::{MergeError, Mergeable};
+
+/// Supported column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 64-bit float column.
+    Float,
+    /// 64-bit signed integer column.
+    Int,
+    /// Boolean column.
+    Bool,
+    /// UTF-8 string column.
+    Str,
+}
+
+/// A single cell value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Float cell.
+    Float(f64),
+    /// Integer cell.
+    Int(i64),
+    /// Boolean cell.
+    Bool(bool),
+    /// String cell.
+    Str(String),
+}
+
+impl Value {
+    /// The [`ColumnType`] this value belongs to.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Value::Float(_) => ColumnType::Float,
+            Value::Int(_) => ColumnType::Int,
+            Value::Bool(_) => ColumnType::Bool,
+            Value::Str(_) => ColumnType::Str,
+        }
+    }
+
+    /// Numeric view: floats as-is, ints/bools widened, strings are None.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Errors from tuple operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TupleError {
+    /// A row had the wrong number of cells.
+    RowArity {
+        /// Columns in the schema.
+        expected: usize,
+        /// Cells provided.
+        got: usize,
+    },
+    /// A cell's type did not match the column schema.
+    CellType {
+        /// Offending column name.
+        column: String,
+        /// Type declared in the schema.
+        expected: ColumnType,
+        /// Type of the provided cell.
+        got: ColumnType,
+    },
+    /// Referenced column does not exist.
+    NoSuchColumn(String),
+    /// Column is not numeric (projection requested).
+    NotNumeric(String),
+}
+
+impl fmt::Display for TupleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TupleError::RowArity { expected, got } => {
+                write!(f, "row has {got} cells, schema has {expected} columns")
+            }
+            TupleError::CellType {
+                column,
+                expected,
+                got,
+            } => write!(f, "column '{column}' expects {expected:?}, got {got:?}"),
+            TupleError::NoSuchColumn(c) => write!(f, "no such column '{c}'"),
+            TupleError::NotNumeric(c) => write!(f, "column '{c}' is not numeric"),
+        }
+    }
+}
+
+impl std::error::Error for TupleError {}
+
+/// Column storage, struct-of-arrays.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum ColumnData {
+    Float(Vec<f64>),
+    Int(Vec<i64>),
+    Bool(Vec<bool>),
+    Str(Vec<String>),
+}
+
+impl ColumnData {
+    fn new(t: ColumnType) -> Self {
+        match t {
+            ColumnType::Float => ColumnData::Float(Vec::new()),
+            ColumnType::Int => ColumnData::Int(Vec::new()),
+            ColumnType::Bool => ColumnData::Bool(Vec::new()),
+            ColumnType::Str => ColumnData::Str(Vec::new()),
+        }
+    }
+
+    fn column_type(&self) -> ColumnType {
+        match self {
+            ColumnData::Float(_) => ColumnType::Float,
+            ColumnData::Int(_) => ColumnType::Int,
+            ColumnData::Bool(_) => ColumnType::Bool,
+            ColumnData::Str(_) => ColumnType::Str,
+        }
+    }
+
+    fn push(&mut self, v: &Value) -> Result<(), (ColumnType, ColumnType)> {
+        match (self, v) {
+            (ColumnData::Float(c), Value::Float(x)) => c.push(*x),
+            (ColumnData::Int(c), Value::Int(x)) => c.push(*x),
+            (ColumnData::Bool(c), Value::Bool(x)) => c.push(*x),
+            (ColumnData::Str(c), Value::Str(x)) => c.push(x.clone()),
+            (me, v) => return Err((me.column_type(), v.column_type())),
+        }
+        Ok(())
+    }
+
+    fn get(&self, row: usize) -> Value {
+        match self {
+            ColumnData::Float(c) => Value::Float(c[row]),
+            ColumnData::Int(c) => Value::Int(c[row]),
+            ColumnData::Bool(c) => Value::Bool(c[row]),
+            ColumnData::Str(c) => Value::Str(c[row].clone()),
+        }
+    }
+
+    fn get_f64(&self, row: usize) -> Option<f64> {
+        match self {
+            ColumnData::Float(c) => Some(c[row]),
+            ColumnData::Int(c) => Some(c[row] as f64),
+            ColumnData::Bool(c) => Some(if c[row] { 1.0 } else { 0.0 }),
+            ColumnData::Str(_) => None,
+        }
+    }
+
+    fn extend_from(&mut self, other: &ColumnData) {
+        match (self, other) {
+            (ColumnData::Float(a), ColumnData::Float(b)) => a.extend_from_slice(b),
+            (ColumnData::Int(a), ColumnData::Int(b)) => a.extend_from_slice(b),
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a.extend_from_slice(b),
+            (ColumnData::Str(a), ColumnData::Str(b)) => a.extend(b.iter().cloned()),
+            _ => unreachable!("schema compatibility checked by caller"),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            ColumnData::Float(c) => c.clear(),
+            ColumnData::Int(c) => c.clear(),
+            ColumnData::Bool(c) => c.clear(),
+            ColumnData::Str(c) => c.clear(),
+        }
+    }
+}
+
+/// A titled ntuple with a fixed `(name, type)` column schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tuple {
+    title: String,
+    names: Vec<String>,
+    columns: Vec<ColumnData>,
+    rows: usize,
+}
+
+impl Tuple {
+    /// New empty tuple from a `(name, type)` schema.
+    pub fn new(title: impl Into<String>, schema: &[(&str, ColumnType)]) -> Self {
+        Tuple {
+            title: title.into(),
+            names: schema.iter().map(|(n, _)| n.to_string()).collect(),
+            columns: schema.iter().map(|(_, t)| ColumnData::new(*t)).collect(),
+            rows: 0,
+        }
+    }
+
+    /// Tuple title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Column names in schema order.
+    pub fn column_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Column count.
+    pub fn columns(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Type of column `name`.
+    pub fn column_type(&self, name: &str) -> Option<ColumnType> {
+        self.index_of(name).map(|i| self.columns[i].column_type())
+    }
+
+    fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Append one row. All cells must match the schema; the row is applied
+    /// atomically (either every column grows or none do).
+    pub fn fill_row(&mut self, row: &[Value]) -> Result<(), TupleError> {
+        if row.len() != self.columns.len() {
+            return Err(TupleError::RowArity {
+                expected: self.columns.len(),
+                got: row.len(),
+            });
+        }
+        // Validate first so a failed row leaves the tuple untouched.
+        for (i, v) in row.iter().enumerate() {
+            let expect = self.columns[i].column_type();
+            if v.column_type() != expect {
+                return Err(TupleError::CellType {
+                    column: self.names[i].clone(),
+                    expected: expect,
+                    got: v.column_type(),
+                });
+            }
+        }
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v).expect("types validated above");
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Read cell `(row, column-name)`.
+    pub fn get(&self, row: usize, name: &str) -> Result<Value, TupleError> {
+        let i = self
+            .index_of(name)
+            .ok_or_else(|| TupleError::NoSuchColumn(name.to_string()))?;
+        Ok(self.columns[i].get(row))
+    }
+
+    /// Project a numeric column into a 1-D histogram.
+    pub fn project1d(
+        &self,
+        name: &str,
+        nbins: usize,
+        lo: f64,
+        hi: f64,
+    ) -> Result<Histogram1D, TupleError> {
+        let i = self
+            .index_of(name)
+            .ok_or_else(|| TupleError::NoSuchColumn(name.to_string()))?;
+        let mut h = Histogram1D::new(format!("{}:{}", self.title, name), nbins, lo, hi);
+        for r in 0..self.rows {
+            let x = self.columns[i]
+                .get_f64(r)
+                .ok_or_else(|| TupleError::NotNumeric(name.to_string()))?;
+            h.fill1(x);
+        }
+        Ok(h)
+    }
+
+    /// Project two numeric columns into a 2-D histogram.
+    #[allow(clippy::too_many_arguments)]
+    pub fn project2d(
+        &self,
+        xname: &str,
+        yname: &str,
+        nx: usize,
+        xlo: f64,
+        xhi: f64,
+        ny: usize,
+        ylo: f64,
+        yhi: f64,
+    ) -> Result<Histogram2D, TupleError> {
+        let ix = self
+            .index_of(xname)
+            .ok_or_else(|| TupleError::NoSuchColumn(xname.to_string()))?;
+        let iy = self
+            .index_of(yname)
+            .ok_or_else(|| TupleError::NoSuchColumn(yname.to_string()))?;
+        let mut h = Histogram2D::new(
+            format!("{}:{} vs {}", self.title, yname, xname),
+            nx,
+            xlo,
+            xhi,
+            ny,
+            ylo,
+            yhi,
+        );
+        for r in 0..self.rows {
+            let x = self.columns[ix]
+                .get_f64(r)
+                .ok_or_else(|| TupleError::NotNumeric(xname.to_string()))?;
+            let y = self.columns[iy]
+                .get_f64(r)
+                .ok_or_else(|| TupleError::NotNumeric(yname.to_string()))?;
+            h.fill1(x, y);
+        }
+        Ok(h)
+    }
+
+    /// Remove all rows, keeping the schema.
+    pub fn reset(&mut self) {
+        for c in &mut self.columns {
+            c.clear();
+        }
+        self.rows = 0;
+    }
+
+    /// Schema equality (names and types).
+    pub fn schema_matches(&self, other: &Tuple) -> bool {
+        self.names == other.names
+            && self
+                .columns
+                .iter()
+                .zip(&other.columns)
+                .all(|(a, b)| a.column_type() == b.column_type())
+    }
+}
+
+impl Mergeable for Tuple {
+    /// Merging appends the other tuple's rows (schemas must match).
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if !self.schema_matches(other) {
+            return Err(MergeError::IncompatibleBinning {
+                what: format!("tuple '{}' schema mismatch", self.title),
+            });
+        }
+        for (a, b) in self.columns.iter_mut().zip(&other.columns) {
+            a.extend_from(b);
+        }
+        self.rows += other.rows;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Vec<(&'static str, ColumnType)> {
+        vec![
+            ("mass", ColumnType::Float),
+            ("ntracks", ColumnType::Int),
+            ("triggered", ColumnType::Bool),
+            ("tag", ColumnType::Str),
+        ]
+    }
+
+    fn row(m: f64, n: i64, t: bool, s: &str) -> Vec<Value> {
+        vec![
+            Value::Float(m),
+            Value::Int(n),
+            Value::Bool(t),
+            Value::Str(s.to_string()),
+        ]
+    }
+
+    #[test]
+    fn fill_and_read_back() {
+        let mut t = Tuple::new("events", &schema());
+        t.fill_row(&row(125.0, 4, true, "sig")).unwrap();
+        t.fill_row(&row(91.0, 2, false, "bkg")).unwrap();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.get(0, "mass").unwrap(), Value::Float(125.0));
+        assert_eq!(t.get(1, "tag").unwrap(), Value::Str("bkg".into()));
+        assert_eq!(t.column_type("ntracks"), Some(ColumnType::Int));
+    }
+
+    #[test]
+    fn wrong_arity_and_type_are_rejected_atomically() {
+        let mut t = Tuple::new("events", &schema());
+        assert!(matches!(
+            t.fill_row(&[Value::Float(1.0)]),
+            Err(TupleError::RowArity { .. })
+        ));
+        let bad = vec![
+            Value::Int(1), // wrong: mass is Float
+            Value::Int(2),
+            Value::Bool(true),
+            Value::Str("x".into()),
+        ];
+        assert!(matches!(
+            t.fill_row(&bad),
+            Err(TupleError::CellType { .. })
+        ));
+        assert_eq!(t.rows(), 0); // nothing partially applied
+    }
+
+    #[test]
+    fn projection_1d() {
+        let mut t = Tuple::new("events", &schema());
+        for m in [10.0, 20.0, 20.5, 90.0] {
+            t.fill_row(&row(m, 1, true, "")).unwrap();
+        }
+        let h = t.project1d("mass", 10, 0.0, 100.0).unwrap();
+        assert_eq!(h.entries(), 4);
+        assert_eq!(h.bin_entries(2), 2);
+        assert!(t.project1d("nope", 10, 0.0, 1.0).is_err());
+        assert!(matches!(
+            t.project1d("tag", 10, 0.0, 1.0),
+            Err(TupleError::NotNumeric(_))
+        ));
+    }
+
+    #[test]
+    fn projection_2d_and_int_widening() {
+        let mut t = Tuple::new("events", &schema());
+        t.fill_row(&row(50.0, 3, true, "")).unwrap();
+        let h = t
+            .project2d("mass", "ntracks", 10, 0.0, 100.0, 10, 0.0, 10.0)
+            .unwrap();
+        assert_eq!(h.bin_entries(5, 3), 1);
+    }
+
+    #[test]
+    fn merge_appends_rows() {
+        let mut a = Tuple::new("e", &schema());
+        let mut b = Tuple::new("e", &schema());
+        a.fill_row(&row(1.0, 1, true, "a")).unwrap();
+        b.fill_row(&row(2.0, 2, false, "b")).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.get(1, "tag").unwrap(), Value::Str("b".into()));
+
+        let c = Tuple::new("e", &[("other", ColumnType::Float)]);
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn reset_keeps_schema() {
+        let mut t = Tuple::new("e", &schema());
+        t.fill_row(&row(1.0, 1, true, "x")).unwrap();
+        t.reset();
+        assert_eq!(t.rows(), 0);
+        assert_eq!(t.columns(), 4);
+        t.fill_row(&row(2.0, 2, false, "y")).unwrap();
+        assert_eq!(t.rows(), 1);
+    }
+
+    #[test]
+    fn value_as_f64() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+}

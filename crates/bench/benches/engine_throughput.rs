@@ -1,0 +1,22 @@
+//! Real-compute scaling: the Table-2 "analysis" column with actual engines
+//! on actual threads over actual records. Measures wall-clock of a full
+//! session run vs engine count — the shape (monotone speedup, sublinear at
+//! high N on few cores) is what the paper's analysis column shows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipa_bench::LiveRig;
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let rig = LiveRig::new(20_000, 5_000);
+    let mut g = c.benchmark_group("engine_scaling");
+    g.sample_size(10);
+    for n in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("run_20k_events", n), &n, |b, &n| {
+            b.iter(|| rig.run_to_completion(n));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_scaling);
+criterion_main!(benches);

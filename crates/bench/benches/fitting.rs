@@ -1,0 +1,34 @@
+//! The equation-fitting experiment (paper §4): sweep the simulator over
+//! (X, N), fit the cost equations by least squares, and print the
+//! recovered coefficients against the paper's.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipa_bench::fitted_equations;
+use ipa_model::{PAPER_GRID, PAPER_LOCAL};
+use ipa_simgrid::PaperCalibration;
+
+fn bench_fitting(c: &mut Criterion) {
+    let cal = PaperCalibration::paper2006();
+    c.bench_function("fit_equations_full_sweep", |b| b.iter(|| fitted_equations(&cal)));
+
+    let (local, grid) = fitted_equations(&cal);
+    println!(
+        "[equations] local slope: paper {:.1}, refit {:.2}",
+        PAPER_LOCAL.slope(),
+        local.slope()
+    );
+    println!(
+        "[equations] grid (a, c, d, b): paper ({:.3}, {:.0}, {:.0}, {:.1}), refit ({:.3}, {:.0}, {:.0}, {:.1})",
+        PAPER_GRID.a_s_per_mb,
+        PAPER_GRID.c_s,
+        PAPER_GRID.d_s,
+        PAPER_GRID.b_s_per_mb,
+        grid.a_s_per_mb,
+        grid.c_s,
+        grid.d_s,
+        grid.b_s_per_mb
+    );
+}
+
+criterion_group!(benches, bench_fitting);
+criterion_main!(benches);

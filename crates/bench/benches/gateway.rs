@@ -1,0 +1,97 @@
+//! Web-services boundary cost: round-trip latency of gateway requests over
+//! loopback TCP + JSON — what the paper's SOAP/RMI hops cost us per client
+//! poll. Compares a metadata-only call (Poll) against shipping the whole
+//! merged tree (Results).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipa_core::{IpaConfig, ManagerNode, WsClient, WsGateway, WsRequest};
+use ipa_dataset::{EventGeneratorConfig, GeneratorConfig};
+use ipa_simgrid::{SecurityDomain, VoPolicy};
+
+fn bench_gateway(c: &mut Criterion) {
+    let sec = SecurityDomain::new("bench-gw", 2).with_policy(VoPolicy::new("ilc", 8));
+    let manager = Arc::new(ManagerNode::new(
+        "bench-gw",
+        sec.clone(),
+        IpaConfig {
+            publish_every: 1_000,
+            ..Default::default()
+        },
+    ));
+    manager
+        .publish_dataset(
+            "/d",
+            ipa_dataset::generate_dataset(
+                "gw-events",
+                "events",
+                &GeneratorConfig::Event(EventGeneratorConfig {
+                    events: 5_000,
+                    ..Default::default()
+                }),
+            ),
+            ipa_catalog::Metadata::new(),
+        )
+        .unwrap();
+    let gw = WsGateway::serve(manager, ("127.0.0.1", 0)).unwrap();
+    let mut client = WsClient::connect(gw.addr()).unwrap();
+
+    // Stand up a finished session so Poll/Results have real payloads.
+    let proxy = sec.issue_proxy("/CN=bench", "ilc", 0.0, 1e6);
+    let session = match client
+        .call_ok(&WsRequest::CreateSession {
+            proxy,
+            now: 0.0,
+            engines: 2,
+        })
+        .unwrap()
+    {
+        ipa_core::WsResponse::SessionCreated { session, .. } => session,
+        other => panic!("{other:?}"),
+    };
+    client
+        .call_ok(&WsRequest::SelectDataset {
+            session,
+            id: "gw-events".into(),
+        })
+        .unwrap();
+    client
+        .call_ok(&WsRequest::LoadNative {
+            session,
+            name: "higgs-search".into(),
+        })
+        .unwrap();
+    client.call_ok(&WsRequest::Run { session }).unwrap();
+    // Wait for completion.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        if let ipa_core::WsResponse::Status(st) =
+            client.call_ok(&WsRequest::Poll { session }).unwrap()
+        {
+            if st.state == ipa_core::RunState::Finished {
+                break;
+            }
+        }
+        assert!(std::time::Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let mut g = c.benchmark_group("gateway");
+    g.bench_function("catalog_tree_rtt", |b| {
+        b.iter(|| client.call(&WsRequest::CatalogTree).unwrap())
+    });
+    g.bench_function("poll_rtt", |b| {
+        b.iter(|| client.call(&WsRequest::Poll { session }).unwrap())
+    });
+    g.bench_function("results_tree_rtt", |b| {
+        b.iter(|| client.call(&WsRequest::Results { session }).unwrap())
+    });
+    g.finish();
+
+    client.call_ok(&WsRequest::CloseSession { session }).unwrap();
+}
+
+criterion_group!(benches, bench_gateway);
+criterion_main!(benches);

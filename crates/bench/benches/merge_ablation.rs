@@ -1,0 +1,59 @@
+//! Merge-plane ablation (paper §2.5): cost of merging N partial AIDA trees
+//! flat vs through a two-level hierarchy, as the part count grows. This is
+//! the design choice DESIGN.md calls out — the sub-merger level trades a
+//! little total work for parallelizable stages and a bounded top fan-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipa_aida::{Histogram1D, Histogram2D, Tree};
+use ipa_core::{AidaManager, PartUpdate};
+
+fn partial_tree(seed: u64) -> Tree {
+    let mut t = Tree::new();
+    let mut h = Histogram1D::new("mass", 120, 0.0, 240.0);
+    let mut h2 = Histogram2D::new("corr", 40, 0.0, 40.0, 40, 0.0, 240.0);
+    for i in 0..2000u64 {
+        let x = ((seed.wrapping_mul(6364136223846793005).wrapping_add(i * 2654435761)) % 2400)
+            as f64
+            / 10.0;
+        h.fill1(x);
+        h2.fill1((i % 40) as f64, x);
+    }
+    t.put("/higgs/mass", h).unwrap();
+    t.put("/higgs/corr", h2).unwrap();
+    t
+}
+
+fn manager_with_parts(parts: usize) -> AidaManager {
+    let mut m = AidaManager::new();
+    for p in 0..parts as u64 {
+        m.publish(
+            p,
+            PartUpdate {
+                engine: p as usize,
+                processed: 2000,
+                total: 2000,
+                tree: partial_tree(p),
+                done: true,
+            },
+        );
+    }
+    m
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge_ablation");
+    for parts in [4usize, 16, 64] {
+        let mut m = manager_with_parts(parts);
+        g.bench_with_input(BenchmarkId::new("flat", parts), &parts, |b, _| {
+            b.iter(|| m.merged().unwrap());
+        });
+        let mut m2 = manager_with_parts(parts);
+        g.bench_with_input(BenchmarkId::new("hierarchical_fan4", parts), &parts, |b, _| {
+            b.iter(|| m2.merged_hierarchical(4).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table 2 bench: the node sweep (1..16 engines) over the 471 MB staging +
+//! analysis pipeline, one Criterion benchmark per row, printing the
+//! simulated row values for EXPERIMENTS.md.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipa_bench::{PAPER_NODES, PAPER_TABLE2};
+use ipa_simgrid::{simulate_session, PaperCalibration};
+
+fn bench_node_sweep(c: &mut Criterion) {
+    let cal = PaperCalibration::paper2006();
+    let mut g = c.benchmark_group("table2");
+    for &n in &PAPER_NODES {
+        g.bench_with_input(BenchmarkId::new("simulate", n), &n, |b, &n| {
+            b.iter(|| simulate_session(black_box(471.0), n, &cal))
+        });
+    }
+    g.finish();
+
+    println!("[table2] nodes  moveWhole  split  moveParts  analysis   (paper in parens)");
+    for (&n, (pn, mw, sp, mp, an)) in PAPER_NODES.iter().zip(PAPER_TABLE2) {
+        assert_eq!(n, pn);
+        let r = simulate_session(471.0, n, &cal);
+        println!(
+            "[table2] {:>5}  {:>6.0}({:>3.0}) {:>5.0}({:>3.0}) {:>7.0}({:>3.0}) {:>7.0}({:>3.0})",
+            n, r.move_whole_s, mw, r.split_s, sp, r.move_parts_s, mp, r.analysis_s, an
+        );
+    }
+}
+
+criterion_group!(benches, bench_node_sweep);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Per-record cost of the two code paths the paper supports: interpreted
+//! scripts (PNUTS → IPAScript) vs compiled analyzers (Java classes →
+//! native Rust). Quantifies the interpretation tax users pay for on-the-fly
+//! editability.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ipa_core::{run_analyzer_serial, HiggsSearchAnalyzer};
+use ipa_dataset::EventGeneratorConfig;
+use ipa_script::{compile, AidaHost, Interpreter};
+
+const SCRIPT: &str = r#"
+    fn init() { h1("/higgs/bb_mass", 60, 0.0, 240.0); }
+    fn process(e) {
+        let m = e.bb_mass;
+        if m != null { fill("/higgs/bb_mass", m); }
+    }
+"#;
+
+fn bench_code_paths(c: &mut Criterion) {
+    let records = EventGeneratorConfig {
+        events: 2_000,
+        ..Default::default()
+    }
+    .generate();
+
+    let mut g = c.benchmark_group("code_paths");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("native_higgs", |b| {
+        b.iter(|| {
+            let mut host = AidaHost::new();
+            run_analyzer_serial(&mut HiggsSearchAnalyzer::default(), &records, &mut host)
+                .unwrap();
+            host
+        })
+    });
+    let program = compile(SCRIPT).unwrap();
+    g.bench_function("script_higgs", |b| {
+        b.iter(|| {
+            let mut host = AidaHost::new();
+            let mut interp = Interpreter::new(&program);
+            interp.run_init(&mut host).unwrap();
+            for r in &records {
+                interp.process_record(&mut host, r).unwrap();
+            }
+            host
+        })
+    });
+    g.bench_function("script_compile_only", |b| b.iter(|| compile(SCRIPT).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_code_paths);
+criterion_main!(benches);

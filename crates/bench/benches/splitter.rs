@@ -1,0 +1,35 @@
+//! Splitter throughput: the Table-2 "split" phase on real records — record
+//! -count vs byte-balanced strategies, and codec encode/decode rates (the
+//! splitter service's full pass over the dataset).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipa_dataset::{
+    decode_dataset, encode_dataset, split_even, split_records, EventGeneratorConfig,
+};
+
+fn bench_split(c: &mut Criterion) {
+    let records = EventGeneratorConfig {
+        events: 20_000,
+        ..Default::default()
+    }
+    .generate();
+    let encoded = encode_dataset(&records);
+    let mb = encoded.len() as u64;
+
+    let mut g = c.benchmark_group("splitter");
+    g.throughput(Throughput::Bytes(mb));
+    for n in [4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("split_even", n), &n, |b, &n| {
+            b.iter(|| split_even(black_box(&records), n).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("split_bytes", n), &n, |b, &n| {
+            b.iter(|| split_records(black_box(&records), n).unwrap());
+        });
+    }
+    g.bench_function("encode", |b| b.iter(|| encode_dataset(black_box(&records))));
+    g.bench_function("decode", |b| b.iter(|| decode_dataset(black_box(&encoded)).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_split);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table 1 bench: the simulated staging + analysis pipeline at the paper's
+//! operating point (471 MB, 16 nodes), plus the local alternative. The
+//! *simulated seconds* are the reproduction; Criterion here measures that
+//! the simulator itself is cheap enough to sweep densely.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ipa_simgrid::{simulate_local_analysis, simulate_session, PaperCalibration};
+
+fn bench_staging(c: &mut Criterion) {
+    let cal = PaperCalibration::paper2006();
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("simulate_grid_471mb_16n", |b| {
+        b.iter(|| simulate_session(black_box(471.0), black_box(16), &cal))
+    });
+    g.bench_function("simulate_local_471mb", |b| {
+        b.iter(|| simulate_local_analysis(black_box(471.0), &cal))
+    });
+    g.finish();
+
+    // Print the actual Table-1 numbers alongside the bench.
+    let grid = simulate_session(471.0, 16, &cal);
+    let local = simulate_local_analysis(471.0, &cal);
+    println!(
+        "[table1] local total = {:.0} s (paper 2700), grid total = {:.0} s (paper 259), speedup {:.1}x",
+        local.total_s,
+        grid.total_s,
+        local.total_s / grid.total_s
+    );
+}
+
+criterion_group!(benches, bench_staging);
+criterion_main!(benches);

@@ -1,0 +1,387 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p ipa-bench --bin reproduce -- all
+//! cargo run --release -p ipa-bench --bin reproduce -- table1 table2 figure5 equations live
+//! ```
+//!
+//! Output compares the paper's published numbers with this reproduction's
+//! simulated (and, for `live`, really-measured) values. SVG renderings of
+//! Figure 5 are written to `reproduction/`.
+
+use ipa_aida::render::{render_series_svg, Series, SvgOptions};
+use ipa_bench::*;
+use ipa_model::{PAPER_GRID, PAPER_LOCAL};
+use ipa_simgrid::PaperCalibration;
+
+fn hline() {
+    println!("{}", "-".repeat(78));
+}
+
+fn table1_cmd(cal: &PaperCalibration) {
+    hline();
+    println!("TABLE 1 — local vs. Grid (16 nodes), 471 MB dataset, seconds");
+    hline();
+    let (local, grid) = table1(cal);
+    println!("{:<28} {:>12} {:>12}", "phase", "paper", "simulated");
+    println!(
+        "{:<28} {:>12} {:>12.0}",
+        "local: get dataset (WAN)", "1920 (32 min)", local.fetch_s
+    );
+    println!(
+        "{:<28} {:>12} {:>12.0}",
+        "local: analysis", "780 (13 min)", local.analysis_s
+    );
+    println!(
+        "{:<28} {:>12} {:>12.0}",
+        "local: TOTAL", "2700 (45 min)", local.total_s
+    );
+    println!(
+        "{:<28} {:>12} {:>12.0}",
+        "grid: stage dataset", "174", grid.stage_dataset_s()
+    );
+    println!("{:<28} {:>12} {:>12.0}", "grid: stage code", "7", grid.stage_code_s);
+    println!("{:<28} {:>12} {:>12.0}", "grid: analysis", "258", grid.analysis_s);
+    println!(
+        "{:<28} {:>12} {:>12.0}",
+        "grid: TOTAL (wall clock)", "259 (4m19s)", grid.total_s
+    );
+    println!(
+        "grid speedup over local: paper ~10x, simulated {:.1}x",
+        local.total_s / grid.total_s
+    );
+    println!(
+        "note: the paper's own Table 1 rows do not sum to its total; we report\n\
+         both a sequential sum ({:.0} s) and the overlapped wall clock above.",
+        grid.sequential_total_s
+    );
+}
+
+fn table2_cmd(cal: &PaperCalibration) {
+    hline();
+    println!("TABLE 2 — stage & analyze vs. node count, 471 MB dataset, seconds");
+    hline();
+    println!(
+        "{:>5} | {:>10} {:>10} | {:>6} {:>6} | {:>10} {:>10} | {:>9} {:>9}",
+        "nodes", "moveW(pap)", "moveW(sim)", "sp(pap)", "sp(sim)", "parts(pap)", "parts(sim)",
+        "ana(pap)", "ana(sim)"
+    );
+    let rows = table2_rows(cal);
+    for (row, (n, mw, sp, mp, an)) in rows.iter().zip(PAPER_TABLE2) {
+        println!(
+            "{:>5} | {:>10.0} {:>10.0} | {:>6.0} {:>6.0} | {:>10.0} {:>10.0} | {:>9.0} {:>9.0}",
+            n, mw, row.move_whole_s, sp, row.split_s, mp, row.move_parts_s, an, row.analysis_s
+        );
+    }
+    println!(
+        "shape checks: move-whole & split flat in N; move-parts ~ 46 + 62/N;\n\
+         analysis ~ 1/N (paper's absolute analysis column is internally\n\
+         inconsistent with Table 1 — see EXPERIMENTS.md)."
+    );
+}
+
+fn figure5_cmd(cal: &PaperCalibration) {
+    hline();
+    println!("FIGURE 5 — T(X, N) surfaces: local (gold) vs grid (blue)");
+    hline();
+    let paper = figure5_paper();
+    let sim = figure5_simulated(cal);
+    println!("paper-equation surface (s), rows = X MB, cols = N:");
+    print_surface(&paper);
+    println!("\nsimulated surface (s):");
+    print_surface(&sim);
+
+    for n in [2usize, 4, 8, 16, 32] {
+        let (p, s) = crossovers(cal, n);
+        println!(
+            "crossover (grid wins above) N={n:>2}: paper-eq {} MB, simulated {} MB",
+            p.map(|x| format!("{x:.1}")).unwrap_or_else(|| "—".into()),
+            s.map(|x| format!("{x:.1}")).unwrap_or_else(|| "—".into()),
+        );
+    }
+
+    // SVG rendering: one slice per N of interest, local vs grid.
+    std::fs::create_dir_all("reproduction").ok();
+    let mut series = Vec::new();
+    series.push(Series {
+        label: "local".into(),
+        color: "#c9a227".into(),
+        points: sim
+            .iter()
+            .filter(|p| p.n == 16)
+            .map(|p| (p.x_mb, p.t_local_s))
+            .collect(),
+    });
+    for (n, color) in [(1usize, "#9ecbff"), (4, "#5a9bd8"), (16, "#1f4e96")] {
+        series.push(Series {
+            label: format!("grid N={n}"),
+            color: color.into(),
+            points: sim
+                .iter()
+                .filter(|p| p.n == n)
+                .map(|p| (p.x_mb, p.t_grid_s))
+                .collect(),
+        });
+    }
+    let svg = render_series_svg(
+        "Figure 5: analysis time vs dataset size (slices of the N axis)",
+        &series,
+        &SvgOptions::default(),
+    );
+    std::fs::write("reproduction/figure5.svg", svg).ok();
+    println!("wrote reproduction/figure5.svg");
+}
+
+fn print_surface(points: &[ipa_model::SurfacePoint]) {
+    let mut ns: Vec<usize> = points.iter().map(|p| p.n).collect();
+    ns.sort_unstable();
+    ns.dedup();
+    let mut xs: Vec<f64> = points.iter().map(|p| p.x_mb).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.dedup();
+    print!("{:>9} {:>9} |", "X (MB)", "local");
+    for n in &ns {
+        print!(" {:>8}", format!("N={n}"));
+    }
+    println!();
+    for &x in &xs {
+        let local = points
+            .iter()
+            .find(|p| p.x_mb == x)
+            .map(|p| p.t_local_s)
+            .unwrap_or(f64::NAN);
+        print!("{x:>9.1} {local:>9.0} |");
+        for &n in &ns {
+            let t = points
+                .iter()
+                .find(|p| p.x_mb == x && p.n == n)
+                .map(|p| p.t_grid_s)
+                .unwrap_or(f64::NAN);
+            print!(" {t:>8.0}");
+        }
+        println!();
+    }
+}
+
+fn equations_cmd(cal: &PaperCalibration) {
+    hline();
+    println!("FITTED EQUATIONS — least-squares over simulated measurements");
+    hline();
+    let (local, grid) = fitted_equations(cal);
+    println!("               {:>10} {:>12}", "paper", "refit (sim)");
+    println!(
+        "local move     {:>10.2} {:>12.2}   (s/MB over WAN)",
+        PAPER_LOCAL.move_s_per_mb, local.move_s_per_mb
+    );
+    println!(
+        "local analyze  {:>10.2} {:>12.2}   (s/MB)",
+        PAPER_LOCAL.analyze_s_per_mb, local.analyze_s_per_mb
+    );
+    println!(
+        "local slope    {:>10.2} {:>12.2}   (T_local = k X)",
+        PAPER_LOCAL.slope(),
+        local.slope()
+    );
+    println!(
+        "grid a         {:>10.3} {:>12.3}   (X term)",
+        PAPER_GRID.a_s_per_mb, grid.a_s_per_mb
+    );
+    println!(
+        "grid c         {:>10.1} {:>12.1}   (constant)",
+        PAPER_GRID.c_s, grid.c_s
+    );
+    println!(
+        "grid d         {:>10.1} {:>12.1}   (1/N term)",
+        PAPER_GRID.d_s, grid.d_s
+    );
+    println!(
+        "grid b         {:>10.2} {:>12.2}   (X/N term — parallel analysis)",
+        PAPER_GRID.b_s_per_mb, grid.b_s_per_mb
+    );
+}
+
+fn live_cmd() {
+    hline();
+    println!("LIVE — real engines, real records (shape check for Table 2's analysis column)");
+    hline();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let events = 200_000u64;
+    let rig = LiveRig::new(events, 5_000);
+    println!("dataset: {events} simulated LC events, interpreted analysis script");
+    println!(
+        "host exposes {cores} CPU core(s) — speedup saturates there; on a\n\
+         single-core host the table verifies overhead, not parallelism"
+    );
+    println!("{:>8} {:>12} {:>9} {:>14}", "engines", "wall (s)", "speedup", "records/s");
+    let base = rig.run_code_to_completion(1, LiveRig::higgs_script());
+    println!(
+        "{:>8} {:>12.3} {:>9.2} {:>14.0}",
+        1,
+        base,
+        1.0,
+        events as f64 / base
+    );
+    for n in [2usize, 4, 8] {
+        let t = rig.run_code_to_completion(n, LiveRig::higgs_script());
+        println!(
+            "{:>8} {:>12.3} {:>9.2} {:>14.0}",
+            n,
+            t,
+            base / t,
+            events as f64 / t
+        );
+    }
+    // Interactivity yardstick: time to first merged partial result.
+    let mut s = rig.session(4);
+    let report = ipa_client::monitor_run(
+        &mut s,
+        std::time::Duration::from_millis(1),
+        std::time::Duration::from_secs(120),
+        |_, _| {},
+    )
+    .unwrap();
+    println!(
+        "first feedback on 4 engines: {:?} (paper requires < 60 s)",
+        report.first_feedback.unwrap_or_default()
+    );
+    s.close();
+}
+
+fn ablations_cmd(cal: &PaperCalibration) {
+    hline();
+    println!("ABLATIONS — design choices DESIGN.md calls out");
+    hline();
+
+    // 1. Dedicated interactive queue vs shared batch queue (§1/§6: "the
+    //    need for a fast processing queue").
+    println!("\n[A1] scheduler queue delay vs session total (471 MB, 16 nodes):");
+    println!("{:>14} {:>12} {:>16}", "queue delay", "total (s)", "interactive?");
+    for delay in [2.0, 15.0, 60.0, 600.0, 3600.0] {
+        let mut c = *cal;
+        c.scheduler.queue_delay_s = delay;
+        let b = ipa_simgrid::simulate_session(471.0, 16, &c);
+        println!(
+            "{:>12.0} s {:>12.0} {:>16}",
+            delay,
+            b.total_s,
+            if b.engines_ready_s < 60.0 { "yes" } else { "NO" }
+        );
+    }
+
+    // 2. Parallel vs serial engine startup.
+    println!("\n[A2] engine startup mode (471 MB):");
+    println!("{:>8} {:>16} {:>16}", "nodes", "parallel (s)", "serial (s)");
+    for n in [1usize, 4, 16] {
+        let mut par = *cal;
+        par.scheduler.parallel_startup = true;
+        let mut ser = *cal;
+        ser.scheduler.parallel_startup = false;
+        println!(
+            "{:>8} {:>16.0} {:>16.0}",
+            n,
+            ipa_simgrid::simulate_session(471.0, n, &par).engines_ready_s,
+            ipa_simgrid::simulate_session(471.0, n, &ser).engines_ready_s
+        );
+    }
+
+    // 3. Source-NIC aggregate cap: why move-parts stops improving with N.
+    println!("\n[A3] move-parts vs staging-source bandwidth (471 MB, N sweep):");
+    println!("{:>12} {:>10} {:>10} {:>10}", "disk MB/s", "N=1", "N=4", "N=16");
+    for disk in [5.0, 10.24, 40.0, 200.0] {
+        let mut c = *cal;
+        c.staging_disk_mbps = disk;
+        let t = |n| ipa_simgrid::simulate_session(471.0, n, &c).move_parts_s;
+        println!("{:>12.1} {:>10.0} {:>10.0} {:>10.0}", disk, t(1), t(4), t(16));
+    }
+
+    // 4. Publish interval vs first-feedback latency (live, real engines).
+    println!("\n[A4] publish interval vs first feedback (live, 100k events, 4 engines):");
+    println!("{:>16} {:>18} {:>12}", "publish_every", "first feedback", "polls");
+    for every in [100usize, 1_000, 10_000, 100_000] {
+        let rig = LiveRig::new(100_000, every);
+        let mut s = rig.session_with(4, LiveRig::higgs_script());
+        let report = ipa_client::monitor_run(
+            &mut s,
+            std::time::Duration::from_micros(200),
+            std::time::Duration::from_secs(120),
+            |_, _| {},
+        )
+        .expect("monitored run");
+        println!(
+            "{:>16} {:>18} {:>12}",
+            every,
+            format!("{:?}", report.first_feedback.unwrap_or_default()),
+            report.polls
+        );
+        s.close();
+    }
+
+    // 5. Merge fan-in: total pairwise merges flat vs hierarchical (§2.5).
+    println!("\n[A5] merge plane: pairwise tree merges per client poll, 64 parts:");
+    use ipa_core::{AidaManager, PartUpdate};
+    let mk_manager = || {
+        let mut m = AidaManager::new();
+        for p in 0..64u64 {
+            let mut h = ipa_aida::Histogram1D::new("m", 100, 0.0, 240.0);
+            h.fill1((p % 50) as f64);
+            let mut tree = ipa_aida::Tree::new();
+            tree.put("/m", h).unwrap();
+            m.publish(
+                p,
+                PartUpdate {
+                    engine: p as usize,
+                    processed: 1,
+                    total: 1,
+                    tree,
+                    done: true,
+                },
+            );
+        }
+        m
+    };
+    let mut flat = mk_manager();
+    flat.merged().unwrap();
+    println!("{:>24} {:>10}", "flat", flat.merges_performed());
+    for fan in [2usize, 4, 8, 16] {
+        let mut m = mk_manager();
+        m.merged_hierarchical(fan).unwrap();
+        println!(
+            "{:>24} {:>10}",
+            format!("hierarchical fan-in {fan}"),
+            m.merges_performed()
+        );
+    }
+    println!(
+        "(identical merged output — the win is that each sub-merger's work can\n\
+         run on its own node, bounding the top-level manager's fan-in)"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cal = PaperCalibration::paper2006();
+    let run_all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |name: &str| run_all || args.iter().any(|a| a == name);
+
+    if want("table1") {
+        table1_cmd(&cal);
+    }
+    if want("table2") {
+        table2_cmd(&cal);
+    }
+    if want("figure5") {
+        figure5_cmd(&cal);
+    }
+    if want("equations") {
+        equations_cmd(&cal);
+    }
+    if want("live") {
+        live_cmd();
+    }
+    if want("ablations") {
+        ablations_cmd(&cal);
+    }
+    hline();
+}

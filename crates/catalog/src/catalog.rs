@@ -1,0 +1,427 @@
+//! The hierarchical catalog itself.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use ipa_dataset::{DatasetDescriptor, DatasetId};
+
+use crate::error::CatalogError;
+use crate::meta::{MetaValue, Metadata};
+use crate::query::{Query, QueryContext};
+
+/// A dataset entry: descriptor + user metadata + its folder path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// Folder the entry lives in (e.g. `/lc/simulation`).
+    pub folder: String,
+    /// Dataset descriptor (id, kind, size).
+    pub descriptor: DatasetDescriptor,
+    /// Free-form key/value metadata.
+    pub metadata: Metadata,
+}
+
+impl CatalogEntry {
+    /// Full catalog path of the entry (`<folder>/<id>`).
+    pub fn path(&self) -> String {
+        if self.folder == "/" {
+            format!("/{}", self.descriptor.id)
+        } else {
+            format!("{}/{}", self.folder, self.descriptor.id)
+        }
+    }
+}
+
+/// Builtin keys are resolved from the descriptor, then user metadata.
+impl QueryContext for CatalogEntry {
+    fn lookup(&self, key: &str) -> Option<MetaValue> {
+        match key {
+            "id" => Some(MetaValue::Str(self.descriptor.id.0.clone())),
+            "name" => Some(MetaValue::Str(self.descriptor.name.clone())),
+            "path" => Some(MetaValue::Str(self.path())),
+            "folder" => Some(MetaValue::Str(self.folder.clone())),
+            "kind" => Some(MetaValue::Str(
+                match self.descriptor.kind {
+                    ipa_dataset::DatasetKind::Event => "event",
+                    ipa_dataset::DatasetKind::Dna => "dna",
+                    ipa_dataset::DatasetKind::Trade => "trade",
+                }
+                .to_string(),
+            )),
+            "records" => Some(MetaValue::Num(self.descriptor.records as f64)),
+            "size_mb" => Some(MetaValue::Num(self.descriptor.size_mb())),
+            "size_bytes" => Some(MetaValue::Num(self.descriptor.size_bytes as f64)),
+            _ => self.metadata.get(key).cloned(),
+        }
+    }
+}
+
+/// One item returned by [`Catalog::list`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ListItem {
+    /// A sub-folder (name only).
+    Folder(String),
+    /// A dataset entry.
+    Dataset(CatalogEntry),
+}
+
+/// The catalog: a set of folders, each holding dataset entries.
+///
+/// Folders are materialized explicitly (so empty folders can be browsed,
+/// matching the screenshot in the paper's Figure 3), entries are keyed by
+/// dataset id which must be globally unique.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    /// Normalized folder paths (always contains "/").
+    folders: std::collections::BTreeSet<String>,
+    /// Dataset id → entry.
+    entries: BTreeMap<DatasetId, CatalogEntry>,
+}
+
+fn normalize_folder(path: &str) -> Result<String, CatalogError> {
+    if path == "/" {
+        return Ok("/".to_string());
+    }
+    if !path.starts_with('/') || path.ends_with('/') {
+        return Err(CatalogError::BadPath(path.to_string()));
+    }
+    if path[1..].split('/').any(|s| s.is_empty()) {
+        return Err(CatalogError::BadPath(path.to_string()));
+    }
+    Ok(path.to_string())
+}
+
+impl Catalog {
+    /// New catalog with only the root folder.
+    pub fn new() -> Self {
+        let mut c = Catalog::default();
+        c.folders.insert("/".to_string());
+        c
+    }
+
+    /// Number of dataset entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no datasets are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Create a folder (and all missing ancestors). Idempotent.
+    pub fn mkdirs(&mut self, path: &str) -> Result<(), CatalogError> {
+        let p = normalize_folder(path)?;
+        if p == "/" {
+            return Ok(());
+        }
+        let segs: Vec<&str> = p[1..].split('/').collect();
+        let mut cur = String::new();
+        for s in segs {
+            cur.push('/');
+            cur.push_str(s);
+            self.folders.insert(cur.clone());
+        }
+        self.folders.insert("/".to_string());
+        Ok(())
+    }
+
+    /// Register a dataset under a folder (created if missing).
+    pub fn add(
+        &mut self,
+        folder: &str,
+        descriptor: DatasetDescriptor,
+        metadata: Metadata,
+    ) -> Result<(), CatalogError> {
+        let f = normalize_folder(folder)?;
+        if self.entries.contains_key(&descriptor.id) {
+            return Err(CatalogError::AlreadyExists(descriptor.id.0.clone()));
+        }
+        self.mkdirs(&f)?;
+        self.entries.insert(
+            descriptor.id.clone(),
+            CatalogEntry {
+                folder: f,
+                descriptor,
+                metadata,
+            },
+        );
+        Ok(())
+    }
+
+    /// Remove a dataset entry.
+    pub fn remove(&mut self, id: &DatasetId) -> Result<CatalogEntry, CatalogError> {
+        self.entries
+            .remove(id)
+            .ok_or_else(|| CatalogError::NoSuchDataset(id.0.clone()))
+    }
+
+    /// Look up an entry by dataset id.
+    pub fn entry(&self, id: &DatasetId) -> Result<&CatalogEntry, CatalogError> {
+        self.entries
+            .get(id)
+            .ok_or_else(|| CatalogError::NoSuchDataset(id.0.clone()))
+    }
+
+    /// Browse one folder: its sub-folders then its datasets, sorted.
+    pub fn list(&self, folder: &str) -> Result<Vec<ListItem>, CatalogError> {
+        let f = normalize_folder(folder)?;
+        if !self.folders.contains(&f) {
+            return Err(CatalogError::NoSuchFolder(f));
+        }
+        let prefix = if f == "/" { "/".to_string() } else { format!("{f}/") };
+        let mut out = Vec::new();
+        let mut seen_dirs = std::collections::BTreeSet::new();
+        for folder_path in &self.folders {
+            if let Some(rest) = folder_path.strip_prefix(&prefix) {
+                if rest.is_empty() {
+                    continue;
+                }
+                let first = rest.split('/').next().expect("non-empty rest");
+                seen_dirs.insert(first.to_string());
+            }
+        }
+        out.extend(seen_dirs.into_iter().map(ListItem::Folder));
+        for e in self.entries.values() {
+            if e.folder == f {
+                out.push(ListItem::Dataset(e.clone()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// All folder paths, sorted.
+    pub fn folders(&self) -> impl Iterator<Item = &str> {
+        self.folders.iter().map(String::as_str)
+    }
+
+    /// All entries, sorted by id.
+    pub fn iter(&self) -> impl Iterator<Item = &CatalogEntry> {
+        self.entries.values()
+    }
+
+    /// Evaluate a parsed query over every entry.
+    pub fn search(&self, query: &Query) -> Vec<&CatalogEntry> {
+        self.entries.values().filter(|e| query.eval(*e)).collect()
+    }
+
+    /// Parse and evaluate query text.
+    pub fn search_text(&self, query: &str) -> Result<Vec<&CatalogEntry>, CatalogError> {
+        let q = crate::query::parse_query(query)?;
+        Ok(self.search(&q))
+    }
+
+    /// Serialize the whole catalog to pretty JSON (site operators keep the
+    /// catalog in version control; the format is stable via serde).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("catalog serializes")
+    }
+
+    /// Load a catalog from JSON produced by [`Catalog::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, CatalogError> {
+        serde_json::from_str(json).map_err(|e| CatalogError::BadPath(format!("json: {e}")))
+    }
+
+    /// Write the catalog to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Read a catalog from a file.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Result<Self, CatalogError>> {
+        Ok(Self::from_json(&std::fs::read_to_string(path)?))
+    }
+
+    /// Render the folder tree with entry counts (the client's Figure-3
+    /// style chooser view).
+    pub fn render_tree(&self) -> String {
+        let mut out = String::from("/\n");
+        for f in &self.folders {
+            if f == "/" {
+                continue;
+            }
+            let depth = f.matches('/').count();
+            let name = f.rsplit('/').next().expect("non-empty folder path");
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(name);
+            out.push('\n');
+            for e in self.entries.values().filter(|e| &e.folder == f) {
+                out.push_str(&"  ".repeat(depth + 1));
+                out.push_str(&format!(
+                    "{} [{} records, {:.1} MB]\n",
+                    e.descriptor.id,
+                    e.descriptor.records,
+                    e.descriptor.size_mb()
+                ));
+            }
+        }
+        for e in self.entries.values().filter(|e| e.folder == "/") {
+            out.push_str(&format!("  {}\n", e.descriptor.id));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::metadata;
+    use ipa_dataset::DatasetKind;
+
+    fn desc(id: &str, records: u64, mb: f64) -> DatasetDescriptor {
+        DatasetDescriptor {
+            id: DatasetId::new(id),
+            name: format!("Dataset {id}"),
+            kind: DatasetKind::Event,
+            records,
+            size_bytes: (mb * 1e6) as u64,
+        }
+    }
+
+    fn sample() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(
+            "/lc/simulation",
+            desc("lc-higgs-2006", 100_000, 471.0),
+            metadata([("detector", "SiD".into()), ("energy", 500i64.into())]),
+        )
+        .unwrap();
+        c.add(
+            "/lc/simulation",
+            desc("lc-zpole", 50_000, 120.0),
+            metadata([("detector", "SiD".into()), ("energy", 91i64.into())]),
+        )
+        .unwrap();
+        c.add(
+            "/bio",
+            desc("dna-sample", 2_000, 3.0),
+            metadata([("organism", "human".into())]),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let c = sample();
+        assert_eq!(c.len(), 3);
+        let e = c.entry(&DatasetId::new("lc-higgs-2006")).unwrap();
+        assert_eq!(e.folder, "/lc/simulation");
+        assert_eq!(e.path(), "/lc/simulation/lc-higgs-2006");
+        assert!(matches!(
+            c.entry(&DatasetId::new("nope")),
+            Err(CatalogError::NoSuchDataset(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let mut c = sample();
+        assert!(matches!(
+            c.add("/other", desc("lc-zpole", 1, 1.0), Metadata::new()),
+            Err(CatalogError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn mkdirs_creates_ancestors_and_list_browses() {
+        let c = sample();
+        let root = c.list("/").unwrap();
+        assert!(matches!(&root[0], ListItem::Folder(f) if f == "bio"));
+        assert!(matches!(&root[1], ListItem::Folder(f) if f == "lc"));
+
+        let lc = c.list("/lc").unwrap();
+        assert_eq!(lc.len(), 1);
+        assert!(matches!(&lc[0], ListItem::Folder(f) if f == "simulation"));
+
+        let sim = c.list("/lc/simulation").unwrap();
+        let ids: Vec<&str> = sim
+            .iter()
+            .filter_map(|i| match i {
+                ListItem::Dataset(e) => Some(e.descriptor.id.0.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec!["lc-higgs-2006", "lc-zpole"]);
+    }
+
+    #[test]
+    fn list_unknown_folder_errors() {
+        let c = sample();
+        assert!(matches!(
+            c.list("/nowhere"),
+            Err(CatalogError::NoSuchFolder(_))
+        ));
+        assert!(matches!(c.list("bad"), Err(CatalogError::BadPath(_))));
+    }
+
+    #[test]
+    fn search_over_metadata_and_builtins() {
+        let c = sample();
+        let r = c.search_text("energy >= 500").unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].descriptor.id.0, "lc-higgs-2006");
+
+        let r = c.search_text("detector == SiD").unwrap();
+        assert_eq!(r.len(), 2);
+
+        let r = c.search_text("size_mb > 100 and id ~ \"lc-*\"").unwrap();
+        assert_eq!(r.len(), 2);
+
+        let r = c.search_text("path ~ \"/bio/*\"").unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].descriptor.id.0, "dna-sample");
+
+        let r = c.search_text("kind == dna").unwrap();
+        assert!(r.is_empty()); // all sample descriptors are Event kind
+    }
+
+    #[test]
+    fn remove_entry() {
+        let mut c = sample();
+        c.remove(&DatasetId::new("dna-sample")).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.remove(&DatasetId::new("dna-sample")).is_err());
+    }
+
+    #[test]
+    fn render_tree_shows_structure() {
+        let c = sample();
+        let t = c.render_tree();
+        assert!(t.contains("lc"));
+        assert!(t.contains("simulation"));
+        assert!(t.contains("lc-higgs-2006 [100000 records, 471.0 MB]"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = sample();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: Catalog = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn json_and_file_persistence() {
+        let c = sample();
+        let back = Catalog::from_json(&c.to_json()).unwrap();
+        assert_eq!(c, back);
+        assert!(Catalog::from_json("{ not json").is_err());
+
+        let dir = std::env::temp_dir().join("ipa_catalog_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.json");
+        c.save(&path).unwrap();
+        let loaded = Catalog::load(&path).unwrap().unwrap();
+        assert_eq!(c, loaded);
+        assert_eq!(loaded.search_text("energy >= 500").unwrap().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_folder_is_browsable() {
+        let mut c = Catalog::new();
+        c.mkdirs("/a/b/c").unwrap();
+        assert_eq!(c.list("/a/b/c").unwrap().len(), 0);
+        assert_eq!(c.list("/a").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Catalog error type.
+
+use std::fmt;
+
+/// Errors from catalog operations and query parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CatalogError {
+    /// Path is syntactically invalid.
+    BadPath(String),
+    /// No folder at the path.
+    NoSuchFolder(String),
+    /// No entry with the given dataset id.
+    NoSuchDataset(String),
+    /// An entry or folder already exists where one was being created.
+    AlreadyExists(String),
+    /// Query text failed to parse: position and message.
+    QuerySyntax {
+        /// Byte offset of the error in the query text.
+        at: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::BadPath(p) => write!(f, "bad catalog path '{p}'"),
+            CatalogError::NoSuchFolder(p) => write!(f, "no catalog folder '{p}'"),
+            CatalogError::NoSuchDataset(id) => write!(f, "no dataset '{id}' in catalog"),
+            CatalogError::AlreadyExists(p) => write!(f, "'{p}' already exists in catalog"),
+            CatalogError::QuerySyntax { at, message } => {
+                write!(f, "query syntax error at byte {at}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}

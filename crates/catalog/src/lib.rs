@@ -1,0 +1,33 @@
+//! `ipa-catalog` — the Dataset Catalog Service's data model.
+//!
+//! The paper (§2.1, §3.3) calls for "an abstract metadata catalog of
+//! datasets … organized in a hierarchical fashion where the user can browse
+//! the catalog and choose the dataset of interest", with the "added
+//! advantage" of search "based on a query pattern". The catalog "makes no
+//! assumptions about the type of metadata … except that the metadata
+//! consists of key-value pairs stored in a hierarchical tree."
+//!
+//! This crate implements exactly that:
+//!
+//! * [`Catalog`] — a folder tree whose leaves are dataset entries, each a
+//!   [`DatasetDescriptor`](ipa_dataset::DatasetDescriptor) plus free-form
+//!   key/value [`Metadata`],
+//! * browse ([`Catalog::list`]) and lookup ([`Catalog::entry`]) APIs,
+//! * a query language ([`query`]) with comparisons, boolean connectives and
+//!   glob matching, evaluated over the metadata (plus builtin keys `id`,
+//!   `name`, `path`, `kind`, `records`, `size_mb`).
+//!
+//! The network-facing Dataset Catalog *Service* lives in `ipa-core`; this
+//! crate is the engine behind it.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod error;
+pub mod meta;
+pub mod query;
+
+pub use catalog::{Catalog, CatalogEntry, ListItem};
+pub use error::CatalogError;
+pub use meta::{MetaValue, Metadata};
+pub use query::{parse_query, Query};

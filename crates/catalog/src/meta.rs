@@ -1,0 +1,114 @@
+//! Free-form key/value metadata attached to catalog entries.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A metadata value: string, number, or boolean.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetaValue {
+    /// Text value.
+    Str(String),
+    /// Numeric value.
+    Num(f64),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl MetaValue {
+    /// Numeric view (bools widen, strings parse if they look numeric).
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            MetaValue::Num(n) => Some(*n),
+            MetaValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            MetaValue::Str(s) => s.parse().ok(),
+        }
+    }
+
+    /// String view (numbers/bools format themselves).
+    pub fn as_text(&self) -> String {
+        match self {
+            MetaValue::Str(s) => s.clone(),
+            MetaValue::Num(n) => format!("{n}"),
+            MetaValue::Bool(b) => format!("{b}"),
+        }
+    }
+}
+
+impl fmt::Display for MetaValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.as_text())
+    }
+}
+
+impl From<&str> for MetaValue {
+    fn from(s: &str) -> Self {
+        MetaValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for MetaValue {
+    fn from(s: String) -> Self {
+        MetaValue::Str(s)
+    }
+}
+
+impl From<f64> for MetaValue {
+    fn from(n: f64) -> Self {
+        MetaValue::Num(n)
+    }
+}
+
+impl From<i64> for MetaValue {
+    fn from(n: i64) -> Self {
+        MetaValue::Num(n as f64)
+    }
+}
+
+impl From<bool> for MetaValue {
+    fn from(b: bool) -> Self {
+        MetaValue::Bool(b)
+    }
+}
+
+/// Sorted key → value map.
+pub type Metadata = BTreeMap<String, MetaValue>;
+
+/// Convenience constructor: `metadata([("detector", "SiD".into()), …])`.
+pub fn metadata<I>(pairs: I) -> Metadata
+where
+    I: IntoIterator<Item = (&'static str, MetaValue)>,
+{
+    pairs
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(MetaValue::Num(3.5).as_num(), Some(3.5));
+        assert_eq!(MetaValue::Bool(true).as_num(), Some(1.0));
+        assert_eq!(MetaValue::Str("2.5".into()).as_num(), Some(2.5));
+        assert_eq!(MetaValue::Str("abc".into()).as_num(), None);
+    }
+
+    #[test]
+    fn text_views_and_from_impls() {
+        assert_eq!(MetaValue::from("x").as_text(), "x");
+        assert_eq!(MetaValue::from(2i64).as_text(), "2");
+        assert_eq!(MetaValue::from(false).as_text(), "false");
+        assert_eq!(format!("{}", MetaValue::Num(1.5)), "1.5");
+    }
+
+    #[test]
+    fn metadata_constructor() {
+        let m = metadata([("a", 1i64.into()), ("b", "x".into())]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["a"], MetaValue::Num(1.0));
+    }
+}

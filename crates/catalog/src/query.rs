@@ -1,0 +1,613 @@
+//! The catalog query language.
+//!
+//! A small boolean expression language evaluated over an entry's metadata,
+//! fulfilling the paper's "search … based on a query pattern" (§2.1):
+//!
+//! ```text
+//! detector == "SiD" and energy >= 500
+//! (kind = event or kind = dna) && size_mb < 100
+//! name ~ "higgs*" and not archived
+//! ```
+//!
+//! Grammar (lowest to highest precedence):
+//!
+//! ```text
+//! query  := or
+//! or     := and  ( ("or"  | "||") and )*
+//! and    := unary( ("and" | "&&") unary )*
+//! unary  := ("not" | "!") unary | "(" or ")" | compare | key
+//! compare:= key op value
+//! op     := == | = | != | <= | >= | < | > | ~ | !~
+//! value  := number | "string" | true | false | bareword
+//! ```
+//!
+//! Semantics:
+//! * a bare `key` is true iff the key exists and is truthy (`true`,
+//!   non-zero number, non-empty string),
+//! * comparisons on a missing key are **false** (so `not archived` matches
+//!   entries without the key),
+//! * `==`/`!=` compare numerically when both sides are numeric, otherwise
+//!   textually; `<` `<=` `>` `>=` require numeric values,
+//! * `~` / `!~` are glob matches on the text value (`*` = any run,
+//!   `?` = one character), case-insensitive.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CatalogError;
+use crate::meta::MetaValue;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `==` / `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `~` glob match
+    Glob,
+    /// `!~` negated glob match
+    NotGlob,
+}
+
+/// A literal on the right-hand side of a comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Literal {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (quoted or bareword).
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+}
+
+/// Parsed query AST.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Query {
+    /// Conjunction.
+    And(Box<Query>, Box<Query>),
+    /// Disjunction.
+    Or(Box<Query>, Box<Query>),
+    /// Negation.
+    Not(Box<Query>),
+    /// `key op literal`.
+    Compare {
+        /// Metadata key (builtins included).
+        key: String,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand literal.
+        value: Literal,
+    },
+    /// Bare key existence/truthiness test.
+    Truthy(String),
+}
+
+/// Key lookup interface queries are evaluated against.
+pub trait QueryContext {
+    /// Resolve a key to a value; `None` when the key is absent.
+    fn lookup(&self, key: &str) -> Option<MetaValue>;
+}
+
+impl QueryContext for crate::meta::Metadata {
+    fn lookup(&self, key: &str) -> Option<MetaValue> {
+        self.get(key).cloned()
+    }
+}
+
+/// Case-insensitive glob match: `*` matches any run, `?` one character.
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.to_lowercase().chars().collect();
+    let t: Vec<char> = text.to_lowercase().chars().collect();
+    // Classic two-pointer with backtracking over the last `*`.
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut star_ti) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = pi;
+            star_ti = ti;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            star_ti += 1;
+            ti = star_ti;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+fn truthy(v: &MetaValue) -> bool {
+    match v {
+        MetaValue::Bool(b) => *b,
+        MetaValue::Num(n) => *n != 0.0,
+        MetaValue::Str(s) => !s.is_empty(),
+    }
+}
+
+impl Query {
+    /// Evaluate against a context.
+    pub fn eval(&self, ctx: &dyn QueryContext) -> bool {
+        match self {
+            Query::And(a, b) => a.eval(ctx) && b.eval(ctx),
+            Query::Or(a, b) => a.eval(ctx) || b.eval(ctx),
+            Query::Not(q) => !q.eval(ctx),
+            Query::Truthy(key) => ctx.lookup(key).map(|v| truthy(&v)).unwrap_or(false),
+            Query::Compare { key, op, value } => {
+                let Some(actual) = ctx.lookup(key) else {
+                    return false;
+                };
+                compare(&actual, *op, value)
+            }
+        }
+    }
+}
+
+fn compare(actual: &MetaValue, op: CmpOp, lit: &Literal) -> bool {
+    match op {
+        CmpOp::Eq | CmpOp::Ne => {
+            let eq = match (actual.as_num(), lit_num(lit)) {
+                (Some(a), Some(b)) => a == b,
+                _ => actual.as_text().eq_ignore_ascii_case(&lit_text(lit)),
+            };
+            (op == CmpOp::Eq) == eq
+        }
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            let (Some(a), Some(b)) = (actual.as_num(), lit_num(lit)) else {
+                return false;
+            };
+            match op {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+                _ => unreachable!(),
+            }
+        }
+        CmpOp::Glob => glob_match(&lit_text(lit), &actual.as_text()),
+        CmpOp::NotGlob => !glob_match(&lit_text(lit), &actual.as_text()),
+    }
+}
+
+fn lit_num(l: &Literal) -> Option<f64> {
+    match l {
+        Literal::Num(n) => Some(*n),
+        Literal::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+        Literal::Str(s) => s.parse().ok(),
+    }
+}
+
+fn lit_text(l: &Literal) -> String {
+    match l {
+        Literal::Num(n) => format!("{n}"),
+        Literal::Bool(b) => format!("{b}"),
+        Literal::Str(s) => s.clone(),
+    }
+}
+
+// ---------------------------------------------------------------- lexer ---
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Str(String),
+    Op(CmpOp),
+    And,
+    Or,
+    Not,
+    LParen,
+    RParen,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, CatalogError> {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push((i, Tok::RParen));
+                i += 1;
+            }
+            '~' => {
+                out.push((i, Tok::Op(CmpOp::Glob)));
+                i += 1;
+            }
+            '=' => {
+                let len = if b.get(i + 1) == Some(&b'=') { 2 } else { 1 };
+                out.push((i, Tok::Op(CmpOp::Eq)));
+                i += len;
+            }
+            '!' => match b.get(i + 1) {
+                Some(b'=') => {
+                    out.push((i, Tok::Op(CmpOp::Ne)));
+                    i += 2;
+                }
+                Some(b'~') => {
+                    out.push((i, Tok::Op(CmpOp::NotGlob)));
+                    i += 2;
+                }
+                _ => {
+                    out.push((i, Tok::Not));
+                    i += 1;
+                }
+            },
+            '<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::Op(CmpOp::Le)));
+                    i += 2;
+                } else {
+                    out.push((i, Tok::Op(CmpOp::Lt)));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::Op(CmpOp::Ge)));
+                    i += 2;
+                } else {
+                    out.push((i, Tok::Op(CmpOp::Gt)));
+                    i += 1;
+                }
+            }
+            '&' => {
+                if b.get(i + 1) == Some(&b'&') {
+                    out.push((i, Tok::And));
+                    i += 2;
+                } else {
+                    return Err(CatalogError::QuerySyntax {
+                        at: i,
+                        message: "expected '&&'".into(),
+                    });
+                }
+            }
+            '|' => {
+                if b.get(i + 1) == Some(&b'|') {
+                    out.push((i, Tok::Or));
+                    i += 2;
+                } else {
+                    return Err(CatalogError::QuerySyntax {
+                        at: i,
+                        message: "expected '||'".into(),
+                    });
+                }
+            }
+            '"' | '\'' => {
+                let quote = b[i];
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= b.len() {
+                        return Err(CatalogError::QuerySyntax {
+                            at: start,
+                            message: "unterminated string".into(),
+                        });
+                    }
+                    if b[i] == quote {
+                        i += 1;
+                        break;
+                    }
+                    s.push(b[i] as char);
+                    i += 1;
+                }
+                out.push((start, Tok::Str(s)));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1;
+                while i < b.len()
+                    && ((b[i] as char).is_ascii_digit()
+                        || b[i] == b'.'
+                        || b[i] == b'e'
+                        || b[i] == b'E'
+                        || (b[i] == b'-' && matches!(b[i - 1], b'e' | b'E')))
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: f64 = text.parse().map_err(|_| CatalogError::QuerySyntax {
+                    at: start,
+                    message: format!("bad number '{text}'"),
+                })?;
+                out.push((start, Tok::Num(n)));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '/' => {
+                let start = i;
+                while i < b.len()
+                    && ((b[i] as char).is_ascii_alphanumeric()
+                        || matches!(b[i], b'_' | b'.' | b'-' | b'/' | b'*' | b'?'))
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word.to_ascii_lowercase().as_str() {
+                    "and" => Tok::And,
+                    "or" => Tok::Or,
+                    "not" => Tok::Not,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push((start, tok));
+            }
+            other => {
+                return Err(CatalogError::QuerySyntax {
+                    at: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser ---
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.toks.get(self.pos).map(|(a, _)| *a).unwrap_or(self.len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> CatalogError {
+        CatalogError::QuerySyntax {
+            at: self.at(),
+            message: message.into(),
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Query, CatalogError> {
+        let mut lhs = self.parse_and()?;
+        while matches!(self.peek(), Some(Tok::Or)) {
+            self.bump();
+            let rhs = self.parse_and()?;
+            lhs = Query::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Query, CatalogError> {
+        let mut lhs = self.parse_unary()?;
+        while matches!(self.peek(), Some(Tok::And)) {
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Query::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Query, CatalogError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.bump();
+                Ok(Query::Not(Box::new(self.parse_unary()?)))
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let q = self.parse_or()?;
+                match self.bump() {
+                    Some(Tok::RParen) => Ok(q),
+                    _ => Err(self.err("expected ')'")),
+                }
+            }
+            Some(Tok::Ident(_)) => self.parse_compare(),
+            _ => Err(self.err("expected a key, 'not', or '('")),
+        }
+    }
+
+    fn parse_compare(&mut self) -> Result<Query, CatalogError> {
+        let Some(Tok::Ident(key)) = self.bump() else {
+            return Err(self.err("expected key"));
+        };
+        let op = match self.peek() {
+            Some(Tok::Op(op)) => {
+                let op = *op;
+                self.bump();
+                op
+            }
+            // Bare key → truthiness test.
+            _ => return Ok(Query::Truthy(key)),
+        };
+        let value = match self.bump() {
+            Some(Tok::Num(n)) => Literal::Num(n),
+            Some(Tok::Str(s)) => Literal::Str(s),
+            Some(Tok::Ident(w)) => match w.to_ascii_lowercase().as_str() {
+                "true" => Literal::Bool(true),
+                "false" => Literal::Bool(false),
+                _ => Literal::Str(w),
+            },
+            _ => return Err(self.err("expected a literal after operator")),
+        };
+        Ok(Query::Compare { key, op, value })
+    }
+}
+
+/// Parse query text into a [`Query`].
+pub fn parse_query(src: &str) -> Result<Query, CatalogError> {
+    let toks = lex(src)?;
+    if toks.is_empty() {
+        return Err(CatalogError::QuerySyntax {
+            at: 0,
+            message: "empty query".into(),
+        });
+    }
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        len: src.len(),
+    };
+    let q = p.parse_or()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err("trailing tokens after query"));
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::{metadata, Metadata};
+
+    fn ctx() -> Metadata {
+        metadata([
+            ("detector", "SiD".into()),
+            ("energy", 500i64.into()),
+            ("kind", "event".into()),
+            ("name", "higgs-search-2006".into()),
+            ("archived", false.into()),
+            ("size_mb", 471.0.into()),
+        ])
+    }
+
+    fn eval(q: &str) -> bool {
+        parse_query(q).unwrap().eval(&ctx())
+    }
+
+    #[test]
+    fn simple_comparisons() {
+        assert!(eval("energy == 500"));
+        assert!(eval("energy = 500"));
+        assert!(!eval("energy != 500"));
+        assert!(eval("energy >= 500"));
+        assert!(!eval("energy > 500"));
+        assert!(eval("size_mb < 1000"));
+        assert!(eval("detector == \"SiD\""));
+        assert!(eval("detector == sid")); // case-insensitive text equality
+    }
+
+    #[test]
+    fn boolean_connectives_and_precedence() {
+        assert!(eval("energy > 100 and detector == SiD"));
+        assert!(eval("energy > 900 or detector == SiD"));
+        assert!(!eval("energy > 900 and detector == SiD"));
+        // 'and' binds tighter than 'or'.
+        assert!(eval("energy > 900 and kind == dna or detector == SiD"));
+        assert!(eval("(energy > 900 or kind == event) and detector == SiD"));
+        assert!(eval("energy > 100 && detector == SiD || kind == dna"));
+    }
+
+    #[test]
+    fn not_and_truthiness() {
+        assert!(eval("not archived"));
+        assert!(!eval("archived"));
+        assert!(eval("!archived"));
+        assert!(eval("detector")); // non-empty string is truthy
+        assert!(!eval("missing_key"));
+        assert!(eval("not missing_key"));
+    }
+
+    #[test]
+    fn missing_keys_make_comparisons_false() {
+        assert!(!eval("missing == 5"));
+        assert!(!eval("missing != 5")); // != on missing is also false
+        assert!(!eval("missing < 5"));
+        assert!(eval("not (missing == 5)"));
+    }
+
+    #[test]
+    fn glob_matching() {
+        assert!(eval("name ~ \"higgs*\""));
+        assert!(eval("name ~ higgs*"));
+        assert!(eval("name ~ \"*2006\""));
+        assert!(eval("name ~ \"*search*\""));
+        assert!(!eval("name ~ \"zz*\""));
+        assert!(eval("name !~ \"zz*\""));
+        assert!(eval("name ~ \"HIGGS*\"")); // case-insensitive
+        assert!(eval("detector ~ \"S?D\""));
+    }
+
+    #[test]
+    fn glob_primitive() {
+        assert!(glob_match("*", ""));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("a*b", "ab"));
+        assert!(glob_match("a*b", "axxxb"));
+        assert!(!glob_match("a*b", "axxxc"));
+        assert!(glob_match("a?c", "abc"));
+        assert!(!glob_match("a?c", "ac"));
+        assert!(glob_match("*.part?", "lc-001.part3"));
+        assert!(!glob_match("", "x"));
+        assert!(glob_match("", ""));
+    }
+
+    #[test]
+    fn string_vs_numeric_equality() {
+        let m = metadata([("v", MetaValue::Str("10".into()))]);
+        assert!(parse_query("v == 10").unwrap().eval(&m)); // numeric coercion
+        assert!(parse_query("v == \"10\"").unwrap().eval(&m));
+        let m2 = metadata([("v", MetaValue::Str("abc".into()))]);
+        assert!(!parse_query("v < 5").unwrap().eval(&m2)); // non-numeric ordering
+    }
+
+    #[test]
+    fn syntax_errors_carry_position() {
+        for (q, _frag) in [
+            ("energy >", "literal"),
+            ("== 5", "key"),
+            ("(energy > 5", "')'"),
+            ("energy > 5 )", "trailing"),
+            ("energy # 5", "unexpected"),
+            ("\"unterminated", "unterminated"),
+            ("a & b", "&&"),
+            ("", "empty"),
+        ] {
+            let err = parse_query(q).unwrap_err();
+            assert!(
+                matches!(err, CatalogError::QuerySyntax { .. }),
+                "query {q:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bool_literals() {
+        let m = metadata([("flag", true.into())]);
+        assert!(parse_query("flag == true").unwrap().eval(&m));
+        assert!(!parse_query("flag == false").unwrap().eval(&m));
+    }
+
+    #[test]
+    fn ast_serializes() {
+        let q = parse_query("a > 1 and b ~ \"x*\"").unwrap();
+        let s = serde_json::to_string(&q).unwrap();
+        let back: Query = serde_json::from_str(&s).unwrap();
+        assert_eq!(q, back);
+    }
+}

@@ -1,0 +1,89 @@
+//! `ipa-shell` — an interactive terminal client for the IPA framework.
+//!
+//! Stands up a demo grid site in-process (datasets for all three domains),
+//! issues a proxy, and drops into a command loop. Type `help` for the
+//! command list. This is the terminal counterpart of the paper's JAS GUI.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use ipa_client::Shell;
+use ipa_core::{IpaConfig, ManagerNode};
+use ipa_dataset::{
+    generate_dataset, DnaGeneratorConfig, EventGeneratorConfig, GeneratorConfig,
+    TradeGeneratorConfig,
+};
+use ipa_simgrid::{SecurityDomain, VoPolicy};
+
+fn main() {
+    let security = SecurityDomain::new("demo-site", 2006).with_policy(VoPolicy::new("ilc", 16));
+    let manager = Arc::new(ManagerNode::new(
+        "demo.site",
+        security.clone(),
+        IpaConfig::default(),
+    ));
+    let pubs: [(&str, ipa_dataset::Dataset); 3] = [
+        (
+            "/lc/simulation",
+            generate_dataset(
+                "lc-higgs",
+                "Simulated LC events",
+                &GeneratorConfig::Event(EventGeneratorConfig {
+                    events: 50_000,
+                    ..Default::default()
+                }),
+            ),
+        ),
+        (
+            "/bio",
+            generate_dataset(
+                "dna-lane1",
+                "Sequencing lane",
+                &GeneratorConfig::Dna(DnaGeneratorConfig {
+                    reads: 20_000,
+                    ..Default::default()
+                }),
+            ),
+        ),
+        (
+            "/finance",
+            generate_dataset(
+                "trades-day1",
+                "Trading day",
+                &GeneratorConfig::Trade(TradeGeneratorConfig {
+                    trades: 50_000,
+                    ..Default::default()
+                }),
+            ),
+        ),
+    ];
+    for (folder, ds) in pubs {
+        manager
+            .publish_dataset(folder, ds, ipa_catalog::Metadata::new())
+            .expect("publish demo dataset");
+    }
+    let proxy = security.issue_proxy("/CN=demo-user", "ilc", 0.0, 86_400.0);
+    let mut shell = Shell::new(manager, proxy);
+
+    println!("IPA interactive shell — type 'help' for commands");
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("ipa> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                let out = shell.exec(&line);
+                if !out.is_empty() {
+                    println!("{out}");
+                }
+                if shell.done {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}

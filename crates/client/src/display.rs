@@ -1,0 +1,197 @@
+//! The Figure-4 dashboard: a textual rendering of everything the JAS
+//! screenshot shows — session state, engine panel, interactive-control
+//! hints, and the live merged histograms — plus SVG export.
+
+use ipa_aida::render::{render_h1_ascii, render_h2_ascii, render_profile_ascii, AsciiOptions};
+use ipa_aida::render::{render_h1_svg, render_h2_svg, SvgOptions};
+use ipa_aida::{AidaObject, Tree};
+use ipa_core::SessionStatus;
+
+/// Dashboard rendering options.
+#[derive(Debug, Clone)]
+pub struct DashboardOptions {
+    /// Histogram bar width.
+    pub plot_width: usize,
+    /// Maximum histograms rendered (the rest are listed by name).
+    pub max_plots: usize,
+    /// Show recent log lines.
+    pub show_logs: bool,
+}
+
+impl Default for DashboardOptions {
+    fn default() -> Self {
+        DashboardOptions {
+            plot_width: 50,
+            max_plots: 4,
+            show_logs: true,
+        }
+    }
+}
+
+/// Render the live dashboard: status header + controls hint + plots.
+pub fn render_dashboard(
+    title: &str,
+    status: &SessionStatus,
+    tree: &Tree,
+    opts: &DashboardOptions,
+) -> String {
+    let mut out = String::new();
+    let bar = "=".repeat(72);
+    out.push_str(&bar);
+    out.push('\n');
+    out.push_str(&format!("IPA session — {title}\n"));
+    out.push_str(&bar);
+    out.push('\n');
+    out.push_str(&format!(
+        "state: {:?}   engines alive: {}   parts: {}/{}\n",
+        status.state, status.engines_alive, status.parts_done, status.parts_total
+    ));
+    let pct = status.progress() * 100.0;
+    let filled = (status.progress() * 40.0).round() as usize;
+    out.push_str(&format!(
+        "progress: [{}{}] {:.1}%  ({} / {} records)\n",
+        "#".repeat(filled.min(40)),
+        "-".repeat(40usize.saturating_sub(filled)),
+        pct,
+        status.records_processed,
+        status.records_total
+    ));
+    out.push_str("controls: run | pause | stop | rewind | run N events | reload code\n");
+
+    if opts.show_logs && !status.new_logs.is_empty() {
+        out.push_str(&bar);
+        out.push('\n');
+        for (engine, msg) in &status.new_logs {
+            out.push_str(&format!("[engine {engine}] {msg}\n"));
+        }
+    }
+
+    out.push_str(&bar);
+    out.push('\n');
+    let ascii = AsciiOptions {
+        width: opts.plot_width,
+        ..AsciiOptions::default()
+    };
+    for (i, (path, obj)) in tree.iter().enumerate() {
+        if i >= opts.max_plots {
+            let remaining: Vec<&str> = tree.paths().skip(opts.max_plots).collect();
+            out.push_str(&format!("… and {} more: {}\n", remaining.len(), remaining.join(", ")));
+            break;
+        }
+        out.push_str(&format!("--- {path} ---\n"));
+        match obj {
+            AidaObject::H1(h) => out.push_str(&render_h1_ascii(h, &ascii)),
+            AidaObject::H2(h) => out.push_str(&render_h2_ascii(h, &ascii)),
+            AidaObject::P1(p) => out.push_str(&render_profile_ascii(p, &ascii)),
+            other => out.push_str(&format!(
+                "<{} '{}' with {} entries>\n",
+                other.kind(),
+                other.title(),
+                other.entries()
+            )),
+        }
+    }
+    out
+}
+
+/// Write one SVG file per 1-D/2-D histogram in the tree into `dir`;
+/// returns the written file names. Paths map `/higgs/bb_mass` →
+/// `higgs_bb_mass.svg`.
+pub fn export_svg_plots(tree: &Tree, dir: &std::path::Path) -> std::io::Result<Vec<String>> {
+    std::fs::create_dir_all(dir)?;
+    let opts = SvgOptions::default();
+    let mut written = Vec::new();
+    for (path, obj) in tree.iter() {
+        let svg = match obj {
+            AidaObject::H1(h) => render_h1_svg(h, &opts),
+            AidaObject::H2(h) => render_h2_svg(h, &opts),
+            _ => continue,
+        };
+        let name = format!("{}.svg", path.trim_start_matches('/').replace('/', "_"));
+        std::fs::write(dir.join(&name), svg)?;
+        written.push(name);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_aida::Histogram1D;
+    use ipa_core::RunState;
+
+    fn status() -> SessionStatus {
+        SessionStatus {
+            state: RunState::Running,
+            records_processed: 500,
+            records_total: 1000,
+            parts_done: 1,
+            parts_total: 4,
+            engines_alive: 4,
+            new_logs: vec![(0, "booked plots".into())],
+        }
+    }
+
+    fn tree() -> Tree {
+        let mut t = Tree::new();
+        let mut h = Histogram1D::new("mass", 10, 0.0, 240.0);
+        h.fill1(120.0);
+        t.put("/higgs/bb_mass", h).unwrap();
+        t
+    }
+
+    #[test]
+    fn dashboard_contains_all_panels() {
+        let s = render_dashboard("alice@slac", &status(), &tree(), &DashboardOptions::default());
+        assert!(s.contains("alice@slac"));
+        assert!(s.contains("50.0%"));
+        assert!(s.contains("engines alive: 4"));
+        assert!(s.contains("parts: 1/4"));
+        assert!(s.contains("/higgs/bb_mass"));
+        assert!(s.contains("[engine 0] booked plots"));
+        assert!(s.contains("rewind"));
+    }
+
+    #[test]
+    fn dashboard_truncates_plot_list() {
+        let mut t = Tree::new();
+        for i in 0..8 {
+            t.put(
+                &format!("/p/h{i}"),
+                Histogram1D::new(format!("h{i}"), 5, 0.0, 1.0),
+            )
+            .unwrap();
+        }
+        let s = render_dashboard(
+            "x",
+            &status(),
+            &t,
+            &DashboardOptions {
+                max_plots: 2,
+                ..Default::default()
+            },
+        );
+        assert!(s.contains("and 6 more"));
+    }
+
+    #[test]
+    fn svg_export_writes_files() {
+        let dir = std::env::temp_dir().join("ipa_client_svg_test");
+        let written = export_svg_plots(&tree(), &dir).unwrap();
+        assert_eq!(written, vec!["higgs_bb_mass.svg".to_string()]);
+        let content = std::fs::read_to_string(dir.join("higgs_bb_mass.svg")).unwrap();
+        assert!(content.starts_with("<svg"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_progress_is_100_percent() {
+        let st = SessionStatus {
+            records_total: 0,
+            records_processed: 0,
+            ..status()
+        };
+        let s = render_dashboard("x", &st, &Tree::new(), &DashboardOptions::default());
+        assert!(s.contains("100.0%"));
+    }
+}

@@ -1,0 +1,272 @@
+//! `ipa-client` — the desktop client layer.
+//!
+//! The paper's client is Java Analysis Studio 3 extended with three
+//! plug-ins (grid proxy, dataset catalog, remote data). This crate is the
+//! headless equivalent:
+//!
+//! * [`IpaClient`] — proxy creation (`grid_proxy_init`), catalog browsing
+//!   and searching, and session creation against a
+//!   [`ManagerNode`](ipa_core::ManagerNode),
+//! * [`monitor_run`] — the polling loop ("a separate plug-in … constantly
+//!   polls the AIDA manager", §3.7) with a user callback per update,
+//! * [`display`] — the Figure-4 dashboard: session state, engine panel,
+//!   live ASCII histograms, and SVG export of every plot in the merged
+//!   tree.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use ipa_client::IpaClient;
+//! use ipa_core::{AnalysisCode, IpaConfig, ManagerNode};
+//! use ipa_simgrid::{SecurityDomain, VoPolicy};
+//!
+//! let security = SecurityDomain::new("site", 42)
+//!     .with_policy(VoPolicy::new("ilc", 16));
+//! let manager = Arc::new(ManagerNode::new("site", security.clone(), IpaConfig::default()));
+//! let mut client = IpaClient::new(manager);
+//! client.grid_proxy_init(&security, "/CN=alice", "ilc", 0.0, 7200.0);
+//! let mut session = client.connect(0.0, 4).unwrap();
+//! # let _ = session;
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod display;
+pub mod remote;
+pub mod shell;
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ipa_catalog::{CatalogEntry, ListItem};
+use ipa_core::{CoreError, ManagerNode, RunState, Session, SessionStatus};
+use ipa_dataset::DatasetId;
+use ipa_simgrid::{GridProxy, SecurityDomain};
+
+pub use display::{export_svg_plots, render_dashboard, DashboardOptions};
+pub use remote::{RemoteError, RemoteSession};
+pub use shell::Shell;
+
+/// The client application: manager endpoint + user credential.
+pub struct IpaClient {
+    manager: Arc<ManagerNode>,
+    proxy: Option<GridProxy>,
+}
+
+impl IpaClient {
+    /// Point the client at a manager node (the paper's service URL).
+    pub fn new(manager: Arc<ManagerNode>) -> Self {
+        IpaClient {
+            manager,
+            proxy: None,
+        }
+    }
+
+    /// The `grid-proxy-init` step: create a delegated credential from the
+    /// user's identity (§3.1's grid proxy plug-in).
+    pub fn grid_proxy_init(
+        &mut self,
+        ca: &SecurityDomain,
+        subject: &str,
+        vo: &str,
+        now: f64,
+        lifetime_s: f64,
+    ) -> &GridProxy {
+        self.proxy = Some(ca.issue_proxy(subject, vo, now, lifetime_s));
+        self.proxy.as_ref().expect("just set")
+    }
+
+    /// The active proxy, if one was created.
+    pub fn proxy(&self) -> Option<&GridProxy> {
+        self.proxy.as_ref()
+    }
+
+    /// Browse a catalog folder (the Figure-3 chooser).
+    pub fn browse(&self, folder: &str) -> Result<Vec<ListItem>, CoreError> {
+        self.manager.browse(folder)
+    }
+
+    /// Search the catalog with query text.
+    pub fn search(&self, query: &str) -> Result<Vec<CatalogEntry>, CoreError> {
+        self.manager.search(query)
+    }
+
+    /// Render the whole catalog tree.
+    pub fn catalog_tree(&self) -> String {
+        self.manager.catalog_tree()
+    }
+
+    /// Step 1: mutually authenticate and create a session with up to
+    /// `engines` analysis engines (0 = site default).
+    pub fn connect(&self, now: f64, engines: usize) -> Result<Session, CoreError> {
+        let proxy = self
+            .proxy
+            .as_ref()
+            .ok_or(CoreError::Auth(ipa_simgrid::AuthError::BadSignature))?;
+        self.manager.create_session(proxy, now, engines)
+    }
+
+    /// Convenience: search for exactly one dataset matching `query`.
+    pub fn find_dataset(&self, query: &str) -> Result<DatasetId, CoreError> {
+        let hits = self.search(query)?;
+        match hits.len() {
+            1 => Ok(hits[0].descriptor.id.clone()),
+            0 => Err(CoreError::Catalog(format!("no dataset matches '{query}'"))),
+            n => Err(CoreError::Catalog(format!(
+                "{n} datasets match '{query}', expected exactly one"
+            ))),
+        }
+    }
+}
+
+/// Outcome of a monitored run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Final status.
+    pub status: SessionStatus,
+    /// Number of poll iterations performed.
+    pub polls: u64,
+    /// Time from run start to the *first* partial result — the paper's
+    /// interactivity yardstick ("partial results on time scales of less
+    /// than a minute").
+    pub first_feedback: Option<Duration>,
+    /// Total wall-clock of the run.
+    pub elapsed: Duration,
+}
+
+/// Start the run and poll until it finishes, invoking `on_update` after
+/// every poll that changed the processed-record count. This is the
+/// client's live-histogram loop.
+pub fn monitor_run(
+    session: &mut Session,
+    poll_interval: Duration,
+    timeout: Duration,
+    mut on_update: impl FnMut(&SessionStatus, &mut Session),
+) -> Result<RunReport, CoreError> {
+    let start = Instant::now();
+    session.run()?;
+    let mut polls = 0u64;
+    let mut last_processed = u64::MAX;
+    let mut first_feedback = None;
+    loop {
+        let status = session.poll()?;
+        polls += 1;
+        if status.records_processed != last_processed {
+            if status.records_processed > 0 && first_feedback.is_none() {
+                first_feedback = Some(start.elapsed());
+            }
+            last_processed = status.records_processed;
+            on_update(&status, session);
+        }
+        if status.state == RunState::Finished {
+            return Ok(RunReport {
+                status,
+                polls,
+                first_feedback,
+                elapsed: start.elapsed(),
+            });
+        }
+        if start.elapsed() > timeout {
+            return Ok(RunReport {
+                status,
+                polls,
+                first_feedback,
+                elapsed: start.elapsed(),
+            });
+        }
+        std::thread::sleep(poll_interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_core::{AnalysisCode, IpaConfig};
+    use ipa_dataset::{EventGeneratorConfig, GeneratorConfig};
+    use ipa_simgrid::VoPolicy;
+
+    fn rig() -> (Arc<ManagerNode>, SecurityDomain) {
+        let sec = SecurityDomain::new("site", 3).with_policy(VoPolicy::new("ilc", 8));
+        let manager = Arc::new(ManagerNode::new(
+            "site",
+            sec.clone(),
+            IpaConfig {
+                publish_every: 100,
+                ..Default::default()
+            },
+        ));
+        let ds = ipa_dataset::generate_dataset(
+            "lc-1",
+            "LC events",
+            &GeneratorConfig::Event(EventGeneratorConfig {
+                events: 1200,
+                ..Default::default()
+            }),
+        );
+        manager
+            .publish_dataset("/lc", ds, ipa_catalog::Metadata::new())
+            .unwrap();
+        (manager, sec)
+    }
+
+    #[test]
+    fn connect_requires_proxy() {
+        let (manager, _sec) = rig();
+        let client = IpaClient::new(manager);
+        assert!(matches!(client.connect(0.0, 2), Err(CoreError::Auth(_))));
+    }
+
+    #[test]
+    fn full_client_flow_with_monitoring() {
+        let (manager, sec) = rig();
+        let mut client = IpaClient::new(manager);
+        client.grid_proxy_init(&sec, "/CN=alice", "ilc", 0.0, 7200.0);
+        assert!(client.proxy().is_some());
+
+        let id = client.find_dataset("id == \"lc-1\"").unwrap();
+        let mut session = client.connect(0.0, 3).unwrap();
+        session.select_dataset(&id).unwrap();
+        session
+            .load_code(AnalysisCode::Native("higgs-search".into()))
+            .unwrap();
+
+        let mut updates = 0;
+        let report = monitor_run(
+            &mut session,
+            Duration::from_micros(100),
+            Duration::from_secs(60),
+            |_, _| updates += 1,
+        )
+        .unwrap();
+        assert_eq!(report.status.state, RunState::Finished);
+        assert_eq!(report.status.records_processed, 1200);
+        assert!(updates >= 1);
+        assert!(report.first_feedback.is_some());
+        session.close();
+    }
+
+    #[test]
+    fn find_dataset_disambiguation() {
+        let (manager, sec) = rig();
+        let ds2 = ipa_dataset::generate_dataset(
+            "lc-2",
+            "More LC events",
+            &GeneratorConfig::Event(EventGeneratorConfig {
+                events: 10,
+                seed: 9,
+                ..Default::default()
+            }),
+        );
+        manager
+            .publish_dataset("/lc", ds2, ipa_catalog::Metadata::new())
+            .unwrap();
+        let mut client = IpaClient::new(manager);
+        client.grid_proxy_init(&sec, "/CN=a", "ilc", 0.0, 7200.0);
+        assert!(client.find_dataset("id ~ \"lc-*\"").is_err()); // ambiguous
+        assert!(client.find_dataset("id == \"lc-2\"").is_ok());
+        assert!(client.find_dataset("id == \"zzz\"").is_err()); // none
+        assert_eq!(client.browse("/lc").unwrap().len(), 2);
+        assert!(client.catalog_tree().contains("lc-1"));
+    }
+}

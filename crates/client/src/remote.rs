@@ -1,0 +1,235 @@
+//! Remote sessions: the client side of the TCP web-services gateway.
+//!
+//! [`RemoteSession`] mirrors the local [`Session`](ipa_core::Session) API
+//! but every call crosses the network through
+//! [`WsClient`](ipa_core::WsClient) — this is the deployment shape of the
+//! paper, where the JAS client and the manager node are different machines.
+
+use std::net::ToSocketAddrs;
+use std::time::{Duration, Instant};
+
+use ipa_aida::Tree;
+use ipa_core::{RunState, SessionStatus, WsClient, WsRequest, WsResponse};
+use ipa_simgrid::GridProxy;
+
+/// Errors from remote calls: transport problems or server-side rejections,
+/// both as human-readable strings (they crossed the wire as text anyway).
+pub type RemoteError = String;
+
+fn unexpected(what: &str, got: &WsResponse) -> RemoteError {
+    format!("expected {what}, got {got:?}")
+}
+
+/// A session living on a remote manager node, driven over TCP.
+pub struct RemoteSession {
+    client: WsClient,
+    session: u64,
+    engines: usize,
+}
+
+impl RemoteSession {
+    /// Connect to a gateway, authenticate with `proxy`, and create a
+    /// session with up to `engines` engines (0 = site default).
+    pub fn create(
+        addr: impl ToSocketAddrs,
+        proxy: GridProxy,
+        now: f64,
+        engines: usize,
+    ) -> Result<Self, RemoteError> {
+        let mut client = WsClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        match client.call_ok(&WsRequest::CreateSession {
+            proxy,
+            now,
+            engines,
+        })? {
+            WsResponse::SessionCreated { session, engines } => Ok(RemoteSession {
+                client,
+                session,
+                engines,
+            }),
+            other => Err(unexpected("SessionCreated", &other)),
+        }
+    }
+
+    /// Remote session id.
+    pub fn id(&self) -> u64 {
+        self.session
+    }
+
+    /// Engines granted at creation.
+    pub fn engines(&self) -> usize {
+        self.engines
+    }
+
+    fn simple(&mut self, req: WsRequest) -> Result<(), RemoteError> {
+        match self.client.call_ok(&req)? {
+            WsResponse::Ok => Ok(()),
+            other => Err(unexpected("Ok", &other)),
+        }
+    }
+
+    /// Stage a dataset by id.
+    pub fn select_dataset(&mut self, id: &str) -> Result<(), RemoteError> {
+        let session = self.session;
+        self.simple(WsRequest::SelectDataset {
+            session,
+            id: id.to_string(),
+        })
+    }
+
+    /// Ship IPAScript source.
+    pub fn load_script(&mut self, source: &str) -> Result<(), RemoteError> {
+        let session = self.session;
+        self.simple(WsRequest::LoadScript {
+            session,
+            source: source.to_string(),
+        })
+    }
+
+    /// Select a site-registered native analyzer.
+    pub fn load_native(&mut self, name: &str) -> Result<(), RemoteError> {
+        let session = self.session;
+        self.simple(WsRequest::LoadNative {
+            session,
+            name: name.to_string(),
+        })
+    }
+
+    /// Start / resume the run.
+    pub fn run(&mut self) -> Result<(), RemoteError> {
+        let session = self.session;
+        self.simple(WsRequest::Run { session })
+    }
+
+    /// Process at most `n` records per engine, then pause.
+    pub fn run_events(&mut self, n: usize) -> Result<(), RemoteError> {
+        let session = self.session;
+        self.simple(WsRequest::RunEvents { session, n })
+    }
+
+    /// Pause the run.
+    pub fn pause(&mut self) -> Result<(), RemoteError> {
+        let session = self.session;
+        self.simple(WsRequest::Pause { session })
+    }
+
+    /// Stop the run.
+    pub fn stop(&mut self) -> Result<(), RemoteError> {
+        let session = self.session;
+        self.simple(WsRequest::Stop { session })
+    }
+
+    /// Rewind to record zero.
+    pub fn rewind(&mut self) -> Result<(), RemoteError> {
+        let session = self.session;
+        self.simple(WsRequest::Rewind { session })
+    }
+
+    /// Poll: drains server-side events (failure recovery happens there)
+    /// and returns the status snapshot.
+    pub fn poll(&mut self) -> Result<SessionStatus, RemoteError> {
+        let session = self.session;
+        match self.client.call_ok(&WsRequest::Poll { session })? {
+            WsResponse::Status(st) => Ok(st),
+            other => Err(unexpected("Status", &other)),
+        }
+    }
+
+    /// Fetch the merged result tree.
+    pub fn results(&mut self) -> Result<Tree, RemoteError> {
+        let session = self.session;
+        match self.client.call_ok(&WsRequest::Results { session })? {
+            WsResponse::Tree(t) => Ok(t),
+            other => Err(unexpected("Tree", &other)),
+        }
+    }
+
+    /// Poll until the run finishes or `timeout` elapses; returns the last
+    /// status either way.
+    pub fn wait_finished(&mut self, timeout: Duration) -> Result<SessionStatus, RemoteError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let st = self.poll()?;
+            if st.state == RunState::Finished || Instant::now() > deadline {
+                return Ok(st);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Close the remote session (engines shut down server-side).
+    pub fn close(mut self) -> Result<(), RemoteError> {
+        let session = self.session;
+        self.simple(WsRequest::CloseSession { session })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_core::{IpaConfig, ManagerNode, WsGateway};
+    use ipa_dataset::{EventGeneratorConfig, GeneratorConfig};
+    use ipa_simgrid::{SecurityDomain, VoPolicy};
+    use std::sync::Arc;
+
+    #[test]
+    fn remote_session_full_flow() {
+        let sec = SecurityDomain::new("remote-site", 77).with_policy(VoPolicy::new("ilc", 8));
+        let manager = Arc::new(ManagerNode::new(
+            "remote-site",
+            sec.clone(),
+            IpaConfig {
+                publish_every: 200,
+                ..Default::default()
+            },
+        ));
+        manager
+            .publish_dataset(
+                "/lc",
+                ipa_dataset::generate_dataset(
+                    "lc-remote",
+                    "events",
+                    &GeneratorConfig::Event(EventGeneratorConfig {
+                        events: 1_500,
+                        ..Default::default()
+                    }),
+                ),
+                ipa_catalog::Metadata::new(),
+            )
+            .unwrap();
+        let mut gw = WsGateway::serve(manager, ("127.0.0.1", 0)).unwrap();
+
+        let proxy = sec.issue_proxy("/CN=far-away", "ilc", 0.0, 7200.0);
+        let mut s = RemoteSession::create(gw.addr(), proxy, 0.0, 2).unwrap();
+        assert_eq!(s.engines(), 2);
+        s.select_dataset("lc-remote").unwrap();
+        s.load_native("higgs-search").unwrap();
+        s.run().unwrap();
+        let st = s.wait_finished(Duration::from_secs(60)).unwrap();
+        assert_eq!(st.state, RunState::Finished);
+        assert_eq!(st.records_processed, 1_500);
+        let tree = s.results().unwrap();
+        assert!(tree.get("/higgs/bb_mass").unwrap().entries() > 0);
+        s.close().unwrap();
+        gw.shutdown();
+    }
+
+    #[test]
+    fn remote_errors_surface_as_strings() {
+        let sec = SecurityDomain::new("remote-site", 77).with_policy(VoPolicy::new("ilc", 8));
+        let manager = Arc::new(ManagerNode::new(
+            "remote-site",
+            sec.clone(),
+            IpaConfig::default(),
+        ));
+        let mut gw = WsGateway::serve(manager, ("127.0.0.1", 0)).unwrap();
+        let proxy = sec.issue_proxy("/CN=x", "ilc", 0.0, 7200.0);
+        let mut s = RemoteSession::create(gw.addr(), proxy, 0.0, 1).unwrap();
+        let err = s.select_dataset("does-not-exist").unwrap_err();
+        assert!(err.contains("located"), "{err}");
+        let err = s.run().unwrap_err();
+        assert!(err.contains("no dataset"), "{err}");
+        s.close().unwrap();
+        gw.shutdown();
+    }
+}

@@ -1,0 +1,362 @@
+//! An interactive command shell over a session — the terminal counterpart
+//! of the JAS GUI. Commands are parsed and executed by [`Shell::exec`],
+//! which returns the text to print, so the whole surface is unit-testable;
+//! the `ipa-shell` binary wires it to stdin/stdout.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ipa_aida::render::{render_h1_ascii, AsciiOptions};
+use ipa_core::{AnalysisCode, ManagerNode, Session};
+use ipa_dataset::DatasetId;
+use ipa_simgrid::{GridProxy, PaperCalibration};
+
+use crate::display::{export_svg_plots, render_dashboard, DashboardOptions};
+
+/// Shell state: a manager endpoint, a credential, and (once `connect` has
+/// run) a live session.
+pub struct Shell {
+    manager: Arc<ManagerNode>,
+    proxy: GridProxy,
+    session: Option<Session>,
+    /// True once `quit` has been issued.
+    pub done: bool,
+}
+
+const HELP: &str = "\
+commands:
+  tree                         show the catalog tree
+  ls <folder>                  browse a catalog folder
+  search <query>               metadata query (e.g. energy >= 500)
+  connect <n>                  create a session with n engines
+  select <dataset-id>          stage a dataset
+  native <name>                load a registered native analyzer
+  script <file>                load IPAScript source from a file
+  run | pause | stop | rewind  interactive controls
+  runn <n>                     run n records per engine, then pause
+  status                       poll and show the dashboard
+  plot <path>                  ASCII-render one histogram
+  fit <path> <lo> <hi>         Gaussian peak fit in a mass window
+  report                       simulated 2006-grid staging cost
+  workers                      engine registry panel
+  svg <dir>                    export all plots as SVG
+  close                        close the session
+  quit                         exit
+";
+
+impl Shell {
+    /// New shell against a manager, with a ready-made proxy.
+    pub fn new(manager: Arc<ManagerNode>, proxy: GridProxy) -> Self {
+        Shell {
+            manager,
+            proxy,
+            session: None,
+            done: false,
+        }
+    }
+
+    fn session_mut(&mut self) -> Result<&mut Session, String> {
+        self.session
+            .as_mut()
+            .ok_or_else(|| "no session — use: connect <n>".to_string())
+    }
+
+    /// Execute one command line; returns the text to display.
+    pub fn exec(&mut self, line: &str) -> String {
+        let mut parts = line.split_whitespace();
+        let cmd = match parts.next() {
+            Some(c) => c,
+            None => return String::new(),
+        };
+        let rest: Vec<&str> = parts.collect();
+        match self.dispatch(cmd, &rest, line) {
+            Ok(out) => out,
+            Err(e) => format!("error: {e}"),
+        }
+    }
+
+    fn dispatch(&mut self, cmd: &str, args: &[&str], raw: &str) -> Result<String, String> {
+        Ok(match cmd {
+            "help" | "?" => HELP.to_string(),
+            "tree" => self.manager.catalog_tree(),
+            "ls" => {
+                let folder = args.first().copied().unwrap_or("/");
+                let items = self.manager.browse(folder).map_err(|e| e.to_string())?;
+                let mut out = String::new();
+                for i in items {
+                    match i {
+                        ipa_catalog::ListItem::Folder(f) => out.push_str(&format!("{f}/\n")),
+                        ipa_catalog::ListItem::Dataset(e) => out.push_str(&format!(
+                            "{}  [{} records, {:.2} MB]\n",
+                            e.descriptor.id,
+                            e.descriptor.records,
+                            e.descriptor.size_mb()
+                        )),
+                    }
+                }
+                out
+            }
+            "search" => {
+                // Preserve the raw query text (it contains spaces/quotes).
+                let query = raw.trim().strip_prefix("search").unwrap_or("").trim();
+                if query.is_empty() {
+                    return Err("usage: search <query>".into());
+                }
+                let hits = self.manager.search(query).map_err(|e| e.to_string())?;
+                let mut out = format!("{} match(es)\n", hits.len());
+                for h in hits {
+                    out.push_str(&format!("{}  {}\n", h.descriptor.id, h.path()));
+                }
+                out
+            }
+            "connect" => {
+                let n: usize = args
+                    .first()
+                    .and_then(|a| a.parse().ok())
+                    .ok_or("usage: connect <engines>")?;
+                let s = self
+                    .manager
+                    .create_session(&self.proxy, 0.0, n)
+                    .map_err(|e| e.to_string())?;
+                let msg = format!("session {} with {} engines", s.id(), s.engines());
+                self.session = Some(s);
+                msg
+            }
+            "select" => {
+                let id = args.first().ok_or("usage: select <dataset-id>")?.to_string();
+                let s = self.session_mut()?;
+                s.select_dataset(&DatasetId::new(id.clone()))
+                    .map_err(|e| e.to_string())?;
+                format!(
+                    "staged '{}' ({} records across {} engines)",
+                    id,
+                    s.dataset().map(|d| d.records).unwrap_or(0),
+                    s.engines_alive()
+                )
+            }
+            "native" => {
+                let name = args.first().ok_or("usage: native <name>")?.to_string();
+                self.session_mut()?
+                    .load_code(AnalysisCode::Native(name.clone()))
+                    .map_err(|e| e.to_string())?;
+                format!("loaded native analyzer '{name}'")
+            }
+            "script" => {
+                let file = args.first().ok_or("usage: script <file>")?;
+                let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+                self.session_mut()?
+                    .load_code(AnalysisCode::Script(src))
+                    .map_err(|e| e.to_string())?;
+                format!("compiled and shipped {file}")
+            }
+            "run" => {
+                self.session_mut()?.run().map_err(|e| e.to_string())?;
+                "running".to_string()
+            }
+            "runn" => {
+                let n: usize = args
+                    .first()
+                    .and_then(|a| a.parse().ok())
+                    .ok_or("usage: runn <records>")?;
+                self.session_mut()?
+                    .run_events(n)
+                    .map_err(|e| e.to_string())?;
+                format!("running {n} records per engine")
+            }
+            "pause" => {
+                self.session_mut()?.pause().map_err(|e| e.to_string())?;
+                "paused".to_string()
+            }
+            "stop" => {
+                self.session_mut()?.stop().map_err(|e| e.to_string())?;
+                "stopped".to_string()
+            }
+            "rewind" => {
+                self.session_mut()?.rewind().map_err(|e| e.to_string())?;
+                "rewound to record 0".to_string()
+            }
+            "status" => {
+                let subject = self.proxy.subject.clone();
+                let s = self.session_mut()?;
+                let st = s.poll().map_err(|e| e.to_string())?;
+                let tree = s.results().map_err(|e| e.to_string())?;
+                render_dashboard(&subject, &st, &tree, &DashboardOptions::default())
+            }
+            "plot" => {
+                let path = args.first().ok_or("usage: plot </path/to/hist>")?;
+                let s = self.session_mut()?;
+                s.poll().map_err(|e| e.to_string())?;
+                let tree = s.results().map_err(|e| e.to_string())?;
+                let obj = tree.get(path).map_err(|e| e.to_string())?;
+                match obj.as_h1() {
+                    Some(h) => render_h1_ascii(h, &AsciiOptions::default()),
+                    None => format!("'{path}' is a {} ({} entries)", obj.kind(), obj.entries()),
+                }
+            }
+            "fit" => {
+                if args.len() != 3 {
+                    return Err("usage: fit <path> <lo> <hi>".into());
+                }
+                let (path, lo, hi) = (args[0], args[1], args[2]);
+                let lo: f64 = lo.parse().map_err(|_| "lo must be numeric")?;
+                let hi: f64 = hi.parse().map_err(|_| "hi must be numeric")?;
+                let s = self.session_mut()?;
+                s.poll().map_err(|e| e.to_string())?;
+                let tree = s.results().map_err(|e| e.to_string())?;
+                let h = tree
+                    .get(path)
+                    .map_err(|e| e.to_string())?
+                    .as_h1()
+                    .ok_or("fit needs a 1-D histogram")?
+                    .clone();
+                match ipa_aida::fit_gaussian_in(&h, lo, hi, 1.2) {
+                    Some(fit) => format!(
+                        "peak: mean = {:.3}, sigma = {:.3}, amplitude = {:.1} ({} bins)",
+                        fit.mean, fit.sigma, fit.amplitude, fit.bins_used
+                    ),
+                    None => "no peak found in that window".to_string(),
+                }
+            }
+            "report" => {
+                let s = self.session_mut()?;
+                let b = s
+                    .staging_report(&PaperCalibration::paper2006())
+                    .map_err(|e| e.to_string())?;
+                format!(
+                    "on the 2006 testbed this staging would cost:\n\
+                     move whole {:.0} s · split {:.0} s · move parts {:.0} s · \
+                     code {:.0} s · analysis {:.0} s → total {:.0} s",
+                    b.move_whole_s, b.split_s, b.move_parts_s, b.stage_code_s, b.analysis_s, b.total_s
+                )
+            }
+            "workers" => self.manager.worker_registry().render(),
+            "svg" => {
+                let dir = args.first().ok_or("usage: svg <dir>")?;
+                let s = self.session_mut()?;
+                s.poll().map_err(|e| e.to_string())?;
+                let tree = s.results().map_err(|e| e.to_string())?;
+                let files =
+                    export_svg_plots(&tree, std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+                format!("wrote {} files to {dir}", files.len())
+            }
+            "wait" => {
+                // Undocumented helper for scripting the shell in tests.
+                let secs: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(30);
+                let s = self.session_mut()?;
+                let st = s
+                    .wait_finished(Duration::from_secs(secs))
+                    .map_err(|e| e.to_string())?;
+                format!("{:?}: {} records", st.state, st.records_processed)
+            }
+            "close" => {
+                if let Some(mut s) = self.session.take() {
+                    s.close();
+                    "session closed".to_string()
+                } else {
+                    "no session".to_string()
+                }
+            }
+            "quit" | "exit" => {
+                if let Some(mut s) = self.session.take() {
+                    s.close();
+                }
+                self.done = true;
+                "bye".to_string()
+            }
+            other => format!("unknown command '{other}' — try 'help'"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_core::IpaConfig;
+    use ipa_dataset::{EventGeneratorConfig, GeneratorConfig};
+    use ipa_simgrid::{SecurityDomain, VoPolicy};
+
+    fn shell() -> Shell {
+        let sec = SecurityDomain::new("shell-site", 13).with_policy(VoPolicy::new("ilc", 8));
+        let manager = Arc::new(ManagerNode::new(
+            "shell-site",
+            sec.clone(),
+            IpaConfig {
+                publish_every: 200,
+                ..Default::default()
+            },
+        ));
+        manager
+            .publish_dataset(
+                "/lc",
+                ipa_dataset::generate_dataset(
+                    "lc-shell",
+                    "events",
+                    &GeneratorConfig::Event(EventGeneratorConfig {
+                        events: 1_000,
+                        ..Default::default()
+                    }),
+                ),
+                ipa_catalog::Metadata::new(),
+            )
+            .unwrap();
+        let proxy = sec.issue_proxy("/CN=shell", "ilc", 0.0, 1e6);
+        Shell::new(manager, proxy)
+    }
+
+    #[test]
+    fn full_scripted_session() {
+        let mut sh = shell();
+        assert!(sh.exec("help").contains("commands:"));
+        assert!(sh.exec("tree").contains("lc-shell"));
+        assert!(sh.exec("ls /lc").contains("lc-shell"));
+        assert!(sh.exec("search id == \"lc-shell\"").contains("1 match"));
+
+        // Commands that need a session fail gracefully first.
+        assert!(sh.exec("run").contains("no session"));
+
+        assert!(sh.exec("connect 2").contains("2 engines"));
+        assert!(sh.exec("select lc-shell").contains("1000 records"));
+        assert!(sh.exec("native higgs-search").contains("loaded"));
+        assert!(sh.exec("report").contains("total"));
+        sh.exec("run");
+        let out = sh.exec("wait 60");
+        assert!(out.contains("Finished: 1000 records"), "{out}");
+        assert!(sh.exec("status").contains("100.0%"));
+        assert!(sh.exec("plot /higgs/bb_mass").contains("entries="));
+        assert!(sh.exec("fit /higgs/bb_mass 80 200").contains("mean"));
+        assert!(sh.exec("workers").contains("wn000.shell-site"));
+        assert!(sh.exec("close").contains("closed"));
+        assert!(sh.exec("quit").contains("bye"));
+        assert!(sh.done);
+    }
+
+    #[test]
+    fn error_paths_are_messages_not_panics() {
+        let mut sh = shell();
+        assert!(sh.exec("connect nope").contains("usage"));
+        assert!(sh.exec("nonsense").contains("unknown command"));
+        assert!(sh.exec("search energy >").contains("error"));
+        sh.exec("connect 1");
+        assert!(sh.exec("select missing-id").contains("error"));
+        assert!(sh.exec("script /no/such/file.ipa").contains("error"));
+        assert!(sh.exec("fit /x y z").contains("error"));
+        assert!(sh.exec("plot /nothing").contains("error"));
+        assert!(sh.exec("").is_empty());
+        sh.exec("quit");
+    }
+
+    #[test]
+    fn interactive_controls_via_shell() {
+        let mut sh = shell();
+        sh.exec("connect 2");
+        sh.exec("select lc-shell");
+        sh.exec("native higgs-search");
+        assert!(sh.exec("runn 100").contains("100 records"));
+        std::thread::sleep(Duration::from_millis(200));
+        assert!(sh.exec("status").contains("200 / 1000"));
+        assert!(sh.exec("rewind").contains("rewound"));
+        sh.exec("run");
+        assert!(sh.exec("wait 60").contains("1000"));
+        sh.exec("quit");
+    }
+}

@@ -1,0 +1,493 @@
+//! Analysis code: scripts and native analyzers.
+//!
+//! The paper stages user code in two flavours — PNUTS scripts and compiled
+//! Java classes (§3.5). Here those are [`AnalysisCode::Script`] (IPAScript,
+//! interpreted) and [`AnalysisCode::Native`] (a named entry in the site's
+//! [`NativeRegistry`] of compiled analyzers). Both run behind the same
+//! [`Analyzer`] trait inside an engine, filling an AIDA tree through the
+//! [`Host`](ipa_script::Host) interface.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ipa_dataset::{AnyRecord, RecordFields};
+use ipa_script::{compile, Host, Interpreter};
+
+use crate::error::CoreError;
+
+/// A unit of user analysis logic, driven record by record.
+pub trait Analyzer: Send {
+    /// Called once before the first record (book plots here).
+    fn init(&mut self, host: &mut dyn Host) -> Result<(), String>;
+    /// Called for every record.
+    fn process(&mut self, record: &AnyRecord, host: &mut dyn Host) -> Result<(), String>;
+    /// Called after the last record of the part.
+    fn end(&mut self, host: &mut dyn Host) -> Result<(), String> {
+        let _ = host;
+        Ok(())
+    }
+}
+
+/// Factory producing fresh analyzer instances (engines re-instantiate on
+/// rewind and reload).
+pub type AnalyzerFactory = Arc<dyn Fn() -> Box<dyn Analyzer> + Send + Sync>;
+
+/// Analysis code as shipped from the client to the engines.
+#[derive(Clone)]
+pub enum AnalysisCode {
+    /// IPAScript source text (the PNUTS path).
+    Script(String),
+    /// Name of a registered native analyzer (the compiled-class path).
+    Native(String),
+}
+
+impl std::fmt::Debug for AnalysisCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisCode::Script(s) => write!(f, "Script({} bytes)", s.len()),
+            AnalysisCode::Native(n) => write!(f, "Native({n})"),
+        }
+    }
+}
+
+impl AnalysisCode {
+    /// Size of the staged payload in bytes (the paper's Table 1 reports a
+    /// 15 kB bytecode stage; scripts are typically far smaller).
+    pub fn staged_bytes(&self) -> usize {
+        match self {
+            AnalysisCode::Script(s) => s.len(),
+            AnalysisCode::Native(n) => n.len(),
+        }
+    }
+}
+
+/// Registry of named native analyzers installed at the site.
+#[derive(Clone, Default)]
+pub struct NativeRegistry {
+    factories: HashMap<String, AnalyzerFactory>,
+}
+
+impl NativeRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        NativeRegistry::default()
+    }
+
+    /// Register a factory under `name` (replaces any previous entry).
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> Box<dyn Analyzer> + Send + Sync + 'static,
+    ) {
+        self.factories.insert(name.into(), Arc::new(factory));
+    }
+
+    /// Instantiate a registered analyzer.
+    pub fn instantiate(&self, name: &str) -> Result<Box<dyn Analyzer>, CoreError> {
+        self.factories
+            .get(name)
+            .map(|f| f())
+            .ok_or_else(|| CoreError::Code(format!("no native analyzer '{name}' registered")))
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.factories.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Build an [`Analyzer`] from shipped code (compiles scripts up front so
+/// syntax errors surface at load time, like the paper's class loader).
+pub fn instantiate_code(
+    code: &AnalysisCode,
+    registry: &NativeRegistry,
+) -> Result<Box<dyn Analyzer>, CoreError> {
+    match code {
+        AnalysisCode::Script(src) => {
+            let program = compile(src).map_err(|e| CoreError::Code(e.to_string()))?;
+            if !program.has_process() {
+                return Err(CoreError::Code(
+                    "script must define fn process(record)".to_string(),
+                ));
+            }
+            Ok(Box::new(ScriptAnalyzer {
+                interp: Interpreter::new(&program),
+            }))
+        }
+        AnalysisCode::Native(name) => registry.instantiate(name),
+    }
+}
+
+/// [`Analyzer`] over an IPAScript interpreter.
+pub struct ScriptAnalyzer {
+    interp: Interpreter,
+}
+
+impl Analyzer for ScriptAnalyzer {
+    fn init(&mut self, host: &mut dyn Host) -> Result<(), String> {
+        self.interp.run_init(host).map_err(|e| e.to_string())
+    }
+
+    fn process(&mut self, record: &AnyRecord, host: &mut dyn Host) -> Result<(), String> {
+        self.interp
+            .process_record(host, record)
+            .map_err(|e| e.to_string())
+    }
+
+    fn end(&mut self, host: &mut dyn Host) -> Result<(), String> {
+        self.interp.run_end(host).map_err(|e| e.to_string())
+    }
+}
+
+// ------------------------------------------------------------------------
+// Built-in native analyzers: the paper's Higgs search plus one analyzer per
+// additional motivating domain.
+// ------------------------------------------------------------------------
+
+/// The paper's reference workload: "a Java algorithm that looks for Higgs
+/// Bosons in simulated Linear Collider data". Books the candidate-mass
+/// spectrum plus control plots and fills them from b-tagged pairs.
+#[derive(Debug, Clone)]
+pub struct HiggsSearchAnalyzer {
+    /// Histogram binning for the mass spectrum.
+    pub mass_bins: usize,
+    /// Spectrum lower edge, GeV.
+    pub mass_lo: f64,
+    /// Spectrum upper edge, GeV.
+    pub mass_hi: f64,
+}
+
+impl Default for HiggsSearchAnalyzer {
+    fn default() -> Self {
+        HiggsSearchAnalyzer {
+            mass_bins: 60,
+            mass_lo: 0.0,
+            mass_hi: 240.0,
+        }
+    }
+}
+
+impl Analyzer for HiggsSearchAnalyzer {
+    fn init(&mut self, host: &mut dyn Host) -> Result<(), String> {
+        host.book_h1("/higgs/bb_mass", self.mass_bins, self.mass_lo, self.mass_hi)?;
+        host.book_h1("/higgs/n_btags", 10, 0.0, 10.0)?;
+        host.book_h1("/higgs/visible_energy", 60, 0.0, 600.0)?;
+        host.book_h2("/higgs/mass_vs_mult", 30, 0.0, 60.0, 30, self.mass_lo, self.mass_hi)?;
+        Ok(())
+    }
+
+    fn process(&mut self, record: &AnyRecord, host: &mut dyn Host) -> Result<(), String> {
+        let AnyRecord::Event(ev) = record else {
+            return Err("HiggsSearchAnalyzer needs collider events".to_string());
+        };
+        let n_btags = ev.particles.iter().filter(|p| p.is_b_tagged()).count();
+        host.fill1("/higgs/n_btags", n_btags as f64, 1.0)?;
+        host.fill1("/higgs/visible_energy", ev.visible_energy(), 1.0)?;
+        if let Some(m) = ev.leading_bb_mass() {
+            host.fill1("/higgs/bb_mass", m, 1.0)?;
+            host.fill2("/higgs/mass_vs_mult", ev.particles.len() as f64, m, 1.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// DNA domain: motif frequency and GC-content profiling.
+#[derive(Debug, Clone)]
+pub struct DnaMotifAnalyzer {
+    /// Motif searched in every read.
+    pub motif: String,
+}
+
+impl Default for DnaMotifAnalyzer {
+    fn default() -> Self {
+        DnaMotifAnalyzer {
+            motif: "GATTACA".to_string(),
+        }
+    }
+}
+
+impl Analyzer for DnaMotifAnalyzer {
+    fn init(&mut self, host: &mut dyn Host) -> Result<(), String> {
+        host.book_h1("/dna/gc_content", 50, 0.0, 1.0)?;
+        host.book_h1("/dna/motif_hits", 10, 0.0, 10.0)?;
+        host.book_profile("/dna/gc_by_sample", 8, 0.0, 8.0)?;
+        Ok(())
+    }
+
+    fn process(&mut self, record: &AnyRecord, host: &mut dyn Host) -> Result<(), String> {
+        let AnyRecord::Dna(read) = record else {
+            return Err("DnaMotifAnalyzer needs DNA reads".to_string());
+        };
+        host.fill1("/dna/gc_content", read.gc_content(), 1.0)?;
+        host.fill1("/dna/motif_hits", read.count_motif(&self.motif) as f64, 1.0)?;
+        host.fill_profile("/dna/gc_by_sample", read.sample as f64, read.gc_content(), 1.0)?;
+        Ok(())
+    }
+}
+
+/// Trading domain: volume-weighted prices and trade-size spectrum.
+#[derive(Debug, Clone, Default)]
+pub struct TradeVwapAnalyzer;
+
+impl Analyzer for TradeVwapAnalyzer {
+    fn init(&mut self, host: &mut dyn Host) -> Result<(), String> {
+        host.book_h1("/trade/price", 100, 0.0, 200.0)?;
+        host.book_h1("/trade/volume", 60, 0.0, 300.0)?;
+        host.book_profile("/trade/price_by_hour", 24, 0.0, 24.0)?;
+        Ok(())
+    }
+
+    fn process(&mut self, record: &AnyRecord, host: &mut dyn Host) -> Result<(), String> {
+        let AnyRecord::Trade(t) = record else {
+            return Err("TradeVwapAnalyzer needs trade records".to_string());
+        };
+        // Weight price entries by volume → histogram mean is the VWAP.
+        host.fill1("/trade/price", t.price, t.volume as f64)?;
+        host.fill1("/trade/volume", t.volume as f64, 1.0)?;
+        let hour = (t.timestamp_ms as f64 / 3.6e6) % 24.0;
+        host.fill_profile("/trade/price_by_hour", hour, t.price, 1.0)?;
+        Ok(())
+    }
+}
+
+/// The registry a stock site ships with: one analyzer per domain.
+pub fn builtin_registry() -> NativeRegistry {
+    let mut r = NativeRegistry::new();
+    r.register("higgs-search", || {
+        Box::new(HiggsSearchAnalyzer::default()) as Box<dyn Analyzer>
+    });
+    r.register("dna-motif", || {
+        Box::new(DnaMotifAnalyzer::default()) as Box<dyn Analyzer>
+    });
+    r.register("trade-vwap", || {
+        Box::new(TradeVwapAnalyzer) as Box<dyn Analyzer>
+    });
+    r
+}
+
+/// Convenience: apply an analyzer to a record slice against a host
+/// (single-threaded reference path used in tests to validate the parallel
+/// engines produce identical results).
+pub fn run_analyzer_serial(
+    analyzer: &mut dyn Analyzer,
+    records: &[AnyRecord],
+    host: &mut dyn Host,
+) -> Result<(), String> {
+    analyzer.init(host)?;
+    for r in records {
+        analyzer.process(r, host)?;
+    }
+    analyzer.end(host)
+}
+
+/// A generic "count field values" analyzer usable on any record kind:
+/// histograms one named numeric field. Demonstrates the framework's
+/// domain neutrality without writing a script.
+#[derive(Debug, Clone)]
+pub struct FieldHistogramAnalyzer {
+    /// Field to histogram.
+    pub field: String,
+    /// Output path.
+    pub path: String,
+    /// Binning.
+    pub bins: usize,
+    /// Lower edge.
+    pub lo: f64,
+    /// Upper edge.
+    pub hi: f64,
+}
+
+impl Analyzer for FieldHistogramAnalyzer {
+    fn init(&mut self, host: &mut dyn Host) -> Result<(), String> {
+        host.book_h1(&self.path, self.bins, self.lo, self.hi)
+    }
+
+    fn process(&mut self, record: &AnyRecord, host: &mut dyn Host) -> Result<(), String> {
+        match record.field(&self.field) {
+            Some(v) => {
+                if let Some(x) = v.as_f64() {
+                    host.fill1(&self.path, x, 1.0)?;
+                }
+                Ok(())
+            }
+            None => Err(format!(
+                "record kind '{}' has no field '{}'",
+                record.kind(),
+                self.field
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_dataset::{DnaGeneratorConfig, EventGeneratorConfig, TradeGeneratorConfig};
+    use ipa_script::AidaHost;
+
+    #[test]
+    fn higgs_analyzer_finds_the_peak() {
+        let recs = EventGeneratorConfig {
+            events: 3000,
+            signal_fraction: 0.5,
+            ..Default::default()
+        }
+        .generate();
+        let mut host = AidaHost::new();
+        run_analyzer_serial(&mut HiggsSearchAnalyzer::default(), &recs, &mut host).unwrap();
+        let h = host.tree.get("/higgs/bb_mass").unwrap().as_h1().unwrap();
+        assert!(h.entries() > 1000);
+        // The tallest bin must sit near 120 GeV.
+        let (mut best_bin, mut best) = (0, 0.0);
+        for i in 0..h.axis().bins() {
+            if h.bin_height(i) > best {
+                best = h.bin_height(i);
+                best_bin = i;
+            }
+        }
+        let peak = h.axis().bin_center(best_bin);
+        assert!((peak - 120.0).abs() < 10.0, "peak at {peak} GeV");
+    }
+
+    #[test]
+    fn higgs_analyzer_rejects_wrong_domain() {
+        let recs = DnaGeneratorConfig {
+            reads: 1,
+            ..Default::default()
+        }
+        .generate();
+        let mut host = AidaHost::new();
+        let err =
+            run_analyzer_serial(&mut HiggsSearchAnalyzer::default(), &recs, &mut host).unwrap_err();
+        assert!(err.contains("collider events"));
+    }
+
+    #[test]
+    fn dna_analyzer_counts_motifs() {
+        let recs = DnaGeneratorConfig {
+            reads: 400,
+            motif_rate: 0.5,
+            ..Default::default()
+        }
+        .generate();
+        let mut host = AidaHost::new();
+        run_analyzer_serial(&mut DnaMotifAnalyzer::default(), &recs, &mut host).unwrap();
+        let hits = host.tree.get("/dna/motif_hits").unwrap().as_h1().unwrap();
+        assert_eq!(hits.all_entries(), 400);
+        // At least ~half the reads carry the motif → bin 0 is not everything.
+        assert!(hits.bin_height(0) < 300.0);
+    }
+
+    #[test]
+    fn trade_analyzer_vwap() {
+        let recs = TradeGeneratorConfig {
+            trades: 500,
+            ..Default::default()
+        }
+        .generate();
+        let mut host = AidaHost::new();
+        run_analyzer_serial(&mut TradeVwapAnalyzer, &recs, &mut host).unwrap();
+        let h = host.tree.get("/trade/price").unwrap().as_h1().unwrap();
+        // VWAP should sit near the initial price of 100.
+        assert!((h.mean() - 100.0).abs() < 15.0, "vwap = {}", h.mean());
+    }
+
+    #[test]
+    fn registry_instantiates_and_rejects_unknown() {
+        let r = builtin_registry();
+        assert_eq!(r.names(), vec!["dna-motif", "higgs-search", "trade-vwap"]);
+        assert!(r.instantiate("higgs-search").is_ok());
+        assert!(matches!(
+            r.instantiate("nope"),
+            Err(CoreError::Code(_))
+        ));
+    }
+
+    #[test]
+    fn script_code_compiles_or_errors_at_load() {
+        let reg = NativeRegistry::new();
+        let good = AnalysisCode::Script(
+            "fn init() { h1(\"/x\", 10, 0.0, 1.0); } fn process(e) { }".to_string(),
+        );
+        assert!(instantiate_code(&good, &reg).is_ok());
+
+        let syntax_err = AnalysisCode::Script("fn process( {".to_string());
+        assert!(matches!(
+            instantiate_code(&syntax_err, &reg),
+            Err(CoreError::Code(_))
+        ));
+
+        let no_process = AnalysisCode::Script("fn init() { }".to_string());
+        assert!(matches!(
+            instantiate_code(&no_process, &reg),
+            Err(CoreError::Code(m)) if m.contains("process")
+        ));
+    }
+
+    #[test]
+    fn script_and_native_agree_on_the_same_records() {
+        let recs = EventGeneratorConfig {
+            events: 500,
+            ..Default::default()
+        }
+        .generate();
+        let mut native_host = AidaHost::new();
+        run_analyzer_serial(&mut HiggsSearchAnalyzer::default(), &recs, &mut native_host).unwrap();
+
+        let script = r#"
+            fn init() { h1("/higgs/bb_mass", 60, 0.0, 240.0); }
+            fn process(e) {
+                let m = e.bb_mass;
+                if m != null { fill("/higgs/bb_mass", m); }
+            }
+        "#;
+        let reg = NativeRegistry::new();
+        let mut analyzer = instantiate_code(&AnalysisCode::Script(script.into()), &reg).unwrap();
+        let mut script_host = AidaHost::new();
+        run_analyzer_serial(analyzer.as_mut(), &recs, &mut script_host).unwrap();
+
+        let native_h = native_host.tree.get("/higgs/bb_mass").unwrap().as_h1().unwrap();
+        let script_h = script_host.tree.get("/higgs/bb_mass").unwrap().as_h1().unwrap();
+        assert_eq!(native_h.all_entries(), script_h.all_entries());
+        for i in 0..60 {
+            assert_eq!(native_h.bin_entries(i), script_h.bin_entries(i), "bin {i}");
+        }
+    }
+
+    #[test]
+    fn field_histogram_analyzer_is_domain_neutral() {
+        let trades = TradeGeneratorConfig {
+            trades: 100,
+            ..Default::default()
+        }
+        .generate();
+        let mut host = AidaHost::new();
+        let mut a = FieldHistogramAnalyzer {
+            field: "volume".into(),
+            path: "/any/volume".into(),
+            bins: 20,
+            lo: 0.0,
+            hi: 400.0,
+        };
+        run_analyzer_serial(&mut a, &trades, &mut host).unwrap();
+        assert_eq!(host.tree.get("/any/volume").unwrap().entries(), 100);
+
+        let mut bad = FieldHistogramAnalyzer {
+            field: "bb_mass".into(),
+            path: "/any/x".into(),
+            bins: 10,
+            lo: 0.0,
+            hi: 1.0,
+        };
+        let mut host2 = AidaHost::new();
+        assert!(run_analyzer_serial(&mut bad, &trades, &mut host2).is_err());
+    }
+
+    #[test]
+    fn staged_bytes_reports_payload_size() {
+        assert_eq!(AnalysisCode::Script("abc".into()).staged_bytes(), 3);
+        assert!(AnalysisCode::Native("higgs-search".into()).staged_bytes() > 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Site / session configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a manager node and the sessions it creates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IpaConfig {
+    /// Engines started per session ("pre-configured number of analysis
+    /// engines", paper §3.2) — still capped by the VO policy.
+    pub engines_per_session: usize,
+    /// Records an engine processes between publishing partial results.
+    /// Smaller → faster feedback, more merge traffic (ablated in benches).
+    pub publish_every: usize,
+    /// Byte-balanced split when true, record-count split when false.
+    pub byte_balanced_split: bool,
+    /// Simulated seconds of proxy lifetime required to create a session.
+    pub min_proxy_remaining_s: f64,
+}
+
+impl Default for IpaConfig {
+    fn default() -> Self {
+        IpaConfig {
+            engines_per_session: 4,
+            publish_every: 1000,
+            byte_balanced_split: true,
+            min_proxy_remaining_s: 60.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = IpaConfig::default();
+        assert!(c.engines_per_session >= 1);
+        assert!(c.publish_every >= 1);
+    }
+}

@@ -1,0 +1,692 @@
+//! Analysis engines.
+//!
+//! "Analysis engines are processes that accept a dataset and an analysis
+//! script and analyze the dataset using the script to produce a result"
+//! (§2). Each engine here is one OS thread doing *real* computation over
+//! its staged dataset part, with the paper's interactive controls: run,
+//! pause, stop, rewind, run-N-events, and dynamic code reload. Engines
+//! publish cumulative partial results for their current part every
+//! `publish_every` records — the feedback stream that makes the system
+//! interactive.
+//!
+//! A test/failure-injection hook ([`EngineCommand::FailAfter`]) makes an
+//! engine die after N more records, which the session uses to exercise
+//! part re-queuing.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use ipa_dataset::AnyRecord;
+use ipa_script::AidaHost;
+
+use crate::aida_manager::PartUpdate;
+use crate::analyzer::{instantiate_code, AnalysisCode, Analyzer, NativeRegistry};
+
+/// Engine identifier within a session.
+pub type EngineId = usize;
+/// Dataset-part identifier within a session.
+pub type PartId = u64;
+
+/// Commands a session sends to an engine.
+pub enum EngineCommand {
+    /// Ship analysis code (compiled/validated engine-side, like the
+    /// managing class loader).
+    LoadCode(AnalysisCode),
+    /// Stage a dataset part onto the engine.
+    AssignPart {
+        /// Part id (merge key).
+        part: PartId,
+        /// The records (shared, not copied).
+        records: Arc<Vec<AnyRecord>>,
+    },
+    /// Start / resume processing to the end of the part.
+    Run,
+    /// Process at most this many further records, then pause.
+    RunN(usize),
+    /// Pause after the current batch.
+    Pause,
+    /// Restart the current part from record 0 with fresh results and a
+    /// fresh analyzer instance.
+    Rewind,
+    /// Failure injection: abort with an error after N more records.
+    FailAfter(u64),
+    /// Terminate the engine thread.
+    Shutdown,
+}
+
+/// Events an engine sends back.
+#[derive(Debug)]
+pub enum EngineEvent {
+    /// Engine thread is up (the paper's "ready signal").
+    Ready {
+        /// Which engine.
+        engine: EngineId,
+    },
+    /// Code compiled and loaded.
+    CodeLoaded {
+        /// Which engine.
+        engine: EngineId,
+    },
+    /// Code failed to compile/instantiate.
+    CodeError {
+        /// Which engine.
+        engine: EngineId,
+        /// Compiler/loader message.
+        message: String,
+    },
+    /// A partial-result publication for a part.
+    Update {
+        /// Part id (merge key).
+        part: PartId,
+        /// The update payload.
+        update: PartUpdate,
+    },
+    /// The engine failed (analyzer error or injected fault) and dropped
+    /// its part.
+    Failed {
+        /// Which engine.
+        engine: EngineId,
+        /// The part it was processing, if any.
+        part: Option<PartId>,
+        /// Failure description.
+        message: String,
+    },
+    /// A `log()` call from user code.
+    Log {
+        /// Which engine.
+        engine: EngineId,
+        /// Message text.
+        message: String,
+    },
+}
+
+struct CurrentPart {
+    id: PartId,
+    records: Arc<Vec<AnyRecord>>,
+    pos: usize,
+    done: bool,
+}
+
+struct EngineWorker {
+    id: EngineId,
+    publish_every: usize,
+    registry: NativeRegistry,
+    events: Sender<EngineEvent>,
+    commands: Receiver<EngineCommand>,
+
+    code: Option<AnalysisCode>,
+    analyzer: Option<Box<dyn Analyzer>>,
+    host: AidaHost,
+    needs_init: bool,
+    part: Option<CurrentPart>,
+    running: bool,
+    budget: Option<usize>,
+    fail_after: Option<u64>,
+}
+
+enum Disposition {
+    Continue,
+    Shutdown,
+}
+
+impl EngineWorker {
+    fn publish(&mut self) {
+        let Some(part) = &self.part else { return };
+        let update = PartUpdate {
+            engine: self.id,
+            processed: part.pos as u64,
+            total: part.records.len() as u64,
+            tree: self.host.tree.clone(),
+            done: part.done,
+        };
+        let _ = self.events.send(EngineEvent::Update {
+            part: part.id,
+            update,
+        });
+    }
+
+    fn drain_logs(&mut self) {
+        for message in self.host.messages.drain(..) {
+            let _ = self.events.send(EngineEvent::Log {
+                engine: self.id,
+                message,
+            });
+        }
+    }
+
+    fn fresh_analyzer(&mut self) -> Result<(), String> {
+        let Some(code) = &self.code else {
+            return Err("no code loaded".to_string());
+        };
+        match instantiate_code(code, &self.registry) {
+            Ok(a) => {
+                self.analyzer = Some(a);
+                self.needs_init = true;
+                Ok(())
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    fn fail(&mut self, message: String) {
+        let part = self.part.as_ref().map(|p| p.id);
+        let _ = self.events.send(EngineEvent::Failed {
+            engine: self.id,
+            part,
+            message,
+        });
+        self.part = None;
+        self.running = false;
+        self.budget = None;
+    }
+
+    fn handle(&mut self, cmd: EngineCommand) -> Disposition {
+        match cmd {
+            EngineCommand::LoadCode(code) => {
+                self.code = Some(code);
+                match self.fresh_analyzer() {
+                    Ok(()) => {
+                        // New code restarts the current part from zero.
+                        self.host = AidaHost::new();
+                        if let Some(p) = &mut self.part {
+                            p.pos = 0;
+                            p.done = false;
+                        }
+                        let _ = self.events.send(EngineEvent::CodeLoaded { engine: self.id });
+                    }
+                    Err(message) => {
+                        self.analyzer = None;
+                        let _ = self.events.send(EngineEvent::CodeError {
+                            engine: self.id,
+                            message,
+                        });
+                    }
+                }
+            }
+            EngineCommand::AssignPart { part, records } => {
+                self.part = Some(CurrentPart {
+                    id: part,
+                    records,
+                    pos: 0,
+                    done: false,
+                });
+                self.host = AidaHost::new();
+                if self.code.is_some() {
+                    if let Err(message) = self.fresh_analyzer() {
+                        self.fail(message);
+                    }
+                }
+            }
+            EngineCommand::Run => {
+                self.budget = None;
+                self.running = true;
+            }
+            EngineCommand::RunN(n) => {
+                self.budget = Some(n);
+                self.running = true;
+            }
+            EngineCommand::Pause => {
+                self.running = false;
+                self.publish();
+            }
+            EngineCommand::Rewind => {
+                self.host = AidaHost::new();
+                if let Some(p) = &mut self.part {
+                    p.pos = 0;
+                    p.done = false;
+                }
+                self.running = false;
+                self.budget = None;
+                if self.code.is_some() {
+                    if let Err(message) = self.fresh_analyzer() {
+                        self.fail(message);
+                    }
+                }
+                self.publish();
+            }
+            EngineCommand::FailAfter(n) => {
+                self.fail_after = Some(n);
+            }
+            EngineCommand::Shutdown => return Disposition::Shutdown,
+        }
+        Disposition::Continue
+    }
+
+    /// Process up to one publish batch; returns false when there is nothing
+    /// (more) to run.
+    fn step(&mut self) -> bool {
+        if !self.running {
+            return false;
+        }
+        let Some(part) = &self.part else {
+            self.running = false;
+            return false;
+        };
+        if part.done {
+            self.running = false;
+            return false;
+        }
+        // NOTE: an empty part (or pos at end) still falls through so that
+        // init()/end() run and the `done` update is published.
+        if self.analyzer.is_none() {
+            self.fail("run requested before analysis code was loaded".to_string());
+            return false;
+        }
+
+        // Lazily run init() at the start of the part.
+        if self.needs_init {
+            let mut analyzer = self.analyzer.take().expect("checked above");
+            let r = analyzer.init(&mut self.host);
+            self.analyzer = Some(analyzer);
+            self.drain_logs();
+            if let Err(e) = r {
+                self.fail(format!("init failed: {e}"));
+                return false;
+            }
+            self.needs_init = false;
+        }
+
+        // Determine batch size from publish interval, RunN budget, and
+        // injected failure point.
+        let part = self.part.as_ref().expect("checked above");
+        let remaining = part.records.len() - part.pos;
+        let mut batch = self.publish_every.min(remaining);
+        if let Some(b) = self.budget {
+            batch = batch.min(b);
+        }
+        let mut fail_at: Option<usize> = None;
+        if let Some(f) = self.fail_after {
+            if (f as usize) < batch {
+                batch = f as usize;
+                fail_at = Some(batch);
+            }
+        }
+
+        let records = part.records.clone();
+        let start = part.pos;
+        let mut analyzer = self.analyzer.take().expect("checked above");
+        let mut processed = 0usize;
+        let mut error: Option<String> = None;
+        for rec in records.iter().skip(start).take(batch) {
+            if let Err(e) = analyzer.process(rec, &mut self.host) {
+                error = Some(e);
+                break;
+            }
+            processed += 1;
+        }
+        self.analyzer = Some(analyzer);
+        self.drain_logs();
+
+        if let Some(p) = &mut self.part {
+            p.pos += processed;
+        }
+        if let Some(b) = &mut self.budget {
+            *b = b.saturating_sub(processed);
+        }
+        if let Some(f) = &mut self.fail_after {
+            *f = f.saturating_sub(processed as u64);
+        }
+
+        if let Some(e) = error {
+            self.fail(format!("analysis error: {e}"));
+            return false;
+        }
+        if fail_at.is_some() && self.fail_after == Some(0) {
+            self.fail("injected engine fault".to_string());
+            return false;
+        }
+
+        // Part finished?
+        let finished = self
+            .part
+            .as_ref()
+            .map(|p| p.pos >= p.records.len())
+            .unwrap_or(false);
+        if finished {
+            let mut analyzer = self.analyzer.take().expect("still loaded");
+            let r = analyzer.end(&mut self.host);
+            self.analyzer = Some(analyzer);
+            self.drain_logs();
+            if let Err(e) = r {
+                self.fail(format!("end() failed: {e}"));
+                return false;
+            }
+            if let Some(p) = &mut self.part {
+                p.done = true;
+            }
+            self.running = false;
+            self.publish();
+            return false;
+        }
+
+        self.publish();
+
+        if self.budget == Some(0) {
+            self.running = false;
+            self.budget = None;
+            return false;
+        }
+        true
+    }
+
+    fn run_loop(mut self) {
+        let _ = self.events.send(EngineEvent::Ready { engine: self.id });
+        loop {
+            if self.running {
+                // Poll for control commands between batches so pause/stop
+                // latency is one batch, then advance.
+                loop {
+                    match self.commands.try_recv() {
+                        Ok(cmd) => {
+                            if let Disposition::Shutdown = self.handle(cmd) {
+                                return;
+                            }
+                        }
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => return,
+                    }
+                }
+                self.step();
+            } else {
+                match self.commands.recv() {
+                    Ok(cmd) => {
+                        if let Disposition::Shutdown = self.handle(cmd) {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+        }
+    }
+}
+
+/// Client-side handle to a spawned engine.
+pub struct EngineHandle {
+    /// Engine id within the session.
+    pub id: EngineId,
+    commands: Sender<EngineCommand>,
+    thread: Option<JoinHandle<()>>,
+    /// Set false once the engine reports a failure.
+    pub alive: bool,
+}
+
+impl EngineHandle {
+    /// Spawn an engine thread. Events (including the ready signal) arrive
+    /// on `events`.
+    pub fn spawn(
+        id: EngineId,
+        publish_every: usize,
+        registry: NativeRegistry,
+        events: Sender<EngineEvent>,
+    ) -> Self {
+        let (tx, rx) = unbounded();
+        let worker = EngineWorker {
+            id,
+            publish_every: publish_every.max(1),
+            registry,
+            events,
+            commands: rx,
+            code: None,
+            analyzer: None,
+            host: AidaHost::new(),
+            needs_init: true,
+            part: None,
+            running: false,
+            budget: None,
+            fail_after: None,
+        };
+        let thread = std::thread::Builder::new()
+            .name(format!("ipa-engine-{id}"))
+            .spawn(move || worker.run_loop())
+            .expect("spawn engine thread");
+        EngineHandle {
+            id,
+            commands: tx,
+            thread: Some(thread),
+            alive: true,
+        }
+    }
+
+    /// Send a command; returns false if the engine is gone.
+    pub fn send(&self, cmd: EngineCommand) -> bool {
+        self.commands.send(cmd).is_ok()
+    }
+
+    /// Shut the engine down and join its thread.
+    pub fn shutdown(&mut self) {
+        let _ = self.commands.send(EngineCommand::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        self.alive = false;
+    }
+}
+
+impl Drop for EngineHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::builtin_registry;
+    use ipa_dataset::EventGeneratorConfig;
+    use std::time::Duration;
+
+    fn records(n: u64) -> Arc<Vec<AnyRecord>> {
+        Arc::new(
+            EventGeneratorConfig {
+                events: n,
+                ..Default::default()
+            }
+            .generate(),
+        )
+    }
+
+    fn recv_until<F: FnMut(&EngineEvent) -> bool>(
+        rx: &Receiver<EngineEvent>,
+        mut pred: F,
+    ) -> EngineEvent {
+        loop {
+            let ev = rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("engine event within timeout");
+            if pred(&ev) {
+                return ev;
+            }
+        }
+    }
+
+    #[test]
+    fn engine_lifecycle_ready_load_run_done() {
+        let (tx, rx) = unbounded();
+        let mut e = EngineHandle::spawn(0, 100, builtin_registry(), tx);
+        recv_until(&rx, |ev| matches!(ev, EngineEvent::Ready { .. }));
+        e.send(EngineCommand::LoadCode(AnalysisCode::Native(
+            "higgs-search".into(),
+        )));
+        recv_until(&rx, |ev| matches!(ev, EngineEvent::CodeLoaded { .. }));
+        e.send(EngineCommand::AssignPart {
+            part: 0,
+            records: records(250),
+        });
+        e.send(EngineCommand::Run);
+        let done = recv_until(&rx, |ev| {
+            matches!(ev, EngineEvent::Update { update, .. } if update.done)
+        });
+        let EngineEvent::Update { part, update } = done else {
+            unreachable!()
+        };
+        assert_eq!(part, 0);
+        assert_eq!(update.processed, 250);
+        assert_eq!(update.total, 250);
+        assert!(update.tree.contains("/higgs/bb_mass"));
+        e.shutdown();
+    }
+
+    #[test]
+    fn partial_updates_arrive_between_batches() {
+        let (tx, rx) = unbounded();
+        let mut e = EngineHandle::spawn(1, 50, builtin_registry(), tx);
+        e.send(EngineCommand::LoadCode(AnalysisCode::Native(
+            "higgs-search".into(),
+        )));
+        e.send(EngineCommand::AssignPart {
+            part: 3,
+            records: records(200),
+        });
+        e.send(EngineCommand::Run);
+        let mut progress = Vec::new();
+        loop {
+            if let EngineEvent::Update { update, .. } =
+                rx.recv_timeout(Duration::from_secs(10)).unwrap()
+            {
+                progress.push(update.processed);
+                if update.done {
+                    break;
+                }
+            }
+        }
+        assert_eq!(progress, vec![50, 100, 150, 200]);
+        e.shutdown();
+    }
+
+    #[test]
+    fn run_n_pauses_after_budget() {
+        let (tx, rx) = unbounded();
+        let mut e = EngineHandle::spawn(2, 1000, builtin_registry(), tx);
+        e.send(EngineCommand::LoadCode(AnalysisCode::Native(
+            "higgs-search".into(),
+        )));
+        e.send(EngineCommand::AssignPart {
+            part: 0,
+            records: records(500),
+        });
+        e.send(EngineCommand::RunN(120));
+        let ev = recv_until(&rx, |ev| matches!(ev, EngineEvent::Update { .. }));
+        let EngineEvent::Update { update, .. } = ev else {
+            unreachable!()
+        };
+        assert_eq!(update.processed, 120);
+        assert!(!update.done);
+        // Resume to completion.
+        e.send(EngineCommand::Run);
+        let done = recv_until(&rx, |ev| {
+            matches!(ev, EngineEvent::Update { update, .. } if update.done)
+        });
+        let EngineEvent::Update { update, .. } = done else {
+            unreachable!()
+        };
+        assert_eq!(update.processed, 500);
+        e.shutdown();
+    }
+
+    #[test]
+    fn rewind_resets_results() {
+        let (tx, rx) = unbounded();
+        let mut e = EngineHandle::spawn(3, 1000, builtin_registry(), tx);
+        e.send(EngineCommand::LoadCode(AnalysisCode::Native(
+            "higgs-search".into(),
+        )));
+        e.send(EngineCommand::AssignPart {
+            part: 0,
+            records: records(100),
+        });
+        e.send(EngineCommand::Run);
+        recv_until(&rx, |ev| {
+            matches!(ev, EngineEvent::Update { update, .. } if update.done)
+        });
+        e.send(EngineCommand::Rewind);
+        let ev = recv_until(&rx, |ev| matches!(ev, EngineEvent::Update { .. }));
+        let EngineEvent::Update { update, .. } = ev else {
+            unreachable!()
+        };
+        assert_eq!(update.processed, 0);
+        assert!(!update.done);
+        assert_eq!(update.tree.total_entries(), 0);
+        // And it can run again to the same completion.
+        e.send(EngineCommand::Run);
+        let done = recv_until(&rx, |ev| {
+            matches!(ev, EngineEvent::Update { update, .. } if update.done)
+        });
+        let EngineEvent::Update { update, .. } = done else {
+            unreachable!()
+        };
+        assert_eq!(update.processed, 100);
+        e.shutdown();
+    }
+
+    #[test]
+    fn injected_failure_emits_failed_event() {
+        let (tx, rx) = unbounded();
+        let mut e = EngineHandle::spawn(4, 10, builtin_registry(), tx);
+        e.send(EngineCommand::LoadCode(AnalysisCode::Native(
+            "higgs-search".into(),
+        )));
+        e.send(EngineCommand::AssignPart {
+            part: 9,
+            records: records(100),
+        });
+        e.send(EngineCommand::FailAfter(25));
+        e.send(EngineCommand::Run);
+        let ev = recv_until(&rx, |ev| matches!(ev, EngineEvent::Failed { .. }));
+        let EngineEvent::Failed { part, message, .. } = ev else {
+            unreachable!()
+        };
+        assert_eq!(part, Some(9));
+        assert!(message.contains("injected"));
+        e.shutdown();
+    }
+
+    #[test]
+    fn bad_script_reports_code_error() {
+        let (tx, rx) = unbounded();
+        let mut e = EngineHandle::spawn(5, 10, builtin_registry(), tx);
+        e.send(EngineCommand::LoadCode(AnalysisCode::Script(
+            "fn broken( {".into(),
+        )));
+        recv_until(&rx, |ev| matches!(ev, EngineEvent::CodeError { .. }));
+        e.shutdown();
+    }
+
+    #[test]
+    fn run_without_code_fails_gracefully() {
+        let (tx, rx) = unbounded();
+        let mut e = EngineHandle::spawn(6, 10, builtin_registry(), tx);
+        e.send(EngineCommand::AssignPart {
+            part: 0,
+            records: records(10),
+        });
+        e.send(EngineCommand::Run);
+        let ev = recv_until(&rx, |ev| matches!(ev, EngineEvent::Failed { .. }));
+        let EngineEvent::Failed { message, .. } = ev else {
+            unreachable!()
+        };
+        assert!(message.contains("before analysis code"));
+        e.shutdown();
+    }
+
+    #[test]
+    fn script_logs_are_forwarded() {
+        let (tx, rx) = unbounded();
+        let mut e = EngineHandle::spawn(7, 10, builtin_registry(), tx);
+        e.send(EngineCommand::LoadCode(AnalysisCode::Script(
+            "fn init() { log(\"booked\"); } fn process(ev) { }".into(),
+        )));
+        e.send(EngineCommand::AssignPart {
+            part: 0,
+            records: records(5),
+        });
+        e.send(EngineCommand::Run);
+        let ev = recv_until(&rx, |ev| matches!(ev, EngineEvent::Log { .. }));
+        let EngineEvent::Log { message, .. } = ev else {
+            unreachable!()
+        };
+        assert_eq!(message, "booked");
+        e.shutdown();
+    }
+}

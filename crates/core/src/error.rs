@@ -1,0 +1,76 @@
+//! Framework error type.
+
+use std::fmt;
+
+/// Errors surfaced to the client layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Authentication / authorization failed.
+    Auth(ipa_simgrid::AuthError),
+    /// Catalog problem (browse, search, unknown dataset).
+    Catalog(String),
+    /// The locator could not resolve a dataset id.
+    NotLocatable(String),
+    /// Dataset staging failed.
+    Staging(String),
+    /// Analysis code failed to compile or load.
+    Code(String),
+    /// An operation needs a dataset selected first.
+    NoDataset,
+    /// An operation needs analysis code loaded first.
+    NoCode,
+    /// The session has been closed.
+    SessionClosed,
+    /// All engines have failed; the session cannot make progress.
+    AllEnginesFailed,
+    /// An engine channel broke unexpectedly.
+    EngineGone(usize),
+    /// Result merging failed (incompatible partial results).
+    Merge(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Auth(e) => write!(f, "authentication failed: {e}"),
+            CoreError::Catalog(m) => write!(f, "catalog error: {m}"),
+            CoreError::NotLocatable(id) => write!(f, "dataset '{id}' cannot be located"),
+            CoreError::Staging(m) => write!(f, "dataset staging failed: {m}"),
+            CoreError::Code(m) => write!(f, "analysis code error: {m}"),
+            CoreError::NoDataset => write!(f, "no dataset selected in this session"),
+            CoreError::NoCode => write!(f, "no analysis code loaded in this session"),
+            CoreError::SessionClosed => write!(f, "session is closed"),
+            CoreError::AllEnginesFailed => write!(f, "all analysis engines have failed"),
+            CoreError::EngineGone(id) => write!(f, "engine {id} disappeared"),
+            CoreError::Merge(m) => write!(f, "result merge failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<ipa_simgrid::AuthError> for CoreError {
+    fn from(e: ipa_simgrid::AuthError) -> Self {
+        CoreError::Auth(e)
+    }
+}
+
+impl From<ipa_catalog::CatalogError> for CoreError {
+    fn from(e: ipa_catalog::CatalogError) -> Self {
+        CoreError::Catalog(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: CoreError = ipa_simgrid::AuthError::Expired.into();
+        assert!(e.to_string().contains("expired"));
+        let e: CoreError = ipa_catalog::CatalogError::NoSuchDataset("x".into()).into();
+        assert!(e.to_string().contains("catalog"));
+        assert!(CoreError::NoDataset.to_string().contains("no dataset"));
+    }
+}

@@ -1,0 +1,409 @@
+//! The web-services gateway: the manager's network boundary.
+//!
+//! The paper's client talks to the manager node through SOAP web services
+//! hosted in a Globus container (Figure 2). This module is the working
+//! substitute: a newline-delimited JSON request/response protocol over TCP.
+//! Each connection is served by its own thread; sessions created over the
+//! wire live in a server-side session table keyed by session id — the same
+//! "stateless service + WSRF resource" pattern the paper describes (§3.2):
+//! the *protocol* is stateless, the *resource* (the session) is addressed
+//! by id on every call.
+//!
+//! Security carries over unchanged: `CreateSession` ships the caller's
+//! [`GridProxy`] and the manager authenticates/authorizes it before any
+//! session resource exists; every other request must name a valid session.
+//!
+//! ```text
+//! client                         gateway (manager node)
+//!   │  {"CreateSession":{...}}\n   │
+//!   ├──────────────────────────────▶  authorize proxy, spawn engines
+//!   │  {"SessionCreated":{...}}\n  │
+//!   ◀──────────────────────────────┤
+//!   │  {"Poll":{"session":1}}\n    │
+//!   ├──────────────────────────────▶  drain events, recover failures
+//!   │  {"Status":{...}}\n          │
+//!   ◀──────────────────────────────┤
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ipa_aida::Tree;
+use ipa_catalog::{CatalogEntry, ListItem};
+use ipa_dataset::DatasetId;
+use ipa_simgrid::GridProxy;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::analyzer::AnalysisCode;
+use crate::error::CoreError;
+use crate::manager::ManagerNode;
+use crate::session::{Session, SessionStatus};
+
+/// A request on the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WsRequest {
+    /// Browse a catalog folder.
+    Browse {
+        /// Folder path.
+        folder: String,
+    },
+    /// Search the catalog.
+    Search {
+        /// Query text.
+        query: String,
+    },
+    /// Render the catalog tree.
+    CatalogTree,
+    /// Authenticate and create a session.
+    CreateSession {
+        /// The caller's delegated credential.
+        proxy: GridProxy,
+        /// Simulated time used for proxy validity.
+        now: f64,
+        /// Engines requested (0 = site default).
+        engines: usize,
+    },
+    /// Stage a dataset into a session.
+    SelectDataset {
+        /// Session id.
+        session: u64,
+        /// Dataset id.
+        id: String,
+    },
+    /// Ship IPAScript source.
+    LoadScript {
+        /// Session id.
+        session: u64,
+        /// Script source text.
+        source: String,
+    },
+    /// Select a registered native analyzer.
+    LoadNative {
+        /// Session id.
+        session: u64,
+        /// Registered analyzer name.
+        name: String,
+    },
+    /// Start / resume the run.
+    Run {
+        /// Session id.
+        session: u64,
+    },
+    /// Run at most `n` records per engine.
+    RunEvents {
+        /// Session id.
+        session: u64,
+        /// Per-engine record budget.
+        n: usize,
+    },
+    /// Pause the run.
+    Pause {
+        /// Session id.
+        session: u64,
+    },
+    /// Stop the run.
+    Stop {
+        /// Session id.
+        session: u64,
+    },
+    /// Rewind to record zero.
+    Rewind {
+        /// Session id.
+        session: u64,
+    },
+    /// Drain events and fetch a status snapshot.
+    Poll {
+        /// Session id.
+        session: u64,
+    },
+    /// Fetch the merged result tree.
+    Results {
+        /// Session id.
+        session: u64,
+    },
+    /// Close the session and shut its engines down.
+    CloseSession {
+        /// Session id.
+        session: u64,
+    },
+}
+
+/// A response on the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WsResponse {
+    /// Operation succeeded with no payload.
+    Ok,
+    /// Browse results.
+    Items(Vec<ListItem>),
+    /// Search results.
+    Entries(Vec<CatalogEntry>),
+    /// Rendered text.
+    Text(String),
+    /// Session created.
+    SessionCreated {
+        /// Assigned session id.
+        session: u64,
+        /// Engines granted.
+        engines: usize,
+    },
+    /// Poll snapshot.
+    Status(SessionStatus),
+    /// Merged results.
+    Tree(Tree),
+    /// The request failed.
+    Error(String),
+}
+
+/// Server-side session table.
+type Sessions = Arc<Mutex<HashMap<u64, Session>>>;
+
+/// The gateway server. Owns a listener; serves until shut down.
+pub struct WsGateway {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WsGateway {
+    /// Bind and start serving `manager` on `addr` (use port 0 for an
+    /// ephemeral port; the bound address is available via
+    /// [`WsGateway::addr`]). Each connection gets a handler thread.
+    pub fn serve(manager: Arc<ManagerNode>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let sessions: Sessions = Arc::new(Mutex::new(HashMap::new()));
+
+        let stop2 = stop.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("ipa-ws-gateway".into())
+            .spawn(move || {
+                // Nonblocking accept so the stop flag is honoured promptly.
+                listener.set_nonblocking(true).ok();
+                let mut handlers = Vec::new();
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nonblocking(false).ok();
+                            let manager = manager.clone();
+                            let sessions = sessions.clone();
+                            let stop = stop2.clone();
+                            handlers.push(std::thread::spawn(move || {
+                                let _ = handle_connection(stream, manager, sessions, stop);
+                            }));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for h in handlers {
+                    let _ = h.join();
+                }
+                // Close any sessions left behind by disconnected clients.
+                for (_, mut s) in sessions.lock().drain() {
+                    s.close();
+                }
+            })?;
+        Ok(WsGateway {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address clients should connect to.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server (open connections finish their
+    /// current request; their sessions are closed).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WsGateway {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn with_session<T>(
+    sessions: &Sessions,
+    id: u64,
+    f: impl FnOnce(&mut Session) -> Result<T, CoreError>,
+) -> Result<T, CoreError> {
+    let mut table = sessions.lock();
+    let session = table.get_mut(&id).ok_or(CoreError::SessionClosed)?;
+    f(session)
+}
+
+fn dispatch(req: WsRequest, manager: &ManagerNode, sessions: &Sessions) -> WsResponse {
+    let result: Result<WsResponse, CoreError> = (|| {
+        Ok(match req {
+            WsRequest::Browse { folder } => WsResponse::Items(manager.browse(&folder)?),
+            WsRequest::Search { query } => WsResponse::Entries(manager.search(&query)?),
+            WsRequest::CatalogTree => WsResponse::Text(manager.catalog_tree()),
+            WsRequest::CreateSession {
+                proxy,
+                now,
+                engines,
+            } => {
+                let session = manager.create_session(&proxy, now, engines)?;
+                let id = session.id();
+                let granted = session.engines();
+                sessions.lock().insert(id, session);
+                WsResponse::SessionCreated {
+                    session: id,
+                    engines: granted,
+                }
+            }
+            WsRequest::SelectDataset { session, id } => {
+                with_session(sessions, session, |s| {
+                    s.select_dataset(&DatasetId::new(id.clone()))
+                })?;
+                WsResponse::Ok
+            }
+            WsRequest::LoadScript { session, source } => {
+                with_session(sessions, session, |s| {
+                    s.load_code(AnalysisCode::Script(source.clone()))
+                })?;
+                WsResponse::Ok
+            }
+            WsRequest::LoadNative { session, name } => {
+                with_session(sessions, session, |s| {
+                    s.load_code(AnalysisCode::Native(name.clone()))
+                })?;
+                WsResponse::Ok
+            }
+            WsRequest::Run { session } => {
+                with_session(sessions, session, |s| s.run())?;
+                WsResponse::Ok
+            }
+            WsRequest::RunEvents { session, n } => {
+                with_session(sessions, session, |s| s.run_events(n))?;
+                WsResponse::Ok
+            }
+            WsRequest::Pause { session } => {
+                with_session(sessions, session, |s| s.pause())?;
+                WsResponse::Ok
+            }
+            WsRequest::Stop { session } => {
+                with_session(sessions, session, |s| s.stop())?;
+                WsResponse::Ok
+            }
+            WsRequest::Rewind { session } => {
+                with_session(sessions, session, |s| s.rewind())?;
+                WsResponse::Ok
+            }
+            WsRequest::Poll { session } => {
+                WsResponse::Status(with_session(sessions, session, |s| s.poll())?)
+            }
+            WsRequest::Results { session } => {
+                WsResponse::Tree(with_session(sessions, session, |s| s.results())?)
+            }
+            WsRequest::CloseSession { session } => {
+                match sessions.lock().remove(&session) {
+                    Some(mut s) => {
+                        s.close();
+                        WsResponse::Ok
+                    }
+                    None => return Err(CoreError::SessionClosed),
+                }
+            }
+        })
+    })();
+    result.unwrap_or_else(|e| WsResponse::Error(e.to_string()))
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    manager: Arc<ManagerNode>,
+    sessions: Sessions,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    // A short read timeout lets the handler notice gateway shutdown even
+    // while a client keeps its connection open but idle. `read_line`
+    // accumulates partial data across timeouts, so requests that straddle
+    // a timeout boundary are still assembled correctly.
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(50)))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client closed the connection
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    let response = match serde_json::from_str::<WsRequest>(line.trim_end()) {
+                        Ok(req) => dispatch(req, &manager, &sessions),
+                        Err(e) => WsResponse::Error(format!("malformed request: {e}")),
+                    };
+                    let mut payload =
+                        serde_json::to_string(&response).expect("responses serialize");
+                    payload.push('\n');
+                    writer.write_all(payload.as_bytes())?;
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::Relaxed) {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A synchronous client for the gateway protocol.
+pub struct WsClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl WsClient {
+    /// Connect to a gateway.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(WsClient {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn call(&mut self, req: &WsRequest) -> std::io::Result<WsResponse> {
+        let mut payload = serde_json::to_string(req).expect("requests serialize");
+        payload.push('\n');
+        self.writer.write_all(payload.as_bytes())?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        serde_json::from_str(&line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Call and convert `Error` responses into `CoreError::Catalog`-style
+    /// strings (ergonomic wrapper for tests and tools).
+    pub fn call_ok(&mut self, req: &WsRequest) -> Result<WsResponse, String> {
+        match self.call(req) {
+            Ok(WsResponse::Error(e)) => Err(e),
+            Ok(other) => Ok(other),
+            Err(e) => Err(format!("transport: {e}")),
+        }
+    }
+}

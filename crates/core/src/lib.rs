@@ -1,0 +1,64 @@
+//! `ipa-core` — the Interactive Parallel Analysis framework.
+//!
+//! This crate is the paper's contribution proper: the three-layer system
+//! that turns a (simulated) grid site into an interactive parallel
+//! dataset-analysis facility.
+//!
+//! ```text
+//!  client layer     ipa-client / your code
+//!        │  create session, choose dataset, load code, poll results
+//!  service layer    ManagerNode ─ control/session, catalog, locator,
+//!        │          splitter, code loader, worker registry, AIDA manager
+//!  grid layer       analysis engines (one OS thread each), simulated
+//!                   GRAM/GridFTP/X.509 via ipa-simgrid
+//! ```
+//!
+//! The user's four steps (paper Figure 1) map to:
+//!
+//! 1. **Securely connect, create session** — [`ManagerNode::create_session`]
+//!    authenticates a [`GridProxy`](ipa_simgrid::GridProxy) and starts the
+//!    session's engines (VO policy caps the count).
+//! 2. **Select dataset** — [`Session::select_dataset`] resolves the id
+//!    through the locator, splits it, and stages parts onto engines.
+//! 3. **Initiate analysis run with custom code** —
+//!    [`Session::load_code`] ships an IPAScript source (or a named native
+//!    analyzer — the "compiled Java class" path) to every engine, then
+//!    [`Session::run`] / [`Session::pause`] / [`Session::rewind`] /
+//!    [`Session::run_events`] provide the paper's interactive controls.
+//! 4. **Collect & display result** — engines publish partial AIDA trees
+//!    continuously; [`Session::poll`] returns the merged tree plus
+//!    progress, which the client renders live.
+//!
+//! Engine failures are detected at poll time and their parts are
+//! transparently re-queued onto surviving engines (results never double
+//! count — merging is keyed by dataset part, not by engine).
+
+#![warn(missing_docs)]
+
+pub mod aida_manager;
+pub mod analyzer;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod gateway;
+pub mod locator;
+pub mod manager;
+pub mod registry;
+pub mod session;
+pub mod store;
+
+pub use aida_manager::{AidaManager, PartUpdate};
+pub use analyzer::{
+    builtin_registry, instantiate_code, run_analyzer_serial, AnalysisCode, Analyzer,
+    AnalyzerFactory, DnaMotifAnalyzer, FieldHistogramAnalyzer, HiggsSearchAnalyzer,
+    NativeRegistry, ScriptAnalyzer, TradeVwapAnalyzer,
+};
+pub use config::IpaConfig;
+pub use engine::{EngineCommand, EngineEvent, EngineHandle, EngineId, PartId};
+pub use error::CoreError;
+pub use gateway::{WsClient, WsGateway, WsRequest, WsResponse};
+pub use locator::{DatasetLocation, LocatorService};
+pub use manager::ManagerNode;
+pub use registry::{SessionInfo, WorkerInfo, WorkerRegistry, WorkerState};
+pub use session::{RunState, Session, SessionStatus};
+pub use store::DatasetStore;

@@ -1,0 +1,107 @@
+//! The Locator service.
+//!
+//! "The dataset reference … contains an 'identifier' that uniquely
+//! identifies the dataset in the catalog. This dataset must be submitted to
+//! the locator service that will resolve the location of the dataset from
+//! the dataset identifier. The location could be a URL to an FTP server or
+//! a set of contiguous records in a database server." (§3.4)
+
+use serde::{Deserialize, Serialize};
+
+use ipa_dataset::DatasetId;
+
+use crate::error::CoreError;
+use crate::store::DatasetStore;
+
+/// A resolved dataset location.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DatasetLocation {
+    /// Lives on this site's storage element (our in-memory store).
+    StorageElement {
+        /// GridFTP-style URL for diagnostics.
+        url: String,
+    },
+    /// A contiguous record range in a database-like source.
+    RecordRange {
+        /// Source name.
+        source: String,
+        /// First record.
+        first: u64,
+        /// One-past-last record.
+        last: u64,
+    },
+}
+
+/// Resolves dataset ids to physical locations and hands back the splitter
+/// to use (in this implementation there is a single splitter per site).
+#[derive(Clone)]
+pub struct LocatorService {
+    store: DatasetStore,
+    site: String,
+}
+
+impl LocatorService {
+    /// Locator over a site's store.
+    pub fn new(store: DatasetStore, site: impl Into<String>) -> Self {
+        LocatorService {
+            store,
+            site: site.into(),
+        }
+    }
+
+    /// Resolve an id to a location.
+    pub fn locate(&self, id: &DatasetId) -> Result<DatasetLocation, CoreError> {
+        if self.store.get(id).is_some() {
+            Ok(DatasetLocation::StorageElement {
+                url: format!("gsiftp://{}/se/{}", self.site, id),
+            })
+        } else {
+            Err(CoreError::NotLocatable(id.0.clone()))
+        }
+    }
+
+    /// Fetch the actual dataset (follows a successful locate).
+    pub fn fetch(
+        &self,
+        id: &DatasetId,
+    ) -> Result<std::sync::Arc<ipa_dataset::Dataset>, CoreError> {
+        self.store
+            .get(id)
+            .ok_or_else(|| CoreError::NotLocatable(id.0.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_dataset::{AnyRecord, CollisionEvent, Dataset};
+
+    #[test]
+    fn locate_known_and_unknown() {
+        let store = DatasetStore::new();
+        store.put(Dataset::from_records(
+            "lc-1",
+            "LC",
+            vec![AnyRecord::Event(CollisionEvent {
+                event_id: 0,
+                run: 0,
+                sqrt_s: 500.0,
+                is_signal: false,
+                particles: vec![],
+            })],
+        ));
+        let loc = LocatorService::new(store, "slac.stanford.edu");
+        match loc.locate(&DatasetId::new("lc-1")).unwrap() {
+            DatasetLocation::StorageElement { url } => {
+                assert_eq!(url, "gsiftp://slac.stanford.edu/se/lc-1");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            loc.locate(&DatasetId::new("missing")),
+            Err(CoreError::NotLocatable(_))
+        ));
+        assert!(loc.fetch(&DatasetId::new("lc-1")).is_ok());
+        assert!(loc.fetch(&DatasetId::new("missing")).is_err());
+    }
+}

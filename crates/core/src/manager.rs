@@ -1,0 +1,270 @@
+//! The manager node: the paper's "IPA Service Element".
+//!
+//! A broker node hosting the control/session service, the dataset catalog
+//! service, the locator, and the storage element handle. Clients hold a
+//! [`ManagerNode`] (in a real deployment this would be a SOAP endpoint; the
+//! substitution is documented in DESIGN.md) and everything session-scoped
+//! goes through [`ManagerNode::create_session`] — which, exactly like the
+//! paper, refuses to hand out anything before the grid proxy has been
+//! authenticated and authorized against the site's VO policy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+use ipa_catalog::{Catalog, CatalogEntry, ListItem, Metadata};
+use ipa_dataset::{Dataset, DatasetId};
+use ipa_simgrid::{GridProxy, SecurityDomain};
+use parking_lot::RwLock;
+
+use crate::analyzer::{builtin_registry, NativeRegistry};
+use crate::config::IpaConfig;
+use crate::engine::EngineHandle;
+use crate::error::CoreError;
+use crate::locator::LocatorService;
+use crate::registry::WorkerRegistry;
+use crate::session::Session;
+use crate::store::DatasetStore;
+
+/// The IPA service element for one grid site.
+pub struct ManagerNode {
+    /// Site configuration.
+    pub config: IpaConfig,
+    site: String,
+    security: SecurityDomain,
+    catalog: Arc<RwLock<Catalog>>,
+    store: DatasetStore,
+    locator: LocatorService,
+    registry: NativeRegistry,
+    workers: WorkerRegistry,
+    next_session: AtomicU64,
+}
+
+impl ManagerNode {
+    /// Stand up a manager node for `site` with its security domain.
+    pub fn new(site: impl Into<String>, security: SecurityDomain, config: IpaConfig) -> Self {
+        let site = site.into();
+        let store = DatasetStore::new();
+        ManagerNode {
+            config,
+            locator: LocatorService::new(store.clone(), site.clone()),
+            site,
+            security,
+            catalog: Arc::new(RwLock::new(Catalog::new())),
+            store,
+            registry: builtin_registry(),
+            workers: WorkerRegistry::new(),
+            next_session: AtomicU64::new(1),
+        }
+    }
+
+    /// Replace the native-analyzer registry (sites install their own code).
+    pub fn with_registry(mut self, registry: NativeRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Site name.
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+
+    /// The storage element.
+    pub fn store(&self) -> &DatasetStore {
+        &self.store
+    }
+
+    /// The locator service.
+    pub fn locator(&self) -> &LocatorService {
+        &self.locator
+    }
+
+    /// The worker registry (Figure 1's "Registry of References to Analysis
+    /// Engines"): live engine/session state across all sessions.
+    pub fn worker_registry(&self) -> &WorkerRegistry {
+        &self.workers
+    }
+
+    /// Publish a dataset: store it on the SE and register it in the
+    /// catalog under `folder` with `metadata`.
+    pub fn publish_dataset(
+        &self,
+        folder: &str,
+        dataset: Dataset,
+        metadata: Metadata,
+    ) -> Result<(), CoreError> {
+        let descriptor = dataset.descriptor.clone();
+        self.store.put(dataset);
+        self.catalog
+            .write()
+            .add(folder, descriptor, metadata)
+            .map_err(CoreError::from)
+    }
+
+    /// Browse a catalog folder (Dataset Catalog Service, Figure 3).
+    pub fn browse(&self, folder: &str) -> Result<Vec<ListItem>, CoreError> {
+        self.catalog.read().list(folder).map_err(CoreError::from)
+    }
+
+    /// Search the catalog with query text.
+    pub fn search(&self, query: &str) -> Result<Vec<CatalogEntry>, CoreError> {
+        Ok(self
+            .catalog
+            .read()
+            .search_text(query)?
+            .into_iter()
+            .cloned()
+            .collect())
+    }
+
+    /// Look up one catalog entry.
+    pub fn catalog_entry(&self, id: &DatasetId) -> Result<CatalogEntry, CoreError> {
+        Ok(self.catalog.read().entry(id)?.clone())
+    }
+
+    /// Render the catalog tree (client chooser view).
+    pub fn catalog_tree(&self) -> String {
+        self.catalog.read().render_tree()
+    }
+
+    /// Create an interactive session: authenticate + authorize the proxy,
+    /// start engines (capped by the VO policy), and wait for their ready
+    /// signals. `now` is the simulated wall-clock used for proxy validity.
+    pub fn create_session(
+        &self,
+        proxy: &GridProxy,
+        now: f64,
+        requested_engines: usize,
+    ) -> Result<Session, CoreError> {
+        let policy = self.security.authorize(proxy, now)?;
+        if proxy.remaining(now) < self.config.min_proxy_remaining_s {
+            return Err(CoreError::Auth(ipa_simgrid::AuthError::Expired));
+        }
+        let requested = if requested_engines == 0 {
+            self.config.engines_per_session
+        } else {
+            requested_engines
+        };
+        let granted = requested.min(policy.max_nodes).max(1);
+
+        let (events_tx, events_rx) = unbounded();
+        let engines: Vec<EngineHandle> = (0..granted)
+            .map(|i| {
+                EngineHandle::spawn(
+                    i,
+                    self.config.publish_every,
+                    self.registry.clone(),
+                    events_tx.clone(),
+                )
+            })
+            .collect();
+
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        self.workers
+            .register_session(id, &proxy.subject, granted, &self.site);
+        let mut session = Session::new(
+            id,
+            proxy.subject.clone(),
+            engines,
+            events_rx,
+            self.locator.clone(),
+            self.config.clone(),
+            self.workers.clone(),
+        );
+        session.wait_ready()?;
+        Ok(session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_catalog::MetaValue;
+    use ipa_dataset::{EventGeneratorConfig, GeneratorConfig};
+    use ipa_simgrid::VoPolicy;
+
+    fn manager() -> ManagerNode {
+        let sec = SecurityDomain::new("slac-osg", 7).with_policy(VoPolicy::new("ilc", 16));
+        ManagerNode::new("slac.stanford.edu", sec, IpaConfig::default())
+    }
+
+    fn proxy(m_sec: &SecurityDomain) -> GridProxy {
+        m_sec.issue_proxy("/CN=alice", "ilc", 0.0, 7200.0)
+    }
+
+    #[test]
+    fn publish_browse_search() {
+        let m = manager();
+        let ds = ipa_dataset::generate_dataset(
+            "lc-mini",
+            "Mini LC",
+            &GeneratorConfig::Event(EventGeneratorConfig {
+                events: 100,
+                ..Default::default()
+            }),
+        );
+        let mut meta = Metadata::new();
+        meta.insert("detector".into(), MetaValue::Str("SiD".into()));
+        m.publish_dataset("/lc/simulation", ds, meta).unwrap();
+
+        assert_eq!(m.store().len(), 1);
+        let root = m.browse("/").unwrap();
+        assert!(matches!(&root[0], ListItem::Folder(f) if f == "lc"));
+        let hits = m.search("detector == SiD").unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(m.catalog_entry(&DatasetId::new("lc-mini")).is_ok());
+        assert!(m.catalog_tree().contains("lc-mini"));
+        assert!(m
+            .locator()
+            .locate(&DatasetId::new("lc-mini"))
+            .is_ok());
+    }
+
+    #[test]
+    fn session_requires_valid_proxy() {
+        let sec = SecurityDomain::new("slac-osg", 7).with_policy(VoPolicy::new("ilc", 16));
+        let m = ManagerNode::new("slac", sec.clone(), IpaConfig::default());
+        // Foreign proxy fails.
+        let foreign = SecurityDomain::new("other", 1).issue_proxy("/CN=eve", "ilc", 0.0, 7200.0);
+        assert!(matches!(
+            m.create_session(&foreign, 0.0, 2),
+            Err(CoreError::Auth(_))
+        ));
+        // Nearly-expired proxy fails the minimum-lifetime check.
+        let short = sec.issue_proxy("/CN=alice", "ilc", 0.0, 30.0);
+        assert!(matches!(
+            m.create_session(&short, 0.0, 2),
+            Err(CoreError::Auth(_))
+        ));
+        // Good proxy succeeds.
+        let good = proxy(&sec);
+        let mut s = m.create_session(&good, 0.0, 2).unwrap();
+        assert_eq!(s.engines(), 2);
+        s.close();
+    }
+
+    #[test]
+    fn vo_policy_caps_engines() {
+        let sec = SecurityDomain::new("slac-osg", 7).with_policy(VoPolicy::new("ilc", 3));
+        let m = ManagerNode::new("slac", sec.clone(), IpaConfig::default());
+        let mut s = m.create_session(&proxy(&sec), 0.0, 100).unwrap();
+        assert_eq!(s.engines(), 3);
+        s.close();
+    }
+
+    #[test]
+    fn zero_request_uses_configured_default() {
+        let sec = SecurityDomain::new("slac-osg", 7).with_policy(VoPolicy::new("ilc", 16));
+        let m = ManagerNode::new(
+            "slac",
+            sec.clone(),
+            IpaConfig {
+                engines_per_session: 5,
+                ..Default::default()
+            },
+        );
+        let mut s = m.create_session(&proxy(&sec), 0.0, 0).unwrap();
+        assert_eq!(s.engines(), 5);
+        s.close();
+    }
+}

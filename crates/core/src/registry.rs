@@ -1,0 +1,245 @@
+//! The worker registry and session directory.
+//!
+//! Figure 1's manager node holds a "Registry of References to Analysis
+//! Engines", and the control service tracks the session resources it
+//! created. This module provides both as shared, thread-safe directories:
+//! sessions update them as engines come up, crunch, fail, and shut down;
+//! operators (and tests) read consistent snapshots through the manager.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::EngineId;
+
+/// Lifecycle state of one analysis engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkerState {
+    /// Spawned, ready signal received.
+    Ready,
+    /// Processing a part.
+    Busy,
+    /// Current part finished; waiting for work.
+    Idle,
+    /// Died (analyzer error or fault).
+    Failed,
+    /// Session over; thread joined.
+    Shutdown,
+}
+
+/// Registry entry for one engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerInfo {
+    /// Owning session.
+    pub session: u64,
+    /// Engine id within the session.
+    pub engine: EngineId,
+    /// Simulated host name the engine "runs on".
+    pub host: String,
+    /// Current state.
+    pub state: WorkerState,
+    /// Records processed by this engine so far (across parts).
+    pub records_processed: u64,
+}
+
+/// Directory entry for one session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionInfo {
+    /// Session id.
+    pub id: u64,
+    /// Authenticated subject.
+    pub subject: String,
+    /// Engines granted.
+    pub engines: usize,
+    /// True until the session closes.
+    pub active: bool,
+}
+
+#[derive(Default)]
+struct Inner {
+    workers: BTreeMap<(u64, EngineId), WorkerInfo>,
+    sessions: BTreeMap<u64, SessionInfo>,
+}
+
+/// Shared registry handle (cheap to clone).
+#[derive(Clone, Default)]
+pub struct WorkerRegistry {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl WorkerRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        WorkerRegistry::default()
+    }
+
+    /// Record a new session and its engines (all [`WorkerState::Ready`]).
+    pub fn register_session(&self, id: u64, subject: &str, engines: usize, site: &str) {
+        let mut inner = self.inner.write();
+        inner.sessions.insert(
+            id,
+            SessionInfo {
+                id,
+                subject: subject.to_string(),
+                engines,
+                active: true,
+            },
+        );
+        for e in 0..engines {
+            inner.workers.insert(
+                (id, e),
+                WorkerInfo {
+                    session: id,
+                    engine: e,
+                    host: format!("wn{e:03}.{site}"),
+                    state: WorkerState::Ready,
+                    records_processed: 0,
+                },
+            );
+        }
+    }
+
+    /// Update one engine's state (and optionally its progress counter).
+    pub fn update_worker(
+        &self,
+        session: u64,
+        engine: EngineId,
+        state: WorkerState,
+        records_processed: Option<u64>,
+    ) {
+        let mut inner = self.inner.write();
+        if let Some(w) = inner.workers.get_mut(&(session, engine)) {
+            // Failures and shutdowns are terminal.
+            if w.state != WorkerState::Failed && w.state != WorkerState::Shutdown {
+                w.state = state;
+            }
+            if let Some(r) = records_processed {
+                w.records_processed = r.max(w.records_processed);
+            }
+        }
+    }
+
+    /// Mark a whole session closed (engines become Shutdown).
+    pub fn close_session(&self, session: u64) {
+        let mut inner = self.inner.write();
+        if let Some(s) = inner.sessions.get_mut(&session) {
+            s.active = false;
+        }
+        for (_, w) in inner.workers.range_mut((session, 0)..(session + 1, 0)) {
+            w.state = WorkerState::Shutdown;
+        }
+    }
+
+    /// Snapshot of every worker, ordered by (session, engine).
+    pub fn workers(&self) -> Vec<WorkerInfo> {
+        self.inner.read().workers.values().cloned().collect()
+    }
+
+    /// Workers of one session.
+    pub fn session_workers(&self, session: u64) -> Vec<WorkerInfo> {
+        self.inner
+            .read()
+            .workers
+            .range((session, 0)..(session + 1, 0))
+            .map(|(_, w)| w.clone())
+            .collect()
+    }
+
+    /// Snapshot of every session.
+    pub fn sessions(&self) -> Vec<SessionInfo> {
+        self.inner.read().sessions.values().cloned().collect()
+    }
+
+    /// Sessions still active.
+    pub fn active_sessions(&self) -> usize {
+        self.inner.read().sessions.values().filter(|s| s.active).count()
+    }
+
+    /// Render the operator panel (the "hosts that have analysis engines
+    /// running" box of Figure 4).
+    pub fn render(&self) -> String {
+        let inner = self.inner.read();
+        let mut out = String::from("session  engine  host              state      records\n");
+        for w in inner.workers.values() {
+            out.push_str(&format!(
+                "{:>7}  {:>6}  {:<16}  {:<9}  {:>7}\n",
+                w.session,
+                w.engine,
+                w.host,
+                format!("{:?}", w.state),
+                w.records_processed
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_update_snapshot() {
+        let r = WorkerRegistry::new();
+        r.register_session(1, "/CN=alice", 3, "slac");
+        r.register_session(2, "/CN=bob", 2, "slac");
+        assert_eq!(r.workers().len(), 5);
+        assert_eq!(r.sessions().len(), 2);
+        assert_eq!(r.active_sessions(), 2);
+
+        r.update_worker(1, 0, WorkerState::Busy, Some(500));
+        let w = &r.session_workers(1)[0];
+        assert_eq!(w.state, WorkerState::Busy);
+        assert_eq!(w.records_processed, 500);
+        assert_eq!(w.host, "wn000.slac");
+    }
+
+    #[test]
+    fn progress_counter_is_monotone() {
+        let r = WorkerRegistry::new();
+        r.register_session(1, "/CN=a", 1, "s");
+        r.update_worker(1, 0, WorkerState::Busy, Some(100));
+        r.update_worker(1, 0, WorkerState::Busy, Some(50)); // stale update
+        assert_eq!(r.session_workers(1)[0].records_processed, 100);
+    }
+
+    #[test]
+    fn failure_is_terminal() {
+        let r = WorkerRegistry::new();
+        r.register_session(1, "/CN=a", 1, "s");
+        r.update_worker(1, 0, WorkerState::Failed, None);
+        r.update_worker(1, 0, WorkerState::Busy, None); // ignored
+        assert_eq!(r.session_workers(1)[0].state, WorkerState::Failed);
+    }
+
+    #[test]
+    fn close_session_shuts_workers_down() {
+        let r = WorkerRegistry::new();
+        r.register_session(7, "/CN=a", 2, "s");
+        r.close_session(7);
+        assert_eq!(r.active_sessions(), 0);
+        assert!(r
+            .session_workers(7)
+            .iter()
+            .all(|w| w.state == WorkerState::Shutdown));
+    }
+
+    #[test]
+    fn render_contains_hosts() {
+        let r = WorkerRegistry::new();
+        r.register_session(1, "/CN=a", 2, "slac.example");
+        let panel = r.render();
+        assert!(panel.contains("wn000.slac.example"));
+        assert!(panel.contains("wn001.slac.example"));
+        assert!(panel.contains("Ready"));
+    }
+
+    #[test]
+    fn unknown_worker_updates_are_ignored() {
+        let r = WorkerRegistry::new();
+        r.update_worker(9, 9, WorkerState::Busy, Some(1)); // no panic
+        assert!(r.workers().is_empty());
+    }
+}

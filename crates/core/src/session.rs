@@ -1,0 +1,542 @@
+//! The interactive analysis session.
+//!
+//! A [`Session`] is the WSRF-style stateful resource at the heart of the
+//! design (§3.2): every client call happens in its context. It owns the
+//! session's engines, the dataset parts, the AIDA manager, and the run
+//! state; the client drives it with the paper's four steps and polls for
+//! merged results ("a separate plug-in on the JAS client constantly polls
+//! the AIDA manager", §3.7).
+//!
+//! Fault tolerance beyond the paper: a failed engine's part is invalidated
+//! and re-queued onto surviving engines at the next poll; results never
+//! double count because merging is keyed by part.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, TryRecvError};
+use ipa_aida::Tree;
+use serde::{Deserialize, Serialize};
+use ipa_dataset::{split_even, split_records, AnyRecord, DatasetDescriptor, DatasetId};
+
+use crate::aida_manager::AidaManager;
+use crate::analyzer::{instantiate_code, AnalysisCode, NativeRegistry};
+use crate::config::IpaConfig;
+use crate::engine::{EngineCommand, EngineEvent, EngineHandle, EngineId, PartId};
+use crate::error::CoreError;
+use crate::locator::LocatorService;
+use crate::registry::{WorkerRegistry, WorkerState};
+
+/// Run state of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunState {
+    /// No run started (or rewound).
+    Idle,
+    /// Engines are processing.
+    Running,
+    /// Paused by the user (resume with run).
+    Paused,
+    /// Stopped by the user.
+    Stopped,
+    /// All parts processed.
+    Finished,
+}
+
+/// Per-engine bookkeeping.
+struct EngineSlot {
+    handle: EngineHandle,
+    alive: bool,
+    /// Part currently assigned, with completion flag.
+    part: Option<(PartId, bool)>,
+    /// Records completed in earlier parts (for registry progress).
+    completed_records: u64,
+}
+
+/// Snapshot returned by [`Session::poll`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionStatus {
+    /// Current run state.
+    pub state: RunState,
+    /// Records processed across all parts.
+    pub records_processed: u64,
+    /// Total records in the selected dataset.
+    pub records_total: u64,
+    /// Parts fully processed.
+    pub parts_done: usize,
+    /// Total parts.
+    pub parts_total: usize,
+    /// Engines still alive.
+    pub engines_alive: usize,
+    /// Log lines collected since the last poll.
+    pub new_logs: Vec<(EngineId, String)>,
+}
+
+impl SessionStatus {
+    /// Completion fraction in `[0, 1]` (1 when the dataset is empty).
+    pub fn progress(&self) -> f64 {
+        if self.records_total == 0 {
+            1.0
+        } else {
+            self.records_processed as f64 / self.records_total as f64
+        }
+    }
+}
+
+/// An interactive parallel analysis session.
+pub struct Session {
+    id: u64,
+    subject: String,
+    engines: Vec<EngineSlot>,
+    events: Receiver<EngineEvent>,
+    aida: AidaManager,
+    locator: LocatorService,
+    config: IpaConfig,
+
+    dataset: Option<DatasetDescriptor>,
+    parts: Vec<Arc<Vec<AnyRecord>>>,
+    pending: VecDeque<PartId>,
+    code: Option<AnalysisCode>,
+    state: RunState,
+    logs: Vec<(EngineId, String)>,
+    failures: Vec<(EngineId, String)>,
+    registry: WorkerRegistry,
+    closed: bool,
+}
+
+impl Session {
+    pub(crate) fn new(
+        id: u64,
+        subject: String,
+        engines: Vec<EngineHandle>,
+        events: Receiver<EngineEvent>,
+        locator: LocatorService,
+        config: IpaConfig,
+        registry: WorkerRegistry,
+    ) -> Self {
+        Session {
+            id,
+            subject,
+            engines: engines
+                .into_iter()
+                .map(|handle| EngineSlot {
+                    handle,
+                    alive: true,
+                    part: None,
+                    completed_records: 0,
+                })
+                .collect(),
+            events,
+            aida: AidaManager::new(),
+            locator,
+            config,
+            dataset: None,
+            parts: Vec::new(),
+            pending: VecDeque::new(),
+            code: None,
+            state: RunState::Idle,
+            logs: Vec::new(),
+            failures: Vec::new(),
+            registry,
+            closed: false,
+        }
+    }
+
+    /// Session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Authenticated subject this session belongs to.
+    pub fn subject(&self) -> &str {
+        &self.subject
+    }
+
+    /// Number of engines (alive or not).
+    pub fn engines(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Engines still alive.
+    pub fn engines_alive(&self) -> usize {
+        self.engines.iter().filter(|e| e.alive).count()
+    }
+
+    /// The selected dataset, if any.
+    pub fn dataset(&self) -> Option<&DatasetDescriptor> {
+        self.dataset.as_ref()
+    }
+
+    /// Engine failures seen so far (id, message).
+    pub fn failures(&self) -> &[(EngineId, String)] {
+        &self.failures
+    }
+
+    fn check_open(&self) -> Result<(), CoreError> {
+        if self.closed {
+            Err(CoreError::SessionClosed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Wait for every engine's ready signal (called by the manager right
+    /// after spawning).
+    pub(crate) fn wait_ready(&mut self) -> Result<(), CoreError> {
+        let mut ready = 0usize;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while ready < self.engines.len() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.events.recv_timeout(remaining) {
+                Ok(EngineEvent::Ready { .. }) => ready += 1,
+                Ok(other) => self.absorb(other),
+                Err(_) => return Err(CoreError::EngineGone(ready)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Step 2: choose a dataset. Resolves the id through the locator,
+    /// splits it into one part per engine, and stages the parts.
+    pub fn select_dataset(&mut self, id: &DatasetId) -> Result<(), CoreError> {
+        self.check_open()?;
+        self.locator.locate(id)?;
+        let ds = self.locator.fetch(id)?;
+        let n = self.engines_alive().max(1);
+        let (parts, _plan) = if self.config.byte_balanced_split {
+            split_records(&ds.records, n)
+        } else {
+            split_even(&ds.records, n)
+        }
+        .map_err(|e| CoreError::Staging(e.to_string()))?;
+
+        self.parts = parts.into_iter().map(Arc::new).collect();
+        self.dataset = Some(ds.descriptor.clone());
+        self.aida.clear();
+        self.pending.clear();
+        self.state = RunState::Idle;
+
+        // Stage part k onto the k-th living engine.
+        let mut part_iter = 0u64;
+        for slot in self.engines.iter_mut() {
+            slot.part = None;
+            if !slot.alive {
+                continue;
+            }
+            if (part_iter as usize) < self.parts.len() {
+                let records = self.parts[part_iter as usize].clone();
+                slot.handle.send(EngineCommand::AssignPart {
+                    part: part_iter,
+                    records,
+                });
+                slot.part = Some((part_iter, false));
+                part_iter += 1;
+            }
+        }
+        // Any parts beyond the number of living engines wait in the queue.
+        for p in part_iter..self.parts.len() as u64 {
+            self.pending.push_back(p);
+        }
+        Ok(())
+    }
+
+    /// Step 3a: ship analysis code to every engine. The code is validated
+    /// locally first so syntax errors surface immediately; loading resets
+    /// any run in progress (paper §3.6: edit, reload, reprocess).
+    pub fn load_code(&mut self, code: AnalysisCode) -> Result<(), CoreError> {
+        self.check_open()?;
+        // Validate before shipping (scripts compile; natives must exist on
+        // the engines' registry, which mirrors this one).
+        instantiate_code(&code, &self.local_registry())?;
+        for slot in self.engines.iter_mut().filter(|s| s.alive) {
+            slot.handle.send(EngineCommand::LoadCode(code.clone()));
+            if let Some((_, done)) = &mut slot.part {
+                *done = false;
+            }
+        }
+        self.code = Some(code);
+        self.aida.clear();
+        self.state = RunState::Idle;
+        Ok(())
+    }
+
+    // Engines hold the authoritative registry; the session only needs one
+    // for validation. Natives are validated engine-side anyway, so an
+    // empty registry would only delay the error — we use the builtin set.
+    fn local_registry(&self) -> NativeRegistry {
+        crate::analyzer::builtin_registry()
+    }
+
+    /// Step 3b: start (or resume) the analysis run.
+    pub fn run(&mut self) -> Result<(), CoreError> {
+        self.check_open()?;
+        if self.dataset.is_none() {
+            return Err(CoreError::NoDataset);
+        }
+        if self.code.is_none() {
+            return Err(CoreError::NoCode);
+        }
+        if self.engines_alive() == 0 {
+            return Err(CoreError::AllEnginesFailed);
+        }
+        for slot in self.engines.iter().filter(|s| s.alive) {
+            slot.handle.send(EngineCommand::Run);
+        }
+        self.state = RunState::Running;
+        Ok(())
+    }
+
+    /// "Run specific no of events": each engine processes at most `n`
+    /// further records, then pauses.
+    pub fn run_events(&mut self, n: usize) -> Result<(), CoreError> {
+        self.check_open()?;
+        if self.dataset.is_none() {
+            return Err(CoreError::NoDataset);
+        }
+        if self.code.is_none() {
+            return Err(CoreError::NoCode);
+        }
+        for slot in self.engines.iter().filter(|s| s.alive) {
+            slot.handle.send(EngineCommand::RunN(n));
+        }
+        self.state = RunState::Running;
+        Ok(())
+    }
+
+    /// Pause the run (resume with [`Session::run`]).
+    pub fn pause(&mut self) -> Result<(), CoreError> {
+        self.check_open()?;
+        for slot in self.engines.iter().filter(|s| s.alive) {
+            slot.handle.send(EngineCommand::Pause);
+        }
+        if self.state == RunState::Running {
+            self.state = RunState::Paused;
+        }
+        Ok(())
+    }
+
+    /// Stop the run (results stay visible; restart from the beginning with
+    /// rewind + run).
+    pub fn stop(&mut self) -> Result<(), CoreError> {
+        self.check_open()?;
+        for slot in self.engines.iter().filter(|s| s.alive) {
+            slot.handle.send(EngineCommand::Pause);
+        }
+        self.state = RunState::Stopped;
+        Ok(())
+    }
+
+    /// Rewind to the start of the dataset: all parts go back to record 0,
+    /// merged results reset.
+    pub fn rewind(&mut self) -> Result<(), CoreError> {
+        self.check_open()?;
+        self.aida.clear();
+        self.pending.clear();
+        // Re-stage original parts onto living engines.
+        let mut next_part = 0u64;
+        for slot in self.engines.iter_mut() {
+            slot.part = None;
+            if !slot.alive {
+                continue;
+            }
+            if (next_part as usize) < self.parts.len() {
+                slot.handle.send(EngineCommand::AssignPart {
+                    part: next_part,
+                    records: self.parts[next_part as usize].clone(),
+                });
+                slot.part = Some((next_part, false));
+                next_part += 1;
+            }
+        }
+        for p in next_part..self.parts.len() as u64 {
+            self.pending.push_back(p);
+        }
+        self.state = RunState::Idle;
+        Ok(())
+    }
+
+    fn absorb(&mut self, ev: EngineEvent) {
+        match ev {
+            EngineEvent::Ready { .. } => {}
+            EngineEvent::CodeLoaded { .. } => {}
+            EngineEvent::CodeError { engine, message } => {
+                self.failures.push((engine, format!("code error: {message}")));
+            }
+            EngineEvent::Update { part, update } => {
+                if let Some(slot) = self.engines.get_mut(update.engine) {
+                    if let Some((pid, done)) = &mut slot.part {
+                        if *pid == part {
+                            *done = update.done;
+                        }
+                    }
+                    let total = slot.completed_records + update.processed;
+                    if update.done {
+                        slot.completed_records += update.total;
+                    }
+                    self.registry.update_worker(
+                        self.id,
+                        update.engine,
+                        if update.done { WorkerState::Idle } else { WorkerState::Busy },
+                        Some(total),
+                    );
+                }
+                self.aida.publish(part, update);
+            }
+            EngineEvent::Failed {
+                engine,
+                part,
+                message,
+            } => {
+                self.failures.push((engine, message));
+                self.registry
+                    .update_worker(self.id, engine, WorkerState::Failed, None);
+                if let Some(slot) = self.engines.get_mut(engine) {
+                    slot.alive = false;
+                    slot.part = None;
+                }
+                if let Some(p) = part {
+                    self.aida.invalidate(p);
+                    self.pending.push_back(p);
+                }
+            }
+            EngineEvent::Log { engine, message } => {
+                self.logs.push((engine, message));
+            }
+        }
+    }
+
+    /// Hand queued parts to living engines whose current part is done (or
+    /// who have none).
+    fn dispatch_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        for slot in self.engines.iter_mut() {
+            if self.pending.is_empty() {
+                break;
+            }
+            if !slot.alive {
+                continue;
+            }
+            let idle = match slot.part {
+                None => true,
+                Some((_, done)) => done,
+            };
+            if idle {
+                let part = self.pending.pop_front().expect("non-empty");
+                slot.handle.send(EngineCommand::AssignPart {
+                    part,
+                    records: self.parts[part as usize].clone(),
+                });
+                if self.state == RunState::Running {
+                    slot.handle.send(EngineCommand::Run);
+                }
+                slot.part = Some((part, false));
+            }
+        }
+    }
+
+    /// Drain engine events, run failure recovery, and return a status
+    /// snapshot. This is the client's polling entry point.
+    pub fn poll(&mut self) -> Result<SessionStatus, CoreError> {
+        self.check_open()?;
+        loop {
+            match self.events.try_recv() {
+                Ok(ev) => self.absorb(ev),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        self.dispatch_pending();
+
+        let parts_total = self.parts.len();
+        let parts_done = self.aida.parts_done();
+        if parts_total > 0 && parts_done == parts_total && self.state == RunState::Running {
+            self.state = RunState::Finished;
+        }
+        if self.state == RunState::Running && self.engines_alive() == 0 {
+            return Err(CoreError::AllEnginesFailed);
+        }
+
+        Ok(SessionStatus {
+            state: self.state,
+            records_processed: self.aida.records_processed(),
+            records_total: self.parts.iter().map(|p| p.len() as u64).sum(),
+            parts_done,
+            parts_total,
+            engines_alive: self.engines_alive(),
+            new_logs: std::mem::take(&mut self.logs),
+        })
+    }
+
+    /// Merged results as of the last poll.
+    pub fn results(&mut self) -> Result<Tree, CoreError> {
+        self.aida.merged()
+    }
+
+    /// Merged results through the two-level merger (paper §2.5 extension).
+    pub fn results_hierarchical(&mut self, fan_in: usize) -> Result<Tree, CoreError> {
+        self.aida.merged_hierarchical(fan_in)
+    }
+
+    /// Poll until the run finishes (or fails, or times out).
+    pub fn wait_finished(&mut self, timeout: Duration) -> Result<SessionStatus, CoreError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.poll()?;
+            if status.state == RunState::Finished {
+                return Ok(status);
+            }
+            if Instant::now() > deadline {
+                return Ok(status);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Estimate what staging + analyzing the *currently selected* dataset
+    /// would cost on a 2006-calibre grid site: bridges the live framework
+    /// to the `ipa-simgrid` cost model using the session's real dataset
+    /// size and engine count.
+    pub fn staging_report(
+        &self,
+        cal: &ipa_simgrid::PaperCalibration,
+    ) -> Result<ipa_simgrid::StageBreakdown, CoreError> {
+        let ds = self.dataset.as_ref().ok_or(CoreError::NoDataset)?;
+        Ok(ipa_simgrid::simulate_session(
+            ds.size_mb(),
+            self.engines_alive().max(1),
+            cal,
+        ))
+    }
+
+    /// Failure injection (tests / chaos drills): make engine `engine` die
+    /// after processing `after_records` more records. The session will
+    /// detect the failure at poll time and re-queue the engine's part.
+    pub fn inject_failure(&mut self, engine: EngineId, after_records: u64) {
+        if let Some(slot) = self.engines.get(engine) {
+            slot.handle.send(EngineCommand::FailAfter(after_records));
+        }
+    }
+
+    /// End the session: engines shut down and join (paper §2.3: engines
+    /// "should be started for each session and be shutdown at the end of a
+    /// session").
+    pub fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        for slot in &mut self.engines {
+            slot.handle.shutdown();
+            slot.alive = false;
+        }
+        self.registry.close_session(self.id);
+        self.closed = true;
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.close();
+    }
+}

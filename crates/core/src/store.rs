@@ -1,0 +1,103 @@
+//! The storage element: where datasets physically live.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ipa_dataset::{Dataset, DatasetId};
+use parking_lot::RwLock;
+
+/// An in-memory storage element holding complete datasets, shared between
+/// the manager services. (A real deployment would be a tape/disk SE behind
+/// GridFTP; the locator abstracts that away from the rest of the system.)
+#[derive(Clone, Default)]
+pub struct DatasetStore {
+    inner: Arc<RwLock<HashMap<DatasetId, Arc<Dataset>>>>,
+}
+
+impl DatasetStore {
+    /// New empty store.
+    pub fn new() -> Self {
+        DatasetStore::default()
+    }
+
+    /// Add (or replace) a dataset; returns the shared handle.
+    pub fn put(&self, ds: Dataset) -> Arc<Dataset> {
+        let arc = Arc::new(ds);
+        self.inner
+            .write()
+            .insert(arc.descriptor.id.clone(), arc.clone());
+        arc
+    }
+
+    /// Fetch a dataset by id.
+    pub fn get(&self, id: &DatasetId) -> Option<Arc<Dataset>> {
+        self.inner.read().get(id).cloned()
+    }
+
+    /// Remove a dataset.
+    pub fn remove(&self, id: &DatasetId) -> Option<Arc<Dataset>> {
+        self.inner.write().remove(id)
+    }
+
+    /// Number of stored datasets.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// All ids, sorted.
+    pub fn ids(&self) -> Vec<DatasetId> {
+        let mut v: Vec<DatasetId> = self.inner.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipa_dataset::{AnyRecord, CollisionEvent};
+
+    fn ds(id: &str) -> Dataset {
+        Dataset::from_records(
+            id,
+            id,
+            vec![AnyRecord::Event(CollisionEvent {
+                event_id: 0,
+                run: 0,
+                sqrt_s: 500.0,
+                is_signal: false,
+                particles: vec![],
+            })],
+        )
+    }
+
+    #[test]
+    fn put_get_remove() {
+        let store = DatasetStore::new();
+        assert!(store.is_empty());
+        store.put(ds("a"));
+        store.put(ds("b"));
+        assert_eq!(store.len(), 2);
+        assert!(store.get(&DatasetId::new("a")).is_some());
+        assert!(store.get(&DatasetId::new("z")).is_none());
+        assert_eq!(
+            store.ids(),
+            vec![DatasetId::new("a"), DatasetId::new("b")]
+        );
+        store.remove(&DatasetId::new("a"));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn store_is_shared_between_clones() {
+        let store = DatasetStore::new();
+        let clone = store.clone();
+        store.put(ds("x"));
+        assert!(clone.get(&DatasetId::new("x")).is_some());
+    }
+}

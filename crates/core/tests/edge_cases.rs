@@ -1,0 +1,258 @@
+//! Edge-case and failure-path integration tests: empty datasets, more
+//! engines than records, record-count splits, poison scripts that kill
+//! every engine, and zero-event run requests.
+
+use std::time::Duration;
+
+use ipa_core::{AnalysisCode, CoreError, IpaConfig, ManagerNode, RunState};
+use ipa_dataset::{DatasetId, EventGeneratorConfig, GeneratorConfig};
+use ipa_simgrid::{SecurityDomain, VoPolicy};
+
+fn manager_with(events: u64, config: IpaConfig) -> (ManagerNode, ipa_simgrid::GridProxy) {
+    let sec = SecurityDomain::new("edge", 5).with_policy(VoPolicy::new("vo", 32));
+    let m = ManagerNode::new("edge-site", sec.clone(), config);
+    let ds = ipa_dataset::generate_dataset(
+        "ds",
+        "ds",
+        &GeneratorConfig::Event(EventGeneratorConfig {
+            events,
+            ..Default::default()
+        }),
+    );
+    m.publish_dataset("/d", ds, ipa_catalog::Metadata::new())
+        .unwrap();
+    (m, sec.issue_proxy("/CN=edge", "vo", 0.0, 1e6))
+}
+
+#[test]
+fn empty_dataset_finishes_immediately() {
+    let (m, proxy) = manager_with(0, IpaConfig::default());
+    let mut s = m.create_session(&proxy, 0.0, 3).unwrap();
+    s.select_dataset(&DatasetId::new("ds")).unwrap();
+    s.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    s.run().unwrap();
+    let st = s.wait_finished(Duration::from_secs(30)).unwrap();
+    assert_eq!(st.state, RunState::Finished);
+    assert_eq!(st.records_processed, 0);
+    assert_eq!(st.parts_done, st.parts_total);
+    // init() still ran, so booked plots exist (empty).
+    let tree = s.results().unwrap();
+    assert!(tree.contains("/higgs/bb_mass"));
+    assert_eq!(tree.get("/higgs/bb_mass").unwrap().entries(), 0);
+    s.close();
+}
+
+#[test]
+fn more_engines_than_records() {
+    let (m, proxy) = manager_with(3, IpaConfig::default());
+    let mut s = m.create_session(&proxy, 0.0, 8).unwrap();
+    s.select_dataset(&DatasetId::new("ds")).unwrap();
+    s.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    s.run().unwrap();
+    let st = s.wait_finished(Duration::from_secs(30)).unwrap();
+    assert_eq!(st.state, RunState::Finished);
+    assert_eq!(st.records_processed, 3);
+    s.close();
+}
+
+#[test]
+fn record_count_split_mode_works_end_to_end() {
+    let (m, proxy) = manager_with(
+        1000,
+        IpaConfig {
+            byte_balanced_split: false,
+            publish_every: 100,
+            ..Default::default()
+        },
+    );
+    let mut s = m.create_session(&proxy, 0.0, 3).unwrap();
+    s.select_dataset(&DatasetId::new("ds")).unwrap();
+    s.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    s.run().unwrap();
+    let st = s.wait_finished(Duration::from_secs(30)).unwrap();
+    assert_eq!(st.records_processed, 1000);
+    s.close();
+}
+
+#[test]
+fn poison_script_kills_all_engines_and_surfaces() {
+    // A script that errors on a specific record: the first engine to hit
+    // it dies, its part is re-queued, the next engine dies too, until the
+    // session reports AllEnginesFailed — not a hang, not double counting.
+    let (m, proxy) = manager_with(
+        1000,
+        IpaConfig {
+            publish_every: 50,
+            ..Default::default()
+        },
+    );
+    let mut s = m.create_session(&proxy, 0.0, 2).unwrap();
+    s.select_dataset(&DatasetId::new("ds")).unwrap();
+    let poison = r#"
+        fn init() { h1("/x", 10, 0.0, 1.0); }
+        fn process(e) {
+            if e.event_id == 123 { let boom = e.no_such_field; }
+        }
+    "#;
+    s.load_code(AnalysisCode::Script(poison.into())).unwrap();
+    s.run().unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        match s.poll() {
+            Err(CoreError::AllEnginesFailed) => break,
+            Ok(_) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "poison script did not surface as failure"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(other) => panic!("unexpected: {other}"),
+        }
+    }
+    // Both engines died on the same poisoned part.
+    assert_eq!(s.failures().len(), 2);
+    assert!(s.failures()[0].1.contains("no_such_field"));
+    s.close();
+}
+
+#[test]
+fn run_events_zero_is_a_noop_pause() {
+    let (m, proxy) = manager_with(500, IpaConfig::default());
+    let mut s = m.create_session(&proxy, 0.0, 2).unwrap();
+    s.select_dataset(&DatasetId::new("ds")).unwrap();
+    s.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    s.run_events(0).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    let st = s.poll().unwrap();
+    assert_eq!(st.records_processed, 0);
+    // And the session can still run normally afterwards.
+    s.run().unwrap();
+    let st = s.wait_finished(Duration::from_secs(30)).unwrap();
+    assert_eq!(st.records_processed, 500);
+    s.close();
+}
+
+#[test]
+fn stop_freezes_but_keeps_results_visible() {
+    let (m, proxy) = manager_with(
+        20_000,
+        IpaConfig {
+            publish_every: 200,
+            ..Default::default()
+        },
+    );
+    let mut s = m.create_session(&proxy, 0.0, 2).unwrap();
+    s.select_dataset(&DatasetId::new("ds")).unwrap();
+    s.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    s.run().unwrap();
+    // Let some records flow, then stop.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let st = s.poll().unwrap();
+        if st.records_processed > 0 || std::time::Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    s.stop().unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    let st = s.poll().unwrap();
+    assert_eq!(st.state, RunState::Stopped);
+    // Results remain accessible after stop.
+    let tree = s.results().unwrap();
+    assert!(tree.contains("/higgs/bb_mass"));
+    s.close();
+}
+
+#[test]
+fn banned_subject_cannot_create_session() {
+    let sec = SecurityDomain::new("edge", 5).with_policy(ipa_simgrid::VoPolicy {
+        vo: "vo".into(),
+        max_nodes: 4,
+        banned_subjects: vec!["/CN=mallory".into()],
+    });
+    let m = ManagerNode::new("edge-site", sec.clone(), IpaConfig::default());
+    let bad = sec.issue_proxy("/CN=mallory", "vo", 0.0, 1e6);
+    assert!(matches!(
+        m.create_session(&bad, 0.0, 2),
+        Err(CoreError::Auth(ipa_simgrid::AuthError::SubjectBanned(_)))
+    ));
+}
+
+#[test]
+fn results_before_any_run_are_empty() {
+    let (m, proxy) = manager_with(100, IpaConfig::default());
+    let mut s = m.create_session(&proxy, 0.0, 2).unwrap();
+    assert!(s.results().unwrap().is_empty());
+    let st = s.poll().unwrap();
+    assert_eq!(st.state, RunState::Idle);
+    assert_eq!(st.parts_total, 0);
+    s.close();
+}
+
+#[test]
+fn control_hammering_stays_consistent() {
+    // Rapidly alternate run/pause/rewind/run_events while polling — the
+    // session must end with exactly-once processing and a merged result
+    // identical to a clean run.
+    let (m, proxy) = manager_with(
+        5_000,
+        IpaConfig {
+            publish_every: 100,
+            ..Default::default()
+        },
+    );
+    let mut s = m.create_session(&proxy, 0.0, 3).unwrap();
+    s.select_dataset(&DatasetId::new("ds")).unwrap();
+    s.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+
+    for round in 0..10 {
+        match round % 4 {
+            0 => s.run().unwrap(),
+            1 => {
+                s.pause().unwrap();
+                s.poll().unwrap();
+            }
+            2 => s.run_events(37).unwrap(),
+            _ => {
+                s.rewind().unwrap();
+            }
+        }
+        std::thread::sleep(Duration::from_millis(7));
+        s.poll().unwrap();
+    }
+    // Finish cleanly from whatever state the hammering left.
+    s.rewind().unwrap();
+    s.run().unwrap();
+    let st = s.wait_finished(Duration::from_secs(60)).unwrap();
+    assert_eq!(st.state, RunState::Finished);
+    assert_eq!(st.records_processed, 5_000);
+    assert_eq!(st.parts_done, st.parts_total);
+    let tree = s.results().unwrap();
+    assert_eq!(
+        tree.get("/higgs/n_btags").unwrap().entries(),
+        5_000,
+        "every record counted exactly once after the control storm"
+    );
+    s.close();
+}
+
+#[test]
+fn serde_status_round_trip() {
+    // SessionStatus crosses the gateway; make sure every field survives.
+    let (m, proxy) = manager_with(100, IpaConfig::default());
+    let mut s = m.create_session(&proxy, 0.0, 2).unwrap();
+    s.select_dataset(&DatasetId::new("ds")).unwrap();
+    let st = s.poll().unwrap();
+    let json = serde_json::to_string(&st).unwrap();
+    let back: ipa_core::SessionStatus = serde_json::from_str(&json).unwrap();
+    assert_eq!(st, back);
+    s.close();
+}

@@ -1,0 +1,258 @@
+//! The four-step workflow over the real network boundary: client and
+//! manager in the same process but talking only through TCP + JSON,
+//! exactly like the paper's SOAP split between the JAS client and the
+//! manager node.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ipa_core::{IpaConfig, ManagerNode, RunState, WsClient, WsGateway, WsRequest, WsResponse};
+use ipa_dataset::{EventGeneratorConfig, GeneratorConfig};
+use ipa_simgrid::{SecurityDomain, VoPolicy};
+
+fn gateway() -> (WsGateway, SecurityDomain) {
+    let sec = SecurityDomain::new("ws-site", 21).with_policy(VoPolicy::new("ilc", 8));
+    let manager = Arc::new(ManagerNode::new(
+        "ws-site",
+        sec.clone(),
+        IpaConfig {
+            publish_every: 200,
+            ..Default::default()
+        },
+    ));
+    manager
+        .publish_dataset(
+            "/lc",
+            ipa_dataset::generate_dataset(
+                "lc-ws",
+                "events over the wire",
+                &GeneratorConfig::Event(EventGeneratorConfig {
+                    events: 2_000,
+                    ..Default::default()
+                }),
+            ),
+            ipa_catalog::Metadata::new(),
+        )
+        .unwrap();
+    let gw = WsGateway::serve(manager, ("127.0.0.1", 0)).unwrap();
+    (gw, sec)
+}
+
+#[test]
+fn full_four_step_flow_over_tcp() {
+    let (mut gw, sec) = gateway();
+    let mut client = WsClient::connect(gw.addr()).unwrap();
+
+    // Catalog browse + search over the wire.
+    let WsResponse::Items(items) = client.call_ok(&WsRequest::Browse { folder: "/".into() }).unwrap() else {
+        panic!("browse")
+    };
+    assert!(!items.is_empty());
+    let WsResponse::Entries(hits) = client
+        .call_ok(&WsRequest::Search {
+            query: "id == \"lc-ws\"".into(),
+        })
+        .unwrap()
+    else {
+        panic!("search")
+    };
+    assert_eq!(hits.len(), 1);
+
+    // Step 1: create a session (proxy travels with the request).
+    let proxy = sec.issue_proxy("/CN=remote", "ilc", 0.0, 7200.0);
+    let WsResponse::SessionCreated { session, engines } = client
+        .call_ok(&WsRequest::CreateSession {
+            proxy,
+            now: 0.0,
+            engines: 3,
+        })
+        .unwrap()
+    else {
+        panic!("create")
+    };
+    assert_eq!(engines, 3);
+
+    // Step 2–3: stage dataset, ship script, run.
+    client
+        .call_ok(&WsRequest::SelectDataset {
+            session,
+            id: "lc-ws".into(),
+        })
+        .unwrap();
+    client
+        .call_ok(&WsRequest::LoadScript {
+            session,
+            source: "fn init() { h1(\"/m\", 30, 0.0, 240.0); } fn process(e) { let m = e.bb_mass; if m != null { fill(\"/m\", m); } }".into(),
+        })
+        .unwrap();
+    client.call_ok(&WsRequest::Run { session }).unwrap();
+
+    // Step 4: poll over the wire until finished.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    let final_status = loop {
+        let WsResponse::Status(st) = client.call_ok(&WsRequest::Poll { session }).unwrap() else {
+            panic!("poll")
+        };
+        if st.state == RunState::Finished {
+            break st;
+        }
+        assert!(std::time::Instant::now() < deadline, "run never finished");
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    assert_eq!(final_status.records_processed, 2_000);
+
+    // Merged tree crosses the wire intact.
+    let WsResponse::Tree(tree) = client.call_ok(&WsRequest::Results { session }).unwrap() else {
+        panic!("results")
+    };
+    assert!(tree.get("/m").unwrap().entries() > 0);
+
+    client.call_ok(&WsRequest::CloseSession { session }).unwrap();
+    // The session is gone afterwards.
+    assert!(client.call_ok(&WsRequest::Poll { session }).is_err());
+    gw.shutdown();
+}
+
+#[test]
+fn bad_proxy_rejected_over_tcp() {
+    let (mut gw, _sec) = gateway();
+    let mut client = WsClient::connect(gw.addr()).unwrap();
+    let foreign = SecurityDomain::new("evil", 1).issue_proxy("/CN=eve", "ilc", 0.0, 7200.0);
+    let err = client
+        .call_ok(&WsRequest::CreateSession {
+            proxy: foreign,
+            now: 0.0,
+            engines: 1,
+        })
+        .unwrap_err();
+    assert!(err.contains("authentication"), "{err}");
+    gw.shutdown();
+}
+
+#[test]
+fn malformed_and_invalid_requests_get_errors_not_disconnects() {
+    let (mut gw, _sec) = gateway();
+    let mut client = WsClient::connect(gw.addr()).unwrap();
+
+    // Unknown session id.
+    let err = client
+        .call_ok(&WsRequest::Run { session: 999 })
+        .unwrap_err();
+    assert!(err.contains("closed"), "{err}");
+
+    // Bad query reaches the client as an error string.
+    let err = client
+        .call_ok(&WsRequest::Search {
+            query: "energy >".into(),
+        })
+        .unwrap_err();
+    assert!(err.contains("syntax"), "{err}");
+
+    // Raw garbage on the wire: the server answers with Error and keeps
+    // the connection alive.
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(gw.addr()).unwrap();
+    let mut w = stream.try_clone().unwrap();
+    let mut r = BufReader::new(stream);
+    w.write_all(b"this is not json\n").unwrap();
+    let mut line = String::new();
+    r.read_line(&mut line).unwrap();
+    assert!(line.contains("malformed request"));
+    w.write_all(b"\"CatalogTree\"\n").unwrap();
+    line.clear();
+    r.read_line(&mut line).unwrap();
+    assert!(line.contains("Text"));
+    gw.shutdown();
+}
+
+#[test]
+fn two_clients_share_the_gateway_with_separate_sessions() {
+    let (mut gw, sec) = gateway();
+    let mut c1 = WsClient::connect(gw.addr()).unwrap();
+    let mut c2 = WsClient::connect(gw.addr()).unwrap();
+
+    let mk = |c: &mut WsClient, subject: &str| -> u64 {
+        let proxy = sec.issue_proxy(subject, "ilc", 0.0, 7200.0);
+        match c
+            .call_ok(&WsRequest::CreateSession {
+                proxy,
+                now: 0.0,
+                engines: 2,
+            })
+            .unwrap()
+        {
+            WsResponse::SessionCreated { session, .. } => session,
+            other => panic!("{other:?}"),
+        }
+    };
+    let s1 = mk(&mut c1, "/CN=one");
+    let s2 = mk(&mut c2, "/CN=two");
+    assert_ne!(s1, s2);
+
+    // Cross-client access by id works (it's an id-addressed resource, as
+    // in WSRF) — but closing one does not affect the other.
+    c1.call_ok(&WsRequest::CloseSession { session: s1 }).unwrap();
+    let WsResponse::Status(st) = c2.call_ok(&WsRequest::Poll { session: s2 }).unwrap() else {
+        panic!()
+    };
+    assert_eq!(st.engines_alive, 2);
+    c2.call_ok(&WsRequest::CloseSession { session: s2 }).unwrap();
+    gw.shutdown();
+}
+
+#[test]
+fn interactive_controls_over_tcp() {
+    let (mut gw, sec) = gateway();
+    let mut client = WsClient::connect(gw.addr()).unwrap();
+    let proxy = sec.issue_proxy("/CN=ctl", "ilc", 0.0, 7200.0);
+    let WsResponse::SessionCreated { session, .. } = client
+        .call_ok(&WsRequest::CreateSession {
+            proxy,
+            now: 0.0,
+            engines: 2,
+        })
+        .unwrap()
+    else {
+        panic!()
+    };
+    client
+        .call_ok(&WsRequest::SelectDataset {
+            session,
+            id: "lc-ws".into(),
+        })
+        .unwrap();
+    client
+        .call_ok(&WsRequest::LoadNative {
+            session,
+            name: "higgs-search".into(),
+        })
+        .unwrap();
+
+    // run_events over the wire.
+    client
+        .call_ok(&WsRequest::RunEvents { session, n: 300 })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    let WsResponse::Status(st) = client.call_ok(&WsRequest::Poll { session }).unwrap() else {
+        panic!()
+    };
+    assert_eq!(st.records_processed, 600);
+
+    // rewind + full run.
+    client.call_ok(&WsRequest::Rewind { session }).unwrap();
+    client.call_ok(&WsRequest::Run { session }).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let WsResponse::Status(st) = client.call_ok(&WsRequest::Poll { session }).unwrap() else {
+            panic!()
+        };
+        if st.state == RunState::Finished {
+            assert_eq!(st.records_processed, 2_000);
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    client.call_ok(&WsRequest::CloseSession { session }).unwrap();
+    gw.shutdown();
+}

@@ -1,0 +1,385 @@
+//! Binary dataset codec.
+//!
+//! A compact, length-prefixed format standing in for the experiment's
+//! LCIO-style event files. Layout:
+//!
+//! ```text
+//! magic     8 bytes  "IPADSET1"
+//! version   u8
+//! kind      u8       0 = event, 1 = dna, 2 = trade
+//! count     u64 LE   number of records
+//! records   count × record encoding (per-kind, see below)
+//! ```
+//!
+//! All integers are little-endian. Strings are length-prefixed UTF-8.
+//! Decoding validates magic, version, kind, declared lengths, and the
+//! record count, so a truncated or corrupted transfer is detected rather
+//! than silently mis-analyzed.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::dna::DnaRead;
+use crate::error::DatasetError;
+use crate::event::{CollisionEvent, FourVector, Particle};
+use crate::record::AnyRecord;
+use crate::trade::TradeRecord;
+
+/// File magic.
+pub const DATASET_MAGIC: &[u8; 8] = b"IPADSET1";
+/// Current format version.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// Kind tags in the header.
+const KIND_EVENT: u8 = 0;
+const KIND_DNA: u8 = 1;
+const KIND_TRADE: u8 = 2;
+
+fn kind_tag(records: &[AnyRecord]) -> u8 {
+    match records.first() {
+        Some(AnyRecord::Event(_)) | None => KIND_EVENT,
+        Some(AnyRecord::Dna(_)) => KIND_DNA,
+        Some(AnyRecord::Trade(_)) => KIND_TRADE,
+    }
+}
+
+/// Encode a homogeneous record slice into the binary format.
+pub fn encode_dataset(records: &[AnyRecord]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64 + records.len() * 64);
+    buf.put_slice(DATASET_MAGIC);
+    buf.put_u8(FORMAT_VERSION);
+    buf.put_u8(kind_tag(records));
+    buf.put_u64_le(records.len() as u64);
+    for r in records {
+        encode_record(r, &mut buf);
+    }
+    buf.to_vec()
+}
+
+/// Encode one record (no header).
+pub fn encode_record(r: &AnyRecord, buf: &mut BytesMut) {
+    match r {
+        AnyRecord::Event(e) => {
+            buf.put_u64_le(e.event_id);
+            buf.put_u32_le(e.run);
+            buf.put_f64_le(e.sqrt_s);
+            buf.put_u8(e.is_signal as u8);
+            buf.put_u32_le(e.particles.len() as u32);
+            for p in &e.particles {
+                buf.put_i32_le(p.pdg_id);
+                buf.put_f64_le(p.charge);
+                buf.put_f64_le(p.p4.e);
+                buf.put_f64_le(p.p4.px);
+                buf.put_f64_le(p.p4.py);
+                buf.put_f64_le(p.p4.pz);
+            }
+        }
+        AnyRecord::Dna(d) => {
+            buf.put_u64_le(d.read_id);
+            buf.put_u32_le(d.sample);
+            buf.put_f32_le(d.quality);
+            buf.put_u32_le(d.bases.len() as u32);
+            buf.put_slice(d.bases.as_bytes());
+        }
+        AnyRecord::Trade(t) => {
+            buf.put_u64_le(t.trade_id);
+            buf.put_u64_le(t.timestamp_ms);
+            buf.put_u16_le(t.symbol.len() as u16);
+            buf.put_slice(t.symbol.as_bytes());
+            buf.put_f64_le(t.price);
+            buf.put_u32_le(t.volume);
+            buf.put_u8(t.buyer_initiated as u8);
+        }
+    }
+}
+
+/// Exact encoded size of one record in bytes (used for byte-balanced splits
+/// without actually encoding).
+pub fn encoded_record_size(r: &AnyRecord) -> usize {
+    match r {
+        AnyRecord::Event(e) => 8 + 4 + 8 + 1 + 4 + e.particles.len() * (4 + 8 * 5),
+        AnyRecord::Dna(d) => 8 + 4 + 4 + 4 + d.bases.len(),
+        AnyRecord::Trade(t) => 8 + 8 + 2 + t.symbol.len() + 8 + 4 + 1,
+    }
+}
+
+fn need(buf: &[u8], n: usize, context: &'static str) -> Result<(), DatasetError> {
+    if buf.remaining() < n {
+        Err(DatasetError::Truncated { context })
+    } else {
+        Ok(())
+    }
+}
+
+fn read_string(buf: &mut &[u8], len: usize) -> Result<String, DatasetError> {
+    if buf.remaining() < len {
+        return Err(DatasetError::LengthOverrun {
+            declared: len,
+            remaining: buf.remaining(),
+        });
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| DatasetError::BadUtf8)
+}
+
+fn decode_event(buf: &mut &[u8]) -> Result<CollisionEvent, DatasetError> {
+    need(buf, 8 + 4 + 8 + 1 + 4, "event header")?;
+    let event_id = buf.get_u64_le();
+    let run = buf.get_u32_le();
+    let sqrt_s = buf.get_f64_le();
+    let is_signal = buf.get_u8() != 0;
+    let n = buf.get_u32_le() as usize;
+    let per_particle = 4 + 8 * 5;
+    if buf.remaining() < n * per_particle {
+        return Err(DatasetError::LengthOverrun {
+            declared: n * per_particle,
+            remaining: buf.remaining(),
+        });
+    }
+    let mut particles = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pdg_id = buf.get_i32_le();
+        let charge = buf.get_f64_le();
+        let e = buf.get_f64_le();
+        let px = buf.get_f64_le();
+        let py = buf.get_f64_le();
+        let pz = buf.get_f64_le();
+        particles.push(Particle::new(pdg_id, charge, FourVector::new(e, px, py, pz)));
+    }
+    Ok(CollisionEvent {
+        event_id,
+        run,
+        sqrt_s,
+        is_signal,
+        particles,
+    })
+}
+
+fn decode_dna(buf: &mut &[u8]) -> Result<DnaRead, DatasetError> {
+    need(buf, 8 + 4 + 4 + 4, "dna header")?;
+    let read_id = buf.get_u64_le();
+    let sample = buf.get_u32_le();
+    let quality = buf.get_f32_le();
+    let len = buf.get_u32_le() as usize;
+    let bases = read_string(buf, len)?;
+    Ok(DnaRead {
+        read_id,
+        sample,
+        bases,
+        quality,
+    })
+}
+
+fn decode_trade(buf: &mut &[u8]) -> Result<TradeRecord, DatasetError> {
+    need(buf, 8 + 8 + 2, "trade header")?;
+    let trade_id = buf.get_u64_le();
+    let timestamp_ms = buf.get_u64_le();
+    let sym_len = buf.get_u16_le() as usize;
+    let symbol = read_string(buf, sym_len)?;
+    need(buf, 8 + 4 + 1, "trade tail")?;
+    let price = buf.get_f64_le();
+    let volume = buf.get_u32_le();
+    let buyer_initiated = buf.get_u8() != 0;
+    Ok(TradeRecord {
+        trade_id,
+        timestamp_ms,
+        symbol,
+        price,
+        volume,
+        buyer_initiated,
+    })
+}
+
+/// Decode a complete dataset byte stream.
+pub fn decode_dataset(data: &[u8]) -> Result<Vec<AnyRecord>, DatasetError> {
+    let mut buf = data;
+    need(buf, 8, "magic")?;
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != DATASET_MAGIC {
+        return Err(DatasetError::BadMagic);
+    }
+    need(buf, 1 + 1 + 8, "header")?;
+    let version = buf.get_u8();
+    if version != FORMAT_VERSION {
+        return Err(DatasetError::BadVersion(version));
+    }
+    let kind = buf.get_u8();
+    let count = buf.get_u64_le();
+    let mut records = Vec::with_capacity(count.min(1 << 20) as usize);
+    for _ in 0..count {
+        let rec = match kind {
+            KIND_EVENT => AnyRecord::Event(decode_event(&mut buf)?),
+            KIND_DNA => AnyRecord::Dna(decode_dna(&mut buf)?),
+            KIND_TRADE => AnyRecord::Trade(decode_trade(&mut buf)?),
+            k => return Err(DatasetError::BadKind(k)),
+        };
+        records.push(rec);
+    }
+    if records.len() as u64 != count {
+        return Err(DatasetError::CountMismatch {
+            declared: count,
+            decoded: records.len() as u64,
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<AnyRecord> {
+        (0..5)
+            .map(|i| {
+                AnyRecord::Event(CollisionEvent {
+                    event_id: i,
+                    run: 1,
+                    sqrt_s: 500.0,
+                    is_signal: i % 2 == 0,
+                    particles: vec![Particle::new(
+                        5,
+                        -1.0 / 3.0,
+                        FourVector::new(10.0 + i as f64, 1.0, 2.0, 3.0),
+                    )],
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn event_round_trip() {
+        let recs = sample_events();
+        let bytes = encode_dataset(&recs);
+        let back = decode_dataset(&bytes).unwrap();
+        assert_eq!(recs, back);
+    }
+
+    #[test]
+    fn dna_round_trip() {
+        let recs: Vec<AnyRecord> = (0..3)
+            .map(|i| {
+                AnyRecord::Dna(DnaRead {
+                    read_id: i,
+                    sample: 2,
+                    bases: "ACGTACGT".repeat(i as usize + 1),
+                    quality: 30.5,
+                })
+            })
+            .collect();
+        let back = decode_dataset(&encode_dataset(&recs)).unwrap();
+        assert_eq!(recs, back);
+    }
+
+    #[test]
+    fn trade_round_trip() {
+        let recs: Vec<AnyRecord> = vec![AnyRecord::Trade(TradeRecord {
+            trade_id: 1,
+            timestamp_ms: 123456,
+            symbol: "TECHX".into(),
+            price: 42.17,
+            volume: 300,
+            buyer_initiated: true,
+        })];
+        let back = decode_dataset(&encode_dataset(&recs)).unwrap();
+        assert_eq!(recs, back);
+    }
+
+    #[test]
+    fn empty_dataset_round_trip() {
+        let bytes = encode_dataset(&[]);
+        assert_eq!(decode_dataset(&bytes).unwrap(), Vec::<AnyRecord>::new());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode_dataset(&sample_events());
+        bytes[0] = b'X';
+        assert_eq!(decode_dataset(&bytes), Err(DatasetError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode_dataset(&sample_events());
+        bytes[8] = 99;
+        assert_eq!(decode_dataset(&bytes), Err(DatasetError::BadVersion(99)));
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut bytes = encode_dataset(&sample_events());
+        bytes[9] = 7;
+        assert_eq!(decode_dataset(&bytes), Err(DatasetError::BadKind(7)));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode_dataset(&sample_events());
+        for cut in [bytes.len() - 1, bytes.len() / 2, 12] {
+            let r = decode_dataset(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn declared_length_overrun_detected() {
+        // DNA record claiming a huge base string.
+        let recs = vec![AnyRecord::Dna(DnaRead {
+            read_id: 0,
+            sample: 0,
+            bases: "ACGT".into(),
+            quality: 1.0,
+        })];
+        let mut bytes = encode_dataset(&recs);
+        // The u32 bases length sits at header(18) + 8 + 4 + 4 = offset 34.
+        let off = 18 + 16;
+        bytes[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_dataset(&bytes),
+            Err(DatasetError::LengthOverrun { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_detected() {
+        let recs = vec![AnyRecord::Dna(DnaRead {
+            read_id: 0,
+            sample: 0,
+            bases: "ACGT".into(),
+            quality: 1.0,
+        })];
+        let mut bytes = encode_dataset(&recs);
+        let base_off = 18 + 16 + 4; // first base byte
+        bytes[base_off] = 0xFF;
+        assert_eq!(decode_dataset(&bytes), Err(DatasetError::BadUtf8));
+    }
+
+    #[test]
+    fn encoded_record_size_matches_actual_encoding() {
+        for r in sample_events() {
+            let mut buf = BytesMut::new();
+            encode_record(&r, &mut buf);
+            assert_eq!(buf.len(), encoded_record_size(&r));
+        }
+        let d = AnyRecord::Dna(DnaRead {
+            read_id: 0,
+            sample: 0,
+            bases: "ACGTAC".into(),
+            quality: 1.0,
+        });
+        let mut buf = BytesMut::new();
+        encode_record(&d, &mut buf);
+        assert_eq!(buf.len(), encoded_record_size(&d));
+        let t = AnyRecord::Trade(TradeRecord {
+            trade_id: 0,
+            timestamp_ms: 0,
+            symbol: "ABC".into(),
+            price: 1.0,
+            volume: 1,
+            buyer_initiated: false,
+        });
+        let mut buf = BytesMut::new();
+        encode_record(&t, &mut buf);
+        assert_eq!(buf.len(), encoded_record_size(&t));
+    }
+}

@@ -1,0 +1,89 @@
+//! DNA sequencing read model — the paper's cellular-biology example domain
+//! ("DNA sequencing combinations in cellular biology", §1).
+
+use serde::{Deserialize, Serialize};
+
+/// One sequencing read: an id, a base string, and per-read quality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DnaRead {
+    /// Monotone read number within the dataset.
+    pub read_id: u64,
+    /// Sample/lane this read came from.
+    pub sample: u32,
+    /// Base calls, one of `ACGT` per position.
+    pub bases: String,
+    /// Phred-like average quality score for the read.
+    pub quality: f32,
+}
+
+impl DnaRead {
+    /// Read length in bases.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// True for a zero-length read.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// GC fraction of the read (0 for empty reads).
+    pub fn gc_content(&self) -> f64 {
+        if self.bases.is_empty() {
+            return 0.0;
+        }
+        let gc = self
+            .bases
+            .bytes()
+            .filter(|b| *b == b'G' || *b == b'C')
+            .count();
+        gc as f64 / self.bases.len() as f64
+    }
+
+    /// Number of (possibly overlapping) occurrences of `motif`.
+    pub fn count_motif(&self, motif: &str) -> usize {
+        if motif.is_empty() || motif.len() > self.bases.len() {
+            return 0;
+        }
+        let b = self.bases.as_bytes();
+        let m = motif.as_bytes();
+        (0..=b.len() - m.len()).filter(|&i| &b[i..i + m.len()] == m).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(bases: &str) -> DnaRead {
+        DnaRead {
+            read_id: 0,
+            sample: 0,
+            bases: bases.to_string(),
+            quality: 30.0,
+        }
+    }
+
+    #[test]
+    fn gc_content_counts_g_and_c() {
+        assert!((read("GGCC").gc_content() - 1.0).abs() < 1e-12);
+        assert!((read("ATAT").gc_content() - 0.0).abs() < 1e-12);
+        assert!((read("ACGT").gc_content() - 0.5).abs() < 1e-12);
+        assert_eq!(read("").gc_content(), 0.0);
+    }
+
+    #[test]
+    fn motif_counting_allows_overlap() {
+        assert_eq!(read("AAAA").count_motif("AA"), 3);
+        assert_eq!(read("ACGTACGT").count_motif("ACGT"), 2);
+        assert_eq!(read("ACGT").count_motif("TTT"), 0);
+        assert_eq!(read("ACGT").count_motif(""), 0);
+        assert_eq!(read("AC").count_motif("ACGT"), 0);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(read("ACG").len(), 3);
+        assert!(read("").is_empty());
+    }
+}

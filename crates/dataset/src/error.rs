@@ -1,0 +1,65 @@
+//! Error type for dataset encoding, decoding, and splitting.
+
+use std::fmt;
+
+/// Errors from dataset operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// The byte stream does not start with the dataset magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Unknown record-kind tag in the header.
+    BadKind(u8),
+    /// The stream ended before a complete record/field was read.
+    Truncated {
+        /// What was being decoded when the stream ran out.
+        context: &'static str,
+    },
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// A declared length exceeds the remaining stream (corruption guard).
+    LengthOverrun {
+        /// Declared length.
+        declared: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// Split was asked for zero parts.
+    ZeroParts,
+    /// Record-count mismatch between header and payload.
+    CountMismatch {
+        /// Count declared in the header.
+        declared: u64,
+        /// Records actually decoded.
+        decoded: u64,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::BadMagic => write!(f, "not an IPA dataset (bad magic)"),
+            DatasetError::BadVersion(v) => write!(f, "unsupported dataset format version {v}"),
+            DatasetError::BadKind(k) => write!(f, "unknown record kind tag {k}"),
+            DatasetError::Truncated { context } => {
+                write!(f, "dataset stream truncated while reading {context}")
+            }
+            DatasetError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            DatasetError::LengthOverrun {
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "declared length {declared} exceeds remaining {remaining} bytes"
+            ),
+            DatasetError::ZeroParts => write!(f, "cannot split a dataset into zero parts"),
+            DatasetError::CountMismatch { declared, decoded } => write!(
+                f,
+                "header declares {declared} records but payload held {decoded}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}

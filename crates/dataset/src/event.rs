@@ -1,0 +1,262 @@
+//! Collider-physics event model.
+//!
+//! The paper's reference workload is a Java algorithm "that looks for Higgs
+//! Bosons in simulated Linear Collider data". These types model such events:
+//! relativistic four-vectors, particles with PDG identity and charge, and an
+//! event as a list of final-state particles plus global quantities.
+
+use serde::{Deserialize, Serialize};
+
+/// A relativistic four-vector `(e, px, py, pz)` in GeV (natural units).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FourVector {
+    /// Energy.
+    pub e: f64,
+    /// x momentum.
+    pub px: f64,
+    /// y momentum.
+    pub py: f64,
+    /// z momentum.
+    pub pz: f64,
+}
+
+impl FourVector {
+    /// Construct from components.
+    pub fn new(e: f64, px: f64, py: f64, pz: f64) -> Self {
+        FourVector { e, px, py, pz }
+    }
+
+    /// Construct from mass and three-momentum (on-shell energy).
+    pub fn from_mass_momentum(mass: f64, px: f64, py: f64, pz: f64) -> Self {
+        let e = (mass * mass + px * px + py * py + pz * pz).sqrt();
+        FourVector { e, px, py, pz }
+    }
+
+    /// Invariant mass √(E² − |p|²), clamped at 0 for space-like noise.
+    pub fn mass(&self) -> f64 {
+        (self.e * self.e - self.px * self.px - self.py * self.py - self.pz * self.pz)
+            .max(0.0)
+            .sqrt()
+    }
+
+    /// Transverse momentum √(px² + py²).
+    pub fn pt(&self) -> f64 {
+        (self.px * self.px + self.py * self.py).sqrt()
+    }
+
+    /// Three-momentum magnitude.
+    pub fn p(&self) -> f64 {
+        (self.px * self.px + self.py * self.py + self.pz * self.pz).sqrt()
+    }
+
+    /// Pseudorapidity η = −ln tan(θ/2); ±inf along the beam axis.
+    pub fn eta(&self) -> f64 {
+        let p = self.p();
+        if p == self.pz.abs() {
+            return if self.pz >= 0.0 {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            };
+        }
+        0.5 * ((p + self.pz) / (p - self.pz)).ln()
+    }
+
+    /// Azimuthal angle φ ∈ (−π, π].
+    pub fn phi(&self) -> f64 {
+        self.py.atan2(self.px)
+    }
+
+    /// Component-wise sum (composite-system four-vector).
+    pub fn add(&self, other: &FourVector) -> FourVector {
+        FourVector {
+            e: self.e + other.e,
+            px: self.px + other.px,
+            py: self.py + other.py,
+            pz: self.pz + other.pz,
+        }
+    }
+}
+
+impl std::ops::Add for FourVector {
+    type Output = FourVector;
+
+    fn add(self, rhs: FourVector) -> FourVector {
+        FourVector::add(&self, &rhs)
+    }
+}
+
+/// A reconstructed final-state particle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Particle {
+    /// PDG Monte-Carlo particle id (e.g. 5 = b quark, 11 = electron,
+    /// 22 = photon; sign encodes antiparticles).
+    pub pdg_id: i32,
+    /// Electric charge in units of e.
+    pub charge: f64,
+    /// Kinematics.
+    pub p4: FourVector,
+}
+
+impl Particle {
+    /// Construct a particle.
+    pub fn new(pdg_id: i32, charge: f64, p4: FourVector) -> Self {
+        Particle { pdg_id, charge, p4 }
+    }
+
+    /// True for b-flavoured jets/quarks (|pdg| == 5), the Higgs-search tag.
+    pub fn is_b_tagged(&self) -> bool {
+        self.pdg_id.abs() == 5
+    }
+}
+
+/// One collider event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollisionEvent {
+    /// Monotone event number within the dataset.
+    pub event_id: u64,
+    /// Run number (groups events taken under one configuration).
+    pub run: u32,
+    /// Centre-of-mass energy of the collision in GeV.
+    pub sqrt_s: f64,
+    /// True for generator-level signal events (used only for validation
+    /// plots; a real analysis cannot see this).
+    pub is_signal: bool,
+    /// Final-state particles.
+    pub particles: Vec<Particle>,
+}
+
+impl CollisionEvent {
+    /// Total visible energy (Σ E over particles).
+    pub fn visible_energy(&self) -> f64 {
+        self.particles.iter().map(|p| p.p4.e).sum()
+    }
+
+    /// Number of charged particles.
+    pub fn charged_multiplicity(&self) -> usize {
+        self.particles.iter().filter(|p| p.charge != 0.0).count()
+    }
+
+    /// Invariant mass of the pair of b-tagged particles with the two highest
+    /// transverse momenta — the paper-style "Higgs candidate" observable.
+    /// `None` when fewer than two b-tags exist.
+    pub fn leading_bb_mass(&self) -> Option<f64> {
+        let mut btags: Vec<&Particle> = self.particles.iter().filter(|p| p.is_b_tagged()).collect();
+        if btags.len() < 2 {
+            return None;
+        }
+        btags.sort_by(|a, b| {
+            b.p4.pt()
+                .partial_cmp(&a.p4.pt())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Some(btags[0].p4.add(&btags[1].p4).mass())
+    }
+
+    /// Missing transverse momentum (negative vector sum of particle pT).
+    pub fn missing_pt(&self) -> f64 {
+        let (sx, sy) = self
+            .particles
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), p| (sx + p.p4.px, sy + p.p4.py));
+        (sx * sx + sy * sy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn four_vector_mass_round_trip() {
+        let v = FourVector::from_mass_momentum(125.0, 30.0, -40.0, 12.0);
+        assert!(approx(v.mass(), 125.0, 1e-9));
+    }
+
+    #[test]
+    fn spacelike_mass_clamps_to_zero() {
+        let v = FourVector::new(1.0, 5.0, 0.0, 0.0);
+        assert_eq!(v.mass(), 0.0);
+    }
+
+    #[test]
+    fn pt_and_phi() {
+        let v = FourVector::new(10.0, 3.0, 4.0, 0.0);
+        assert!(approx(v.pt(), 5.0, 1e-12));
+        assert!(approx(v.phi(), (4.0f64 / 3.0).atan(), 1e-12));
+    }
+
+    #[test]
+    fn eta_is_zero_in_transverse_plane_and_inf_on_axis() {
+        let v = FourVector::new(10.0, 5.0, 0.0, 0.0);
+        assert!(approx(v.eta(), 0.0, 1e-12));
+        let beam = FourVector::new(10.0, 0.0, 0.0, 7.0);
+        assert!(beam.eta().is_infinite() && beam.eta() > 0.0);
+        let beam_neg = FourVector::new(10.0, 0.0, 0.0, -7.0);
+        assert!(beam_neg.eta().is_infinite() && beam_neg.eta() < 0.0);
+    }
+
+    #[test]
+    fn adding_back_to_back_decay_recovers_parent_mass() {
+        // Parent at rest with mass M decays to two massless daughters of E = M/2.
+        let m = 120.0;
+        let d1 = FourVector::new(m / 2.0, m / 2.0, 0.0, 0.0);
+        let d2 = FourVector::new(m / 2.0, -m / 2.0, 0.0, 0.0);
+        assert!(approx((d1 + d2).mass(), m, 1e-9));
+    }
+
+    #[test]
+    fn leading_bb_mass_picks_highest_pt_pair() {
+        let b = |pt: f64, mass_partner_shift: f64| {
+            Particle::new(
+                5,
+                -1.0 / 3.0,
+                FourVector::from_mass_momentum(4.8, pt, mass_partner_shift, 1.0),
+            )
+        };
+        let ev = CollisionEvent {
+            event_id: 1,
+            run: 1,
+            sqrt_s: 500.0,
+            is_signal: true,
+            particles: vec![b(50.0, 0.0), b(45.0, -20.0), b(1.0, 5.0)],
+        };
+        let m = ev.leading_bb_mass().unwrap();
+        // The low-pt third b must not participate.
+        let expect = ev.particles[0].p4.add(&ev.particles[1].p4).mass();
+        assert!(approx(m, expect, 1e-12));
+    }
+
+    #[test]
+    fn leading_bb_mass_none_without_two_btags() {
+        let ev = CollisionEvent {
+            event_id: 1,
+            run: 1,
+            sqrt_s: 500.0,
+            is_signal: false,
+            particles: vec![Particle::new(11, -1.0, FourVector::new(10.0, 1.0, 0.0, 0.0))],
+        };
+        assert!(ev.leading_bb_mass().is_none());
+    }
+
+    #[test]
+    fn event_globals() {
+        let ev = CollisionEvent {
+            event_id: 7,
+            run: 2,
+            sqrt_s: 500.0,
+            is_signal: false,
+            particles: vec![
+                Particle::new(211, 1.0, FourVector::new(5.0, 3.0, 0.0, 0.0)),
+                Particle::new(22, 0.0, FourVector::new(2.0, -1.0, 0.0, 0.0)),
+            ],
+        };
+        assert!(approx(ev.visible_energy(), 7.0, 1e-12));
+        assert_eq!(ev.charged_multiplicity(), 1);
+        assert!(approx(ev.missing_pt(), 2.0, 1e-12));
+    }
+}

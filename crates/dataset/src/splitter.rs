@@ -1,0 +1,264 @@
+//! Dataset splitting.
+//!
+//! The paper's Splitter service "will import the dataset from the actual
+//! location and split it into a pre-configured number of approximately equal
+//! parts" (§3.4), one per analysis engine. Two strategies are provided:
+//!
+//! * [`split_even`] — equal *record counts* (±1 record),
+//! * [`split_records`] — equal *byte sizes* (greedy, bounded imbalance),
+//!   better when record sizes vary wildly (e.g. variable-length DNA reads).
+//!
+//! Both preserve record order (part `i` holds a contiguous range that comes
+//! before part `i+1`'s) and form an exact partition — no record is lost or
+//! duplicated. Those invariants are property-tested.
+
+use serde::{Deserialize, Serialize};
+
+use crate::codec::encoded_record_size;
+use crate::dataset::Dataset;
+use crate::error::DatasetError;
+use crate::record::AnyRecord;
+
+/// Description of how a dataset was split (returned alongside the parts so
+/// the session can report staging progress per part).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitPlan {
+    /// Number of parts produced (== parts requested, possibly with empty
+    /// tails when there are fewer records than parts).
+    pub parts: usize,
+    /// `(first_record_index, record_count, byte_size)` per part.
+    pub ranges: Vec<(u64, u64, u64)>,
+}
+
+impl SplitPlan {
+    /// Largest part byte size divided by smallest non-empty part byte size;
+    /// 1.0 means perfectly balanced. Returns 1.0 when fewer than two
+    /// non-empty parts exist.
+    pub fn imbalance(&self) -> f64 {
+        let sizes: Vec<u64> = self
+            .ranges
+            .iter()
+            .map(|&(_, _, b)| b)
+            .filter(|&b| b > 0)
+            .collect();
+        if sizes.len() < 2 {
+            return 1.0;
+        }
+        let max = *sizes.iter().max().expect("non-empty") as f64;
+        let min = *sizes.iter().min().expect("non-empty") as f64;
+        max / min
+    }
+}
+
+/// Split into `n` parts with equal record counts (±1). The first
+/// `len % n` parts get the extra record, preserving order.
+pub fn split_even(records: &[AnyRecord], n: usize) -> Result<(Vec<Vec<AnyRecord>>, SplitPlan), DatasetError> {
+    if n == 0 {
+        return Err(DatasetError::ZeroParts);
+    }
+    let base = records.len() / n;
+    let extra = records.len() % n;
+    let mut parts = Vec::with_capacity(n);
+    let mut ranges = Vec::with_capacity(n);
+    let mut idx = 0usize;
+    for p in 0..n {
+        let take = base + usize::from(p < extra);
+        let slice = &records[idx..idx + take];
+        let bytes: u64 = slice.iter().map(|r| encoded_record_size(r) as u64).sum();
+        ranges.push((idx as u64, take as u64, bytes));
+        parts.push(slice.to_vec());
+        idx += take;
+    }
+    debug_assert_eq!(idx, records.len());
+    Ok((parts, SplitPlan { parts: n, ranges }))
+}
+
+/// Split into `n` parts targeting equal *byte* sizes while preserving
+/// order. Greedy: a part is closed once it reaches the running byte target.
+/// Each part's size differs from the ideal by at most the largest single
+/// record; when there are more parts than records some parts are empty.
+pub fn split_records(records: &[AnyRecord], n: usize) -> Result<(Vec<Vec<AnyRecord>>, SplitPlan), DatasetError> {
+    if n == 0 {
+        return Err(DatasetError::ZeroParts);
+    }
+    let sizes: Vec<u64> = records.iter().map(|r| encoded_record_size(r) as u64).collect();
+    let total: u64 = sizes.iter().sum();
+    let mut parts: Vec<Vec<AnyRecord>> = Vec::with_capacity(n);
+    let mut ranges = Vec::with_capacity(n);
+    let mut idx = 0usize;
+    let mut consumed: u64 = 0;
+    for p in 0..n {
+        let start = idx;
+        let mut bytes: u64 = 0;
+        // Cumulative target keeps rounding drift from accumulating.
+        let target = total * (p as u64 + 1) / n as u64;
+        let remaining_parts = n - p - 1;
+        while idx < records.len()
+            && consumed + bytes < target
+            // Leave at least one record for each remaining part when possible.
+            && records.len() - idx > remaining_parts
+        {
+            bytes += sizes[idx];
+            idx += 1;
+        }
+        // Guarantee progress if records remain but the target was already met.
+        if idx == start && idx < records.len() && remaining_parts < records.len() - idx {
+            bytes += sizes[idx];
+            idx += 1;
+        }
+        consumed += bytes;
+        ranges.push((start as u64, (idx - start) as u64, bytes));
+        parts.push(records[start..idx].to_vec());
+    }
+    debug_assert_eq!(idx, records.len());
+    Ok((parts, SplitPlan { parts: n, ranges }))
+}
+
+/// Reassemble parts into a single record vector (inverse of splitting,
+/// used in tests and by the merge-verification harness).
+pub fn reassemble(parts: &[Vec<AnyRecord>]) -> Vec<AnyRecord> {
+    parts.iter().flatten().cloned().collect()
+}
+
+/// Split a [`Dataset`] into part-datasets named `<id>.partK`.
+pub fn split_dataset(ds: &Dataset, n: usize) -> Result<(Vec<Dataset>, SplitPlan), DatasetError> {
+    let (parts, plan) = split_records(&ds.records, n)?;
+    let out = parts
+        .into_iter()
+        .enumerate()
+        .map(|(k, recs)| {
+            Dataset::from_records(
+                format!("{}.part{k}", ds.descriptor.id),
+                format!("{} [part {k}/{n}]", ds.descriptor.name),
+                recs,
+            )
+        })
+        .collect();
+    Ok((out, plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dna::DnaRead;
+    use crate::event::CollisionEvent;
+
+    fn events(n: u64) -> Vec<AnyRecord> {
+        (0..n)
+            .map(|i| {
+                AnyRecord::Event(CollisionEvent {
+                    event_id: i,
+                    run: 0,
+                    sqrt_s: 500.0,
+                    is_signal: false,
+                    particles: vec![],
+                })
+            })
+            .collect()
+    }
+
+    fn variable_reads(n: u64) -> Vec<AnyRecord> {
+        (0..n)
+            .map(|i| {
+                AnyRecord::Dna(DnaRead {
+                    read_id: i,
+                    sample: 0,
+                    bases: "ACGT".repeat(1 + (i as usize * 7) % 40),
+                    quality: 30.0,
+                })
+            })
+            .collect()
+    }
+
+    fn ids(parts: &[Vec<AnyRecord>]) -> Vec<u64> {
+        parts.iter().flatten().map(|r| r.id()).collect()
+    }
+
+    #[test]
+    fn split_even_exact_partition() {
+        let recs = events(10);
+        let (parts, plan) = split_even(&recs, 3).unwrap();
+        assert_eq!(parts.len(), 3);
+        let lens: Vec<usize> = parts.iter().map(Vec::len).collect();
+        assert_eq!(lens, vec![4, 3, 3]);
+        assert_eq!(ids(&parts), (0..10).collect::<Vec<u64>>());
+        assert_eq!(plan.ranges[0], (0, 4, plan.ranges[0].2));
+    }
+
+    #[test]
+    fn split_even_more_parts_than_records() {
+        let recs = events(2);
+        let (parts, _) = split_even(&recs, 5).unwrap();
+        assert_eq!(parts.len(), 5);
+        assert_eq!(parts.iter().filter(|p| !p.is_empty()).count(), 2);
+        assert_eq!(ids(&parts), vec![0, 1]);
+    }
+
+    #[test]
+    fn split_zero_parts_errors() {
+        assert_eq!(split_even(&events(3), 0), Err(DatasetError::ZeroParts));
+        assert_eq!(split_records(&events(3), 0), Err(DatasetError::ZeroParts));
+    }
+
+    #[test]
+    fn split_records_preserves_order_and_partition() {
+        let recs = variable_reads(57);
+        for n in [1, 2, 3, 7, 16, 57, 100] {
+            let (parts, plan) = split_records(&recs, n).unwrap();
+            assert_eq!(parts.len(), n, "n={n}");
+            assert_eq!(ids(&parts), (0..57).collect::<Vec<u64>>(), "n={n}");
+            let total: u64 = plan.ranges.iter().map(|r| r.2).sum();
+            let expect: u64 = recs.iter().map(|r| encoded_record_size(r) as u64).sum();
+            assert_eq!(total, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn split_records_is_byte_balanced() {
+        let recs = variable_reads(400);
+        let (_, plan) = split_records(&recs, 8).unwrap();
+        // Bounded imbalance: with ~50 records per part, sizes must be close.
+        assert!(plan.imbalance() < 1.5, "imbalance {}", plan.imbalance());
+    }
+
+    #[test]
+    fn byte_split_beats_record_split_on_skewed_data() {
+        // First records are huge, later ones tiny.
+        let mut recs = Vec::new();
+        for i in 0..20u64 {
+            recs.push(AnyRecord::Dna(DnaRead {
+                read_id: i,
+                sample: 0,
+                bases: "A".repeat(if i < 4 { 10_000 } else { 10 }),
+                quality: 1.0,
+            }));
+        }
+        let (_, even_plan) = split_even(&recs, 4).unwrap();
+        let (_, byte_plan) = split_records(&recs, 4).unwrap();
+        assert!(byte_plan.imbalance() < even_plan.imbalance());
+    }
+
+    #[test]
+    fn reassemble_is_inverse() {
+        let recs = variable_reads(23);
+        let (parts, _) = split_records(&recs, 4).unwrap();
+        assert_eq!(reassemble(&parts), recs);
+    }
+
+    #[test]
+    fn split_dataset_names_parts() {
+        let ds = Dataset::from_records("lc-1", "LC", events(6));
+        let (parts, _) = split_dataset(&ds, 2).unwrap();
+        assert_eq!(parts[0].descriptor.id.0, "lc-1.part0");
+        assert_eq!(parts[1].descriptor.id.0, "lc-1.part1");
+        assert_eq!(parts[0].len() + parts[1].len(), 6);
+    }
+
+    #[test]
+    fn empty_input_splits_into_empty_parts() {
+        let (parts, plan) = split_records(&[], 3).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(Vec::is_empty));
+        assert_eq!(plan.imbalance(), 1.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Stock trading record model — the paper's business example domain
+//! ("stock trading records in business", §1).
+
+use serde::{Deserialize, Serialize};
+
+/// One executed trade.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TradeRecord {
+    /// Monotone trade number within the dataset.
+    pub trade_id: u64,
+    /// Milliseconds since the session open.
+    pub timestamp_ms: u64,
+    /// Ticker symbol.
+    pub symbol: String,
+    /// Execution price.
+    pub price: f64,
+    /// Number of shares.
+    pub volume: u32,
+    /// True for buyer-initiated trades (tick rule).
+    pub buyer_initiated: bool,
+}
+
+impl TradeRecord {
+    /// Notional value of the trade (price × volume).
+    pub fn notional(&self) -> f64 {
+        self.price * self.volume as f64
+    }
+
+    /// Signed volume: positive when buyer-initiated.
+    pub fn signed_volume(&self) -> i64 {
+        if self.buyer_initiated {
+            self.volume as i64
+        } else {
+            -(self.volume as i64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notional_and_signed_volume() {
+        let t = TradeRecord {
+            trade_id: 1,
+            timestamp_ms: 1000,
+            symbol: "SLAC".into(),
+            price: 25.0,
+            volume: 40,
+            buyer_initiated: false,
+        };
+        assert!((t.notional() - 1000.0).abs() < 1e-12);
+        assert_eq!(t.signed_volume(), -40);
+        let mut b = t.clone();
+        b.buyer_initiated = true;
+        assert_eq!(b.signed_volume(), 40);
+    }
+}

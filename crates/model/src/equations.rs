@@ -1,0 +1,103 @@
+//! The closed-form cost equations with the paper's fitted coefficients.
+
+use serde::{Deserialize, Serialize};
+
+/// `T_local(X) = move·X + analyze·X`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalEquation {
+    /// WAN transfer seconds per MB (paper: 6.2).
+    pub move_s_per_mb: f64,
+    /// Analysis seconds per MB (paper: 5.3).
+    pub analyze_s_per_mb: f64,
+}
+
+impl LocalEquation {
+    /// Total local time for `x` MB.
+    pub fn total_s(&self, x: f64) -> f64 {
+        (self.move_s_per_mb + self.analyze_s_per_mb) * x
+    }
+
+    /// The combined slope (paper: 11.5 s/MB).
+    pub fn slope(&self) -> f64 {
+        self.move_s_per_mb + self.analyze_s_per_mb
+    }
+}
+
+/// `T_grid(X, N) = a·X + c + (d + b·X)/N`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridEquation {
+    /// Per-MB cost independent of N: move-whole + split + the X-dependent
+    /// part of move-parts (paper: 0.338).
+    pub a_s_per_mb: f64,
+    /// Fixed session cost: code staging + startup-ish constant (paper: 53).
+    pub c_s: f64,
+    /// Per-node-divided constant (paper: 62).
+    pub d_s: f64,
+    /// Per-node-divided per-MB cost — the parallel analysis (paper: 5.3).
+    pub b_s_per_mb: f64,
+}
+
+impl GridEquation {
+    /// Total grid time for `x` MB on `n` nodes.
+    pub fn total_s(&self, x: f64, n: usize) -> f64 {
+        let n = n.max(1) as f64;
+        self.a_s_per_mb * x + self.c_s + (self.d_s + self.b_s_per_mb * x) / n
+    }
+}
+
+/// The paper's local fit: `T = 6.2X + 5.3X = 11.5X`.
+pub const PAPER_LOCAL: LocalEquation = LocalEquation {
+    move_s_per_mb: 6.2,
+    analyze_s_per_mb: 5.3,
+};
+
+/// The paper's grid fit: `T = 0.338X + 53 + (62 + 5.3X)/N`.
+pub const PAPER_GRID: GridEquation = GridEquation {
+    a_s_per_mb: 0.338,
+    c_s: 53.0,
+    d_s: 62.0,
+    b_s_per_mb: 5.3,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_local_slope() {
+        assert!((PAPER_LOCAL.slope() - 11.5).abs() < 1e-12);
+        assert!((PAPER_LOCAL.total_s(471.0) - 5416.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_grid_values() {
+        // X = 471, N = 16: 0.338·471 + 53 + (62 + 2496.3)/16 ≈ 372.1 s.
+        let t = PAPER_GRID.total_s(471.0, 16);
+        assert!((t - 372.1).abs() < 0.5, "t = {t}");
+        // N → 1 recovers the full serial cost.
+        let t1 = PAPER_GRID.total_s(471.0, 1);
+        assert!(t1 > t);
+    }
+
+    #[test]
+    fn grid_beats_local_for_large_datasets() {
+        // Paper conclusion: "for large dataset (> ~10 MB) … it is much
+        // better to use the Grid."
+        for x in [20.0, 100.0, 471.0, 1000.0] {
+            assert!(
+                PAPER_GRID.total_s(x, 16) < PAPER_LOCAL.total_s(x),
+                "x = {x}"
+            );
+        }
+        // And locally wins for a tiny dataset.
+        assert!(PAPER_GRID.total_s(1.0, 16) > PAPER_LOCAL.total_s(1.0));
+    }
+
+    #[test]
+    fn monotone_in_x_and_n() {
+        assert!(PAPER_GRID.total_s(100.0, 4) < PAPER_GRID.total_s(200.0, 4));
+        assert!(PAPER_GRID.total_s(100.0, 8) < PAPER_GRID.total_s(100.0, 4));
+        // n = 0 clamps to 1.
+        assert_eq!(PAPER_GRID.total_s(10.0, 0), PAPER_GRID.total_s(10.0, 1));
+    }
+}

@@ -1,0 +1,29 @@
+//! `ipa-model` — the paper's analytic cost model.
+//!
+//! Section 4 fits measurements to
+//!
+//! ```text
+//! T_local(X)   = 6.2·X + 5.3·X = 11.5·X
+//! T_grid(X, N) = 0.13·X + 0.25·X + T_move_parts + 7 + 5.3·X/N
+//!              ≈ 0.338·X + 53 + (62 + 5.3·X)/N
+//! ```
+//!
+//! with `X` the dataset size in MB and `N` the node count. This crate
+//! provides:
+//!
+//! * [`equations`] — those closed forms with the paper's coefficients,
+//! * [`fit`] — ordinary least squares (dense normal equations with a small
+//!   Gaussian-elimination solver) to *recover* the coefficients from
+//!   simulated measurements, reproducing the paper's fitting step,
+//! * [`surface`] — the `T(X, N)` surfaces of Figure 5 and the local/grid
+//!   crossover curve.
+
+#![warn(missing_docs)]
+
+pub mod equations;
+pub mod fit;
+pub mod surface;
+
+pub use equations::{GridEquation, LocalEquation, PAPER_GRID, PAPER_LOCAL};
+pub use fit::{fit_grid_equation, fit_local_equation, solve_least_squares, FitError};
+pub use surface::{crossover_mb, generate_surface, SurfacePoint};

@@ -1,0 +1,156 @@
+//! Figure-5 surfaces: `T(X, N)` for the local (gold) and grid (blue)
+//! strategies, plus the crossover curve.
+
+use serde::{Deserialize, Serialize};
+
+use crate::equations::{GridEquation, LocalEquation};
+
+/// One sampled point of the two surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurfacePoint {
+    /// Dataset size, MB.
+    pub x_mb: f64,
+    /// Node count.
+    pub n: usize,
+    /// Local analysis time, s (independent of `n`).
+    pub t_local_s: f64,
+    /// Grid analysis time, s.
+    pub t_grid_s: f64,
+}
+
+impl SurfacePoint {
+    /// True when the grid strategy wins at this point.
+    pub fn grid_wins(&self) -> bool {
+        self.t_grid_s < self.t_local_s
+    }
+}
+
+/// Sample both surfaces over a log-ish grid of `x_values` × `n_values`.
+pub fn generate_surface(
+    local: &LocalEquation,
+    grid: &GridEquation,
+    x_values: &[f64],
+    n_values: &[usize],
+) -> Vec<SurfacePoint> {
+    let mut out = Vec::with_capacity(x_values.len() * n_values.len());
+    for &x in x_values {
+        for &n in n_values {
+            out.push(SurfacePoint {
+                x_mb: x,
+                n,
+                t_local_s: local.total_s(x),
+                t_grid_s: grid.total_s(x, n),
+            });
+        }
+    }
+    out
+}
+
+/// The dataset size above which the grid beats local for a given `n`
+/// (bisection on the monotone difference; `None` if the grid never wins
+/// below `x_max`).
+pub fn crossover_mb(
+    local: &LocalEquation,
+    grid: &GridEquation,
+    n: usize,
+    x_max: f64,
+) -> Option<f64> {
+    let diff = |x: f64| grid.total_s(x, n) - local.total_s(x);
+    if diff(x_max) >= 0.0 {
+        return None;
+    }
+    if diff(0.0) <= 0.0 {
+        return Some(0.0);
+    }
+    let (mut lo, mut hi) = (0.0f64, x_max);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if diff(mid) >= 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equations::{PAPER_GRID, PAPER_LOCAL};
+
+    #[test]
+    fn surface_dimensions_and_local_flatness() {
+        let xs = [1.0, 10.0, 100.0];
+        let ns = [1usize, 4, 16];
+        let s = generate_surface(&PAPER_LOCAL, &PAPER_GRID, &xs, &ns);
+        assert_eq!(s.len(), 9);
+        // Local time does not depend on N.
+        for x in xs {
+            let vals: Vec<f64> = s
+                .iter()
+                .filter(|p| p.x_mb == x)
+                .map(|p| p.t_local_s)
+                .collect();
+            assert!(vals.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn figure5_shape_grid_wins_large_x_large_n() {
+        let s = generate_surface(
+            &PAPER_LOCAL,
+            &PAPER_GRID,
+            &[1.0, 471.0, 1000.0],
+            &[1, 16, 32],
+        );
+        let at = |x: f64, n: usize| {
+            *s.iter()
+                .find(|p| p.x_mb == x && p.n == n)
+                .expect("sampled point")
+        };
+        assert!(at(1000.0, 32).grid_wins());
+        assert!(at(471.0, 16).grid_wins());
+        assert!(!at(1.0, 16).grid_wins()); // overheads dominate tiny data
+    }
+
+    #[test]
+    fn paper_crossover_near_ten_mb() {
+        // Paper: "for large dataset (> ~10 MB) … much better to use the Grid".
+        let x = crossover_mb(&PAPER_LOCAL, &PAPER_GRID, 16, 1e5).expect("crossover exists");
+        assert!(
+            (2.0..25.0).contains(&x),
+            "crossover at {x} MB, expected order-10 MB"
+        );
+    }
+
+    #[test]
+    fn crossover_moves_down_with_more_nodes() {
+        let x2 = crossover_mb(&PAPER_LOCAL, &PAPER_GRID, 2, 1e5).unwrap();
+        let x16 = crossover_mb(&PAPER_LOCAL, &PAPER_GRID, 16, 1e5).unwrap();
+        assert!(x16 <= x2);
+    }
+
+    #[test]
+    fn crossover_none_when_grid_never_wins() {
+        // A grid slower than local everywhere.
+        let slow_grid = GridEquation {
+            a_s_per_mb: 100.0,
+            c_s: 1000.0,
+            d_s: 0.0,
+            b_s_per_mb: 0.0,
+        };
+        assert_eq!(crossover_mb(&PAPER_LOCAL, &slow_grid, 16, 1e4), None);
+    }
+
+    #[test]
+    fn crossover_zero_when_grid_always_wins() {
+        let free_grid = GridEquation {
+            a_s_per_mb: 0.0,
+            c_s: 0.0,
+            d_s: 0.0,
+            b_s_per_mb: 0.0,
+        };
+        assert_eq!(crossover_mb(&PAPER_LOCAL, &free_grid, 16, 1e4), Some(0.0));
+    }
+}

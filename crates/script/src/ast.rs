@@ -1,0 +1,217 @@
+//! IPAScript abstract syntax tree.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (numeric add or string concatenation)
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Numeric negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// An expression, annotated with its source line for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Expression kind.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// `null`
+    Null,
+    /// Boolean literal.
+    Bool(bool),
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Array literal `[a, b, c]`.
+    Array(Vec<Expr>),
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Function call `name(args…)` (user function or builtin).
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Indexing `a[i]`.
+    Index {
+        /// Array/string expression.
+        target: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Record field access `rec.field`.
+    Field {
+        /// Record expression.
+        target: Box<Expr>,
+        /// Field name.
+        field: String,
+    },
+    /// Half-open range `a..b` (only valid in `for … in`).
+    Range {
+        /// Inclusive start.
+        start: Box<Expr>,
+        /// Exclusive end.
+        end: Box<Expr>,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let name = expr;`
+    Let {
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        value: Expr,
+    },
+    /// `name = expr;` (also `a[i] = expr;`)
+    Assign {
+        /// Assignment target.
+        target: AssignTarget,
+        /// New value.
+        value: Expr,
+    },
+    /// Expression statement (usually a call).
+    Expr(Expr),
+    /// `if cond { … } else { … }` — else-if chains nest in `otherwise`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        otherwise: Vec<Stmt>,
+    },
+    /// `while cond { … }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for var in iterable { … }` — iterable is a range or an array.
+    For {
+        /// Loop variable.
+        var: String,
+        /// Range or array expression.
+        iter: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr?;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssignTarget {
+    /// Plain variable.
+    Var(String),
+    /// Array element.
+    Index {
+        /// Array variable name.
+        name: String,
+        /// Index expression.
+        index: Expr,
+    },
+}
+
+/// A user-defined function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// A compiled script: its functions plus top-level statements (run once,
+/// before `init`, for script-global constants).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Named functions.
+    pub functions: HashMap<String, Arc<Function>>,
+    /// Statements outside any function.
+    pub top_level: Vec<Stmt>,
+    /// Original source (kept for diagnostics and reload comparison).
+    pub source: String,
+}
+
+impl Program {
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Arc<Function>> {
+        self.functions.get(name)
+    }
+
+    /// True if the script defines `process` (the only mandatory entry point).
+    pub fn has_process(&self) -> bool {
+        self.functions.contains_key("process")
+    }
+}

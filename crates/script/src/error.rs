@@ -1,0 +1,61 @@
+//! Script compilation and runtime errors.
+
+use std::fmt;
+
+/// Errors from compiling or running IPAScript code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptError {
+    /// Lexer/parser error with source position.
+    Syntax {
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+        /// Description.
+        message: String,
+    },
+    /// Runtime error (type error, unknown name, bad argument …).
+    Runtime {
+        /// Description.
+        message: String,
+        /// Line of the offending expression when known.
+        line: u32,
+    },
+    /// The fuel budget was exhausted — almost certainly an unbounded loop
+    /// in user code.
+    OutOfFuel,
+    /// Call stack exceeded the recursion limit.
+    StackOverflow,
+    /// The script does not define a required entry point.
+    MissingEntryPoint(&'static str),
+}
+
+impl ScriptError {
+    /// Build a runtime error.
+    pub fn runtime(message: impl Into<String>, line: u32) -> Self {
+        ScriptError::Runtime {
+            message: message.into(),
+            line,
+        }
+    }
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::Syntax { line, col, message } => {
+                write!(f, "syntax error at {line}:{col}: {message}")
+            }
+            ScriptError::Runtime { message, line } => {
+                write!(f, "runtime error at line {line}: {message}")
+            }
+            ScriptError::OutOfFuel => write!(f, "script exceeded its execution budget"),
+            ScriptError::StackOverflow => write!(f, "script recursion too deep"),
+            ScriptError::MissingEntryPoint(name) => {
+                write!(f, "script does not define required function '{name}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}

@@ -1,0 +1,496 @@
+//! IPAScript lexer.
+
+use crate::error::ScriptError;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // literals / names
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (escapes already processed).
+    Str(String),
+    /// Identifier.
+    Ident(String),
+    // keywords
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `in`
+    In,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `null`
+    Null,
+    // punctuation / operators
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ScriptError {
+        ScriptError::Syntax {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+}
+
+/// Tokenize IPAScript source. `//` and `#` start line comments.
+pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
+    let mut lx = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace and comments.
+        loop {
+            match lx.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    lx.bump();
+                }
+                Some(b'#') => {
+                    while lx.peek().is_some_and(|c| c != b'\n') {
+                        lx.bump();
+                    }
+                }
+                Some(b'/') if lx.peek2() == Some(b'/') => {
+                    while lx.peek().is_some_and(|c| c != b'\n') {
+                        lx.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let (line, col) = (lx.line, lx.col);
+        let Some(c) = lx.peek() else {
+            out.push(Token {
+                tok: Tok::Eof,
+                line,
+                col,
+            });
+            return Ok(out);
+        };
+        let tok = match c {
+            b'(' => {
+                lx.bump();
+                Tok::LParen
+            }
+            b')' => {
+                lx.bump();
+                Tok::RParen
+            }
+            b'{' => {
+                lx.bump();
+                Tok::LBrace
+            }
+            b'}' => {
+                lx.bump();
+                Tok::RBrace
+            }
+            b'[' => {
+                lx.bump();
+                Tok::LBracket
+            }
+            b']' => {
+                lx.bump();
+                Tok::RBracket
+            }
+            b',' => {
+                lx.bump();
+                Tok::Comma
+            }
+            b';' => {
+                lx.bump();
+                Tok::Semi
+            }
+            b'.' => {
+                lx.bump();
+                if lx.peek() == Some(b'.') {
+                    lx.bump();
+                    Tok::DotDot
+                } else {
+                    Tok::Dot
+                }
+            }
+            b'+' => {
+                lx.bump();
+                Tok::Plus
+            }
+            b'-' => {
+                lx.bump();
+                Tok::Minus
+            }
+            b'*' => {
+                lx.bump();
+                Tok::Star
+            }
+            b'/' => {
+                lx.bump();
+                Tok::Slash
+            }
+            b'%' => {
+                lx.bump();
+                Tok::Percent
+            }
+            b'=' => {
+                lx.bump();
+                if lx.peek() == Some(b'=') {
+                    lx.bump();
+                    Tok::Eq
+                } else {
+                    Tok::Assign
+                }
+            }
+            b'!' => {
+                lx.bump();
+                if lx.peek() == Some(b'=') {
+                    lx.bump();
+                    Tok::Ne
+                } else {
+                    Tok::Bang
+                }
+            }
+            b'<' => {
+                lx.bump();
+                if lx.peek() == Some(b'=') {
+                    lx.bump();
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                }
+            }
+            b'>' => {
+                lx.bump();
+                if lx.peek() == Some(b'=') {
+                    lx.bump();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            b'&' => {
+                lx.bump();
+                if lx.peek() == Some(b'&') {
+                    lx.bump();
+                    Tok::AndAnd
+                } else {
+                    return Err(lx.err("expected '&&'"));
+                }
+            }
+            b'|' => {
+                lx.bump();
+                if lx.peek() == Some(b'|') {
+                    lx.bump();
+                    Tok::OrOr
+                } else {
+                    return Err(lx.err("expected '||'"));
+                }
+            }
+            b'"' => {
+                lx.bump();
+                let mut s = String::new();
+                loop {
+                    match lx.bump() {
+                        None => return Err(lx.err("unterminated string")),
+                        Some(b'"') => break,
+                        Some(b'\\') => match lx.bump() {
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            other => {
+                                return Err(lx.err(format!(
+                                    "bad escape '\\{}'",
+                                    other.map(|c| c as char).unwrap_or(' ')
+                                )))
+                            }
+                        },
+                        Some(other) => s.push(other as char),
+                    }
+                }
+                Tok::Str(s)
+            }
+            c if c.is_ascii_digit() => {
+                let start = lx.pos;
+                while lx.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    lx.bump();
+                }
+                // Fractional part — but not the range operator `..`.
+                if lx.peek() == Some(b'.') && lx.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                    lx.bump();
+                    while lx.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        lx.bump();
+                    }
+                }
+                if matches!(lx.peek(), Some(b'e') | Some(b'E')) {
+                    lx.bump();
+                    if matches!(lx.peek(), Some(b'+') | Some(b'-')) {
+                        lx.bump();
+                    }
+                    while lx.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        lx.bump();
+                    }
+                }
+                let text = std::str::from_utf8(&lx.src[start..lx.pos]).expect("ascii digits");
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| lx.err(format!("bad number '{text}'")))?;
+                Tok::Num(n)
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = lx.pos;
+                while lx
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+                {
+                    lx.bump();
+                }
+                let word = std::str::from_utf8(&lx.src[start..lx.pos]).expect("ascii ident");
+                match word {
+                    "fn" => Tok::Fn,
+                    "let" => Tok::Let,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "for" => Tok::For,
+                    "in" => Tok::In,
+                    "return" => Tok::Return,
+                    "break" => Tok::Break,
+                    "continue" => Tok::Continue,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "null" => Tok::Null,
+                    _ => Tok::Ident(word.to_string()),
+                }
+            }
+            other => return Err(lx.err(format!("unexpected character '{}'", other as char))),
+        };
+        out.push(Token { tok, line, col });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("let x = 1 + 2.5;"),
+            vec![
+                Tok::Let,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Num(1.0),
+                Tok::Plus,
+                Tok::Num(2.5),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_disambiguate() {
+        assert_eq!(
+            kinds("== = != ! <= < >= > && || .."),
+            vec![
+                Tok::Eq,
+                Tok::Assign,
+                Tok::Ne,
+                Tok::Bang,
+                Tok::Le,
+                Tok::Lt,
+                Tok::Ge,
+                Tok::Gt,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::DotDot,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn range_vs_float() {
+        assert_eq!(
+            kinds("0..10"),
+            vec![Tok::Num(0.0), Tok::DotDot, Tok::Num(10.0), Tok::Eof]
+        );
+        assert_eq!(kinds("0.5"), vec![Tok::Num(0.5), Tok::Eof]);
+        assert_eq!(kinds("1e3"), vec![Tok::Num(1000.0), Tok::Eof]);
+        assert_eq!(kinds("1e-3"), vec![Tok::Num(0.001), Tok::Eof]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb\"c""#),
+            vec![Tok::Str("a\nb\"c".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 // comment\n# another\n2"),
+            vec![Tok::Num(1.0), Tok::Num(2.0), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            kinds("fn format input"),
+            vec![
+                Tok::Fn,
+                Tok::Ident("format".into()),
+                Tok::Ident("input".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("let\n  x").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn lexer_errors() {
+        assert!(lex("\"open").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+        assert!(lex("a @ b").is_err());
+        assert!(lex(r#""bad \q escape""#).is_err());
+    }
+
+    #[test]
+    fn field_access_dot() {
+        assert_eq!(
+            kinds("event.bb_mass"),
+            vec![
+                Tok::Ident("event".into()),
+                Tok::Dot,
+                Tok::Ident("bb_mass".into()),
+                Tok::Eof
+            ]
+        );
+    }
+}

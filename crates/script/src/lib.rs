@@ -1,0 +1,63 @@
+//! `ipa-script` — IPAScript, the analysis scripting language.
+//!
+//! The paper's reference implementation ships user analysis code to the grid
+//! as Java classes or [PNUTS] scripts, reloaded on the fly between runs
+//! (§3.5, §3.6). IPAScript is the Rust equivalent: a small, dynamically
+//! typed language compiled to an AST and interpreted by each analysis
+//! engine. A script defines up to three entry points:
+//!
+//! ```text
+//! fn init() { h1("/higgs/mass", 60, 0.0, 240.0); }      // book plots
+//! fn process(event) {                                    // per record
+//!     let m = event.bb_mass;
+//!     if m != null { fill("/higgs/mass", m); }
+//! }
+//! fn end() { log("done"); }                              // after last record
+//! ```
+//!
+//! Scripts interact with the outside world only through the [`Host`]
+//! interface (histogram booking/filling, logging), which the engine backs
+//! with an AIDA [`ipa_aida::Tree`] — exactly the paper's AIDA pattern.
+//! The interpreter is *fuel-limited*: a runaway loop in user code aborts
+//! with [`ScriptError::OutOfFuel`] instead of wedging an engine, a
+//! requirement for an interactive service that executes untrusted code.
+//!
+//! Language summary: `let`, assignment, `if`/`else`, `while`, `for x in
+//! a..b`, `fn`, `return`, `break`, `continue`; values are null, booleans,
+//! 64-bit floats, strings, and arrays; operators `+ - * / %`,
+//! comparisons, `&& || !`, indexing, calls, and `record.field` access.
+//!
+//! [PNUTS]: https://en.wikipedia.org/wiki/Pnuts
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod stdlib;
+pub mod value;
+
+pub use ast::Program;
+pub use error::ScriptError;
+pub use interp::{AidaHost, Host, Interpreter, NullHost, DEFAULT_FUEL};
+pub use parser::compile;
+pub use value::Value;
+
+/// Convenience: compile a script and run it against a host as an analysis —
+/// `init()`, `process(record)` per record, then `end()`.
+pub fn run_analysis(
+    source: &str,
+    records: &[ipa_dataset::AnyRecord],
+    host: &mut dyn Host,
+) -> Result<(), ScriptError> {
+    let program = compile(source)?;
+    let mut interp = Interpreter::new(&program);
+    interp.run_init(host)?;
+    for r in records {
+        interp.process_record(host, r)?;
+    }
+    interp.run_end(host)?;
+    Ok(())
+}

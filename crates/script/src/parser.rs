@@ -1,0 +1,572 @@
+//! IPAScript recursive-descent parser.
+
+use std::sync::Arc;
+
+use crate::ast::*;
+use crate::error::ScriptError;
+use crate::lexer::{lex, Tok, Token};
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ScriptError {
+        let t = &self.toks[self.pos];
+        ScriptError::Syntax {
+            line: t.line,
+            col: t.col,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), ScriptError> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == want {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    // ------------------------------------------------------------ items --
+
+    fn parse_program(&mut self, source: &str) -> Result<Program, ScriptError> {
+        let mut program = Program {
+            source: source.to_string(),
+            ..Program::default()
+        };
+        while *self.peek() != Tok::Eof {
+            if *self.peek() == Tok::Fn {
+                let f = self.parse_function()?;
+                if program.functions.contains_key(&f.name) {
+                    return Err(self.err(format!("function '{}' defined twice", f.name)));
+                }
+                program.functions.insert(f.name.clone(), Arc::new(f));
+            } else {
+                program.top_level.push(self.parse_stmt()?);
+            }
+        }
+        Ok(program)
+    }
+
+    fn parse_function(&mut self) -> Result<Function, ScriptError> {
+        let line = self.line();
+        self.expect(Tok::Fn, "'fn'")?;
+        let name = match self.bump() {
+            Tok::Ident(n) => n,
+            _ => return Err(self.err("expected function name")),
+        };
+        self.expect(Tok::LParen, "'('")?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                match self.bump() {
+                    Tok::Ident(p) => params.push(p),
+                    _ => return Err(self.err("expected parameter name")),
+                }
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "')'")?;
+        let body = self.parse_block()?;
+        Ok(Function {
+            name,
+            params,
+            body,
+            line,
+        })
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, ScriptError> {
+        self.expect(Tok::LBrace, "'{'")?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if *self.peek() == Tok::Eof {
+                return Err(self.err("unterminated block (missing '}')"));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        self.bump(); // consume '}'
+        Ok(stmts)
+    }
+
+    // ------------------------------------------------------- statements --
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ScriptError> {
+        match self.peek() {
+            Tok::Let => {
+                self.bump();
+                let name = match self.bump() {
+                    Tok::Ident(n) => n,
+                    _ => return Err(self.err("expected variable name after 'let'")),
+                };
+                self.expect(Tok::Assign, "'='")?;
+                let value = self.parse_expr()?;
+                self.eat(&Tok::Semi);
+                Ok(Stmt::Let { name, value })
+            }
+            Tok::If => self.parse_if(),
+            Tok::While => {
+                self.bump();
+                let cond = self.parse_expr()?;
+                let body = self.parse_block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::For => {
+                self.bump();
+                let var = match self.bump() {
+                    Tok::Ident(n) => n,
+                    _ => return Err(self.err("expected loop variable after 'for'")),
+                };
+                self.expect(Tok::In, "'in'")?;
+                let iter = self.parse_expr()?;
+                let body = self.parse_block()?;
+                Ok(Stmt::For { var, iter, body })
+            }
+            Tok::Return => {
+                self.bump();
+                let value = if *self.peek() == Tok::Semi || *self.peek() == Tok::RBrace {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.eat(&Tok::Semi);
+                Ok(Stmt::Return(value))
+            }
+            Tok::Break => {
+                self.bump();
+                self.eat(&Tok::Semi);
+                Ok(Stmt::Break)
+            }
+            Tok::Continue => {
+                self.bump();
+                self.eat(&Tok::Semi);
+                Ok(Stmt::Continue)
+            }
+            _ => {
+                // Expression statement or assignment.
+                let expr = self.parse_expr()?;
+                if self.eat(&Tok::Assign) {
+                    let target = match &expr.kind {
+                        ExprKind::Var(name) => AssignTarget::Var(name.clone()),
+                        ExprKind::Index { target, index } => {
+                            let ExprKind::Var(name) = &target.kind else {
+                                return Err(self.err("can only assign to variables or elements"));
+                            };
+                            AssignTarget::Index {
+                                name: name.clone(),
+                                index: (**index).clone(),
+                            }
+                        }
+                        _ => return Err(self.err("invalid assignment target")),
+                    };
+                    let value = self.parse_expr()?;
+                    self.eat(&Tok::Semi);
+                    Ok(Stmt::Assign { target, value })
+                } else {
+                    self.eat(&Tok::Semi);
+                    Ok(Stmt::Expr(expr))
+                }
+            }
+        }
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt, ScriptError> {
+        self.expect(Tok::If, "'if'")?;
+        let cond = self.parse_expr()?;
+        let then = self.parse_block()?;
+        let otherwise = if self.eat(&Tok::Else) {
+            if *self.peek() == Tok::If {
+                vec![self.parse_if()?]
+            } else {
+                self.parse_block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then,
+            otherwise,
+        })
+    }
+
+    // ------------------------------------------------------ expressions --
+
+    fn parse_expr(&mut self) -> Result<Expr, ScriptError> {
+        self.parse_range()
+    }
+
+    fn parse_range(&mut self) -> Result<Expr, ScriptError> {
+        let line = self.line();
+        let lhs = self.parse_or()?;
+        if self.eat(&Tok::DotDot) {
+            let rhs = self.parse_or()?;
+            Ok(Expr {
+                kind: ExprKind::Range {
+                    start: Box::new(lhs),
+                    end: Box::new(rhs),
+                },
+                line,
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ScriptError> {
+        let mut lhs = self.parse_and()?;
+        while *self.peek() == Tok::OrOr {
+            let line = self.line();
+            self.bump();
+            let rhs = self.parse_and()?;
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op: BinOp::Or,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ScriptError> {
+        let mut lhs = self.parse_cmp()?;
+        while *self.peek() == Tok::AndAnd {
+            let line = self.line();
+            self.bump();
+            let rhs = self.parse_cmp()?;
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op: BinOp::And,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, ScriptError> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            Tok::Eq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        let line = self.line();
+        self.bump();
+        let rhs = self.parse_add()?;
+        Ok(Expr {
+            kind: ExprKind::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+            line,
+        })
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, ScriptError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.parse_mul()?;
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                line,
+            };
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, ScriptError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                line,
+            };
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ScriptError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let expr = self.parse_unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Unary {
+                        op: UnOp::Neg,
+                        expr: Box::new(expr),
+                    },
+                    line,
+                })
+            }
+            Tok::Bang => {
+                self.bump();
+                let expr = self.parse_unary()?;
+                Ok(Expr {
+                    kind: ExprKind::Unary {
+                        op: UnOp::Not,
+                        expr: Box::new(expr),
+                    },
+                    line,
+                })
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ScriptError> {
+        let mut expr = self.parse_primary()?;
+        loop {
+            match self.peek() {
+                Tok::LBracket => {
+                    let line = self.line();
+                    self.bump();
+                    let index = self.parse_expr()?;
+                    self.expect(Tok::RBracket, "']'")?;
+                    expr = Expr {
+                        kind: ExprKind::Index {
+                            target: Box::new(expr),
+                            index: Box::new(index),
+                        },
+                        line,
+                    };
+                }
+                Tok::Dot => {
+                    let line = self.line();
+                    self.bump();
+                    let field = match self.bump() {
+                        Tok::Ident(f) => f,
+                        _ => return Err(self.err("expected field name after '.'")),
+                    };
+                    expr = Expr {
+                        kind: ExprKind::Field {
+                            target: Box::new(expr),
+                            field,
+                        },
+                        line,
+                    };
+                }
+                _ => return Ok(expr),
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ScriptError> {
+        let line = self.line();
+        let kind = match self.bump() {
+            Tok::Null => ExprKind::Null,
+            Tok::True => ExprKind::Bool(true),
+            Tok::False => ExprKind::Bool(false),
+            Tok::Num(n) => ExprKind::Num(n),
+            Tok::Str(s) => ExprKind::Str(s),
+            Tok::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                return Ok(e);
+            }
+            Tok::LBracket => {
+                let mut items = Vec::new();
+                if *self.peek() != Tok::RBracket {
+                    loop {
+                        items.push(self.parse_expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RBracket, "']'")?;
+                ExprKind::Array(items)
+            }
+            Tok::Ident(name) => {
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen, "')'")?;
+                    ExprKind::Call { name, args }
+                } else {
+                    ExprKind::Var(name)
+                }
+            }
+            other => return Err(self.err(format!("unexpected token {other:?} in expression"))),
+        };
+        Ok(Expr { kind, line })
+    }
+}
+
+/// Compile IPAScript source into a [`Program`].
+pub fn compile(source: &str) -> Result<Program, ScriptError> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.parse_program(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_definitions() {
+        let p = compile("fn init() { }\nfn process(event) { let x = 1; }").unwrap();
+        assert_eq!(p.functions.len(), 2);
+        assert!(p.has_process());
+        assert_eq!(p.function("process").unwrap().params, vec!["event"]);
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        assert!(compile("fn a() {}\nfn a() {}").is_err());
+    }
+
+    #[test]
+    fn precedence_mul_over_add_over_cmp_over_and_over_or() {
+        let p = compile("let r = 1 + 2 * 3 < 10 && true || false;").unwrap();
+        let Stmt::Let { value, .. } = &p.top_level[0] else {
+            panic!("expected let")
+        };
+        // Top node must be Or.
+        let ExprKind::Binary { op: BinOp::Or, lhs, .. } = &value.kind else {
+            panic!("top is {:?}", value.kind)
+        };
+        let ExprKind::Binary { op: BinOp::And, lhs: cmp, .. } = &lhs.kind else {
+            panic!("lhs is {:?}", lhs.kind)
+        };
+        assert!(matches!(
+            cmp.kind,
+            ExprKind::Binary { op: BinOp::Lt, .. }
+        ));
+    }
+
+    #[test]
+    fn if_else_if_chain() {
+        let p = compile("fn f(x) { if x > 1 { return 1; } else if x > 0 { return 2; } else { return 3; } }").unwrap();
+        let f = p.function("f").unwrap();
+        let Stmt::If { otherwise, .. } = &f.body[0] else {
+            panic!()
+        };
+        assert!(matches!(otherwise[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn for_over_range_and_array() {
+        compile("fn f() { for i in 0..10 { } for x in [1,2,3] { } }").unwrap();
+    }
+
+    #[test]
+    fn field_and_index_postfix() {
+        let p = compile("let a = event.bb_mass; let b = xs[2];").unwrap();
+        let Stmt::Let { value, .. } = &p.top_level[0] else {
+            panic!()
+        };
+        assert!(matches!(value.kind, ExprKind::Field { .. }));
+        let Stmt::Let { value, .. } = &p.top_level[1] else {
+            panic!()
+        };
+        assert!(matches!(value.kind, ExprKind::Index { .. }));
+    }
+
+    #[test]
+    fn assignment_targets() {
+        compile("x = 1; xs[0] = 2;").unwrap();
+        assert!(compile("f() = 1;").is_err());
+        assert!(compile("a.b = 1;").is_err());
+    }
+
+    #[test]
+    fn syntax_errors_have_positions() {
+        let err = compile("fn f( { }").unwrap_err();
+        match err {
+            ScriptError::Syntax { line, .. } => assert_eq!(line, 1),
+            other => panic!("{other:?}"),
+        }
+        assert!(compile("fn f() { if }").is_err());
+        assert!(compile("fn f() {").is_err());
+        assert!(compile("let = 3;").is_err());
+    }
+
+    #[test]
+    fn semicolons_are_optional_after_blocks() {
+        compile("fn f() { let a = 1\n let b = 2 }").unwrap();
+    }
+
+    #[test]
+    fn call_with_args() {
+        let p = compile("fill(\"/h\", 1.0, 2.0);").unwrap();
+        let Stmt::Expr(e) = &p.top_level[0] else { panic!() };
+        let ExprKind::Call { name, args } = &e.kind else {
+            panic!()
+        };
+        assert_eq!(name, "fill");
+        assert_eq!(args.len(), 3);
+    }
+}

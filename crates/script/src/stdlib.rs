@@ -1,0 +1,566 @@
+//! Builtin functions: math, strings, arrays, and the analysis host calls.
+
+use ipa_dataset::RecordFields;
+
+use crate::error::ScriptError;
+use crate::interp::Host;
+use crate::value::Value;
+
+fn want_num(v: &Value, what: &str, line: u32) -> Result<f64, ScriptError> {
+    v.as_num()
+        .ok_or_else(|| ScriptError::runtime(format!("{what} must be numeric, got {}", v.type_name()), line))
+}
+
+fn want_str<'a>(v: &'a Value, what: &str, line: u32) -> Result<&'a str, ScriptError> {
+    match v {
+        Value::Str(s) => Ok(s),
+        other => Err(ScriptError::runtime(
+            format!("{what} must be a string, got {}", other.type_name()),
+            line,
+        )),
+    }
+}
+
+fn arity(name: &str, args: &[Value], expect: std::ops::RangeInclusive<usize>, line: u32) -> Result<(), ScriptError> {
+    if expect.contains(&args.len()) {
+        Ok(())
+    } else {
+        Err(ScriptError::runtime(
+            format!(
+                "{name}() takes {}..{} arguments, got {}",
+                expect.start(),
+                expect.end(),
+                args.len()
+            ),
+            line,
+        ))
+    }
+}
+
+/// Try to dispatch a builtin. Returns `None` when `name` is not a builtin so
+/// the interpreter can fall back to user functions.
+pub fn call_builtin(
+    name: &str,
+    args: &[Value],
+    line: u32,
+    host: &mut dyn Host,
+) -> Option<Result<Value, ScriptError>> {
+    Some(match name {
+        // ------------------------------------------------------- math ----
+        "sqrt" | "abs" | "ln" | "log10" | "exp" | "sin" | "cos" | "tan" | "floor" | "ceil"
+        | "round" => (|| {
+            arity(name, args, 1..=1, line)?;
+            let x = want_num(&args[0], "argument", line)?;
+            let y = match name {
+                "sqrt" => x.sqrt(),
+                "abs" => x.abs(),
+                "ln" => x.ln(),
+                "log10" => x.log10(),
+                "exp" => x.exp(),
+                "sin" => x.sin(),
+                "cos" => x.cos(),
+                "tan" => x.tan(),
+                "floor" => x.floor(),
+                "ceil" => x.ceil(),
+                "round" => x.round(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Num(y))
+        })(),
+        "pow" | "atan2" | "min" | "max" => (|| {
+            arity(name, args, 2..=2, line)?;
+            let a = want_num(&args[0], "argument", line)?;
+            let b = want_num(&args[1], "argument", line)?;
+            let y = match name {
+                "pow" => a.powf(b),
+                "atan2" => a.atan2(b),
+                "min" => a.min(b),
+                "max" => a.max(b),
+                _ => unreachable!(),
+            };
+            Ok(Value::Num(y))
+        })(),
+        "pi" => (|| {
+            arity(name, args, 0..=0, line)?;
+            Ok(Value::Num(std::f64::consts::PI))
+        })(),
+        // ------------------------------------------------ conversions ----
+        "num" => (|| {
+            arity(name, args, 1..=1, line)?;
+            Ok(match &args[0] {
+                Value::Num(n) => Value::Num(*n),
+                Value::Bool(b) => Value::Num(if *b { 1.0 } else { 0.0 }),
+                Value::Str(s) => s.trim().parse::<f64>().map(Value::Num).unwrap_or(Value::Null),
+                _ => Value::Null,
+            })
+        })(),
+        "str" => (|| {
+            arity(name, args, 1..=1, line)?;
+            Ok(Value::Str(format!("{}", args[0])))
+        })(),
+        "is_null" => (|| {
+            arity(name, args, 1..=1, line)?;
+            Ok(Value::Bool(matches!(args[0], Value::Null)))
+        })(),
+        // ------------------------------------------------ strings/arrays --
+        "len" => (|| {
+            arity(name, args, 1..=1, line)?;
+            match &args[0] {
+                Value::Str(s) => Ok(Value::Num(s.chars().count() as f64)),
+                Value::Array(a) => Ok(Value::Num(a.len() as f64)),
+                other => Err(ScriptError::runtime(
+                    format!("len() needs a string or array, got {}", other.type_name()),
+                    line,
+                )),
+            }
+        })(),
+        "substr" => (|| {
+            arity(name, args, 3..=3, line)?;
+            let s = want_str(&args[0], "substr() target", line)?;
+            let start = want_num(&args[1], "substr() start", line)? as usize;
+            let n = want_num(&args[2], "substr() length", line)? as usize;
+            let out: String = s.chars().skip(start).take(n).collect();
+            Ok(Value::Str(out))
+        })(),
+        "contains" => (|| {
+            arity(name, args, 2..=2, line)?;
+            let s = want_str(&args[0], "contains() target", line)?;
+            let sub = want_str(&args[1], "contains() pattern", line)?;
+            Ok(Value::Bool(s.contains(sub)))
+        })(),
+        "count_matches" => (|| {
+            arity(name, args, 2..=2, line)?;
+            let s = want_str(&args[0], "count_matches() target", line)?;
+            let sub = want_str(&args[1], "count_matches() pattern", line)?;
+            if sub.is_empty() || sub.len() > s.len() {
+                return Ok(Value::Num(0.0));
+            }
+            // Overlapping count (matches DnaRead::count_motif semantics).
+            let (sb, mb) = (s.as_bytes(), sub.as_bytes());
+            let c = (0..=sb.len() - mb.len())
+                .filter(|&i| &sb[i..i + mb.len()] == mb)
+                .count();
+            Ok(Value::Num(c as f64))
+        })(),
+        "upper" => (|| {
+            arity(name, args, 1..=1, line)?;
+            Ok(Value::Str(want_str(&args[0], "upper() target", line)?.to_uppercase()))
+        })(),
+        "lower" => (|| {
+            arity(name, args, 1..=1, line)?;
+            Ok(Value::Str(want_str(&args[0], "lower() target", line)?.to_lowercase()))
+        })(),
+        "append" => (|| {
+            arity(name, args, 2..=2, line)?;
+            match &args[0] {
+                Value::Array(a) => {
+                    let mut out = a.clone();
+                    out.push(args[1].clone());
+                    Ok(Value::Array(out))
+                }
+                other => Err(ScriptError::runtime(
+                    format!("append() needs an array, got {}", other.type_name()),
+                    line,
+                )),
+            }
+        })(),
+        // ---------------------------------------------------- records ----
+        "field" => (|| {
+            arity(name, args, 2..=2, line)?;
+            let Value::Record(r) = &args[0] else {
+                return Err(ScriptError::runtime(
+                    format!("field() needs a record, got {}", args[0].type_name()),
+                    line,
+                ));
+            };
+            let fname = want_str(&args[1], "field() name", line)?;
+            match r.field(fname) {
+                Some(f) => Ok(Value::from_field(f)),
+                None => Err(ScriptError::runtime(
+                    format!("record kind '{}' has no field '{fname}'", r.kind()),
+                    line,
+                )),
+            }
+        })(),
+        "fields" => (|| {
+            arity(name, args, 1..=1, line)?;
+            let Value::Record(r) = &args[0] else {
+                return Err(ScriptError::runtime("fields() needs a record".to_string(), line));
+            };
+            Ok(Value::Array(
+                r.field_names()
+                    .iter()
+                    .map(|n| Value::Str(n.to_string()))
+                    .collect(),
+            ))
+        })(),
+        // ------------------------------------------------------- host ----
+        "h1" => (|| {
+            arity(name, args, 4..=4, line)?;
+            let path = want_str(&args[0], "h1() path", line)?;
+            let nbins = want_num(&args[1], "h1() nbins", line)? as usize;
+            let lo = want_num(&args[2], "h1() lo", line)?;
+            let hi = want_num(&args[3], "h1() hi", line)?;
+            host.book_h1(path, nbins, lo, hi)
+                .map_err(|e| ScriptError::runtime(e, line))?;
+            Ok(Value::Null)
+        })(),
+        "h2" => (|| {
+            arity(name, args, 7..=7, line)?;
+            let path = want_str(&args[0], "h2() path", line)?;
+            let nx = want_num(&args[1], "h2() nx", line)? as usize;
+            let xlo = want_num(&args[2], "h2() xlo", line)?;
+            let xhi = want_num(&args[3], "h2() xhi", line)?;
+            let ny = want_num(&args[4], "h2() ny", line)? as usize;
+            let ylo = want_num(&args[5], "h2() ylo", line)?;
+            let yhi = want_num(&args[6], "h2() yhi", line)?;
+            host.book_h2(path, nx, xlo, xhi, ny, ylo, yhi)
+                .map_err(|e| ScriptError::runtime(e, line))?;
+            Ok(Value::Null)
+        })(),
+        "prof" => (|| {
+            arity(name, args, 4..=4, line)?;
+            let path = want_str(&args[0], "prof() path", line)?;
+            let nbins = want_num(&args[1], "prof() nbins", line)? as usize;
+            let lo = want_num(&args[2], "prof() lo", line)?;
+            let hi = want_num(&args[3], "prof() hi", line)?;
+            host.book_profile(path, nbins, lo, hi)
+                .map_err(|e| ScriptError::runtime(e, line))?;
+            Ok(Value::Null)
+        })(),
+        "fill" => (|| {
+            arity(name, args, 2..=3, line)?;
+            let path = want_str(&args[0], "fill() path", line)?;
+            let x = want_num(&args[1], "fill() x", line)?;
+            let w = if args.len() == 3 {
+                want_num(&args[2], "fill() weight", line)?
+            } else {
+                1.0
+            };
+            host.fill1(path, x, w).map_err(|e| ScriptError::runtime(e, line))?;
+            Ok(Value::Null)
+        })(),
+        "fill2" => (|| {
+            arity(name, args, 3..=4, line)?;
+            let path = want_str(&args[0], "fill2() path", line)?;
+            let x = want_num(&args[1], "fill2() x", line)?;
+            let y = want_num(&args[2], "fill2() y", line)?;
+            let w = if args.len() == 4 {
+                want_num(&args[3], "fill2() weight", line)?
+            } else {
+                1.0
+            };
+            host.fill2(path, x, y, w)
+                .map_err(|e| ScriptError::runtime(e, line))?;
+            Ok(Value::Null)
+        })(),
+        "pfill" => (|| {
+            arity(name, args, 3..=4, line)?;
+            let path = want_str(&args[0], "pfill() path", line)?;
+            let x = want_num(&args[1], "pfill() x", line)?;
+            let y = want_num(&args[2], "pfill() y", line)?;
+            let w = if args.len() == 4 {
+                want_num(&args[3], "pfill() weight", line)?
+            } else {
+                1.0
+            };
+            host.fill_profile(path, x, y, w)
+                .map_err(|e| ScriptError::runtime(e, line))?;
+            Ok(Value::Null)
+        })(),
+        "log" => (|| {
+            arity(name, args, 1..=1, line)?;
+            host.log(&format!("{}", args[0]));
+            Ok(Value::Null)
+        })(),
+        "cloud1" => (|| {
+            arity(name, args, 1..=1, line)?;
+            let path = want_str(&args[0], "cloud1() path", line)?;
+            host.book_cloud1(path).map_err(|e| ScriptError::runtime(e, line))?;
+            Ok(Value::Null)
+        })(),
+        "tuple" => (|| {
+            arity(name, args, 2..=2, line)?;
+            let path = want_str(&args[0], "tuple() path", line)?;
+            let cols_text = want_str(&args[1], "tuple() columns", line)?;
+            let cols: Vec<&str> = cols_text.split(',').map(str::trim).collect();
+            if cols.iter().any(|c| c.is_empty()) {
+                return Err(ScriptError::runtime("tuple() columns must be non-empty", line));
+            }
+            host.book_tuple(path, &cols)
+                .map_err(|e| ScriptError::runtime(e, line))?;
+            Ok(Value::Null)
+        })(),
+        "tfill" => (|| {
+            arity(name, args, 2..=17, line)?;
+            let path = want_str(&args[0], "tfill() path", line)?;
+            let mut row = Vec::with_capacity(args.len() - 1);
+            for v in &args[1..] {
+                row.push(want_num(v, "tfill() value", line)?);
+            }
+            host.fill_tuple(path, &row)
+                .map_err(|e| ScriptError::runtime(e, line))?;
+            Ok(Value::Null)
+        })(),
+        "cfill" => (|| {
+            arity(name, args, 2..=3, line)?;
+            let path = want_str(&args[0], "cfill() path", line)?;
+            let x = want_num(&args[1], "cfill() x", line)?;
+            let w = if args.len() == 3 {
+                want_num(&args[2], "cfill() weight", line)?
+            } else {
+                1.0
+            };
+            host.fill_cloud1(path, x, w)
+                .map_err(|e| ScriptError::runtime(e, line))?;
+            Ok(Value::Null)
+        })(),
+        // ----------------------------------------------- array helpers ---
+        "sum" | "avg" | "min_of" | "max_of" => (|| {
+            arity(name, args, 1..=1, line)?;
+            let Value::Array(a) = &args[0] else {
+                return Err(ScriptError::runtime(
+                    format!("{name}() needs an array, got {}", args[0].type_name()),
+                    line,
+                ));
+            };
+            let mut nums = Vec::with_capacity(a.len());
+            for v in a {
+                nums.push(want_num(v, "array element", line)?);
+            }
+            if nums.is_empty() {
+                return Ok(match name {
+                    "sum" => Value::Num(0.0),
+                    _ => Value::Null,
+                });
+            }
+            let out = match name {
+                "sum" => nums.iter().sum(),
+                "avg" => nums.iter().sum::<f64>() / nums.len() as f64,
+                "min_of" => nums.iter().copied().fold(f64::INFINITY, f64::min),
+                "max_of" => nums.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                _ => unreachable!(),
+            };
+            Ok(Value::Num(out))
+        })(),
+        "sort" => (|| {
+            arity(name, args, 1..=1, line)?;
+            let Value::Array(a) = &args[0] else {
+                return Err(ScriptError::runtime("sort() needs an array".to_string(), line));
+            };
+            let mut nums = Vec::with_capacity(a.len());
+            for v in a {
+                nums.push(want_num(v, "array element", line)?);
+            }
+            nums.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+            Ok(Value::Array(nums.into_iter().map(Value::Num).collect()))
+        })(),
+        "reverse" => (|| {
+            arity(name, args, 1..=1, line)?;
+            match &args[0] {
+                Value::Array(a) => {
+                    let mut out = a.clone();
+                    out.reverse();
+                    Ok(Value::Array(out))
+                }
+                Value::Str(s) => Ok(Value::Str(s.chars().rev().collect())),
+                other => Err(ScriptError::runtime(
+                    format!("reverse() needs an array or string, got {}", other.type_name()),
+                    line,
+                )),
+            }
+        })(),
+        "slice" => (|| {
+            arity(name, args, 3..=3, line)?;
+            let Value::Array(a) = &args[0] else {
+                return Err(ScriptError::runtime("slice() needs an array".to_string(), line));
+            };
+            let start = want_num(&args[1], "slice() start", line)?.max(0.0) as usize;
+            let n = want_num(&args[2], "slice() length", line)?.max(0.0) as usize;
+            Ok(Value::Array(a.iter().skip(start).take(n).cloned().collect()))
+        })(),
+        "split" => (|| {
+            arity(name, args, 2..=2, line)?;
+            let s = want_str(&args[0], "split() target", line)?;
+            let sep = want_str(&args[1], "split() separator", line)?;
+            if sep.is_empty() {
+                return Err(ScriptError::runtime("split() separator must not be empty", line));
+            }
+            Ok(Value::Array(
+                s.split(sep).map(|p| Value::Str(p.to_string())).collect(),
+            ))
+        })(),
+        "join" => (|| {
+            arity(name, args, 2..=2, line)?;
+            let Value::Array(a) = &args[0] else {
+                return Err(ScriptError::runtime("join() needs an array".to_string(), line));
+            };
+            let sep = want_str(&args[1], "join() separator", line)?;
+            let parts: Vec<String> = a.iter().map(|v| format!("{v}")).collect();
+            Ok(Value::Str(parts.join(sep)))
+        })(),
+        "trim" => (|| {
+            arity(name, args, 1..=1, line)?;
+            Ok(Value::Str(want_str(&args[0], "trim() target", line)?.trim().to_string()))
+        })(),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::NullHost;
+
+    fn call(name: &str, args: &[Value]) -> Result<Value, ScriptError> {
+        call_builtin(name, args, 1, &mut NullHost).expect("is a builtin")
+    }
+
+    #[test]
+    fn math_builtins() {
+        assert!(matches!(call("sqrt", &[Value::Num(9.0)]).unwrap(), Value::Num(n) if n == 3.0));
+        assert!(matches!(call("pow", &[Value::Num(2.0), Value::Num(10.0)]).unwrap(), Value::Num(n) if n == 1024.0));
+        assert!(matches!(call("min", &[Value::Num(2.0), Value::Num(1.0)]).unwrap(), Value::Num(n) if n == 1.0));
+        assert!(matches!(call("abs", &[Value::Num(-2.0)]).unwrap(), Value::Num(n) if n == 2.0));
+    }
+
+    #[test]
+    fn arity_and_type_errors() {
+        assert!(call("sqrt", &[]).is_err());
+        assert!(call("sqrt", &[Value::Str("x".into())]).is_err());
+        assert!(call("len", &[Value::Num(1.0)]).is_err());
+    }
+
+    #[test]
+    fn conversions() {
+        assert!(matches!(call("num", &[Value::Str(" 2.5 ".into())]).unwrap(), Value::Num(n) if n == 2.5));
+        assert!(matches!(call("num", &[Value::Str("abc".into())]).unwrap(), Value::Null));
+        assert!(matches!(call("str", &[Value::Num(1.0)]).unwrap(), Value::Str(s) if s == "1"));
+        assert!(matches!(call("is_null", &[Value::Null]).unwrap(), Value::Bool(true)));
+    }
+
+    #[test]
+    fn string_builtins() {
+        assert!(matches!(call("len", &[Value::Str("abcd".into())]).unwrap(), Value::Num(n) if n == 4.0));
+        assert!(matches!(
+            call("substr", &[Value::Str("abcdef".into()), Value::Num(2.0), Value::Num(3.0)]).unwrap(),
+            Value::Str(s) if s == "cde"
+        ));
+        assert!(matches!(
+            call("contains", &[Value::Str("GATTACA".into()), Value::Str("TTA".into())]).unwrap(),
+            Value::Bool(true)
+        ));
+        assert!(matches!(
+            call("count_matches", &[Value::Str("AAAA".into()), Value::Str("AA".into())]).unwrap(),
+            Value::Num(n) if n == 3.0
+        ));
+    }
+
+    #[test]
+    fn append_is_pure() {
+        let a = Value::Array(vec![Value::Num(1.0)]);
+        let out = call("append", &[a.clone(), Value::Num(2.0)]).unwrap();
+        let Value::Array(v) = out else { panic!() };
+        assert_eq!(v.len(), 2);
+        let Value::Array(orig) = a else { panic!() };
+        assert_eq!(orig.len(), 1);
+    }
+
+    #[test]
+    fn unknown_builtin_returns_none() {
+        assert!(call_builtin("definitely_not_builtin", &[], 1, &mut NullHost).is_none());
+    }
+
+    #[test]
+    fn array_aggregates() {
+        let arr = Value::Array(vec![Value::Num(3.0), Value::Num(1.0), Value::Num(2.0)]);
+        assert!(matches!(call("sum", std::slice::from_ref(&arr)).unwrap(), Value::Num(n) if n == 6.0));
+        assert!(matches!(call("avg", std::slice::from_ref(&arr)).unwrap(), Value::Num(n) if n == 2.0));
+        assert!(matches!(call("min_of", std::slice::from_ref(&arr)).unwrap(), Value::Num(n) if n == 1.0));
+        assert!(matches!(call("max_of", std::slice::from_ref(&arr)).unwrap(), Value::Num(n) if n == 3.0));
+        let empty = Value::Array(vec![]);
+        assert!(matches!(call("sum", std::slice::from_ref(&empty)).unwrap(), Value::Num(n) if n == 0.0));
+        assert!(matches!(call("avg", &[empty]).unwrap(), Value::Null));
+        // Non-numeric elements are an error.
+        let bad = Value::Array(vec![Value::Str("x".into())]);
+        assert!(call("sum", &[bad]).is_err());
+    }
+
+    #[test]
+    fn sort_slice_reverse() {
+        let arr = Value::Array(vec![Value::Num(3.0), Value::Num(1.0), Value::Num(2.0)]);
+        let Value::Array(sorted) = call("sort", std::slice::from_ref(&arr)).unwrap() else {
+            panic!()
+        };
+        assert!(matches!(sorted[0], Value::Num(n) if n == 1.0));
+        assert!(matches!(sorted[2], Value::Num(n) if n == 3.0));
+        let Value::Array(sl) = call("slice", &[arr.clone(), Value::Num(1.0), Value::Num(5.0)]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(sl.len(), 2);
+        let Value::Array(rev) = call("reverse", &[arr]).unwrap() else {
+            panic!()
+        };
+        assert!(matches!(rev[0], Value::Num(n) if n == 2.0));
+        assert!(matches!(call("reverse", &[Value::Str("abc".into())]).unwrap(), Value::Str(s) if s == "cba"));
+    }
+
+    #[test]
+    fn split_join_trim() {
+        let Value::Array(parts) =
+            call("split", &[Value::Str("a,b,c".into()), Value::Str(",".into())]).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(parts.len(), 3);
+        assert!(matches!(
+            call("join", &[Value::Array(parts), Value::Str("-".into())]).unwrap(),
+            Value::Str(s) if s == "a-b-c"
+        ));
+        assert!(matches!(
+            call("trim", &[Value::Str("  x \n".into())]).unwrap(),
+            Value::Str(s) if s == "x"
+        ));
+        assert!(call("split", &[Value::Str("a".into()), Value::Str("".into())]).is_err());
+    }
+
+    #[test]
+    fn cloud_bindings_default_and_aida() {
+        // NullHost rejects clouds via the default impl.
+        assert!(call("cloud1", &[Value::Str("/c".into())]).is_err());
+        // AidaHost supports them.
+        let mut host = crate::interp::AidaHost::new();
+        call_builtin("cloud1", &[Value::Str("/c".into())], 1, &mut host)
+            .unwrap()
+            .unwrap();
+        call_builtin(
+            "cfill",
+            &[Value::Str("/c".into()), Value::Num(2.5)],
+            1,
+            &mut host,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(host.tree.get("/c").unwrap().entries(), 1);
+        // Idempotent re-book, kind conflict caught.
+        call_builtin("cloud1", &[Value::Str("/c".into())], 1, &mut host)
+            .unwrap()
+            .unwrap();
+        call_builtin(
+            "h1",
+            &[
+                Value::Str("/h".into()),
+                Value::Num(5.0),
+                Value::Num(0.0),
+                Value::Num(1.0),
+            ],
+            1,
+            &mut host,
+        )
+        .unwrap()
+        .unwrap();
+        assert!(call_builtin("cfill", &[Value::Str("/h".into()), Value::Num(1.0)], 1, &mut host)
+            .unwrap()
+            .is_err());
+    }
+}

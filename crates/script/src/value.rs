@@ -1,0 +1,151 @@
+//! Runtime values.
+
+use std::fmt;
+use std::sync::Arc;
+
+use ipa_dataset::{AnyRecord, FieldValue};
+
+/// An IPAScript runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Absence of a value (also what missing record fields read as).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit float (the only numeric type).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array with value semantics.
+    Array(Vec<Value>),
+    /// A dataset record (shared, immutable).
+    Record(Arc<AnyRecord>),
+}
+
+impl Value {
+    /// Truthiness: null/false/0/""/[] are false, records are true.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Num(n) => *n != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Array(a) => !a.is_empty(),
+            Value::Record(_) => true,
+        }
+    }
+
+    /// Numeric view (bools widen; strings do NOT coerce implicitly).
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Short type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "num",
+            Value::Str(_) => "str",
+            Value::Array(_) => "array",
+            Value::Record(_) => "record",
+        }
+    }
+
+    /// Convert a dataset field value.
+    pub fn from_field(f: FieldValue) -> Value {
+        match f {
+            FieldValue::Num(x) => Value::Num(x),
+            FieldValue::Int(i) => Value::Num(i as f64),
+            FieldValue::Bool(b) => Value::Bool(b),
+            FieldValue::Str(s) => Value::Str(s),
+            FieldValue::Missing => Value::Null,
+        }
+    }
+
+    /// Structural equality (`==` in the language). Records compare by
+    /// identity; null equals only null.
+    pub fn equals(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Num(a), Value::Num(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.equals(y))
+            }
+            (Value::Record(a), Value::Record(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Array(a) => {
+                write!(f, "[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Record(r) => write!(f, "<{} record #{}>", r.kind(), r.id()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Num(0.0).truthy());
+        assert!(Value::Num(0.5).truthy());
+        assert!(!Value::Str(String::new()).truthy());
+        assert!(Value::Str("x".into()).truthy());
+        assert!(!Value::Array(vec![]).truthy());
+        assert!(Value::Array(vec![Value::Null]).truthy());
+    }
+
+    #[test]
+    fn equality() {
+        assert!(Value::Null.equals(&Value::Null));
+        assert!(!Value::Null.equals(&Value::Num(0.0)));
+        assert!(Value::Num(2.0).equals(&Value::Num(2.0)));
+        assert!(Value::Array(vec![Value::Num(1.0)]).equals(&Value::Array(vec![Value::Num(1.0)])));
+        assert!(!Value::Array(vec![Value::Num(1.0)]).equals(&Value::Array(vec![])));
+        assert!(!Value::Str("1".into()).equals(&Value::Num(1.0)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Value::Num(1.5)), "1.5");
+        assert_eq!(
+            format!("{}", Value::Array(vec![Value::Num(1.0), Value::Str("a".into())])),
+            "[1, a]"
+        );
+    }
+
+    #[test]
+    fn from_field() {
+        assert!(matches!(Value::from_field(FieldValue::Missing), Value::Null));
+        assert!(matches!(
+            Value::from_field(FieldValue::Int(3)),
+            Value::Num(n) if n == 3.0
+        ));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the IPAScript interpreter: randomly generated
+//! arithmetic/boolean expression trees are rendered to source, compiled,
+//! evaluated, and compared against a Rust-side reference evaluator.
+//! Also: the fuel limit terminates arbitrary loop bounds, and the lexer
+//! never panics on arbitrary input.
+
+use proptest::prelude::*;
+
+use ipa_script::{compile, Interpreter, NullHost, ScriptError, Value};
+
+/// A reference expression we can both render to IPAScript and evaluate in
+/// Rust.
+#[derive(Debug, Clone)]
+enum RExpr {
+    Num(f64),
+    Add(Box<RExpr>, Box<RExpr>),
+    Sub(Box<RExpr>, Box<RExpr>),
+    Mul(Box<RExpr>, Box<RExpr>),
+    Neg(Box<RExpr>),
+    Min(Box<RExpr>, Box<RExpr>),
+    Abs(Box<RExpr>),
+}
+
+impl RExpr {
+    fn render(&self) -> String {
+        match self {
+            RExpr::Num(n) => {
+                if *n < 0.0 {
+                    format!("({n})")
+                } else {
+                    format!("{n}")
+                }
+            }
+            RExpr::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            RExpr::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            RExpr::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            RExpr::Neg(a) => format!("(-{})", a.render()),
+            RExpr::Min(a, b) => format!("min({}, {})", a.render(), b.render()),
+            RExpr::Abs(a) => format!("abs({})", a.render()),
+        }
+    }
+
+    fn eval(&self) -> f64 {
+        match self {
+            RExpr::Num(n) => *n,
+            RExpr::Add(a, b) => a.eval() + b.eval(),
+            RExpr::Sub(a, b) => a.eval() - b.eval(),
+            RExpr::Mul(a, b) => a.eval() * b.eval(),
+            RExpr::Neg(a) => -a.eval(),
+            RExpr::Min(a, b) => a.eval().min(b.eval()),
+            RExpr::Abs(a) => a.eval().abs(),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = RExpr> {
+    let leaf = (-100i32..100).prop_map(|n| RExpr::Num(n as f64));
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RExpr::Mul(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| RExpr::Neg(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| RExpr::Min(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| RExpr::Abs(Box::new(a))),
+        ]
+    })
+}
+
+fn run_main(src: &str) -> Result<Value, ScriptError> {
+    let p = compile(src)?;
+    let mut i = Interpreter::new(&p);
+    i.call_function("main", vec![], &mut NullHost)
+}
+
+proptest! {
+    // The interpreter is intentionally slow per case; keep case counts
+    // modest so the whole suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Interpreter arithmetic agrees with Rust bit-for-bit on integer-
+    /// valued trees (all operations here are exact in f64).
+    #[test]
+    fn expressions_match_reference(e in arb_expr()) {
+        let src = format!("fn main() {{ return {}; }}", e.render());
+        let got = run_main(&src).expect("generated source compiles and runs");
+        let want = e.eval();
+        match got {
+            Value::Num(n) => prop_assert_eq!(n, want, "src: {}", src),
+            other => return Err(TestCaseError::fail(format!("non-numeric {other:?}"))),
+        }
+    }
+
+    /// Loop summation matches the closed form for arbitrary bounds.
+    #[test]
+    fn loop_sums_match(n in 0usize..200) {
+        let src = format!(
+            "fn main() {{ let t = 0; for i in 0..{n} {{ t = t + i; }} return t; }}"
+        );
+        let got = run_main(&src).unwrap();
+        let want = (n * n.saturating_sub(1) / 2) as f64;
+        prop_assert!(matches!(got, Value::Num(v) if v == want));
+    }
+
+    /// Any while-loop, however large its bound, either finishes or hits
+    /// OutOfFuel — never hangs (fuel capped low here).
+    #[test]
+    fn fuel_always_terminates(bound in 0u64..100_000) {
+        let src = format!(
+            "fn main() {{ let i = 0; while i < {bound} {{ i = i + 1; }} return i; }}"
+        );
+        let p = compile(&src).unwrap();
+        let mut interp = Interpreter::new(&p).with_fuel(50_000);
+        match interp.call_function("main", vec![], &mut NullHost) {
+            Ok(Value::Num(v)) => prop_assert_eq!(v, bound as f64),
+            Ok(other) => return Err(TestCaseError::fail(format!("{other:?}"))),
+            Err(ScriptError::OutOfFuel) => {} // fine: terminated with an error
+            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+        }
+    }
+
+    /// The lexer/parser never panic on arbitrary input — they return
+    /// Ok or a positioned syntax error.
+    #[test]
+    fn compile_never_panics(src in "\\PC{0,200}") {
+        let _ = compile(&src);
+    }
+
+    /// String round trip: building a string from chars and indexing it
+    /// back preserves content.
+    #[test]
+    fn string_indexing(s in "[a-z]{1,12}") {
+        let src = format!(
+            "fn main() {{ let s = \"{s}\"; let out = \"\"; for i in 0..len(s) {{ out = out + s[i]; }} return out == s; }}"
+        );
+        let got = run_main(&src).unwrap();
+        prop_assert!(matches!(got, Value::Bool(true)));
+    }
+}

@@ -1,0 +1,152 @@
+//! Parameter sets calibrated against the paper's measurements.
+//!
+//! Section 4 of the paper reports, for a 471 MB dataset on the SLAC OSG
+//! queue (866 MHz workers, 1.7 GHz desktop):
+//!
+//! * local WAN fetch: 6.2 s/MB (fitted),
+//! * local analysis: 5.3 s/MB (fitted),
+//! * LAN move-whole: 63 s → 0.134 s/MB,
+//! * split: ~120 s, flat in N → 0.25 s/MB,
+//! * move-parts: ≈ 46 + 62/N seconds at 471 MB → a serial staging-disk
+//!   pass at ~10.2 MB/s followed by parallel per-part transfers at
+//!   ~7.6 MB/s per stream,
+//! * stage code: 7 s (15 kB of bytecode + class-load round trip),
+//! * grid analysis: 5.3·X/N s (the paper's fitted equation keeps the local
+//!   per-MB rate; Table 1/2 absolute analysis numbers are internally
+//!   inconsistent — see EXPERIMENTS.md).
+//!
+//! [`PaperCalibration::paper2006`] reproduces those constants; other
+//! constructors let benches explore modern parameters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gram::SchedulerConfig;
+use crate::net::{LinkSpec, NetworkModel};
+
+/// All timing parameters of the simulated grid site.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperCalibration {
+    /// WAN + LAN links.
+    pub network: NetworkModel,
+    /// Staging-disk sequential read/write bandwidth, MB/s (serializes
+    /// per-part reads during move-parts).
+    pub staging_disk_mbps: f64,
+    /// Splitter processing rate, MB/s (one full pass over the dataset).
+    pub split_mbps: f64,
+    /// Fixed cost of staging the user's analysis code to all engines, s.
+    pub stage_code_s: f64,
+    /// Analysis rate on one *grid* worker, seconds per MB.
+    pub grid_analyze_s_per_mb: f64,
+    /// Analysis rate on the *local* desktop, seconds per MB.
+    pub local_analyze_s_per_mb: f64,
+    /// Scheduler / engine-start behaviour.
+    pub scheduler: SchedulerConfig,
+}
+
+impl PaperCalibration {
+    /// The 2006 SLAC testbed parameters (see module docs for derivation).
+    pub fn paper2006() -> Self {
+        PaperCalibration {
+            network: NetworkModel {
+                wan: LinkSpec {
+                    latency_s: 2.0,
+                    per_file_overhead_s: 3.0,
+                    // 6.2 s/MB fitted WAN rate.
+                    stream_bw_mbps: 1.0 / 6.2,
+                    aggregate_bw_mbps: 1.0 / 6.2,
+                },
+                lan: LinkSpec {
+                    latency_s: 0.5,
+                    per_file_overhead_s: 1.0,
+                    // 0.134 s/MB LAN move-whole rate → 63 s at 471 MB.
+                    stream_bw_mbps: 7.6,
+                    aggregate_bw_mbps: 100.0,
+                },
+            },
+            // 471 MB / 46 s serial staging-disk phase.
+            staging_disk_mbps: 10.24,
+            // 0.25 s/MB split pass → 118 s at 471 MB.
+            split_mbps: 4.0,
+            stage_code_s: 7.0,
+            grid_analyze_s_per_mb: 5.3,
+            local_analyze_s_per_mb: 5.3,
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+
+    /// A modern site: gigabit WAN, 10-gig LAN, NVMe staging, fast engines.
+    /// Used by ablation benches to show where the 2006 conclusions still
+    /// hold (they do: WAN vs LAN asymmetry persists).
+    pub fn modern() -> Self {
+        PaperCalibration {
+            network: NetworkModel {
+                wan: LinkSpec {
+                    latency_s: 0.2,
+                    per_file_overhead_s: 0.3,
+                    stream_bw_mbps: 30.0,
+                    aggregate_bw_mbps: 120.0,
+                },
+                lan: LinkSpec {
+                    latency_s: 0.05,
+                    per_file_overhead_s: 0.1,
+                    stream_bw_mbps: 1000.0,
+                    aggregate_bw_mbps: 10_000.0,
+                },
+            },
+            staging_disk_mbps: 3000.0,
+            split_mbps: 1500.0,
+            stage_code_s: 0.5,
+            grid_analyze_s_per_mb: 0.1,
+            local_analyze_s_per_mb: 0.05,
+            scheduler: SchedulerConfig {
+                queue_delay_s: 0.5,
+                engine_startup_s: 1.0,
+                parallel_startup: true,
+                nodes_available: 64,
+            },
+        }
+    }
+}
+
+impl Default for PaperCalibration {
+    fn default() -> Self {
+        PaperCalibration::paper2006()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_reproduce_headline_rates() {
+        let c = PaperCalibration::paper2006();
+        // WAN fetch of 471 MB ≈ 6.2 s/MB → about 49 minutes.
+        let wan = c.network.wan_fetch_secs(471.0);
+        assert!((wan - (5.0 + 471.0 * 6.2)).abs() < 1.0, "wan = {wan}");
+        // LAN move-whole ≈ 63 s.
+        let lan = c.network.lan_move_whole_secs(471.0);
+        assert!((lan - 63.0).abs() < 3.0, "lan = {lan}");
+        // Split ≈ 118 s.
+        assert!((471.0 / c.split_mbps - 118.0).abs() < 2.0);
+        // Staging-disk pass ≈ 46 s.
+        assert!((471.0 / c.staging_disk_mbps - 46.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn modern_site_is_strictly_faster() {
+        let old = PaperCalibration::paper2006();
+        let new = PaperCalibration::modern();
+        assert!(new.network.wan_fetch_secs(471.0) < old.network.wan_fetch_secs(471.0));
+        assert!(new.network.lan_move_whole_secs(471.0) < old.network.lan_move_whole_secs(471.0));
+        assert!(new.grid_analyze_s_per_mb < old.grid_analyze_s_per_mb);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = PaperCalibration::paper2006();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: PaperCalibration = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

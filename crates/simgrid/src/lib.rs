@@ -1,0 +1,42 @@
+//! `ipa-simgrid` — the simulated grid substrate.
+//!
+//! The paper's reference implementation runs on a real 2006 grid: Globus
+//! GRAM starts analysis engines through a batch scheduler, GridFTP moves
+//! datasets between a storage element, a shared disk, and worker nodes, and
+//! X.509 proxy certificates gate every call. None of that infrastructure is
+//! available here, so this crate provides a faithful *simulation substrate*
+//! with the pieces the IPA framework needs:
+//!
+//! * [`des`] — a deterministic discrete-event simulation core with FIFO
+//!   resources (the shared staging disk, the scheduler queue),
+//! * [`net`] — a WAN/LAN transfer-time model (latency + per-file overhead +
+//!   bandwidth, with per-stream and aggregate caps) calibrated against the
+//!   paper's measurements,
+//! * [`gram`] — a GRAM-like job-start model: queue wait, per-engine startup,
+//!   VO max-node policy — the paper's "dedicated timely scheduler queue",
+//! * [`security`] — simulated grid proxies and mutual authentication
+//!   (checked control flow, *not* real cryptography),
+//! * [`stage`] — the full staging + analysis pipeline of Tables 1–2 run on
+//!   the DES, returning the same per-phase breakdown the paper reports,
+//! * [`calibration`] — parameter sets: [`calibration::PaperCalibration`]
+//!   reproduces the paper's fitted equations.
+//!
+//! Real computation (the analysis engines crunching records) happens in
+//! `ipa-core` on real threads; this crate only models *time* that the 2006
+//! hardware would have spent.
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod des;
+pub mod gram;
+pub mod net;
+pub mod security;
+pub mod stage;
+
+pub use calibration::PaperCalibration;
+pub use des::{Resource, SimTime, Simulation};
+pub use gram::{GramSimulator, JobOutcome, SchedulerConfig};
+pub use net::{LinkSpec, NetworkModel};
+pub use security::{AuthError, GridProxy, SecurityDomain, VoPolicy};
+pub use stage::{simulate_local_analysis, simulate_session, LocalBreakdown, StageBreakdown};

@@ -1,0 +1,142 @@
+//! Network transfer-time model (GridFTP stand-in).
+//!
+//! Transfers are modelled as `latency + per_file_overhead + size/bandwidth`,
+//! with two refinements the paper's measurements require:
+//!
+//! * a *per-stream* bandwidth cap (one GridFTP stream cannot saturate the
+//!   LAN), and
+//! * an *aggregate source* cap (the storage element / staging disk NIC),
+//!
+//! so that moving N split files in parallel gets faster with N until the
+//! source NIC saturates — the behaviour behind Table 2's move-parts column.
+
+use serde::{Deserialize, Serialize};
+
+/// A (directional) link's characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// One-way startup latency per transfer, seconds (auth + connection).
+    pub latency_s: f64,
+    /// Per-file protocol overhead, seconds (GridFTP session setup).
+    pub per_file_overhead_s: f64,
+    /// Sustained bandwidth of one stream, MB/s.
+    pub stream_bw_mbps: f64,
+    /// Aggregate cap across concurrent streams from the same source, MB/s.
+    pub aggregate_bw_mbps: f64,
+}
+
+impl LinkSpec {
+    /// Duration of a single transfer of `mb` megabytes on this link.
+    pub fn single_transfer_secs(&self, mb: f64) -> f64 {
+        assert!(mb >= 0.0, "negative transfer size");
+        self.latency_s + self.per_file_overhead_s + mb / self.stream_bw_mbps
+    }
+
+    /// Effective per-stream bandwidth when `n` streams share the source.
+    pub fn per_stream_bw(&self, n: usize) -> f64 {
+        let n = n.max(1) as f64;
+        self.stream_bw_mbps.min(self.aggregate_bw_mbps / n)
+    }
+
+    /// Duration of `n` equal parallel transfers totalling `total_mb`.
+    /// All streams start together; completion is when the last finishes.
+    pub fn parallel_transfer_secs(&self, total_mb: f64, n: usize) -> f64 {
+        assert!(total_mb >= 0.0, "negative transfer size");
+        let n = n.max(1);
+        let per = total_mb / n as f64;
+        self.latency_s + self.per_file_overhead_s + per / self.per_stream_bw(n)
+    }
+}
+
+/// The two-tier network of the paper's testbed: a WAN between the user's
+/// desktop and the grid site, and the site LAN between storage element,
+/// staging disk, and worker nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Desktop ↔ grid site (or desktop ↔ remote storage) link.
+    pub wan: LinkSpec,
+    /// Intra-site link.
+    pub lan: LinkSpec,
+}
+
+impl NetworkModel {
+    /// Time to pull a whole dataset over the WAN (the "Get dataset" row of
+    /// Table 1's local column).
+    pub fn wan_fetch_secs(&self, mb: f64) -> f64 {
+        self.wan.single_transfer_secs(mb)
+    }
+
+    /// Time to move the whole dataset SE → staging disk over the LAN
+    /// (Table 2 "Move Whole").
+    pub fn lan_move_whole_secs(&self, mb: f64) -> f64 {
+        self.lan.single_transfer_secs(mb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LinkSpec {
+        LinkSpec {
+            latency_s: 1.0,
+            per_file_overhead_s: 2.0,
+            stream_bw_mbps: 10.0,
+            aggregate_bw_mbps: 40.0,
+        }
+    }
+
+    #[test]
+    fn single_transfer_composition() {
+        assert!((link().single_transfer_secs(100.0) - (1.0 + 2.0 + 10.0)).abs() < 1e-12);
+        assert!((link().single_transfer_secs(0.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_stream_bandwidth_caps() {
+        let l = link();
+        assert_eq!(l.per_stream_bw(1), 10.0);
+        assert_eq!(l.per_stream_bw(2), 10.0);
+        assert_eq!(l.per_stream_bw(4), 10.0);
+        assert_eq!(l.per_stream_bw(8), 5.0); // aggregate 40 / 8
+    }
+
+    #[test]
+    fn parallel_transfers_speed_up_then_saturate() {
+        let l = link();
+        let t1 = l.parallel_transfer_secs(400.0, 1);
+        let t4 = l.parallel_transfer_secs(400.0, 4);
+        let t8 = l.parallel_transfer_secs(400.0, 8);
+        let t16 = l.parallel_transfer_secs(400.0, 16);
+        assert!(t4 < t1, "parallelism helps below saturation");
+        // Beyond 4 streams the aggregate cap (40 MB/s) dominates: payload
+        // time is constant, only overheads remain.
+        assert!((t8 - t16).abs() < 1e-9);
+        assert!((t8 - (3.0 + 400.0 / 40.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_with_one_stream_equals_single() {
+        let l = link();
+        assert!(
+            (l.parallel_transfer_secs(123.0, 1) - l.single_transfer_secs(123.0)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn monotone_in_size() {
+        let l = link();
+        let mut last = 0.0;
+        for mb in [0.0, 1.0, 10.0, 100.0, 1000.0] {
+            let t = l.parallel_transfer_secs(mb, 4);
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "negative transfer size")]
+    fn negative_size_panics() {
+        link().single_transfer_secs(-1.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Simulated grid security: proxies, mutual authentication, VO policy.
+//!
+//! The paper's client "first needs to mutually authenticate with the Web
+//! Service using a Grid credential" (§3.1); a proxy certificate is created
+//! client-side, the service authorizes it against the site's VO policy, and
+//! nothing (not even the insecure RMI data channel) is reachable without a
+//! valid session. This module reproduces that *control flow*. The
+//! "signature" is an FNV-1a tag over the proxy fields keyed by the issuing
+//! domain — enough to catch tampering and cross-domain confusion in tests,
+//! and emphatically **not** real cryptography (the substitution is recorded
+//! in DESIGN.md).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Authentication / authorization failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthError {
+    /// Proxy signature does not verify (tampered or foreign proxy).
+    BadSignature,
+    /// Proxy lifetime has passed.
+    Expired,
+    /// The proxy's VO is not accepted by this site.
+    VoNotAuthorized(String),
+    /// The subject is explicitly banned.
+    SubjectBanned(String),
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::BadSignature => write!(f, "proxy signature invalid"),
+            AuthError::Expired => write!(f, "proxy expired"),
+            AuthError::VoNotAuthorized(vo) => write!(f, "VO '{vo}' not authorized at this site"),
+            AuthError::SubjectBanned(s) => write!(f, "subject '{s}' is banned"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// 64-bit FNV-1a.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A short-lived delegated credential, as created by `grid-proxy-init`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridProxy {
+    /// Distinguished name of the user.
+    pub subject: String,
+    /// Virtual organization the user belongs to.
+    pub vo: String,
+    /// Issue time (simulated seconds).
+    pub issued_at: f64,
+    /// Lifetime in seconds.
+    pub lifetime_s: f64,
+    /// Issuing-domain tag (simulated signature).
+    signature: u64,
+}
+
+impl GridProxy {
+    /// Seconds of validity remaining at time `now`.
+    pub fn remaining(&self, now: f64) -> f64 {
+        (self.issued_at + self.lifetime_s - now).max(0.0)
+    }
+}
+
+/// Per-site authorization policy for one VO.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VoPolicy {
+    /// VO name.
+    pub vo: String,
+    /// Maximum analysis engines one session may start (paper §2.2: "the
+    /// maximum number of analysis engine nodes … is determined by the
+    /// Grid-VO policy").
+    pub max_nodes: usize,
+    /// Banned subject names.
+    pub banned_subjects: Vec<String>,
+}
+
+impl VoPolicy {
+    /// Policy admitting `vo` with a node cap.
+    pub fn new(vo: impl Into<String>, max_nodes: usize) -> Self {
+        VoPolicy {
+            vo: vo.into(),
+            max_nodes,
+            banned_subjects: Vec::new(),
+        }
+    }
+}
+
+/// A certificate-authority domain: issues and verifies proxies, and holds
+/// the site's VO policies.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SecurityDomain {
+    /// Domain name (e.g. `"slac-osg"`), part of the signing key.
+    pub name: String,
+    /// Secret salt of this domain (what makes foreign proxies fail).
+    salt: u64,
+    /// Accepted VOs.
+    pub policies: Vec<VoPolicy>,
+}
+
+impl SecurityDomain {
+    /// New domain; `salt` stands in for the CA private key.
+    pub fn new(name: impl Into<String>, salt: u64) -> Self {
+        SecurityDomain {
+            name: name.into(),
+            salt,
+            policies: Vec::new(),
+        }
+    }
+
+    /// Register a VO policy.
+    pub fn with_policy(mut self, policy: VoPolicy) -> Self {
+        self.policies.push(policy);
+        self
+    }
+
+    fn sign(&self, subject: &str, vo: &str, issued_at: f64, lifetime_s: f64) -> u64 {
+        let material = format!(
+            "{}|{}|{}|{}|{}|{}",
+            self.name, self.salt, subject, vo, issued_at, lifetime_s
+        );
+        fnv1a(material.as_bytes())
+    }
+
+    /// Issue a proxy (the `grid-proxy-init` step).
+    pub fn issue_proxy(
+        &self,
+        subject: impl Into<String>,
+        vo: impl Into<String>,
+        now: f64,
+        lifetime_s: f64,
+    ) -> GridProxy {
+        let subject = subject.into();
+        let vo = vo.into();
+        let signature = self.sign(&subject, &vo, now, lifetime_s);
+        GridProxy {
+            subject,
+            vo,
+            issued_at: now,
+            lifetime_s,
+            signature,
+        }
+    }
+
+    /// Verify signature and lifetime (mutual-auth handshake, server side).
+    pub fn authenticate(&self, proxy: &GridProxy, now: f64) -> Result<(), AuthError> {
+        let expect = self.sign(&proxy.subject, &proxy.vo, proxy.issued_at, proxy.lifetime_s);
+        if expect != proxy.signature {
+            return Err(AuthError::BadSignature);
+        }
+        if now > proxy.issued_at + proxy.lifetime_s {
+            return Err(AuthError::Expired);
+        }
+        Ok(())
+    }
+
+    /// Authenticate *and* authorize: returns the matched policy (whose
+    /// `max_nodes` caps the session).
+    pub fn authorize(&self, proxy: &GridProxy, now: f64) -> Result<&VoPolicy, AuthError> {
+        self.authenticate(proxy, now)?;
+        let policy = self
+            .policies
+            .iter()
+            .find(|p| p.vo == proxy.vo)
+            .ok_or_else(|| AuthError::VoNotAuthorized(proxy.vo.clone()))?;
+        if policy.banned_subjects.contains(&proxy.subject) {
+            return Err(AuthError::SubjectBanned(proxy.subject.clone()));
+        }
+        Ok(policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> SecurityDomain {
+        SecurityDomain::new("slac-osg", 0xDEADBEEF)
+            .with_policy(VoPolicy::new("ilc", 16))
+            .with_policy(VoPolicy {
+                vo: "atlas".into(),
+                max_nodes: 8,
+                banned_subjects: vec!["/DC=org/CN=mallory".into()],
+            })
+    }
+
+    #[test]
+    fn issue_and_authorize() {
+        let d = domain();
+        let p = d.issue_proxy("/DC=org/CN=alice", "ilc", 0.0, 3600.0);
+        let policy = d.authorize(&p, 100.0).unwrap();
+        assert_eq!(policy.max_nodes, 16);
+        assert!(p.remaining(100.0) > 0.0);
+    }
+
+    #[test]
+    fn expired_proxy_rejected() {
+        let d = domain();
+        let p = d.issue_proxy("/CN=alice", "ilc", 0.0, 3600.0);
+        assert_eq!(d.authorize(&p, 3601.0).unwrap_err(), AuthError::Expired);
+        assert_eq!(p.remaining(4000.0), 0.0);
+    }
+
+    #[test]
+    fn tampered_proxy_rejected() {
+        let d = domain();
+        let mut p = d.issue_proxy("/CN=alice", "ilc", 0.0, 3600.0);
+        p.subject = "/CN=root".into(); // escalate!
+        assert_eq!(d.authorize(&p, 1.0).unwrap_err(), AuthError::BadSignature);
+        let mut p2 = d.issue_proxy("/CN=alice", "atlas", 0.0, 3600.0);
+        p2.vo = "ilc".into(); // hop VOs for a bigger node cap
+        assert_eq!(d.authorize(&p2, 1.0).unwrap_err(), AuthError::BadSignature);
+    }
+
+    #[test]
+    fn foreign_domain_proxy_rejected() {
+        let d = domain();
+        let other = SecurityDomain::new("evil-grid", 0x1234).with_policy(VoPolicy::new("ilc", 99));
+        let p = other.issue_proxy("/CN=alice", "ilc", 0.0, 3600.0);
+        assert_eq!(d.authorize(&p, 1.0).unwrap_err(), AuthError::BadSignature);
+    }
+
+    #[test]
+    fn unknown_vo_rejected() {
+        let d = domain();
+        let p = d.issue_proxy("/CN=alice", "cms", 0.0, 3600.0);
+        assert_eq!(
+            d.authorize(&p, 1.0).unwrap_err(),
+            AuthError::VoNotAuthorized("cms".into())
+        );
+    }
+
+    #[test]
+    fn banned_subject_rejected() {
+        let d = domain();
+        let p = d.issue_proxy("/DC=org/CN=mallory", "atlas", 0.0, 3600.0);
+        assert!(matches!(
+            d.authorize(&p, 1.0).unwrap_err(),
+            AuthError::SubjectBanned(_)
+        ));
+    }
+
+    #[test]
+    fn proxy_serializes_and_still_verifies() {
+        let d = domain();
+        let p = d.issue_proxy("/CN=alice", "ilc", 0.0, 3600.0);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: GridProxy = serde_json::from_str(&json).unwrap();
+        assert!(d.authenticate(&back, 1.0).is_ok());
+    }
+}

@@ -1,0 +1,130 @@
+//! Figure 3: the dataset catalog chooser.
+//!
+//! Builds a hierarchical catalog over several simulated datasets (all three
+//! domains), renders the browse tree, and runs metadata queries — the
+//! "browse or search with a query pattern" requirement of §2.1/§3.3.
+//!
+//! ```text
+//! cargo run --release --example catalog_browse
+//! ```
+
+use std::sync::Arc;
+
+use ipa::catalog::{MetaValue, Metadata};
+use ipa::client::IpaClient;
+use ipa::core::{IpaConfig, ManagerNode};
+use ipa::dataset::{
+    generate_dataset, DnaGeneratorConfig, EventGeneratorConfig, GeneratorConfig,
+    TradeGeneratorConfig,
+};
+use ipa::simgrid::{SecurityDomain, VoPolicy};
+
+fn meta(pairs: &[(&str, MetaValue)]) -> Metadata {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
+}
+
+fn main() {
+    let security = SecurityDomain::new("slac-osg", 2006).with_policy(VoPolicy::new("ilc", 16));
+    let manager = Arc::new(ManagerNode::new(
+        "slac.stanford.edu",
+        security.clone(),
+        IpaConfig::default(),
+    ));
+
+    // Publish datasets across a folder hierarchy, as the Figure-3 chooser
+    // shows (experiment / simulation / domain sub-trees).
+    let pubs: Vec<(&str, ipa::dataset::Dataset, Metadata)> = vec![
+        (
+            "/lc/simulation/higgs",
+            generate_dataset(
+                "lc-higgs-500gev",
+                "ZH → X bb̄ sample at 500 GeV",
+                &GeneratorConfig::Event(EventGeneratorConfig {
+                    events: 5_000,
+                    ..Default::default()
+                }),
+            ),
+            meta(&[
+                ("detector", "SiD".into()),
+                ("energy", 500i64.into()),
+                ("generator", "simulated".into()),
+                ("year", 2006i64.into()),
+            ]),
+        ),
+        (
+            "/lc/simulation/zpole",
+            generate_dataset(
+                "lc-zpole",
+                "Z-pole calibration sample",
+                &GeneratorConfig::Event(EventGeneratorConfig {
+                    events: 2_000,
+                    seed: 91,
+                    signal_fraction: 0.0,
+                    ..Default::default()
+                }),
+            ),
+            meta(&[("detector", "SiD".into()), ("energy", 91i64.into())]),
+        ),
+        (
+            "/bio/reads",
+            generate_dataset(
+                "dna-lane4",
+                "Sequencing lane 4",
+                &GeneratorConfig::Dna(DnaGeneratorConfig {
+                    reads: 3_000,
+                    ..Default::default()
+                }),
+            ),
+            meta(&[("organism", "human".into()), ("lane", 4i64.into())]),
+        ),
+        (
+            "/finance/trades",
+            generate_dataset(
+                "nyse-day-17",
+                "One trading day",
+                &GeneratorConfig::Trade(TradeGeneratorConfig {
+                    trades: 10_000,
+                    ..Default::default()
+                }),
+            ),
+            meta(&[("exchange", "NYSE".into()), ("day", 17i64.into())]),
+        ),
+    ];
+    for (folder, ds, m) in pubs {
+        manager.publish_dataset(folder, ds, m).expect("publish");
+    }
+
+    let mut client = IpaClient::new(manager);
+    client.grid_proxy_init(&security, "/CN=alice", "ilc", 0.0, 7200.0);
+
+    println!("=== catalog tree (the Figure-3 chooser) ===");
+    println!("{}", client.catalog_tree());
+
+    println!("=== browse /lc/simulation ===");
+    for item in client.browse("/lc/simulation").expect("browse") {
+        println!("  {item:?}");
+    }
+
+    let queries = [
+        "energy >= 500",
+        "detector == SiD and year == 2006",
+        "kind == dna",
+        "size_mb > 0.1 && id ~ \"lc-*\"",
+        "organism == human or exchange == NYSE",
+    ];
+    for q in queries {
+        println!("\n=== query: {q} ===");
+        for hit in client.search(q).expect("query parses") {
+            println!(
+                "  {}  [{} records, {:.2} MB]  {}",
+                hit.descriptor.id,
+                hit.descriptor.records,
+                hit.descriptor.size_mb(),
+                hit.path()
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The interactivity tour: every control the paper's client exposes —
+//! run-N-events, pause/resume, rewind, *dynamic code reload* between runs,
+//! switching datasets mid-session, and surviving an engine failure.
+//!
+//! ```text
+//! cargo run --release --example interactive_session
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ipa::client::IpaClient;
+use ipa::core::{AnalysisCode, IpaConfig, ManagerNode};
+use ipa::dataset::{generate_dataset, EventGeneratorConfig, GeneratorConfig};
+use ipa::simgrid::{SecurityDomain, VoPolicy};
+
+const LOOSE: &str = r#"
+    fn init() { h1("/sel/mass", 30, 0.0, 240.0); }
+    fn process(e) {
+        let m = e.bb_mass;
+        if m != null { fill("/sel/mass", m); }
+    }
+"#;
+
+// "After every iteration of the analysis, changes can be made in the
+// analysis code and the new analysis code can be dynamically reloaded and
+// used to reprocess the same dataset." — §3.6
+const TIGHT: &str = r#"
+    fn init() { h1("/sel/mass", 30, 0.0, 240.0); }
+    fn process(e) {
+        let m = e.bb_mass;
+        if m != null && m > 100 && m < 140 { fill("/sel/mass", m); }
+    }
+"#;
+
+fn entries(session: &mut ipa::core::Session) -> u64 {
+    session
+        .results()
+        .expect("merged")
+        .get("/sel/mass")
+        .map(|o| o.entries())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let security = SecurityDomain::new("slac-osg", 2006).with_policy(VoPolicy::new("ilc", 16));
+    let manager = Arc::new(ManagerNode::new(
+        "slac.stanford.edu",
+        security.clone(),
+        IpaConfig {
+            publish_every: 500,
+            ..Default::default()
+        },
+    ));
+    for (id, events, seed) in [("lc-run-a", 12_000u64, 1u64), ("lc-run-b", 6_000, 2)] {
+        manager
+            .publish_dataset(
+                "/lc",
+                generate_dataset(
+                    id,
+                    id,
+                    &GeneratorConfig::Event(EventGeneratorConfig {
+                        events,
+                        seed,
+                        ..Default::default()
+                    }),
+                ),
+                ipa::catalog::Metadata::new(),
+            )
+            .expect("publish");
+    }
+
+    let mut client = IpaClient::new(manager);
+    client.grid_proxy_init(&security, "/CN=alice", "ilc", 0.0, 7200.0);
+    let mut s = client.connect(0.0, 4).expect("session");
+    s.select_dataset(&client.find_dataset("id == \"lc-run-a\"").unwrap())
+        .expect("staged");
+    s.load_code(AnalysisCode::Script(LOOSE.into())).expect("code");
+
+    // --- run a specific number of events ---------------------------------
+    s.run_events(500).expect("runN");
+    std::thread::sleep(Duration::from_millis(400));
+    let st = s.poll().expect("poll");
+    println!(
+        "run_events(500) on 4 engines → {} records processed (expect 2000)",
+        st.records_processed
+    );
+
+    // --- pause / resume ---------------------------------------------------
+    s.run().expect("resume");
+    std::thread::sleep(Duration::from_millis(10));
+    s.pause().expect("pause");
+    std::thread::sleep(Duration::from_millis(200));
+    let frozen = s.poll().expect("poll").records_processed;
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(frozen, s.poll().expect("poll").records_processed);
+    println!("paused at {frozen} records — counter frozen, partial plots still visible");
+
+    // --- finish the loose run ---------------------------------------------
+    s.run().expect("resume");
+    s.wait_finished(Duration::from_secs(120)).expect("finish");
+    let loose = entries(&mut s);
+    println!("loose selection finished: {loose} entries in /sel/mass");
+
+    // --- edit code, reload, rewind, reprocess ------------------------------
+    s.load_code(AnalysisCode::Script(TIGHT.into())).expect("reload");
+    s.rewind().expect("rewind");
+    s.run().expect("rerun");
+    s.wait_finished(Duration::from_secs(120)).expect("finish");
+    let tight = entries(&mut s);
+    println!("tight selection after live reload: {tight} entries (fewer than {loose})");
+    assert!(tight < loose);
+
+    // --- switch datasets mid-session ---------------------------------------
+    s.select_dataset(&client.find_dataset("id == \"lc-run-b\"").unwrap())
+        .expect("switch dataset");
+    s.run().expect("run on new dataset");
+    let st = s.wait_finished(Duration::from_secs(120)).expect("finish");
+    println!(
+        "switched to lc-run-b without recreating the session: {} records",
+        st.records_processed
+    );
+
+    // --- engine failure recovery -------------------------------------------
+    s.rewind().expect("rewind");
+    s.inject_failure(2, 700);
+    s.run().expect("run with doomed engine");
+    let st = s.wait_finished(Duration::from_secs(120)).expect("finish");
+    println!(
+        "engine 2 died mid-run; {} engines finished all {} parts anyway ({} records, exactly once)",
+        st.engines_alive, st.parts_done, st.records_processed
+    );
+    for (engine, msg) in s.failures() {
+        println!("  failure log: engine {engine}: {msg}");
+    }
+    s.close();
+}

@@ -1,0 +1,73 @@
+//! Quickstart: the smallest end-to-end IPA session.
+//!
+//! Stands up a (simulated) grid site, publishes a synthetic dataset,
+//! connects a client with a grid proxy, runs the built-in Higgs-search
+//! analyzer on 4 parallel engines, and prints the merged mass spectrum.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ipa::aida::render::{render_h1_ascii, AsciiOptions};
+use ipa::client::IpaClient;
+use ipa::core::{AnalysisCode, IpaConfig, ManagerNode};
+use ipa::dataset::{generate_dataset, EventGeneratorConfig, GeneratorConfig};
+use ipa::simgrid::{SecurityDomain, VoPolicy};
+
+fn main() {
+    // --- site side -------------------------------------------------------
+    let security = SecurityDomain::new("slac-osg", 2006).with_policy(VoPolicy::new("ilc", 16));
+    let manager = Arc::new(ManagerNode::new(
+        "slac.stanford.edu",
+        security.clone(),
+        IpaConfig::default(),
+    ));
+    let dataset = generate_dataset(
+        "lc-higgs-2006",
+        "Simulated Linear Collider events",
+        &GeneratorConfig::Event(EventGeneratorConfig {
+            events: 20_000,
+            ..Default::default()
+        }),
+    );
+    manager
+        .publish_dataset("/lc/simulation", dataset, ipa::catalog::Metadata::new())
+        .expect("publish dataset");
+
+    // --- client side -----------------------------------------------------
+    let mut client = IpaClient::new(manager);
+    client.grid_proxy_init(&security, "/DC=org/CN=alice", "ilc", 0.0, 7200.0);
+
+    // Step 1: create a session (starts 4 analysis engines).
+    let mut session = client.connect(0.0, 4).expect("create session");
+    // Step 2: choose the dataset from the catalog.
+    let id = client
+        .find_dataset("id == \"lc-higgs-2006\"")
+        .expect("dataset in catalog");
+    session.select_dataset(&id).expect("stage dataset");
+    // Step 3: load analysis code and run.
+    session
+        .load_code(AnalysisCode::Native("higgs-search".into()))
+        .expect("load code");
+    session.run().expect("start run");
+    // Step 4: collect the merged result.
+    let status = session
+        .wait_finished(Duration::from_secs(120))
+        .expect("run finishes");
+    println!(
+        "processed {} records on {} engines\n",
+        status.records_processed, status.engines_alive
+    );
+
+    let tree = session.results().expect("merged results");
+    let mass = tree
+        .get("/higgs/bb_mass")
+        .expect("booked plot")
+        .as_h1()
+        .expect("1-D histogram");
+    println!("{}", render_h1_ascii(mass, &AsciiOptions::default()));
+    session.close();
+}

@@ -1,0 +1,62 @@
+//! Domain example beyond physics (§1: "stock trading records in
+//! business"): VWAP and trade-size analysis over a synthetic trading day,
+//! using the compiled native analyzer (the "Java class" path).
+//!
+//! ```text
+//! cargo run --release --example stock_trades
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ipa::aida::render::{render_h1_ascii, AsciiOptions};
+use ipa::client::IpaClient;
+use ipa::core::{AnalysisCode, IpaConfig, ManagerNode};
+use ipa::dataset::{generate_dataset, GeneratorConfig, TradeGeneratorConfig};
+use ipa::simgrid::{SecurityDomain, VoPolicy};
+
+fn main() {
+    let security = SecurityDomain::new("fin-grid", 8).with_policy(VoPolicy::new("quant", 8));
+    let manager = Arc::new(ManagerNode::new(
+        "fin.example.org",
+        security.clone(),
+        IpaConfig {
+            publish_every: 5_000,
+            ..Default::default()
+        },
+    ));
+    manager
+        .publish_dataset(
+            "/finance/days",
+            generate_dataset(
+                "day-2006-08-14",
+                "Trading day (ICPP'06 opening day)",
+                &GeneratorConfig::Trade(TradeGeneratorConfig {
+                    trades: 100_000,
+                    ..Default::default()
+                }),
+            ),
+            ipa::catalog::Metadata::new(),
+        )
+        .expect("publish");
+
+    let mut client = IpaClient::new(manager);
+    client.grid_proxy_init(&security, "/CN=quant", "quant", 0.0, 7200.0);
+    let mut s = client.connect(0.0, 6).expect("session");
+    s.select_dataset(&client.find_dataset("kind == trade").unwrap())
+        .expect("staged");
+    // Native analyzer — the compiled "Java class" path of §3.5.
+    s.load_code(AnalysisCode::Native("trade-vwap".into()))
+        .expect("registered analyzer");
+    s.run().expect("run");
+    let st = s.wait_finished(Duration::from_secs(300)).expect("finish");
+    println!("analyzed {} trades on {} engines\n", st.records_processed, st.engines_alive);
+
+    let tree = s.results().expect("merged");
+    let price = tree.get("/trade/price").unwrap().as_h1().unwrap();
+    println!("{}", render_h1_ascii(price, &AsciiOptions::default()));
+    println!("session VWAP (volume-weighted mean price): {:.2}", price.mean());
+    let volume = tree.get("/trade/volume").unwrap().as_h1().unwrap();
+    println!("mean trade size: {:.1} shares", volume.mean());
+    s.close();
+}

@@ -1,0 +1,16 @@
+//! `ipa` — facade crate for the Interactive Parallel Analysis framework.
+//!
+//! Re-exports the public API of every workspace crate so downstream users
+//! can depend on a single crate. See the README for the architecture and
+//! DESIGN.md for the paper-to-module map.
+
+#![warn(missing_docs)]
+
+pub use ipa_aida as aida;
+pub use ipa_catalog as catalog;
+pub use ipa_client as client;
+pub use ipa_core as core;
+pub use ipa_dataset as dataset;
+pub use ipa_model as model;
+pub use ipa_script as script;
+pub use ipa_simgrid as simgrid;

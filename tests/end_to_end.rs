@@ -1,0 +1,237 @@
+//! Cross-crate integration tests through the `ipa` facade: catalog →
+//! locator → splitter → engines → merge, across all three record domains,
+//! including on-disk dataset files.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ipa::catalog::Metadata;
+use ipa::client::IpaClient;
+use ipa::core::{AnalysisCode, IpaConfig, ManagerNode};
+use ipa::dataset::{
+    generate_dataset, Dataset, DnaGeneratorConfig, EventGeneratorConfig, GeneratorConfig,
+    TradeGeneratorConfig,
+};
+use ipa::simgrid::{SecurityDomain, VoPolicy};
+
+fn site(publish_every: usize) -> (Arc<ManagerNode>, SecurityDomain) {
+    let sec = SecurityDomain::new("it-site", 11).with_policy(VoPolicy::new("vo", 32));
+    let manager = Arc::new(ManagerNode::new(
+        "it-site",
+        sec.clone(),
+        IpaConfig {
+            publish_every,
+            ..Default::default()
+        },
+    ));
+    (manager, sec)
+}
+
+#[test]
+fn all_three_domains_run_through_the_same_framework() {
+    let (manager, sec) = site(500);
+    manager
+        .publish_dataset(
+            "/phys",
+            generate_dataset(
+                "events",
+                "events",
+                &GeneratorConfig::Event(EventGeneratorConfig {
+                    events: 2_000,
+                    ..Default::default()
+                }),
+            ),
+            Metadata::new(),
+        )
+        .unwrap();
+    manager
+        .publish_dataset(
+            "/bio",
+            generate_dataset(
+                "reads",
+                "reads",
+                &GeneratorConfig::Dna(DnaGeneratorConfig {
+                    reads: 2_000,
+                    ..Default::default()
+                }),
+            ),
+            Metadata::new(),
+        )
+        .unwrap();
+    manager
+        .publish_dataset(
+            "/fin",
+            generate_dataset(
+                "trades",
+                "trades",
+                &GeneratorConfig::Trade(TradeGeneratorConfig {
+                    trades: 2_000,
+                    ..Default::default()
+                }),
+            ),
+            Metadata::new(),
+        )
+        .unwrap();
+
+    let mut client = IpaClient::new(manager);
+    client.grid_proxy_init(&sec, "/CN=it", "vo", 0.0, 1e5);
+    let mut s = client.connect(0.0, 3).unwrap();
+
+    for (query, code, expect_plot) in [
+        ("kind == event", "higgs-search", "/higgs/bb_mass"),
+        ("kind == dna", "dna-motif", "/dna/gc_content"),
+        ("kind == trade", "trade-vwap", "/trade/price"),
+    ] {
+        let id = client.find_dataset(query).unwrap();
+        s.select_dataset(&id).unwrap();
+        s.load_code(AnalysisCode::Native(code.into())).unwrap();
+        s.run().unwrap();
+        let st = s.wait_finished(Duration::from_secs(60)).unwrap();
+        assert_eq!(st.records_processed, 2_000, "{query}");
+        let tree = s.results().unwrap();
+        assert!(tree.contains(expect_plot), "{expect_plot} missing");
+        assert!(tree.get(expect_plot).unwrap().entries() > 0);
+    }
+    s.close();
+}
+
+#[test]
+fn dataset_survives_disk_round_trip_into_analysis() {
+    let (manager, sec) = site(500);
+    let original = generate_dataset(
+        "disk-events",
+        "events via disk",
+        &GeneratorConfig::Event(EventGeneratorConfig {
+            events: 1_000,
+            seed: 77,
+            ..Default::default()
+        }),
+    );
+
+    // Write to a real file with the binary codec, read back, publish.
+    let dir = std::env::temp_dir().join("ipa_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("disk-events.ipadset");
+    original.write_file(&path).unwrap();
+    let loaded = Dataset::read_file("disk-events", "events via disk", &path)
+        .unwrap()
+        .unwrap();
+    assert_eq!(loaded, original);
+    manager
+        .publish_dataset("/disk", loaded, Metadata::new())
+        .unwrap();
+
+    let mut client = IpaClient::new(manager);
+    client.grid_proxy_init(&sec, "/CN=it", "vo", 0.0, 1e5);
+    let mut s = client.connect(0.0, 2).unwrap();
+    s.select_dataset(&client.find_dataset("id == \"disk-events\"").unwrap())
+        .unwrap();
+    s.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    s.run().unwrap();
+    let st = s.wait_finished(Duration::from_secs(60)).unwrap();
+    assert_eq!(st.records_processed, 1_000);
+    s.close();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn two_concurrent_sessions_are_isolated() {
+    let (manager, sec) = site(200);
+    manager
+        .publish_dataset(
+            "/d",
+            generate_dataset(
+                "ds",
+                "ds",
+                &GeneratorConfig::Event(EventGeneratorConfig {
+                    events: 3_000,
+                    ..Default::default()
+                }),
+            ),
+            Metadata::new(),
+        )
+        .unwrap();
+
+    let mut alice = IpaClient::new(manager.clone());
+    alice.grid_proxy_init(&sec, "/CN=alice", "vo", 0.0, 1e5);
+    let mut bob = IpaClient::new(manager.clone());
+    bob.grid_proxy_init(&sec, "/CN=bob", "vo", 0.0, 1e5);
+
+    let mut sa = alice.connect(0.0, 2).unwrap();
+    let mut sb = bob.connect(0.0, 2).unwrap();
+    assert_ne!(sa.id(), sb.id());
+
+    let id = alice.find_dataset("id == \"ds\"").unwrap();
+    sa.select_dataset(&id).unwrap();
+    sb.select_dataset(&id).unwrap();
+    sa.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    // Bob books different plots via a script.
+    sb.load_code(AnalysisCode::Script(
+        "fn init() { h1(\"/bob/only\", 5, 0.0, 1.0); } fn process(e) { fill(\"/bob/only\", 0.5); }"
+            .into(),
+    ))
+    .unwrap();
+    sa.run().unwrap();
+    sb.run().unwrap();
+    let sta = sa.wait_finished(Duration::from_secs(60)).unwrap();
+    let stb = sb.wait_finished(Duration::from_secs(60)).unwrap();
+    assert_eq!(sta.records_processed, 3_000);
+    assert_eq!(stb.records_processed, 3_000);
+
+    let ta = sa.results().unwrap();
+    let tb = sb.results().unwrap();
+    assert!(ta.contains("/higgs/bb_mass") && !ta.contains("/bob/only"));
+    assert!(tb.contains("/bob/only") && !tb.contains("/higgs/bb_mass"));
+    sa.close();
+    sb.close();
+}
+
+#[test]
+fn simulated_and_live_interactivity_requirements() {
+    // Paper §1: "partial results on time scales of less than a minute".
+    // Live: first feedback must arrive long before the run completes.
+    let (manager, sec) = site(100);
+    manager
+        .publish_dataset(
+            "/d",
+            generate_dataset(
+                "big",
+                "big",
+                &GeneratorConfig::Event(EventGeneratorConfig {
+                    events: 30_000,
+                    ..Default::default()
+                }),
+            ),
+            Metadata::new(),
+        )
+        .unwrap();
+    let mut client = IpaClient::new(manager);
+    client.grid_proxy_init(&sec, "/CN=it", "vo", 0.0, 1e5);
+    let mut s = client.connect(0.0, 4).unwrap();
+    s.select_dataset(&client.find_dataset("id == \"big\"").unwrap())
+        .unwrap();
+    s.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    let report = ipa::client::monitor_run(
+        &mut s,
+        Duration::from_micros(100),
+        Duration::from_secs(120),
+        |_, _| {},
+    )
+    .unwrap();
+    let first = report.first_feedback.expect("partial results arrived");
+    assert!(
+        first < Duration::from_secs(60),
+        "first feedback after {first:?}"
+    );
+    assert!(first <= report.elapsed);
+    s.close();
+
+    // Simulated 2006 grid: engines ready within "the limits of human
+    // tolerance" (§2.3) — under a minute on the dedicated queue.
+    let cal = ipa::simgrid::PaperCalibration::paper2006();
+    let b = ipa::simgrid::simulate_session(471.0, 16, &cal);
+    assert!(b.engines_ready_s < 60.0);
+}
