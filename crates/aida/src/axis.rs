@@ -44,7 +44,10 @@ impl Axis {
     /// Panics if `nbins == 0`, if `lo >= hi`, or if either bound is not finite.
     pub fn fixed(nbins: usize, lo: f64, hi: f64) -> Self {
         assert!(nbins > 0, "axis must have at least one bin");
-        assert!(lo.is_finite() && hi.is_finite(), "axis bounds must be finite");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "axis bounds must be finite"
+        );
         assert!(lo < hi, "axis lower edge must be below upper edge");
         Axis::Fixed { nbins, lo, hi }
     }

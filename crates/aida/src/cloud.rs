@@ -114,10 +114,11 @@ impl Cloud1D {
 
     fn convert_auto(&mut self) {
         if let State1D::Points(p) = &self.state {
-            let (mut lo, mut hi) = p.iter().fold(
-                (f64::INFINITY, f64::NEG_INFINITY),
-                |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)),
-            );
+            let (mut lo, mut hi) = p
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(x, _)| {
+                    (lo.min(x), hi.max(x))
+                });
             if !lo.is_finite() || !hi.is_finite() {
                 lo = 0.0;
                 hi = 1.0;

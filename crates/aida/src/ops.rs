@@ -23,7 +23,8 @@ pub fn rebin(h: &Histogram1D, k: usize) -> Histogram1D {
         edges.push(h.axis().bin_lower_edge(g * k));
     }
     edges.push(h.axis().upper_edge());
-    let mut out = Histogram1D::with_axis(format!("{} (rebin {k})", h.title()), Axis::variable(edges));
+    let mut out =
+        Histogram1D::with_axis(format!("{} (rebin {k})", h.title()), Axis::variable(edges));
     for g in 0..groups {
         let mut acc = Bin::default();
         for i in (g * k)..((g + 1) * k).min(n) {
@@ -182,7 +183,10 @@ pub fn fit_gaussian_in(
     // Sanity: a "peak" wider than the axis or centred outside it is just
     // numerical noise on a flat / featureless spectrum.
     let span_axis = h.axis().upper_edge() - h.axis().lower_edge();
-    if !sigma.is_finite() || sigma > span_axis || mu < h.axis().lower_edge() || mu > h.axis().upper_edge()
+    if !sigma.is_finite()
+        || sigma > span_axis
+        || mu < h.axis().lower_edge()
+        || mu > h.axis().upper_edge()
     {
         return None;
     }
@@ -218,7 +222,9 @@ mod tests {
         let mut h = Histogram1D::new("g", 120, mean - 6.0 * sigma, mean + 6.0 * sigma);
         let mut state = 0x2545F4914F6CDD1Du64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         for _ in 0..entries {
@@ -235,7 +241,10 @@ mod tests {
         for k in [1, 2, 3, 7, 120, 500] {
             let r = rebin(&h, k);
             assert_eq!(r.entries(), h.entries(), "k={k}");
-            assert!((r.sum_bin_heights() - h.sum_bin_heights()).abs() < 1e-9, "k={k}");
+            assert!(
+                (r.sum_bin_heights() - h.sum_bin_heights()).abs() < 1e-9,
+                "k={k}"
+            );
             assert!((r.mean() - h.mean()).abs() < 1e-9);
         }
         let r = rebin(&h, 2);

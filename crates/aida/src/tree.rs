@@ -91,11 +91,7 @@ impl Tree {
     }
 
     /// Store an object, replacing any existing one at the path.
-    pub fn put_replace(
-        &mut self,
-        path: &str,
-        obj: impl Into<AidaObject>,
-    ) -> Result<(), TreeError> {
+    pub fn put_replace(&mut self, path: &str, obj: impl Into<AidaObject>) -> Result<(), TreeError> {
         let p = normalize_path(path)?;
         self.objects.insert(p, obj.into());
         Ok(())
@@ -250,7 +246,10 @@ mod tests {
     #[test]
     fn bad_paths_rejected() {
         let mut t = Tree::new();
-        assert!(matches!(t.put("relative", h("x")), Err(TreeError::BadPath(_))));
+        assert!(matches!(
+            t.put("relative", h("x")),
+            Err(TreeError::BadPath(_))
+        ));
         assert!(matches!(t.put("/a//b", h("x")), Err(TreeError::BadPath(_))));
         assert!(matches!(t.put("/", h("x")), Err(TreeError::BadPath(_))));
         assert!(matches!(t.put("/a/", h("x")), Err(TreeError::BadPath(_))));

@@ -417,10 +417,7 @@ mod tests {
             Value::Bool(true),
             Value::Str("x".into()),
         ];
-        assert!(matches!(
-            t.fill_row(&bad),
-            Err(TupleError::CellType { .. })
-        ));
+        assert!(matches!(t.fill_row(&bad), Err(TupleError::CellType { .. })));
         assert_eq!(t.rows(), 0); // nothing partially applied
     }
 

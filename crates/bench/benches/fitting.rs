@@ -9,7 +9,9 @@ use ipa_simgrid::PaperCalibration;
 
 fn bench_fitting(c: &mut Criterion) {
     let cal = PaperCalibration::paper2006();
-    c.bench_function("fit_equations_full_sweep", |b| b.iter(|| fitted_equations(&cal)));
+    c.bench_function("fit_equations_full_sweep", |b| {
+        b.iter(|| fitted_equations(&cal))
+    });
 
     let (local, grid) = fitted_equations(&cal);
     println!(

@@ -90,7 +90,9 @@ fn bench_gateway(c: &mut Criterion) {
     });
     g.finish();
 
-    client.call_ok(&WsRequest::CloseSession { session }).unwrap();
+    client
+        .call_ok(&WsRequest::CloseSession { session })
+        .unwrap();
 }
 
 criterion_group!(benches, bench_gateway);

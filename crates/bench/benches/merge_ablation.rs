@@ -12,8 +12,10 @@ fn partial_tree(seed: u64) -> Tree {
     let mut h = Histogram1D::new("mass", 120, 0.0, 240.0);
     let mut h2 = Histogram2D::new("corr", 40, 0.0, 40.0, 40, 0.0, 240.0);
     for i in 0..2000u64 {
-        let x = ((seed.wrapping_mul(6364136223846793005).wrapping_add(i * 2654435761)) % 2400)
-            as f64
+        let x = ((seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(i * 2654435761))
+            % 2400) as f64
             / 10.0;
         h.fill1(x);
         h2.fill1((i % 40) as f64, x);
@@ -30,6 +32,7 @@ fn manager_with_parts(parts: usize) -> AidaManager {
             p,
             PartUpdate {
                 engine: p as usize,
+                epoch: 0,
                 processed: 2000,
                 total: 2000,
                 tree: partial_tree(p),
@@ -48,9 +51,13 @@ fn bench_merge(c: &mut Criterion) {
             b.iter(|| m.merged().unwrap());
         });
         let mut m2 = manager_with_parts(parts);
-        g.bench_with_input(BenchmarkId::new("hierarchical_fan4", parts), &parts, |b, _| {
-            b.iter(|| m2.merged_hierarchical(4).unwrap());
-        });
+        g.bench_with_input(
+            BenchmarkId::new("hierarchical_fan4", parts),
+            &parts,
+            |b, _| {
+                b.iter(|| m2.merged_hierarchical(4).unwrap());
+            },
+        );
     }
     g.finish();
 }

@@ -28,8 +28,7 @@ fn bench_code_paths(c: &mut Criterion) {
     g.bench_function("native_higgs", |b| {
         b.iter(|| {
             let mut host = AidaHost::new();
-            run_analyzer_serial(&mut HiggsSearchAnalyzer::default(), &records, &mut host)
-                .unwrap();
+            run_analyzer_serial(&mut HiggsSearchAnalyzer::default(), &records, &mut host).unwrap();
             host
         })
     });
@@ -45,7 +44,9 @@ fn bench_code_paths(c: &mut Criterion) {
             host
         })
     });
-    g.bench_function("script_compile_only", |b| b.iter(|| compile(SCRIPT).unwrap()));
+    g.bench_function("script_compile_only", |b| {
+        b.iter(|| compile(SCRIPT).unwrap())
+    });
     g.finish();
 }
 

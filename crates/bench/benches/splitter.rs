@@ -27,7 +27,9 @@ fn bench_split(c: &mut Criterion) {
         });
     }
     g.bench_function("encode", |b| b.iter(|| encode_dataset(black_box(&records))));
-    g.bench_function("decode", |b| b.iter(|| decode_dataset(black_box(&encoded)).unwrap()));
+    g.bench_function("decode", |b| {
+        b.iter(|| decode_dataset(black_box(&encoded)).unwrap())
+    });
     g.finish();
 }
 

@@ -38,10 +38,18 @@ fn table1_cmd(cal: &PaperCalibration) {
     );
     println!(
         "{:<28} {:>12} {:>12.0}",
-        "grid: stage dataset", "174", grid.stage_dataset_s()
+        "grid: stage dataset",
+        "174",
+        grid.stage_dataset_s()
     );
-    println!("{:<28} {:>12} {:>12.0}", "grid: stage code", "7", grid.stage_code_s);
-    println!("{:<28} {:>12} {:>12.0}", "grid: analysis", "258", grid.analysis_s);
+    println!(
+        "{:<28} {:>12} {:>12.0}",
+        "grid: stage code", "7", grid.stage_code_s
+    );
+    println!(
+        "{:<28} {:>12} {:>12.0}",
+        "grid: analysis", "258", grid.analysis_s
+    );
     println!(
         "{:<28} {:>12} {:>12.0}",
         "grid: TOTAL (wall clock)", "259 (4m19s)", grid.total_s
@@ -63,8 +71,15 @@ fn table2_cmd(cal: &PaperCalibration) {
     hline();
     println!(
         "{:>5} | {:>10} {:>10} | {:>6} {:>6} | {:>10} {:>10} | {:>9} {:>9}",
-        "nodes", "moveW(pap)", "moveW(sim)", "sp(pap)", "sp(sim)", "parts(pap)", "parts(sim)",
-        "ana(pap)", "ana(sim)"
+        "nodes",
+        "moveW(pap)",
+        "moveW(sim)",
+        "sp(pap)",
+        "sp(sim)",
+        "parts(pap)",
+        "parts(sim)",
+        "ana(pap)",
+        "ana(sim)"
     );
     let rows = table2_rows(cal);
     for (row, (n, mw, sp, mp, an)) in rows.iter().zip(PAPER_TABLE2) {
@@ -214,7 +229,10 @@ fn live_cmd() {
         "host exposes {cores} CPU core(s) — speedup saturates there; on a\n\
          single-core host the table verifies overhead, not parallelism"
     );
-    println!("{:>8} {:>12} {:>9} {:>14}", "engines", "wall (s)", "speedup", "records/s");
+    println!(
+        "{:>8} {:>12} {:>9} {:>14}",
+        "engines", "wall (s)", "speedup", "records/s"
+    );
     let base = rig.run_code_to_completion(1, LiveRig::higgs_script());
     println!(
         "{:>8} {:>12.3} {:>9.2} {:>14.0}",
@@ -257,7 +275,10 @@ fn ablations_cmd(cal: &PaperCalibration) {
     // 1. Dedicated interactive queue vs shared batch queue (§1/§6: "the
     //    need for a fast processing queue").
     println!("\n[A1] scheduler queue delay vs session total (471 MB, 16 nodes):");
-    println!("{:>14} {:>12} {:>16}", "queue delay", "total (s)", "interactive?");
+    println!(
+        "{:>14} {:>12} {:>16}",
+        "queue delay", "total (s)", "interactive?"
+    );
     for delay in [2.0, 15.0, 60.0, 600.0, 3600.0] {
         let mut c = *cal;
         c.scheduler.queue_delay_s = delay;
@@ -266,7 +287,11 @@ fn ablations_cmd(cal: &PaperCalibration) {
             "{:>12.0} s {:>12.0} {:>16}",
             delay,
             b.total_s,
-            if b.engines_ready_s < 60.0 { "yes" } else { "NO" }
+            if b.engines_ready_s < 60.0 {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
 
@@ -288,17 +313,29 @@ fn ablations_cmd(cal: &PaperCalibration) {
 
     // 3. Source-NIC aggregate cap: why move-parts stops improving with N.
     println!("\n[A3] move-parts vs staging-source bandwidth (471 MB, N sweep):");
-    println!("{:>12} {:>10} {:>10} {:>10}", "disk MB/s", "N=1", "N=4", "N=16");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10}",
+        "disk MB/s", "N=1", "N=4", "N=16"
+    );
     for disk in [5.0, 10.24, 40.0, 200.0] {
         let mut c = *cal;
         c.staging_disk_mbps = disk;
         let t = |n| ipa_simgrid::simulate_session(471.0, n, &c).move_parts_s;
-        println!("{:>12.1} {:>10.0} {:>10.0} {:>10.0}", disk, t(1), t(4), t(16));
+        println!(
+            "{:>12.1} {:>10.0} {:>10.0} {:>10.0}",
+            disk,
+            t(1),
+            t(4),
+            t(16)
+        );
     }
 
     // 4. Publish interval vs first-feedback latency (live, real engines).
     println!("\n[A4] publish interval vs first feedback (live, 100k events, 4 engines):");
-    println!("{:>16} {:>18} {:>12}", "publish_every", "first feedback", "polls");
+    println!(
+        "{:>16} {:>18} {:>12}",
+        "publish_every", "first feedback", "polls"
+    );
     for every in [100usize, 1_000, 10_000, 100_000] {
         let rig = LiveRig::new(100_000, every);
         let mut s = rig.session_with(4, LiveRig::higgs_script());
@@ -332,6 +369,7 @@ fn ablations_cmd(cal: &PaperCalibration) {
                 p,
                 PartUpdate {
                     engine: p as usize,
+                    epoch: 0,
                     processed: 1,
                     total: 1,
                     tree,

@@ -168,7 +168,11 @@ impl Catalog {
         if !self.folders.contains(&f) {
             return Err(CatalogError::NoSuchFolder(f));
         }
-        let prefix = if f == "/" { "/".to_string() } else { format!("{f}/") };
+        let prefix = if f == "/" {
+            "/".to_string()
+        } else {
+            format!("{f}/")
+        };
         let mut out = Vec::new();
         let mut seen_dirs = std::collections::BTreeSet::new();
         for folder_path in &self.folders {

@@ -79,10 +79,7 @@ pub fn metadata<I>(pairs: I) -> Metadata
 where
     I: IntoIterator<Item = (&'static str, MetaValue)>,
 {
-    pairs
-        .into_iter()
-        .map(|(k, v)| (k.to_string(), v))
-        .collect()
+    pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
 }
 
 #[cfg(test)]

@@ -43,8 +43,8 @@ pub fn render_dashboard(
     out.push_str(&bar);
     out.push('\n');
     out.push_str(&format!(
-        "state: {:?}   engines alive: {}   parts: {}/{}\n",
-        status.state, status.engines_alive, status.parts_done, status.parts_total
+        "state: {:?}   epoch: {}   engines alive: {}   parts: {}/{}\n",
+        status.state, status.epoch, status.engines_alive, status.parts_done, status.parts_total
     ));
     let pct = status.progress() * 100.0;
     let filled = (status.progress() * 40.0).round() as usize;
@@ -75,7 +75,11 @@ pub fn render_dashboard(
     for (i, (path, obj)) in tree.iter().enumerate() {
         if i >= opts.max_plots {
             let remaining: Vec<&str> = tree.paths().skip(opts.max_plots).collect();
-            out.push_str(&format!("… and {} more: {}\n", remaining.len(), remaining.join(", ")));
+            out.push_str(&format!(
+                "… and {} more: {}\n",
+                remaining.len(),
+                remaining.join(", ")
+            ));
             break;
         }
         out.push_str(&format!("--- {path} ---\n"));
@@ -128,6 +132,7 @@ mod tests {
             parts_done: 1,
             parts_total: 4,
             engines_alive: 4,
+            epoch: 1,
             new_logs: vec![(0, "booked plots".into())],
         }
     }
@@ -142,7 +147,12 @@ mod tests {
 
     #[test]
     fn dashboard_contains_all_panels() {
-        let s = render_dashboard("alice@slac", &status(), &tree(), &DashboardOptions::default());
+        let s = render_dashboard(
+            "alice@slac",
+            &status(),
+            &tree(),
+            &DashboardOptions::default(),
+        );
         assert!(s.contains("alice@slac"));
         assert!(s.contains("50.0%"));
         assert!(s.contains("engines alive: 4"));

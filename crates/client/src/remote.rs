@@ -9,7 +9,7 @@ use std::net::ToSocketAddrs;
 use std::time::{Duration, Instant};
 
 use ipa_aida::Tree;
-use ipa_core::{RunState, SessionStatus, WsClient, WsRequest, WsResponse};
+use ipa_core::{FailureRecord, RunState, SessionStatus, WsClient, WsRequest, WsResponse};
 use ipa_simgrid::GridProxy;
 
 /// Errors from remote calls: transport problems or server-side rejections,
@@ -144,14 +144,30 @@ impl RemoteSession {
         }
     }
 
-    /// Poll until the run finishes or `timeout` elapses; returns the last
-    /// status either way.
+    /// Fetch the session's engine-failure records.
+    pub fn failures(&mut self) -> Result<Vec<FailureRecord>, RemoteError> {
+        let session = self.session;
+        match self.client.call_ok(&WsRequest::Failures { session })? {
+            WsResponse::Failures(f) => Ok(f),
+            other => Err(unexpected("Failures", &other)),
+        }
+    }
+
+    /// Poll until the run finishes. If `timeout` elapses first, returns an
+    /// error describing how far the run got — never a success-shaped
+    /// status.
     pub fn wait_finished(&mut self, timeout: Duration) -> Result<SessionStatus, RemoteError> {
         let deadline = Instant::now() + timeout;
         loop {
             let st = self.poll()?;
-            if st.state == RunState::Finished || Instant::now() > deadline {
+            if st.state == RunState::Finished {
                 return Ok(st);
+            }
+            if Instant::now() > deadline {
+                return Err(format!(
+                    "timed out after {timeout:?} in state {:?} ({} of {} records)",
+                    st.state, st.records_processed, st.records_total
+                ));
             }
             std::thread::sleep(Duration::from_millis(2));
         }
@@ -210,6 +226,7 @@ mod tests {
         assert_eq!(st.records_processed, 1_500);
         let tree = s.results().unwrap();
         assert!(tree.get("/higgs/bb_mass").unwrap().entries() > 0);
+        assert!(s.failures().unwrap().is_empty());
         s.close().unwrap();
         gw.shutdown();
     }

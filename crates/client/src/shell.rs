@@ -39,6 +39,7 @@ commands:
   fit <path> <lo> <hi>         Gaussian peak fit in a mass window
   report                       simulated 2006-grid staging cost
   workers                      engine registry panel
+  failures                     engine failure records (epoch, part, message)
   svg <dir>                    export all plots as SVG
   close                        close the session
   quit                         exit
@@ -123,7 +124,10 @@ impl Shell {
                 msg
             }
             "select" => {
-                let id = args.first().ok_or("usage: select <dataset-id>")?.to_string();
+                let id = args
+                    .first()
+                    .ok_or("usage: select <dataset-id>")?
+                    .to_string();
                 let s = self.session_mut()?;
                 s.select_dataset(&DatasetId::new(id.clone()))
                     .map_err(|e| e.to_string())?;
@@ -226,17 +230,40 @@ impl Shell {
                     "on the 2006 testbed this staging would cost:\n\
                      move whole {:.0} s · split {:.0} s · move parts {:.0} s · \
                      code {:.0} s · analysis {:.0} s → total {:.0} s",
-                    b.move_whole_s, b.split_s, b.move_parts_s, b.stage_code_s, b.analysis_s, b.total_s
+                    b.move_whole_s,
+                    b.split_s,
+                    b.move_parts_s,
+                    b.stage_code_s,
+                    b.analysis_s,
+                    b.total_s
                 )
             }
             "workers" => self.manager.worker_registry().render(),
+            "failures" => {
+                let s = self.session_mut()?;
+                if s.failures().is_empty() {
+                    "no failures recorded".to_string()
+                } else {
+                    let mut out = String::new();
+                    for rec in s.failures() {
+                        out.push_str(&format!(
+                            "epoch {}  engine {}  part {}  {}\n",
+                            rec.epoch,
+                            rec.engine,
+                            rec.part.map_or("-".to_string(), |p| p.to_string()),
+                            rec.message
+                        ));
+                    }
+                    out
+                }
+            }
             "svg" => {
                 let dir = args.first().ok_or("usage: svg <dir>")?;
                 let s = self.session_mut()?;
                 s.poll().map_err(|e| e.to_string())?;
                 let tree = s.results().map_err(|e| e.to_string())?;
-                let files =
-                    export_svg_plots(&tree, std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+                let files = export_svg_plots(&tree, std::path::Path::new(dir))
+                    .map_err(|e| e.to_string())?;
                 format!("wrote {} files to {dir}", files.len())
             }
             "wait" => {
@@ -325,6 +352,7 @@ mod tests {
         assert!(sh.exec("plot /higgs/bb_mass").contains("entries="));
         assert!(sh.exec("fit /higgs/bb_mass 80 200").contains("mean"));
         assert!(sh.exec("workers").contains("wn000.shell-site"));
+        assert!(sh.exec("failures").contains("no failures"));
         assert!(sh.exec("close").contains("closed"));
         assert!(sh.exec("quit").contains("bye"));
         assert!(sh.done);

@@ -27,6 +27,9 @@ use crate::error::CoreError;
 pub struct PartUpdate {
     /// Which engine produced it (diagnostics only).
     pub engine: usize,
+    /// Run epoch the update was produced under; the manager drops updates
+    /// stamped with a superseded epoch.
+    pub epoch: u64,
     /// Records of the part processed so far.
     pub processed: u64,
     /// Records in the part.
@@ -42,6 +45,7 @@ pub struct PartUpdate {
 pub struct AidaManager {
     latest: BTreeMap<PartId, PartUpdate>,
     merges_performed: u64,
+    epoch: u64,
 }
 
 impl AidaManager {
@@ -50,9 +54,31 @@ impl AidaManager {
         AidaManager::default()
     }
 
+    /// Current run epoch; updates from any other epoch are dropped.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Start a new run epoch: everything merged so far is forgotten, and
+    /// updates stamped with an older (or newer) epoch are rejected by
+    /// [`AidaManager::publish`]. This is the control-plane reset the
+    /// session issues on `select_dataset`/`load_code`/`rewind` — in-flight
+    /// updates queued before the reset carry the old epoch and can no
+    /// longer re-pollute the merged results.
+    pub fn begin_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.latest.clear();
+    }
+
     /// Record the latest update for a part (replaces any previous one).
-    pub fn publish(&mut self, part: PartId, update: PartUpdate) {
+    /// Returns false — and merges nothing — when the update carries a
+    /// stale epoch.
+    pub fn publish(&mut self, part: PartId, update: PartUpdate) -> bool {
+        if update.epoch != self.epoch {
+            return false;
+        }
         self.latest.insert(part, update);
+        true
     }
 
     /// Drop a part's contribution (failure recovery re-runs it elsewhere).
@@ -60,7 +86,7 @@ impl AidaManager {
         self.latest.remove(&part);
     }
 
-    /// Forget everything (session rewind).
+    /// Forget everything without changing the epoch.
     pub fn clear(&mut self) {
         self.latest.clear();
     }
@@ -89,7 +115,8 @@ impl AidaManager {
     pub fn merged(&mut self) -> Result<Tree, CoreError> {
         let mut out = Tree::new();
         for u in self.latest.values() {
-            out.merge(&u.tree).map_err(|e| CoreError::Merge(e.to_string()))?;
+            out.merge(&u.tree)
+                .map_err(|e| CoreError::Merge(e.to_string()))?;
             self.merges_performed += 1;
         }
         Ok(out)
@@ -107,7 +134,8 @@ impl AidaManager {
         for chunk in parts.chunks(fan_in) {
             let mut sub = Tree::new();
             for u in chunk {
-                sub.merge(&u.tree).map_err(|e| CoreError::Merge(e.to_string()))?;
+                sub.merge(&u.tree)
+                    .map_err(|e| CoreError::Merge(e.to_string()))?;
                 self.merges_performed += 1;
             }
             bucket_results.push(sub);
@@ -135,6 +163,7 @@ mod tests {
         tree.put("/m", h).unwrap();
         PartUpdate {
             engine,
+            epoch: 0,
             processed: fills.len() as u64,
             total: fills.len() as u64,
             tree,
@@ -190,6 +219,26 @@ mod tests {
     }
 
     #[test]
+    fn stale_epoch_update_is_dropped() {
+        let mut m = AidaManager::new();
+        assert!(m.publish(0, update(0, &[1.0, 2.0], false)));
+        m.begin_epoch(1);
+        // A pre-reset update still queued in the channel: same part id,
+        // old epoch — must be rejected, leaving the new run empty.
+        let stale = update(0, &[1.0, 2.0, 3.0], true);
+        assert_eq!(stale.epoch, 0);
+        assert!(!m.publish(0, stale));
+        assert_eq!(m.parts(), 0);
+        assert_eq!(m.records_processed(), 0);
+        assert!(m.merged().unwrap().is_empty());
+        // A current-epoch update goes through.
+        let mut fresh = update(1, &[4.0], true);
+        fresh.epoch = 1;
+        assert!(m.publish(0, fresh));
+        assert_eq!(m.records_processed(), 1);
+    }
+
+    #[test]
     fn clear_resets() {
         let mut m = AidaManager::new();
         m.publish(0, update(0, &[1.0], true));
@@ -211,6 +260,7 @@ mod tests {
             1,
             PartUpdate {
                 engine: 1,
+                epoch: 0,
                 processed: 1,
                 total: 1,
                 tree,

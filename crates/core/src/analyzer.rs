@@ -174,7 +174,15 @@ impl Analyzer for HiggsSearchAnalyzer {
         host.book_h1("/higgs/bb_mass", self.mass_bins, self.mass_lo, self.mass_hi)?;
         host.book_h1("/higgs/n_btags", 10, 0.0, 10.0)?;
         host.book_h1("/higgs/visible_energy", 60, 0.0, 600.0)?;
-        host.book_h2("/higgs/mass_vs_mult", 30, 0.0, 60.0, 30, self.mass_lo, self.mass_hi)?;
+        host.book_h2(
+            "/higgs/mass_vs_mult",
+            30,
+            0.0,
+            60.0,
+            30,
+            self.mass_lo,
+            self.mass_hi,
+        )?;
         Ok(())
     }
 
@@ -222,7 +230,12 @@ impl Analyzer for DnaMotifAnalyzer {
         };
         host.fill1("/dna/gc_content", read.gc_content(), 1.0)?;
         host.fill1("/dna/motif_hits", read.count_motif(&self.motif) as f64, 1.0)?;
-        host.fill_profile("/dna/gc_by_sample", read.sample as f64, read.gc_content(), 1.0)?;
+        host.fill_profile(
+            "/dna/gc_by_sample",
+            read.sample as f64,
+            read.gc_content(),
+            1.0,
+        )?;
         Ok(())
     }
 }
@@ -399,10 +412,7 @@ mod tests {
         let r = builtin_registry();
         assert_eq!(r.names(), vec!["dna-motif", "higgs-search", "trade-vwap"]);
         assert!(r.instantiate("higgs-search").is_ok());
-        assert!(matches!(
-            r.instantiate("nope"),
-            Err(CoreError::Code(_))
-        ));
+        assert!(matches!(r.instantiate("nope"), Err(CoreError::Code(_))));
     }
 
     #[test]
@@ -448,8 +458,18 @@ mod tests {
         let mut script_host = AidaHost::new();
         run_analyzer_serial(analyzer.as_mut(), &recs, &mut script_host).unwrap();
 
-        let native_h = native_host.tree.get("/higgs/bb_mass").unwrap().as_h1().unwrap();
-        let script_h = script_host.tree.get("/higgs/bb_mass").unwrap().as_h1().unwrap();
+        let native_h = native_host
+            .tree
+            .get("/higgs/bb_mass")
+            .unwrap()
+            .as_h1()
+            .unwrap();
+        let script_h = script_host
+            .tree
+            .get("/higgs/bb_mass")
+            .unwrap()
+            .as_h1()
+            .unwrap();
         assert_eq!(native_h.all_entries(), script_h.all_entries());
         for i in 0..60 {
             assert_eq!(native_h.bin_entries(i), script_h.bin_entries(i), "bin {i}");

@@ -15,6 +15,11 @@ pub struct IpaConfig {
     pub byte_balanced_split: bool,
     /// Simulated seconds of proxy lifetime required to create a session.
     pub min_proxy_remaining_s: f64,
+    /// How many times a failed engine is retried (its part re-queued and
+    /// the engine kept alive) before the engine is declared dead. 0 means
+    /// first failure is fatal for the engine — its part still re-runs on a
+    /// surviving engine.
+    pub max_part_retries: u32,
 }
 
 impl Default for IpaConfig {
@@ -24,6 +29,7 @@ impl Default for IpaConfig {
             publish_every: 1000,
             byte_balanced_split: true,
             min_proxy_remaining_s: 60.0,
+            max_part_retries: 0,
         }
     }
 }

@@ -28,28 +28,46 @@ pub type EngineId = usize;
 /// Dataset-part identifier within a session.
 pub type PartId = u64;
 
+/// Session-wide run-epoch generation counter. Bumped by the session on
+/// every control-plane reset (`select_dataset`, `load_code`, `rewind`);
+/// engines stamp it into every event so the session and the AIDA manager
+/// can drop updates that belong to a superseded run.
+pub type Epoch = u64;
+
 /// Commands a session sends to an engine.
 pub enum EngineCommand {
     /// Ship analysis code (compiled/validated engine-side, like the
     /// managing class loader).
-    LoadCode(AnalysisCode),
+    LoadCode {
+        /// The code to compile and instantiate.
+        code: AnalysisCode,
+        /// Run epoch this load belongs to.
+        epoch: Epoch,
+    },
     /// Stage a dataset part onto the engine.
     AssignPart {
         /// Part id (merge key).
         part: PartId,
         /// The records (shared, not copied).
         records: Arc<Vec<AnyRecord>>,
+        /// Run epoch this assignment belongs to.
+        epoch: Epoch,
     },
     /// Start / resume processing to the end of the part.
     Run,
     /// Process at most this many further records, then pause.
     RunN(usize),
-    /// Pause after the current batch.
+    /// Pause after the current batch (a later `Run` resumes mid-part).
     Pause,
+    /// Stop: halt *and drop the position* — a later `Run` restarts the
+    /// current part from record 0 with fresh results. Unlike `Rewind`,
+    /// nothing is published, so previously merged results stay visible.
+    Stop,
     /// Restart the current part from record 0 with fresh results and a
     /// fresh analyzer instance.
     Rewind,
-    /// Failure injection: abort with an error after N more records.
+    /// Failure injection: abort with an error after N more records. The
+    /// fault is consumed when it fires, so a re-assigned part succeeds.
     FailAfter(u64),
     /// Terminate the engine thread.
     Shutdown,
@@ -67,15 +85,20 @@ pub enum EngineEvent {
     CodeLoaded {
         /// Which engine.
         engine: EngineId,
+        /// Run epoch the load belonged to.
+        epoch: Epoch,
     },
     /// Code failed to compile/instantiate.
     CodeError {
         /// Which engine.
         engine: EngineId,
+        /// Run epoch the load belonged to.
+        epoch: Epoch,
         /// Compiler/loader message.
         message: String,
     },
-    /// A partial-result publication for a part.
+    /// A partial-result publication for a part (epoch is stamped inside
+    /// the [`PartUpdate`]).
     Update {
         /// Part id (merge key).
         part: PartId,
@@ -89,6 +112,8 @@ pub enum EngineEvent {
         engine: EngineId,
         /// The part it was processing, if any.
         part: Option<PartId>,
+        /// Run epoch the failure belongs to.
+        epoch: Epoch,
         /// Failure description.
         message: String,
     },
@@ -96,6 +121,8 @@ pub enum EngineEvent {
     Log {
         /// Which engine.
         engine: EngineId,
+        /// Run epoch the log was emitted under.
+        epoch: Epoch,
         /// Message text.
         message: String,
     },
@@ -123,6 +150,9 @@ struct EngineWorker {
     running: bool,
     budget: Option<usize>,
     fail_after: Option<u64>,
+    /// Latest run epoch seen from the session (via LoadCode/AssignPart);
+    /// stamped into every outgoing event.
+    epoch: Epoch,
 }
 
 enum Disposition {
@@ -135,6 +165,7 @@ impl EngineWorker {
         let Some(part) = &self.part else { return };
         let update = PartUpdate {
             engine: self.id,
+            epoch: self.epoch,
             processed: part.pos as u64,
             total: part.records.len() as u64,
             tree: self.host.tree.clone(),
@@ -150,6 +181,7 @@ impl EngineWorker {
         for message in self.host.messages.drain(..) {
             let _ = self.events.send(EngineEvent::Log {
                 engine: self.id,
+                epoch: self.epoch,
                 message,
             });
         }
@@ -174,37 +206,54 @@ impl EngineWorker {
         let _ = self.events.send(EngineEvent::Failed {
             engine: self.id,
             part,
+            epoch: self.epoch,
             message,
         });
         self.part = None;
         self.running = false;
         self.budget = None;
+        // An injected fault is consumed by firing: a re-assigned part must
+        // be able to succeed on retry.
+        self.fail_after = None;
     }
 
     fn handle(&mut self, cmd: EngineCommand) -> Disposition {
         match cmd {
-            EngineCommand::LoadCode(code) => {
+            EngineCommand::LoadCode { code, epoch } => {
+                self.epoch = epoch;
                 self.code = Some(code);
                 match self.fresh_analyzer() {
                     Ok(()) => {
-                        // New code restarts the current part from zero.
+                        // New code restarts the current part from zero and
+                        // waits for an explicit Run.
                         self.host = AidaHost::new();
                         if let Some(p) = &mut self.part {
                             p.pos = 0;
                             p.done = false;
                         }
-                        let _ = self.events.send(EngineEvent::CodeLoaded { engine: self.id });
+                        self.running = false;
+                        self.budget = None;
+                        let _ = self.events.send(EngineEvent::CodeLoaded {
+                            engine: self.id,
+                            epoch: self.epoch,
+                        });
                     }
                     Err(message) => {
                         self.analyzer = None;
                         let _ = self.events.send(EngineEvent::CodeError {
                             engine: self.id,
+                            epoch: self.epoch,
                             message,
                         });
                     }
                 }
             }
-            EngineCommand::AssignPart { part, records } => {
+            EngineCommand::AssignPart {
+                part,
+                records,
+                epoch,
+            } => {
+                self.epoch = epoch;
                 self.part = Some(CurrentPart {
                     id: part,
                     records,
@@ -212,6 +261,11 @@ impl EngineWorker {
                     done: false,
                 });
                 self.host = AidaHost::new();
+                // A freshly staged part waits for an explicit Run; without
+                // this, a rewind/select racing a running engine would keep
+                // it crunching while the session believes it is idle.
+                self.running = false;
+                self.budget = None;
                 if self.code.is_some() {
                     if let Err(message) = self.fresh_analyzer() {
                         self.fail(message);
@@ -229,6 +283,23 @@ impl EngineWorker {
             EngineCommand::Pause => {
                 self.running = false;
                 self.publish();
+            }
+            EngineCommand::Stop => {
+                // Halt and drop the position: a later Run restarts the part
+                // from record 0. Nothing is published — merged results from
+                // before the stop stay visible at the manager.
+                self.running = false;
+                self.budget = None;
+                self.host = AidaHost::new();
+                if let Some(p) = &mut self.part {
+                    p.pos = 0;
+                    p.done = false;
+                }
+                if self.code.is_some() {
+                    if let Err(message) = self.fresh_analyzer() {
+                        self.fail(message);
+                    }
+                }
             }
             EngineCommand::Rewind => {
                 self.host = AidaHost::new();
@@ -295,9 +366,12 @@ impl EngineWorker {
         if let Some(b) = self.budget {
             batch = batch.min(b);
         }
+        // `<=` so that a budget equal to the batch (e.g. FailAfter(remaining)
+        // or FailAfter(0)) still truncates and fires deterministically once
+        // the budget is consumed, instead of silently finishing the part.
         let mut fail_at: Option<usize> = None;
         if let Some(f) = self.fail_after {
-            if (f as usize) < batch {
+            if (f as usize) <= batch {
                 batch = f as usize;
                 fail_at = Some(batch);
             }
@@ -436,6 +510,7 @@ impl EngineHandle {
             running: false,
             budget: None,
             fail_after: None,
+            epoch: 0,
         };
         let thread = std::thread::Builder::new()
             .name(format!("ipa-engine-{id}"))
@@ -506,18 +581,21 @@ mod tests {
         let (tx, rx) = unbounded();
         let mut e = EngineHandle::spawn(0, 100, builtin_registry(), tx);
         recv_until(&rx, |ev| matches!(ev, EngineEvent::Ready { .. }));
-        e.send(EngineCommand::LoadCode(AnalysisCode::Native(
-            "higgs-search".into(),
-        )));
+        e.send(EngineCommand::LoadCode {
+            code: AnalysisCode::Native("higgs-search".into()),
+            epoch: 0,
+        });
         recv_until(&rx, |ev| matches!(ev, EngineEvent::CodeLoaded { .. }));
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(250),
+            epoch: 0,
         });
         e.send(EngineCommand::Run);
-        let done = recv_until(&rx, |ev| {
-            matches!(ev, EngineEvent::Update { update, .. } if update.done)
-        });
+        let done = recv_until(
+            &rx,
+            |ev| matches!(ev, EngineEvent::Update { update, .. } if update.done),
+        );
         let EngineEvent::Update { part, update } = done else {
             unreachable!()
         };
@@ -532,12 +610,14 @@ mod tests {
     fn partial_updates_arrive_between_batches() {
         let (tx, rx) = unbounded();
         let mut e = EngineHandle::spawn(1, 50, builtin_registry(), tx);
-        e.send(EngineCommand::LoadCode(AnalysisCode::Native(
-            "higgs-search".into(),
-        )));
+        e.send(EngineCommand::LoadCode {
+            code: AnalysisCode::Native("higgs-search".into()),
+            epoch: 0,
+        });
         e.send(EngineCommand::AssignPart {
             part: 3,
             records: records(200),
+            epoch: 0,
         });
         e.send(EngineCommand::Run);
         let mut progress = Vec::new();
@@ -559,12 +639,14 @@ mod tests {
     fn run_n_pauses_after_budget() {
         let (tx, rx) = unbounded();
         let mut e = EngineHandle::spawn(2, 1000, builtin_registry(), tx);
-        e.send(EngineCommand::LoadCode(AnalysisCode::Native(
-            "higgs-search".into(),
-        )));
+        e.send(EngineCommand::LoadCode {
+            code: AnalysisCode::Native("higgs-search".into()),
+            epoch: 0,
+        });
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(500),
+            epoch: 0,
         });
         e.send(EngineCommand::RunN(120));
         let ev = recv_until(&rx, |ev| matches!(ev, EngineEvent::Update { .. }));
@@ -575,9 +657,10 @@ mod tests {
         assert!(!update.done);
         // Resume to completion.
         e.send(EngineCommand::Run);
-        let done = recv_until(&rx, |ev| {
-            matches!(ev, EngineEvent::Update { update, .. } if update.done)
-        });
+        let done = recv_until(
+            &rx,
+            |ev| matches!(ev, EngineEvent::Update { update, .. } if update.done),
+        );
         let EngineEvent::Update { update, .. } = done else {
             unreachable!()
         };
@@ -589,17 +672,20 @@ mod tests {
     fn rewind_resets_results() {
         let (tx, rx) = unbounded();
         let mut e = EngineHandle::spawn(3, 1000, builtin_registry(), tx);
-        e.send(EngineCommand::LoadCode(AnalysisCode::Native(
-            "higgs-search".into(),
-        )));
+        e.send(EngineCommand::LoadCode {
+            code: AnalysisCode::Native("higgs-search".into()),
+            epoch: 0,
+        });
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(100),
+            epoch: 0,
         });
         e.send(EngineCommand::Run);
-        recv_until(&rx, |ev| {
-            matches!(ev, EngineEvent::Update { update, .. } if update.done)
-        });
+        recv_until(
+            &rx,
+            |ev| matches!(ev, EngineEvent::Update { update, .. } if update.done),
+        );
         e.send(EngineCommand::Rewind);
         let ev = recv_until(&rx, |ev| matches!(ev, EngineEvent::Update { .. }));
         let EngineEvent::Update { update, .. } = ev else {
@@ -610,9 +696,10 @@ mod tests {
         assert_eq!(update.tree.total_entries(), 0);
         // And it can run again to the same completion.
         e.send(EngineCommand::Run);
-        let done = recv_until(&rx, |ev| {
-            matches!(ev, EngineEvent::Update { update, .. } if update.done)
-        });
+        let done = recv_until(
+            &rx,
+            |ev| matches!(ev, EngineEvent::Update { update, .. } if update.done),
+        );
         let EngineEvent::Update { update, .. } = done else {
             unreachable!()
         };
@@ -624,12 +711,14 @@ mod tests {
     fn injected_failure_emits_failed_event() {
         let (tx, rx) = unbounded();
         let mut e = EngineHandle::spawn(4, 10, builtin_registry(), tx);
-        e.send(EngineCommand::LoadCode(AnalysisCode::Native(
-            "higgs-search".into(),
-        )));
+        e.send(EngineCommand::LoadCode {
+            code: AnalysisCode::Native("higgs-search".into()),
+            epoch: 0,
+        });
         e.send(EngineCommand::AssignPart {
             part: 9,
             records: records(100),
+            epoch: 0,
         });
         e.send(EngineCommand::FailAfter(25));
         e.send(EngineCommand::Run);
@@ -643,12 +732,136 @@ mod tests {
     }
 
     #[test]
+    fn injected_failure_fires_on_exact_remaining_budget() {
+        // FailAfter(remaining): the fault budget equals the records left,
+        // so the batch is fully processed and then the fault fires instead
+        // of the part silently finishing (regression for the `<` boundary).
+        let (tx, rx) = unbounded();
+        let mut e = EngineHandle::spawn(8, 1000, builtin_registry(), tx);
+        e.send(EngineCommand::LoadCode {
+            code: AnalysisCode::Native("higgs-search".into()),
+            epoch: 0,
+        });
+        e.send(EngineCommand::AssignPart {
+            part: 2,
+            records: records(100),
+            epoch: 0,
+        });
+        e.send(EngineCommand::FailAfter(100));
+        e.send(EngineCommand::Run);
+        let ev = recv_until(&rx, |ev| {
+            matches!(ev, EngineEvent::Failed { .. } | EngineEvent::Update { .. })
+        });
+        let EngineEvent::Failed { part, message, .. } = ev else {
+            panic!("expected Failed before any Update, got {ev:?}");
+        };
+        assert_eq!(part, Some(2));
+        assert!(message.contains("injected"));
+        e.shutdown();
+    }
+
+    #[test]
+    fn injected_failure_fires_on_zero_budget() {
+        // FailAfter(0): the engine must die before processing anything.
+        let (tx, rx) = unbounded();
+        let mut e = EngineHandle::spawn(9, 10, builtin_registry(), tx);
+        e.send(EngineCommand::LoadCode {
+            code: AnalysisCode::Native("higgs-search".into()),
+            epoch: 0,
+        });
+        e.send(EngineCommand::AssignPart {
+            part: 4,
+            records: records(50),
+            epoch: 0,
+        });
+        e.send(EngineCommand::FailAfter(0));
+        e.send(EngineCommand::Run);
+        let ev = recv_until(&rx, |ev| {
+            matches!(ev, EngineEvent::Failed { .. } | EngineEvent::Update { .. })
+        });
+        let EngineEvent::Failed { part, .. } = ev else {
+            panic!("expected Failed before any Update, got {ev:?}");
+        };
+        assert_eq!(part, Some(4));
+        e.shutdown();
+    }
+
+    #[test]
+    fn stop_drops_position_so_run_restarts_the_part() {
+        let (tx, rx) = unbounded();
+        let mut e = EngineHandle::spawn(10, 50, builtin_registry(), tx);
+        e.send(EngineCommand::LoadCode {
+            code: AnalysisCode::Native("higgs-search".into()),
+            epoch: 0,
+        });
+        e.send(EngineCommand::AssignPart {
+            part: 0,
+            records: records(200),
+            epoch: 0,
+        });
+        e.send(EngineCommand::RunN(100));
+        // Wait until the RunN budget is exhausted (updates at 50, 100).
+        recv_until(
+            &rx,
+            |ev| matches!(ev, EngineEvent::Update { update, .. } if update.processed == 100),
+        );
+        // Stop (publishes nothing), then Run: the part restarts from 0,
+        // so the very next update is 50 — not 150 as a resume would give.
+        e.send(EngineCommand::Stop);
+        e.send(EngineCommand::Run);
+        let mut progress = Vec::new();
+        loop {
+            if let EngineEvent::Update { update, .. } =
+                rx.recv_timeout(Duration::from_secs(10)).unwrap()
+            {
+                progress.push(update.processed);
+                if update.done {
+                    break;
+                }
+            }
+        }
+        assert_eq!(progress, vec![50, 100, 150, 200]);
+        e.shutdown();
+    }
+
+    #[test]
+    fn events_carry_latest_epoch() {
+        let (tx, rx) = unbounded();
+        let mut e = EngineHandle::spawn(11, 100, builtin_registry(), tx);
+        e.send(EngineCommand::LoadCode {
+            code: AnalysisCode::Native("higgs-search".into()),
+            epoch: 3,
+        });
+        let ev = recv_until(&rx, |ev| matches!(ev, EngineEvent::CodeLoaded { .. }));
+        let EngineEvent::CodeLoaded { epoch, .. } = ev else {
+            unreachable!()
+        };
+        assert_eq!(epoch, 3);
+        e.send(EngineCommand::AssignPart {
+            part: 0,
+            records: records(60),
+            epoch: 5,
+        });
+        e.send(EngineCommand::Run);
+        let done = recv_until(
+            &rx,
+            |ev| matches!(ev, EngineEvent::Update { update, .. } if update.done),
+        );
+        let EngineEvent::Update { update, .. } = done else {
+            unreachable!()
+        };
+        assert_eq!(update.epoch, 5);
+        e.shutdown();
+    }
+
+    #[test]
     fn bad_script_reports_code_error() {
         let (tx, rx) = unbounded();
         let mut e = EngineHandle::spawn(5, 10, builtin_registry(), tx);
-        e.send(EngineCommand::LoadCode(AnalysisCode::Script(
-            "fn broken( {".into(),
-        )));
+        e.send(EngineCommand::LoadCode {
+            code: AnalysisCode::Script("fn broken( {".into()),
+            epoch: 0,
+        });
         recv_until(&rx, |ev| matches!(ev, EngineEvent::CodeError { .. }));
         e.shutdown();
     }
@@ -660,6 +873,7 @@ mod tests {
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(10),
+            epoch: 0,
         });
         e.send(EngineCommand::Run);
         let ev = recv_until(&rx, |ev| matches!(ev, EngineEvent::Failed { .. }));
@@ -674,12 +888,14 @@ mod tests {
     fn script_logs_are_forwarded() {
         let (tx, rx) = unbounded();
         let mut e = EngineHandle::spawn(7, 10, builtin_registry(), tx);
-        e.send(EngineCommand::LoadCode(AnalysisCode::Script(
-            "fn init() { log(\"booked\"); } fn process(ev) { }".into(),
-        )));
+        e.send(EngineCommand::LoadCode {
+            code: AnalysisCode::Script("fn init() { log(\"booked\"); } fn process(ev) { }".into()),
+            epoch: 0,
+        });
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(5),
+            epoch: 0,
         });
         e.send(EngineCommand::Run);
         let ev = recv_until(&rx, |ev| matches!(ev, EngineEvent::Log { .. }));

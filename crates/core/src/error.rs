@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::session::SessionStatus;
+
 /// Errors surfaced to the client layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
@@ -27,6 +29,9 @@ pub enum CoreError {
     EngineGone(usize),
     /// Result merging failed (incompatible partial results).
     Merge(String),
+    /// A wait deadline passed before the run finished; carries the last
+    /// status snapshot so the caller can see how far the run got.
+    Timeout(SessionStatus),
 }
 
 impl fmt::Display for CoreError {
@@ -43,6 +48,11 @@ impl fmt::Display for CoreError {
             CoreError::AllEnginesFailed => write!(f, "all analysis engines have failed"),
             CoreError::EngineGone(id) => write!(f, "engine {id} disappeared"),
             CoreError::Merge(m) => write!(f, "result merge failed: {m}"),
+            CoreError::Timeout(s) => write!(
+                f,
+                "timed out in state {:?} after {} of {} records",
+                s.state, s.records_processed, s.records_total
+            ),
         }
     }
 }

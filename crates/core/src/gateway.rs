@@ -41,7 +41,7 @@ use serde::{Deserialize, Serialize};
 use crate::analyzer::AnalysisCode;
 use crate::error::CoreError;
 use crate::manager::ManagerNode;
-use crate::session::{Session, SessionStatus};
+use crate::session::{FailureRecord, Session, SessionStatus};
 
 /// A request on the wire.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -125,6 +125,11 @@ pub enum WsRequest {
         /// Session id.
         session: u64,
     },
+    /// Fetch the session's engine-failure records.
+    Failures {
+        /// Session id.
+        session: u64,
+    },
     /// Close the session and shut its engines down.
     CloseSession {
         /// Session id.
@@ -154,6 +159,8 @@ pub enum WsResponse {
     Status(SessionStatus),
     /// Merged results.
     Tree(Tree),
+    /// Engine-failure records.
+    Failures(Vec<FailureRecord>),
     /// The request failed.
     Error(String),
 }
@@ -312,15 +319,18 @@ fn dispatch(req: WsRequest, manager: &ManagerNode, sessions: &Sessions) -> WsRes
             WsRequest::Results { session } => {
                 WsResponse::Tree(with_session(sessions, session, |s| s.results())?)
             }
-            WsRequest::CloseSession { session } => {
-                match sessions.lock().remove(&session) {
-                    Some(mut s) => {
-                        s.close();
-                        WsResponse::Ok
-                    }
-                    None => return Err(CoreError::SessionClosed),
-                }
+            WsRequest::Failures { session } => {
+                WsResponse::Failures(with_session(sessions, session, |s| {
+                    Ok(s.failures().to_vec())
+                })?)
             }
+            WsRequest::CloseSession { session } => match sessions.lock().remove(&session) {
+                Some(mut s) => {
+                    s.close();
+                    WsResponse::Ok
+                }
+                None => return Err(CoreError::SessionClosed),
+            },
         })
     })();
     result.unwrap_or_else(|e| WsResponse::Error(e.to_string()))

@@ -30,8 +30,12 @@
 //!    progress, which the client renders live.
 //!
 //! Engine failures are detected at poll time and their parts are
-//! transparently re-queued onto surviving engines (results never double
-//! count — merging is keyed by dataset part, not by engine).
+//! transparently re-queued — back onto the same engine while its retry
+//! budget ([`IpaConfig::max_part_retries`]) lasts, then onto survivors
+//! (results never double count — merging is keyed by dataset part, not by
+//! engine). Every control-plane reset bumps a session-wide *run epoch*
+//! stamped through commands and events, so in-flight updates from a
+//! superseded run are dropped instead of polluting the fresh results.
 
 #![warn(missing_docs)]
 
@@ -50,15 +54,15 @@ pub mod store;
 pub use aida_manager::{AidaManager, PartUpdate};
 pub use analyzer::{
     builtin_registry, instantiate_code, run_analyzer_serial, AnalysisCode, Analyzer,
-    AnalyzerFactory, DnaMotifAnalyzer, FieldHistogramAnalyzer, HiggsSearchAnalyzer,
-    NativeRegistry, ScriptAnalyzer, TradeVwapAnalyzer,
+    AnalyzerFactory, DnaMotifAnalyzer, FieldHistogramAnalyzer, HiggsSearchAnalyzer, NativeRegistry,
+    ScriptAnalyzer, TradeVwapAnalyzer,
 };
 pub use config::IpaConfig;
-pub use engine::{EngineCommand, EngineEvent, EngineHandle, EngineId, PartId};
+pub use engine::{EngineCommand, EngineEvent, EngineHandle, EngineId, Epoch, PartId};
 pub use error::CoreError;
 pub use gateway::{WsClient, WsGateway, WsRequest, WsResponse};
 pub use locator::{DatasetLocation, LocatorService};
 pub use manager::ManagerNode;
 pub use registry::{SessionInfo, WorkerInfo, WorkerRegistry, WorkerState};
-pub use session::{RunState, Session, SessionStatus};
+pub use session::{FailureRecord, RunState, Session, SessionStatus};
 pub use store::DatasetStore;

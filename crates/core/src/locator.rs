@@ -61,10 +61,7 @@ impl LocatorService {
     }
 
     /// Fetch the actual dataset (follows a successful locate).
-    pub fn fetch(
-        &self,
-        id: &DatasetId,
-    ) -> Result<std::sync::Arc<ipa_dataset::Dataset>, CoreError> {
+    pub fn fetch(&self, id: &DatasetId) -> Result<std::sync::Arc<ipa_dataset::Dataset>, CoreError> {
         self.store
             .get(id)
             .ok_or_else(|| CoreError::NotLocatable(id.0.clone()))

@@ -214,10 +214,7 @@ mod tests {
         assert_eq!(hits.len(), 1);
         assert!(m.catalog_entry(&DatasetId::new("lc-mini")).is_ok());
         assert!(m.catalog_tree().contains("lc-mini"));
-        assert!(m
-            .locator()
-            .locate(&DatasetId::new("lc-mini"))
-            .is_ok());
+        assert!(m.locator().locate(&DatasetId::new("lc-mini")).is_ok());
     }
 
     #[test]

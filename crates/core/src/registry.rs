@@ -121,6 +121,17 @@ impl WorkerRegistry {
         }
     }
 
+    /// Zero the progress counters of one session's engines (run-epoch
+    /// bump: rewind / code reload / dataset re-select). States are left
+    /// untouched — the counter is monotone *within* an epoch, so a reset
+    /// must go through here rather than `update_worker`.
+    pub fn reset_progress(&self, session: u64) {
+        let mut inner = self.inner.write();
+        for (_, w) in inner.workers.range_mut((session, 0)..(session + 1, 0)) {
+            w.records_processed = 0;
+        }
+    }
+
     /// Mark a whole session closed (engines become Shutdown).
     pub fn close_session(&self, session: u64) {
         let mut inner = self.inner.write();
@@ -154,7 +165,12 @@ impl WorkerRegistry {
 
     /// Sessions still active.
     pub fn active_sessions(&self) -> usize {
-        self.inner.read().sessions.values().filter(|s| s.active).count()
+        self.inner
+            .read()
+            .sessions
+            .values()
+            .filter(|s| s.active)
+            .count()
     }
 
     /// Render the operator panel (the "hosts that have analysis engines
@@ -203,6 +219,27 @@ mod tests {
         r.update_worker(1, 0, WorkerState::Busy, Some(100));
         r.update_worker(1, 0, WorkerState::Busy, Some(50)); // stale update
         assert_eq!(r.session_workers(1)[0].records_processed, 100);
+    }
+
+    #[test]
+    fn reset_progress_zeroes_counters_but_keeps_state() {
+        let r = WorkerRegistry::new();
+        r.register_session(1, "/CN=a", 2, "s");
+        r.register_session(2, "/CN=b", 1, "s");
+        r.update_worker(1, 0, WorkerState::Busy, Some(100));
+        r.update_worker(1, 1, WorkerState::Idle, Some(250));
+        r.update_worker(2, 0, WorkerState::Busy, Some(42));
+        r.reset_progress(1);
+        let workers = r.session_workers(1);
+        assert!(workers.iter().all(|w| w.records_processed == 0));
+        assert_eq!(workers[0].state, WorkerState::Busy);
+        assert_eq!(workers[1].state, WorkerState::Idle);
+        // Other sessions are untouched.
+        assert_eq!(r.session_workers(2)[0].records_processed, 42);
+        // And the counter is usable again after the reset (not stuck at
+        // the pre-reset max).
+        r.update_worker(1, 0, WorkerState::Busy, Some(10));
+        assert_eq!(r.session_workers(1)[0].records_processed, 10);
     }
 
     #[test]

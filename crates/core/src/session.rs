@@ -8,17 +8,27 @@
 //! the AIDA manager", §3.7).
 //!
 //! Fault tolerance beyond the paper: a failed engine's part is invalidated
-//! and re-queued onto surviving engines at the next poll; results never
-//! double count because merging is keyed by part.
+//! and re-queued at the next poll, and each engine has a retry budget
+//! ([`crate::IpaConfig::max_part_retries`]) — a failed engine is kept
+//! alive and handed its part again until the budget is spent, after which
+//! it is declared dead and its part re-runs on a surviving engine. Results
+//! never double count because merging is keyed by part.
+//!
+//! Every control-plane reset (`select_dataset`, `load_code`, `rewind`)
+//! bumps a session-wide *run epoch*. Commands carry the epoch out to the
+//! engines, engines stamp it into every event, and both [`Session::poll`]
+//! and the AIDA manager drop anything from a superseded epoch — so
+//! updates already queued in the event channel when the user rewinds can
+//! never re-pollute the fresh run's merged results.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 use crossbeam::channel::{Receiver, TryRecvError};
 use ipa_aida::Tree;
-use serde::{Deserialize, Serialize};
 use ipa_dataset::{split_even, split_records, AnyRecord, DatasetDescriptor, DatasetId};
+use serde::{Deserialize, Serialize};
 
 use crate::aida_manager::AidaManager;
 use crate::analyzer::{instantiate_code, AnalysisCode, NativeRegistry};
@@ -51,6 +61,23 @@ struct EngineSlot {
     part: Option<(PartId, bool)>,
     /// Records completed in earlier parts (for registry progress).
     completed_records: u64,
+    /// Failures absorbed by the retry budget so far this epoch.
+    retries_used: u32,
+}
+
+/// One engine failure, as recorded by the session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// Which engine failed.
+    pub engine: EngineId,
+    /// The part it was processing, if any.
+    pub part: Option<PartId>,
+    /// Run epoch the failure happened under.
+    pub epoch: u64,
+    /// Failure description from the engine.
+    pub message: String,
+    /// Wall-clock time the session recorded the failure.
+    pub at: SystemTime,
 }
 
 /// Snapshot returned by [`Session::poll`].
@@ -68,6 +95,9 @@ pub struct SessionStatus {
     pub parts_total: usize,
     /// Engines still alive.
     pub engines_alive: usize,
+    /// Run epoch this snapshot belongs to (bumped by `select_dataset`,
+    /// `load_code`, and `rewind`).
+    pub epoch: u64,
     /// Log lines collected since the last poll.
     pub new_logs: Vec<(EngineId, String)>,
 }
@@ -98,8 +128,9 @@ pub struct Session {
     pending: VecDeque<PartId>,
     code: Option<AnalysisCode>,
     state: RunState,
+    epoch: u64,
     logs: Vec<(EngineId, String)>,
-    failures: Vec<(EngineId, String)>,
+    failures: Vec<FailureRecord>,
     registry: WorkerRegistry,
     closed: bool,
 }
@@ -124,6 +155,7 @@ impl Session {
                     alive: true,
                     part: None,
                     completed_records: 0,
+                    retries_used: 0,
                 })
                 .collect(),
             events,
@@ -135,6 +167,7 @@ impl Session {
             pending: VecDeque::new(),
             code: None,
             state: RunState::Idle,
+            epoch: 0,
             logs: Vec::new(),
             failures: Vec::new(),
             registry,
@@ -167,9 +200,27 @@ impl Session {
         self.dataset.as_ref()
     }
 
-    /// Engine failures seen so far (id, message).
-    pub fn failures(&self) -> &[(EngineId, String)] {
+    /// Engine failures recorded so far (current-epoch only).
+    pub fn failures(&self) -> &[FailureRecord] {
         &self.failures
+    }
+
+    /// Current run epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Start a new run epoch: merged results and progress counters reset,
+    /// retry budgets refill, and any event still in flight from the old
+    /// epoch will be dropped on arrival.
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
+        self.aida.begin_epoch(self.epoch);
+        self.registry.reset_progress(self.id);
+        for slot in self.engines.iter_mut() {
+            slot.completed_records = 0;
+            slot.retries_used = 0;
+        }
     }
 
     fn check_open(&self) -> Result<(), CoreError> {
@@ -212,11 +263,12 @@ impl Session {
 
         self.parts = parts.into_iter().map(Arc::new).collect();
         self.dataset = Some(ds.descriptor.clone());
-        self.aida.clear();
+        self.bump_epoch();
         self.pending.clear();
         self.state = RunState::Idle;
 
         // Stage part k onto the k-th living engine.
+        let epoch = self.epoch;
         let mut part_iter = 0u64;
         for slot in self.engines.iter_mut() {
             slot.part = None;
@@ -228,9 +280,14 @@ impl Session {
                 slot.handle.send(EngineCommand::AssignPart {
                     part: part_iter,
                     records,
+                    epoch,
                 });
                 slot.part = Some((part_iter, false));
                 part_iter += 1;
+            } else {
+                // No part for this engine: quiesce it. It keeps its old
+                // epoch, so anything it might still publish is dropped.
+                slot.handle.send(EngineCommand::Stop);
             }
         }
         // Any parts beyond the number of living engines wait in the queue.
@@ -248,14 +305,18 @@ impl Session {
         // Validate before shipping (scripts compile; natives must exist on
         // the engines' registry, which mirrors this one).
         instantiate_code(&code, &self.local_registry())?;
+        self.bump_epoch();
+        let epoch = self.epoch;
         for slot in self.engines.iter_mut().filter(|s| s.alive) {
-            slot.handle.send(EngineCommand::LoadCode(code.clone()));
+            slot.handle.send(EngineCommand::LoadCode {
+                code: code.clone(),
+                epoch,
+            });
             if let Some((_, done)) = &mut slot.part {
                 *done = false;
             }
         }
         self.code = Some(code);
-        self.aida.clear();
         self.state = RunState::Idle;
         Ok(())
     }
@@ -296,6 +357,9 @@ impl Session {
         if self.code.is_none() {
             return Err(CoreError::NoCode);
         }
+        if self.engines_alive() == 0 {
+            return Err(CoreError::AllEnginesFailed);
+        }
         for slot in self.engines.iter().filter(|s| s.alive) {
             slot.handle.send(EngineCommand::RunN(n));
         }
@@ -315,12 +379,18 @@ impl Session {
         Ok(())
     }
 
-    /// Stop the run (results stay visible; restart from the beginning with
-    /// rewind + run).
+    /// Stop the run. Unlike [`Session::pause`], engines drop their
+    /// position: a later [`Session::run`] restarts each part from record
+    /// 0 rather than resuming mid-way. Results merged so far stay visible
+    /// until fresh updates replace them (use [`Session::rewind`] to also
+    /// reset the merged results).
     pub fn stop(&mut self) -> Result<(), CoreError> {
         self.check_open()?;
-        for slot in self.engines.iter().filter(|s| s.alive) {
-            slot.handle.send(EngineCommand::Pause);
+        for slot in self.engines.iter_mut().filter(|s| s.alive) {
+            slot.handle.send(EngineCommand::Stop);
+            if let Some((_, done)) = &mut slot.part {
+                *done = false;
+            }
         }
         self.state = RunState::Stopped;
         Ok(())
@@ -330,9 +400,12 @@ impl Session {
     /// merged results reset.
     pub fn rewind(&mut self) -> Result<(), CoreError> {
         self.check_open()?;
-        self.aida.clear();
+        self.bump_epoch();
         self.pending.clear();
-        // Re-stage original parts onto living engines.
+        // Re-stage original parts onto living engines. Staging halts the
+        // engine and moves it to the new epoch; updates it published
+        // before the re-stage carry the old epoch and are dropped.
+        let epoch = self.epoch;
         let mut next_part = 0u64;
         for slot in self.engines.iter_mut() {
             slot.part = None;
@@ -343,9 +416,12 @@ impl Session {
                 slot.handle.send(EngineCommand::AssignPart {
                     part: next_part,
                     records: self.parts[next_part as usize].clone(),
+                    epoch,
                 });
                 slot.part = Some((next_part, false));
                 next_part += 1;
+            } else {
+                slot.handle.send(EngineCommand::Stop);
             }
         }
         for p in next_part..self.parts.len() as u64 {
@@ -359,24 +435,56 @@ impl Session {
         match ev {
             EngineEvent::Ready { .. } => {}
             EngineEvent::CodeLoaded { .. } => {}
-            EngineEvent::CodeError { engine, message } => {
-                self.failures.push((engine, format!("code error: {message}")));
+            EngineEvent::CodeError {
+                engine,
+                epoch,
+                message,
+            } => {
+                if epoch != self.epoch {
+                    return;
+                }
+                self.failures.push(FailureRecord {
+                    engine,
+                    part: None,
+                    epoch,
+                    message: format!("code error: {message}"),
+                    at: SystemTime::now(),
+                });
             }
             EngineEvent::Update { part, update } => {
+                if update.epoch != self.epoch {
+                    // In flight when the run was reset; the part ids have
+                    // been reused by the new epoch, so merging this would
+                    // silently re-pollute the fresh results.
+                    return;
+                }
                 if let Some(slot) = self.engines.get_mut(update.engine) {
+                    let mut newly_done = false;
                     if let Some((pid, done)) = &mut slot.part {
                         if *pid == part {
+                            newly_done = update.done && !*done;
                             *done = update.done;
                         }
                     }
-                    let total = slot.completed_records + update.processed;
-                    if update.done {
+                    // Count a part into the engine's completed tally only
+                    // on the not-done -> done transition, so a re-published
+                    // done update cannot inflate registry progress.
+                    if newly_done {
                         slot.completed_records += update.total;
                     }
+                    let total = if update.done {
+                        slot.completed_records
+                    } else {
+                        slot.completed_records + update.processed
+                    };
                     self.registry.update_worker(
                         self.id,
                         update.engine,
-                        if update.done { WorkerState::Idle } else { WorkerState::Busy },
+                        if update.done {
+                            WorkerState::Idle
+                        } else {
+                            WorkerState::Busy
+                        },
                         Some(total),
                     );
                 }
@@ -385,21 +493,58 @@ impl Session {
             EngineEvent::Failed {
                 engine,
                 part,
+                epoch,
                 message,
             } => {
-                self.failures.push((engine, message));
-                self.registry
-                    .update_worker(self.id, engine, WorkerState::Failed, None);
-                if let Some(slot) = self.engines.get_mut(engine) {
-                    slot.alive = false;
-                    slot.part = None;
+                if epoch != self.epoch {
+                    return;
                 }
+                // Spend the retry budget before declaring the engine dead:
+                // the part is re-queued either way (dispatch_pending will
+                // hand it back to this engine, or to a survivor).
+                let retry = self
+                    .engines
+                    .get(engine)
+                    .map(|s| s.alive && s.retries_used < self.config.max_part_retries)
+                    .unwrap_or(false);
+                self.failures.push(FailureRecord {
+                    engine,
+                    part,
+                    epoch,
+                    message,
+                    at: SystemTime::now(),
+                });
+                if let Some(slot) = self.engines.get_mut(engine) {
+                    slot.part = None;
+                    if retry {
+                        slot.retries_used += 1;
+                    } else {
+                        slot.alive = false;
+                    }
+                }
+                self.registry.update_worker(
+                    self.id,
+                    engine,
+                    if retry {
+                        WorkerState::Idle
+                    } else {
+                        WorkerState::Failed
+                    },
+                    None,
+                );
                 if let Some(p) = part {
                     self.aida.invalidate(p);
                     self.pending.push_back(p);
                 }
             }
-            EngineEvent::Log { engine, message } => {
+            EngineEvent::Log {
+                engine,
+                epoch,
+                message,
+            } => {
+                if epoch != self.epoch {
+                    return;
+                }
                 self.logs.push((engine, message));
             }
         }
@@ -427,6 +572,7 @@ impl Session {
                 slot.handle.send(EngineCommand::AssignPart {
                     part,
                     records: self.parts[part as usize].clone(),
+                    epoch: self.epoch,
                 });
                 if self.state == RunState::Running {
                     slot.handle.send(EngineCommand::Run);
@@ -465,6 +611,7 @@ impl Session {
             parts_done,
             parts_total,
             engines_alive: self.engines_alive(),
+            epoch: self.epoch,
             new_logs: std::mem::take(&mut self.logs),
         })
     }
@@ -479,7 +626,9 @@ impl Session {
         self.aida.merged_hierarchical(fan_in)
     }
 
-    /// Poll until the run finishes (or fails, or times out).
+    /// Poll until the run finishes (or fails). If the deadline passes
+    /// first, returns [`CoreError::Timeout`] carrying the last status
+    /// snapshot — a timeout is never mistakable for success.
     pub fn wait_finished(&mut self, timeout: Duration) -> Result<SessionStatus, CoreError> {
         let deadline = Instant::now() + timeout;
         loop {
@@ -488,7 +637,7 @@ impl Session {
                 return Ok(status);
             }
             if Instant::now() > deadline {
-                return Ok(status);
+                return Err(CoreError::Timeout(status));
             }
             std::thread::sleep(Duration::from_millis(1));
         }

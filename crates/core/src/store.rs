@@ -85,10 +85,7 @@ mod tests {
         assert_eq!(store.len(), 2);
         assert!(store.get(&DatasetId::new("a")).is_some());
         assert!(store.get(&DatasetId::new("z")).is_none());
-        assert_eq!(
-            store.ids(),
-            vec![DatasetId::new("a"), DatasetId::new("b")]
-        );
+        assert_eq!(store.ids(), vec![DatasetId::new("a"), DatasetId::new("b")]);
         store.remove(&DatasetId::new("a"));
         assert_eq!(store.len(), 1);
     }

@@ -115,7 +115,12 @@ fn poison_script_kills_all_engines_and_surfaces() {
     }
     // Both engines died on the same poisoned part.
     assert_eq!(s.failures().len(), 2);
-    assert!(s.failures()[0].1.contains("no_such_field"));
+    assert!(s.failures()[0].message.contains("no_such_field"));
+    assert_eq!(
+        s.failures()[0].part,
+        s.failures()[1].part,
+        "both deaths must name the same poisoned part"
+    );
     s.close();
 }
 

@@ -44,7 +44,10 @@ fn full_four_step_flow_over_tcp() {
     let mut client = WsClient::connect(gw.addr()).unwrap();
 
     // Catalog browse + search over the wire.
-    let WsResponse::Items(items) = client.call_ok(&WsRequest::Browse { folder: "/".into() }).unwrap() else {
+    let WsResponse::Items(items) = client
+        .call_ok(&WsRequest::Browse { folder: "/".into() })
+        .unwrap()
+    else {
         panic!("browse")
     };
     assert!(!items.is_empty());
@@ -107,7 +110,9 @@ fn full_four_step_flow_over_tcp() {
     };
     assert!(tree.get("/m").unwrap().entries() > 0);
 
-    client.call_ok(&WsRequest::CloseSession { session }).unwrap();
+    client
+        .call_ok(&WsRequest::CloseSession { session })
+        .unwrap();
     // The session is gone afterwards.
     assert!(client.call_ok(&WsRequest::Poll { session }).is_err());
     gw.shutdown();
@@ -191,12 +196,14 @@ fn two_clients_share_the_gateway_with_separate_sessions() {
 
     // Cross-client access by id works (it's an id-addressed resource, as
     // in WSRF) — but closing one does not affect the other.
-    c1.call_ok(&WsRequest::CloseSession { session: s1 }).unwrap();
+    c1.call_ok(&WsRequest::CloseSession { session: s1 })
+        .unwrap();
     let WsResponse::Status(st) = c2.call_ok(&WsRequest::Poll { session: s2 }).unwrap() else {
         panic!()
     };
     assert_eq!(st.engines_alive, 2);
-    c2.call_ok(&WsRequest::CloseSession { session: s2 }).unwrap();
+    c2.call_ok(&WsRequest::CloseSession { session: s2 })
+        .unwrap();
     gw.shutdown();
 }
 
@@ -253,6 +260,16 @@ fn interactive_controls_over_tcp() {
         assert!(std::time::Instant::now() < deadline);
         std::thread::sleep(Duration::from_millis(2));
     }
-    client.call_ok(&WsRequest::CloseSession { session }).unwrap();
+
+    // Failure records cross the wire (none in this clean run).
+    let WsResponse::Failures(failures) = client.call_ok(&WsRequest::Failures { session }).unwrap()
+    else {
+        panic!("failures")
+    };
+    assert!(failures.is_empty());
+
+    client
+        .call_ok(&WsRequest::CloseSession { session })
+        .unwrap();
     gw.shutdown();
 }

@@ -4,9 +4,7 @@
 
 use std::time::Duration;
 
-use ipa_core::{
-    AnalysisCode, CoreError, HiggsSearchAnalyzer, IpaConfig, ManagerNode, RunState,
-};
+use ipa_core::{AnalysisCode, CoreError, HiggsSearchAnalyzer, IpaConfig, ManagerNode, RunState};
 use ipa_dataset::{DatasetId, EventGeneratorConfig, GeneratorConfig};
 use ipa_script::AidaHost;
 use ipa_simgrid::{SecurityDomain, VoPolicy};
@@ -14,16 +12,16 @@ use ipa_simgrid::{SecurityDomain, VoPolicy};
 const DATASET_EVENTS: u64 = 4000;
 
 fn setup(engines: usize) -> (ManagerNode, ipa_simgrid::GridProxy) {
+    setup_with(IpaConfig {
+        engines_per_session: engines,
+        publish_every: 200,
+        ..Default::default()
+    })
+}
+
+fn setup_with(config: IpaConfig) -> (ManagerNode, ipa_simgrid::GridProxy) {
     let sec = SecurityDomain::new("slac-osg", 99).with_policy(VoPolicy::new("ilc", 16));
-    let manager = ManagerNode::new(
-        "slac.stanford.edu",
-        sec.clone(),
-        IpaConfig {
-            engines_per_session: engines,
-            publish_every: 200,
-            ..Default::default()
-        },
-    );
+    let manager = ManagerNode::new("slac.stanford.edu", sec.clone(), config);
     let ds = ipa_dataset::generate_dataset(
         "lc-higgs",
         "Simulated LC events",
@@ -276,7 +274,12 @@ fn engine_failure_recovers_without_double_counting() {
     )
     .unwrap();
     let recovered = s.results().unwrap();
-    let a = serial_host.tree.get("/higgs/bb_mass").unwrap().as_h1().unwrap();
+    let a = serial_host
+        .tree
+        .get("/higgs/bb_mass")
+        .unwrap()
+        .as_h1()
+        .unwrap();
     let b = recovered.get("/higgs/bb_mass").unwrap().as_h1().unwrap();
     assert_eq!(a.all_entries(), b.all_entries());
     s.close();
@@ -302,6 +305,179 @@ fn all_engines_failing_is_an_error() {
             Ok(_) => std::thread::sleep(Duration::from_millis(2)),
             Err(other) => panic!("unexpected error {other}"),
         }
+    }
+    s.close();
+}
+
+#[test]
+fn run_events_after_total_engine_loss_is_an_error() {
+    // Regression: run_events used to lack the engines_alive() == 0 guard
+    // that run() has, silently "starting" a run no engine would perform.
+    let (manager, proxy) = setup(2);
+    let mut s = manager.create_session(&proxy, 0.0, 2).unwrap();
+    s.select_dataset(&DatasetId::new("lc-higgs")).unwrap();
+    s.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    s.inject_failure(0, 10);
+    s.inject_failure(1, 10);
+    s.run().unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        match s.poll() {
+            Err(CoreError::AllEnginesFailed) => break,
+            Ok(_) if std::time::Instant::now() > deadline => {
+                panic!("all-engines-failed never surfaced")
+            }
+            Ok(_) => std::thread::sleep(Duration::from_millis(2)),
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+    assert!(matches!(
+        s.run_events(100),
+        Err(CoreError::AllEnginesFailed)
+    ));
+    assert!(matches!(s.run(), Err(CoreError::AllEnginesFailed)));
+    s.close();
+}
+
+#[test]
+fn retry_budget_keeps_engine_alive_and_run_exact() {
+    // An injected fault is consumed when it fires, so with a retry budget
+    // the same engine gets its part back and completes it: the run
+    // finishes with every engine alive and results identical to a
+    // failure-free serial pass.
+    let (manager, proxy) = setup_with(IpaConfig {
+        engines_per_session: 4,
+        publish_every: 200,
+        max_part_retries: 2,
+        ..Default::default()
+    });
+    let mut s = manager.create_session(&proxy, 0.0, 4).unwrap();
+    s.select_dataset(&DatasetId::new("lc-higgs")).unwrap();
+    s.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    s.inject_failure(1, 137);
+    s.run().unwrap();
+    let st = s.wait_finished(Duration::from_secs(120)).unwrap();
+    assert_eq!(st.state, RunState::Finished);
+    assert_eq!(st.engines_alive, 4, "retried engine must stay alive");
+    assert_eq!(st.parts_done, 4);
+    assert_eq!(st.records_processed, DATASET_EVENTS);
+    assert_eq!(s.failures().len(), 1);
+    assert_eq!(s.failures()[0].engine, 1);
+    assert!(s.failures()[0].part.is_some());
+    assert_eq!(s.failures()[0].epoch, st.epoch);
+
+    let records = manager
+        .locator()
+        .fetch(&DatasetId::new("lc-higgs"))
+        .unwrap()
+        .records
+        .clone();
+    let mut serial_host = AidaHost::new();
+    ipa_core::run_analyzer_serial(
+        &mut HiggsSearchAnalyzer::default(),
+        &records,
+        &mut serial_host,
+    )
+    .unwrap();
+    let recovered = s.results().unwrap();
+    let a = serial_host
+        .tree
+        .get("/higgs/bb_mass")
+        .unwrap()
+        .as_h1()
+        .unwrap();
+    let b = recovered.get("/higgs/bb_mass").unwrap().as_h1().unwrap();
+    assert_eq!(a.all_entries(), b.all_entries());
+    s.close();
+}
+
+#[test]
+fn registry_progress_resets_across_reruns() {
+    // Regression: completed_records was never reset on rewind, so the
+    // registry's per-engine progress inflated by one dataset per re-run.
+    let (manager, proxy) = setup(3);
+    let reg = manager.worker_registry().clone();
+    let mut s = manager.create_session(&proxy, 0.0, 3).unwrap();
+    s.select_dataset(&DatasetId::new("lc-higgs")).unwrap();
+    s.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    s.run().unwrap();
+    s.wait_finished(Duration::from_secs(60)).unwrap();
+    let total = |workers: &[ipa_core::WorkerInfo]| -> u64 {
+        workers.iter().map(|w| w.records_processed).sum()
+    };
+    assert_eq!(total(&reg.session_workers(s.id())), DATASET_EVENTS);
+
+    s.rewind().unwrap();
+    assert_eq!(
+        total(&reg.session_workers(s.id())),
+        0,
+        "rewind must zero registry progress"
+    );
+
+    s.run().unwrap();
+    s.wait_finished(Duration::from_secs(60)).unwrap();
+    assert_eq!(
+        total(&reg.session_workers(s.id())),
+        DATASET_EVENTS,
+        "second pass must count one dataset, not two"
+    );
+    s.close();
+}
+
+#[test]
+fn stop_then_run_restarts_parts_from_zero() {
+    // stop() diverges from pause(): engines drop their position, so a
+    // later run restarts each part at record 0 instead of resuming.
+    let (manager, proxy) = setup(1);
+    let mut s = manager.create_session(&proxy, 0.0, 1).unwrap();
+    s.select_dataset(&DatasetId::new("lc-higgs")).unwrap();
+    s.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    s.run_events(300).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        if s.poll().unwrap().records_processed == 300 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "run_events stalled");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    s.stop().unwrap();
+    assert_eq!(s.poll().unwrap().state, RunState::Stopped);
+
+    // A resume from 300 would report 400; a restart reports 100.
+    s.run_events(100).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let processed = s.poll().unwrap().records_processed;
+        if processed != 300 {
+            assert_eq!(processed, 100, "stop must drop the engine position");
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "restart stalled");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    s.close();
+}
+
+#[test]
+fn wait_finished_timeout_is_an_error() {
+    let (manager, proxy) = setup(2);
+    let mut s = manager.create_session(&proxy, 0.0, 2).unwrap();
+    s.select_dataset(&DatasetId::new("lc-higgs")).unwrap();
+    s.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    // Never started: a zero-duration wait can only time out, and must say
+    // so instead of returning a success-shaped status.
+    match s.wait_finished(Duration::ZERO) {
+        Err(CoreError::Timeout(st)) => {
+            assert_eq!(st.state, RunState::Idle);
+            assert_eq!(st.records_processed, 0);
+        }
+        other => panic!("expected Timeout, got {other:?}"),
     }
     s.close();
 }

@@ -144,7 +144,11 @@ fn decode_event(buf: &mut &[u8]) -> Result<CollisionEvent, DatasetError> {
         let px = buf.get_f64_le();
         let py = buf.get_f64_le();
         let pz = buf.get_f64_le();
-        particles.push(Particle::new(pdg_id, charge, FourVector::new(e, px, py, pz)));
+        particles.push(Particle::new(
+            pdg_id,
+            charge,
+            FourVector::new(e, px, py, pz),
+        ));
     }
     Ok(CollisionEvent {
         event_id,

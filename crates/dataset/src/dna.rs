@@ -47,7 +47,9 @@ impl DnaRead {
         }
         let b = self.bases.as_bytes();
         let m = motif.as_bytes();
-        (0..=b.len() - m.len()).filter(|&i| &b[i..i + m.len()] == m).count()
+        (0..=b.len() - m.len())
+            .filter(|&i| &b[i..i + m.len()] == m)
+            .count()
     }
 }
 

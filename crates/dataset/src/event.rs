@@ -238,7 +238,11 @@ mod tests {
             run: 1,
             sqrt_s: 500.0,
             is_signal: false,
-            particles: vec![Particle::new(11, -1.0, FourVector::new(10.0, 1.0, 0.0, 0.0))],
+            particles: vec![Particle::new(
+                11,
+                -1.0,
+                FourVector::new(10.0, 1.0, 0.0, 0.0),
+            )],
         };
         assert!(ev.leading_bb_mass().is_none());
     }

@@ -100,8 +100,7 @@ impl EventGeneratorConfig {
     /// signal_fraction)` bytes. Used by benches to build size-controlled
     /// datasets ("analyze 471 MB") without trial and error.
     pub fn events_for_target_mb(&self, mb: f64) -> u64 {
-        let per_event = 25.0
-            + 44.0 * (self.mean_multiplicity + 2.0 * self.signal_fraction);
+        let per_event = 25.0 + 44.0 * (self.mean_multiplicity + 2.0 * self.signal_fraction);
         ((mb * 1.0e6) / per_event).max(1.0) as u64
     }
 
@@ -491,7 +490,11 @@ mod tests {
             let ds = crate::dataset::Dataset::from_records(
                 "t",
                 "t",
-                EventGeneratorConfig { events: n, ..cfg.clone() }.generate(),
+                EventGeneratorConfig {
+                    events: n,
+                    ..cfg.clone()
+                }
+                .generate(),
             );
             let got = ds.descriptor.size_mb();
             assert!(

@@ -152,7 +152,14 @@ impl RecordFields for DnaRead {
     }
 
     fn field_names(&self) -> &'static [&'static str] {
-        &["read_id", "sample", "length", "gc_content", "quality", "bases"]
+        &[
+            "read_id",
+            "sample",
+            "length",
+            "gc_content",
+            "quality",
+            "bases",
+        ]
     }
 }
 
@@ -217,8 +224,16 @@ mod tests {
             sqrt_s: 500.0,
             is_signal: true,
             particles: vec![
-                Particle::new(5, -1.0 / 3.0, FourVector::from_mass_momentum(4.8, 40.0, 0.0, 5.0)),
-                Particle::new(-5, 1.0 / 3.0, FourVector::from_mass_momentum(4.8, -35.0, 8.0, -5.0)),
+                Particle::new(
+                    5,
+                    -1.0 / 3.0,
+                    FourVector::from_mass_momentum(4.8, 40.0, 0.0, 5.0),
+                ),
+                Particle::new(
+                    -5,
+                    1.0 / 3.0,
+                    FourVector::from_mass_momentum(4.8, -35.0, 8.0, -5.0),
+                ),
                 Particle::new(22, 0.0, FourVector::new(12.0, 0.0, 12.0, 0.0)),
             ],
         }

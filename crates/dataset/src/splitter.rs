@@ -52,7 +52,10 @@ impl SplitPlan {
 
 /// Split into `n` parts with equal record counts (±1). The first
 /// `len % n` parts get the extra record, preserving order.
-pub fn split_even(records: &[AnyRecord], n: usize) -> Result<(Vec<Vec<AnyRecord>>, SplitPlan), DatasetError> {
+pub fn split_even(
+    records: &[AnyRecord],
+    n: usize,
+) -> Result<(Vec<Vec<AnyRecord>>, SplitPlan), DatasetError> {
     if n == 0 {
         return Err(DatasetError::ZeroParts);
     }
@@ -77,11 +80,17 @@ pub fn split_even(records: &[AnyRecord], n: usize) -> Result<(Vec<Vec<AnyRecord>
 /// order. Greedy: a part is closed once it reaches the running byte target.
 /// Each part's size differs from the ideal by at most the largest single
 /// record; when there are more parts than records some parts are empty.
-pub fn split_records(records: &[AnyRecord], n: usize) -> Result<(Vec<Vec<AnyRecord>>, SplitPlan), DatasetError> {
+pub fn split_records(
+    records: &[AnyRecord],
+    n: usize,
+) -> Result<(Vec<Vec<AnyRecord>>, SplitPlan), DatasetError> {
     if n == 0 {
         return Err(DatasetError::ZeroParts);
     }
-    let sizes: Vec<u64> = records.iter().map(|r| encoded_record_size(r) as u64).collect();
+    let sizes: Vec<u64> = records
+        .iter()
+        .map(|r| encoded_record_size(r) as u64)
+        .collect();
     let total: u64 = sizes.iter().sum();
     let mut parts: Vec<Vec<AnyRecord>> = Vec::with_capacity(n);
     let mut ranges = Vec::with_capacity(n);

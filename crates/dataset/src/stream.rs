@@ -302,11 +302,10 @@ pub fn split_stream<R: Read, W: Write, F: FnMut(usize) -> std::io::Result<W>>(
         let sink = make_sink(p as usize).map_err(|_| DatasetError::Truncated {
             context: "opening part sink",
         })?;
-        let mut writer = StreamWriter::new(sink, kind, take).map_err(|_| {
-            DatasetError::Truncated {
+        let mut writer =
+            StreamWriter::new(sink, kind, take).map_err(|_| DatasetError::Truncated {
                 context: "writing part header",
-            }
-        })?;
+            })?;
         for _ in 0..take {
             let rec = reader.next_record()?.ok_or(DatasetError::CountMismatch {
                 declared: total,

@@ -28,7 +28,10 @@ impl std::fmt::Display for FitError {
             FitError::Underdetermined {
                 observations,
                 unknowns,
-            } => write!(f, "{observations} observations cannot fit {unknowns} unknowns"),
+            } => write!(
+                f,
+                "{observations} observations cannot fit {unknowns} unknowns"
+            ),
             FitError::Singular => write!(f, "design matrix is singular"),
         }
     }
@@ -48,10 +51,7 @@ pub fn solve_least_squares(rows: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>, Fit
             unknowns: k,
         });
     }
-    assert!(
-        rows.iter().all(|r| r.len() == k),
-        "ragged design matrix"
-    );
+    assert!(rows.iter().all(|r| r.len() == k), "ragged design matrix");
     // Build AᵀA (k×k) and Aᵀy (k).
     let mut ata = vec![vec![0.0f64; k]; k];
     let mut aty = vec![0.0f64; k];
@@ -126,8 +126,7 @@ pub fn fit_local_slope(samples: &[(f64, f64)]) -> Result<f64, FitError> {
 /// `(x, t_move, t_analyze)`.
 pub fn fit_local_equation(samples: &[(f64, f64, f64)]) -> Result<LocalEquation, FitError> {
     let move_k = fit_local_slope(&samples.iter().map(|&(x, m, _)| (x, m)).collect::<Vec<_>>())?;
-    let analyze_k =
-        fit_local_slope(&samples.iter().map(|&(x, _, a)| (x, a)).collect::<Vec<_>>())?;
+    let analyze_k = fit_local_slope(&samples.iter().map(|&(x, _, a)| (x, a)).collect::<Vec<_>>())?;
     Ok(LocalEquation {
         move_s_per_mb: move_k,
         analyze_s_per_mb: analyze_k,

@@ -170,7 +170,10 @@ impl Host for AidaHost {
                 h.fill(x, w);
                 Ok(())
             }
-            Ok(other) => Err(format!("'{path}' is a {}, not a 1-D histogram", other.kind())),
+            Ok(other) => Err(format!(
+                "'{path}' is a {}, not a 1-D histogram",
+                other.kind()
+            )),
             Err(e) => Err(e.to_string()),
         }
     }
@@ -181,7 +184,10 @@ impl Host for AidaHost {
                 h.fill(x, y, w);
                 Ok(())
             }
-            Ok(other) => Err(format!("'{path}' is a {}, not a 2-D histogram", other.kind())),
+            Ok(other) => Err(format!(
+                "'{path}' is a {}, not a 2-D histogram",
+                other.kind()
+            )),
             Err(e) => Err(e.to_string()),
         }
     }
@@ -227,7 +233,12 @@ impl Host for AidaHost {
     fn book_tuple(&mut self, path: &str, columns: &[&str]) -> Result<(), String> {
         if let Ok(obj) = self.tree.get(path) {
             return match obj.as_tuple() {
-                Some(t) if t.column_names().iter().map(String::as_str).eq(columns.iter().copied()) => {
+                Some(t)
+                    if t.column_names()
+                        .iter()
+                        .map(String::as_str)
+                        .eq(columns.iter().copied()) =>
+                {
                     Ok(())
                 }
                 Some(_) => Err(format!("'{path}' already booked with a different schema")),
@@ -325,7 +336,11 @@ impl Interpreter {
             return Err(ScriptError::MissingEntryPoint("process"));
         }
         self.fuel = self.fuel_budget;
-        self.call_function("process", vec![Value::Record(Arc::new(record.clone()))], host)?;
+        self.call_function(
+            "process",
+            vec![Value::Record(Arc::new(record.clone()))],
+            host,
+        )?;
         Ok(())
     }
 
@@ -360,7 +375,10 @@ impl Interpreter {
         host: &mut dyn Host,
     ) -> Result<Value, ScriptError> {
         let Some(f) = self.functions.get(name).cloned() else {
-            return Err(ScriptError::runtime(format!("unknown function '{name}'"), 0));
+            return Err(ScriptError::runtime(
+                format!("unknown function '{name}'"),
+                0,
+            ));
         };
         if args.len() != f.params.len() {
             return Err(ScriptError::runtime(
@@ -376,8 +394,7 @@ impl Interpreter {
             return Err(ScriptError::StackOverflow);
         }
         self.depth += 1;
-        let mut locals: HashMap<String, Value> =
-            f.params.iter().cloned().zip(args).collect();
+        let mut locals: HashMap<String, Value> = f.params.iter().cloned().zip(args).collect();
         let mut result = Value::Null;
         let mut error = None;
         for s in &f.body {
@@ -457,7 +474,10 @@ impl Interpreter {
                             .get_mut(name)
                             .or_else(|| self.globals.get_mut(name))
                             .ok_or_else(|| {
-                                ScriptError::runtime(format!("unknown variable '{name}'"), index.line)
+                                ScriptError::runtime(
+                                    format!("unknown variable '{name}'"),
+                                    index.line,
+                                )
                             })?;
                         let Value::Array(a) = slot else {
                             return Err(ScriptError::runtime(
@@ -522,14 +542,12 @@ impl Interpreter {
             Stmt::For { var, iter, body } => {
                 let items: Vec<Value> = match &iter.kind {
                     ExprKind::Range { start, end } => {
-                        let s = self
-                            .eval(start, locals, host)?
-                            .as_num()
-                            .ok_or_else(|| ScriptError::runtime("range start must be numeric", iter.line))?;
-                        let e = self
-                            .eval(end, locals, host)?
-                            .as_num()
-                            .ok_or_else(|| ScriptError::runtime("range end must be numeric", iter.line))?;
+                        let s = self.eval(start, locals, host)?.as_num().ok_or_else(|| {
+                            ScriptError::runtime("range start must be numeric", iter.line)
+                        })?;
+                        let e = self.eval(end, locals, host)?.as_num().ok_or_else(|| {
+                            ScriptError::runtime("range end must be numeric", iter.line)
+                        })?;
                         let mut v = Vec::new();
                         let mut x = s;
                         while x < e {
@@ -604,19 +622,18 @@ impl Interpreter {
             ExprKind::Unary { op, expr: inner } => {
                 let v = self.eval(inner, locals, host)?;
                 match op {
-                    UnOp::Neg => v
-                        .as_num()
-                        .map(|n| Value::Num(-n))
-                        .ok_or_else(|| {
-                            ScriptError::runtime(
-                                format!("cannot negate a {}", v.type_name()),
-                                expr.line,
-                            )
-                        }),
+                    UnOp::Neg => v.as_num().map(|n| Value::Num(-n)).ok_or_else(|| {
+                        ScriptError::runtime(
+                            format!("cannot negate a {}", v.type_name()),
+                            expr.line,
+                        )
+                    }),
                     UnOp::Not => Ok(Value::Bool(!v.truthy())),
                 }
             }
-            ExprKind::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs, locals, host, expr.line),
+            ExprKind::Binary { op, lhs, rhs } => {
+                self.eval_binary(*op, lhs, rhs, locals, host, expr.line)
+            }
             ExprKind::Index { target, index } => {
                 let t = self.eval(target, locals, host)?;
                 let i = self
@@ -636,7 +653,10 @@ impl Interpreter {
                         .nth(i)
                         .map(|c| Value::Str(c.to_string()))
                         .ok_or_else(|| {
-                            ScriptError::runtime(format!("index {i} out of string bounds"), expr.line)
+                            ScriptError::runtime(
+                                format!("index {i} out of string bounds"),
+                                expr.line,
+                            )
                         }),
                     other => Err(ScriptError::runtime(
                         format!("cannot index a {}", other.type_name()),

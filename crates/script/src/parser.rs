@@ -495,21 +495,29 @@ mod tests {
             panic!("expected let")
         };
         // Top node must be Or.
-        let ExprKind::Binary { op: BinOp::Or, lhs, .. } = &value.kind else {
+        let ExprKind::Binary {
+            op: BinOp::Or, lhs, ..
+        } = &value.kind
+        else {
             panic!("top is {:?}", value.kind)
         };
-        let ExprKind::Binary { op: BinOp::And, lhs: cmp, .. } = &lhs.kind else {
+        let ExprKind::Binary {
+            op: BinOp::And,
+            lhs: cmp,
+            ..
+        } = &lhs.kind
+        else {
             panic!("lhs is {:?}", lhs.kind)
         };
-        assert!(matches!(
-            cmp.kind,
-            ExprKind::Binary { op: BinOp::Lt, .. }
-        ));
+        assert!(matches!(cmp.kind, ExprKind::Binary { op: BinOp::Lt, .. }));
     }
 
     #[test]
     fn if_else_if_chain() {
-        let p = compile("fn f(x) { if x > 1 { return 1; } else if x > 0 { return 2; } else { return 3; } }").unwrap();
+        let p = compile(
+            "fn f(x) { if x > 1 { return 1; } else if x > 0 { return 2; } else { return 3; } }",
+        )
+        .unwrap();
         let f = p.function("f").unwrap();
         let Stmt::If { otherwise, .. } = &f.body[0] else {
             panic!()
@@ -562,7 +570,9 @@ mod tests {
     #[test]
     fn call_with_args() {
         let p = compile("fill(\"/h\", 1.0, 2.0);").unwrap();
-        let Stmt::Expr(e) = &p.top_level[0] else { panic!() };
+        let Stmt::Expr(e) = &p.top_level[0] else {
+            panic!()
+        };
         let ExprKind::Call { name, args } = &e.kind else {
             panic!()
         };

@@ -7,8 +7,12 @@ use crate::interp::Host;
 use crate::value::Value;
 
 fn want_num(v: &Value, what: &str, line: u32) -> Result<f64, ScriptError> {
-    v.as_num()
-        .ok_or_else(|| ScriptError::runtime(format!("{what} must be numeric, got {}", v.type_name()), line))
+    v.as_num().ok_or_else(|| {
+        ScriptError::runtime(
+            format!("{what} must be numeric, got {}", v.type_name()),
+            line,
+        )
+    })
 }
 
 fn want_str<'a>(v: &'a Value, what: &str, line: u32) -> Result<&'a str, ScriptError> {
@@ -21,7 +25,12 @@ fn want_str<'a>(v: &'a Value, what: &str, line: u32) -> Result<&'a str, ScriptEr
     }
 }
 
-fn arity(name: &str, args: &[Value], expect: std::ops::RangeInclusive<usize>, line: u32) -> Result<(), ScriptError> {
+fn arity(
+    name: &str,
+    args: &[Value],
+    expect: std::ops::RangeInclusive<usize>,
+    line: u32,
+) -> Result<(), ScriptError> {
     if expect.contains(&args.len()) {
         Ok(())
     } else {
@@ -90,7 +99,11 @@ pub fn call_builtin(
             Ok(match &args[0] {
                 Value::Num(n) => Value::Num(*n),
                 Value::Bool(b) => Value::Num(if *b { 1.0 } else { 0.0 }),
-                Value::Str(s) => s.trim().parse::<f64>().map(Value::Num).unwrap_or(Value::Null),
+                Value::Str(s) => s
+                    .trim()
+                    .parse::<f64>()
+                    .map(Value::Num)
+                    .unwrap_or(Value::Null),
                 _ => Value::Null,
             })
         })(),
@@ -144,11 +157,15 @@ pub fn call_builtin(
         })(),
         "upper" => (|| {
             arity(name, args, 1..=1, line)?;
-            Ok(Value::Str(want_str(&args[0], "upper() target", line)?.to_uppercase()))
+            Ok(Value::Str(
+                want_str(&args[0], "upper() target", line)?.to_uppercase(),
+            ))
         })(),
         "lower" => (|| {
             arity(name, args, 1..=1, line)?;
-            Ok(Value::Str(want_str(&args[0], "lower() target", line)?.to_lowercase()))
+            Ok(Value::Str(
+                want_str(&args[0], "lower() target", line)?.to_lowercase(),
+            ))
         })(),
         "append" => (|| {
             arity(name, args, 2..=2, line)?;
@@ -185,7 +202,10 @@ pub fn call_builtin(
         "fields" => (|| {
             arity(name, args, 1..=1, line)?;
             let Value::Record(r) = &args[0] else {
-                return Err(ScriptError::runtime("fields() needs a record".to_string(), line));
+                return Err(ScriptError::runtime(
+                    "fields() needs a record".to_string(),
+                    line,
+                ));
             };
             Ok(Value::Array(
                 r.field_names()
@@ -237,7 +257,8 @@ pub fn call_builtin(
             } else {
                 1.0
             };
-            host.fill1(path, x, w).map_err(|e| ScriptError::runtime(e, line))?;
+            host.fill1(path, x, w)
+                .map_err(|e| ScriptError::runtime(e, line))?;
             Ok(Value::Null)
         })(),
         "fill2" => (|| {
@@ -276,7 +297,8 @@ pub fn call_builtin(
         "cloud1" => (|| {
             arity(name, args, 1..=1, line)?;
             let path = want_str(&args[0], "cloud1() path", line)?;
-            host.book_cloud1(path).map_err(|e| ScriptError::runtime(e, line))?;
+            host.book_cloud1(path)
+                .map_err(|e| ScriptError::runtime(e, line))?;
             Ok(Value::Null)
         })(),
         "tuple" => (|| {
@@ -285,7 +307,10 @@ pub fn call_builtin(
             let cols_text = want_str(&args[1], "tuple() columns", line)?;
             let cols: Vec<&str> = cols_text.split(',').map(str::trim).collect();
             if cols.iter().any(|c| c.is_empty()) {
-                return Err(ScriptError::runtime("tuple() columns must be non-empty", line));
+                return Err(ScriptError::runtime(
+                    "tuple() columns must be non-empty",
+                    line,
+                ));
             }
             host.book_tuple(path, &cols)
                 .map_err(|e| ScriptError::runtime(e, line))?;
@@ -346,7 +371,10 @@ pub fn call_builtin(
         "sort" => (|| {
             arity(name, args, 1..=1, line)?;
             let Value::Array(a) = &args[0] else {
-                return Err(ScriptError::runtime("sort() needs an array".to_string(), line));
+                return Err(ScriptError::runtime(
+                    "sort() needs an array".to_string(),
+                    line,
+                ));
             };
             let mut nums = Vec::with_capacity(a.len());
             for v in a {
@@ -365,7 +393,10 @@ pub fn call_builtin(
                 }
                 Value::Str(s) => Ok(Value::Str(s.chars().rev().collect())),
                 other => Err(ScriptError::runtime(
-                    format!("reverse() needs an array or string, got {}", other.type_name()),
+                    format!(
+                        "reverse() needs an array or string, got {}",
+                        other.type_name()
+                    ),
                     line,
                 )),
             }
@@ -373,18 +404,26 @@ pub fn call_builtin(
         "slice" => (|| {
             arity(name, args, 3..=3, line)?;
             let Value::Array(a) = &args[0] else {
-                return Err(ScriptError::runtime("slice() needs an array".to_string(), line));
+                return Err(ScriptError::runtime(
+                    "slice() needs an array".to_string(),
+                    line,
+                ));
             };
             let start = want_num(&args[1], "slice() start", line)?.max(0.0) as usize;
             let n = want_num(&args[2], "slice() length", line)?.max(0.0) as usize;
-            Ok(Value::Array(a.iter().skip(start).take(n).cloned().collect()))
+            Ok(Value::Array(
+                a.iter().skip(start).take(n).cloned().collect(),
+            ))
         })(),
         "split" => (|| {
             arity(name, args, 2..=2, line)?;
             let s = want_str(&args[0], "split() target", line)?;
             let sep = want_str(&args[1], "split() separator", line)?;
             if sep.is_empty() {
-                return Err(ScriptError::runtime("split() separator must not be empty", line));
+                return Err(ScriptError::runtime(
+                    "split() separator must not be empty",
+                    line,
+                ));
             }
             Ok(Value::Array(
                 s.split(sep).map(|p| Value::Str(p.to_string())).collect(),
@@ -393,7 +432,10 @@ pub fn call_builtin(
         "join" => (|| {
             arity(name, args, 2..=2, line)?;
             let Value::Array(a) = &args[0] else {
-                return Err(ScriptError::runtime("join() needs an array".to_string(), line));
+                return Err(ScriptError::runtime(
+                    "join() needs an array".to_string(),
+                    line,
+                ));
             };
             let sep = want_str(&args[1], "join() separator", line)?;
             let parts: Vec<String> = a.iter().map(|v| format!("{v}")).collect();
@@ -401,7 +443,11 @@ pub fn call_builtin(
         })(),
         "trim" => (|| {
             arity(name, args, 1..=1, line)?;
-            Ok(Value::Str(want_str(&args[0], "trim() target", line)?.trim().to_string()))
+            Ok(Value::Str(
+                want_str(&args[0], "trim() target", line)?
+                    .trim()
+                    .to_string(),
+            ))
         })(),
         _ => return None,
     })
@@ -419,8 +465,12 @@ mod tests {
     #[test]
     fn math_builtins() {
         assert!(matches!(call("sqrt", &[Value::Num(9.0)]).unwrap(), Value::Num(n) if n == 3.0));
-        assert!(matches!(call("pow", &[Value::Num(2.0), Value::Num(10.0)]).unwrap(), Value::Num(n) if n == 1024.0));
-        assert!(matches!(call("min", &[Value::Num(2.0), Value::Num(1.0)]).unwrap(), Value::Num(n) if n == 1.0));
+        assert!(
+            matches!(call("pow", &[Value::Num(2.0), Value::Num(10.0)]).unwrap(), Value::Num(n) if n == 1024.0)
+        );
+        assert!(
+            matches!(call("min", &[Value::Num(2.0), Value::Num(1.0)]).unwrap(), Value::Num(n) if n == 1.0)
+        );
         assert!(matches!(call("abs", &[Value::Num(-2.0)]).unwrap(), Value::Num(n) if n == 2.0));
     }
 
@@ -433,21 +483,35 @@ mod tests {
 
     #[test]
     fn conversions() {
-        assert!(matches!(call("num", &[Value::Str(" 2.5 ".into())]).unwrap(), Value::Num(n) if n == 2.5));
-        assert!(matches!(call("num", &[Value::Str("abc".into())]).unwrap(), Value::Null));
+        assert!(
+            matches!(call("num", &[Value::Str(" 2.5 ".into())]).unwrap(), Value::Num(n) if n == 2.5)
+        );
+        assert!(matches!(
+            call("num", &[Value::Str("abc".into())]).unwrap(),
+            Value::Null
+        ));
         assert!(matches!(call("str", &[Value::Num(1.0)]).unwrap(), Value::Str(s) if s == "1"));
-        assert!(matches!(call("is_null", &[Value::Null]).unwrap(), Value::Bool(true)));
+        assert!(matches!(
+            call("is_null", &[Value::Null]).unwrap(),
+            Value::Bool(true)
+        ));
     }
 
     #[test]
     fn string_builtins() {
-        assert!(matches!(call("len", &[Value::Str("abcd".into())]).unwrap(), Value::Num(n) if n == 4.0));
+        assert!(
+            matches!(call("len", &[Value::Str("abcd".into())]).unwrap(), Value::Num(n) if n == 4.0)
+        );
         assert!(matches!(
             call("substr", &[Value::Str("abcdef".into()), Value::Num(2.0), Value::Num(3.0)]).unwrap(),
             Value::Str(s) if s == "cde"
         ));
         assert!(matches!(
-            call("contains", &[Value::Str("GATTACA".into()), Value::Str("TTA".into())]).unwrap(),
+            call(
+                "contains",
+                &[Value::Str("GATTACA".into()), Value::Str("TTA".into())]
+            )
+            .unwrap(),
             Value::Bool(true)
         ));
         assert!(matches!(
@@ -474,12 +538,22 @@ mod tests {
     #[test]
     fn array_aggregates() {
         let arr = Value::Array(vec![Value::Num(3.0), Value::Num(1.0), Value::Num(2.0)]);
-        assert!(matches!(call("sum", std::slice::from_ref(&arr)).unwrap(), Value::Num(n) if n == 6.0));
-        assert!(matches!(call("avg", std::slice::from_ref(&arr)).unwrap(), Value::Num(n) if n == 2.0));
-        assert!(matches!(call("min_of", std::slice::from_ref(&arr)).unwrap(), Value::Num(n) if n == 1.0));
-        assert!(matches!(call("max_of", std::slice::from_ref(&arr)).unwrap(), Value::Num(n) if n == 3.0));
+        assert!(
+            matches!(call("sum", std::slice::from_ref(&arr)).unwrap(), Value::Num(n) if n == 6.0)
+        );
+        assert!(
+            matches!(call("avg", std::slice::from_ref(&arr)).unwrap(), Value::Num(n) if n == 2.0)
+        );
+        assert!(
+            matches!(call("min_of", std::slice::from_ref(&arr)).unwrap(), Value::Num(n) if n == 1.0)
+        );
+        assert!(
+            matches!(call("max_of", std::slice::from_ref(&arr)).unwrap(), Value::Num(n) if n == 3.0)
+        );
         let empty = Value::Array(vec![]);
-        assert!(matches!(call("sum", std::slice::from_ref(&empty)).unwrap(), Value::Num(n) if n == 0.0));
+        assert!(
+            matches!(call("sum", std::slice::from_ref(&empty)).unwrap(), Value::Num(n) if n == 0.0)
+        );
         assert!(matches!(call("avg", &[empty]).unwrap(), Value::Null));
         // Non-numeric elements are an error.
         let bad = Value::Array(vec![Value::Str("x".into())]);
@@ -494,7 +568,9 @@ mod tests {
         };
         assert!(matches!(sorted[0], Value::Num(n) if n == 1.0));
         assert!(matches!(sorted[2], Value::Num(n) if n == 3.0));
-        let Value::Array(sl) = call("slice", &[arr.clone(), Value::Num(1.0), Value::Num(5.0)]).unwrap() else {
+        let Value::Array(sl) =
+            call("slice", &[arr.clone(), Value::Num(1.0), Value::Num(5.0)]).unwrap()
+        else {
             panic!()
         };
         assert_eq!(sl.len(), 2);
@@ -502,14 +578,18 @@ mod tests {
             panic!()
         };
         assert!(matches!(rev[0], Value::Num(n) if n == 2.0));
-        assert!(matches!(call("reverse", &[Value::Str("abc".into())]).unwrap(), Value::Str(s) if s == "cba"));
+        assert!(
+            matches!(call("reverse", &[Value::Str("abc".into())]).unwrap(), Value::Str(s) if s == "cba")
+        );
     }
 
     #[test]
     fn split_join_trim() {
-        let Value::Array(parts) =
-            call("split", &[Value::Str("a,b,c".into()), Value::Str(",".into())]).unwrap()
-        else {
+        let Value::Array(parts) = call(
+            "split",
+            &[Value::Str("a,b,c".into()), Value::Str(",".into())],
+        )
+        .unwrap() else {
             panic!()
         };
         assert_eq!(parts.len(), 3);
@@ -559,8 +639,13 @@ mod tests {
         )
         .unwrap()
         .unwrap();
-        assert!(call_builtin("cfill", &[Value::Str("/h".into()), Value::Num(1.0)], 1, &mut host)
-            .unwrap()
-            .is_err());
+        assert!(call_builtin(
+            "cfill",
+            &[Value::Str("/h".into()), Value::Num(1.0)],
+            1,
+            &mut host
+        )
+        .unwrap()
+        .is_err());
     }
 }

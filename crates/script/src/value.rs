@@ -135,14 +135,20 @@ mod tests {
     fn display_forms() {
         assert_eq!(format!("{}", Value::Num(1.5)), "1.5");
         assert_eq!(
-            format!("{}", Value::Array(vec![Value::Num(1.0), Value::Str("a".into())])),
+            format!(
+                "{}",
+                Value::Array(vec![Value::Num(1.0), Value::Str("a".into())])
+            ),
             "[1, a]"
         );
     }
 
     #[test]
     fn from_field() {
-        assert!(matches!(Value::from_field(FieldValue::Missing), Value::Null));
+        assert!(matches!(
+            Value::from_field(FieldValue::Missing),
+            Value::Null
+        ));
         assert!(matches!(
             Value::from_field(FieldValue::Int(3)),
             Value::Num(n) if n == 3.0

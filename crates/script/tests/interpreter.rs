@@ -83,7 +83,10 @@ fn control_flow_loops() {
     "#;
     let p = compile(src).unwrap();
     let mut i = Interpreter::new(&p);
-    assert_eq!(num(i.call_function("main", vec![], &mut NullHost).unwrap()), 21.0);
+    assert_eq!(
+        num(i.call_function("main", vec![], &mut NullHost).unwrap()),
+        21.0
+    );
 }
 
 #[test]
@@ -99,7 +102,10 @@ fn arrays_index_and_assign() {
     "#;
     let p = compile(src).unwrap();
     let mut i = Interpreter::new(&p);
-    assert_eq!(num(i.call_function("main", vec![], &mut NullHost).unwrap()), 68.0);
+    assert_eq!(
+        num(i.call_function("main", vec![], &mut NullHost).unwrap()),
+        68.0
+    );
 }
 
 #[test]
@@ -120,7 +126,10 @@ fn runaway_recursion_hits_stack_limit() {
     let err = i
         .call_function("f", vec![Value::Num(0.0)], &mut NullHost)
         .unwrap_err();
-    assert!(matches!(err, ScriptError::StackOverflow | ScriptError::OutOfFuel));
+    assert!(matches!(
+        err,
+        ScriptError::StackOverflow | ScriptError::OutOfFuel
+    ));
 }
 
 #[test]
@@ -161,7 +170,10 @@ fn globals_from_top_level() {
     let p = compile(src).unwrap();
     let mut i = Interpreter::new(&p);
     i.run_init(&mut NullHost).unwrap();
-    assert_eq!(num(i.call_function("main", vec![], &mut NullHost).unwrap()), 60.0);
+    assert_eq!(
+        num(i.call_function("main", vec![], &mut NullHost).unwrap()),
+        60.0
+    );
     assert!(i.global("cut").is_some());
 }
 
@@ -281,7 +293,8 @@ fn missing_process_entry_point() {
     let p = compile("fn init() { }").unwrap();
     let mut i = Interpreter::new(&p);
     assert_eq!(
-        i.process_record(&mut NullHost, &higgs_event(1.0)).unwrap_err(),
+        i.process_record(&mut NullHost, &higgs_event(1.0))
+            .unwrap_err(),
         ScriptError::MissingEntryPoint("process")
     );
 }
@@ -330,7 +343,10 @@ fn user_function_shadows_builtin() {
     let src = "fn sqrt(x) { return 99; } fn main() { return sqrt(4); }";
     let p = compile(src).unwrap();
     let mut i = Interpreter::new(&p);
-    assert_eq!(num(i.call_function("main", vec![], &mut NullHost).unwrap()), 99.0);
+    assert_eq!(
+        num(i.call_function("main", vec![], &mut NullHost).unwrap()),
+        99.0
+    );
 }
 
 #[test]
@@ -364,7 +380,10 @@ fn tuple_bindings_book_and_fill() {
     }
     let t = host.tree.get("/nt/events").unwrap().as_tuple().unwrap();
     assert_eq!(t.rows(), 3);
-    assert_eq!(t.column_names(), ["mass".to_string(), "ntracks".to_string()]);
+    assert_eq!(
+        t.column_names(),
+        ["mass".to_string(), "ntracks".to_string()]
+    );
     // Project the tuple column back into a histogram client-side.
     let h = t.project1d("mass", 12, 0.0, 240.0).unwrap();
     assert_eq!(h.entries(), 3);

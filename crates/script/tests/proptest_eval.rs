@@ -57,15 +57,11 @@ fn arb_expr() -> impl Strategy<Value = RExpr> {
     let leaf = (-100i32..100).prop_map(|n| RExpr::Num(n as f64));
     leaf.prop_recursive(5, 64, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| RExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| RExpr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| RExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Mul(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| RExpr::Neg(Box::new(a))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| RExpr::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Min(Box::new(a), Box::new(b))),
             inner.prop_map(|a| RExpr::Abs(Box::new(a))),
         ]
     })

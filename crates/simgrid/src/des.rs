@@ -229,10 +229,7 @@ mod tests {
         }
         let end = sim.run();
         assert_eq!(end.secs(), 5.0);
-        assert_eq!(
-            *order.borrow(),
-            vec![(1.0, "a"), (3.0, "b"), (5.0, "c")]
-        );
+        assert_eq!(*order.borrow(), vec![(1.0, "a"), (3.0, "b"), (5.0, "c")]);
         assert_eq!(sim.events_run(), 3);
     }
 

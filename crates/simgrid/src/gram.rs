@@ -102,10 +102,7 @@ impl GramSimulator {
                 });
             }
         }
-        let all_ready_at = ready_at
-            .iter()
-            .copied()
-            .fold(picked_up.secs(), f64::max);
+        let all_ready_at = ready_at.iter().copied().fold(picked_up.secs(), f64::max);
         JobOutcome {
             engines_started: n,
             ready_at,

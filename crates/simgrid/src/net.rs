@@ -118,9 +118,7 @@ mod tests {
     #[test]
     fn parallel_with_one_stream_equals_single() {
         let l = link();
-        assert!(
-            (l.parallel_transfer_secs(123.0, 1) - l.single_transfer_secs(123.0)).abs() < 1e-12
-        );
+        assert!((l.parallel_transfer_secs(123.0, 1) - l.single_transfer_secs(123.0)).abs() < 1e-12);
     }
 
     #[test]

@@ -98,9 +98,8 @@ pub fn simulate_session(mb: f64, nodes: usize, cal: &PaperCalibration) -> StageB
     let mut part_arrivals = Vec::with_capacity(nodes);
     for i in 0..nodes {
         let read_done = disk.acquire(SimTime(split_done), part_mb / cal.staging_disk_mbps);
-        let net = cal.network.lan.latency_s
-            + cal.network.lan.per_file_overhead_s
-            + part_mb / per_stream;
+        let net =
+            cal.network.lan.latency_s + cal.network.lan.per_file_overhead_s + part_mb / per_stream;
         let delivered = read_done.secs() + net;
         part_arrivals.push(delivered);
         parts_done_at = parts_done_at.max(delivered);
@@ -145,11 +144,7 @@ pub fn simulate_session(mb: f64, nodes: usize, cal: &PaperCalibration) -> StageB
         stage_code_s: cal.stage_code_s,
         analysis_s,
         total_s: analysis_done_at,
-        sequential_total_s: move_whole_s
-            + split_s
-            + move_parts_s
-            + cal.stage_code_s
-            + analysis_s,
+        sequential_total_s: move_whole_s + split_s + move_parts_s + cal.stage_code_s + analysis_s,
     }
 }
 

@@ -59,10 +59,14 @@ fn main() {
     let mut s = client.connect(0.0, 4).expect("session");
     s.select_dataset(&client.find_dataset("kind == dna").unwrap())
         .expect("staged");
-    s.load_code(AnalysisCode::Script(SCRIPT.into())).expect("code");
+    s.load_code(AnalysisCode::Script(SCRIPT.into()))
+        .expect("code");
     s.run().expect("run");
     let st = s.wait_finished(Duration::from_secs(300)).expect("finish");
-    println!("analyzed {} reads on {} engines\n", st.records_processed, st.engines_alive);
+    println!(
+        "analyzed {} reads on {} engines\n",
+        st.records_processed, st.engines_alive
+    );
 
     let tree = s.results().expect("merged");
     let opts = AsciiOptions::default();

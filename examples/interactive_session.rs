@@ -75,7 +75,8 @@ fn main() {
     let mut s = client.connect(0.0, 4).expect("session");
     s.select_dataset(&client.find_dataset("id == \"lc-run-a\"").unwrap())
         .expect("staged");
-    s.load_code(AnalysisCode::Script(LOOSE.into())).expect("code");
+    s.load_code(AnalysisCode::Script(LOOSE.into()))
+        .expect("code");
 
     // --- run a specific number of events ---------------------------------
     s.run_events(500).expect("runN");
@@ -103,7 +104,8 @@ fn main() {
     println!("loose selection finished: {loose} entries in /sel/mass");
 
     // --- edit code, reload, rewind, reprocess ------------------------------
-    s.load_code(AnalysisCode::Script(TIGHT.into())).expect("reload");
+    s.load_code(AnalysisCode::Script(TIGHT.into()))
+        .expect("reload");
     s.rewind().expect("rewind");
     s.run().expect("rerun");
     s.wait_finished(Duration::from_secs(120)).expect("finish");
@@ -130,8 +132,11 @@ fn main() {
         "engine 2 died mid-run; {} engines finished all {} parts anyway ({} records, exactly once)",
         st.engines_alive, st.parts_done, st.records_processed
     );
-    for (engine, msg) in s.failures() {
-        println!("  failure log: engine {engine}: {msg}");
+    for rec in s.failures() {
+        println!(
+            "  failure log: epoch {} engine {} part {:?}: {}",
+            rec.epoch, rec.engine, rec.part, rec.message
+        );
     }
     s.close();
 }

@@ -54,8 +54,7 @@ fn main() {
 
     // ---- "desktop client" machine ---------------------------------------
     let proxy = security.issue_proxy("/DC=org/CN=traveller", "ilc", 0.0, 7200.0);
-    let mut session =
-        RemoteSession::create(gateway.addr(), proxy, 0.0, 4).expect("remote session");
+    let mut session = RemoteSession::create(gateway.addr(), proxy, 0.0, 4).expect("remote session");
     println!(
         "created remote session {} with {} engines",
         session.id(),
@@ -95,7 +94,10 @@ fn main() {
     );
     // Search above the combinatorial continuum.
     if let Some(fit) = ipa::aida::fit_gaussian_in(mass, 80.0, 200.0, 1.2) {
-        println!("fitted peak: m = {:.1} GeV, σ = {:.1} GeV", fit.mean, fit.sigma);
+        println!(
+            "fitted peak: m = {:.1} GeV, σ = {:.1} GeV",
+            fit.mean, fit.sigma
+        );
     }
     session.close().expect("close");
     gateway.shutdown();

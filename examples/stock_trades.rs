@@ -50,12 +50,18 @@ fn main() {
         .expect("registered analyzer");
     s.run().expect("run");
     let st = s.wait_finished(Duration::from_secs(300)).expect("finish");
-    println!("analyzed {} trades on {} engines\n", st.records_processed, st.engines_alive);
+    println!(
+        "analyzed {} trades on {} engines\n",
+        st.records_processed, st.engines_alive
+    );
 
     let tree = s.results().expect("merged");
     let price = tree.get("/trade/price").unwrap().as_h1().unwrap();
     println!("{}", render_h1_ascii(price, &AsciiOptions::default()));
-    println!("session VWAP (volume-weighted mean price): {:.2}", price.mean());
+    println!(
+        "session VWAP (volume-weighted mean price): {:.2}",
+        price.mean()
+    );
     let volume = tree.get("/trade/volume").unwrap().as_h1().unwrap();
     println!("mean trade size: {:.1} shares", volume.mean());
     s.close();

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use ipa::catalog::Metadata;
 use ipa::client::IpaClient;
-use ipa::core::{AnalysisCode, IpaConfig, ManagerNode};
+use ipa::core::{AnalysisCode, IpaConfig, ManagerNode, RunState};
 use ipa::dataset::{
     generate_dataset, Dataset, DnaGeneratorConfig, EventGeneratorConfig, GeneratorConfig,
     TradeGeneratorConfig,
@@ -186,6 +186,84 @@ fn two_concurrent_sessions_are_isolated() {
     assert!(tb.contains("/bob/only") && !tb.contains("/higgs/bb_mass"));
     sa.close();
     sb.close();
+}
+
+#[test]
+fn rewind_during_run_discards_in_flight_updates() {
+    // Chaos regression for the epoch-tagged lifecycle: pause a run with
+    // updates still queued on the result plane, rewind, and poll
+    // immediately — without sleeping. Every queued update carries the old
+    // epoch and must be dropped, so the very first poll after rewind
+    // reports a blank session. Before epoch tagging this raced: stale
+    // updates from the previous run would be absorbed after the reset.
+    let (manager, sec) = site(50);
+    manager
+        .publish_dataset(
+            "/d",
+            generate_dataset(
+                "chaos",
+                "chaos",
+                &GeneratorConfig::Event(EventGeneratorConfig {
+                    events: 20_000,
+                    ..Default::default()
+                }),
+            ),
+            Metadata::new(),
+        )
+        .unwrap();
+    let mut client = IpaClient::new(manager);
+    client.grid_proxy_init(&sec, "/CN=chaos", "vo", 0.0, 1e5);
+    let mut s = client.connect(0.0, 3).unwrap();
+    s.select_dataset(&client.find_dataset("id == \"chaos\"").unwrap())
+        .unwrap();
+    s.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    s.run().unwrap();
+
+    // Let real progress accumulate mid-run.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let st = s.poll().unwrap();
+        if st.records_processed > 0 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "no progress");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    s.pause().unwrap();
+    // Give the engines time to flush their final publishes into the
+    // result channel — these now sit queued, unabsorbed.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Rewind and poll with NO intervening sleep: the queued updates are
+    // drained by this poll but belong to the previous epoch.
+    s.rewind().unwrap();
+    let st = s.poll().unwrap();
+    assert_eq!(st.state, RunState::Idle);
+    assert_eq!(
+        st.records_processed, 0,
+        "stale pre-rewind updates leaked into the new epoch"
+    );
+    assert!(
+        s.results().unwrap().is_empty(),
+        "merged tree must be empty right after rewind"
+    );
+
+    // The session is still fully usable: a clean rerun counts every
+    // record exactly once.
+    s.run().unwrap();
+    let st = s.wait_finished(Duration::from_secs(60)).unwrap();
+    assert_eq!(st.records_processed, 20_000);
+    assert_eq!(
+        s.results()
+            .unwrap()
+            .get("/higgs/n_btags")
+            .unwrap()
+            .entries(),
+        20_000,
+        "every record counted exactly once after the rewind"
+    );
+    s.close();
 }
 
 #[test]

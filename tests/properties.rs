@@ -64,24 +64,21 @@ fn arb_trade(id: u64) -> impl Strategy<Value = AnyRecord> {
 
 fn arb_records() -> impl Strategy<Value = Vec<AnyRecord>> {
     prop_oneof![
-        proptest::collection::vec(any::<u64>(), 0..60)
-            .prop_flat_map(|ids| ids
-                .into_iter()
-                .enumerate()
-                .map(|(i, _)| arb_event(i as u64))
-                .collect::<Vec<_>>()),
-        proptest::collection::vec(any::<u64>(), 0..60)
-            .prop_flat_map(|ids| ids
-                .into_iter()
-                .enumerate()
-                .map(|(i, _)| arb_dna(i as u64))
-                .collect::<Vec<_>>()),
-        proptest::collection::vec(any::<u64>(), 0..60)
-            .prop_flat_map(|ids| ids
-                .into_iter()
-                .enumerate()
-                .map(|(i, _)| arb_trade(i as u64))
-                .collect::<Vec<_>>()),
+        proptest::collection::vec(any::<u64>(), 0..60).prop_flat_map(|ids| ids
+            .into_iter()
+            .enumerate()
+            .map(|(i, _)| arb_event(i as u64))
+            .collect::<Vec<_>>()),
+        proptest::collection::vec(any::<u64>(), 0..60).prop_flat_map(|ids| ids
+            .into_iter()
+            .enumerate()
+            .map(|(i, _)| arb_dna(i as u64))
+            .collect::<Vec<_>>()),
+        proptest::collection::vec(any::<u64>(), 0..60).prop_flat_map(|ids| ids
+            .into_iter()
+            .enumerate()
+            .map(|(i, _)| arb_trade(i as u64))
+            .collect::<Vec<_>>()),
     ]
 }
 
@@ -315,6 +312,77 @@ proptest! {
     }
 }
 
+// ------------------------------------------------- failure recovery ---
+
+proptest! {
+    // Full sessions with live engine threads are expensive; a handful of
+    // randomized cases per run is plenty to keep the invariant honest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Killing an engine mid-run — at an arbitrary point, with an
+    /// arbitrary retry budget — never double-counts: the part is
+    /// invalidated and requeued (to the same engine if the budget allows
+    /// a retry, otherwise to a survivor) and the finished run matches a
+    /// failure-free one exactly, record for record.
+    #[test]
+    fn kill_and_requeue_never_double_counts(
+        events in 200u64..800,
+        engines in 2usize..5,
+        fail_after in 0u64..400,
+        retries in 0u32..3,
+    ) {
+        use std::time::Duration;
+        use ipa::catalog::Metadata;
+        use ipa::core::{AnalysisCode, IpaConfig, ManagerNode};
+        use ipa::dataset::{generate_dataset, DatasetId, EventGeneratorConfig};
+        use ipa::simgrid::{SecurityDomain, VoPolicy};
+
+        let sec = SecurityDomain::new("prop", 9).with_policy(VoPolicy::new("vo", 32));
+        let m = ManagerNode::new(
+            "prop-site",
+            sec.clone(),
+            IpaConfig {
+                publish_every: 50,
+                max_part_retries: retries,
+                ..Default::default()
+            },
+        );
+        m.publish_dataset(
+            "/d",
+            generate_dataset(
+                "ds",
+                "ds",
+                &ipa::dataset::GeneratorConfig::Event(EventGeneratorConfig {
+                    events,
+                    ..Default::default()
+                }),
+            ),
+            Metadata::new(),
+        )
+        .unwrap();
+        let proxy = sec.issue_proxy("/CN=prop", "vo", 0.0, 1e6);
+        let mut s = m.create_session(&proxy, 0.0, engines).unwrap();
+        s.select_dataset(&DatasetId::new("ds")).unwrap();
+        s.load_code(AnalysisCode::Native("higgs-search".into())).unwrap();
+        s.inject_failure(0, fail_after);
+        s.run().unwrap();
+        let st = s.wait_finished(Duration::from_secs(60)).unwrap();
+
+        prop_assert_eq!(st.records_processed, events);
+        prop_assert_eq!(st.parts_done, st.parts_total);
+        // The injected fault fires at most once (a retried engine has its
+        // fault consumed), so at most one failure record exists.
+        prop_assert!(s.failures().len() <= 1, "{:?}", s.failures());
+        let tree = s.results().unwrap();
+        prop_assert_eq!(
+            tree.get("/higgs/n_btags").unwrap().entries(),
+            events,
+            "exactly-once processing after kill-and-requeue"
+        );
+        s.close();
+    }
+}
+
 // ------------------------------------------------------ query algebra ---
 
 fn arb_meta() -> impl Strategy<Value = ipa::catalog::Metadata> {
@@ -333,13 +401,7 @@ fn arb_query_text() -> impl Strategy<Value = String> {
     // Small comparisons over the same tiny key/value space as arb_meta.
     let atom = (
         "[a-c]",
-        prop_oneof![
-            Just("=="),
-            Just("!="),
-            Just("<"),
-            Just(">="),
-            Just("~")
-        ],
+        prop_oneof![Just("=="), Just("!="), Just("<"), Just(">="), Just("~")],
         prop_oneof![
             (-10i64..10).prop_map(|n| n.to_string()),
             "[a-c]{0,3}".prop_map(|s| format!("\"{s}\"")),
