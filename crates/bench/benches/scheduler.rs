@@ -1,0 +1,121 @@
+//! Static split vs pull-based work stealing under a straggler: one of
+//! four engines throttled to 4× slower, 10k-record session. The paper's
+//! static one-part-per-engine split (§3.4) is hostage to the slow node;
+//! the work-stealing scheduler routes micro-parts around it and
+//! speculatively re-executes its tail part, so the run should finish in
+//! ≤ 50% of the static wall-clock. The interpreted analyzer is used so
+//! per-record compute (not channel/poll overhead) dominates the timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipa_aida::Tree;
+use ipa_core::{AnalysisCode, IpaConfig, ManagerNode, SchedulerPolicy};
+use ipa_dataset::{DatasetId, EventGeneratorConfig, GeneratorConfig};
+use ipa_simgrid::{GridProxy, SecurityDomain, VoPolicy};
+use std::time::Duration;
+
+const EVENTS: u64 = 10_000;
+
+fn higgs_script() -> AnalysisCode {
+    AnalysisCode::Script(
+        r#"
+        fn init() {
+            h1("/higgs/bb_mass", 60, 0.0, 240.0);
+            h1("/higgs/n_btags", 8, 0.0, 8.0);
+        }
+        fn process(e) {
+            fill("/higgs/n_btags", e.n_btags);
+            let m = e.bb_mass;
+            if m != null { fill("/higgs/bb_mass", m); }
+        }
+        "#
+        .to_string(),
+    )
+}
+
+fn rig(scheduler: SchedulerPolicy) -> (ManagerNode, GridProxy) {
+    let sec = SecurityDomain::new("bench-site", 1).with_policy(VoPolicy::new("ilc", 64));
+    let manager = ManagerNode::new(
+        "bench-site",
+        sec.clone(),
+        IpaConfig {
+            scheduler,
+            engines_per_session: 4,
+            oversub: 4,
+            publish_every: 250,
+            speed_factors: vec![4.0, 1.0, 1.0, 1.0],
+            ..Default::default()
+        },
+    );
+    let ds = ipa_dataset::generate_dataset(
+        "bench-sched",
+        "Straggler bench events",
+        &GeneratorConfig::Event(EventGeneratorConfig {
+            events: EVENTS,
+            ..Default::default()
+        }),
+    );
+    manager
+        .publish_dataset("/bench", ds, ipa_catalog::Metadata::new())
+        .unwrap();
+    let proxy = sec.issue_proxy("/CN=bench", "ilc", 0.0, 1e6);
+    (manager, proxy)
+}
+
+fn run_once(manager: &ManagerNode, proxy: &GridProxy) -> Tree {
+    let mut s = manager.create_session(proxy, 0.0, 4).unwrap();
+    s.select_dataset(&DatasetId::new("bench-sched")).unwrap();
+    s.load_code(higgs_script()).unwrap();
+    s.run().unwrap();
+    let st = s.wait_finished(Duration::from_secs(300)).unwrap();
+    assert_eq!(
+        st.records_processed, EVENTS,
+        "run must process every record"
+    );
+    let tree = s.results().unwrap();
+    s.close();
+    tree
+}
+
+/// Fills all use weight 1.0, so merged bin heights are exact integer sums
+/// — the two policies must agree bit for bit, not just approximately.
+fn assert_identical(a: &Tree, b: &Tree, path: &str) {
+    let ha = a.get(path).unwrap().as_h1().unwrap();
+    let hb = b.get(path).unwrap().as_h1().unwrap();
+    assert_eq!(ha.all_entries(), hb.all_entries(), "{path}: entries");
+    for i in 0..ha.axis().bins() {
+        assert_eq!(ha.bin_entries(i), hb.bin_entries(i), "{path} bin {i}");
+        assert_eq!(
+            ha.bin_height(i).to_bits(),
+            hb.bin_height(i).to_bits(),
+            "{path} bin {i} height"
+        );
+    }
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    // Correctness gate before timing anything: both policies must merge to
+    // bit-identical histograms despite stealing and speculation.
+    {
+        let (static_mgr, static_proxy) = rig(SchedulerPolicy::Static);
+        let (ws_mgr, ws_proxy) = rig(SchedulerPolicy::WorkStealing);
+        let a = run_once(&static_mgr, &static_proxy);
+        let b = run_once(&ws_mgr, &ws_proxy);
+        assert_identical(&a, &b, "/higgs/n_btags");
+        assert_identical(&a, &b, "/higgs/bb_mass");
+    }
+
+    let mut g = c.benchmark_group("scheduler_straggler_4x_10k");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("static", SchedulerPolicy::Static),
+        ("work_queue", SchedulerPolicy::WorkQueue),
+        ("work_stealing", SchedulerPolicy::WorkStealing),
+    ] {
+        let (manager, proxy) = rig(policy);
+        g.bench_function(name, |b| b.iter(|| run_once(&manager, &proxy)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -133,6 +133,7 @@ mod tests {
             parts_total: 4,
             engines_alive: 4,
             epoch: 1,
+            sched: ipa_core::SchedStats::default(),
             new_logs: vec![(0, "booked plots".into())],
         }
     }

@@ -9,7 +9,9 @@ use std::net::ToSocketAddrs;
 use std::time::{Duration, Instant};
 
 use ipa_aida::Tree;
-use ipa_core::{FailureRecord, RunState, SessionStatus, WsClient, WsRequest, WsResponse};
+use ipa_core::{
+    FailureRecord, RunState, SchedStats, SessionStatus, WsClient, WsRequest, WsResponse,
+};
 use ipa_simgrid::GridProxy;
 
 /// Errors from remote calls: transport problems or server-side rejections,
@@ -153,6 +155,16 @@ impl RemoteSession {
         }
     }
 
+    /// Fetch the session's scheduler statistics (policy, parts
+    /// queued/stolen/speculated, per-engine throughput).
+    pub fn sched_stats(&mut self) -> Result<SchedStats, RemoteError> {
+        let session = self.session;
+        match self.client.call_ok(&WsRequest::SchedStats { session })? {
+            WsResponse::Sched(s) => Ok(s),
+            other => Err(unexpected("Sched", &other)),
+        }
+    }
+
     /// Poll until the run finishes. If `timeout` elapses first, returns an
     /// error describing how far the run got — never a success-shaped
     /// status.
@@ -227,6 +239,8 @@ mod tests {
         let tree = s.results().unwrap();
         assert!(tree.get("/higgs/bb_mass").unwrap().entries() > 0);
         assert!(s.failures().unwrap().is_empty());
+        let sched = s.sched_stats().unwrap();
+        assert_eq!(sched.parts_queued as usize, st.parts_total);
         s.close().unwrap();
         gw.shutdown();
     }

@@ -40,6 +40,7 @@ commands:
   report                       simulated 2006-grid staging cost
   workers                      engine registry panel
   failures                     engine failure records (epoch, part, message)
+  sched                        scheduler stats (policy, queue, steals, rates)
   svg <dir>                    export all plots as SVG
   close                        close the session
   quit                         exit
@@ -239,6 +240,27 @@ impl Shell {
                 )
             }
             "workers" => self.manager.worker_registry().render(),
+            "sched" => {
+                let s = self.session_mut()?;
+                s.poll().map_err(|e| e.to_string())?;
+                let st = s.sched_stats();
+                let rates = st
+                    .engine_rate
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| format!("e{i} {r:.0}/s"))
+                    .collect::<Vec<_>>()
+                    .join("  ");
+                format!(
+                    "policy {:?} · {} parts queued · {} stolen · {} speculated ({} won)\n\
+                     engine throughput: {rates}",
+                    st.policy,
+                    st.parts_queued,
+                    st.parts_stolen,
+                    st.parts_speculated,
+                    st.speculations_won
+                )
+            }
             "failures" => {
                 let s = self.session_mut()?;
                 if s.failures().is_empty() {
@@ -353,6 +375,7 @@ mod tests {
         assert!(sh.exec("fit /higgs/bb_mass 80 200").contains("mean"));
         assert!(sh.exec("workers").contains("wn000.shell-site"));
         assert!(sh.exec("failures").contains("no failures"));
+        assert!(sh.exec("sched").contains("parts queued"));
         assert!(sh.exec("close").contains("closed"));
         assert!(sh.exec("quit").contains("bye"));
         assert!(sh.done);

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::sched::SchedulerPolicy;
+
 /// Configuration of a manager node and the sessions it creates.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IpaConfig {
@@ -20,6 +22,35 @@ pub struct IpaConfig {
     /// first failure is fatal for the engine — its part still re-runs on a
     /// surviving engine.
     pub max_part_retries: u32,
+    /// How parts are mapped onto engines (see [`SchedulerPolicy`]).
+    /// Defaults to the `IPA_SCHEDULER` environment variable when set,
+    /// `Static` otherwise.
+    #[serde(default = "SchedulerPolicy::from_env")]
+    pub scheduler: SchedulerPolicy,
+    /// Micro-parts per engine under the pull-based policies: the dataset
+    /// is cut into `engines × oversub` chunks. Ignored by `Static`.
+    /// Values below 1 are treated as 1.
+    #[serde(default = "default_oversub")]
+    pub oversub: usize,
+    /// An engine is a straggler when `its_rate × straggler_factor` is
+    /// still below the median engine rate. Only `WorkStealing` acts on
+    /// this (by speculatively re-issuing the straggler's part).
+    #[serde(default = "default_straggler_factor")]
+    pub straggler_factor: f64,
+    /// Per-engine slowdown multipliers applied at session creation (for
+    /// benches and straggler experiments): engine `i` sleeps
+    /// `(factor−1)×` its compute time per batch when `factors[i] > 1`.
+    /// Engines beyond the vector's length run at full speed.
+    #[serde(default)]
+    pub speed_factors: Vec<f64>,
+}
+
+fn default_oversub() -> usize {
+    4
+}
+
+fn default_straggler_factor() -> f64 {
+    3.0
 }
 
 impl Default for IpaConfig {
@@ -30,6 +61,10 @@ impl Default for IpaConfig {
             byte_balanced_split: true,
             min_proxy_remaining_s: 60.0,
             max_part_retries: 0,
+            scheduler: SchedulerPolicy::from_env(),
+            oversub: default_oversub(),
+            straggler_factor: default_straggler_factor(),
+            speed_factors: Vec::new(),
         }
     }
 }
@@ -43,5 +78,24 @@ mod tests {
         let c = IpaConfig::default();
         assert!(c.engines_per_session >= 1);
         assert!(c.publish_every >= 1);
+        assert!(c.oversub >= 1);
+        assert!(c.straggler_factor > 1.0);
+    }
+
+    #[test]
+    fn old_configs_deserialize_with_scheduler_defaults() {
+        // A config serialized before the scheduling plane existed must
+        // still load, picking up defaults for the new knobs.
+        let json = r#"{
+            "engines_per_session": 2,
+            "publish_every": 500,
+            "byte_balanced_split": true,
+            "min_proxy_remaining_s": 60.0,
+            "max_part_retries": 1
+        }"#;
+        let c: IpaConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(c.engines_per_session, 2);
+        assert_eq!(c.oversub, 4);
+        assert!(c.speed_factors.is_empty());
     }
 }

@@ -15,13 +15,15 @@
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use ipa_dataset::AnyRecord;
 use ipa_script::AidaHost;
 
 use crate::aida_manager::PartUpdate;
 use crate::analyzer::{instantiate_code, AnalysisCode, Analyzer, NativeRegistry};
+use crate::error::CoreError;
 
 /// Engine identifier within a session.
 pub type EngineId = usize;
@@ -69,6 +71,12 @@ pub enum EngineCommand {
     /// Failure injection: abort with an error after N more records. The
     /// fault is consumed when it fires, so a re-assigned part succeeds.
     FailAfter(u64),
+    /// Straggler injection: multiply this engine's per-batch compute time
+    /// by the given factor (the engine sleeps `(factor − 1) ×` the time
+    /// each batch took). Values ≤ 1.0 restore full speed. Used by the
+    /// scheduler benches and `speed_factors` config to make slow nodes
+    /// reproducible.
+    Throttle(f64),
     /// Terminate the engine thread.
     Shutdown,
 }
@@ -150,6 +158,8 @@ struct EngineWorker {
     running: bool,
     budget: Option<usize>,
     fail_after: Option<u64>,
+    /// Compute-time multiplier; > 1.0 makes this engine a straggler.
+    speed_factor: f64,
     /// Latest run epoch seen from the session (via LoadCode/AssignPart);
     /// stamped into every outgoing event.
     epoch: Epoch,
@@ -319,6 +329,9 @@ impl EngineWorker {
             EngineCommand::FailAfter(n) => {
                 self.fail_after = Some(n);
             }
+            EngineCommand::Throttle(f) => {
+                self.speed_factor = if f > 1.0 { f } else { 1.0 };
+            }
             EngineCommand::Shutdown => return Disposition::Shutdown,
         }
         Disposition::Continue
@@ -379,6 +392,7 @@ impl EngineWorker {
 
         let records = part.records.clone();
         let start = part.pos;
+        let batch_started = Instant::now();
         let mut analyzer = self.analyzer.take().expect("checked above");
         let mut processed = 0usize;
         let mut error: Option<String> = None;
@@ -390,6 +404,11 @@ impl EngineWorker {
             processed += 1;
         }
         self.analyzer = Some(analyzer);
+        // A throttled engine pays `(factor − 1)×` the real compute time per
+        // batch, stretching its wall-clock without changing its results.
+        if self.speed_factor > 1.0 && processed > 0 {
+            std::thread::sleep(batch_started.elapsed().mul_f64(self.speed_factor - 1.0));
+        }
         self.drain_logs();
 
         if let Some(p) = &mut self.part {
@@ -510,6 +529,7 @@ impl EngineHandle {
             running: false,
             budget: None,
             fail_after: None,
+            speed_factor: 1.0,
             epoch: 0,
         };
         let thread = std::thread::Builder::new()
@@ -545,6 +565,23 @@ impl Drop for EngineHandle {
     }
 }
 
+/// Receive the next event from an engine channel with a deadline.
+///
+/// A wedged worker becomes [`CoreError::Timeout`]`(None)` instead of a
+/// panic on the receiving (manager) thread; a closed channel becomes
+/// [`CoreError::EngineGone`] for `engine`.
+pub fn recv_event_timeout(
+    rx: &Receiver<EngineEvent>,
+    engine: EngineId,
+    timeout: Duration,
+) -> Result<EngineEvent, CoreError> {
+    match rx.recv_timeout(timeout) {
+        Ok(ev) => Ok(ev),
+        Err(RecvTimeoutError::Timeout) => Err(CoreError::Timeout(None)),
+        Err(RecvTimeoutError::Disconnected) => Err(CoreError::EngineGone(engine)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -567,8 +604,7 @@ mod tests {
         mut pred: F,
     ) -> EngineEvent {
         loop {
-            let ev = rx
-                .recv_timeout(Duration::from_secs(10))
+            let ev = recv_event_timeout(rx, 0, Duration::from_secs(10))
                 .expect("engine event within timeout");
             if pred(&ev) {
                 return ev;
@@ -607,7 +643,7 @@ mod tests {
     }
 
     #[test]
-    fn partial_updates_arrive_between_batches() {
+    fn partial_updates_arrive_between_batches() -> Result<(), CoreError> {
         let (tx, rx) = unbounded();
         let mut e = EngineHandle::spawn(1, 50, builtin_registry(), tx);
         e.send(EngineCommand::LoadCode {
@@ -622,8 +658,9 @@ mod tests {
         e.send(EngineCommand::Run);
         let mut progress = Vec::new();
         loop {
+            // A wedged engine surfaces as CoreError::Timeout, not a panic.
             if let EngineEvent::Update { update, .. } =
-                rx.recv_timeout(Duration::from_secs(10)).unwrap()
+                recv_event_timeout(&rx, 1, Duration::from_secs(10))?
             {
                 progress.push(update.processed);
                 if update.done {
@@ -633,6 +670,7 @@ mod tests {
         }
         assert_eq!(progress, vec![50, 100, 150, 200]);
         e.shutdown();
+        Ok(())
     }
 
     #[test]
@@ -787,7 +825,7 @@ mod tests {
     }
 
     #[test]
-    fn stop_drops_position_so_run_restarts_the_part() {
+    fn stop_drops_position_so_run_restarts_the_part() -> Result<(), CoreError> {
         let (tx, rx) = unbounded();
         let mut e = EngineHandle::spawn(10, 50, builtin_registry(), tx);
         e.send(EngineCommand::LoadCode {
@@ -812,7 +850,7 @@ mod tests {
         let mut progress = Vec::new();
         loop {
             if let EngineEvent::Update { update, .. } =
-                rx.recv_timeout(Duration::from_secs(10)).unwrap()
+                recv_event_timeout(&rx, 10, Duration::from_secs(10))?
             {
                 progress.push(update.processed);
                 if update.done {
@@ -821,6 +859,35 @@ mod tests {
             }
         }
         assert_eq!(progress, vec![50, 100, 150, 200]);
+        e.shutdown();
+        Ok(())
+    }
+
+    #[test]
+    fn throttle_changes_speed_not_results() {
+        let (tx, rx) = unbounded();
+        let mut e = EngineHandle::spawn(12, 100, builtin_registry(), tx);
+        e.send(EngineCommand::LoadCode {
+            code: AnalysisCode::Native("higgs-search".into()),
+            epoch: 0,
+        });
+        e.send(EngineCommand::AssignPart {
+            part: 0,
+            records: records(300),
+            epoch: 0,
+        });
+        // A throttled engine is slower, never wrong.
+        e.send(EngineCommand::Throttle(4.0));
+        e.send(EngineCommand::Run);
+        let done = recv_until(
+            &rx,
+            |ev| matches!(ev, EngineEvent::Update { update, .. } if update.done),
+        );
+        let EngineEvent::Update { update, .. } = done else {
+            unreachable!()
+        };
+        assert_eq!(update.processed, 300);
+        assert!(update.tree.contains("/higgs/bb_mass"));
         e.shutdown();
     }
 

@@ -29,9 +29,11 @@ pub enum CoreError {
     EngineGone(usize),
     /// Result merging failed (incompatible partial results).
     Merge(String),
-    /// A wait deadline passed before the run finished; carries the last
-    /// status snapshot so the caller can see how far the run got.
-    Timeout(SessionStatus),
+    /// A wait deadline passed before an expected event arrived. Carries
+    /// the last status snapshot when one is available (e.g. waiting on a
+    /// run to finish) so the caller can see how far the run got; `None`
+    /// when a single engine event simply never came.
+    Timeout(Option<SessionStatus>),
 }
 
 impl fmt::Display for CoreError {
@@ -48,11 +50,12 @@ impl fmt::Display for CoreError {
             CoreError::AllEnginesFailed => write!(f, "all analysis engines have failed"),
             CoreError::EngineGone(id) => write!(f, "engine {id} disappeared"),
             CoreError::Merge(m) => write!(f, "result merge failed: {m}"),
-            CoreError::Timeout(s) => write!(
+            CoreError::Timeout(Some(s)) => write!(
                 f,
                 "timed out in state {:?} after {} of {} records",
                 s.state, s.records_processed, s.records_total
             ),
+            CoreError::Timeout(None) => write!(f, "timed out waiting for an engine event"),
         }
     }
 }

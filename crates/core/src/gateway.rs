@@ -130,6 +130,12 @@ pub enum WsRequest {
         /// Session id.
         session: u64,
     },
+    /// Fetch scheduler statistics (parts queued/stolen/speculated and
+    /// per-engine throughput).
+    SchedStats {
+        /// Session id.
+        session: u64,
+    },
     /// Close the session and shut its engines down.
     CloseSession {
         /// Session id.
@@ -161,6 +167,8 @@ pub enum WsResponse {
     Tree(Tree),
     /// Engine-failure records.
     Failures(Vec<FailureRecord>),
+    /// Scheduler statistics snapshot.
+    Sched(crate::sched::SchedStats),
     /// The request failed.
     Error(String),
 }
@@ -323,6 +331,9 @@ fn dispatch(req: WsRequest, manager: &ManagerNode, sessions: &Sessions) -> WsRes
                 WsResponse::Failures(with_session(sessions, session, |s| {
                     Ok(s.failures().to_vec())
                 })?)
+            }
+            WsRequest::SchedStats { session } => {
+                WsResponse::Sched(with_session(sessions, session, |s| Ok(s.sched_stats()))?)
             }
             WsRequest::CloseSession { session } => match sessions.lock().remove(&session) {
                 Some(mut s) => {

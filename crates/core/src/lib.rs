@@ -36,6 +36,11 @@
 //! engine). Every control-plane reset bumps a session-wide *run epoch*
 //! stamped through commands and events, so in-flight updates from a
 //! superseded run are dropped instead of polluting the fresh results.
+//!
+//! Scheduling is pluggable ([`IpaConfig::scheduler`]): beyond the paper's
+//! static one-part-per-engine split, the [`sched`] module provides
+//! pull-based work-queue scheduling over micro-parts and speculative
+//! straggler re-execution with first-completion-wins semantics.
 
 #![warn(missing_docs)]
 
@@ -48,6 +53,7 @@ pub mod gateway;
 pub mod locator;
 pub mod manager;
 pub mod registry;
+pub mod sched;
 pub mod session;
 pub mod store;
 
@@ -64,5 +70,6 @@ pub use gateway::{WsClient, WsGateway, WsRequest, WsResponse};
 pub use locator::{DatasetLocation, LocatorService};
 pub use manager::ManagerNode;
 pub use registry::{SessionInfo, WorkerInfo, WorkerRegistry, WorkerState};
+pub use sched::{SchedStats, SchedulerPolicy};
 pub use session::{FailureRecord, RunState, Session, SessionStatus};
 pub use store::DatasetStore;

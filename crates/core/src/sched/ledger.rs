@@ -1,0 +1,116 @@
+//! Per-engine throughput accounting for straggler detection.
+
+use std::time::Instant;
+
+use crate::engine::EngineId;
+
+/// Smoothed throughput samples per engine, fed from the progress deltas in
+/// `EngineEvent::Update` stamps.
+///
+/// The rate is an exponentially weighted moving average
+/// (`rate = 0.5·old + 0.5·sample`) so a transient hiccup does not brand an
+/// engine a straggler, while a genuinely slow node converges within a few
+/// publish intervals. An engine with no samples yet reports `0.0` and is
+/// excluded from the median.
+#[derive(Debug, Default)]
+pub struct WorkerLedger {
+    /// `(smoothed records/sec, last sample instant)` per engine; `None`
+    /// until the first progress stamp arrives.
+    samples: Vec<Option<(f64, Instant)>>,
+}
+
+impl WorkerLedger {
+    /// Size the ledger for `engines` workers, clearing any history.
+    pub fn reset(&mut self, engines: usize) {
+        self.samples = vec![None; engines];
+    }
+
+    /// Record that `engine` processed `delta` more records, observed at
+    /// `now`. The first stamp only anchors the clock; rates start flowing
+    /// from the second stamp. Zero or negative intervals are skipped.
+    pub fn on_progress(&mut self, engine: EngineId, delta: u64, now: Instant) {
+        let Some(slot) = self.samples.get_mut(engine) else {
+            return;
+        };
+        match slot {
+            None => *slot = Some((0.0, now)),
+            Some((rate, last)) => {
+                let dt = now.duration_since(*last).as_secs_f64();
+                if dt <= 0.0 {
+                    return;
+                }
+                let sample = delta as f64 / dt;
+                *rate = if *rate == 0.0 {
+                    sample
+                } else {
+                    0.5 * *rate + 0.5 * sample
+                };
+                *last = now;
+            }
+        }
+    }
+
+    /// Smoothed records/sec for `engine` (`0.0` until two stamps arrive).
+    pub fn rate(&self, engine: EngineId) -> f64 {
+        self.samples
+            .get(engine)
+            .and_then(|s| s.map(|(r, _)| r))
+            .unwrap_or(0.0)
+    }
+
+    /// All smoothed rates, indexed by engine (for [`super::SchedStats`]).
+    pub fn rates(&self) -> Vec<f64> {
+        (0..self.samples.len()).map(|e| self.rate(e)).collect()
+    }
+
+    /// Median over engines with a measured (non-zero) rate; `None` when
+    /// fewer than two engines have measurements — no basis for calling
+    /// anyone slow yet.
+    pub fn median_rate(&self) -> Option<f64> {
+        let mut rates: Vec<f64> = self.rates().into_iter().filter(|&r| r > 0.0).collect();
+        if rates.len() < 2 {
+            return None;
+        }
+        rates.sort_by(|a, b| a.total_cmp(b));
+        Some(rates[rates.len() / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn rates_need_two_stamps_and_smooth() {
+        let mut l = WorkerLedger::default();
+        l.reset(2);
+        let t0 = Instant::now();
+        l.on_progress(0, 100, t0);
+        assert_eq!(l.rate(0), 0.0);
+        l.on_progress(0, 100, t0 + Duration::from_secs(1));
+        assert!((l.rate(0) - 100.0).abs() < 1e-9);
+        // EWMA: next sample at 300/s → (100 + 300) / 2 = 200.
+        l.on_progress(0, 300, t0 + Duration::from_secs(2));
+        assert!((l.rate(0) - 200.0).abs() < 1e-9);
+        // Zero-interval stamps are ignored, out-of-range engines too.
+        l.on_progress(0, 999, t0 + Duration::from_secs(2));
+        assert!((l.rate(0) - 200.0).abs() < 1e-9);
+        l.on_progress(7, 999, t0);
+    }
+
+    #[test]
+    fn median_requires_two_measured_engines() {
+        let mut l = WorkerLedger::default();
+        l.reset(3);
+        let t0 = Instant::now();
+        assert_eq!(l.median_rate(), None);
+        l.on_progress(0, 50, t0);
+        l.on_progress(0, 50, t0 + Duration::from_secs(1));
+        assert_eq!(l.median_rate(), None);
+        l.on_progress(2, 400, t0);
+        l.on_progress(2, 400, t0 + Duration::from_secs(1));
+        assert_eq!(l.median_rate(), Some(400.0));
+        assert_eq!(l.rates(), vec![50.0, 0.0, 400.0]);
+    }
+}

@@ -1,0 +1,124 @@
+//! The scheduling plane: adaptive work-queue scheduling for analysis parts.
+//!
+//! The paper's Splitter cuts a dataset into exactly one ~equal part per
+//! engine (§3.4), which makes session wall-clock hostage to the slowest
+//! node — the `5.3·k·X/N` analysis term of §4 only holds when every node
+//! runs at the calibrated speed. This module replaces that static
+//! assignment with a pull-based scheduler:
+//!
+//! * the dataset is over-partitioned into `engines × oversub` *micro-parts*
+//!   ([`ipa_dataset::split_chunks`]),
+//! * a [`PartQueue`] hands the next pending part to whichever engine
+//!   finishes first (work stealing falls out of pulling),
+//! * a [`WorkerLedger`] tracks per-engine throughput (records/sec, EWMA)
+//!   so the session can flag stragglers and speculatively re-issue their
+//!   current part to an idle engine — first completion wins, the loser's
+//!   updates are dropped by part-dedup, composing with the PR-1 epoch
+//!   rules so records stay exactly-once.
+//!
+//! The policy is selected per-manager via [`crate::IpaConfig::scheduler`]
+//! and observable through [`SchedStats`] on every status poll.
+
+mod ledger;
+mod queue;
+
+pub use ledger::WorkerLedger;
+pub use queue::{CompletionOutcome, PartQueue};
+
+use serde::{Deserialize, Serialize};
+
+/// Which scheduling policy a session uses to map parts onto engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedulerPolicy {
+    /// One ~equal part per engine, assigned up front (the paper's §3.4
+    /// behavior). No stealing, no speculation.
+    #[default]
+    Static,
+    /// Over-partition into micro-parts; engines pull the next pending part
+    /// when they finish one. No speculative re-execution.
+    WorkQueue,
+    /// [`SchedulerPolicy::WorkQueue`] plus straggler mitigation: when the
+    /// queue is dry and an engine's throughput lags the median by more
+    /// than `straggler_factor`, its current part is speculatively
+    /// re-issued to an idle engine and the first completion wins.
+    WorkStealing,
+}
+
+impl SchedulerPolicy {
+    /// Parse the `IPA_SCHEDULER` environment variable (used by the CI
+    /// matrix to run the whole suite under each policy). Unset or
+    /// unrecognized values fall back to `Static`.
+    pub fn from_env() -> Self {
+        match std::env::var("IPA_SCHEDULER") {
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "workqueue" | "work_queue" => SchedulerPolicy::WorkQueue,
+                "workstealing" | "work_stealing" => SchedulerPolicy::WorkStealing,
+                _ => SchedulerPolicy::Static,
+            },
+            Err(_) => SchedulerPolicy::Static,
+        }
+    }
+
+    /// True for the pull-based policies (`WorkQueue`, `WorkStealing`)
+    /// that over-partition and dispatch from the queue.
+    pub fn is_pull(&self) -> bool {
+        !matches!(self, SchedulerPolicy::Static)
+    }
+}
+
+/// Scheduler counters reported through [`crate::SessionStatus`] and the
+/// gateway's `SchedStats` request.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SchedStats {
+    /// Policy the session is running under.
+    pub policy: SchedulerPolicy,
+    /// Micro-parts the dataset was cut into at the last (re)stage.
+    pub parts_queued: u64,
+    /// Parts pulled from the queue *after* the initial staging round —
+    /// i.e. assignments that went to whichever engine freed up first.
+    pub parts_stolen: u64,
+    /// Speculative duplicate executions issued for suspected stragglers.
+    pub parts_speculated: u64,
+    /// Speculations whose duplicate finished before the original runner.
+    pub speculations_won: u64,
+    /// Per-engine smoothed throughput in records/sec (EWMA); `0.0` until
+    /// an engine has published at least two progress stamps.
+    pub engine_rate: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_env_parsing() {
+        // Can't mutate the process env safely under the parallel test
+        // harness; exercise the match arms through a local copy instead.
+        let parse = |v: &str| match v.to_ascii_lowercase().as_str() {
+            "workqueue" | "work_queue" => SchedulerPolicy::WorkQueue,
+            "workstealing" | "work_stealing" => SchedulerPolicy::WorkStealing,
+            _ => SchedulerPolicy::Static,
+        };
+        assert_eq!(parse("WorkStealing"), SchedulerPolicy::WorkStealing);
+        assert_eq!(parse("work_queue"), SchedulerPolicy::WorkQueue);
+        assert_eq!(parse("static"), SchedulerPolicy::Static);
+        assert_eq!(parse("garbage"), SchedulerPolicy::Static);
+        assert!(SchedulerPolicy::WorkStealing.is_pull());
+        assert!(!SchedulerPolicy::Static.is_pull());
+    }
+
+    #[test]
+    fn stats_serde_round_trip() {
+        let s = SchedStats {
+            policy: SchedulerPolicy::WorkStealing,
+            parts_queued: 16,
+            parts_stolen: 3,
+            parts_speculated: 1,
+            speculations_won: 1,
+            engine_rate: vec![100.0, 25.0],
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SchedStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

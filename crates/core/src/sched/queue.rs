@@ -1,0 +1,179 @@
+//! Pull-based part queue with first-completion-wins speculation.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::engine::{EngineId, PartId};
+
+/// Result of recording a part completion: who else was running the part
+/// (and must be told to stop), and whether the winner was a speculative
+/// duplicate rather than the original runner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletionOutcome {
+    /// Engines still holding the part; their in-flight work is now moot.
+    pub losers: Vec<EngineId>,
+    /// True when the completing engine was a speculative re-issue (not
+    /// the runner the part was originally dispatched to).
+    pub winner_was_speculative: bool,
+}
+
+/// Tracks every micro-part through `pending → running → completed`.
+///
+/// Parts are staged FIFO; [`PartQueue::pop`] moves one to `running` under
+/// the pulling engine. A part may have at most two concurrent runners —
+/// the original plus one speculative duplicate — and the first `done`
+/// update wins: [`PartQueue::is_complete`] lets the session drop the
+/// loser's late updates, the same shape as the epoch guard but keyed by
+/// part instead of generation.
+#[derive(Debug, Default)]
+pub struct PartQueue {
+    pending: VecDeque<PartId>,
+    /// Runners per in-flight part; index 0 is the original runner, a
+    /// second entry (if any) is the speculative duplicate.
+    running: HashMap<PartId, Vec<EngineId>>,
+    completed: HashSet<PartId>,
+}
+
+impl PartQueue {
+    /// Reset and stage parts `0..n` as pending, in order.
+    pub fn stage(&mut self, n: usize) {
+        self.pending = (0..n as PartId).collect();
+        self.running.clear();
+        self.completed.clear();
+    }
+
+    /// Pull the next pending part for `engine`, marking it running.
+    pub fn pop(&mut self, engine: EngineId) -> Option<PartId> {
+        let part = self.pending.pop_front()?;
+        self.running.insert(part, vec![engine]);
+        Some(part)
+    }
+
+    /// Number of parts still waiting to be pulled.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of parts recorded complete.
+    pub fn completed_len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// True once `part` has a winning completion; late updates from any
+    /// other runner must be dropped.
+    pub fn is_complete(&self, part: PartId) -> bool {
+        self.completed.contains(&part)
+    }
+
+    /// Add `engine` as a speculative second runner for an in-flight
+    /// `part`. Returns false (and changes nothing) if the part is not
+    /// running, already complete, already has two runners, or `engine`
+    /// is already running it.
+    pub fn speculate(&mut self, part: PartId, engine: EngineId) -> bool {
+        if self.completed.contains(&part) {
+            return false;
+        }
+        match self.running.get_mut(&part) {
+            Some(runners) if runners.len() < 2 && !runners.contains(&engine) => {
+                runners.push(engine);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Record that `engine` finished `part`. The part moves to
+    /// `completed` and every other runner is returned as a loser.
+    pub fn complete(&mut self, part: PartId, engine: EngineId) -> CompletionOutcome {
+        let runners = self.running.remove(&part).unwrap_or_default();
+        let winner_was_speculative = runners.first().is_some_and(|&orig| orig != engine);
+        self.completed.insert(part);
+        CompletionOutcome {
+            losers: runners.into_iter().filter(|&e| e != engine).collect(),
+            winner_was_speculative,
+        }
+    }
+
+    /// Drop `engine` from `part`'s runner set (it failed or was stopped).
+    /// Returns true if another engine is still running the part — in that
+    /// case the part needs neither invalidation nor requeueing.
+    pub fn release(&mut self, part: PartId, engine: EngineId) -> bool {
+        match self.running.get_mut(&part) {
+            Some(runners) => {
+                runners.retain(|&e| e != engine);
+                if runners.is_empty() {
+                    self.running.remove(&part);
+                    false
+                } else {
+                    true
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Re-queue a part whose only runner was lost (front of the queue so
+    /// recovery happens before new work).
+    pub fn requeue(&mut self, part: PartId) {
+        if !self.completed.contains(&part) && !self.running.contains_key(&part) {
+            self.pending.push_front(part);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_complete_lifecycle() {
+        let mut q = PartQueue::default();
+        q.stage(3);
+        assert_eq!(q.pending_len(), 3);
+        assert_eq!(q.pop(0), Some(0));
+        assert_eq!(q.pop(1), Some(1));
+        let out = q.complete(0, 0);
+        assert!(out.losers.is_empty());
+        assert!(!out.winner_was_speculative);
+        assert!(q.is_complete(0));
+        assert_eq!(q.completed_len(), 1);
+        assert_eq!(q.pop(0), Some(2));
+        assert_eq!(q.pop(2), None);
+    }
+
+    #[test]
+    fn speculation_first_completion_wins() {
+        let mut q = PartQueue::default();
+        q.stage(1);
+        assert_eq!(q.pop(0), Some(0));
+        assert!(q.speculate(0, 1));
+        // Third runner and duplicate runner are refused.
+        assert!(!q.speculate(0, 2));
+        assert!(!q.speculate(0, 0));
+        // Speculative engine finishes first: original runner loses.
+        let out = q.complete(0, 1);
+        assert_eq!(out.losers, vec![0]);
+        assert!(out.winner_was_speculative);
+        assert!(q.is_complete(0));
+        // Late speculation on a completed part is refused.
+        assert!(!q.speculate(0, 2));
+    }
+
+    #[test]
+    fn release_and_requeue_only_when_last_runner_lost() {
+        let mut q = PartQueue::default();
+        q.stage(2);
+        q.pop(0);
+        assert!(q.speculate(0, 1));
+        // Engine 0 dies; engine 1 still runs part 0 → no requeue needed.
+        assert!(q.release(0, 0));
+        // Engine 1 dies too → part 0 is orphaned and goes back first.
+        assert!(!q.release(0, 1));
+        q.requeue(0);
+        assert_eq!(q.pop(2), Some(0));
+        // Completed parts never requeue.
+        q.complete(0, 2);
+        q.requeue(0);
+        assert_eq!(q.pending_len(), 1);
+        assert_eq!(q.pop(2), Some(1));
+    }
+}

@@ -20,14 +20,22 @@
 //! and the AIDA manager drop anything from a superseded epoch — so
 //! updates already queued in the event channel when the user rewinds can
 //! never re-pollute the fresh run's merged results.
+//!
+//! Scheduling is pluggable ([`crate::IpaConfig::scheduler`]): the paper's
+//! static one-part-per-engine split, or the pull-based policies from
+//! [`crate::sched`] that over-partition into micro-parts, let fast
+//! engines steal queued work, and speculatively re-execute a straggler's
+//! part on an idle engine — first completion wins, the loser's late
+//! updates are dropped by part-dedup (see [`crate::sched::PartQueue`]).
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime};
 
 use crossbeam::channel::{Receiver, TryRecvError};
 use ipa_aida::Tree;
-use ipa_dataset::{split_even, split_records, AnyRecord, DatasetDescriptor, DatasetId};
+use ipa_dataset::{
+    split_chunks, split_even, split_records, AnyRecord, DatasetDescriptor, DatasetId,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::aida_manager::AidaManager;
@@ -37,6 +45,7 @@ use crate::engine::{EngineCommand, EngineEvent, EngineHandle, EngineId, PartId};
 use crate::error::CoreError;
 use crate::locator::LocatorService;
 use crate::registry::{WorkerRegistry, WorkerState};
+use crate::sched::{CompletionOutcome, PartQueue, SchedStats, SchedulerPolicy, WorkerLedger};
 
 /// Run state of a session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,6 +68,12 @@ struct EngineSlot {
     alive: bool,
     /// Part currently assigned, with completion flag.
     part: Option<(PartId, bool)>,
+    /// Records reported processed in the current part so far (the last
+    /// cumulative `processed` stamp) — the baseline for progress deltas.
+    part_progress: u64,
+    /// Remaining run-N budget carried across part boundaries under the
+    /// pull policies; `None` = unbounded run, `Some(0)` = exhausted.
+    budget_left: Option<usize>,
     /// Records completed in earlier parts (for registry progress).
     completed_records: u64,
     /// Failures absorbed by the retry budget so far this epoch.
@@ -98,6 +113,8 @@ pub struct SessionStatus {
     /// Run epoch this snapshot belongs to (bumped by `select_dataset`,
     /// `load_code`, and `rewind`).
     pub epoch: u64,
+    /// Scheduler counters and per-engine throughput for this epoch.
+    pub sched: SchedStats,
     /// Log lines collected since the last poll.
     pub new_logs: Vec<(EngineId, String)>,
 }
@@ -125,7 +142,9 @@ pub struct Session {
 
     dataset: Option<DatasetDescriptor>,
     parts: Vec<Arc<Vec<AnyRecord>>>,
-    pending: VecDeque<PartId>,
+    queue: PartQueue,
+    ledger: WorkerLedger,
+    stats: SchedStats,
     code: Option<AnalysisCode>,
     state: RunState,
     epoch: u64,
@@ -145,6 +164,17 @@ impl Session {
         config: IpaConfig,
         registry: WorkerRegistry,
     ) -> Self {
+        // Apply configured per-engine slowdowns (straggler experiments).
+        for (i, handle) in engines.iter().enumerate() {
+            if let Some(&f) = config.speed_factors.get(i) {
+                if f > 1.0 {
+                    handle.send(EngineCommand::Throttle(f));
+                }
+            }
+        }
+        let n = engines.len();
+        let mut ledger = WorkerLedger::default();
+        ledger.reset(n);
         Session {
             id,
             subject,
@@ -154,6 +184,8 @@ impl Session {
                     handle,
                     alive: true,
                     part: None,
+                    part_progress: 0,
+                    budget_left: None,
                     completed_records: 0,
                     retries_used: 0,
                 })
@@ -161,10 +193,15 @@ impl Session {
             events,
             aida: AidaManager::new(),
             locator,
+            stats: SchedStats {
+                policy: config.scheduler,
+                ..SchedStats::default()
+            },
             config,
             dataset: None,
             parts: Vec::new(),
-            pending: VecDeque::new(),
+            queue: PartQueue::default(),
+            ledger,
             code: None,
             state: RunState::Idle,
             epoch: 0,
@@ -211,12 +248,18 @@ impl Session {
     }
 
     /// Start a new run epoch: merged results and progress counters reset,
-    /// retry budgets refill, and any event still in flight from the old
-    /// epoch will be dropped on arrival.
+    /// retry budgets refill, throughput history and scheduler counters
+    /// clear, and any event still in flight from the old epoch will be
+    /// dropped on arrival.
     fn bump_epoch(&mut self) {
         self.epoch += 1;
         self.aida.begin_epoch(self.epoch);
         self.registry.reset_progress(self.id);
+        self.ledger.reset(self.engines.len());
+        self.stats = SchedStats {
+            policy: self.config.scheduler,
+            ..SchedStats::default()
+        };
         for slot in self.engines.iter_mut() {
             slot.completed_records = 0;
             slot.retries_used = 0;
@@ -248,13 +291,17 @@ impl Session {
     }
 
     /// Step 2: choose a dataset. Resolves the id through the locator,
-    /// splits it into one part per engine, and stages the parts.
+    /// splits it according to the scheduling policy — one ~equal part per
+    /// engine under `Static`, `engines × oversub` micro-parts under the
+    /// pull policies — and stages the first wave of parts.
     pub fn select_dataset(&mut self, id: &DatasetId) -> Result<(), CoreError> {
         self.check_open()?;
         self.locator.locate(id)?;
         let ds = self.locator.fetch(id)?;
         let n = self.engines_alive().max(1);
-        let (parts, _plan) = if self.config.byte_balanced_split {
+        let (parts, _plan) = if self.config.scheduler.is_pull() {
+            split_chunks(&ds.records, n * self.config.oversub.max(1))
+        } else if self.config.byte_balanced_split {
             split_records(&ds.records, n)
         } else {
             split_even(&ds.records, n)
@@ -263,38 +310,43 @@ impl Session {
 
         self.parts = parts.into_iter().map(Arc::new).collect();
         self.dataset = Some(ds.descriptor.clone());
-        self.bump_epoch();
-        self.pending.clear();
-        self.state = RunState::Idle;
+        self.restage();
+        Ok(())
+    }
 
-        // Stage part k onto the k-th living engine.
+    /// Start a fresh epoch over the current `parts`: stage the queue and
+    /// hand each living engine its first part. Engines that get no part
+    /// are quiesced (they keep their old epoch, so anything they might
+    /// still publish is dropped). Shared by `select_dataset`, `load_code`,
+    /// and `rewind` — under micro-partitioning every reset must rebuild
+    /// the whole queue, not just the parts engines currently hold.
+    fn restage(&mut self) {
+        self.bump_epoch();
+        self.queue.stage(self.parts.len());
+        self.stats.parts_queued = self.parts.len() as u64;
         let epoch = self.epoch;
-        let mut part_iter = 0u64;
-        for slot in self.engines.iter_mut() {
+        for (idx, slot) in self.engines.iter_mut().enumerate() {
             slot.part = None;
+            slot.part_progress = 0;
+            slot.budget_left = None;
             if !slot.alive {
                 continue;
             }
-            if (part_iter as usize) < self.parts.len() {
-                let records = self.parts[part_iter as usize].clone();
-                slot.handle.send(EngineCommand::AssignPart {
-                    part: part_iter,
-                    records,
-                    epoch,
-                });
-                slot.part = Some((part_iter, false));
-                part_iter += 1;
-            } else {
-                // No part for this engine: quiesce it. It keeps its old
-                // epoch, so anything it might still publish is dropped.
-                slot.handle.send(EngineCommand::Stop);
+            match self.queue.pop(idx) {
+                Some(part) => {
+                    slot.handle.send(EngineCommand::AssignPart {
+                        part,
+                        records: self.parts[part as usize].clone(),
+                        epoch,
+                    });
+                    slot.part = Some((part, false));
+                }
+                None => {
+                    slot.handle.send(EngineCommand::Stop);
+                }
             }
         }
-        // Any parts beyond the number of living engines wait in the queue.
-        for p in part_iter..self.parts.len() as u64 {
-            self.pending.push_back(p);
-        }
-        Ok(())
+        self.state = RunState::Idle;
     }
 
     /// Step 3a: ship analysis code to every engine. The code is validated
@@ -305,19 +357,23 @@ impl Session {
         // Validate before shipping (scripts compile; natives must exist on
         // the engines' registry, which mirrors this one).
         instantiate_code(&code, &self.local_registry())?;
-        self.bump_epoch();
+        if !self.parts.is_empty() {
+            // Re-stage so the new code reprocesses the *whole* dataset:
+            // under micro-partitioning the engines only hold the parts
+            // they were last running, the rest live in the queue.
+            self.restage();
+        } else {
+            self.bump_epoch();
+            self.state = RunState::Idle;
+        }
         let epoch = self.epoch;
         for slot in self.engines.iter_mut().filter(|s| s.alive) {
             slot.handle.send(EngineCommand::LoadCode {
                 code: code.clone(),
                 epoch,
             });
-            if let Some((_, done)) = &mut slot.part {
-                *done = false;
-            }
         }
         self.code = Some(code);
-        self.state = RunState::Idle;
         Ok(())
     }
 
@@ -340,7 +396,8 @@ impl Session {
         if self.engines_alive() == 0 {
             return Err(CoreError::AllEnginesFailed);
         }
-        for slot in self.engines.iter().filter(|s| s.alive) {
+        for slot in self.engines.iter_mut().filter(|s| s.alive) {
+            slot.budget_left = None;
             slot.handle.send(EngineCommand::Run);
         }
         self.state = RunState::Running;
@@ -348,7 +405,9 @@ impl Session {
     }
 
     /// "Run specific no of events": each engine processes at most `n`
-    /// further records, then pauses.
+    /// further records, then pauses. Under the pull policies the budget
+    /// carries across part boundaries — an engine that finishes a
+    /// micro-part with budget left pulls the next part and keeps going.
     pub fn run_events(&mut self, n: usize) -> Result<(), CoreError> {
         self.check_open()?;
         if self.dataset.is_none() {
@@ -360,7 +419,8 @@ impl Session {
         if self.engines_alive() == 0 {
             return Err(CoreError::AllEnginesFailed);
         }
-        for slot in self.engines.iter().filter(|s| s.alive) {
+        for slot in self.engines.iter_mut().filter(|s| s.alive) {
+            slot.budget_left = Some(n);
             slot.handle.send(EngineCommand::RunN(n));
         }
         self.state = RunState::Running;
@@ -391,43 +451,20 @@ impl Session {
             if let Some((_, done)) = &mut slot.part {
                 *done = false;
             }
+            slot.part_progress = 0;
+            slot.budget_left = None;
         }
         self.state = RunState::Stopped;
         Ok(())
     }
 
     /// Rewind to the start of the dataset: all parts go back to record 0,
-    /// merged results reset.
+    /// merged results reset. Staging halts the engines and moves them to
+    /// the new epoch; updates published before the re-stage carry the old
+    /// epoch and are dropped.
     pub fn rewind(&mut self) -> Result<(), CoreError> {
         self.check_open()?;
-        self.bump_epoch();
-        self.pending.clear();
-        // Re-stage original parts onto living engines. Staging halts the
-        // engine and moves it to the new epoch; updates it published
-        // before the re-stage carry the old epoch and are dropped.
-        let epoch = self.epoch;
-        let mut next_part = 0u64;
-        for slot in self.engines.iter_mut() {
-            slot.part = None;
-            if !slot.alive {
-                continue;
-            }
-            if (next_part as usize) < self.parts.len() {
-                slot.handle.send(EngineCommand::AssignPart {
-                    part: next_part,
-                    records: self.parts[next_part as usize].clone(),
-                    epoch,
-                });
-                slot.part = Some((next_part, false));
-                next_part += 1;
-            } else {
-                slot.handle.send(EngineCommand::Stop);
-            }
-        }
-        for p in next_part..self.parts.len() as u64 {
-            self.pending.push_back(p);
-        }
-        self.state = RunState::Idle;
+        self.restage();
         Ok(())
     }
 
@@ -458,6 +495,13 @@ impl Session {
                     // silently re-pollute the fresh results.
                     return;
                 }
+                if self.queue.is_complete(part) {
+                    // Another engine already completed this part — this is
+                    // the loser of a speculative race; first completion
+                    // wins and the late update is dropped.
+                    return;
+                }
+                let mut completion: Option<CompletionOutcome> = None;
                 if let Some(slot) = self.engines.get_mut(update.engine) {
                     let mut newly_done = false;
                     if let Some((pid, done)) = &mut slot.part {
@@ -466,11 +510,23 @@ impl Session {
                             *done = update.done;
                         }
                     }
+                    // Progress delta against the last cumulative stamp
+                    // feeds the throughput ledger and the run-N budget.
+                    let delta = update.processed.saturating_sub(slot.part_progress);
+                    slot.part_progress = update.processed;
+                    if delta > 0 {
+                        self.ledger
+                            .on_progress(update.engine, delta, Instant::now());
+                    }
+                    if let Some(b) = &mut slot.budget_left {
+                        *b = b.saturating_sub(delta as usize);
+                    }
                     // Count a part into the engine's completed tally only
                     // on the not-done -> done transition, so a re-published
                     // done update cannot inflate registry progress.
                     if newly_done {
                         slot.completed_records += update.total;
+                        completion = Some(self.queue.complete(part, update.engine));
                     }
                     let total = if update.done {
                         slot.completed_records
@@ -487,6 +543,30 @@ impl Session {
                         },
                         Some(total),
                     );
+                }
+                if let Some(outcome) = completion {
+                    if outcome.winner_was_speculative {
+                        self.stats.speculations_won += 1;
+                    }
+                    // Losing runners stop crunching a part that is already
+                    // complete; their registry progress drops back to the
+                    // parts they actually completed so the part's records
+                    // are counted exactly once, under the winner.
+                    for loser in outcome.losers {
+                        if let Some(slot) = self.engines.get_mut(loser) {
+                            if slot.part.map(|(p, _)| p) == Some(part) {
+                                slot.part = None;
+                                slot.part_progress = 0;
+                                slot.handle.send(EngineCommand::Stop);
+                                self.registry.update_worker(
+                                    self.id,
+                                    loser,
+                                    WorkerState::Idle,
+                                    Some(slot.completed_records),
+                                );
+                            }
+                        }
+                    }
                 }
                 self.aida.publish(part, update);
             }
@@ -516,6 +596,7 @@ impl Session {
                 });
                 if let Some(slot) = self.engines.get_mut(engine) {
                     slot.part = None;
+                    slot.part_progress = 0;
                     if retry {
                         slot.retries_used += 1;
                     } else {
@@ -533,8 +614,14 @@ impl Session {
                     None,
                 );
                 if let Some(p) = part {
-                    self.aida.invalidate(p);
-                    self.pending.push_back(p);
+                    // With a speculative duplicate still running the part,
+                    // neither invalidation nor re-queueing is needed — the
+                    // survivor will complete it.
+                    let others_running = self.queue.release(p, engine);
+                    if !others_running && !self.queue.is_complete(p) {
+                        self.aida.invalidate(p);
+                        self.queue.requeue(p);
+                    }
                 }
             }
             EngineEvent::Log {
@@ -551,13 +638,12 @@ impl Session {
     }
 
     /// Hand queued parts to living engines whose current part is done (or
-    /// who have none).
+    /// who have none), then — under `WorkStealing` with a dry queue —
+    /// consider speculative re-execution of a straggler's part.
     fn dispatch_pending(&mut self) {
-        if self.pending.is_empty() {
-            return;
-        }
-        for slot in self.engines.iter_mut() {
-            if self.pending.is_empty() {
+        let epoch = self.epoch;
+        for (idx, slot) in self.engines.iter_mut().enumerate() {
+            if self.queue.pending_len() == 0 {
                 break;
             }
             if !slot.alive {
@@ -567,23 +653,114 @@ impl Session {
                 None => true,
                 Some((_, done)) => done,
             };
-            if idle {
-                let part = self.pending.pop_front().expect("non-empty");
-                slot.handle.send(EngineCommand::AssignPart {
-                    part,
-                    records: self.parts[part as usize].clone(),
-                    epoch: self.epoch,
-                });
-                if self.state == RunState::Running {
-                    slot.handle.send(EngineCommand::Run);
-                }
-                slot.part = Some((part, false));
+            // An exhausted run-N budget parks the engine until the next
+            // run()/run_events() refills it.
+            if !idle || slot.budget_left == Some(0) {
+                continue;
             }
+            let Some(part) = self.queue.pop(idx) else {
+                break;
+            };
+            slot.handle.send(EngineCommand::AssignPart {
+                part,
+                records: self.parts[part as usize].clone(),
+                epoch,
+            });
+            slot.part = Some((part, false));
+            slot.part_progress = 0;
+            if self.state == RunState::Running {
+                match slot.budget_left {
+                    Some(b) => slot.handle.send(EngineCommand::RunN(b)),
+                    None => slot.handle.send(EngineCommand::Run),
+                };
+            }
+            if self.config.scheduler.is_pull() {
+                self.stats.parts_stolen += 1;
+            }
+        }
+        if self.config.scheduler == SchedulerPolicy::WorkStealing
+            && self.state == RunState::Running
+            && self.queue.pending_len() == 0
+        {
+            self.speculate_straggler();
         }
     }
 
-    /// Drain engine events, run failure recovery, and return a status
-    /// snapshot. This is the client's polling entry point.
+    /// Speculative straggler re-execution: when the queue is dry but some
+    /// engine lags the median throughput by more than `straggler_factor`,
+    /// re-issue its current part to an idle engine. At most one duplicate
+    /// per part; first completion wins (see [`PartQueue`]).
+    fn speculate_straggler(&mut self) {
+        let Some(median) = self.ledger.median_rate() else {
+            return;
+        };
+        let factor = self.config.straggler_factor.max(1.0);
+        let mut straggler: Option<(EngineId, PartId, f64)> = None;
+        for (idx, slot) in self.engines.iter().enumerate() {
+            if !slot.alive {
+                continue;
+            }
+            let Some((pid, false)) = slot.part else {
+                continue;
+            };
+            let rate = self.ledger.rate(idx);
+            if rate > 0.0
+                && rate * factor < median
+                && straggler.is_none_or(|(_, _, slowest)| rate < slowest)
+            {
+                straggler = Some((idx, pid, rate));
+            }
+        }
+        let Some((victim, part, _)) = straggler else {
+            return;
+        };
+        let helper = self.engines.iter().enumerate().find_map(|(i, s)| {
+            if i == victim || !s.alive || s.budget_left == Some(0) {
+                return None;
+            }
+            match s.part {
+                None | Some((_, true)) => Some(i),
+                Some((_, false)) => None,
+            }
+        });
+        let Some(helper) = helper else {
+            return;
+        };
+        if !self.queue.speculate(part, helper) {
+            return;
+        }
+        let epoch = self.epoch;
+        let slot = &mut self.engines[helper];
+        slot.handle.send(EngineCommand::AssignPart {
+            part,
+            records: self.parts[part as usize].clone(),
+            epoch,
+        });
+        slot.part = Some((part, false));
+        slot.part_progress = 0;
+        match slot.budget_left {
+            Some(b) => slot.handle.send(EngineCommand::RunN(b)),
+            None => slot.handle.send(EngineCommand::Run),
+        };
+        self.stats.parts_speculated += 1;
+    }
+
+    /// Scheduler counters plus a fresh per-engine throughput snapshot.
+    fn sched_snapshot(&self) -> SchedStats {
+        SchedStats {
+            engine_rate: self.ledger.rates(),
+            ..self.stats.clone()
+        }
+    }
+
+    /// Current scheduler statistics (also embedded in every
+    /// [`SessionStatus`] from [`Session::poll`]).
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched_snapshot()
+    }
+
+    /// Drain engine events, run failure recovery and work dispatch, and
+    /// return a status snapshot. This is the client's polling entry point.
     pub fn poll(&mut self) -> Result<SessionStatus, CoreError> {
         self.check_open()?;
         loop {
@@ -612,6 +789,7 @@ impl Session {
             parts_total,
             engines_alive: self.engines_alive(),
             epoch: self.epoch,
+            sched: self.sched_snapshot(),
             new_logs: std::mem::take(&mut self.logs),
         })
     }
@@ -637,7 +815,7 @@ impl Session {
                 return Ok(status);
             }
             if Instant::now() > deadline {
-                return Err(CoreError::Timeout(status));
+                return Err(CoreError::Timeout(Some(status)));
             }
             std::thread::sleep(Duration::from_millis(1));
         }
@@ -665,6 +843,16 @@ impl Session {
     pub fn inject_failure(&mut self, engine: EngineId, after_records: u64) {
         if let Some(slot) = self.engines.get(engine) {
             slot.handle.send(EngineCommand::FailAfter(after_records));
+        }
+    }
+
+    /// Straggler injection (tests / benches): throttle engine `engine` to
+    /// `factor ×` its natural per-batch compute time (≤ 1.0 restores full
+    /// speed). The scheduler observes the slowdown through the throughput
+    /// ledger exactly as it would a genuinely slow node.
+    pub fn inject_speed_factor(&mut self, engine: EngineId, factor: f64) {
+        if let Some(slot) = self.engines.get(engine) {
+            slot.handle.send(EngineCommand::Throttle(factor));
         }
     }
 

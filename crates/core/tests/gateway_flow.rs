@@ -235,15 +235,45 @@ fn interactive_controls_over_tcp() {
         })
         .unwrap();
 
-    // run_events over the wire.
+    // run_events over the wire: two engines × 300 records. Poll until the
+    // budgets are consumed (under the pull policies an engine crosses
+    // part boundaries to spend its budget, so this takes a few polls).
     client
         .call_ok(&WsRequest::RunEvents { session, n: 300 })
         .unwrap();
-    std::thread::sleep(Duration::from_millis(300));
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let WsResponse::Status(st) = client.call_ok(&WsRequest::Poll { session }).unwrap() else {
+            panic!()
+        };
+        if st.records_processed == 600 {
+            break;
+        }
+        assert!(
+            st.records_processed < 600,
+            "run_events overshot its budget: {}",
+            st.records_processed
+        );
+        assert!(
+            std::time::Instant::now() < deadline,
+            "budget never consumed"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // The count must be stable — engines are paused, not merely slow.
+    std::thread::sleep(Duration::from_millis(100));
     let WsResponse::Status(st) = client.call_ok(&WsRequest::Poll { session }).unwrap() else {
         panic!()
     };
     assert_eq!(st.records_processed, 600);
+
+    // Scheduler stats cross the wire.
+    let WsResponse::Sched(sched) = client.call_ok(&WsRequest::SchedStats { session }).unwrap()
+    else {
+        panic!("sched stats")
+    };
+    assert_eq!(sched.parts_queued as usize, st.parts_total);
+    assert_eq!(sched.engine_rate.len(), 2);
 
     // rewind + full run.
     client.call_ok(&WsRequest::Rewind { session }).unwrap();

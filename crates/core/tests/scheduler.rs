@@ -1,0 +1,261 @@
+//! Scheduling-plane tests: micro-partitioned work queues, work stealing,
+//! speculative straggler re-execution, and the exactly-once guarantee
+//! that must survive all of them.
+
+use std::time::{Duration, Instant};
+
+use ipa_aida::Tree;
+use ipa_core::{AnalysisCode, IpaConfig, ManagerNode, SchedulerPolicy, SessionStatus};
+use ipa_dataset::{DatasetId, EventGeneratorConfig, GeneratorConfig};
+use ipa_simgrid::{GridProxy, SecurityDomain, VoPolicy};
+use proptest::prelude::*;
+
+fn manager_with(events: u64, config: IpaConfig) -> (ManagerNode, GridProxy) {
+    let sec = SecurityDomain::new("sched-site", 99).with_policy(VoPolicy::new("ilc", 16));
+    let manager = ManagerNode::new("sched.example.org", sec.clone(), config);
+    let ds = ipa_dataset::generate_dataset(
+        "lc-sched",
+        "scheduler-plane events",
+        &GeneratorConfig::Event(EventGeneratorConfig {
+            events,
+            ..Default::default()
+        }),
+    );
+    manager
+        .publish_dataset("/lc", ds, ipa_catalog::Metadata::new())
+        .unwrap();
+    let proxy = sec.issue_proxy("/CN=sched", "ilc", 0.0, 7200.0);
+    (manager, proxy)
+}
+
+/// Full run of the whole dataset under `config`; returns wall-clock from
+/// `run()` to `Finished`, the final status, and the merged tree.
+fn timed_run(events: u64, config: IpaConfig) -> (Duration, SessionStatus, Tree) {
+    let engines = config.engines_per_session;
+    let (manager, proxy) = manager_with(events, config);
+    let mut s = manager.create_session(&proxy, 0.0, engines).unwrap();
+    s.select_dataset(&DatasetId::new("lc-sched")).unwrap();
+    s.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    let started = Instant::now();
+    s.run().unwrap();
+    let st = s.wait_finished(Duration::from_secs(120)).unwrap();
+    let elapsed = started.elapsed();
+    let tree = s.results().unwrap();
+    s.close();
+    (elapsed, st, tree)
+}
+
+/// The two runs must have merged to the same histograms: identical entry
+/// counts per bin, heights equal up to float summation order.
+fn assert_same_merge(a: &Tree, b: &Tree, path: &str) {
+    let ha = a.get(path).unwrap().as_h1().unwrap();
+    let hb = b.get(path).unwrap().as_h1().unwrap();
+    assert_eq!(ha.all_entries(), hb.all_entries(), "{path}: total entries");
+    for i in 0..ha.axis().bins() {
+        assert_eq!(ha.bin_entries(i), hb.bin_entries(i), "{path} bin {i}");
+        let d = (ha.bin_height(i) - hb.bin_height(i)).abs();
+        assert!(
+            d <= 1e-9 * ha.bin_height(i).abs().max(1.0),
+            "{path} bin {i} height: {} vs {}",
+            ha.bin_height(i),
+            hb.bin_height(i)
+        );
+    }
+}
+
+#[test]
+fn work_stealing_beats_static_with_slow_engine() {
+    // One engine 16× slower. Static is hostage to it; work stealing routes
+    // the records around it and speculation rescues its final part. The
+    // strict ≤50% acceptance number lives in the criterion bench — here we
+    // use a forgiving margin so the test stays robust on loaded CI boxes.
+    const EVENTS: u64 = 100_000;
+    let config = |scheduler| IpaConfig {
+        scheduler,
+        engines_per_session: 4,
+        oversub: 4,
+        publish_every: 500,
+        speed_factors: vec![16.0, 1.0, 1.0, 1.0],
+        ..Default::default()
+    };
+
+    let (static_t, static_st, static_tree) = timed_run(EVENTS, config(SchedulerPolicy::Static));
+    let (ws_t, ws_st, ws_tree) = timed_run(EVENTS, config(SchedulerPolicy::WorkStealing));
+
+    // Both runs processed every record exactly once.
+    for st in [&static_st, &ws_st] {
+        assert_eq!(st.records_processed, EVENTS);
+        assert_eq!(st.parts_done, st.parts_total);
+    }
+    assert_eq!(
+        ws_tree.get("/higgs/n_btags").unwrap().entries(),
+        EVENTS,
+        "every record fills n_btags exactly once"
+    );
+    assert_same_merge(&static_tree, &ws_tree, "/higgs/n_btags");
+    assert_same_merge(&static_tree, &ws_tree, "/higgs/bb_mass");
+
+    // Scheduler stats tell the story of each policy.
+    assert_eq!(static_st.sched.policy, SchedulerPolicy::Static);
+    assert_eq!(static_st.sched.parts_stolen, 0);
+    assert_eq!(static_st.sched.parts_speculated, 0);
+    assert_eq!(ws_st.sched.policy, SchedulerPolicy::WorkStealing);
+    assert_eq!(ws_st.sched.parts_queued, 16);
+    assert!(
+        ws_st.sched.parts_stolen > 0,
+        "micro-parts must be pulled beyond the first wave"
+    );
+
+    assert!(
+        ws_t.as_secs_f64() <= 0.75 * static_t.as_secs_f64(),
+        "work stealing ({ws_t:?}) should finish well before static ({static_t:?})"
+    );
+}
+
+#[test]
+fn straggler_part_is_speculatively_rescued() {
+    // Two engines, one 20× slower: once the fast engine drains the queue
+    // it must duplicate the straggler's part and win the race.
+    const EVENTS: u64 = 30_000;
+    let (manager, proxy) = manager_with(
+        EVENTS,
+        IpaConfig {
+            scheduler: SchedulerPolicy::WorkStealing,
+            engines_per_session: 2,
+            oversub: 2,
+            publish_every: 250,
+            ..Default::default()
+        },
+    );
+    let mut s = manager.create_session(&proxy, 0.0, 2).unwrap();
+    s.select_dataset(&DatasetId::new("lc-sched")).unwrap();
+    s.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    s.inject_speed_factor(0, 20.0);
+    s.run().unwrap();
+    let st = s.wait_finished(Duration::from_secs(120)).unwrap();
+
+    assert_eq!(st.records_processed, EVENTS);
+    assert_eq!(st.parts_done, st.parts_total);
+    assert!(
+        st.sched.parts_speculated >= 1,
+        "the straggler's part was never speculated: {:?}",
+        st.sched
+    );
+    assert!(
+        st.sched.speculations_won >= 1,
+        "the fast engine should win the race: {:?}",
+        st.sched
+    );
+    // First-completion-wins kept the merge exactly-once.
+    let tree = s.results().unwrap();
+    assert_eq!(tree.get("/higgs/n_btags").unwrap().entries(), EVENTS);
+    s.close();
+}
+
+#[test]
+fn work_queue_pulls_without_speculating() {
+    // WorkQueue = pull-based micro-parts, no speculation ever.
+    let (t, st, tree) = timed_run(
+        3_000,
+        IpaConfig {
+            scheduler: SchedulerPolicy::WorkQueue,
+            engines_per_session: 3,
+            oversub: 3,
+            publish_every: 100,
+            ..Default::default()
+        },
+    );
+    assert!(t < Duration::from_secs(60));
+    assert_eq!(st.records_processed, 3_000);
+    assert_eq!(st.sched.policy, SchedulerPolicy::WorkQueue);
+    assert_eq!(st.sched.parts_queued, 9);
+    assert!(st.sched.parts_stolen > 0);
+    assert_eq!(st.sched.parts_speculated, 0);
+    assert_eq!(tree.get("/higgs/n_btags").unwrap().entries(), 3_000);
+}
+
+#[test]
+fn rewind_under_work_stealing_restages_the_whole_queue() {
+    // A rewound micro-partitioned run must reprocess all records exactly
+    // once even though engines held only a fraction of the parts.
+    let (manager, proxy) = manager_with(
+        2_000,
+        IpaConfig {
+            scheduler: SchedulerPolicy::WorkStealing,
+            engines_per_session: 2,
+            oversub: 4,
+            publish_every: 100,
+            ..Default::default()
+        },
+    );
+    let mut s = manager.create_session(&proxy, 0.0, 2).unwrap();
+    s.select_dataset(&DatasetId::new("lc-sched")).unwrap();
+    s.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    s.run().unwrap();
+    s.wait_finished(Duration::from_secs(60)).unwrap();
+
+    s.rewind().unwrap();
+    let st = s.poll().unwrap();
+    assert_eq!(st.records_processed, 0, "rewind clears merged progress");
+    assert_eq!(st.sched.parts_stolen, 0, "counters reset with the epoch");
+
+    s.run().unwrap();
+    let st = s.wait_finished(Duration::from_secs(60)).unwrap();
+    assert_eq!(st.records_processed, 2_000);
+    assert_eq!(st.parts_done, 8);
+    let tree = s.results().unwrap();
+    assert_eq!(tree.get("/higgs/n_btags").unwrap().entries(), 2_000);
+    s.close();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Satellite: WorkStealing with a random straggler, random
+    /// oversubscription, and a random injected kill still processes every
+    /// record exactly once and merges to the same histograms as a clean
+    /// Static run.
+    #[test]
+    fn chaotic_work_stealing_matches_clean_static(
+        slow_engine in 0usize..3,
+        slow_factor in 1.0f64..6.0,
+        oversub in 1usize..=16,
+        kill_engine in 0usize..3,
+        kill_after in 0u64..400,
+    ) {
+        const EVENTS: u64 = 600;
+        let config = |scheduler| IpaConfig {
+            scheduler,
+            engines_per_session: 3,
+            oversub,
+            publish_every: 50,
+            ..Default::default()
+        };
+
+        // Ground truth: a clean static run over the (deterministically
+        // generated) dataset.
+        let (_, static_st, static_tree) = timed_run(EVENTS, config(SchedulerPolicy::Static));
+        prop_assert_eq!(static_st.records_processed, EVENTS);
+
+        // Chaos run: throttled straggler + mid-part engine kill.
+        let (manager, proxy) = manager_with(EVENTS, config(SchedulerPolicy::WorkStealing));
+        let mut s = manager.create_session(&proxy, 0.0, 3).unwrap();
+        s.select_dataset(&DatasetId::new("lc-sched")).unwrap();
+        s.load_code(AnalysisCode::Native("higgs-search".into())).unwrap();
+        s.inject_speed_factor(slow_engine, slow_factor);
+        s.inject_failure(kill_engine, kill_after);
+        s.run().unwrap();
+        let st = s.wait_finished(Duration::from_secs(60)).unwrap();
+
+        prop_assert_eq!(st.records_processed, EVENTS);
+        prop_assert_eq!(st.parts_done, st.parts_total);
+        let tree = s.results().unwrap();
+        prop_assert_eq!(tree.get("/higgs/n_btags").unwrap().entries(), EVENTS);
+        assert_same_merge(&static_tree, &tree, "/higgs/n_btags");
+        assert_same_merge(&static_tree, &tree, "/higgs/bb_mass");
+        s.close();
+    }
+}

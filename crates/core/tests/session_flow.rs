@@ -60,7 +60,7 @@ fn four_steps_full_run() {
     let status = s.wait_finished(Duration::from_secs(60)).unwrap();
     assert_eq!(status.state, RunState::Finished);
     assert_eq!(status.records_processed, DATASET_EVENTS);
-    assert_eq!(status.parts_done, 4);
+    assert_eq!(status.parts_done, status.parts_total);
     assert!((status.progress() - 1.0).abs() < 1e-12);
 
     let tree = s.results().unwrap();
@@ -252,7 +252,10 @@ fn engine_failure_recovers_without_double_counting() {
     let st = s.wait_finished(Duration::from_secs(120)).unwrap();
     assert_eq!(st.state, RunState::Finished);
     assert_eq!(st.engines_alive, 3);
-    assert_eq!(st.parts_done, 4, "failed part must be re-run elsewhere");
+    assert_eq!(
+        st.parts_done, st.parts_total,
+        "failed part must be re-run elsewhere"
+    );
     assert_eq!(
         st.records_processed, DATASET_EVENTS,
         "every record processed exactly once"
@@ -361,7 +364,7 @@ fn retry_budget_keeps_engine_alive_and_run_exact() {
     let st = s.wait_finished(Duration::from_secs(120)).unwrap();
     assert_eq!(st.state, RunState::Finished);
     assert_eq!(st.engines_alive, 4, "retried engine must stay alive");
-    assert_eq!(st.parts_done, 4);
+    assert_eq!(st.parts_done, st.parts_total);
     assert_eq!(st.records_processed, DATASET_EVENTS);
     assert_eq!(s.failures().len(), 1);
     assert_eq!(s.failures()[0].engine, 1);
@@ -473,7 +476,7 @@ fn wait_finished_timeout_is_an_error() {
     // Never started: a zero-duration wait can only time out, and must say
     // so instead of returning a success-shaped status.
     match s.wait_finished(Duration::ZERO) {
-        Err(CoreError::Timeout(st)) => {
+        Err(CoreError::Timeout(Some(st))) => {
             assert_eq!(st.state, RunState::Idle);
             assert_eq!(st.records_processed, 0);
         }

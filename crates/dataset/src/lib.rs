@@ -41,6 +41,6 @@ pub use generator::{
     TradeGeneratorConfig,
 };
 pub use record::{AnyRecord, FieldValue, RecordFields};
-pub use splitter::{reassemble, split_dataset, split_even, split_records, SplitPlan};
+pub use splitter::{reassemble, split_chunks, split_dataset, split_even, split_records, SplitPlan};
 pub use stream::{split_stream, StreamReader, StreamWriter};
 pub use trade::TradeRecord;

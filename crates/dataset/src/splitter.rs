@@ -31,9 +31,14 @@ pub struct SplitPlan {
 }
 
 impl SplitPlan {
-    /// Largest part byte size divided by smallest non-empty part byte size;
-    /// 1.0 means perfectly balanced. Returns 1.0 when fewer than two
+    /// Largest part byte size divided by the *mean* non-empty part byte
+    /// size; 1.0 means perfectly balanced. Returns 1.0 when fewer than two
     /// non-empty parts exist.
+    ///
+    /// Using the mean (rather than the smallest part) keeps the metric
+    /// meaningful when one tail part holds a single small record: a split
+    /// whose parts are `[5000, 5000, 10]` bytes is reported as ~1.5 (the
+    /// largest part is 1.5× the average work), not 500.
     pub fn imbalance(&self) -> f64 {
         let sizes: Vec<u64> = self
             .ranges
@@ -45,8 +50,8 @@ impl SplitPlan {
             return 1.0;
         }
         let max = *sizes.iter().max().expect("non-empty") as f64;
-        let min = *sizes.iter().min().expect("non-empty") as f64;
-        max / min
+        let mean = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
+        max / mean
     }
 }
 
@@ -121,6 +126,25 @@ pub fn split_records(
     }
     debug_assert_eq!(idx, records.len());
     Ok((parts, SplitPlan { parts: n, ranges }))
+}
+
+/// Split into *micro-parts* for pull-based scheduling: `n_parts` chunks of
+/// ~equal record counts, order-preserving, never producing an empty chunk.
+///
+/// Unlike [`split_even`], which always returns exactly `n` parts (padding
+/// with empty tails), this clamps the effective part count to
+/// `max(1, min(n_parts, records.len()))` so a work queue is never staged
+/// with no-op parts. An empty input yields a single empty part so the
+/// session still has one part to complete.
+pub fn split_chunks(
+    records: &[AnyRecord],
+    n_parts: usize,
+) -> Result<(Vec<Vec<AnyRecord>>, SplitPlan), DatasetError> {
+    if n_parts == 0 {
+        return Err(DatasetError::ZeroParts);
+    }
+    let effective = n_parts.min(records.len()).max(1);
+    split_even(records, effective)
 }
 
 /// Reassemble parts into a single record vector (inverse of splitting,
@@ -245,6 +269,51 @@ mod tests {
         let (_, even_plan) = split_even(&recs, 4).unwrap();
         let (_, byte_plan) = split_records(&recs, 4).unwrap();
         assert!(byte_plan.imbalance() < even_plan.imbalance());
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean_not_max_over_min() {
+        // One tiny tail part must not explode the metric: sizes are
+        // [5000, 5000, 10] bytes → max/mean ≈ 1.5, where max/min = 500.
+        let plan = SplitPlan {
+            parts: 3,
+            ranges: vec![(0, 5, 5000), (5, 5, 5000), (10, 1, 10)],
+        };
+        let imb = plan.imbalance();
+        assert!(imb < 2.0, "imbalance {imb} should be max/mean, not max/min");
+        assert!((imb - 5000.0 / (10010.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_chunks_clamps_to_record_count() {
+        let recs = events(3);
+        let (parts, plan) = split_chunks(&recs, 10).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(plan.parts, 3);
+        assert!(parts.iter().all(|p| p.len() == 1));
+        assert_eq!(ids(&parts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn split_chunks_partitions_exactly() {
+        let recs = events(1000);
+        let (parts, plan) = split_chunks(&recs, 16).unwrap();
+        assert_eq!(parts.len(), 16);
+        assert_eq!(plan.parts, 16);
+        assert!(parts.iter().all(|p| !p.is_empty()));
+        assert_eq!(ids(&parts), (0..1000).collect::<Vec<u64>>());
+        // ±1 record per chunk.
+        let lens: Vec<usize> = parts.iter().map(Vec::len).collect();
+        assert!(lens.iter().all(|&l| l == 62 || l == 63), "{lens:?}");
+    }
+
+    #[test]
+    fn split_chunks_empty_input_yields_one_empty_part() {
+        let (parts, plan) = split_chunks(&[], 8).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert!(parts[0].is_empty());
+        assert_eq!(plan.imbalance(), 1.0);
+        assert_eq!(split_chunks(&events(2), 0), Err(DatasetError::ZeroParts));
     }
 
     #[test]
