@@ -167,6 +167,29 @@ impl Cloud1D {
     pub fn reset(&mut self) {
         self.state = State1D::Points(Vec::new());
     }
+
+    /// Suffix of points filled since `old`, as a new cloud, when both clouds
+    /// are unconverted and `old`'s points are an exact prefix of `self`'s.
+    /// Merging the returned cloud into `old` reproduces `self` exactly
+    /// (an unconverted cloud is always under budget, so no conversion can
+    /// trigger); `None` means no compact append-delta exists.
+    pub fn append_since(&self, old: &Self) -> Option<Self> {
+        let (State1D::Points(new), State1D::Points(prev)) = (&self.state, &old.state) else {
+            return None;
+        };
+        if self.title != old.title
+            || self.max_entries != old.max_entries
+            || prev.len() > new.len()
+            || new[..prev.len()] != prev[..]
+        {
+            return None;
+        }
+        Some(Cloud1D {
+            title: self.title.clone(),
+            max_entries: self.max_entries,
+            state: State1D::Points(new[prev.len()..].to_vec()),
+        })
+    }
 }
 
 impl Mergeable for Cloud1D {
@@ -319,6 +342,25 @@ impl Cloud2D {
     pub fn reset(&mut self) {
         self.points.clear();
         self.converted = None;
+    }
+
+    /// Suffix of points filled since `old`; see [`Cloud1D::append_since`].
+    pub fn append_since(&self, old: &Self) -> Option<Self> {
+        if self.converted.is_some()
+            || old.converted.is_some()
+            || self.title != old.title
+            || self.max_entries != old.max_entries
+            || old.points.len() > self.points.len()
+            || self.points[..old.points.len()] != old.points[..]
+        {
+            return None;
+        }
+        Some(Cloud2D {
+            title: self.title.clone(),
+            max_entries: self.max_entries,
+            points: self.points[old.points.len()..].to_vec(),
+            converted: None,
+        })
     }
 }
 

@@ -146,6 +146,27 @@ impl DataPointSet {
     pub fn clear(&mut self) {
         self.points.clear();
     }
+
+    /// Suffix of points added since `old`, as a new set, when `old` is an
+    /// exact prefix of `self` (same title/dimension/annotation). Merging the
+    /// returned set into `old` reproduces `self` exactly; `None` means no
+    /// compact append-delta exists and the caller must ship a full replace.
+    pub fn append_since(&self, old: &Self) -> Option<Self> {
+        if self.title != old.title
+            || self.dimension != old.dimension
+            || self.annotation != old.annotation
+            || old.points.len() > self.points.len()
+            || self.points[..old.points.len()] != old.points[..]
+        {
+            return None;
+        }
+        Some(DataPointSet {
+            title: self.title.clone(),
+            dimension: self.dimension,
+            points: self.points[old.points.len()..].to_vec(),
+            annotation: self.annotation.clone(),
+        })
+    }
 }
 
 impl Mergeable for DataPointSet {

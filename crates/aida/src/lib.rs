@@ -54,9 +54,9 @@ pub use cloud::{Cloud1D, Cloud2D};
 pub use dps::{DataPoint, DataPointSet, Measurement};
 pub use hist1d::Histogram1D;
 pub use hist2d::Histogram2D;
-pub use object::{AidaObject, MergeError, Mergeable};
+pub use object::{AidaObject, MergeError, Mergeable, ObjectDelta};
 pub use ops::{add_scaled, fit_gaussian, fit_gaussian_in, normalized, rebin, GaussianFit};
 pub use profile::Profile1D;
 pub use stats::WeightedStats;
-pub use tree::{Tree, TreeError};
+pub use tree::{Tree, TreeDelta, TreeError};
 pub use tuple::{ColumnType, Tuple, TupleError, Value};

@@ -53,6 +53,22 @@ pub trait Mergeable {
     fn merge(&mut self, other: &Self) -> Result<(), MergeError>;
 }
 
+/// How one object changed relative to an earlier snapshot of itself.
+///
+/// Deltas must be *exact*: applying the delta to the old snapshot reproduces
+/// the new object bit-for-bit. Dense accumulators (histograms, profiles) can
+/// only guarantee that by shipping the whole new object (`Replace`) — bin-wise
+/// floating-point subtraction is not invertible. Append-only objects (data
+/// point sets, ntuples, unconverted clouds) ship just the new suffix
+/// (`Append`), which is applied via the ordinary [`Mergeable::merge`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ObjectDelta {
+    /// The full new object; overwrites whatever was at the path.
+    Replace(AidaObject),
+    /// A suffix object; merged into the existing object at the path.
+    Append(AidaObject),
+}
+
 /// Any object a [`crate::Tree`] can hold.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum AidaObject {
@@ -143,6 +159,35 @@ impl AidaObject {
             _ => None,
         }
     }
+
+    /// Delta from `old` (an earlier snapshot of this same object) to `self`.
+    ///
+    /// Returns `None` when nothing changed. Append-only kinds emit a compact
+    /// [`ObjectDelta::Append`] suffix when `old` is an exact prefix of `self`;
+    /// every other change falls back to [`ObjectDelta::Replace`] so the
+    /// invariant `apply(old, delta) == self` holds exactly, including for
+    /// floating-point bin contents.
+    pub fn diff_from(&self, old: &Self) -> Option<ObjectDelta> {
+        if self == old {
+            return None;
+        }
+        let append = match (old, self) {
+            (AidaObject::Dps(a), AidaObject::Dps(b)) => {
+                b.append_since(a).map(|d| ObjectDelta::Append(d.into()))
+            }
+            (AidaObject::Tup(a), AidaObject::Tup(b)) => {
+                b.append_since(a).map(|d| ObjectDelta::Append(d.into()))
+            }
+            (AidaObject::C1(a), AidaObject::C1(b)) => {
+                b.append_since(a).map(|d| ObjectDelta::Append(d.into()))
+            }
+            (AidaObject::C2(a), AidaObject::C2(b)) => {
+                b.append_since(a).map(|d| ObjectDelta::Append(d.into()))
+            }
+            _ => None,
+        };
+        Some(append.unwrap_or_else(|| ObjectDelta::Replace(self.clone())))
+    }
 }
 
 impl Mergeable for AidaObject {
@@ -211,6 +256,50 @@ mod tests {
         let err = a.merge(&b).unwrap_err();
         assert!(matches!(err, MergeError::KindMismatch { .. }));
         assert!(err.to_string().contains("Profile1D"));
+    }
+
+    #[test]
+    fn diff_from_unchanged_is_none() {
+        let o: AidaObject = Histogram1D::new("t", 10, 0.0, 1.0).into();
+        assert!(o.diff_from(&o.clone()).is_none());
+    }
+
+    #[test]
+    fn diff_from_histogram_is_replace() {
+        let old: AidaObject = Histogram1D::new("t", 10, 0.0, 1.0).into();
+        let mut h = Histogram1D::new("t", 10, 0.0, 1.0);
+        h.fill1(0.5);
+        let new: AidaObject = h.into();
+        let Some(ObjectDelta::Replace(r)) = new.diff_from(&old) else {
+            panic!("dense accumulators must replace");
+        };
+        assert_eq!(r, new);
+    }
+
+    #[test]
+    fn diff_from_append_only_kinds_is_suffix() {
+        // DataPointSet grows by one point → Append carrying exactly that one.
+        let mut old = DataPointSet::new("d", 2);
+        old.add_xy(1.0, 1.0, 0.0);
+        let mut new = old.clone();
+        new.add_xy(2.0, 2.0, 0.0);
+        let (o, n): (AidaObject, AidaObject) = (old.clone().into(), new.clone().into());
+        let Some(ObjectDelta::Append(suffix)) = n.diff_from(&o) else {
+            panic!("dps must append");
+        };
+        assert_eq!(suffix.entries(), 1);
+        // Applying the suffix via merge reproduces the new object exactly.
+        let mut rebuilt: AidaObject = old.into();
+        rebuilt.merge(&suffix).unwrap();
+        assert_eq!(rebuilt, n);
+
+        // A cloud that converted since the baseline must fall back to replace.
+        let mut c_old = Cloud1D::with_max_entries("c", 2);
+        c_old.fill1(1.0);
+        let mut c_new = c_old.clone();
+        c_new.fill1(2.0); // triggers conversion
+        let (o, n): (AidaObject, AidaObject) = (c_old.into(), c_new.into());
+        assert!(matches!(n.diff_from(&o), Some(ObjectDelta::Replace(_))));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::object::{AidaObject, MergeError, Mergeable};
+use crate::object::{AidaObject, MergeError, Mergeable, ObjectDelta};
 
 /// Errors from tree operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -209,6 +209,90 @@ impl Mergeable for Tree {
     }
 }
 
+/// What changed in a [`Tree`] since an earlier snapshot of the same tree.
+///
+/// Produced by [`Tree::diff_since`] and consumed by [`Tree::apply_delta`];
+/// the contract is exact reconstruction: `apply(baseline, delta) ==
+/// current`, bit-for-bit, including floating-point bin contents. Engines ship
+/// these instead of full tree clones on every publish.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TreeDelta {
+    /// Per-path changes (replace or append), sorted by path.
+    changes: BTreeMap<String, ObjectDelta>,
+    /// Paths present in the baseline but gone from the current tree.
+    removed: Vec<String>,
+}
+
+impl TreeDelta {
+    /// True when the delta carries no changes at all.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty() && self.removed.is_empty()
+    }
+
+    /// Number of changed (replaced/appended/removed) paths.
+    pub fn len(&self) -> usize {
+        self.changes.len() + self.removed.len()
+    }
+}
+
+impl Tree {
+    /// Delta that transforms `baseline` (an earlier snapshot of this tree)
+    /// into `self`. Unchanged objects are skipped entirely; append-only
+    /// objects ship just their new suffix.
+    pub fn diff_since(&self, baseline: &Tree) -> TreeDelta {
+        let mut delta = TreeDelta::default();
+        for (path, obj) in &self.objects {
+            match baseline.objects.get(path) {
+                Some(old) => {
+                    if let Some(change) = obj.diff_from(old) {
+                        delta.changes.insert(path.clone(), change);
+                    }
+                }
+                None => {
+                    delta
+                        .changes
+                        .insert(path.clone(), ObjectDelta::Replace(obj.clone()));
+                }
+            }
+        }
+        for path in baseline.objects.keys() {
+            if !self.objects.contains_key(path) {
+                delta.removed.push(path.clone());
+            }
+        }
+        delta
+    }
+
+    /// Apply a delta produced by [`Tree::diff_since`] against the same
+    /// baseline this tree currently equals. An `Append` for a missing path
+    /// is an error (the caller's baseline has drifted — it must resync from
+    /// a checkpoint); removals of already-absent paths are harmless because
+    /// the end state is identical.
+    pub fn apply_delta(&mut self, delta: &TreeDelta) -> Result<(), TreeError> {
+        for path in &delta.removed {
+            self.objects.remove(path);
+        }
+        for (path, change) in &delta.changes {
+            match change {
+                ObjectDelta::Replace(obj) => {
+                    self.objects.insert(path.clone(), obj.clone());
+                }
+                ObjectDelta::Append(suffix) => {
+                    let ours = self
+                        .objects
+                        .get_mut(path)
+                        .ok_or_else(|| TreeError::NotFound(path.clone()))?;
+                    ours.merge(suffix).map_err(|source| TreeError::Merge {
+                        path: path.clone(),
+                        source,
+                    })?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +402,94 @@ mod tests {
         t.reset_all();
         assert!(t.contains("/m"));
         assert_eq!(t.total_entries(), 0);
+    }
+
+    #[test]
+    fn diff_empty_when_unchanged() {
+        let mut t = Tree::new();
+        let mut h1 = h("m");
+        h1.fill1(0.5);
+        t.put("/m", h1).unwrap();
+        let d = t.diff_since(&t.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn diff_apply_round_trips_replace_append_and_remove() {
+        use crate::dps::DataPointSet;
+        use crate::tuple::{ColumnType, Tuple, Value};
+
+        let mut base = Tree::new();
+        let mut h1 = h("m");
+        h1.fill1(0.5);
+        base.put("/h", h1).unwrap();
+        let mut d0 = DataPointSet::new("pts", 2);
+        d0.add_xy(1.0, 2.0, 0.1);
+        base.put("/d", d0).unwrap();
+        let mut t0 = Tuple::new("rows", &[("x", ColumnType::Float)]);
+        t0.fill_row(&[Value::Float(1.0)]).unwrap();
+        base.put("/t", t0).unwrap();
+        base.put("/gone", h("old")).unwrap();
+
+        // Evolve: histogram refilled (replace), dps/tuple appended, one path
+        // removed, one path added.
+        let mut cur = base.clone();
+        cur.remove("/gone").unwrap();
+        if let AidaObject::H1(h) = cur.get_mut("/h").unwrap() {
+            h.fill1(0.7);
+        }
+        if let AidaObject::Dps(d) = cur.get_mut("/d").unwrap() {
+            d.add_xy(3.0, 4.0, 0.2);
+        }
+        if let AidaObject::Tup(t) = cur.get_mut("/t").unwrap() {
+            t.fill_row(&[Value::Float(2.0)]).unwrap();
+        }
+        cur.put("/new", h("fresh")).unwrap();
+
+        let delta = cur.diff_since(&base);
+        assert_eq!(delta.len(), 5); // /h, /d, /t, /new changed + /gone removed
+                                    // Append-only paths ship suffixes, not full objects.
+        assert!(matches!(
+            delta.changes.get("/d"),
+            Some(ObjectDelta::Append(o)) if o.entries() == 1
+        ));
+        assert!(matches!(
+            delta.changes.get("/t"),
+            Some(ObjectDelta::Append(o)) if o.entries() == 1
+        ));
+        assert!(matches!(
+            delta.changes.get("/h"),
+            Some(ObjectDelta::Replace(_))
+        ));
+
+        let mut rebuilt = base.clone();
+        rebuilt.apply_delta(&delta).unwrap();
+        assert_eq!(rebuilt, cur);
+
+        // Serde round-trip of the delta itself (it crosses thread channels).
+        let s = serde_json::to_string(&delta).unwrap();
+        let back: TreeDelta = serde_json::from_str(&s).unwrap();
+        assert_eq!(delta, back);
+    }
+
+    #[test]
+    fn append_for_missing_path_is_a_desync_error() {
+        use crate::dps::DataPointSet;
+        let mut base = Tree::new();
+        let mut d0 = DataPointSet::new("pts", 2);
+        d0.add_xy(1.0, 2.0, 0.1);
+        base.put("/d", d0).unwrap();
+        let mut cur = base.clone();
+        if let AidaObject::Dps(d) = cur.get_mut("/d").unwrap() {
+            d.add_xy(3.0, 4.0, 0.2);
+        }
+        let delta = cur.diff_since(&base);
+        let mut drifted = Tree::new(); // lost the baseline object
+        assert!(matches!(
+            drifted.apply_delta(&delta),
+            Err(TreeError::NotFound(_))
+        ));
     }
 
     #[test]

@@ -189,6 +189,31 @@ impl ColumnData {
             ColumnData::Str(c) => c.clear(),
         }
     }
+
+    /// True when `prefix`'s cells equal our first `prefix.len()` cells.
+    fn starts_with(&self, prefix: &ColumnData) -> bool {
+        match (self, prefix) {
+            (ColumnData::Float(a), ColumnData::Float(b)) => {
+                a.len() >= b.len() && a[..b.len()] == b[..]
+            }
+            (ColumnData::Int(a), ColumnData::Int(b)) => a.len() >= b.len() && a[..b.len()] == b[..],
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => {
+                a.len() >= b.len() && a[..b.len()] == b[..]
+            }
+            (ColumnData::Str(a), ColumnData::Str(b)) => a.len() >= b.len() && a[..b.len()] == b[..],
+            _ => false,
+        }
+    }
+
+    /// New column holding cells `[from..]`.
+    fn slice_from(&self, from: usize) -> ColumnData {
+        match self {
+            ColumnData::Float(c) => ColumnData::Float(c[from..].to_vec()),
+            ColumnData::Int(c) => ColumnData::Int(c[from..].to_vec()),
+            ColumnData::Bool(c) => ColumnData::Bool(c[from..].to_vec()),
+            ColumnData::Str(c) => ColumnData::Str(c[from..].to_vec()),
+        }
+    }
 }
 
 /// A titled ntuple with a fixed `(name, type)` column schema.
@@ -342,6 +367,34 @@ impl Tuple {
             c.clear();
         }
         self.rows = 0;
+    }
+
+    /// Suffix of rows added since `old`, as a new tuple, when `old` is an
+    /// exact row-prefix of `self` (same title and schema). Merging the
+    /// returned tuple into `old` reproduces `self` exactly; `None` means no
+    /// compact append-delta exists.
+    pub fn append_since(&self, old: &Self) -> Option<Self> {
+        if self.title != old.title
+            || !self.schema_matches(old)
+            || old.rows > self.rows
+            || !self
+                .columns
+                .iter()
+                .zip(&old.columns)
+                .all(|(a, b)| a.starts_with(b))
+        {
+            return None;
+        }
+        Some(Tuple {
+            title: self.title.clone(),
+            names: self.names.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| c.slice_from(old.rows))
+                .collect(),
+            rows: self.rows - old.rows,
+        })
     }
 
     /// Schema equality (names and types).

@@ -78,6 +78,18 @@ fn bench_gateway(c: &mut Criterion) {
         std::thread::sleep(Duration::from_millis(5));
     }
 
+    // The current result version, for the version-aware fast path below.
+    let version = match client
+        .call_ok(&WsRequest::Results {
+            session,
+            if_newer_than: None,
+        })
+        .unwrap()
+    {
+        ipa_core::WsResponse::Tree { version, .. } => version,
+        other => panic!("{other:?}"),
+    };
+
     let mut g = c.benchmark_group("gateway");
     g.bench_function("catalog_tree_rtt", |b| {
         b.iter(|| client.call(&WsRequest::CatalogTree).unwrap())
@@ -86,7 +98,27 @@ fn bench_gateway(c: &mut Criterion) {
         b.iter(|| client.call(&WsRequest::Poll { session }).unwrap())
     });
     g.bench_function("results_tree_rtt", |b| {
-        b.iter(|| client.call(&WsRequest::Results { session }).unwrap())
+        b.iter(|| {
+            client
+                .call(&WsRequest::Results {
+                    session,
+                    if_newer_than: None,
+                })
+                .unwrap()
+        })
+    });
+    // Same poll but echoing the version already held: the run is finished,
+    // nothing changes, and the reply is a constant-size Unchanged message
+    // instead of the whole serialized tree.
+    g.bench_function("results_unchanged_rtt", |b| {
+        b.iter(|| {
+            client
+                .call(&WsRequest::Results {
+                    session,
+                    if_newer_than: Some(version),
+                })
+                .unwrap()
+        })
     });
     g.finish();
 

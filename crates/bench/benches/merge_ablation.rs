@@ -2,12 +2,17 @@
 //! flat vs through a two-level hierarchy, as the part count grows. This is
 //! the design choice DESIGN.md calls out — the sub-merger level trades a
 //! little total work for parallelizable stages and a bounded top fan-in.
+//!
+//! PR 3 additions: the incremental result plane. `snapshot_*` measures the
+//! cached two-level merge (a repeat poll with nothing new is a pure cache
+//! hit; a poll after one part changed re-merges only that part's bucket),
+//! and `publish_*` measures delta publishes against full-tree clones.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ipa_aida::{Histogram1D, Histogram2D, Tree};
-use ipa_core::{AidaManager, PartUpdate};
+use ipa_core::{AidaManager, PartPayload, PartUpdate};
 
-fn partial_tree(seed: u64) -> Tree {
+fn partial_tree_with(seed: u64, extra_mass_fills: u64) -> Tree {
     let mut t = Tree::new();
     let mut h = Histogram1D::new("mass", 120, 0.0, 240.0);
     let mut h2 = Histogram2D::new("corr", 40, 0.0, 40.0, 40, 0.0, 240.0);
@@ -20,30 +25,50 @@ fn partial_tree(seed: u64) -> Tree {
         h.fill1(x);
         h2.fill1((i % 40) as f64, x);
     }
+    for i in 0..extra_mass_fills {
+        h.fill1((i % 240) as f64);
+    }
     t.put("/higgs/mass", h).unwrap();
     t.put("/higgs/corr", h2).unwrap();
     t
 }
 
+fn partial_tree(seed: u64) -> Tree {
+    partial_tree_with(seed, 0)
+}
+
+fn checkpoint(engine: usize, tree: Tree) -> PartUpdate {
+    PartUpdate {
+        engine,
+        epoch: 0,
+        seq: 0,
+        processed: 2000,
+        total: 2000,
+        payload: PartPayload::Checkpoint(tree),
+        done: true,
+    }
+}
+
 fn manager_with_parts(parts: usize) -> AidaManager {
     let mut m = AidaManager::new();
     for p in 0..parts as u64 {
-        m.publish(
-            p,
-            PartUpdate {
-                engine: p as usize,
-                epoch: 0,
-                processed: 2000,
-                total: 2000,
-                tree: partial_tree(p),
-                done: true,
-            },
-        );
+        m.publish(p, checkpoint(p as usize, partial_tree(p)));
     }
     m
 }
 
 fn bench_merge(c: &mut Criterion) {
+    // Correctness gate: the cached snapshot plane must agree with the
+    // flat reference merge before any of its numbers mean anything
+    // (weights are unit fills, so sums are exact integers — bit-equal
+    // under any merge association).
+    {
+        let mut m = manager_with_parts(64);
+        let snap = m.snapshot().unwrap();
+        let flat = m.merged().unwrap();
+        assert_eq!(*snap, flat, "cached snapshot diverged from flat merge");
+    }
+
     let mut g = c.benchmark_group("merge_ablation");
     for parts in [4usize, 16, 64] {
         let mut m = manager_with_parts(parts);
@@ -58,7 +83,80 @@ fn bench_merge(c: &mut Criterion) {
                 b.iter(|| m2.merged_hierarchical(4).unwrap());
             },
         );
+        // Cached poll, nothing new since the last one: the steady state of
+        // an interactive client between engine publishes. Zero merges.
+        let mut m3 = manager_with_parts(parts);
+        m3.snapshot().unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("snapshot_unchanged", parts),
+            &parts,
+            |b, _| {
+                b.iter(|| m3.snapshot().unwrap());
+            },
+        );
+        // Poll after exactly one part republished: only that part's bucket
+        // re-merges, plus the top-level combine.
+        let mut m4 = manager_with_parts(parts);
+        m4.snapshot().unwrap();
+        let fresh = partial_tree(0);
+        g.bench_with_input(
+            BenchmarkId::new("snapshot_one_dirty", parts),
+            &parts,
+            |b, _| {
+                b.iter(|| {
+                    m4.publish(0, checkpoint(0, fresh.clone()));
+                    m4.snapshot().unwrap()
+                });
+            },
+        );
     }
+    g.finish();
+
+    // Publish-path ablation: what an engine's periodic publish costs the
+    // manager when it ships a compact delta (here: one changed histogram
+    // out of two booked objects) vs a full-tree checkpoint clone.
+    let mut g = c.benchmark_group("publish_path");
+    // `grown` is the same engine state one publish interval later: 50 more
+    // fills, all landing in /higgs/mass — /higgs/corr is unchanged, so the
+    // delta carries one object instead of two.
+    let base = partial_tree(0);
+    let grown = partial_tree_with(0, 50);
+    let delta = grown.diff_since(&base);
+    // Gate: replaying the delta onto the baseline reproduces the grown
+    // tree exactly.
+    {
+        let mut replay = base.clone();
+        replay.apply_delta(&delta).unwrap();
+        assert_eq!(replay, grown, "delta replay diverged from the source");
+    }
+    let mut m = AidaManager::new();
+    m.publish(0, checkpoint(0, base.clone()));
+    g.bench_function("checkpoint_clone", |b| {
+        b.iter(|| {
+            m.publish(0, checkpoint(0, grown.clone()));
+        });
+    });
+    let mut md = AidaManager::new();
+    md.publish(0, checkpoint(0, base.clone()));
+    let mut seq = 0u64;
+    g.bench_function("delta", |b| {
+        b.iter(|| {
+            seq += 1;
+            let outcome = md.publish(
+                0,
+                PartUpdate {
+                    engine: 0,
+                    epoch: 0,
+                    seq,
+                    processed: 2050,
+                    total: 2050,
+                    payload: PartPayload::Delta(delta.clone()),
+                    done: false,
+                },
+            );
+            assert!(outcome.applied());
+        });
+    });
     g.finish();
 }
 

@@ -71,7 +71,7 @@ fn run_once(manager: &ManagerNode, proxy: &GridProxy) -> Tree {
         st.records_processed, EVENTS,
         "run must process every record"
     );
-    let tree = s.results().unwrap();
+    let tree = s.results().unwrap().as_ref().clone();
     s.close();
     tree
 }

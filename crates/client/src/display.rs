@@ -134,6 +134,7 @@ mod tests {
             engines_alive: 4,
             epoch: 1,
             sched: ipa_core::SchedStats::default(),
+            results: ipa_core::ResultPlaneStats::default(),
             new_logs: vec![(0, "booked plots".into())],
         }
     }

@@ -6,6 +6,7 @@
 //! paper, where the JAS client and the manager node are different machines.
 
 use std::net::ToSocketAddrs;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ipa_aida::Tree;
@@ -27,6 +28,10 @@ pub struct RemoteSession {
     client: WsClient,
     session: u64,
     engines: usize,
+    /// Last merged tree received, keyed by the server's result version.
+    /// Lets [`RemoteSession::results`] send `if_newer_than` so unchanged
+    /// polls cross the wire as a constant-size "unchanged" message.
+    results_cache: Option<(u64, Arc<Tree>)>,
 }
 
 impl RemoteSession {
@@ -48,6 +53,7 @@ impl RemoteSession {
                 client,
                 session,
                 engines,
+                results_cache: None,
             }),
             other => Err(unexpected("SessionCreated", &other)),
         }
@@ -138,12 +144,42 @@ impl RemoteSession {
     }
 
     /// Fetch the merged result tree.
-    pub fn results(&mut self) -> Result<Tree, RemoteError> {
+    ///
+    /// The last tree is cached with its server-side version: when the
+    /// results have not changed since, the server answers "unchanged" and
+    /// the cached tree is returned without re-shipping it.
+    pub fn results(&mut self) -> Result<Arc<Tree>, RemoteError> {
         let session = self.session;
-        match self.client.call_ok(&WsRequest::Results { session })? {
-            WsResponse::Tree(t) => Ok(t),
-            other => Err(unexpected("Tree", &other)),
+        let if_newer_than = self.results_cache.as_ref().map(|(v, _)| *v);
+        match self.client.call_ok(&WsRequest::Results {
+            session,
+            if_newer_than,
+        })? {
+            WsResponse::Tree { version, tree } => {
+                let tree = Arc::new(tree);
+                self.results_cache = Some((version, Arc::clone(&tree)));
+                Ok(tree)
+            }
+            WsResponse::Unchanged { version } => match &self.results_cache {
+                Some((v, tree)) if *v == version => Ok(Arc::clone(tree)),
+                // Defensive: an "unchanged" for a version we don't hold
+                // means the cache and server disagree — drop the cache so
+                // the next call re-fetches the full tree.
+                _ => {
+                    self.results_cache = None;
+                    Err(format!(
+                        "server reported results unchanged at version {version}, \
+                         but no cached copy is held"
+                    ))
+                }
+            },
+            other => Err(unexpected("Tree or Unchanged", &other)),
         }
+    }
+
+    /// Version of the last fetched merged results, if any.
+    pub fn results_version(&self) -> Option<u64> {
+        self.results_cache.as_ref().map(|(v, _)| *v)
     }
 
     /// Fetch the session's engine-failure records.
@@ -238,6 +274,14 @@ mod tests {
         assert_eq!(st.records_processed, 1_500);
         let tree = s.results().unwrap();
         assert!(tree.get("/higgs/bb_mass").unwrap().entries() > 0);
+        // A second fetch with nothing new crosses the wire as "unchanged"
+        // and is served from the client-side cache — same Arc, no copy.
+        let again = s.results().unwrap();
+        assert!(
+            Arc::ptr_eq(&tree, &again),
+            "unchanged results must be served from the cache"
+        );
+        assert!(s.results_version().is_some());
         assert!(s.failures().unwrap().is_empty());
         let sched = s.sched_stats().unwrap();
         assert_eq!(sched.parts_queued as usize, st.parts_total);

@@ -41,6 +41,7 @@ commands:
   workers                      engine registry panel
   failures                     engine failure records (epoch, part, message)
   sched                        scheduler stats (policy, queue, steals, rates)
+  results                      result-plane stats (version, dirty parts, merge cache)
   svg <dir>                    export all plots as SVG
   close                        close the session
   quit                         exit
@@ -261,6 +262,23 @@ impl Shell {
                     st.speculations_won
                 )
             }
+            "results" => {
+                let s = self.session_mut()?;
+                s.poll().map_err(|e| e.to_string())?;
+                let rs = s.result_stats();
+                format!(
+                    "result version {} · {} dirty parts\n\
+                     {} merges performed · {} cache hits · \
+                     {} deltas applied · {} checkpoints · {} resyncs requested",
+                    rs.result_version,
+                    rs.dirty_parts,
+                    rs.merges_performed,
+                    rs.merge_cache_hits,
+                    rs.deltas_applied,
+                    rs.checkpoints_received,
+                    rs.resyncs_requested
+                )
+            }
             "failures" => {
                 let s = self.session_mut()?;
                 if s.failures().is_empty() {
@@ -376,6 +394,9 @@ mod tests {
         assert!(sh.exec("workers").contains("wn000.shell-site"));
         assert!(sh.exec("failures").contains("no failures"));
         assert!(sh.exec("sched").contains("parts queued"));
+        let out = sh.exec("results");
+        assert!(out.contains("result version"), "{out}");
+        assert!(out.contains("cache hits"), "{out}");
         assert!(sh.exec("close").contains("closed"));
         assert!(sh.exec("quit").contains("bye"));
         assert!(sh.done);

@@ -4,54 +4,215 @@
 //! individual analysis engines are collected and merged at the Manager node
 //! by a special manager service called the AIDA manager service." (§3.7)
 //!
-//! Partial results are keyed by *dataset part*, not by engine: each update
-//! carries the cumulative tree for one part, so re-publishing is idempotent,
-//! merge order is irrelevant, and a part re-run on a different engine after
-//! a failure simply replaces the dead engine's partial — no double
-//! counting.
+//! Partial results are keyed by *dataset part*, not by engine: the manager
+//! keeps one persistent accumulator tree per part, so re-publishing is
+//! idempotent, merge order is irrelevant, and a part re-run on a different
+//! engine after a failure simply replaces the dead engine's partial — no
+//! double counting.
+//!
+//! The result plane is incremental end to end. Engines publish a
+//! [`PartPayload::Checkpoint`] (full cumulative tree) the first time they
+//! touch a part and every `checkpoint_every` publishes thereafter; between
+//! checkpoints they ship [`PartPayload::Delta`]s — just what changed since
+//! the previous publish. The manager applies deltas in place, tracks which
+//! parts are dirty, and serves polls from a cached snapshot behind an
+//! `Arc<Tree>` stamped with a monotonically increasing `result_version`:
+//! a poll with no new data performs **zero** merges. Any delta that cannot
+//! be applied safely (sequence gap, engine change, invalidated part) is
+//! rejected with [`PublishOutcome::NeedsResync`] and the part degrades to
+//! waiting for the next checkpoint — stale results, never corrupt ones.
 //!
 //! §2.5 warns the merger becomes a bottleneck with many users and calls for
-//! "a sub-level of components that performs the merging"; the
-//! [`AidaManager::merged_hierarchical`] path implements that two-level
-//! scheme (ablated in the benches).
+//! "a sub-level of components that performs the merging"; the snapshot path
+//! implements that two-level scheme with cached per-bucket sub-merges: a
+//! dirty poll re-merges only the dirty parts' buckets (in parallel across a
+//! small thread pool), then combines the bucket trees. The stateless
+//! [`AidaManager::merged`] / [`AidaManager::merged_hierarchical`] paths are
+//! kept as the reference implementation (ablated in the benches).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
-use ipa_aida::{Mergeable, Tree};
+use serde::{Deserialize, Serialize};
+
+use ipa_aida::{Mergeable, Tree, TreeDelta};
 
 use crate::engine::PartId;
 use crate::error::CoreError;
 
+/// The result payload of one publish: a full snapshot or an increment.
+#[derive(Debug, Clone)]
+pub enum PartPayload {
+    /// Full cumulative tree for the part. Always accepted; replaces the
+    /// part's accumulator and resynchronizes the delta stream.
+    Checkpoint(Tree),
+    /// Changes since the same engine's previous publish for this part.
+    /// Applied in place only when it continues the accumulator's sequence.
+    Delta(TreeDelta),
+}
+
 /// One published update for a part.
 #[derive(Debug, Clone)]
 pub struct PartUpdate {
-    /// Which engine produced it (diagnostics only).
+    /// Which engine produced it.
     pub engine: usize,
     /// Run epoch the update was produced under; the manager drops updates
     /// stamped with a superseded epoch.
     pub epoch: u64,
+    /// Per-(engine, part-assignment) publish sequence number. Deltas apply
+    /// only when they continue the accumulator's sequence without a gap.
+    pub seq: u64,
     /// Records of the part processed so far.
     pub processed: u64,
     /// Records in the part.
     pub total: u64,
-    /// Cumulative result tree for this part.
-    pub tree: Tree,
-    /// True when the part has been fully processed.
+    /// The result payload (checkpoint or delta).
+    pub payload: PartPayload,
+    /// True when the part has been fully processed. Done publishes are
+    /// always checkpoints (engine-side invariant), so final results never
+    /// depend on a fragile delta chain.
     pub done: bool,
 }
 
+impl PartUpdate {
+    /// The full tree carried by a checkpoint payload (`None` for deltas).
+    pub fn checkpoint_tree(&self) -> Option<&Tree> {
+        match &self.payload {
+            PartPayload::Checkpoint(t) => Some(t),
+            PartPayload::Delta(_) => None,
+        }
+    }
+}
+
+/// What [`AidaManager::publish`] did with an update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishOutcome {
+    /// The update was absorbed into the part's accumulator.
+    Applied,
+    /// The update carried a superseded epoch and was dropped.
+    StaleEpoch,
+    /// A delta could not be applied safely (no accumulator for the part,
+    /// sequence gap, or different engine). The part's previous state — if
+    /// any — stays visible; the publisher must send a checkpoint to resync.
+    NeedsResync,
+}
+
+impl PublishOutcome {
+    /// True when the update was absorbed.
+    pub fn applied(&self) -> bool {
+        matches!(self, PublishOutcome::Applied)
+    }
+}
+
+/// Observability counters for the incremental result plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResultPlaneStats {
+    /// Monotonic version of the cached merged snapshot; bumps only when
+    /// the visible merged tree actually changes.
+    pub result_version: u64,
+    /// Parts with unmerged changes at the time of the query.
+    pub dirty_parts: u64,
+    /// Polls served from the cached snapshot with zero merge work.
+    pub merge_cache_hits: u64,
+    /// Tree merge operations performed since the session started.
+    pub merges_performed: u64,
+    /// Incremental deltas applied in place.
+    pub deltas_applied: u64,
+    /// Full-tree checkpoints received.
+    pub checkpoints_received: u64,
+    /// Deltas rejected because the part needed a checkpoint resync.
+    pub resyncs_requested: u64,
+}
+
+/// Per-part accumulator: the cumulative tree plus the bookkeeping needed
+/// to decide whether the next delta continues its stream.
+#[derive(Debug)]
+struct PartSlot {
+    engine: usize,
+    seq: u64,
+    processed: u64,
+    total: u64,
+    done: bool,
+    tree: Tree,
+}
+
 /// The merge service.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AidaManager {
-    latest: BTreeMap<PartId, PartUpdate>,
-    merges_performed: u64,
+    parts: BTreeMap<PartId, PartSlot>,
     epoch: u64,
+    /// Sub-merger bucket size: parts `[k·fan_in, (k+1)·fan_in)` share
+    /// bucket `k`.
+    fan_in: usize,
+    /// Max worker threads rebuilding dirty buckets in parallel.
+    parallelism: usize,
+    /// Cached per-bucket merged trees (the §2.5 sub-merger level).
+    buckets: BTreeMap<u64, Tree>,
+    /// Parts whose accumulator changed since the last snapshot rebuild.
+    dirty: BTreeSet<PartId>,
+    /// Cached top-level merged tree, shared with pollers.
+    snapshot: Arc<Tree>,
+    result_version: u64,
+    merges_performed: u64,
+    merge_cache_hits: u64,
+    deltas_applied: u64,
+    checkpoints_received: u64,
+    resyncs_requested: u64,
+}
+
+/// Default sub-merger bucket size.
+pub const DEFAULT_MERGE_FAN_IN: usize = 8;
+/// Default bucket-rebuild thread count.
+pub const DEFAULT_MERGE_PARALLELISM: usize = 4;
+
+impl Default for AidaManager {
+    fn default() -> Self {
+        AidaManager::with_merge_config(DEFAULT_MERGE_FAN_IN, DEFAULT_MERGE_PARALLELISM)
+    }
+}
+
+fn rebuild_bucket(
+    parts: &BTreeMap<PartId, PartSlot>,
+    bucket: u64,
+    fan_in: u64,
+) -> Result<(Tree, u64), CoreError> {
+    let mut sub = Tree::new();
+    let mut merges = 0u64;
+    for slot in parts
+        .range(bucket * fan_in..(bucket + 1) * fan_in)
+        .map(|(_, s)| s)
+    {
+        sub.merge(&slot.tree)
+            .map_err(|e| CoreError::Merge(e.to_string()))?;
+        merges += 1;
+    }
+    Ok((sub, merges))
 }
 
 impl AidaManager {
-    /// New empty manager.
+    /// New empty manager with default sub-merger configuration.
     pub fn new() -> Self {
         AidaManager::default()
+    }
+
+    /// New empty manager with an explicit sub-merger bucket size and
+    /// bucket-rebuild parallelism (both clamped to at least 1).
+    pub fn with_merge_config(fan_in: usize, parallelism: usize) -> Self {
+        AidaManager {
+            parts: BTreeMap::new(),
+            epoch: 0,
+            fan_in: fan_in.max(1),
+            parallelism: parallelism.max(1),
+            buckets: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            snapshot: Arc::new(Tree::new()),
+            result_version: 0,
+            merges_performed: 0,
+            merge_cache_hits: 0,
+            deltas_applied: 0,
+            checkpoints_received: 0,
+            resyncs_requested: 0,
+        }
     }
 
     /// Current run epoch; updates from any other epoch are dropped.
@@ -67,43 +228,104 @@ impl AidaManager {
     /// longer re-pollute the merged results.
     pub fn begin_epoch(&mut self, epoch: u64) {
         self.epoch = epoch;
-        self.latest.clear();
-    }
-
-    /// Record the latest update for a part (replaces any previous one).
-    /// Returns false — and merges nothing — when the update carries a
-    /// stale epoch.
-    pub fn publish(&mut self, part: PartId, update: PartUpdate) -> bool {
-        if update.epoch != self.epoch {
-            return false;
-        }
-        self.latest.insert(part, update);
-        true
-    }
-
-    /// Drop a part's contribution (failure recovery re-runs it elsewhere).
-    pub fn invalidate(&mut self, part: PartId) {
-        self.latest.remove(&part);
+        self.forget_results();
     }
 
     /// Forget everything without changing the epoch.
     pub fn clear(&mut self) {
-        self.latest.clear();
+        self.forget_results();
+    }
+
+    fn forget_results(&mut self) {
+        self.parts.clear();
+        self.buckets.clear();
+        self.dirty.clear();
+        if !self.snapshot.is_empty() {
+            // The visible merged tree changed (to empty) — new version.
+            self.snapshot = Arc::new(Tree::new());
+            self.result_version += 1;
+        }
+    }
+
+    /// Absorb one update into the part's accumulator.
+    ///
+    /// Checkpoints always apply (they replace the accumulator and restart
+    /// its delta sequence); deltas apply only in order, from the same
+    /// engine, onto an existing accumulator. Anything else degrades to
+    /// [`PublishOutcome::NeedsResync`] — the previous accumulator stays
+    /// visible (stale, never corrupt) until a checkpoint arrives.
+    pub fn publish(&mut self, part: PartId, update: PartUpdate) -> PublishOutcome {
+        if update.epoch != self.epoch {
+            return PublishOutcome::StaleEpoch;
+        }
+        match update.payload {
+            PartPayload::Checkpoint(tree) => {
+                self.checkpoints_received += 1;
+                self.parts.insert(
+                    part,
+                    PartSlot {
+                        engine: update.engine,
+                        seq: update.seq,
+                        processed: update.processed,
+                        total: update.total,
+                        done: update.done,
+                        tree,
+                    },
+                );
+                self.dirty.insert(part);
+                PublishOutcome::Applied
+            }
+            PartPayload::Delta(ref delta) => {
+                let Some(slot) = self.parts.get_mut(&part) else {
+                    self.resyncs_requested += 1;
+                    return PublishOutcome::NeedsResync;
+                };
+                if slot.engine != update.engine || update.seq != slot.seq.wrapping_add(1) {
+                    self.resyncs_requested += 1;
+                    return PublishOutcome::NeedsResync;
+                }
+                if slot.tree.apply_delta(delta).is_err() {
+                    // apply_delta is not atomic: a failure may leave the
+                    // accumulator half-updated, so drop it entirely and
+                    // wait for the engine's checkpoint.
+                    self.parts.remove(&part);
+                    self.dirty.insert(part);
+                    self.resyncs_requested += 1;
+                    return PublishOutcome::NeedsResync;
+                }
+                slot.seq = update.seq;
+                slot.processed = update.processed;
+                slot.total = update.total;
+                slot.done = update.done;
+                self.deltas_applied += 1;
+                if !delta.is_empty() {
+                    self.dirty.insert(part);
+                }
+                PublishOutcome::Applied
+            }
+        }
+    }
+
+    /// Drop a part's contribution (failure recovery re-runs it elsewhere).
+    pub fn invalidate(&mut self, part: PartId) {
+        if self.parts.remove(&part).is_some() {
+            self.dirty.insert(part);
+        }
     }
 
     /// Total records processed across parts.
     pub fn records_processed(&self) -> u64 {
-        self.latest.values().map(|u| u.processed).sum()
+        self.parts.values().map(|s| s.processed).sum()
     }
 
     /// Parts currently contributing.
     pub fn parts(&self) -> usize {
-        self.latest.len()
+        self.parts.len()
     }
 
     /// Parts flagged done.
     pub fn parts_done(&self) -> usize {
-        self.latest.values().filter(|u| u.done).count()
+        self.parts.values().filter(|s| s.done).count()
     }
 
     /// Number of tree merges performed so far (ablation metric).
@@ -111,11 +333,107 @@ impl AidaManager {
         self.merges_performed
     }
 
+    /// Polls served from the cached snapshot with zero merges.
+    pub fn merge_cache_hits(&self) -> u64 {
+        self.merge_cache_hits
+    }
+
+    /// Version of the snapshot [`AidaManager::snapshot`] would return.
+    /// Monotonic; bumps only when the merged tree's contents change.
+    pub fn result_version(&self) -> u64 {
+        self.result_version
+    }
+
+    /// Current observability counters.
+    pub fn stats(&self) -> ResultPlaneStats {
+        ResultPlaneStats {
+            result_version: self.result_version,
+            dirty_parts: self.dirty.len() as u64,
+            merge_cache_hits: self.merge_cache_hits,
+            merges_performed: self.merges_performed,
+            deltas_applied: self.deltas_applied,
+            checkpoints_received: self.checkpoints_received,
+            resyncs_requested: self.resyncs_requested,
+        }
+    }
+
+    /// The merged result, served from cache.
+    ///
+    /// With no dirty parts this is a pure `Arc` clone — zero merges, zero
+    /// allocation. Otherwise only the dirty parts' sub-merger buckets are
+    /// rebuilt (in parallel when more than one is dirty), the bucket trees
+    /// are combined, and the new snapshot is cached under a bumped
+    /// `result_version`.
+    pub fn snapshot(&mut self) -> Result<Arc<Tree>, CoreError> {
+        if self.dirty.is_empty() {
+            self.merge_cache_hits += 1;
+            return Ok(Arc::clone(&self.snapshot));
+        }
+        let fan_in = self.fan_in as u64;
+        let dirty_buckets: Vec<u64> = self
+            .dirty
+            .iter()
+            .map(|p| p / fan_in)
+            .collect::<BTreeSet<u64>>()
+            .into_iter()
+            .collect();
+        let rebuilt: Vec<(u64, Result<(Tree, u64), CoreError>)> =
+            if self.parallelism > 1 && dirty_buckets.len() > 1 {
+                let parts = &self.parts;
+                let chunk = dirty_buckets.len().div_ceil(self.parallelism);
+                std::thread::scope(|s| {
+                    let workers: Vec<_> = dirty_buckets
+                        .chunks(chunk)
+                        .map(|group| {
+                            s.spawn(move || {
+                                group
+                                    .iter()
+                                    .map(|&b| (b, rebuild_bucket(parts, b, fan_in)))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    workers
+                        .into_iter()
+                        .flat_map(|w| w.join().expect("sub-merger thread panicked"))
+                        .collect()
+                })
+            } else {
+                dirty_buckets
+                    .iter()
+                    .map(|&b| (b, rebuild_bucket(&self.parts, b, fan_in)))
+                    .collect()
+            };
+        for (bucket, result) in rebuilt {
+            let (tree, merges) = result?;
+            self.merges_performed += merges;
+            if merges == 0 {
+                // Every part in the bucket was invalidated.
+                self.buckets.remove(&bucket);
+            } else {
+                self.buckets.insert(bucket, tree);
+            }
+        }
+        let mut out = Tree::new();
+        for bucket in self.buckets.values() {
+            out.merge(bucket)
+                .map_err(|e| CoreError::Merge(e.to_string()))?;
+            self.merges_performed += 1;
+        }
+        self.snapshot = Arc::new(out);
+        self.result_version += 1;
+        self.dirty.clear();
+        Ok(Arc::clone(&self.snapshot))
+    }
+
     /// Merge all current partials into one tree (flat, single level).
+    ///
+    /// Stateless reference path: ignores the bucket caches and re-merges
+    /// everything. The snapshot path is checked against it in tests.
     pub fn merged(&mut self) -> Result<Tree, CoreError> {
         let mut out = Tree::new();
-        for u in self.latest.values() {
-            out.merge(&u.tree)
+        for s in self.parts.values() {
+            out.merge(&s.tree)
                 .map_err(|e| CoreError::Merge(e.to_string()))?;
             self.merges_performed += 1;
         }
@@ -126,15 +444,16 @@ impl AidaManager {
     /// each bucket merged by a "sub-merger", then the bucket results are
     /// combined. Produces a tree identical to [`AidaManager::merged`]
     /// (verified by tests); in a distributed deployment each bucket would
-    /// run on its own node, relieving the top-level manager.
+    /// run on its own node, relieving the top-level manager. Stateless —
+    /// the cached equivalent is [`AidaManager::snapshot`].
     pub fn merged_hierarchical(&mut self, fan_in: usize) -> Result<Tree, CoreError> {
         let fan_in = fan_in.max(1);
-        let parts: Vec<&PartUpdate> = self.latest.values().collect();
+        let parts: Vec<&PartSlot> = self.parts.values().collect();
         let mut bucket_results = Vec::new();
         for chunk in parts.chunks(fan_in) {
             let mut sub = Tree::new();
-            for u in chunk {
-                sub.merge(&u.tree)
+            for s in chunk {
+                sub.merge(&s.tree)
                     .map_err(|e| CoreError::Merge(e.to_string()))?;
                 self.merges_performed += 1;
             }
@@ -154,20 +473,38 @@ mod tests {
     use super::*;
     use ipa_aida::Histogram1D;
 
-    fn update(engine: usize, fills: &[f64], done: bool) -> PartUpdate {
+    fn fills_tree(fills: &[f64]) -> Tree {
         let mut h = Histogram1D::new("m", 10, 0.0, 10.0);
         for &x in fills {
             h.fill1(x);
         }
         let mut tree = Tree::new();
         tree.put("/m", h).unwrap();
+        tree
+    }
+
+    fn update(engine: usize, fills: &[f64], done: bool) -> PartUpdate {
         PartUpdate {
             engine,
             epoch: 0,
+            seq: 0,
             processed: fills.len() as u64,
             total: fills.len() as u64,
-            tree,
+            payload: PartPayload::Checkpoint(fills_tree(fills)),
             done,
+        }
+    }
+
+    fn delta_update(engine: usize, seq: u64, from: &[f64], to: &[f64]) -> PartUpdate {
+        let delta = fills_tree(to).diff_since(&fills_tree(from));
+        PartUpdate {
+            engine,
+            epoch: 0,
+            seq,
+            processed: to.len() as u64,
+            total: to.len() as u64,
+            payload: PartPayload::Delta(delta),
+            done: false,
         }
     }
 
@@ -190,6 +527,108 @@ mod tests {
         m.publish(0, update(0, &[1.0, 2.0, 3.0], true));
         let t = m.merged().unwrap();
         assert_eq!(t.get("/m").unwrap().entries(), 3); // not 4
+    }
+
+    #[test]
+    fn delta_stream_applies_in_place() {
+        let mut m = AidaManager::new();
+        assert!(m.publish(0, update(0, &[1.0], false)).applied());
+        assert!(m
+            .publish(0, delta_update(0, 1, &[1.0], &[1.0, 2.0]))
+            .applied());
+        assert!(m
+            .publish(0, delta_update(0, 2, &[1.0, 2.0], &[1.0, 2.0, 3.0]))
+            .applied());
+        let t = m.snapshot().unwrap();
+        assert_eq!(t.get("/m").unwrap().entries(), 3);
+        assert_eq!(m.records_processed(), 3);
+        assert_eq!(m.stats().deltas_applied, 2);
+        assert_eq!(m.stats().checkpoints_received, 1);
+    }
+
+    #[test]
+    fn out_of_order_delta_needs_resync_then_checkpoint_recovers() {
+        let mut m = AidaManager::new();
+        assert!(m.publish(0, update(0, &[1.0], false)).applied());
+        // seq 2 arrives but seq 1 was lost: gap → reject, keep old state.
+        assert_eq!(
+            m.publish(0, delta_update(0, 2, &[1.0, 2.0], &[1.0, 2.0, 3.0])),
+            PublishOutcome::NeedsResync
+        );
+        assert_eq!(m.snapshot().unwrap().get("/m").unwrap().entries(), 1);
+        // The follow-up delta is also rejected (still gapped)...
+        assert_eq!(
+            m.publish(
+                0,
+                delta_update(0, 3, &[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0, 4.0])
+            ),
+            PublishOutcome::NeedsResync
+        );
+        assert_eq!(m.stats().resyncs_requested, 2);
+        // ...until a checkpoint resynchronizes the stream.
+        let mut cp = update(0, &[1.0, 2.0, 3.0, 4.0], false);
+        cp.seq = 4;
+        assert!(m.publish(0, cp).applied());
+        assert!(m
+            .publish(
+                0,
+                delta_update(0, 5, &[1.0, 2.0, 3.0, 4.0], &[1.0, 2.0, 3.0, 4.0, 5.0])
+            )
+            .applied());
+        assert_eq!(m.snapshot().unwrap().get("/m").unwrap().entries(), 5);
+    }
+
+    #[test]
+    fn delta_from_wrong_engine_needs_resync() {
+        let mut m = AidaManager::new();
+        assert!(m.publish(3, update(0, &[1.0], false)).applied());
+        // Speculative re-run on engine 1 publishes a delta mid-stream: it
+        // must not be applied onto engine 0's accumulator.
+        assert_eq!(
+            m.publish(3, delta_update(1, 1, &[1.0], &[1.0, 9.0])),
+            PublishOutcome::NeedsResync
+        );
+        assert_eq!(m.snapshot().unwrap().get("/m").unwrap().entries(), 1);
+    }
+
+    #[test]
+    fn delta_for_invalidated_part_needs_resync() {
+        let mut m = AidaManager::new();
+        assert!(m.publish(7, update(0, &[1.0, 2.0], false)).applied());
+        m.invalidate(7);
+        // The dead engine's queued delta must not resurrect the part.
+        assert_eq!(
+            m.publish(7, delta_update(0, 1, &[1.0, 2.0], &[1.0, 2.0, 3.0])),
+            PublishOutcome::NeedsResync
+        );
+        assert!(m.snapshot().unwrap().is_empty());
+        // The re-run engine's checkpoint brings it back.
+        assert!(m
+            .publish(7, update(1, &[1.0, 2.0, 3.0, 4.0], true))
+            .applied());
+        assert_eq!(m.snapshot().unwrap().get("/m").unwrap().entries(), 4);
+    }
+
+    #[test]
+    fn stale_epoch_delta_and_checkpoint_are_dropped() {
+        let mut m = AidaManager::new();
+        assert!(m.publish(0, update(0, &[1.0, 2.0], false)).applied());
+        m.begin_epoch(1);
+        // Pre-reset updates still queued in the channel: old epoch — both
+        // payload kinds must be rejected, leaving the new run empty.
+        let stale_cp = update(0, &[1.0, 2.0, 3.0], true);
+        assert_eq!(m.publish(0, stale_cp), PublishOutcome::StaleEpoch);
+        let stale_delta = delta_update(0, 1, &[1.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(m.publish(0, stale_delta), PublishOutcome::StaleEpoch);
+        assert_eq!(m.parts(), 0);
+        assert_eq!(m.records_processed(), 0);
+        assert!(m.merged().unwrap().is_empty());
+        assert!(m.snapshot().unwrap().is_empty());
+        // A current-epoch update goes through.
+        let mut fresh = update(1, &[4.0], true);
+        fresh.epoch = 1;
+        assert!(m.publish(0, fresh).applied());
+        assert_eq!(m.records_processed(), 1);
     }
 
     #[test]
@@ -216,35 +655,64 @@ mod tests {
             let hier = m.merged_hierarchical(fan_in).unwrap();
             assert_eq!(flat, hier, "fan_in={fan_in}");
         }
+        // The cached snapshot path agrees too.
+        assert_eq!(flat, *m.snapshot().unwrap());
     }
 
     #[test]
-    fn stale_epoch_update_is_dropped() {
+    fn repeated_polls_hit_the_cache_with_zero_merges() {
         let mut m = AidaManager::new();
-        assert!(m.publish(0, update(0, &[1.0, 2.0], false)));
-        m.begin_epoch(1);
-        // A pre-reset update still queued in the channel: same part id,
-        // old epoch — must be rejected, leaving the new run empty.
-        let stale = update(0, &[1.0, 2.0, 3.0], true);
-        assert_eq!(stale.epoch, 0);
-        assert!(!m.publish(0, stale));
-        assert_eq!(m.parts(), 0);
-        assert_eq!(m.records_processed(), 0);
-        assert!(m.merged().unwrap().is_empty());
-        // A current-epoch update goes through.
-        let mut fresh = update(1, &[4.0], true);
-        fresh.epoch = 1;
-        assert!(m.publish(0, fresh));
-        assert_eq!(m.records_processed(), 1);
+        for p in 0..6u64 {
+            m.publish(p, update(p as usize, &[p as f64], true));
+        }
+        let first = m.snapshot().unwrap();
+        let v = m.result_version();
+        let merges = m.merges_performed();
+        assert_eq!(m.merge_cache_hits(), 0);
+        // No new data: every further poll is an Arc clone of the same tree.
+        for _ in 0..5 {
+            let again = m.snapshot().unwrap();
+            assert!(Arc::ptr_eq(&first, &again));
+        }
+        assert_eq!(m.merge_cache_hits(), 5);
+        assert_eq!(m.merges_performed(), merges);
+        assert_eq!(m.result_version(), v);
+        // New data dirties exactly one bucket: version bumps, and only that
+        // bucket (fan_in parts at most) plus the top level re-merges.
+        m.publish(0, update(0, &[0.0, 1.0], true));
+        let after = m.snapshot().unwrap();
+        assert!(!Arc::ptr_eq(&first, &after));
+        assert_eq!(m.result_version(), v + 1);
+        assert_eq!(after.get("/m").unwrap().entries(), 7);
+    }
+
+    #[test]
+    fn dirty_poll_rebuilds_only_dirty_buckets() {
+        // fan_in 2 → parts {0,1} bucket 0, {2,3} bucket 1, {4,5} bucket 2.
+        let mut m = AidaManager::with_merge_config(2, 1);
+        for p in 0..6u64 {
+            m.publish(p, update(p as usize, &[p as f64], true));
+        }
+        m.snapshot().unwrap();
+        let merges = m.merges_performed();
+        // Touch part 3 only: bucket 1 (2 part merges) + 3 bucket merges.
+        m.publish(3, update(3, &[3.0, 3.5], true));
+        m.snapshot().unwrap();
+        assert_eq!(m.merges_performed() - merges, 2 + 3);
     }
 
     #[test]
     fn clear_resets() {
         let mut m = AidaManager::new();
         m.publish(0, update(0, &[1.0], true));
+        let v = m.result_version();
+        m.snapshot().unwrap();
         m.clear();
         assert_eq!(m.parts(), 0);
         assert!(m.merged().unwrap().is_empty());
+        assert!(m.snapshot().unwrap().is_empty());
+        // The visible tree changed (to empty), so the version moved on.
+        assert!(m.result_version() > v);
     }
 
     #[test]
@@ -261,12 +729,14 @@ mod tests {
             PartUpdate {
                 engine: 1,
                 epoch: 0,
+                seq: 0,
                 processed: 1,
                 total: 1,
-                tree,
+                payload: PartPayload::Checkpoint(tree),
                 done: true,
             },
         );
         assert!(matches!(m.merged(), Err(CoreError::Merge(_))));
+        assert!(matches!(m.snapshot(), Err(CoreError::Merge(_))));
     }
 }

@@ -43,6 +43,20 @@ pub struct IpaConfig {
     /// Engines beyond the vector's length run at full speed.
     #[serde(default)]
     pub speed_factors: Vec<f64>,
+    /// Engines publish a full-tree checkpoint every this-many publishes
+    /// and compact deltas in between. 1 restores the legacy behavior of
+    /// cloning the whole tree on every publish; larger values cut publish
+    /// traffic but lengthen the resync window after a lost delta.
+    #[serde(default = "default_checkpoint_every")]
+    pub checkpoint_every: usize,
+    /// Sub-merger bucket size at the AIDA manager (§2.5 two-level merge):
+    /// a dirty poll re-merges only the dirty parts' buckets of this many
+    /// parts each, then combines the bucket trees.
+    #[serde(default = "default_merge_fan_in")]
+    pub merge_fan_in: usize,
+    /// Max threads rebuilding dirty sub-merger buckets in parallel.
+    #[serde(default = "default_merge_parallelism")]
+    pub merge_parallelism: usize,
 }
 
 fn default_oversub() -> usize {
@@ -51,6 +65,18 @@ fn default_oversub() -> usize {
 
 fn default_straggler_factor() -> f64 {
     3.0
+}
+
+fn default_checkpoint_every() -> usize {
+    16
+}
+
+fn default_merge_fan_in() -> usize {
+    crate::aida_manager::DEFAULT_MERGE_FAN_IN
+}
+
+fn default_merge_parallelism() -> usize {
+    crate::aida_manager::DEFAULT_MERGE_PARALLELISM
 }
 
 impl Default for IpaConfig {
@@ -65,6 +91,9 @@ impl Default for IpaConfig {
             oversub: default_oversub(),
             straggler_factor: default_straggler_factor(),
             speed_factors: Vec::new(),
+            checkpoint_every: default_checkpoint_every(),
+            merge_fan_in: default_merge_fan_in(),
+            merge_parallelism: default_merge_parallelism(),
         }
     }
 }
@@ -97,5 +126,9 @@ mod tests {
         assert_eq!(c.engines_per_session, 2);
         assert_eq!(c.oversub, 4);
         assert!(c.speed_factors.is_empty());
+        // Result-plane knobs (added after the scheduler plane) too.
+        assert_eq!(c.checkpoint_every, 16);
+        assert!(c.merge_fan_in >= 1);
+        assert!(c.merge_parallelism >= 1);
     }
 }

@@ -18,10 +18,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use ipa_aida::Tree;
 use ipa_dataset::AnyRecord;
 use ipa_script::AidaHost;
 
-use crate::aida_manager::PartUpdate;
+use crate::aida_manager::{PartPayload, PartUpdate};
 use crate::analyzer::{instantiate_code, AnalysisCode, Analyzer, NativeRegistry};
 use crate::error::CoreError;
 
@@ -77,6 +78,11 @@ pub enum EngineCommand {
     /// scheduler benches and `speed_factors` config to make slow nodes
     /// reproducible.
     Throttle(f64),
+    /// Resync request from the result plane: force the next publish to be
+    /// a full-tree checkpoint (and publish immediately if a part is
+    /// staged). Sent by the session when the AIDA manager rejects a delta
+    /// it cannot apply safely.
+    Checkpoint,
     /// Terminate the engine thread.
     Shutdown,
 }
@@ -146,6 +152,10 @@ struct CurrentPart {
 struct EngineWorker {
     id: EngineId,
     publish_every: usize,
+    /// Publish a full-tree checkpoint every this-many publishes; the
+    /// publishes in between ship deltas. 1 = every publish is a
+    /// checkpoint (the legacy full-clone behavior).
+    checkpoint_every: usize,
     registry: NativeRegistry,
     events: Sender<EngineEvent>,
     commands: Receiver<EngineCommand>,
@@ -163,6 +173,15 @@ struct EngineWorker {
     /// Latest run epoch seen from the session (via LoadCode/AssignPart);
     /// stamped into every outgoing event.
     epoch: Epoch,
+    /// Snapshot of the tree as of the previous publish — the baseline the
+    /// next delta is computed against.
+    baseline: Tree,
+    /// Publish sequence number for the current part assignment.
+    seq: u64,
+    /// Publishes since the last checkpoint.
+    since_checkpoint: usize,
+    /// Force the next publish to be a checkpoint (resync request).
+    force_checkpoint: bool,
 }
 
 enum Disposition {
@@ -171,16 +190,54 @@ enum Disposition {
 }
 
 impl EngineWorker {
+    /// Reset the delta stream: the next publish will be a checkpoint.
+    /// Called whenever the cumulative tree restarts (new part, new code,
+    /// stop, rewind) so the manager can never apply a delta across a
+    /// baseline discontinuity.
+    fn reset_publish_state(&mut self) {
+        self.baseline = Tree::new();
+        self.seq = 0;
+        self.since_checkpoint = 0;
+        self.force_checkpoint = false;
+    }
+
     fn publish(&mut self) {
         let Some(part) = &self.part else { return };
+        // Invariant: the first publish of a part assignment and every
+        // `done` publish are checkpoints, so the manager always has a
+        // baseline to apply deltas to and final results never ride on a
+        // fragile delta chain.
+        let checkpoint = self.force_checkpoint
+            || part.done
+            || self.seq == 0
+            || self.since_checkpoint + 1 >= self.checkpoint_every;
+        let payload = if checkpoint {
+            self.force_checkpoint = false;
+            self.since_checkpoint = 0;
+            self.baseline = self.host.tree.clone();
+            PartPayload::Checkpoint(self.host.tree.clone())
+        } else {
+            let delta = self.host.tree.diff_since(&self.baseline);
+            // Roll the baseline forward by the same delta the manager will
+            // apply (cheaper than a full clone: unchanged objects are
+            // untouched). Failure cannot happen for a self-produced delta;
+            // fall back to a clone rather than desync silently.
+            if self.baseline.apply_delta(&delta).is_err() {
+                self.baseline = self.host.tree.clone();
+            }
+            self.since_checkpoint += 1;
+            PartPayload::Delta(delta)
+        };
         let update = PartUpdate {
             engine: self.id,
             epoch: self.epoch,
+            seq: self.seq,
             processed: part.pos as u64,
             total: part.records.len() as u64,
-            tree: self.host.tree.clone(),
+            payload,
             done: part.done,
         };
+        self.seq += 1;
         let _ = self.events.send(EngineEvent::Update {
             part: part.id,
             update,
@@ -222,6 +279,7 @@ impl EngineWorker {
         self.part = None;
         self.running = false;
         self.budget = None;
+        self.reset_publish_state();
         // An injected fault is consumed by firing: a re-assigned part must
         // be able to succeed on retry.
         self.fail_after = None;
@@ -237,6 +295,7 @@ impl EngineWorker {
                         // New code restarts the current part from zero and
                         // waits for an explicit Run.
                         self.host = AidaHost::new();
+                        self.reset_publish_state();
                         if let Some(p) = &mut self.part {
                             p.pos = 0;
                             p.done = false;
@@ -271,6 +330,7 @@ impl EngineWorker {
                     done: false,
                 });
                 self.host = AidaHost::new();
+                self.reset_publish_state();
                 // A freshly staged part waits for an explicit Run; without
                 // this, a rewind/select racing a running engine would keep
                 // it crunching while the session believes it is idle.
@@ -301,6 +361,7 @@ impl EngineWorker {
                 self.running = false;
                 self.budget = None;
                 self.host = AidaHost::new();
+                self.reset_publish_state();
                 if let Some(p) = &mut self.part {
                     p.pos = 0;
                     p.done = false;
@@ -313,6 +374,7 @@ impl EngineWorker {
             }
             EngineCommand::Rewind => {
                 self.host = AidaHost::new();
+                self.reset_publish_state();
                 if let Some(p) = &mut self.part {
                     p.pos = 0;
                     p.done = false;
@@ -331,6 +393,12 @@ impl EngineWorker {
             }
             EngineCommand::Throttle(f) => {
                 self.speed_factor = if f > 1.0 { f } else { 1.0 };
+            }
+            EngineCommand::Checkpoint => {
+                self.force_checkpoint = true;
+                if self.part.is_some() {
+                    self.publish();
+                }
             }
             EngineCommand::Shutdown => return Disposition::Shutdown,
         }
@@ -507,10 +575,13 @@ pub struct EngineHandle {
 
 impl EngineHandle {
     /// Spawn an engine thread. Events (including the ready signal) arrive
-    /// on `events`.
+    /// on `events`. `checkpoint_every` controls the delta stream: a
+    /// full-tree checkpoint every that-many publishes, deltas in between
+    /// (1 = checkpoint every publish, the legacy full-clone behavior).
     pub fn spawn(
         id: EngineId,
         publish_every: usize,
+        checkpoint_every: usize,
         registry: NativeRegistry,
         events: Sender<EngineEvent>,
     ) -> Self {
@@ -518,6 +589,7 @@ impl EngineHandle {
         let worker = EngineWorker {
             id,
             publish_every: publish_every.max(1),
+            checkpoint_every: checkpoint_every.max(1),
             registry,
             events,
             commands: rx,
@@ -531,6 +603,10 @@ impl EngineHandle {
             fail_after: None,
             speed_factor: 1.0,
             epoch: 0,
+            baseline: Tree::new(),
+            seq: 0,
+            since_checkpoint: 0,
+            force_checkpoint: false,
         };
         let thread = std::thread::Builder::new()
             .name(format!("ipa-engine-{id}"))
@@ -615,7 +691,7 @@ mod tests {
     #[test]
     fn engine_lifecycle_ready_load_run_done() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(0, 100, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(0, 100, 1, builtin_registry(), tx);
         recv_until(&rx, |ev| matches!(ev, EngineEvent::Ready { .. }));
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
@@ -638,14 +714,17 @@ mod tests {
         assert_eq!(part, 0);
         assert_eq!(update.processed, 250);
         assert_eq!(update.total, 250);
-        assert!(update.tree.contains("/higgs/bb_mass"));
+        assert!(update
+            .checkpoint_tree()
+            .expect("done publishes are checkpoints")
+            .contains("/higgs/bb_mass"));
         e.shutdown();
     }
 
     #[test]
     fn partial_updates_arrive_between_batches() -> Result<(), CoreError> {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(1, 50, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(1, 50, 1, builtin_registry(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -676,7 +755,7 @@ mod tests {
     #[test]
     fn run_n_pauses_after_budget() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(2, 1000, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(2, 1000, 1, builtin_registry(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -709,7 +788,7 @@ mod tests {
     #[test]
     fn rewind_resets_results() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(3, 1000, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(3, 1000, 1, builtin_registry(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -731,7 +810,13 @@ mod tests {
         };
         assert_eq!(update.processed, 0);
         assert!(!update.done);
-        assert_eq!(update.tree.total_entries(), 0);
+        assert_eq!(
+            update
+                .checkpoint_tree()
+                .expect("a rewind publish restarts the stream with a checkpoint")
+                .total_entries(),
+            0
+        );
         // And it can run again to the same completion.
         e.send(EngineCommand::Run);
         let done = recv_until(
@@ -748,7 +833,7 @@ mod tests {
     #[test]
     fn injected_failure_emits_failed_event() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(4, 10, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(4, 10, 1, builtin_registry(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -775,7 +860,7 @@ mod tests {
         // so the batch is fully processed and then the fault fires instead
         // of the part silently finishing (regression for the `<` boundary).
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(8, 1000, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(8, 1000, 1, builtin_registry(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -802,7 +887,7 @@ mod tests {
     fn injected_failure_fires_on_zero_budget() {
         // FailAfter(0): the engine must die before processing anything.
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(9, 10, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(9, 10, 1, builtin_registry(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -827,7 +912,7 @@ mod tests {
     #[test]
     fn stop_drops_position_so_run_restarts_the_part() -> Result<(), CoreError> {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(10, 50, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(10, 50, 1, builtin_registry(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -866,7 +951,7 @@ mod tests {
     #[test]
     fn throttle_changes_speed_not_results() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(12, 100, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(12, 100, 1, builtin_registry(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -887,14 +972,17 @@ mod tests {
             unreachable!()
         };
         assert_eq!(update.processed, 300);
-        assert!(update.tree.contains("/higgs/bb_mass"));
+        assert!(update
+            .checkpoint_tree()
+            .expect("done publishes are checkpoints")
+            .contains("/higgs/bb_mass"));
         e.shutdown();
     }
 
     #[test]
     fn events_carry_latest_epoch() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(11, 100, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(11, 100, 1, builtin_registry(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 3,
@@ -922,9 +1010,122 @@ mod tests {
     }
 
     #[test]
+    fn delta_publishes_between_checkpoints_reconstruct_exactly() {
+        use crate::aida_manager::PartPayload;
+
+        // publish_every 50 over 300 records → 6 publishes; checkpoint_every
+        // 4 → pattern C D D D C(done forces nothing here: 5th publish is a
+        // scheduled checkpoint, 6th is the done checkpoint).
+        let (tx, rx) = unbounded();
+        let mut e = EngineHandle::spawn(13, 50, 4, builtin_registry(), tx);
+        e.send(EngineCommand::LoadCode {
+            code: AnalysisCode::Native("higgs-search".into()),
+            epoch: 0,
+        });
+        e.send(EngineCommand::AssignPart {
+            part: 0,
+            records: records(300),
+            epoch: 0,
+        });
+        e.send(EngineCommand::Run);
+        let mut replayed = Tree::new();
+        let mut kinds = Vec::new();
+        let mut seqs = Vec::new();
+        loop {
+            let EngineEvent::Update { update, .. } =
+                recv_event_timeout(&rx, 13, Duration::from_secs(10)).unwrap()
+            else {
+                continue;
+            };
+            seqs.push(update.seq);
+            let done = update.done;
+            match update.payload {
+                PartPayload::Checkpoint(t) => {
+                    kinds.push('C');
+                    replayed = t;
+                }
+                PartPayload::Delta(d) => {
+                    kinds.push('D');
+                    replayed.apply_delta(&d).expect("delta applies in order");
+                }
+            }
+            if done {
+                break;
+            }
+        }
+        // First publish and the done publish are checkpoints; deltas ride
+        // in between and the replayed stream equals the final full tree.
+        assert_eq!(kinds.first(), Some(&'C'));
+        assert_eq!(kinds.last(), Some(&'C'));
+        assert!(kinds.contains(&'D'));
+        assert_eq!(seqs, (0..kinds.len() as u64).collect::<Vec<_>>());
+        assert!(replayed.contains("/higgs/bb_mass"));
+
+        // The replayed tree is bin-for-bin the engine's cumulative tree:
+        // re-running the same part with checkpoint_every=1 (full clones)
+        // must give the identical final checkpoint.
+        let (tx2, rx2) = unbounded();
+        let mut e2 = EngineHandle::spawn(14, 50, 1, builtin_registry(), tx2);
+        e2.send(EngineCommand::LoadCode {
+            code: AnalysisCode::Native("higgs-search".into()),
+            epoch: 0,
+        });
+        e2.send(EngineCommand::AssignPart {
+            part: 0,
+            records: records(300),
+            epoch: 0,
+        });
+        e2.send(EngineCommand::Run);
+        let done = recv_until(
+            &rx2,
+            |ev| matches!(ev, EngineEvent::Update { update, .. } if update.done),
+        );
+        let EngineEvent::Update { update, .. } = done else {
+            unreachable!()
+        };
+        assert_eq!(update.checkpoint_tree().unwrap(), &replayed);
+        assert!(replayed.total_entries() > 0);
+        e.shutdown();
+        e2.shutdown();
+    }
+
+    #[test]
+    fn checkpoint_command_forces_full_tree_publish() {
+        use crate::aida_manager::PartPayload;
+
+        let (tx, rx) = unbounded();
+        let mut e = EngineHandle::spawn(15, 25, 1000, builtin_registry(), tx);
+        e.send(EngineCommand::LoadCode {
+            code: AnalysisCode::Native("higgs-search".into()),
+            epoch: 0,
+        });
+        e.send(EngineCommand::AssignPart {
+            part: 0,
+            records: records(100),
+            epoch: 0,
+        });
+        e.send(EngineCommand::RunN(50));
+        // Publishes at 25 (seq 0, checkpoint) and 50 (seq 1, delta).
+        recv_until(
+            &rx,
+            |ev| matches!(ev, EngineEvent::Update { update, .. } if update.seq == 1),
+        );
+        // Resync request: the engine republishes immediately, full tree.
+        e.send(EngineCommand::Checkpoint);
+        let ev = recv_until(&rx, |ev| matches!(ev, EngineEvent::Update { .. }));
+        let EngineEvent::Update { update, .. } = ev else {
+            unreachable!()
+        };
+        assert_eq!(update.seq, 2);
+        assert!(matches!(update.payload, PartPayload::Checkpoint(_)));
+        assert_eq!(update.processed, 50);
+        e.shutdown();
+    }
+
+    #[test]
     fn bad_script_reports_code_error() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(5, 10, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(5, 10, 1, builtin_registry(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Script("fn broken( {".into()),
             epoch: 0,
@@ -936,7 +1137,7 @@ mod tests {
     #[test]
     fn run_without_code_fails_gracefully() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(6, 10, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(6, 10, 1, builtin_registry(), tx);
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(10),
@@ -954,7 +1155,7 @@ mod tests {
     #[test]
     fn script_logs_are_forwarded() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(7, 10, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(7, 10, 1, builtin_registry(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Script("fn init() { log(\"booked\"); } fn process(ev) { }".into()),
             epoch: 0,

@@ -26,7 +26,7 @@
 //! ```
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -121,9 +121,17 @@ pub enum WsRequest {
         session: u64,
     },
     /// Fetch the merged result tree.
+    ///
+    /// With `if_newer_than: Some(v)` the gateway answers
+    /// [`WsResponse::Unchanged`] (a constant-size message, no tree
+    /// serialization) when the merged results are still at version `v` —
+    /// the interactive polling loop's fast path.
     Results {
         /// Session id.
         session: u64,
+        /// Skip the tree payload if the result version still equals this.
+        #[serde(default)]
+        if_newer_than: Option<u64>,
     },
     /// Fetch the session's engine-failure records.
     Failures {
@@ -163,8 +171,20 @@ pub enum WsResponse {
     },
     /// Poll snapshot.
     Status(SessionStatus),
-    /// Merged results.
-    Tree(Tree),
+    /// Merged results, stamped with the snapshot version the client
+    /// should echo back in `if_newer_than` on its next poll.
+    Tree {
+        /// Result-plane snapshot version of `tree`.
+        version: u64,
+        /// The merged result tree.
+        tree: Tree,
+    },
+    /// Results are still at the version the client already holds
+    /// (`if_newer_than` matched) — no tree payload.
+    Unchanged {
+        /// The current (unchanged) result version.
+        version: u64,
+    },
     /// Engine-failure records.
     Failures(Vec<FailureRecord>),
     /// Scheduler statistics snapshot.
@@ -324,8 +344,25 @@ fn dispatch(req: WsRequest, manager: &ManagerNode, sessions: &Sessions) -> WsRes
             WsRequest::Poll { session } => {
                 WsResponse::Status(with_session(sessions, session, |s| s.poll())?)
             }
-            WsRequest::Results { session } => {
-                WsResponse::Tree(with_session(sessions, session, |s| s.results())?)
+            WsRequest::Results {
+                session,
+                if_newer_than,
+            } => {
+                // Fold any pending dirty parts first (a cache hit when
+                // nothing changed), then compare versions — so "unchanged"
+                // answers are cheap but never stale.
+                let (version, tree) = with_session(sessions, session, |s| {
+                    let tree = s.results()?;
+                    Ok((s.result_version(), tree))
+                })?;
+                if if_newer_than == Some(version) {
+                    WsResponse::Unchanged { version }
+                } else {
+                    WsResponse::Tree {
+                        version,
+                        tree: (*tree).clone(),
+                    }
+                }
             }
             WsRequest::Failures { session } => {
                 WsResponse::Failures(with_session(sessions, session, |s| {
@@ -353,7 +390,10 @@ fn handle_connection(
     sessions: Sessions,
     stop: Arc<AtomicBool>,
 ) -> std::io::Result<()> {
-    let mut writer = stream.try_clone()?;
+    // Buffer writes so a large result tree goes out in big TCP segments
+    // instead of one syscall per serializer fragment; flushed per response
+    // because the protocol is request/response interactive.
+    let mut writer = BufWriter::new(stream.try_clone()?);
     // A short read timeout lets the handler notice gateway shutdown even
     // while a client keeps its connection open but idle. `read_line`
     // accumulates partial data across timeouts, so requests that straddle
@@ -361,6 +401,9 @@ fn handle_connection(
     stream.set_read_timeout(Some(std::time::Duration::from_millis(50)))?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    // Serialization buffer, reused across responses so steady-state
+    // polling does not re-allocate per reply.
+    let mut payload: Vec<u8> = Vec::new();
     loop {
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // client closed the connection
@@ -370,10 +413,17 @@ fn handle_connection(
                         Ok(req) => dispatch(req, &manager, &sessions),
                         Err(e) => WsResponse::Error(format!("malformed request: {e}")),
                     };
-                    let mut payload =
-                        serde_json::to_string(&response).expect("responses serialize");
-                    payload.push('\n');
-                    writer.write_all(payload.as_bytes())?;
+                    payload.clear();
+                    if serde_json::to_writer(&mut payload, &response).is_err() {
+                        // A response that fails to serialize must not kill
+                        // the connection (or panic the handler): answer
+                        // with a hand-built error message instead.
+                        payload.clear();
+                        payload.extend_from_slice(b"{\"Error\":\"response serialization failed\"}");
+                    }
+                    payload.push(b'\n');
+                    writer.write_all(&payload)?;
+                    writer.flush()?;
                 }
                 line.clear();
             }
@@ -409,9 +459,10 @@ impl WsClient {
 
     /// Send one request and wait for its response.
     pub fn call(&mut self, req: &WsRequest) -> std::io::Result<WsResponse> {
-        let mut payload = serde_json::to_string(req).expect("requests serialize");
-        payload.push('\n');
-        self.writer.write_all(payload.as_bytes())?;
+        let mut payload = serde_json::to_vec(req)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        payload.push(b'\n');
+        self.writer.write_all(&payload)?;
         let mut line = String::new();
         self.reader.read_line(&mut line)?;
         serde_json::from_str(&line)

@@ -57,7 +57,7 @@ pub mod sched;
 pub mod session;
 pub mod store;
 
-pub use aida_manager::{AidaManager, PartUpdate};
+pub use aida_manager::{AidaManager, PartPayload, PartUpdate, PublishOutcome, ResultPlaneStats};
 pub use analyzer::{
     builtin_registry, instantiate_code, run_analyzer_serial, AnalysisCode, Analyzer,
     AnalyzerFactory, DnaMotifAnalyzer, FieldHistogramAnalyzer, HiggsSearchAnalyzer, NativeRegistry,

@@ -153,6 +153,7 @@ impl ManagerNode {
                 EngineHandle::spawn(
                     i,
                     self.config.publish_every,
+                    self.config.checkpoint_every,
                     self.registry.clone(),
                     events_tx.clone(),
                 )

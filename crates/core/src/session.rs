@@ -38,7 +38,7 @@ use ipa_dataset::{
 };
 use serde::{Deserialize, Serialize};
 
-use crate::aida_manager::AidaManager;
+use crate::aida_manager::{AidaManager, PublishOutcome, ResultPlaneStats};
 use crate::analyzer::{instantiate_code, AnalysisCode, NativeRegistry};
 use crate::config::IpaConfig;
 use crate::engine::{EngineCommand, EngineEvent, EngineHandle, EngineId, PartId};
@@ -115,6 +115,9 @@ pub struct SessionStatus {
     pub epoch: u64,
     /// Scheduler counters and per-engine throughput for this epoch.
     pub sched: SchedStats,
+    /// Result-plane counters: snapshot version, dirty parts, merge work
+    /// performed vs. saved by the cache, delta/checkpoint traffic.
+    pub results: ResultPlaneStats,
     /// Log lines collected since the last poll.
     pub new_logs: Vec<(EngineId, String)>,
 }
@@ -191,7 +194,7 @@ impl Session {
                 })
                 .collect(),
             events,
-            aida: AidaManager::new(),
+            aida: AidaManager::with_merge_config(config.merge_fan_in, config.merge_parallelism),
             locator,
             stats: SchedStats {
                 policy: config.scheduler,
@@ -568,7 +571,18 @@ impl Session {
                         }
                     }
                 }
-                self.aida.publish(part, update);
+                let engine = update.engine;
+                if self.aida.publish(part, update) == PublishOutcome::NeedsResync {
+                    // The delta stream for this part desynced (seq gap,
+                    // reassignment, invalidation). Ask the engine for a
+                    // full-tree checkpoint; until it lands the manager
+                    // keeps serving the last consistent accumulator.
+                    if let Some(slot) = self.engines.get(engine) {
+                        if slot.alive {
+                            slot.handle.send(EngineCommand::Checkpoint);
+                        }
+                    }
+                }
             }
             EngineEvent::Failed {
                 engine,
@@ -790,16 +804,39 @@ impl Session {
             engines_alive: self.engines_alive(),
             epoch: self.epoch,
             sched: self.sched_snapshot(),
+            results: self.aida.stats(),
             new_logs: std::mem::take(&mut self.logs),
         })
     }
 
-    /// Merged results as of the last poll.
-    pub fn results(&mut self) -> Result<Tree, CoreError> {
+    /// Merged results as of the last poll, served from the manager's
+    /// cached snapshot: a poll with no new updates since the last one
+    /// performs zero merges and returns the same [`Arc`].
+    pub fn results(&mut self) -> Result<Arc<Tree>, CoreError> {
+        self.aida.snapshot()
+    }
+
+    /// Version of the cached merged snapshot; bumps only when the visible
+    /// merged results actually change. Clients compare it against a cached
+    /// copy to skip re-fetching (and re-rendering) unchanged results.
+    pub fn result_version(&self) -> u64 {
+        self.aida.result_version()
+    }
+
+    /// Result-plane counters (also embedded in every [`SessionStatus`]).
+    pub fn result_stats(&self) -> ResultPlaneStats {
+        self.aida.stats()
+    }
+
+    /// Merged results recomputed flat from scratch, ignoring the snapshot
+    /// cache — the reference the cached plane is validated against.
+    pub fn results_flat(&mut self) -> Result<Tree, CoreError> {
         self.aida.merged()
     }
 
-    /// Merged results through the two-level merger (paper §2.5 extension).
+    /// Merged results through the two-level merger (paper §2.5 extension),
+    /// recomputed from scratch (the cached [`Session::results`] path uses
+    /// the same scheme incrementally).
     pub fn results_hierarchical(&mut self, fan_in: usize) -> Result<Tree, CoreError> {
         self.aida.merged_hierarchical(fan_in)
     }

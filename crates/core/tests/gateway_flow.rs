@@ -104,11 +104,47 @@ fn full_four_step_flow_over_tcp() {
     };
     assert_eq!(final_status.records_processed, 2_000);
 
-    // Merged tree crosses the wire intact.
-    let WsResponse::Tree(tree) = client.call_ok(&WsRequest::Results { session }).unwrap() else {
+    // Merged tree crosses the wire intact, stamped with its version.
+    let WsResponse::Tree { version, tree } = client
+        .call_ok(&WsRequest::Results {
+            session,
+            if_newer_than: None,
+        })
+        .unwrap()
+    else {
         panic!("results")
     };
     assert!(tree.get("/m").unwrap().entries() > 0);
+
+    // Re-polling with the version already held: the run is finished, so
+    // nothing changed and the reply is the constant-size "unchanged"
+    // message instead of the tree payload.
+    let WsResponse::Unchanged { version: v2 } = client
+        .call_ok(&WsRequest::Results {
+            session,
+            if_newer_than: Some(version),
+        })
+        .unwrap()
+    else {
+        panic!("expected Unchanged for an up-to-date version")
+    };
+    assert_eq!(v2, version);
+
+    // A version mismatch (stale or garbage) still gets the full tree.
+    let WsResponse::Tree {
+        version: v3,
+        tree: t3,
+    } = client
+        .call_ok(&WsRequest::Results {
+            session,
+            if_newer_than: Some(version + 1),
+        })
+        .unwrap()
+    else {
+        panic!("mismatched version must re-ship the tree")
+    };
+    assert_eq!(v3, version);
+    assert_eq!(t3, tree);
 
     client
         .call_ok(&WsRequest::CloseSession { session })
@@ -167,6 +203,14 @@ fn malformed_and_invalid_requests_get_errors_not_disconnects() {
     line.clear();
     r.read_line(&mut line).unwrap();
     assert!(line.contains("Text"));
+    // Wire compat: an old client's Results request without the
+    // `if_newer_than` field still parses (fails on the session id, not
+    // on the request shape).
+    w.write_all(b"{\"Results\":{\"session\":999}}\n").unwrap();
+    line.clear();
+    r.read_line(&mut line).unwrap();
+    assert!(!line.contains("malformed"), "{line}");
+    assert!(line.contains("closed"), "{line}");
     gw.shutdown();
 }
 

@@ -41,7 +41,7 @@ fn timed_run(events: u64, config: IpaConfig) -> (Duration, SessionStatus, Tree) 
     s.run().unwrap();
     let st = s.wait_finished(Duration::from_secs(120)).unwrap();
     let elapsed = started.elapsed();
-    let tree = s.results().unwrap();
+    let tree = s.results().unwrap().as_ref().clone();
     s.close();
     (elapsed, st, tree)
 }
@@ -257,5 +257,81 @@ proptest! {
         assert_same_merge(&static_tree, &tree, "/higgs/n_btags");
         assert_same_merge(&static_tree, &tree, "/higgs/bb_mass");
         s.close();
+    }
+
+    /// PR 3 satellite: the incremental result plane (delta publishes +
+    /// cached two-level snapshot) must merge bin-for-bin like the legacy
+    /// full-clone plane (`checkpoint_every = 1`) under chaos — random
+    /// publish cadence and checkpoint interval, random oversubscription,
+    /// an injected mid-part kill, and a rewind mid-run.
+    #[test]
+    fn chaotic_delta_plane_matches_full_clone_publishes(
+        checkpoint_every in 2usize..=32,
+        publish_every in 20usize..=200,
+        oversub in 1usize..=16,
+        kill_engine in 0usize..3,
+        kill_after in 0u64..400,
+    ) {
+        const EVENTS: u64 = 600;
+        let run = |cp: usize| -> Tree {
+            let (manager, proxy) = manager_with(EVENTS, IpaConfig {
+                scheduler: SchedulerPolicy::WorkStealing,
+                engines_per_session: 3,
+                oversub,
+                publish_every,
+                checkpoint_every: cp,
+                ..Default::default()
+            });
+            let mut s = manager.create_session(&proxy, 0.0, 3).unwrap();
+            s.select_dataset(&DatasetId::new("lc-sched")).unwrap();
+            s.load_code(AnalysisCode::Native("higgs-search".into())).unwrap();
+            s.inject_failure(kill_engine, kill_after);
+            // Start, let deltas flow for a moment, then rewind mid-run:
+            // updates staged under the old epoch must not leak into the
+            // fresh run's accumulators.
+            s.run().unwrap();
+            for _ in 0..10 {
+                s.poll().unwrap();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            s.rewind().unwrap();
+            s.run().unwrap();
+            let st = s.wait_finished(Duration::from_secs(60)).unwrap();
+            assert_eq!(st.records_processed, EVENTS);
+            assert_eq!(st.parts_done, st.parts_total);
+
+            // The cached snapshot agrees with a from-scratch flat merge of
+            // the same accumulators...
+            let snap = s.results().unwrap();
+            let flat = s.results_flat().unwrap();
+            assert_same_merge(&snap, &flat, "/higgs/n_btags");
+            assert_same_merge(&snap, &flat, "/higgs/bb_mass");
+            // ...and a repeat poll with nothing new is a pure cache hit:
+            // zero merges, same Arc, same version.
+            let before = s.result_stats();
+            let again = s.results().unwrap();
+            let after = s.result_stats();
+            assert!(
+                std::sync::Arc::ptr_eq(&snap, &again),
+                "unchanged poll must return the cached snapshot"
+            );
+            assert_eq!(after.merges_performed, before.merges_performed,
+                "unchanged poll must perform zero merges");
+            assert_eq!(after.merge_cache_hits, before.merge_cache_hits + 1);
+            assert_eq!(after.result_version, before.result_version);
+
+            let out = snap.as_ref().clone();
+            s.close();
+            out
+        };
+
+        // checkpoint_every = 1 is the legacy plane: every publish ships a
+        // full-tree clone and no delta is ever applied.
+        let clone_tree = run(1);
+        let delta_tree = run(checkpoint_every);
+        prop_assert_eq!(clone_tree.get("/higgs/n_btags").unwrap().entries(), EVENTS);
+        prop_assert_eq!(delta_tree.get("/higgs/n_btags").unwrap().entries(), EVENTS);
+        assert_same_merge(&clone_tree, &delta_tree, "/higgs/n_btags");
+        assert_same_merge(&clone_tree, &delta_tree, "/higgs/bb_mass");
     }
 }
