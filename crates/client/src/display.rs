@@ -135,6 +135,7 @@ mod tests {
             epoch: 1,
             sched: ipa_core::SchedStats::default(),
             results: ipa_core::ResultPlaneStats::default(),
+            staging: ipa_core::StagingStats::default(),
             new_logs: vec![(0, "booked plots".into())],
         }
     }

@@ -11,7 +11,8 @@ use std::time::{Duration, Instant};
 
 use ipa_aida::Tree;
 use ipa_core::{
-    FailureRecord, RunState, SchedStats, SessionStatus, WsClient, WsRequest, WsResponse,
+    FailureRecord, RunState, SchedStats, SessionStatus, StagingStats, WsClient, WsRequest,
+    WsResponse,
 };
 use ipa_simgrid::GridProxy;
 
@@ -201,6 +202,16 @@ impl RemoteSession {
         }
     }
 
+    /// Fetch the session's staging-plane statistics (parts/bytes/chunks
+    /// moved, split-cache hits, transfer retries, phase timings).
+    pub fn staging_stats(&mut self) -> Result<StagingStats, RemoteError> {
+        let session = self.session;
+        match self.client.call_ok(&WsRequest::StagingStats { session })? {
+            WsResponse::Staging(s) => Ok(s),
+            other => Err(unexpected("Staging", &other)),
+        }
+    }
+
     /// Poll until the run finishes. If `timeout` elapses first, returns an
     /// error describing how far the run got — never a success-shaped
     /// status.
@@ -285,6 +296,16 @@ mod tests {
         assert!(s.failures().unwrap().is_empty());
         let sched = s.sched_stats().unwrap();
         assert_eq!(sched.parts_queued as usize, st.parts_total);
+        // The staging plane saw exactly one staged select; re-selecting
+        // the same dataset is answered by the split cache.
+        let staging = s.staging_stats().unwrap();
+        assert_eq!(staging.cache_misses, 1);
+        assert_eq!(staging.cache_hits, 0);
+        assert!(staging.parts_staged >= 1);
+        assert!(staging.bytes_moved > 0);
+        s.select_dataset("lc-remote").unwrap();
+        let staging = s.staging_stats().unwrap();
+        assert_eq!(staging.cache_hits, 1, "re-select must hit the split cache");
         s.close().unwrap();
         gw.shutdown();
     }

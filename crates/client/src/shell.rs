@@ -42,6 +42,7 @@ commands:
   failures                     engine failure records (epoch, part, message)
   sched                        scheduler stats (policy, queue, steals, rates)
   results                      result-plane stats (version, dirty parts, merge cache)
+  staging                      staging stats (parts, bytes, cache hits, retries)
   svg <dir>                    export all plots as SVG
   close                        close the session
   quit                         exit
@@ -279,6 +280,30 @@ impl Shell {
                     rs.resyncs_requested
                 )
             }
+            "staging" => {
+                let s = self.session_mut()?;
+                let st = s.staging_stats();
+                format!(
+                    "{} parts staged · {:.2} MB moved · {} chunks · \
+                     {} cache hits / {} misses · {} retries · {} failures\n\
+                     last stage: locate {:.1} ms · split {:.1} ms · deliver {:.1} ms · \
+                     overlap {:.0}% (sim {:.1}s pipelined vs {:.1}s read + {:.1}s transfer)",
+                    st.parts_staged,
+                    st.bytes_moved as f64 / 1e6,
+                    st.chunks_sent,
+                    st.cache_hits,
+                    st.cache_misses,
+                    st.retries,
+                    st.transfer_failures,
+                    st.locate_ms,
+                    st.split_ms,
+                    st.deliver_ms,
+                    st.overlap_ratio * 100.0,
+                    st.sim_pipelined_s,
+                    st.sim_read_s,
+                    st.sim_transfer_s
+                )
+            }
             "failures" => {
                 let s = self.session_mut()?;
                 if s.failures().is_empty() {
@@ -397,6 +422,14 @@ mod tests {
         let out = sh.exec("results");
         assert!(out.contains("result version"), "{out}");
         assert!(out.contains("cache hits"), "{out}");
+        let out = sh.exec("staging");
+        assert!(out.contains("parts staged"), "{out}");
+        assert!(out.contains("0 cache hits / 1 misses"), "{out}");
+        // Re-selecting the same dataset is answered by the split cache
+        // and the staging panel shows the hit.
+        sh.exec("select lc-shell");
+        let out = sh.exec("staging");
+        assert!(out.contains("1 cache hits / 1 misses"), "{out}");
         assert!(sh.exec("close").contains("closed"));
         assert!(sh.exec("quit").contains("bye"));
         assert!(sh.done);

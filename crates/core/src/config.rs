@@ -57,6 +57,29 @@ pub struct IpaConfig {
     /// Max threads rebuilding dirty sub-merger buckets in parallel.
     #[serde(default = "default_merge_parallelism")]
     pub merge_parallelism: usize,
+    /// Target chunk size for the pipelined stager's part transfers, in
+    /// bytes. Smaller chunks overlap read and transfer at a finer grain
+    /// at the cost of more per-chunk latency.
+    #[serde(default = "default_stage_chunk_bytes")]
+    pub stage_chunk_bytes: usize,
+    /// Failed chunk-transfer attempts absorbed per part (with exponential
+    /// backoff) before staging aborts with a `StagingFailure`.
+    #[serde(default = "default_stage_retries")]
+    pub stage_retries: u32,
+    /// Overlap the serial staging-disk read with the parallel LAN
+    /// transfers (the paper's pipelined "move parts" shape). When false,
+    /// the full read pass completes before the first transfer (eager).
+    #[serde(default = "default_stage_overlap")]
+    pub stage_overlap: bool,
+    /// Depth of the bounded queue between the stage reader and the
+    /// transfer workers; the reader blocks (backpressure) when full.
+    #[serde(default = "default_stage_queue_depth")]
+    pub stage_queue_depth: usize,
+    /// Keep finished splits in the content-addressed split cache so
+    /// re-selecting the same dataset restages without re-splitting or
+    /// re-transferring.
+    #[serde(default = "default_split_cache")]
+    pub split_cache: bool,
 }
 
 fn default_oversub() -> usize {
@@ -79,6 +102,26 @@ fn default_merge_parallelism() -> usize {
     crate::aida_manager::DEFAULT_MERGE_PARALLELISM
 }
 
+fn default_stage_chunk_bytes() -> usize {
+    4 << 20
+}
+
+fn default_stage_retries() -> u32 {
+    2
+}
+
+fn default_stage_overlap() -> bool {
+    true
+}
+
+fn default_stage_queue_depth() -> usize {
+    4
+}
+
+fn default_split_cache() -> bool {
+    true
+}
+
 impl Default for IpaConfig {
     fn default() -> Self {
         IpaConfig {
@@ -94,6 +137,11 @@ impl Default for IpaConfig {
             checkpoint_every: default_checkpoint_every(),
             merge_fan_in: default_merge_fan_in(),
             merge_parallelism: default_merge_parallelism(),
+            stage_chunk_bytes: default_stage_chunk_bytes(),
+            stage_retries: default_stage_retries(),
+            stage_overlap: default_stage_overlap(),
+            stage_queue_depth: default_stage_queue_depth(),
+            split_cache: default_split_cache(),
         }
     }
 }
@@ -130,5 +178,11 @@ mod tests {
         assert_eq!(c.checkpoint_every, 16);
         assert!(c.merge_fan_in >= 1);
         assert!(c.merge_parallelism >= 1);
+        // Staging-plane knobs likewise default in.
+        assert_eq!(c.stage_chunk_bytes, 4 << 20);
+        assert_eq!(c.stage_retries, 2);
+        assert!(c.stage_overlap);
+        assert_eq!(c.stage_queue_depth, 4);
+        assert!(c.split_cache);
     }
 }

@@ -15,6 +15,15 @@ pub enum CoreError {
     NotLocatable(String),
     /// Dataset staging failed.
     Staging(String),
+    /// A part's chunked transfer kept failing until its retry budget was
+    /// exhausted; the stage operation was aborted and the session keeps
+    /// its previous dataset (no epoch bump happened).
+    StagingFailure {
+        /// The part whose transfers failed terminally.
+        part: u64,
+        /// Failed transfer attempts made (retry budget + 1).
+        attempts: u32,
+    },
     /// Analysis code failed to compile or load.
     Code(String),
     /// An operation needs a dataset selected first.
@@ -29,6 +38,15 @@ pub enum CoreError {
     EngineGone(usize),
     /// Result merging failed (incompatible partial results).
     Merge(String),
+    /// The startup deadline passed before every engine reported ready.
+    /// Distinct from [`CoreError::EngineGone`]: the engines may simply be
+    /// slow, not dead.
+    StartupTimeout {
+        /// Engines that reported ready before the deadline.
+        ready: usize,
+        /// Engines the session expected.
+        expected: usize,
+    },
     /// A wait deadline passed before an expected event arrived. Carries
     /// the last status snapshot when one is available (e.g. waiting on a
     /// run to finish) so the caller can see how far the run got; `None`
@@ -43,6 +61,10 @@ impl fmt::Display for CoreError {
             CoreError::Catalog(m) => write!(f, "catalog error: {m}"),
             CoreError::NotLocatable(id) => write!(f, "dataset '{id}' cannot be located"),
             CoreError::Staging(m) => write!(f, "dataset staging failed: {m}"),
+            CoreError::StagingFailure { part, attempts } => write!(
+                f,
+                "staging part {part} failed terminally after {attempts} attempts"
+            ),
             CoreError::Code(m) => write!(f, "analysis code error: {m}"),
             CoreError::NoDataset => write!(f, "no dataset selected in this session"),
             CoreError::NoCode => write!(f, "no analysis code loaded in this session"),
@@ -50,6 +72,10 @@ impl fmt::Display for CoreError {
             CoreError::AllEnginesFailed => write!(f, "all analysis engines have failed"),
             CoreError::EngineGone(id) => write!(f, "engine {id} disappeared"),
             CoreError::Merge(m) => write!(f, "result merge failed: {m}"),
+            CoreError::StartupTimeout { ready, expected } => write!(
+                f,
+                "timed out waiting for engines to start: {ready} of {expected} ready"
+            ),
             CoreError::Timeout(Some(s)) => write!(
                 f,
                 "timed out in state {:?} after {} of {} records",
@@ -85,5 +111,16 @@ mod tests {
         let e: CoreError = ipa_catalog::CatalogError::NoSuchDataset("x".into()).into();
         assert!(e.to_string().contains("catalog"));
         assert!(CoreError::NoDataset.to_string().contains("no dataset"));
+        let e = CoreError::StagingFailure {
+            part: 3,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("part 3"));
+        assert!(e.to_string().contains("4 attempts"));
+        let e = CoreError::StartupTimeout {
+            ready: 1,
+            expected: 4,
+        };
+        assert!(e.to_string().contains("1 of 4"));
     }
 }

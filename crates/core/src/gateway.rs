@@ -144,6 +144,12 @@ pub enum WsRequest {
         /// Session id.
         session: u64,
     },
+    /// Fetch staging-plane statistics (parts/bytes/chunks moved,
+    /// split-cache hits, transfer retries, phase timings).
+    StagingStats {
+        /// Session id.
+        session: u64,
+    },
     /// Close the session and shut its engines down.
     CloseSession {
         /// Session id.
@@ -189,6 +195,8 @@ pub enum WsResponse {
     Failures(Vec<FailureRecord>),
     /// Scheduler statistics snapshot.
     Sched(crate::sched::SchedStats),
+    /// Staging-plane statistics snapshot.
+    Staging(crate::staging::StagingStats),
     /// The request failed.
     Error(String),
 }
@@ -371,6 +379,9 @@ fn dispatch(req: WsRequest, manager: &ManagerNode, sessions: &Sessions) -> WsRes
             }
             WsRequest::SchedStats { session } => {
                 WsResponse::Sched(with_session(sessions, session, |s| Ok(s.sched_stats()))?)
+            }
+            WsRequest::StagingStats { session } => {
+                WsResponse::Staging(with_session(sessions, session, |s| Ok(s.staging_stats()))?)
             }
             WsRequest::CloseSession { session } => match sessions.lock().remove(&session) {
                 Some(mut s) => {

@@ -55,6 +55,7 @@ pub mod manager;
 pub mod registry;
 pub mod sched;
 pub mod session;
+pub mod staging;
 pub mod store;
 
 pub use aida_manager::{AidaManager, PartPayload, PartUpdate, PublishOutcome, ResultPlaneStats};
@@ -72,4 +73,6 @@ pub use manager::ManagerNode;
 pub use registry::{SessionInfo, WorkerInfo, WorkerRegistry, WorkerState};
 pub use sched::{SchedStats, SchedulerPolicy};
 pub use session::{FailureRecord, RunState, Session, SessionStatus};
+pub use staging::pipeline::{StageFaultPlan, StagerConfig};
+pub use staging::{DatasetPlane, SitePlane, SplitSpec, StagedDataset, StagingStats};
 pub use store::DatasetStore;

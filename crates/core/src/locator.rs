@@ -49,15 +49,29 @@ impl LocatorService {
         }
     }
 
-    /// Resolve an id to a location.
+    /// Resolve an id to a location. Plain ids resolve to this site's
+    /// storage element; `"<base>@<first>..<last>"` ids resolve to a
+    /// [`DatasetLocation::RecordRange`] view over `base` (the paper's
+    /// "set of contiguous records in a database server" arm) when the
+    /// range fits inside the base dataset.
     pub fn locate(&self, id: &DatasetId) -> Result<DatasetLocation, CoreError> {
         if self.store.get(id).is_some() {
-            Ok(DatasetLocation::StorageElement {
+            return Ok(DatasetLocation::StorageElement {
                 url: format!("gsiftp://{}/se/{}", self.site, id),
-            })
-        } else {
-            Err(CoreError::NotLocatable(id.0.clone()))
+            });
         }
+        if let Some((source, first, last)) = parse_range_id(&id.0) {
+            if let Some(base) = self.store.get(&DatasetId::new(source)) {
+                if first <= last && last <= base.descriptor.records {
+                    return Ok(DatasetLocation::RecordRange {
+                        source: source.to_string(),
+                        first,
+                        last,
+                    });
+                }
+            }
+        }
+        Err(CoreError::NotLocatable(id.0.clone()))
     }
 
     /// Fetch the actual dataset (follows a successful locate).
@@ -66,6 +80,40 @@ impl LocatorService {
             .get(id)
             .ok_or_else(|| CoreError::NotLocatable(id.0.clone()))
     }
+
+    /// Turn a resolved location into the dataset to stage: the stored
+    /// dataset for a storage element, or a materialized view of the
+    /// `[first, last)` slice for a record range.
+    pub fn materialize(
+        &self,
+        id: &DatasetId,
+        location: &DatasetLocation,
+    ) -> Result<std::sync::Arc<ipa_dataset::Dataset>, CoreError> {
+        match location {
+            DatasetLocation::StorageElement { .. } => self.fetch(id),
+            DatasetLocation::RecordRange {
+                source,
+                first,
+                last,
+            } => {
+                let base = self.fetch(&DatasetId::new(source.as_str()))?;
+                base.range_view(id.0.clone(), *first as usize, *last as usize)
+                    .map(std::sync::Arc::new)
+                    .ok_or_else(|| CoreError::NotLocatable(id.0.clone()))
+            }
+        }
+    }
+}
+
+/// Parse a `"<base>@<first>..<last>"` range id. Returns `None` for plain
+/// ids (no `@`) or malformed ranges.
+fn parse_range_id(id: &str) -> Option<(&str, u64, u64)> {
+    let (base, range) = id.rsplit_once('@')?;
+    let (first, last) = range.split_once("..")?;
+    if base.is_empty() {
+        return None;
+    }
+    Some((base, first.parse().ok()?, last.parse().ok()?))
 }
 
 #[cfg(test)]
@@ -100,5 +148,70 @@ mod tests {
         ));
         assert!(loc.fetch(&DatasetId::new("lc-1")).is_ok());
         assert!(loc.fetch(&DatasetId::new("missing")).is_err());
+    }
+
+    fn range_fixture(n: u64) -> LocatorService {
+        let store = DatasetStore::new();
+        let recs = (0..n)
+            .map(|i| {
+                AnyRecord::Event(CollisionEvent {
+                    event_id: i,
+                    run: 0,
+                    sqrt_s: 500.0,
+                    is_signal: false,
+                    particles: vec![],
+                })
+            })
+            .collect();
+        store.put(Dataset::from_records("base", "Base", recs));
+        LocatorService::new(store, "site")
+    }
+
+    #[test]
+    fn range_ids_resolve_and_materialize_the_slice() {
+        let loc = range_fixture(100);
+        let id = DatasetId::new("base@10..30");
+        let location = loc.locate(&id).unwrap();
+        assert_eq!(
+            location,
+            DatasetLocation::RecordRange {
+                source: "base".into(),
+                first: 10,
+                last: 30,
+            }
+        );
+        let view = loc.materialize(&id, &location).unwrap();
+        assert_eq!(view.descriptor.records, 20);
+        assert!(matches!(
+            &view.records[0],
+            AnyRecord::Event(e) if e.event_id == 10
+        ));
+        assert!(matches!(
+            &view.records[19],
+            AnyRecord::Event(e) if e.event_id == 29
+        ));
+    }
+
+    #[test]
+    fn bad_range_ids_are_not_locatable() {
+        let loc = range_fixture(10);
+        for bad in [
+            "base@5..50", // past the end
+            "base@7..3",  // inverted
+            "base@x..3",  // malformed bound
+            "base@3",     // no range
+            "other@0..5", // unknown base
+            "@0..5",      // empty base
+        ] {
+            assert!(
+                matches!(
+                    loc.locate(&DatasetId::new(bad)),
+                    Err(CoreError::NotLocatable(_))
+                ),
+                "{bad} should not locate"
+            );
+        }
+        // Degenerate-but-valid empty view.
+        assert!(loc.locate(&DatasetId::new("base@4..4")).is_ok());
     }
 }

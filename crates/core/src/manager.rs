@@ -24,6 +24,7 @@ use crate::error::CoreError;
 use crate::locator::LocatorService;
 use crate::registry::WorkerRegistry;
 use crate::session::Session;
+use crate::staging::SitePlane;
 use crate::store::DatasetStore;
 
 /// The IPA service element for one grid site.
@@ -168,7 +169,7 @@ impl ManagerNode {
             proxy.subject.clone(),
             engines,
             events_rx,
-            self.locator.clone(),
+            Box::new(SitePlane::new(self.locator.clone(), &self.config)),
             self.config.clone(),
             self.workers.clone(),
         );

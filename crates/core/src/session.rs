@@ -31,11 +31,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime};
 
-use crossbeam::channel::{Receiver, TryRecvError};
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
 use ipa_aida::Tree;
-use ipa_dataset::{
-    split_chunks, split_even, split_records, AnyRecord, DatasetDescriptor, DatasetId,
-};
+use ipa_dataset::{AnyRecord, DatasetDescriptor, DatasetId};
 use serde::{Deserialize, Serialize};
 
 use crate::aida_manager::{AidaManager, PublishOutcome, ResultPlaneStats};
@@ -43,9 +41,9 @@ use crate::analyzer::{instantiate_code, AnalysisCode, NativeRegistry};
 use crate::config::IpaConfig;
 use crate::engine::{EngineCommand, EngineEvent, EngineHandle, EngineId, PartId};
 use crate::error::CoreError;
-use crate::locator::LocatorService;
 use crate::registry::{WorkerRegistry, WorkerState};
 use crate::sched::{CompletionOutcome, PartQueue, SchedStats, SchedulerPolicy, WorkerLedger};
+use crate::staging::{pipeline::StageFaultPlan, DatasetPlane, SplitSpec, StagingStats};
 
 /// Run state of a session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -118,6 +116,10 @@ pub struct SessionStatus {
     /// Result-plane counters: snapshot version, dirty parts, merge work
     /// performed vs. saved by the cache, delta/checkpoint traffic.
     pub results: ResultPlaneStats,
+    /// Staging-plane counters: parts/bytes/chunks moved, split-cache
+    /// hits, transfer retries, and the last stage's phase timings.
+    #[serde(default)]
+    pub staging: StagingStats,
     /// Log lines collected since the last poll.
     pub new_logs: Vec<(EngineId, String)>,
 }
@@ -140,7 +142,7 @@ pub struct Session {
     engines: Vec<EngineSlot>,
     events: Receiver<EngineEvent>,
     aida: AidaManager,
-    locator: LocatorService,
+    plane: Box<dyn DatasetPlane>,
     config: IpaConfig,
 
     dataset: Option<DatasetDescriptor>,
@@ -163,7 +165,7 @@ impl Session {
         subject: String,
         engines: Vec<EngineHandle>,
         events: Receiver<EngineEvent>,
-        locator: LocatorService,
+        plane: Box<dyn DatasetPlane>,
         config: IpaConfig,
         registry: WorkerRegistry,
     ) -> Self {
@@ -195,7 +197,7 @@ impl Session {
                 .collect(),
             events,
             aida: AidaManager::with_merge_config(config.merge_fan_in, config.merge_parallelism),
-            locator,
+            plane,
             stats: SchedStats {
                 policy: config.scheduler,
                 ..SchedStats::default()
@@ -278,7 +280,10 @@ impl Session {
     }
 
     /// Wait for every engine's ready signal (called by the manager right
-    /// after spawning).
+    /// after spawning). A timeout with engines merely slow reports
+    /// [`CoreError::StartupTimeout`] (how many were ready vs. expected);
+    /// a broken event channel — the engines actually died — still reports
+    /// [`CoreError::EngineGone`].
     pub(crate) fn wait_ready(&mut self) -> Result<(), CoreError> {
         let mut ready = 0usize;
         let deadline = Instant::now() + Duration::from_secs(30);
@@ -287,32 +292,41 @@ impl Session {
             match self.events.recv_timeout(remaining) {
                 Ok(EngineEvent::Ready { .. }) => ready += 1,
                 Ok(other) => self.absorb(other),
-                Err(_) => return Err(CoreError::EngineGone(ready)),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CoreError::StartupTimeout {
+                        ready,
+                        expected: self.engines.len(),
+                    })
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(CoreError::EngineGone(ready)),
             }
         }
         Ok(())
     }
 
-    /// Step 2: choose a dataset. Resolves the id through the locator,
-    /// splits it according to the scheduling policy — one ~equal part per
-    /// engine under `Static`, `engines × oversub` micro-parts under the
-    /// pull policies — and stages the first wave of parts.
+    /// Step 2: choose a dataset. The whole dataset path goes through the
+    /// staging plane ([`crate::staging::DatasetPlane`]): the locator
+    /// resolves the id (plain or `"<base>@<first>..<last>"` range view),
+    /// the split cache answers repeats in O(parts), and the pipelined
+    /// stager cuts and delivers parts under the session's [`SplitSpec`] —
+    /// one ~equal part per engine under `Static`, `engines × oversub`
+    /// micro-parts under the pull policies.
+    ///
+    /// With zero living engines this fails with
+    /// [`CoreError::AllEnginesFailed`] instead of silently splitting into
+    /// one part nobody will run. A terminal transfer failure surfaces as
+    /// [`CoreError::StagingFailure`] *before* any epoch bump, so the
+    /// session stays consistent on its previous dataset.
     pub fn select_dataset(&mut self, id: &DatasetId) -> Result<(), CoreError> {
         self.check_open()?;
-        self.locator.locate(id)?;
-        let ds = self.locator.fetch(id)?;
-        let n = self.engines_alive().max(1);
-        let (parts, _plan) = if self.config.scheduler.is_pull() {
-            split_chunks(&ds.records, n * self.config.oversub.max(1))
-        } else if self.config.byte_balanced_split {
-            split_records(&ds.records, n)
-        } else {
-            split_even(&ds.records, n)
+        let alive = self.engines_alive();
+        if alive == 0 {
+            return Err(CoreError::AllEnginesFailed);
         }
-        .map_err(|e| CoreError::Staging(e.to_string()))?;
-
-        self.parts = parts.into_iter().map(Arc::new).collect();
-        self.dataset = Some(ds.descriptor.clone());
+        let spec = SplitSpec::from_config(&self.config, alive);
+        let staged = self.plane.stage(id, &spec)?;
+        self.parts = staged.parts;
+        self.dataset = Some(staged.descriptor);
         self.restage();
         Ok(())
     }
@@ -773,6 +787,23 @@ impl Session {
         self.sched_snapshot()
     }
 
+    /// Current staging-plane statistics (also embedded in every
+    /// [`SessionStatus`] from [`Session::poll`]): split-cache hits,
+    /// parts/bytes/chunks moved, retries, and the last stage's phase
+    /// timings.
+    pub fn staging_stats(&self) -> StagingStats {
+        self.plane.stats()
+    }
+
+    /// Arm a transfer fault plan on the staging plane (tests / chaos
+    /// drills): the next [`Session::select_dataset`] sees its part
+    /// transfers fail per the plan, retried within
+    /// [`crate::IpaConfig::stage_retries`] and surfacing a structured
+    /// [`CoreError::StagingFailure`] beyond it.
+    pub fn inject_stage_faults(&mut self, plan: StageFaultPlan) {
+        self.plane.inject_faults(plan);
+    }
+
     /// Drain engine events, run failure recovery and work dispatch, and
     /// return a status snapshot. This is the client's polling entry point.
     pub fn poll(&mut self) -> Result<SessionStatus, CoreError> {
@@ -805,6 +836,7 @@ impl Session {
             epoch: self.epoch,
             sched: self.sched_snapshot(),
             results: self.aida.stats(),
+            staging: self.plane.stats(),
             new_logs: std::mem::take(&mut self.logs),
         })
     }

@@ -126,6 +126,21 @@ impl Dataset {
         self.records.is_empty()
     }
 
+    /// Materialize the contiguous `[first, last)` record range as a
+    /// standalone dataset published under `id` (locator-style
+    /// `"<base>@<first>..<last>"` views), with a fresh descriptor sized to
+    /// the slice. Returns `None` when the range does not fit.
+    pub fn range_view(&self, id: impl Into<String>, first: usize, last: usize) -> Option<Dataset> {
+        if first > last || last > self.records.len() {
+            return None;
+        }
+        Some(Dataset::from_records(
+            id,
+            format!("{} [{first}..{last})", self.descriptor.name),
+            self.records[first..last].to_vec(),
+        ))
+    }
+
     /// Encode to the binary format.
     pub fn encode(&self) -> Vec<u8> {
         encode_dataset(&self.records)
@@ -189,6 +204,21 @@ mod tests {
         let ds = Dataset::from_records("x", "X", events(4));
         let back = Dataset::decode("x", "X", &ds.encode()).unwrap();
         assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn range_view_slices_and_resizes() {
+        let ds = Dataset::from_records("x", "X", events(10));
+        let view = ds.range_view("x@2..7", 2, 7).unwrap();
+        assert_eq!(view.descriptor.id, DatasetId::new("x@2..7"));
+        assert_eq!(view.descriptor.records, 5);
+        assert!(view.descriptor.size_bytes < ds.descriptor.size_bytes);
+        assert_eq!(view.records[..], ds.records[2..7]);
+        assert!(view.descriptor.name.contains("[2..7)"));
+        // Degenerate empty view is fine; out-of-range / inverted are not.
+        assert_eq!(ds.range_view("x@3..3", 3, 3).unwrap().len(), 0);
+        assert!(ds.range_view("x@0..11", 0, 11).is_none());
+        assert!(ds.range_view("x@7..2", 7, 2).is_none());
     }
 
     #[test]
