@@ -1,12 +1,15 @@
-//! Per-record cost of the two code paths the paper supports: interpreted
+//! Per-record cost of the code paths the paper supports: interpreted
 //! scripts (PNUTS → IPAScript) vs compiled analyzers (Java classes →
 //! native Rust). Quantifies the interpretation tax users pay for on-the-fly
-//! editability.
+//! editability — and how much of it the bytecode VM claws back over the
+//! tree-walk.
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ipa_core::{run_analyzer_serial, HiggsSearchAnalyzer};
-use ipa_dataset::EventGeneratorConfig;
-use ipa_script::{compile, AidaHost, Interpreter};
+use ipa_dataset::{AnyRecord, EventGeneratorConfig};
+use ipa_script::{compile, engine_for, AidaHost, Program, RecordRef, ScriptBackend};
 
 const SCRIPT: &str = r#"
     fn init() { h1("/higgs/bb_mass", 60, 0.0, 240.0); }
@@ -16,12 +19,39 @@ const SCRIPT: &str = r#"
     }
 "#;
 
-fn bench_code_paths(c: &mut Criterion) {
-    let records = EventGeneratorConfig {
-        events: 2_000,
-        ..Default::default()
+/// Run the full analysis lifecycle on one backend, sharing the batch the
+/// way the engine hot path does (`RecordRef::batch` — no record copies).
+fn run_backend(program: &Program, records: &Arc<Vec<AnyRecord>>, backend: ScriptBackend) -> AidaHost {
+    let mut host = AidaHost::new();
+    let mut engine = engine_for(program, backend).unwrap();
+    engine.run_init(&mut host).unwrap();
+    for i in 0..records.len() {
+        engine
+            .process(&mut host, RecordRef::batch(Arc::clone(records), i))
+            .unwrap();
     }
-    .generate();
+    engine.run_end(&mut host).unwrap();
+    host
+}
+
+fn bench_code_paths(c: &mut Criterion) {
+    let records = Arc::new(
+        EventGeneratorConfig {
+            events: 2_000,
+            ..Default::default()
+        }
+        .generate(),
+    );
+
+    let program = compile(SCRIPT).unwrap();
+    // Correctness gate: both backends must produce bin-for-bin identical
+    // results before we bother timing them.
+    let interp_host = run_backend(&program, &records, ScriptBackend::Interp);
+    let vm_host = run_backend(&program, &records, ScriptBackend::Vm);
+    assert_eq!(
+        interp_host.tree, vm_host.tree,
+        "tree-walk and VM disagree on the bench script"
+    );
 
     let mut g = c.benchmark_group("code_paths");
     g.throughput(Throughput::Elements(records.len() as u64));
@@ -32,17 +62,11 @@ fn bench_code_paths(c: &mut Criterion) {
             host
         })
     });
-    let program = compile(SCRIPT).unwrap();
     g.bench_function("script_higgs", |b| {
-        b.iter(|| {
-            let mut host = AidaHost::new();
-            let mut interp = Interpreter::new(&program);
-            interp.run_init(&mut host).unwrap();
-            for r in &records {
-                interp.process_record(&mut host, r).unwrap();
-            }
-            host
-        })
+        b.iter(|| run_backend(&program, &records, ScriptBackend::Interp))
+    });
+    g.bench_function("script_higgs_vm", |b| {
+        b.iter(|| run_backend(&program, &records, ScriptBackend::Vm))
     });
     g.bench_function("script_compile_only", |b| {
         b.iter(|| compile(SCRIPT).unwrap())

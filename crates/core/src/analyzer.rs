@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ipa_dataset::{AnyRecord, RecordFields};
-use ipa_script::{compile, Host, Interpreter};
+use ipa_script::{compile, engine_for, Host, RecordRef, ScriptBackend, ScriptEngine};
 
 use crate::error::CoreError;
 
@@ -21,6 +21,18 @@ pub trait Analyzer: Send {
     fn init(&mut self, host: &mut dyn Host) -> Result<(), String>;
     /// Called for every record.
     fn process(&mut self, record: &AnyRecord, host: &mut dyn Host) -> Result<(), String>;
+    /// Called for `batch[index]` when the caller owns the batch in an
+    /// `Arc` — the engine hot path. The default delegates to
+    /// [`Analyzer::process`]; script analyzers override it to hand the
+    /// record to user code as a shared handle instead of a deep copy.
+    fn process_indexed(
+        &mut self,
+        batch: &Arc<Vec<AnyRecord>>,
+        index: usize,
+        host: &mut dyn Host,
+    ) -> Result<(), String> {
+        self.process(&batch[index], host)
+    }
     /// Called after the last record of the part.
     fn end(&mut self, host: &mut dyn Host) -> Result<(), String> {
         let _ = host;
@@ -99,10 +111,13 @@ impl NativeRegistry {
 }
 
 /// Build an [`Analyzer`] from shipped code (compiles scripts up front so
-/// syntax errors surface at load time, like the paper's class loader).
+/// syntax and resolution errors surface at load time, like the paper's
+/// class loader). `backend` selects the script execution backend; native
+/// code ignores it.
 pub fn instantiate_code(
     code: &AnalysisCode,
     registry: &NativeRegistry,
+    backend: ScriptBackend,
 ) -> Result<Box<dyn Analyzer>, CoreError> {
     match code {
         AnalysisCode::Script(src) => {
@@ -112,32 +127,47 @@ pub fn instantiate_code(
                     "script must define fn process(record)".to_string(),
                 ));
             }
-            Ok(Box::new(ScriptAnalyzer {
-                interp: Interpreter::new(&program),
-            }))
+            let engine =
+                engine_for(&program, backend).map_err(|e| CoreError::Code(e.to_string()))?;
+            Ok(Box::new(ScriptAnalyzer { engine }))
         }
         AnalysisCode::Native(name) => registry.instantiate(name),
     }
 }
 
-/// [`Analyzer`] over an IPAScript interpreter.
+/// [`Analyzer`] over an IPAScript engine (tree-walk or bytecode VM).
 pub struct ScriptAnalyzer {
-    interp: Interpreter,
+    engine: Box<dyn ScriptEngine>,
 }
 
 impl Analyzer for ScriptAnalyzer {
     fn init(&mut self, host: &mut dyn Host) -> Result<(), String> {
-        self.interp.run_init(host).map_err(|e| e.to_string())
+        self.engine.run_init(host).map_err(|e| e.to_string())
     }
 
     fn process(&mut self, record: &AnyRecord, host: &mut dyn Host) -> Result<(), String> {
-        self.interp
-            .process_record(host, record)
+        // Borrowed-record path: one copy into its own Arc. Engines use
+        // `process_indexed`, which shares the batch instead.
+        self.engine
+            .process(host, RecordRef::one(Arc::new(record.clone())))
+            .map_err(|e| e.to_string())
+    }
+
+    fn process_indexed(
+        &mut self,
+        batch: &Arc<Vec<AnyRecord>>,
+        index: usize,
+        host: &mut dyn Host,
+    ) -> Result<(), String> {
+        // Hot path: the script sees `batch[index]` through an Arc handle —
+        // no record data is copied, however large the event.
+        self.engine
+            .process(host, RecordRef::batch(Arc::clone(batch), index))
             .map_err(|e| e.to_string())
     }
 
     fn end(&mut self, host: &mut dyn Host) -> Result<(), String> {
-        self.interp.run_end(host).map_err(|e| e.to_string())
+        self.engine.run_end(host).map_err(|e| e.to_string())
     }
 }
 
@@ -421,19 +451,21 @@ mod tests {
         let good = AnalysisCode::Script(
             "fn init() { h1(\"/x\", 10, 0.0, 1.0); } fn process(e) { }".to_string(),
         );
-        assert!(instantiate_code(&good, &reg).is_ok());
+        for backend in [ScriptBackend::Interp, ScriptBackend::Vm] {
+            assert!(instantiate_code(&good, &reg, backend).is_ok(), "{backend}");
 
-        let syntax_err = AnalysisCode::Script("fn process( {".to_string());
-        assert!(matches!(
-            instantiate_code(&syntax_err, &reg),
-            Err(CoreError::Code(_))
-        ));
+            let syntax_err = AnalysisCode::Script("fn process( {".to_string());
+            assert!(matches!(
+                instantiate_code(&syntax_err, &reg, backend),
+                Err(CoreError::Code(_))
+            ));
 
-        let no_process = AnalysisCode::Script("fn init() { }".to_string());
-        assert!(matches!(
-            instantiate_code(&no_process, &reg),
-            Err(CoreError::Code(m)) if m.contains("process")
-        ));
+            let no_process = AnalysisCode::Script("fn init() { }".to_string());
+            assert!(matches!(
+                instantiate_code(&no_process, &reg, backend),
+                Err(CoreError::Code(m)) if m.contains("process")
+            ));
+        }
     }
 
     #[test]
@@ -454,7 +486,12 @@ mod tests {
             }
         "#;
         let reg = NativeRegistry::new();
-        let mut analyzer = instantiate_code(&AnalysisCode::Script(script.into()), &reg).unwrap();
+        let mut analyzer = instantiate_code(
+            &AnalysisCode::Script(script.into()),
+            &reg,
+            ScriptBackend::from_env(),
+        )
+        .unwrap();
         let mut script_host = AidaHost::new();
         run_analyzer_serial(analyzer.as_mut(), &recs, &mut script_host).unwrap();
 

@@ -1,5 +1,6 @@
 //! Site / session configuration.
 
+use ipa_script::ScriptBackend;
 use serde::{Deserialize, Serialize};
 
 use crate::sched::SchedulerPolicy;
@@ -80,6 +81,12 @@ pub struct IpaConfig {
     /// re-transferring.
     #[serde(default = "default_split_cache")]
     pub split_cache: bool,
+    /// Which IPAScript execution backend the engines run user scripts on
+    /// (`vm` = bytecode VM, `interp` = AST tree-walk). Defaults to the
+    /// `IPA_SCRIPT_BACKEND` environment variable when set, the VM
+    /// otherwise.
+    #[serde(default = "ScriptBackend::from_env")]
+    pub script_backend: ScriptBackend,
 }
 
 fn default_oversub() -> usize {
@@ -142,6 +149,7 @@ impl Default for IpaConfig {
             stage_overlap: default_stage_overlap(),
             stage_queue_depth: default_stage_queue_depth(),
             split_cache: default_split_cache(),
+            script_backend: ScriptBackend::from_env(),
         }
     }
 }
@@ -184,5 +192,23 @@ mod tests {
         assert!(c.stage_overlap);
         assert_eq!(c.stage_queue_depth, 4);
         assert!(c.split_cache);
+        // The script backend (newest knob) defaults in as well.
+        assert_eq!(c.script_backend, ScriptBackend::from_env());
+    }
+
+    #[test]
+    fn script_backend_round_trips_through_json() {
+        let mut c = IpaConfig {
+            script_backend: ScriptBackend::Interp,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("\"script_backend\":\"interp\""), "{json}");
+        let back: IpaConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.script_backend, ScriptBackend::Interp);
+
+        c.script_backend = ScriptBackend::Vm;
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("\"script_backend\":\"vm\""), "{json}");
     }
 }

@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use ipa_aida::Tree;
 use ipa_dataset::AnyRecord;
-use ipa_script::AidaHost;
+use ipa_script::{AidaHost, ScriptBackend};
 
 use crate::aida_manager::{PartPayload, PartUpdate};
 use crate::analyzer::{instantiate_code, AnalysisCode, Analyzer, NativeRegistry};
@@ -157,6 +157,9 @@ struct EngineWorker {
     /// checkpoint (the legacy full-clone behavior).
     checkpoint_every: usize,
     registry: NativeRegistry,
+    /// Script execution backend handed to `instantiate_code` (native
+    /// analyzers ignore it).
+    backend: ScriptBackend,
     events: Sender<EngineEvent>,
     commands: Receiver<EngineCommand>,
 
@@ -258,7 +261,7 @@ impl EngineWorker {
         let Some(code) = &self.code else {
             return Err("no code loaded".to_string());
         };
-        match instantiate_code(code, &self.registry) {
+        match instantiate_code(code, &self.registry, self.backend) {
             Ok(a) => {
                 self.analyzer = Some(a);
                 self.needs_init = true;
@@ -464,8 +467,11 @@ impl EngineWorker {
         let mut analyzer = self.analyzer.take().expect("checked above");
         let mut processed = 0usize;
         let mut error: Option<String> = None;
-        for rec in records.iter().skip(start).take(batch) {
-            if let Err(e) = analyzer.process(rec, &mut self.host) {
+        // Hand each record to the analyzer by (batch, index) so script
+        // analyzers can share the Arc'd batch instead of deep-copying
+        // every record into the script's value space.
+        for i in start..start + batch {
+            if let Err(e) = analyzer.process_indexed(&records, i, &mut self.host) {
                 error = Some(e);
                 break;
             }
@@ -578,11 +584,13 @@ impl EngineHandle {
     /// on `events`. `checkpoint_every` controls the delta stream: a
     /// full-tree checkpoint every that-many publishes, deltas in between
     /// (1 = checkpoint every publish, the legacy full-clone behavior).
+    /// `backend` picks the IPAScript execution backend for script code.
     pub fn spawn(
         id: EngineId,
         publish_every: usize,
         checkpoint_every: usize,
         registry: NativeRegistry,
+        backend: ScriptBackend,
         events: Sender<EngineEvent>,
     ) -> Self {
         let (tx, rx) = unbounded();
@@ -591,6 +599,7 @@ impl EngineHandle {
             publish_every: publish_every.max(1),
             checkpoint_every: checkpoint_every.max(1),
             registry,
+            backend,
             events,
             commands: rx,
             code: None,
@@ -691,7 +700,7 @@ mod tests {
     #[test]
     fn engine_lifecycle_ready_load_run_done() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(0, 100, 1, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(0, 100, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         recv_until(&rx, |ev| matches!(ev, EngineEvent::Ready { .. }));
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
@@ -724,7 +733,7 @@ mod tests {
     #[test]
     fn partial_updates_arrive_between_batches() -> Result<(), CoreError> {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(1, 50, 1, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(1, 50, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -755,7 +764,7 @@ mod tests {
     #[test]
     fn run_n_pauses_after_budget() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(2, 1000, 1, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(2, 1000, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -788,7 +797,7 @@ mod tests {
     #[test]
     fn rewind_resets_results() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(3, 1000, 1, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(3, 1000, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -833,7 +842,7 @@ mod tests {
     #[test]
     fn injected_failure_emits_failed_event() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(4, 10, 1, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(4, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -860,7 +869,7 @@ mod tests {
         // so the batch is fully processed and then the fault fires instead
         // of the part silently finishing (regression for the `<` boundary).
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(8, 1000, 1, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(8, 1000, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -887,7 +896,7 @@ mod tests {
     fn injected_failure_fires_on_zero_budget() {
         // FailAfter(0): the engine must die before processing anything.
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(9, 10, 1, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(9, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -912,7 +921,7 @@ mod tests {
     #[test]
     fn stop_drops_position_so_run_restarts_the_part() -> Result<(), CoreError> {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(10, 50, 1, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(10, 50, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -951,7 +960,7 @@ mod tests {
     #[test]
     fn throttle_changes_speed_not_results() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(12, 100, 1, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(12, 100, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -982,7 +991,7 @@ mod tests {
     #[test]
     fn events_carry_latest_epoch() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(11, 100, 1, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(11, 100, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 3,
@@ -1017,7 +1026,7 @@ mod tests {
         // 4 → pattern C D D D C(done forces nothing here: 5th publish is a
         // scheduled checkpoint, 6th is the done checkpoint).
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(13, 50, 4, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(13, 50, 4, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -1065,7 +1074,7 @@ mod tests {
         // re-running the same part with checkpoint_every=1 (full clones)
         // must give the identical final checkpoint.
         let (tx2, rx2) = unbounded();
-        let mut e2 = EngineHandle::spawn(14, 50, 1, builtin_registry(), tx2);
+        let mut e2 = EngineHandle::spawn(14, 50, 1, builtin_registry(), ScriptBackend::from_env(), tx2);
         e2.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -1094,7 +1103,7 @@ mod tests {
         use crate::aida_manager::PartPayload;
 
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(15, 25, 1000, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(15, 25, 1000, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -1125,7 +1134,7 @@ mod tests {
     #[test]
     fn bad_script_reports_code_error() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(5, 10, 1, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(5, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Script("fn broken( {".into()),
             epoch: 0,
@@ -1137,7 +1146,7 @@ mod tests {
     #[test]
     fn run_without_code_fails_gracefully() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(6, 10, 1, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(6, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(10),
@@ -1155,7 +1164,7 @@ mod tests {
     #[test]
     fn script_logs_are_forwarded() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(7, 10, 1, builtin_registry(), tx);
+        let mut e = EngineHandle::spawn(7, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Script("fn init() { log(\"booked\"); } fn process(ev) { }".into()),
             epoch: 0,

@@ -65,6 +65,7 @@ pub use analyzer::{
     ScriptAnalyzer, TradeVwapAnalyzer,
 };
 pub use config::IpaConfig;
+pub use ipa_script::ScriptBackend;
 pub use engine::{EngineCommand, EngineEvent, EngineHandle, EngineId, Epoch, PartId};
 pub use error::CoreError;
 pub use gateway::{WsClient, WsGateway, WsRequest, WsResponse};

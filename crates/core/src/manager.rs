@@ -156,6 +156,7 @@ impl ManagerNode {
                     self.config.publish_every,
                     self.config.checkpoint_every,
                     self.registry.clone(),
+                    self.config.script_backend,
                     events_tx.clone(),
                 )
             })

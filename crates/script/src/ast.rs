@@ -198,8 +198,9 @@ pub struct Function {
 pub struct Program {
     /// Named functions.
     pub functions: HashMap<String, Arc<Function>>,
-    /// Statements outside any function.
-    pub top_level: Vec<Stmt>,
+    /// Statements outside any function (shared so interpreters iterate
+    /// them by reference instead of cloning per `run_init`).
+    pub top_level: Arc<Vec<Stmt>>,
     /// Original source (kept for diagnostics and reload comparison).
     pub source: String,
 }

@@ -8,13 +8,13 @@ use ipa_aida::{Histogram1D, Histogram2D, Profile1D};
 use crate::ast::*;
 use crate::error::ScriptError;
 use crate::stdlib::call_builtin;
-use crate::value::Value;
+use crate::value::{RecordRef, Value};
 
 /// Default per-call execution budget (evaluation steps).
 pub const DEFAULT_FUEL: u64 = 10_000_000;
 /// Maximum user-function call depth (conservative: each script frame
 /// consumes several large interpreter stack frames in debug builds).
-const MAX_DEPTH: usize = 64;
+pub(crate) const MAX_DEPTH: usize = 64;
 
 /// Everything a script can do to the outside world.
 ///
@@ -279,7 +279,7 @@ enum Flow {
 /// each analysis engine; `process_record` is the per-event hot path.
 pub struct Interpreter {
     functions: HashMap<String, Arc<Function>>,
-    top_level: Vec<Stmt>,
+    top_level: Arc<Vec<Stmt>>,
     globals: HashMap<String, Value>,
     /// Per-entry-point fuel budget.
     fuel_budget: u64,
@@ -303,15 +303,20 @@ impl Interpreter {
     /// Override the per-call fuel budget (tests and paranoid deployments).
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel_budget = fuel;
+        // Also reset the current tank: entry points that don't refill
+        // (`call_function`) must see the new budget immediately.
+        self.fuel = fuel;
         self
     }
 
     /// Run top-level statements then `init()` if defined. Call once per run.
     pub fn run_init(&mut self, host: &mut dyn Host) -> Result<(), ScriptError> {
         self.fuel = self.fuel_budget;
-        let stmts = self.top_level.clone();
+        // Clone the Arc, not the statements — run_init may be called per
+        // hot-reload and the top level can be arbitrarily large.
+        let stmts = Arc::clone(&self.top_level);
         let mut locals = HashMap::new();
-        for s in &stmts {
+        for s in stmts.iter() {
             // Top-level lets create globals.
             match self.exec(s, &mut locals, host)? {
                 Flow::Normal => {}
@@ -326,22 +331,15 @@ impl Interpreter {
         Ok(())
     }
 
-    /// Feed one record to `process(record)`.
+    /// Feed one record to `process(record)`. Convenience wrapper that
+    /// copies the record into its own allocation; hot paths should use
+    /// [`Interpreter::process_ref`] with a shared handle instead.
     pub fn process_record(
         &mut self,
         host: &mut dyn Host,
         record: &ipa_dataset::AnyRecord,
     ) -> Result<(), ScriptError> {
-        if !self.functions.contains_key("process") {
-            return Err(ScriptError::MissingEntryPoint("process"));
-        }
-        self.fuel = self.fuel_budget;
-        self.call_function(
-            "process",
-            vec![Value::Record(Arc::new(record.clone()))],
-            host,
-        )?;
-        Ok(())
+        self.process_ref(host, RecordRef::one(Arc::new(record.clone())))
     }
 
     /// Feed one pre-shared record to `process(record)` without cloning.
@@ -349,6 +347,16 @@ impl Interpreter {
         &mut self,
         host: &mut dyn Host,
         record: Arc<ipa_dataset::AnyRecord>,
+    ) -> Result<(), ScriptError> {
+        self.process_ref(host, RecordRef::one(record))
+    }
+
+    /// Feed one record handle to `process(record)` — the hot path; only
+    /// the `Arc` inside the handle is cloned, never the record data.
+    pub fn process_ref(
+        &mut self,
+        host: &mut dyn Host,
+        record: RecordRef,
     ) -> Result<(), ScriptError> {
         if !self.functions.contains_key("process") {
             return Err(ScriptError::MissingEntryPoint("process"));
@@ -467,9 +475,7 @@ impl Interpreter {
                     }
                     AssignTarget::Index { name, index } => {
                         let idx = self.eval(index, locals, host)?;
-                        let i = idx.as_num().ok_or_else(|| {
-                            ScriptError::runtime("array index must be numeric", index.line)
-                        })? as usize;
+                        let i = index_to_usize(&idx, index.line)?;
                         let slot = locals
                             .get_mut(name)
                             .or_else(|| self.globals.get_mut(name))
@@ -479,19 +485,7 @@ impl Interpreter {
                                     index.line,
                                 )
                             })?;
-                        let Value::Array(a) = slot else {
-                            return Err(ScriptError::runtime(
-                                format!("'{name}' is not an array"),
-                                index.line,
-                            ));
-                        };
-                        if i >= a.len() {
-                            return Err(ScriptError::runtime(
-                                format!("index {i} out of bounds (len {})", a.len()),
-                                index.line,
-                            ));
-                        }
-                        a[i] = v;
+                        store_index(slot, name, i, v, index.line)?;
                     }
                 }
                 Ok(Flow::Normal)
@@ -621,64 +615,19 @@ impl Interpreter {
                 }),
             ExprKind::Unary { op, expr: inner } => {
                 let v = self.eval(inner, locals, host)?;
-                match op {
-                    UnOp::Neg => v.as_num().map(|n| Value::Num(-n)).ok_or_else(|| {
-                        ScriptError::runtime(
-                            format!("cannot negate a {}", v.type_name()),
-                            expr.line,
-                        )
-                    }),
-                    UnOp::Not => Ok(Value::Bool(!v.truthy())),
-                }
+                eval_unary(*op, &v, expr.line)
             }
             ExprKind::Binary { op, lhs, rhs } => {
                 self.eval_binary(*op, lhs, rhs, locals, host, expr.line)
             }
             ExprKind::Index { target, index } => {
                 let t = self.eval(target, locals, host)?;
-                let i = self
-                    .eval(index, locals, host)?
-                    .as_num()
-                    .ok_or_else(|| ScriptError::runtime("index must be numeric", expr.line))?
-                    as usize;
-                match t {
-                    Value::Array(a) => a.get(i).cloned().ok_or_else(|| {
-                        ScriptError::runtime(
-                            format!("index {i} out of bounds (len {})", a.len()),
-                            expr.line,
-                        )
-                    }),
-                    Value::Str(s) => s
-                        .chars()
-                        .nth(i)
-                        .map(|c| Value::Str(c.to_string()))
-                        .ok_or_else(|| {
-                            ScriptError::runtime(
-                                format!("index {i} out of string bounds"),
-                                expr.line,
-                            )
-                        }),
-                    other => Err(ScriptError::runtime(
-                        format!("cannot index a {}", other.type_name()),
-                        expr.line,
-                    )),
-                }
+                let i = self.eval(index, locals, host)?;
+                index_value(t, &i, expr.line)
             }
             ExprKind::Field { target, field } => {
                 let t = self.eval(target, locals, host)?;
-                let Value::Record(r) = t else {
-                    return Err(ScriptError::runtime(
-                        format!("cannot access field '.{field}' on a {}", t.type_name()),
-                        expr.line,
-                    ));
-                };
-                match ipa_dataset::RecordFields::field(r.as_ref(), field) {
-                    Some(f) => Ok(Value::from_field(f)),
-                    None => Err(ScriptError::runtime(
-                        format!("record kind '{}' has no field '{field}'", r.kind()),
-                        expr.line,
-                    )),
-                }
+                field_value(&t, field, expr.line)
             }
             ExprKind::Range { .. } => Err(ScriptError::runtime(
                 "a range is only valid in 'for … in'",
@@ -735,54 +684,189 @@ impl Interpreter {
         }
         let l = self.eval(lhs, locals, host)?;
         let r = self.eval(rhs, locals, host)?;
-        match op {
-            BinOp::Eq => Ok(Value::Bool(l.equals(&r))),
-            BinOp::Ne => Ok(Value::Bool(!l.equals(&r))),
-            BinOp::Add => match (&l, &r) {
-                (Value::Str(a), b) => Ok(Value::Str(format!("{a}{b}"))),
-                (a, Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
-                _ => self.arith(op, &l, &r, line),
-            },
-            BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => self.arith(op, &l, &r, line),
-            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                let (Some(a), Some(b)) = (l.as_num(), r.as_num()) else {
-                    return Err(ScriptError::runtime(
-                        format!("cannot order {} and {}", l.type_name(), r.type_name()),
-                        line,
-                    ));
-                };
-                let out = match op {
-                    BinOp::Lt => a < b,
-                    BinOp::Le => a <= b,
-                    BinOp::Gt => a > b,
-                    BinOp::Ge => a >= b,
-                    _ => unreachable!(),
-                };
-                Ok(Value::Bool(out))
-            }
-            BinOp::And | BinOp::Or => unreachable!("handled above"),
+        eval_binary_values(op, &l, &r, line)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared semantics. Both backends (tree-walk above, bytecode VM in
+// `crate::vm`) funnel operator, indexing, and field-access behavior through
+// these helpers so results and error messages stay bit-for-bit identical.
+
+/// Apply a unary operator.
+pub(crate) fn eval_unary(op: UnOp, v: &Value, line: u32) -> Result<Value, ScriptError> {
+    match op {
+        UnOp::Neg => v.as_num().map(|n| Value::Num(-n)).ok_or_else(|| {
+            ScriptError::runtime(format!("cannot negate a {}", v.type_name()), line)
+        }),
+        UnOp::Not => Ok(Value::Bool(!v.truthy())),
+    }
+}
+
+/// Apply a non-short-circuit binary operator to two evaluated operands.
+/// `And`/`Or` must be short-circuited by the caller.
+pub(crate) fn eval_binary_values(
+    op: BinOp,
+    l: &Value,
+    r: &Value,
+    line: u32,
+) -> Result<Value, ScriptError> {
+    match op {
+        BinOp::Eq => Ok(Value::Bool(l.equals(r))),
+        BinOp::Ne => Ok(Value::Bool(!l.equals(r))),
+        BinOp::Add => match (l, r) {
+            (Value::Str(a), b) => Ok(Value::Str(format!("{a}{b}"))),
+            (a, Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
+            _ => arith(op, l, r, line),
+        },
+        BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => arith(op, l, r, line),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let (Some(a), Some(b)) = (l.as_num(), r.as_num()) else {
+                return Err(ScriptError::runtime(
+                    format!("cannot order {} and {}", l.type_name(), r.type_name()),
+                    line,
+                ));
+            };
+            let out = match op {
+                BinOp::Lt => a < b,
+                BinOp::Le => a <= b,
+                BinOp::Gt => a > b,
+                BinOp::Ge => a >= b,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(out))
         }
+        BinOp::And | BinOp::Or => unreachable!("short-circuit ops are evaluated by the caller"),
+    }
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value, line: u32) -> Result<Value, ScriptError> {
+    let (Some(a), Some(b)) = (l.as_num(), r.as_num()) else {
+        return Err(ScriptError::runtime(
+            format!(
+                "arithmetic needs numbers, got {} and {}",
+                l.type_name(),
+                r.type_name()
+            ),
+            line,
+        ));
+    };
+    let out = match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Rem => a % b,
+        _ => unreachable!(),
+    };
+    Ok(Value::Num(out))
+}
+
+/// Read `target[index]` (array element or string character).
+pub(crate) fn index_value(target: Value, index: &Value, line: u32) -> Result<Value, ScriptError> {
+    let i = index
+        .as_num()
+        .ok_or_else(|| ScriptError::runtime("index must be numeric", line))? as usize;
+    match target {
+        Value::Array(a) => a.get(i).cloned().ok_or_else(|| {
+            ScriptError::runtime(format!("index {i} out of bounds (len {})", a.len()), line)
+        }),
+        Value::Str(s) => s
+            .chars()
+            .nth(i)
+            .map(|c| Value::Str(c.to_string()))
+            .ok_or_else(|| {
+                ScriptError::runtime(format!("index {i} out of string bounds"), line)
+            }),
+        other => Err(ScriptError::runtime(
+            format!("cannot index a {}", other.type_name()),
+            line,
+        )),
+    }
+}
+
+/// Read `target.field` (record field access).
+pub(crate) fn field_value(target: &Value, field: &str, line: u32) -> Result<Value, ScriptError> {
+    let Value::Record(r) = target else {
+        return Err(ScriptError::runtime(
+            format!("cannot access field '.{field}' on a {}", target.type_name()),
+            line,
+        ));
+    };
+    match ipa_dataset::RecordFields::field(r.get(), field) {
+        Some(f) => Ok(Value::from_field(f)),
+        None => Err(ScriptError::runtime(
+            format!("record kind '{}' has no field '{field}'", r.kind()),
+            line,
+        )),
+    }
+}
+
+/// Convert an index-assignment index operand (checked before the variable
+/// itself is resolved — that order is observable through error messages).
+pub(crate) fn index_to_usize(index: &Value, line: u32) -> Result<usize, ScriptError> {
+    Ok(index
+        .as_num()
+        .ok_or_else(|| ScriptError::runtime("array index must be numeric", line))?
+        as usize)
+}
+
+/// Store `v` into `slot[i]` for an index assignment `name[i] = v`.
+pub(crate) fn store_index(
+    slot: &mut Value,
+    name: &str,
+    i: usize,
+    v: Value,
+    line: u32,
+) -> Result<(), ScriptError> {
+    let Value::Array(a) = slot else {
+        return Err(ScriptError::runtime(
+            format!("'{name}' is not an array"),
+            line,
+        ));
+    };
+    if i >= a.len() {
+        return Err(ScriptError::runtime(
+            format!("index {i} out of bounds (len {})", a.len()),
+            line,
+        ));
+    }
+    a[i] = v;
+    Ok(())
+}
+
+impl crate::ScriptEngine for Interpreter {
+    fn run_init(&mut self, host: &mut dyn Host) -> Result<(), ScriptError> {
+        Interpreter::run_init(self, host)
     }
 
-    fn arith(&self, op: BinOp, l: &Value, r: &Value, line: u32) -> Result<Value, ScriptError> {
-        let (Some(a), Some(b)) = (l.as_num(), r.as_num()) else {
-            return Err(ScriptError::runtime(
-                format!(
-                    "arithmetic needs numbers, got {} and {}",
-                    l.type_name(),
-                    r.type_name()
-                ),
-                line,
-            ));
-        };
-        let out = match op {
-            BinOp::Add => a + b,
-            BinOp::Sub => a - b,
-            BinOp::Mul => a * b,
-            BinOp::Div => a / b,
-            BinOp::Rem => a % b,
-            _ => unreachable!(),
-        };
-        Ok(Value::Num(out))
+    fn process(&mut self, host: &mut dyn Host, record: RecordRef) -> Result<(), ScriptError> {
+        self.process_ref(host, record)
+    }
+
+    fn run_end(&mut self, host: &mut dyn Host) -> Result<(), ScriptError> {
+        Interpreter::run_end(self, host)
+    }
+
+    fn call(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        host: &mut dyn Host,
+    ) -> Result<Value, ScriptError> {
+        self.call_function(name, args, host)
+    }
+
+    fn global(&self, name: &str) -> Option<Value> {
+        self.globals.get(name).cloned()
+    }
+
+    fn set_fuel(&mut self, fuel: u64) {
+        self.fuel_budget = fuel;
+        self.fuel = fuel;
+    }
+
+    fn backend(&self) -> crate::ScriptBackend {
+        crate::ScriptBackend::Interp
     }
 }

@@ -315,7 +315,34 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
                                 )))
                             }
                         },
-                        Some(other) => s.push(other as char),
+                        Some(other) if other < 0x80 => s.push(other as char),
+                        Some(lead) => {
+                            // Multi-byte UTF-8 sequence: consume the full
+                            // sequence and append it verbatim, so literals
+                            // like "µ→bb" survive instead of being
+                            // re-encoded byte-by-byte as Latin-1 mojibake.
+                            let extra = match lead {
+                                0xC2..=0xDF => 1,
+                                0xE0..=0xEF => 2,
+                                0xF0..=0xF4 => 3,
+                                _ => return Err(lx.err("invalid UTF-8 in string literal")),
+                            };
+                            let start = lx.pos - 1;
+                            for _ in 0..extra {
+                                match lx.bump() {
+                                    Some(b) if (0x80..=0xBF).contains(&b) => {}
+                                    _ => {
+                                        return Err(lx.err("invalid UTF-8 in string literal"))
+                                    }
+                                }
+                            }
+                            match std::str::from_utf8(&lx.src[start..lx.pos]) {
+                                Ok(seq) => s.push_str(seq),
+                                Err(_) => {
+                                    return Err(lx.err("invalid UTF-8 in string literal"))
+                                }
+                            }
+                        }
                     }
                 }
                 Tok::Str(s)
@@ -373,7 +400,15 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
                     _ => Tok::Ident(word.to_string()),
                 }
             }
-            other => return Err(lx.err(format!("unexpected character '{}'", other as char))),
+            other => {
+                // Outside string literals the language is ASCII; report the
+                // whole (possibly multi-byte) character, not its lead byte.
+                let ch = std::str::from_utf8(&lx.src[lx.pos..])
+                    .ok()
+                    .and_then(|rest| rest.chars().next())
+                    .unwrap_or(other as char);
+                return Err(lx.err(format!("unexpected character '{ch}'")));
+            }
         };
         out.push(Token { tok, line, col });
     }
@@ -442,6 +477,31 @@ mod tests {
             kinds(r#""a\nb\"c""#),
             vec![Tok::Str("a\nb\"c".into()), Tok::Eof]
         );
+    }
+
+    #[test]
+    fn multibyte_string_literals_survive() {
+        // Two-, three-, and four-byte UTF-8 sequences round-trip intact.
+        assert_eq!(
+            kinds("\"µ→bb\""),
+            vec![Tok::Str("µ→bb".into()), Tok::Eof]
+        );
+        assert_eq!(
+            kinds("\"αβγ 𝛘² ok\""),
+            vec![Tok::Str("αβγ 𝛘² ok".into()), Tok::Eof]
+        );
+        // Mixed with escapes.
+        assert_eq!(
+            kinds(r#""µ\n→""#),
+            vec![Tok::Str("µ\n→".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn non_ascii_outside_strings_is_an_error() {
+        let err = lex("let µ = 1;").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unexpected character 'µ'"), "got: {msg}");
     }
 
     #[test]

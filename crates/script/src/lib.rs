@@ -3,7 +3,7 @@
 //! The paper's reference implementation ships user analysis code to the grid
 //! as Java classes or [PNUTS] scripts, reloaded on the fly between runs
 //! (§3.5, §3.6). IPAScript is the Rust equivalent: a small, dynamically
-//! typed language compiled to an AST and interpreted by each analysis
+//! typed language compiled to an AST and executed by each analysis
 //! engine. A script defines up to three entry points:
 //!
 //! ```text
@@ -18,9 +18,18 @@
 //! Scripts interact with the outside world only through the [`Host`]
 //! interface (histogram booking/filling, logging), which the engine backs
 //! with an AIDA [`ipa_aida::Tree`] — exactly the paper's AIDA pattern.
-//! The interpreter is *fuel-limited*: a runaway loop in user code aborts
-//! with [`ScriptError::OutOfFuel`] instead of wedging an engine, a
-//! requirement for an interactive service that executes untrusted code.
+//! Execution is *fuel-limited*: a runaway loop in user code aborts with
+//! [`ScriptError::OutOfFuel`] instead of wedging an engine, a requirement
+//! for an interactive service that executes untrusted code.
+//!
+//! Two backends execute the same AST behind the [`ScriptEngine`] trait:
+//!
+//! - [`vm::Vm`] (default): a compile-to-bytecode stack VM. Names resolve
+//!   to flat slots at compile time ([`resolve::compile_program`]), so the
+//!   per-record hot path never hashes a string.
+//! - [`Interpreter`]: the original tree-walk, retained as the semantic
+//!   oracle for differential testing and selectable via
+//!   [`ScriptBackend::Interp`] / `IPA_SCRIPT_BACKEND=interp`.
 //!
 //! Language summary: `let`, assignment, `if`/`else`, `while`, `for x in
 //! a..b`, `fn`, `return`, `break`, `continue`; values are null, booleans,
@@ -32,32 +41,135 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod bytecode;
 pub mod error;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
+pub mod resolve;
 pub mod stdlib;
 pub mod value;
+pub mod vm;
 
 pub use ast::Program;
 pub use error::ScriptError;
 pub use interp::{AidaHost, Host, Interpreter, NullHost, DEFAULT_FUEL};
 pub use parser::compile;
-pub use value::Value;
+pub use stdlib::Builtin;
+pub use value::{RecordRef, Value};
+pub use vm::Vm;
+
+/// Which execution backend runs IPAScript.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ScriptBackend {
+    /// The original AST tree-walk ([`Interpreter`]) — the semantic oracle.
+    Interp,
+    /// The bytecode VM ([`vm::Vm`]) — compile-time name resolution, flat
+    /// slot frames, and a dense dispatch loop. The default.
+    #[default]
+    Vm,
+}
+
+impl ScriptBackend {
+    /// Read the backend from `IPA_SCRIPT_BACKEND` (`interp`/`vm`),
+    /// defaulting to [`ScriptBackend::Vm`] when unset or unrecognized.
+    pub fn from_env() -> Self {
+        match std::env::var("IPA_SCRIPT_BACKEND") {
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "interp" | "interpreter" | "ast" | "tree" => ScriptBackend::Interp,
+                "vm" | "bytecode" => ScriptBackend::Vm,
+                _ => ScriptBackend::default(),
+            },
+            Err(_) => ScriptBackend::default(),
+        }
+    }
+}
+
+impl std::fmt::Display for ScriptBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScriptBackend::Interp => write!(f, "interp"),
+            ScriptBackend::Vm => write!(f, "vm"),
+        }
+    }
+}
+
+/// A running script: either backend, same observable behavior. The engine
+/// holds one per analysis and drives it through the standard lifecycle —
+/// `run_init` once, `process` per record, `run_end` after the last one.
+pub trait ScriptEngine: Send {
+    /// Run top-level statements then `init()` if defined. Call once per run.
+    fn run_init(&mut self, host: &mut dyn Host) -> Result<(), ScriptError>;
+    /// Feed one record handle to `process(record)` — the per-event hot path.
+    fn process(&mut self, host: &mut dyn Host, record: RecordRef) -> Result<(), ScriptError>;
+    /// Run `end()` if defined. Call after the last record.
+    fn run_end(&mut self, host: &mut dyn Host) -> Result<(), ScriptError>;
+    /// Call a named user function with arguments (does not refill fuel).
+    fn call(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        host: &mut dyn Host,
+    ) -> Result<Value, ScriptError>;
+    /// Read a global variable (inspection from tests/tools).
+    fn global(&self, name: &str) -> Option<Value>;
+    /// Override the per-entry-point fuel budget.
+    fn set_fuel(&mut self, fuel: u64);
+    /// Which backend this engine is.
+    fn backend(&self) -> ScriptBackend;
+}
+
+/// Build a script engine for `program` using the requested backend.
+///
+/// Compilation to bytecode can fail only on pathological inputs (more than
+/// 65 535 constants, identifiers, or functions); the tree-walk never fails
+/// to construct.
+pub fn engine_for(
+    program: &Program,
+    backend: ScriptBackend,
+) -> Result<Box<dyn ScriptEngine>, ScriptError> {
+    match backend {
+        ScriptBackend::Interp => Ok(Box::new(Interpreter::new(program))),
+        ScriptBackend::Vm => Ok(Box::new(Vm::new(resolve::compile_program(program)?))),
+    }
+}
 
 /// Convenience: compile a script and run it against a host as an analysis —
-/// `init()`, `process(record)` per record, then `end()`.
+/// `init()`, `process(record)` per record, then `end()`. Uses the backend
+/// selected by `IPA_SCRIPT_BACKEND` (default: the bytecode VM).
 pub fn run_analysis(
     source: &str,
     records: &[ipa_dataset::AnyRecord],
     host: &mut dyn Host,
 ) -> Result<(), ScriptError> {
     let program = compile(source)?;
-    let mut interp = Interpreter::new(&program);
-    interp.run_init(host)?;
+    let mut engine = engine_for(&program, ScriptBackend::from_env())?;
+    engine.run_init(host)?;
     for r in records {
-        interp.process_record(host, r)?;
+        engine.process(host, RecordRef::one(std::sync::Arc::new(r.clone())))?;
     }
-    interp.run_end(host)?;
+    engine.run_end(host)?;
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_backend_is_the_vm() {
+        assert_eq!(ScriptBackend::default(), ScriptBackend::Vm);
+        assert_eq!(ScriptBackend::Vm.to_string(), "vm");
+        assert_eq!(ScriptBackend::Interp.to_string(), "interp");
+    }
+
+    #[test]
+    fn engine_for_builds_both_backends() {
+        let p = compile("fn process(e) { }").unwrap();
+        let interp = engine_for(&p, ScriptBackend::Interp).unwrap();
+        let vm = engine_for(&p, ScriptBackend::Vm).unwrap();
+        assert_eq!(interp.backend(), ScriptBackend::Interp);
+        assert_eq!(vm.backend(), ScriptBackend::Vm);
+    }
 }

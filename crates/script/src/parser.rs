@@ -62,6 +62,7 @@ impl Parser {
             source: source.to_string(),
             ..Program::default()
         };
+        let mut top_level = Vec::new();
         while *self.peek() != Tok::Eof {
             if *self.peek() == Tok::Fn {
                 let f = self.parse_function()?;
@@ -70,9 +71,10 @@ impl Parser {
                 }
                 program.functions.insert(f.name.clone(), Arc::new(f));
             } else {
-                program.top_level.push(self.parse_stmt()?);
+                top_level.push(self.parse_stmt()?);
             }
         }
+        program.top_level = Arc::new(top_level);
         Ok(program)
     }
 

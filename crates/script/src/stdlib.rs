@@ -1,10 +1,21 @@
 //! Builtin functions: math, strings, arrays, and the analysis host calls.
+//!
+//! Builtins are identified by the dense [`Builtin`] enum so the bytecode
+//! resolver can bind call sites at compile time and the VM can dispatch
+//! through a jump-table `match` instead of a string comparison chain. The
+//! tree-walk interpreter still enters through [`call_builtin`], which is a
+//! name lookup in front of the same [`dispatch_builtin`].
 
 use ipa_dataset::RecordFields;
 
 use crate::error::ScriptError;
 use crate::interp::Host;
 use crate::value::Value;
+
+/// Maximum bins a script may book per histogram axis. Booking is host
+/// memory, so a typo like `h1("x", 1e12, …)` must fail in the script, not
+/// attempt a terabyte-scale allocation.
+pub const MAX_BINS: usize = 1_000_000;
 
 fn want_num(v: &Value, what: &str, line: u32) -> Result<f64, ScriptError> {
     v.as_num().ok_or_else(|| {
@@ -23,6 +34,52 @@ fn want_str<'a>(v: &'a Value, what: &str, line: u32) -> Result<&'a str, ScriptEr
             line,
         )),
     }
+}
+
+/// Checked bin-count conversion for `h1`/`h2`/`prof`: rejects non-finite,
+/// non-integral, zero/negative, and over-cap counts instead of silently
+/// truncating through `as usize`.
+fn want_bins(v: &Value, what: &str, line: u32) -> Result<usize, ScriptError> {
+    let n = want_num(v, what, line)?;
+    if !n.is_finite() || n.fract() != 0.0 {
+        return Err(ScriptError::runtime(
+            format!("{what} must be a whole number, got {n}"),
+            line,
+        ));
+    }
+    if n < 1.0 {
+        return Err(ScriptError::runtime(
+            format!("{what} must be at least 1, got {n}"),
+            line,
+        ));
+    }
+    if n > MAX_BINS as f64 {
+        return Err(ScriptError::runtime(
+            format!("{what} must be at most {MAX_BINS}, got {n}"),
+            line,
+        ));
+    }
+    Ok(n as usize)
+}
+
+/// Checked numeric-to-index conversion shared by `substr()` and `slice()`:
+/// NaN/infinite and negative values are errors instead of silently
+/// saturating to 0; fractional parts truncate toward zero.
+fn want_index(v: &Value, what: &str, line: u32) -> Result<usize, ScriptError> {
+    let n = want_num(v, what, line)?;
+    if !n.is_finite() {
+        return Err(ScriptError::runtime(
+            format!("{what} must be finite, got {n}"),
+            line,
+        ));
+    }
+    if n < 0.0 {
+        return Err(ScriptError::runtime(
+            format!("{what} must not be negative, got {n}"),
+            line,
+        ));
+    }
+    Ok(n as usize)
 }
 
 fn arity(
@@ -46,55 +103,294 @@ fn arity(
     }
 }
 
-/// Try to dispatch a builtin. Returns `None` when `name` is not a builtin so
-/// the interpreter can fall back to user functions.
+/// Dense builtin identifiers. The bytecode resolver stores one of these in
+/// each `CallBuiltin` instruction; user functions win name clashes, so the
+/// resolver consults [`Builtin::lookup`] only after the function table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `sqrt(x)`
+    Sqrt,
+    /// `abs(x)`
+    Abs,
+    /// `ln(x)`
+    Ln,
+    /// `log10(x)`
+    Log10,
+    /// `exp(x)`
+    Exp,
+    /// `sin(x)`
+    Sin,
+    /// `cos(x)`
+    Cos,
+    /// `tan(x)`
+    Tan,
+    /// `floor(x)`
+    Floor,
+    /// `ceil(x)`
+    Ceil,
+    /// `round(x)`
+    Round,
+    /// `pow(a, b)`
+    Pow,
+    /// `atan2(a, b)`
+    Atan2,
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+    /// `pi()`
+    Pi,
+    /// `num(v)`
+    Num,
+    /// `str(v)`
+    Str,
+    /// `is_null(v)`
+    IsNull,
+    /// `len(s_or_array)`
+    Len,
+    /// `substr(s, start, n)`
+    Substr,
+    /// `contains(s, sub)`
+    Contains,
+    /// `count_matches(s, sub)`
+    CountMatches,
+    /// `upper(s)`
+    Upper,
+    /// `lower(s)`
+    Lower,
+    /// `append(array, v)`
+    Append,
+    /// `field(record, name)`
+    Field,
+    /// `fields(record)`
+    Fields,
+    /// `h1(path, nbins, lo, hi)`
+    H1,
+    /// `h2(path, nx, xlo, xhi, ny, ylo, yhi)`
+    H2,
+    /// `prof(path, nbins, lo, hi)`
+    Prof,
+    /// `fill(path, x, w?)`
+    Fill,
+    /// `fill2(path, x, y, w?)`
+    Fill2,
+    /// `pfill(path, x, y, w?)`
+    Pfill,
+    /// `log(v)`
+    Log,
+    /// `cloud1(path)`
+    Cloud1,
+    /// `tuple(path, columns)`
+    Tuple,
+    /// `tfill(path, v…)`
+    Tfill,
+    /// `cfill(path, x, w?)`
+    Cfill,
+    /// `sum(array)`
+    Sum,
+    /// `avg(array)`
+    Avg,
+    /// `min_of(array)`
+    MinOf,
+    /// `max_of(array)`
+    MaxOf,
+    /// `sort(array)`
+    Sort,
+    /// `reverse(array_or_s)`
+    Reverse,
+    /// `slice(array, start, n)`
+    Slice,
+    /// `split(s, sep)`
+    Split,
+    /// `join(array, sep)`
+    Join,
+    /// `trim(s)`
+    Trim,
+}
+
+impl Builtin {
+    /// Resolve a builtin by its script-visible name.
+    pub fn lookup(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "sqrt" => Builtin::Sqrt,
+            "abs" => Builtin::Abs,
+            "ln" => Builtin::Ln,
+            "log10" => Builtin::Log10,
+            "exp" => Builtin::Exp,
+            "sin" => Builtin::Sin,
+            "cos" => Builtin::Cos,
+            "tan" => Builtin::Tan,
+            "floor" => Builtin::Floor,
+            "ceil" => Builtin::Ceil,
+            "round" => Builtin::Round,
+            "pow" => Builtin::Pow,
+            "atan2" => Builtin::Atan2,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "pi" => Builtin::Pi,
+            "num" => Builtin::Num,
+            "str" => Builtin::Str,
+            "is_null" => Builtin::IsNull,
+            "len" => Builtin::Len,
+            "substr" => Builtin::Substr,
+            "contains" => Builtin::Contains,
+            "count_matches" => Builtin::CountMatches,
+            "upper" => Builtin::Upper,
+            "lower" => Builtin::Lower,
+            "append" => Builtin::Append,
+            "field" => Builtin::Field,
+            "fields" => Builtin::Fields,
+            "h1" => Builtin::H1,
+            "h2" => Builtin::H2,
+            "prof" => Builtin::Prof,
+            "fill" => Builtin::Fill,
+            "fill2" => Builtin::Fill2,
+            "pfill" => Builtin::Pfill,
+            "log" => Builtin::Log,
+            "cloud1" => Builtin::Cloud1,
+            "tuple" => Builtin::Tuple,
+            "tfill" => Builtin::Tfill,
+            "cfill" => Builtin::Cfill,
+            "sum" => Builtin::Sum,
+            "avg" => Builtin::Avg,
+            "min_of" => Builtin::MinOf,
+            "max_of" => Builtin::MaxOf,
+            "sort" => Builtin::Sort,
+            "reverse" => Builtin::Reverse,
+            "slice" => Builtin::Slice,
+            "split" => Builtin::Split,
+            "join" => Builtin::Join,
+            "trim" => Builtin::Trim,
+            _ => return None,
+        })
+    }
+
+    /// The script-visible name (for error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::Sqrt => "sqrt",
+            Builtin::Abs => "abs",
+            Builtin::Ln => "ln",
+            Builtin::Log10 => "log10",
+            Builtin::Exp => "exp",
+            Builtin::Sin => "sin",
+            Builtin::Cos => "cos",
+            Builtin::Tan => "tan",
+            Builtin::Floor => "floor",
+            Builtin::Ceil => "ceil",
+            Builtin::Round => "round",
+            Builtin::Pow => "pow",
+            Builtin::Atan2 => "atan2",
+            Builtin::Min => "min",
+            Builtin::Max => "max",
+            Builtin::Pi => "pi",
+            Builtin::Num => "num",
+            Builtin::Str => "str",
+            Builtin::IsNull => "is_null",
+            Builtin::Len => "len",
+            Builtin::Substr => "substr",
+            Builtin::Contains => "contains",
+            Builtin::CountMatches => "count_matches",
+            Builtin::Upper => "upper",
+            Builtin::Lower => "lower",
+            Builtin::Append => "append",
+            Builtin::Field => "field",
+            Builtin::Fields => "fields",
+            Builtin::H1 => "h1",
+            Builtin::H2 => "h2",
+            Builtin::Prof => "prof",
+            Builtin::Fill => "fill",
+            Builtin::Fill2 => "fill2",
+            Builtin::Pfill => "pfill",
+            Builtin::Log => "log",
+            Builtin::Cloud1 => "cloud1",
+            Builtin::Tuple => "tuple",
+            Builtin::Tfill => "tfill",
+            Builtin::Cfill => "cfill",
+            Builtin::Sum => "sum",
+            Builtin::Avg => "avg",
+            Builtin::MinOf => "min_of",
+            Builtin::MaxOf => "max_of",
+            Builtin::Sort => "sort",
+            Builtin::Reverse => "reverse",
+            Builtin::Slice => "slice",
+            Builtin::Split => "split",
+            Builtin::Join => "join",
+            Builtin::Trim => "trim",
+        }
+    }
+}
+
+/// Try to dispatch a builtin by name. Returns `None` when `name` is not a
+/// builtin so the interpreter can report an unknown function.
 pub fn call_builtin(
     name: &str,
     args: &[Value],
     line: u32,
     host: &mut dyn Host,
 ) -> Option<Result<Value, ScriptError>> {
-    Some(match name {
+    Builtin::lookup(name).map(|b| dispatch_builtin(b, args, line, host))
+}
+
+/// Execute a resolved builtin. Both backends funnel through this, so the
+/// VM and the tree-walk interpreter agree on results and error messages.
+pub fn dispatch_builtin(
+    b: Builtin,
+    args: &[Value],
+    line: u32,
+    host: &mut dyn Host,
+) -> Result<Value, ScriptError> {
+    let name = b.name();
+    match b {
         // ------------------------------------------------------- math ----
-        "sqrt" | "abs" | "ln" | "log10" | "exp" | "sin" | "cos" | "tan" | "floor" | "ceil"
-        | "round" => (|| {
+        Builtin::Sqrt
+        | Builtin::Abs
+        | Builtin::Ln
+        | Builtin::Log10
+        | Builtin::Exp
+        | Builtin::Sin
+        | Builtin::Cos
+        | Builtin::Tan
+        | Builtin::Floor
+        | Builtin::Ceil
+        | Builtin::Round => {
             arity(name, args, 1..=1, line)?;
             let x = want_num(&args[0], "argument", line)?;
-            let y = match name {
-                "sqrt" => x.sqrt(),
-                "abs" => x.abs(),
-                "ln" => x.ln(),
-                "log10" => x.log10(),
-                "exp" => x.exp(),
-                "sin" => x.sin(),
-                "cos" => x.cos(),
-                "tan" => x.tan(),
-                "floor" => x.floor(),
-                "ceil" => x.ceil(),
-                "round" => x.round(),
+            let y = match b {
+                Builtin::Sqrt => x.sqrt(),
+                Builtin::Abs => x.abs(),
+                Builtin::Ln => x.ln(),
+                Builtin::Log10 => x.log10(),
+                Builtin::Exp => x.exp(),
+                Builtin::Sin => x.sin(),
+                Builtin::Cos => x.cos(),
+                Builtin::Tan => x.tan(),
+                Builtin::Floor => x.floor(),
+                Builtin::Ceil => x.ceil(),
+                Builtin::Round => x.round(),
                 _ => unreachable!(),
             };
             Ok(Value::Num(y))
-        })(),
-        "pow" | "atan2" | "min" | "max" => (|| {
+        }
+        Builtin::Pow | Builtin::Atan2 | Builtin::Min | Builtin::Max => {
             arity(name, args, 2..=2, line)?;
             let a = want_num(&args[0], "argument", line)?;
-            let b = want_num(&args[1], "argument", line)?;
-            let y = match name {
-                "pow" => a.powf(b),
-                "atan2" => a.atan2(b),
-                "min" => a.min(b),
-                "max" => a.max(b),
+            let bb = want_num(&args[1], "argument", line)?;
+            let y = match b {
+                Builtin::Pow => a.powf(bb),
+                Builtin::Atan2 => a.atan2(bb),
+                Builtin::Min => a.min(bb),
+                Builtin::Max => a.max(bb),
                 _ => unreachable!(),
             };
             Ok(Value::Num(y))
-        })(),
-        "pi" => (|| {
+        }
+        Builtin::Pi => {
             arity(name, args, 0..=0, line)?;
             Ok(Value::Num(std::f64::consts::PI))
-        })(),
+        }
         // ------------------------------------------------ conversions ----
-        "num" => (|| {
+        Builtin::Num => {
             arity(name, args, 1..=1, line)?;
             Ok(match &args[0] {
                 Value::Num(n) => Value::Num(*n),
@@ -106,17 +402,17 @@ pub fn call_builtin(
                     .unwrap_or(Value::Null),
                 _ => Value::Null,
             })
-        })(),
-        "str" => (|| {
+        }
+        Builtin::Str => {
             arity(name, args, 1..=1, line)?;
             Ok(Value::Str(format!("{}", args[0])))
-        })(),
-        "is_null" => (|| {
+        }
+        Builtin::IsNull => {
             arity(name, args, 1..=1, line)?;
             Ok(Value::Bool(matches!(args[0], Value::Null)))
-        })(),
+        }
         // ------------------------------------------------ strings/arrays --
-        "len" => (|| {
+        Builtin::Len => {
             arity(name, args, 1..=1, line)?;
             match &args[0] {
                 Value::Str(s) => Ok(Value::Num(s.chars().count() as f64)),
@@ -126,22 +422,22 @@ pub fn call_builtin(
                     line,
                 )),
             }
-        })(),
-        "substr" => (|| {
+        }
+        Builtin::Substr => {
             arity(name, args, 3..=3, line)?;
             let s = want_str(&args[0], "substr() target", line)?;
-            let start = want_num(&args[1], "substr() start", line)? as usize;
-            let n = want_num(&args[2], "substr() length", line)? as usize;
+            let start = want_index(&args[1], "substr() start", line)?;
+            let n = want_index(&args[2], "substr() length", line)?;
             let out: String = s.chars().skip(start).take(n).collect();
             Ok(Value::Str(out))
-        })(),
-        "contains" => (|| {
+        }
+        Builtin::Contains => {
             arity(name, args, 2..=2, line)?;
             let s = want_str(&args[0], "contains() target", line)?;
             let sub = want_str(&args[1], "contains() pattern", line)?;
             Ok(Value::Bool(s.contains(sub)))
-        })(),
-        "count_matches" => (|| {
+        }
+        Builtin::CountMatches => {
             arity(name, args, 2..=2, line)?;
             let s = want_str(&args[0], "count_matches() target", line)?;
             let sub = want_str(&args[1], "count_matches() pattern", line)?;
@@ -154,20 +450,20 @@ pub fn call_builtin(
                 .filter(|&i| &sb[i..i + mb.len()] == mb)
                 .count();
             Ok(Value::Num(c as f64))
-        })(),
-        "upper" => (|| {
+        }
+        Builtin::Upper => {
             arity(name, args, 1..=1, line)?;
             Ok(Value::Str(
                 want_str(&args[0], "upper() target", line)?.to_uppercase(),
             ))
-        })(),
-        "lower" => (|| {
+        }
+        Builtin::Lower => {
             arity(name, args, 1..=1, line)?;
             Ok(Value::Str(
                 want_str(&args[0], "lower() target", line)?.to_lowercase(),
             ))
-        })(),
-        "append" => (|| {
+        }
+        Builtin::Append => {
             arity(name, args, 2..=2, line)?;
             match &args[0] {
                 Value::Array(a) => {
@@ -180,9 +476,9 @@ pub fn call_builtin(
                     line,
                 )),
             }
-        })(),
+        }
         // ---------------------------------------------------- records ----
-        "field" => (|| {
+        Builtin::Field => {
             arity(name, args, 2..=2, line)?;
             let Value::Record(r) = &args[0] else {
                 return Err(ScriptError::runtime(
@@ -198,8 +494,8 @@ pub fn call_builtin(
                     line,
                 )),
             }
-        })(),
-        "fields" => (|| {
+        }
+        Builtin::Fields => {
             arity(name, args, 1..=1, line)?;
             let Value::Record(r) = &args[0] else {
                 return Err(ScriptError::runtime(
@@ -213,42 +509,42 @@ pub fn call_builtin(
                     .map(|n| Value::Str(n.to_string()))
                     .collect(),
             ))
-        })(),
+        }
         // ------------------------------------------------------- host ----
-        "h1" => (|| {
+        Builtin::H1 => {
             arity(name, args, 4..=4, line)?;
             let path = want_str(&args[0], "h1() path", line)?;
-            let nbins = want_num(&args[1], "h1() nbins", line)? as usize;
+            let nbins = want_bins(&args[1], "h1() nbins", line)?;
             let lo = want_num(&args[2], "h1() lo", line)?;
             let hi = want_num(&args[3], "h1() hi", line)?;
             host.book_h1(path, nbins, lo, hi)
                 .map_err(|e| ScriptError::runtime(e, line))?;
             Ok(Value::Null)
-        })(),
-        "h2" => (|| {
+        }
+        Builtin::H2 => {
             arity(name, args, 7..=7, line)?;
             let path = want_str(&args[0], "h2() path", line)?;
-            let nx = want_num(&args[1], "h2() nx", line)? as usize;
+            let nx = want_bins(&args[1], "h2() nx", line)?;
             let xlo = want_num(&args[2], "h2() xlo", line)?;
             let xhi = want_num(&args[3], "h2() xhi", line)?;
-            let ny = want_num(&args[4], "h2() ny", line)? as usize;
+            let ny = want_bins(&args[4], "h2() ny", line)?;
             let ylo = want_num(&args[5], "h2() ylo", line)?;
             let yhi = want_num(&args[6], "h2() yhi", line)?;
             host.book_h2(path, nx, xlo, xhi, ny, ylo, yhi)
                 .map_err(|e| ScriptError::runtime(e, line))?;
             Ok(Value::Null)
-        })(),
-        "prof" => (|| {
+        }
+        Builtin::Prof => {
             arity(name, args, 4..=4, line)?;
             let path = want_str(&args[0], "prof() path", line)?;
-            let nbins = want_num(&args[1], "prof() nbins", line)? as usize;
+            let nbins = want_bins(&args[1], "prof() nbins", line)?;
             let lo = want_num(&args[2], "prof() lo", line)?;
             let hi = want_num(&args[3], "prof() hi", line)?;
             host.book_profile(path, nbins, lo, hi)
                 .map_err(|e| ScriptError::runtime(e, line))?;
             Ok(Value::Null)
-        })(),
-        "fill" => (|| {
+        }
+        Builtin::Fill => {
             arity(name, args, 2..=3, line)?;
             let path = want_str(&args[0], "fill() path", line)?;
             let x = want_num(&args[1], "fill() x", line)?;
@@ -260,8 +556,8 @@ pub fn call_builtin(
             host.fill1(path, x, w)
                 .map_err(|e| ScriptError::runtime(e, line))?;
             Ok(Value::Null)
-        })(),
-        "fill2" => (|| {
+        }
+        Builtin::Fill2 => {
             arity(name, args, 3..=4, line)?;
             let path = want_str(&args[0], "fill2() path", line)?;
             let x = want_num(&args[1], "fill2() x", line)?;
@@ -274,8 +570,8 @@ pub fn call_builtin(
             host.fill2(path, x, y, w)
                 .map_err(|e| ScriptError::runtime(e, line))?;
             Ok(Value::Null)
-        })(),
-        "pfill" => (|| {
+        }
+        Builtin::Pfill => {
             arity(name, args, 3..=4, line)?;
             let path = want_str(&args[0], "pfill() path", line)?;
             let x = want_num(&args[1], "pfill() x", line)?;
@@ -288,20 +584,20 @@ pub fn call_builtin(
             host.fill_profile(path, x, y, w)
                 .map_err(|e| ScriptError::runtime(e, line))?;
             Ok(Value::Null)
-        })(),
-        "log" => (|| {
+        }
+        Builtin::Log => {
             arity(name, args, 1..=1, line)?;
             host.log(&format!("{}", args[0]));
             Ok(Value::Null)
-        })(),
-        "cloud1" => (|| {
+        }
+        Builtin::Cloud1 => {
             arity(name, args, 1..=1, line)?;
             let path = want_str(&args[0], "cloud1() path", line)?;
             host.book_cloud1(path)
                 .map_err(|e| ScriptError::runtime(e, line))?;
             Ok(Value::Null)
-        })(),
-        "tuple" => (|| {
+        }
+        Builtin::Tuple => {
             arity(name, args, 2..=2, line)?;
             let path = want_str(&args[0], "tuple() path", line)?;
             let cols_text = want_str(&args[1], "tuple() columns", line)?;
@@ -315,8 +611,8 @@ pub fn call_builtin(
             host.book_tuple(path, &cols)
                 .map_err(|e| ScriptError::runtime(e, line))?;
             Ok(Value::Null)
-        })(),
-        "tfill" => (|| {
+        }
+        Builtin::Tfill => {
             arity(name, args, 2..=17, line)?;
             let path = want_str(&args[0], "tfill() path", line)?;
             let mut row = Vec::with_capacity(args.len() - 1);
@@ -326,8 +622,8 @@ pub fn call_builtin(
             host.fill_tuple(path, &row)
                 .map_err(|e| ScriptError::runtime(e, line))?;
             Ok(Value::Null)
-        })(),
-        "cfill" => (|| {
+        }
+        Builtin::Cfill => {
             arity(name, args, 2..=3, line)?;
             let path = want_str(&args[0], "cfill() path", line)?;
             let x = want_num(&args[1], "cfill() x", line)?;
@@ -339,9 +635,9 @@ pub fn call_builtin(
             host.fill_cloud1(path, x, w)
                 .map_err(|e| ScriptError::runtime(e, line))?;
             Ok(Value::Null)
-        })(),
+        }
         // ----------------------------------------------- array helpers ---
-        "sum" | "avg" | "min_of" | "max_of" => (|| {
+        Builtin::Sum | Builtin::Avg | Builtin::MinOf | Builtin::MaxOf => {
             arity(name, args, 1..=1, line)?;
             let Value::Array(a) = &args[0] else {
                 return Err(ScriptError::runtime(
@@ -354,21 +650,21 @@ pub fn call_builtin(
                 nums.push(want_num(v, "array element", line)?);
             }
             if nums.is_empty() {
-                return Ok(match name {
-                    "sum" => Value::Num(0.0),
+                return Ok(match b {
+                    Builtin::Sum => Value::Num(0.0),
                     _ => Value::Null,
                 });
             }
-            let out = match name {
-                "sum" => nums.iter().sum(),
-                "avg" => nums.iter().sum::<f64>() / nums.len() as f64,
-                "min_of" => nums.iter().copied().fold(f64::INFINITY, f64::min),
-                "max_of" => nums.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            let out = match b {
+                Builtin::Sum => nums.iter().sum(),
+                Builtin::Avg => nums.iter().sum::<f64>() / nums.len() as f64,
+                Builtin::MinOf => nums.iter().copied().fold(f64::INFINITY, f64::min),
+                Builtin::MaxOf => nums.iter().copied().fold(f64::NEG_INFINITY, f64::max),
                 _ => unreachable!(),
             };
             Ok(Value::Num(out))
-        })(),
-        "sort" => (|| {
+        }
+        Builtin::Sort => {
             arity(name, args, 1..=1, line)?;
             let Value::Array(a) = &args[0] else {
                 return Err(ScriptError::runtime(
@@ -382,8 +678,8 @@ pub fn call_builtin(
             }
             nums.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
             Ok(Value::Array(nums.into_iter().map(Value::Num).collect()))
-        })(),
-        "reverse" => (|| {
+        }
+        Builtin::Reverse => {
             arity(name, args, 1..=1, line)?;
             match &args[0] {
                 Value::Array(a) => {
@@ -400,8 +696,8 @@ pub fn call_builtin(
                     line,
                 )),
             }
-        })(),
-        "slice" => (|| {
+        }
+        Builtin::Slice => {
             arity(name, args, 3..=3, line)?;
             let Value::Array(a) = &args[0] else {
                 return Err(ScriptError::runtime(
@@ -409,13 +705,13 @@ pub fn call_builtin(
                     line,
                 ));
             };
-            let start = want_num(&args[1], "slice() start", line)?.max(0.0) as usize;
-            let n = want_num(&args[2], "slice() length", line)?.max(0.0) as usize;
+            let start = want_index(&args[1], "slice() start", line)?;
+            let n = want_index(&args[2], "slice() length", line)?;
             Ok(Value::Array(
                 a.iter().skip(start).take(n).cloned().collect(),
             ))
-        })(),
-        "split" => (|| {
+        }
+        Builtin::Split => {
             arity(name, args, 2..=2, line)?;
             let s = want_str(&args[0], "split() target", line)?;
             let sep = want_str(&args[1], "split() separator", line)?;
@@ -428,8 +724,8 @@ pub fn call_builtin(
             Ok(Value::Array(
                 s.split(sep).map(|p| Value::Str(p.to_string())).collect(),
             ))
-        })(),
-        "join" => (|| {
+        }
+        Builtin::Join => {
             arity(name, args, 2..=2, line)?;
             let Value::Array(a) = &args[0] else {
                 return Err(ScriptError::runtime(
@@ -440,17 +736,16 @@ pub fn call_builtin(
             let sep = want_str(&args[1], "join() separator", line)?;
             let parts: Vec<String> = a.iter().map(|v| format!("{v}")).collect();
             Ok(Value::Str(parts.join(sep)))
-        })(),
-        "trim" => (|| {
+        }
+        Builtin::Trim => {
             arity(name, args, 1..=1, line)?;
             Ok(Value::Str(
                 want_str(&args[0], "trim() target", line)?
                     .trim()
                     .to_string(),
             ))
-        })(),
-        _ => return None,
-    })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -460,6 +755,18 @@ mod tests {
 
     fn call(name: &str, args: &[Value]) -> Result<Value, ScriptError> {
         call_builtin(name, args, 1, &mut NullHost).expect("is a builtin")
+    }
+
+    #[test]
+    fn lookup_and_name_round_trip() {
+        for name in [
+            "sqrt", "pow", "pi", "num", "str", "is_null", "len", "substr", "h1", "h2", "prof",
+            "fill", "log", "tuple", "tfill", "sum", "slice", "split", "trim",
+        ] {
+            let b = Builtin::lookup(name).expect("known builtin");
+            assert_eq!(b.name(), name);
+        }
+        assert!(Builtin::lookup("definitely_not_builtin").is_none());
     }
 
     #[test]
@@ -518,6 +825,89 @@ mod tests {
             call("count_matches", &[Value::Str("AAAA".into()), Value::Str("AA".into())]).unwrap(),
             Value::Num(n) if n == 3.0
         ));
+    }
+
+    #[test]
+    fn substr_and_slice_reject_bad_indices() {
+        let s = Value::Str("abcdef".into());
+        let arr = Value::Array(vec![Value::Num(1.0), Value::Num(2.0), Value::Num(3.0)]);
+        // Negative start/length used to saturate to 0 silently; now an error.
+        assert!(call("substr", &[s.clone(), Value::Num(-1.0), Value::Num(2.0)]).is_err());
+        assert!(call("substr", &[s.clone(), Value::Num(0.0), Value::Num(-3.0)]).is_err());
+        assert!(call("slice", &[arr.clone(), Value::Num(-1.0), Value::Num(2.0)]).is_err());
+        assert!(call("slice", &[arr.clone(), Value::Num(0.0), Value::Num(-2.0)]).is_err());
+        // NaN and infinity are rejected too.
+        assert!(call("substr", &[s.clone(), Value::Num(f64::NAN), Value::Num(1.0)]).is_err());
+        assert!(call("slice", &[arr.clone(), Value::Num(f64::INFINITY), Value::Num(1.0)]).is_err());
+        // In-range fractional indices truncate toward zero.
+        assert!(matches!(
+            call("substr", &[s, Value::Num(1.5), Value::Num(2.9)]).unwrap(),
+            Value::Str(out) if out == "bc"
+        ));
+        // Over-length requests still clamp at the end (half-open take).
+        assert!(matches!(
+            call("slice", &[arr, Value::Num(1.0), Value::Num(99.0)]).unwrap(),
+            Value::Array(v) if v.len() == 2
+        ));
+    }
+
+    #[test]
+    fn bin_counts_are_validated() {
+        let book = |nbins: f64| {
+            call(
+                "h1",
+                &[
+                    Value::Str("/h".into()),
+                    Value::Num(nbins),
+                    Value::Num(0.0),
+                    Value::Num(240.0),
+                ],
+            )
+        };
+        // Rejections: NaN, infinity, fractional, zero, negative, over-cap.
+        for bad in [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            2.5,
+            0.0,
+            -8.0,
+            1e12,
+            (MAX_BINS + 1) as f64,
+        ] {
+            let err = book(bad).unwrap_err();
+            assert!(
+                matches!(err, ScriptError::Runtime { line: 1, .. }),
+                "nbins={bad}: expected a line-1 runtime error, got {err:?}"
+            );
+        }
+        // The boundary values are fine.
+        assert!(book(1.0).is_ok());
+        assert!(book(MAX_BINS as f64).is_ok());
+        // h2 and prof validate through the same helper.
+        assert!(call(
+            "h2",
+            &[
+                Value::Str("/h2".into()),
+                Value::Num(10.0),
+                Value::Num(0.0),
+                Value::Num(1.0),
+                Value::Num(f64::NAN),
+                Value::Num(0.0),
+                Value::Num(1.0),
+            ],
+        )
+        .is_err());
+        assert!(call(
+            "prof",
+            &[
+                Value::Str("/p".into()),
+                Value::Num(0.0),
+                Value::Num(0.0),
+                Value::Num(1.0),
+            ],
+        )
+        .is_err());
     }
 
     #[test]

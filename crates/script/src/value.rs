@@ -5,6 +5,56 @@ use std::sync::Arc;
 
 use ipa_dataset::{AnyRecord, FieldValue};
 
+/// A cheap, shared handle to one dataset record: either a record with its
+/// own allocation, or an index into a shared batch. Cloning the handle
+/// clones an `Arc`, never the record data — this is what lets the engine
+/// hand its `Arc<Vec<AnyRecord>>` partitions straight to scripts without a
+/// per-record deep copy.
+#[derive(Debug, Clone)]
+pub enum RecordRef {
+    /// A record with its own allocation.
+    One(Arc<AnyRecord>),
+    /// One element of a shared record batch.
+    Batch {
+        /// The shared batch.
+        batch: Arc<Vec<AnyRecord>>,
+        /// Index into the batch (checked at construction).
+        index: usize,
+    },
+}
+
+impl RecordRef {
+    /// Wrap a single shared record.
+    pub fn one(record: Arc<AnyRecord>) -> RecordRef {
+        RecordRef::One(record)
+    }
+
+    /// Point at `batch[index]` without copying.
+    ///
+    /// # Panics
+    /// Panics when `index` is out of bounds.
+    pub fn batch(batch: Arc<Vec<AnyRecord>>, index: usize) -> RecordRef {
+        assert!(index < batch.len(), "record index out of batch bounds");
+        RecordRef::Batch { batch, index }
+    }
+
+    /// Borrow the underlying record.
+    pub fn get(&self) -> &AnyRecord {
+        match self {
+            RecordRef::One(r) => r,
+            RecordRef::Batch { batch, index } => &batch[*index],
+        }
+    }
+}
+
+impl std::ops::Deref for RecordRef {
+    type Target = AnyRecord;
+
+    fn deref(&self) -> &AnyRecord {
+        self.get()
+    }
+}
+
 /// An IPAScript runtime value.
 #[derive(Debug, Clone)]
 pub enum Value {
@@ -19,7 +69,7 @@ pub enum Value {
     /// Array with value semantics.
     Array(Vec<Value>),
     /// A dataset record (shared, immutable).
-    Record(Arc<AnyRecord>),
+    Record(RecordRef),
 }
 
 impl Value {
@@ -78,7 +128,7 @@ impl Value {
             (Value::Array(a), Value::Array(b)) => {
                 a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.equals(y))
             }
-            (Value::Record(a), Value::Record(b)) => Arc::ptr_eq(a, b),
+            (Value::Record(a), Value::Record(b)) => std::ptr::eq(a.get(), b.get()),
             _ => false,
         }
     }

@@ -1,0 +1,624 @@
+//! The bytecode virtual machine: executes a [`CompiledScript`] produced
+//! by [`crate::resolve::compile_program`].
+//!
+//! The VM is a stack machine with per-frame `Vec<Option<Value>>` local
+//! slots (compile-time resolved — the hot loop never hashes a name) and a
+//! frame pool so steady-state `process()` calls allocate nothing. Fuel is
+//! one unit per dispatched instruction, charged at the top of the loop, so
+//! runaway scripts stop with [`ScriptError::OutOfFuel`] exactly like the
+//! tree-walk. All operator, indexing, and field semantics funnel through
+//! the shared helpers in [`crate::interp`], keeping the two backends
+//! bit-for-bit identical in results and error messages.
+
+use std::sync::Arc;
+
+use crate::ast::{BinOp, UnOp};
+use crate::bytecode::{CompiledScript, FnProto, Op};
+use crate::error::ScriptError;
+use crate::interp::{
+    eval_binary_values, eval_unary, field_value, index_to_usize, index_value, store_index, Host,
+    DEFAULT_FUEL, MAX_DEPTH,
+};
+use crate::stdlib::dispatch_builtin;
+use crate::value::{RecordRef, Value};
+
+/// One call frame: operand stack plus flat local slots. `None` means "this
+/// binder exists in the function but is not bound yet" — reading it is the
+/// lazy "unknown variable" error, mirroring the tree-walk's hash lookup.
+#[derive(Default)]
+struct Frame {
+    locals: Vec<Option<Value>>,
+    stack: Vec<Value>,
+}
+
+/// The bytecode interpreter: compiled script + global state. Drop-in
+/// behavioral replacement for [`crate::Interpreter`].
+pub struct Vm {
+    script: Arc<CompiledScript>,
+    /// Global slots, parallel to `script.globals`.
+    globals: Vec<Option<Value>>,
+    /// Per-entry-point fuel budget.
+    fuel_budget: u64,
+    fuel: u64,
+    depth: usize,
+    /// Recycled frames: steady-state calls allocate nothing.
+    pool: Vec<Frame>,
+    init_fn: Option<u16>,
+    process_fn: Option<u16>,
+    end_fn: Option<u16>,
+}
+
+impl Vm {
+    /// Build a VM around a resolved script.
+    pub fn new(script: CompiledScript) -> Self {
+        let globals = vec![None; script.globals.len()];
+        let init_fn = script.fn_index.get("init").copied();
+        let process_fn = script.fn_index.get("process").copied();
+        let end_fn = script.fn_index.get("end").copied();
+        Vm {
+            script: Arc::new(script),
+            globals,
+            fuel_budget: DEFAULT_FUEL,
+            fuel: DEFAULT_FUEL,
+            depth: 0,
+            pool: Vec::new(),
+            init_fn,
+            process_fn,
+            end_fn,
+        }
+    }
+
+    /// Override the per-call fuel budget (tests and paranoid deployments).
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel_budget = fuel;
+        self.fuel = fuel;
+        self
+    }
+
+    /// Run the top-level body (promoting its locals to globals on
+    /// success), then `init()` if defined. Call once per run.
+    pub fn run_init(&mut self, host: &mut dyn Host) -> Result<(), ScriptError> {
+        self.fuel = self.fuel_budget;
+        let script = Arc::clone(&self.script);
+        let proto = &script.top_level;
+        let mut frame = self.pool.pop().unwrap_or_default();
+        frame.locals.clear();
+        frame.locals.resize(proto.n_slots as usize, None);
+        frame.stack.clear();
+        let r = self.exec(&script, proto, &mut frame, host);
+        if r.is_ok() {
+            // Promote bound top-level locals into their global slots; an
+            // error skips promotion, same as the tree-walk's early return.
+            for &(l, g) in &script.promote {
+                if let Some(v) = frame.locals[l as usize].take() {
+                    self.globals[g as usize] = Some(v);
+                }
+            }
+        }
+        frame.locals.clear();
+        frame.stack.clear();
+        self.pool.push(frame);
+        r?;
+        if let Some(idx) = self.init_fn {
+            // Shares the budget refilled above — no second reset, matching
+            // the tree-walk's single refill in run_init.
+            self.call_proto(idx, Vec::new(), host)?;
+        }
+        Ok(())
+    }
+
+    /// Feed one record handle to `process(record)` — the per-event hot
+    /// path; only the `Arc` inside the handle is cloned, never the data.
+    pub fn process_ref(
+        &mut self,
+        host: &mut dyn Host,
+        record: RecordRef,
+    ) -> Result<(), ScriptError> {
+        let Some(idx) = self.process_fn else {
+            return Err(ScriptError::MissingEntryPoint("process"));
+        };
+        self.fuel = self.fuel_budget;
+        self.call_proto(idx, vec![Value::Record(record)], host)?;
+        Ok(())
+    }
+
+    /// Run `end()` if defined. Call after the last record.
+    pub fn run_end(&mut self, host: &mut dyn Host) -> Result<(), ScriptError> {
+        if let Some(idx) = self.end_fn {
+            self.fuel = self.fuel_budget;
+            self.call_proto(idx, Vec::new(), host)?;
+        }
+        Ok(())
+    }
+
+    /// Call a named user function with arguments. Does not refill fuel —
+    /// same contract as [`crate::Interpreter::call_function`].
+    pub fn call_function(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        host: &mut dyn Host,
+    ) -> Result<Value, ScriptError> {
+        let Some(&idx) = self.script.fn_index.get(name) else {
+            return Err(ScriptError::runtime(
+                format!("unknown function '{name}'"),
+                0,
+            ));
+        };
+        self.call_proto(idx, args, host)
+    }
+
+    /// Read a global variable (inspection from tests/tools).
+    pub fn global(&self, name: &str) -> Option<Value> {
+        let i = self.script.globals.iter().position(|g| g == name)?;
+        self.globals[i].clone()
+    }
+
+    /// Invoke proto `idx` with `args`, reusing a pooled frame. Performs
+    /// the same arity-then-depth check order as the tree-walk (arity
+    /// errors win over [`ScriptError::StackOverflow`]).
+    fn call_proto(
+        &mut self,
+        idx: u16,
+        args: Vec<Value>,
+        host: &mut dyn Host,
+    ) -> Result<Value, ScriptError> {
+        let script = Arc::clone(&self.script);
+        let proto = &script.protos[idx as usize];
+        if args.len() != proto.params.len() {
+            return Err(ScriptError::runtime(
+                format!(
+                    "function '{}' takes {} arguments, got {}",
+                    proto.name,
+                    proto.params.len(),
+                    args.len()
+                ),
+                proto.line,
+            ));
+        }
+        if self.depth >= MAX_DEPTH {
+            return Err(ScriptError::StackOverflow);
+        }
+        let mut frame = self.pool.pop().unwrap_or_default();
+        frame.locals.clear();
+        frame.locals.resize(proto.n_slots as usize, None);
+        frame.stack.clear();
+        // Duplicate parameter names share a slot: later args overwrite.
+        for (k, v) in args.into_iter().enumerate() {
+            frame.locals[proto.params[k] as usize] = Some(v);
+        }
+        self.depth += 1;
+        let r = self.exec(&script, proto, &mut frame, host);
+        self.depth -= 1;
+        frame.locals.clear();
+        frame.stack.clear();
+        self.pool.push(frame);
+        r
+    }
+
+    /// The dispatch loop. `script` is an `Arc` clone held by the caller so
+    /// `proto` can borrow from it while `self` stays mutable.
+    fn exec(
+        &mut self,
+        script: &Arc<CompiledScript>,
+        proto: &FnProto,
+        frame: &mut Frame,
+        host: &mut dyn Host,
+    ) -> Result<Value, ScriptError> {
+        let code = &proto.code;
+        let lines = &proto.lines;
+        let mut pc = 0usize;
+        loop {
+            self.fuel = match self.fuel.checked_sub(1) {
+                Some(f) => f,
+                None => return Err(ScriptError::OutOfFuel),
+            };
+            let op = code[pc];
+            let line = lines[pc];
+            pc += 1;
+            match op {
+                Op::Const(i) => frame.stack.push(script.consts[i as usize].clone()),
+                Op::PushNull => frame.stack.push(Value::Null),
+                Op::PushTrue => frame.stack.push(Value::Bool(true)),
+                Op::PushFalse => frame.stack.push(Value::Bool(false)),
+                Op::Pop => {
+                    frame.stack.pop().expect("operand stack underflow");
+                }
+                Op::LoadLocal { slot, name } => {
+                    match frame.locals[slot as usize].clone() {
+                        Some(v) => frame.stack.push(v),
+                        None => return Err(unknown_var(script, name, line)),
+                    }
+                }
+                Op::LoadGlobal { slot, name } => {
+                    match self.globals[slot as usize].clone() {
+                        Some(v) => frame.stack.push(v),
+                        None => return Err(unknown_var(script, name, line)),
+                    }
+                }
+                Op::LoadEither {
+                    local,
+                    global,
+                    name,
+                } => {
+                    let v = frame.locals[local as usize]
+                        .clone()
+                        .or_else(|| self.globals[global as usize].clone());
+                    match v {
+                        Some(v) => frame.stack.push(v),
+                        None => return Err(unknown_var(script, name, line)),
+                    }
+                }
+                Op::LoadUndef { name } => return Err(unknown_var(script, name, line)),
+                Op::StoreLocal { slot } => {
+                    let v = frame.stack.pop().expect("operand stack underflow");
+                    frame.locals[slot as usize] = Some(v);
+                }
+                Op::StoreEither { local, global } => {
+                    let v = frame.stack.pop().expect("operand stack underflow");
+                    if frame.locals[local as usize].is_some() {
+                        frame.locals[local as usize] = Some(v);
+                    } else if let Some(slot) = self.globals[global as usize].as_mut() {
+                        *slot = v;
+                    } else {
+                        // Implicit creation in the current scope.
+                        frame.locals[local as usize] = Some(v);
+                    }
+                }
+                Op::IndexSetLocal { name, .. }
+                | Op::IndexSetGlobal { name, .. }
+                | Op::IndexSetEither { name, .. }
+                | Op::IndexSetUndef { name } => {
+                    let idx = frame.stack.pop().expect("operand stack underflow");
+                    let v = frame.stack.pop().expect("operand stack underflow");
+                    // Index conversion errors win over unknown-variable
+                    // errors — that order is observable.
+                    let i = index_to_usize(&idx, line)?;
+                    let name_str = script.names[name as usize].as_str();
+                    let target: Option<&mut Value> = match op {
+                        Op::IndexSetLocal { slot, .. } => frame.locals[slot as usize].as_mut(),
+                        Op::IndexSetGlobal { slot, .. } => self.globals[slot as usize].as_mut(),
+                        Op::IndexSetEither { local, global, .. } => {
+                            if frame.locals[local as usize].is_some() {
+                                frame.locals[local as usize].as_mut()
+                            } else {
+                                self.globals[global as usize].as_mut()
+                            }
+                        }
+                        _ => None,
+                    };
+                    let slot_val = target.ok_or_else(|| {
+                        ScriptError::runtime(format!("unknown variable '{name_str}'"), line)
+                    })?;
+                    store_index(slot_val, name_str, i, v, line)?;
+                }
+                Op::Add => bin_op(frame, BinOp::Add, line)?,
+                Op::Sub => bin_op(frame, BinOp::Sub, line)?,
+                Op::Mul => bin_op(frame, BinOp::Mul, line)?,
+                Op::Div => bin_op(frame, BinOp::Div, line)?,
+                Op::Rem => bin_op(frame, BinOp::Rem, line)?,
+                Op::Eq => bin_op(frame, BinOp::Eq, line)?,
+                Op::Ne => bin_op(frame, BinOp::Ne, line)?,
+                Op::Lt => bin_op(frame, BinOp::Lt, line)?,
+                Op::Le => bin_op(frame, BinOp::Le, line)?,
+                Op::Gt => bin_op(frame, BinOp::Gt, line)?,
+                Op::Ge => bin_op(frame, BinOp::Ge, line)?,
+                Op::Neg => {
+                    let v = frame.stack.pop().expect("operand stack underflow");
+                    frame.stack.push(eval_unary(UnOp::Neg, &v, line)?);
+                }
+                Op::Not => {
+                    let v = frame.stack.pop().expect("operand stack underflow");
+                    frame.stack.push(eval_unary(UnOp::Not, &v, line)?);
+                }
+                Op::Truthy => {
+                    let v = frame.stack.pop().expect("operand stack underflow");
+                    frame.stack.push(Value::Bool(v.truthy()));
+                }
+                Op::Jump(t) => pc = t as usize,
+                Op::JumpIfFalse(t) => {
+                    let v = frame.stack.pop().expect("operand stack underflow");
+                    if !v.truthy() {
+                        pc = t as usize;
+                    }
+                }
+                Op::AndCircuit(t) => {
+                    let l = frame.stack.pop().expect("operand stack underflow");
+                    if !l.truthy() {
+                        frame.stack.push(Value::Bool(false));
+                        pc = t as usize;
+                    }
+                }
+                Op::OrCircuit(t) => {
+                    let l = frame.stack.pop().expect("operand stack underflow");
+                    if l.truthy() {
+                        frame.stack.push(Value::Bool(true));
+                        pc = t as usize;
+                    }
+                }
+                Op::MakeArray(n) => {
+                    let base = frame.stack.len() - n as usize;
+                    let items = frame.stack.split_off(base);
+                    frame.stack.push(Value::Array(items));
+                }
+                Op::IndexGet => {
+                    let idx = frame.stack.pop().expect("operand stack underflow");
+                    let target = frame.stack.pop().expect("operand stack underflow");
+                    frame.stack.push(index_value(target, &idx, line)?);
+                }
+                Op::FieldGet { name } => {
+                    let t = frame.stack.pop().expect("operand stack underflow");
+                    let field = script.names[name as usize].as_str();
+                    frame.stack.push(field_value(&t, field, line)?);
+                }
+                Op::RangeStart => {
+                    let v = frame.stack.last().expect("operand stack underflow");
+                    if v.as_num().is_none() {
+                        return Err(ScriptError::runtime(
+                            "range start must be numeric",
+                            line,
+                        ));
+                    }
+                }
+                Op::RangeToArray => {
+                    let end = frame.stack.pop().expect("operand stack underflow");
+                    let start = frame.stack.pop().expect("operand stack underflow");
+                    let s = start.as_num().expect("start checked by RangeStart");
+                    let e = end.as_num().ok_or_else(|| {
+                        ScriptError::runtime("range end must be numeric", line)
+                    })?;
+                    let mut items = Vec::new();
+                    let mut x = s;
+                    while x < e {
+                        // Fuel per element: a huge range runs out of fuel
+                        // instead of out of memory.
+                        self.fuel = self
+                            .fuel
+                            .checked_sub(1)
+                            .ok_or(ScriptError::OutOfFuel)?;
+                        items.push(Value::Num(x));
+                        x += 1.0;
+                    }
+                    frame.stack.push(Value::Array(items));
+                }
+                Op::IterInit { iter, idx } => {
+                    let v = frame.stack.pop().expect("operand stack underflow");
+                    match v {
+                        Value::Array(_) => {
+                            frame.locals[iter as usize] = Some(v);
+                            frame.locals[idx as usize] = Some(Value::Num(0.0));
+                        }
+                        other => {
+                            return Err(ScriptError::runtime(
+                                format!("cannot iterate a {}", other.type_name()),
+                                line,
+                            ))
+                        }
+                    }
+                }
+                Op::IterNext { iter, idx, done } => {
+                    let i = match &frame.locals[idx as usize] {
+                        Some(Value::Num(n)) => *n as usize,
+                        _ => unreachable!("corrupt iterator cursor slot"),
+                    };
+                    let item = match &frame.locals[iter as usize] {
+                        Some(Value::Array(a)) => a.get(i).cloned(),
+                        _ => unreachable!("corrupt iterator array slot"),
+                    };
+                    match item {
+                        Some(v) => {
+                            // One extra unit per yielded element, matching
+                            // the tree-walk's per-iteration burn.
+                            self.fuel = self
+                                .fuel
+                                .checked_sub(1)
+                                .ok_or(ScriptError::OutOfFuel)?;
+                            frame.locals[idx as usize] = Some(Value::Num((i + 1) as f64));
+                            frame.stack.push(v);
+                        }
+                        None => pc = done as usize,
+                    }
+                }
+                Op::CallFn { func, argc } => {
+                    let callee = &script.protos[func as usize];
+                    let argc = argc as usize;
+                    // Arity error first, then depth — that order is
+                    // observable through which error surfaces.
+                    if argc != callee.params.len() {
+                        return Err(ScriptError::runtime(
+                            format!(
+                                "function '{}' takes {} arguments, got {}",
+                                callee.name,
+                                callee.params.len(),
+                                argc
+                            ),
+                            callee.line,
+                        ));
+                    }
+                    if self.depth >= MAX_DEPTH {
+                        return Err(ScriptError::StackOverflow);
+                    }
+                    let base = frame.stack.len() - argc;
+                    let mut callee_frame = self.pool.pop().unwrap_or_default();
+                    callee_frame.locals.clear();
+                    callee_frame.locals.resize(callee.n_slots as usize, None);
+                    callee_frame.stack.clear();
+                    for (k, v) in frame.stack.drain(base..).enumerate() {
+                        callee_frame.locals[callee.params[k] as usize] = Some(v);
+                    }
+                    self.depth += 1;
+                    let r = self.exec(script, callee, &mut callee_frame, host);
+                    self.depth -= 1;
+                    callee_frame.locals.clear();
+                    callee_frame.stack.clear();
+                    self.pool.push(callee_frame);
+                    frame.stack.push(r?);
+                }
+                Op::CallBuiltin { builtin, argc } => {
+                    let base = frame.stack.len() - argc as usize;
+                    let r = dispatch_builtin(builtin, &frame.stack[base..], line, host);
+                    frame.stack.truncate(base);
+                    frame.stack.push(r?);
+                }
+                Op::CallUnknown { name } => {
+                    return Err(ScriptError::runtime(
+                        format!("unknown function '{}'", script.names[name as usize]),
+                        line,
+                    ));
+                }
+                Op::Return => return Ok(frame.stack.pop().expect("operand stack underflow")),
+                Op::ReturnNull | Op::Halt => return Ok(Value::Null),
+                Op::LooseBreak => {
+                    return Err(ScriptError::runtime(
+                        "break/continue outside a loop",
+                        line,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn unknown_var(script: &CompiledScript, name: u16, line: u32) -> ScriptError {
+    ScriptError::runtime(
+        format!("unknown variable '{}'", script.names[name as usize]),
+        line,
+    )
+}
+
+fn bin_op(frame: &mut Frame, op: BinOp, line: u32) -> Result<(), ScriptError> {
+    let r = frame.stack.pop().expect("operand stack underflow");
+    let l = frame.stack.pop().expect("operand stack underflow");
+    frame.stack.push(eval_binary_values(op, &l, &r, line)?);
+    Ok(())
+}
+
+impl crate::ScriptEngine for Vm {
+    fn run_init(&mut self, host: &mut dyn Host) -> Result<(), ScriptError> {
+        Vm::run_init(self, host)
+    }
+
+    fn process(&mut self, host: &mut dyn Host, record: RecordRef) -> Result<(), ScriptError> {
+        self.process_ref(host, record)
+    }
+
+    fn run_end(&mut self, host: &mut dyn Host) -> Result<(), ScriptError> {
+        Vm::run_end(self, host)
+    }
+
+    fn call(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        host: &mut dyn Host,
+    ) -> Result<Value, ScriptError> {
+        self.call_function(name, args, host)
+    }
+
+    fn global(&self, name: &str) -> Option<Value> {
+        Vm::global(self, name)
+    }
+
+    fn set_fuel(&mut self, fuel: u64) {
+        self.fuel_budget = fuel;
+        self.fuel = fuel;
+    }
+
+    fn backend(&self) -> crate::ScriptBackend {
+        crate::ScriptBackend::Vm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::NullHost;
+    use crate::parser::compile;
+    use crate::resolve::compile_program;
+
+    fn vm(src: &str) -> Vm {
+        Vm::new(compile_program(&compile(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn top_level_locals_promote_to_globals() {
+        let mut v = vm("let cut = 30.0; let total = cut * 2;");
+        v.run_init(&mut NullHost).unwrap();
+        assert_eq!(v.global("cut"), Some(Value::Num(30.0)));
+        assert_eq!(v.global("total"), Some(Value::Num(60.0)));
+    }
+
+    #[test]
+    fn functions_and_loops_compute() {
+        let mut v = vm(
+            "fn fib(n) { if n < 2 { return n; } return fib(n - 1) + fib(n - 2); }\nlet x = fib(12);",
+        );
+        v.run_init(&mut NullHost).unwrap();
+        assert_eq!(v.global("x"), Some(Value::Num(144.0)));
+    }
+
+    #[test]
+    fn for_range_accumulates() {
+        let mut v = vm("let t = 0; for i in 0..5 { t = t + i; }");
+        v.run_init(&mut NullHost).unwrap();
+        assert_eq!(v.global("t"), Some(Value::Num(10.0)));
+    }
+
+    #[test]
+    fn break_and_continue_route_correctly() {
+        let mut v = vm(
+            "let t = 0;\nfor i in 0..100 {\n  if i % 2 == 0 { continue; }\n  if i > 8 { break; }\n  t = t + i;\n}",
+        );
+        v.run_init(&mut NullHost).unwrap();
+        // 1 + 3 + 5 + 7 = 16
+        assert_eq!(v.global("t"), Some(Value::Num(16.0)));
+    }
+
+    #[test]
+    fn unknown_variable_is_lazy() {
+        // Never executed → no error.
+        let mut v = vm("fn f() { return nope; }\nlet x = 1;");
+        v.run_init(&mut NullHost).unwrap();
+        // Executed → the error carries the right line.
+        let err = v.call_function("f", vec![], &mut NullHost).unwrap_err();
+        assert_eq!(
+            err,
+            ScriptError::runtime("unknown variable 'nope'", 1)
+        );
+    }
+
+    #[test]
+    fn fuel_exhaustion_stops_infinite_loops() {
+        let mut v = vm("while true { }").with_fuel(10_000);
+        assert_eq!(v.run_init(&mut NullHost), Err(ScriptError::OutOfFuel));
+    }
+
+    #[test]
+    fn huge_ranges_hit_fuel_not_memory() {
+        let mut v = vm("for i in 0..100000000000000000 { }").with_fuel(50_000);
+        assert_eq!(v.run_init(&mut NullHost), Err(ScriptError::OutOfFuel));
+    }
+
+    #[test]
+    fn arity_error_matches_tree_walk_wording() {
+        let mut v = vm("fn f(a, b) { return a + b; }");
+        v.run_init(&mut NullHost).unwrap();
+        let err = v
+            .call_function("f", vec![Value::Num(1.0)], &mut NullHost)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScriptError::runtime("function 'f' takes 2 arguments, got 1", 1)
+        );
+    }
+
+    #[test]
+    fn deep_recursion_overflows_cleanly() {
+        let mut v = vm("fn f(n) { return f(n + 1); }");
+        v.run_init(&mut NullHost).unwrap();
+        let err = v
+            .call_function("f", vec![Value::Num(0.0)], &mut NullHost)
+            .unwrap_err();
+        assert_eq!(err, ScriptError::StackOverflow);
+    }
+}

@@ -1,16 +1,36 @@
-//! End-to-end interpreter tests: language semantics, host interaction,
+//! End-to-end script engine tests: language semantics, host interaction,
 //! fuel limits, and dynamic reload.
+//!
+//! Every test routes through [`engine_for`] with the backend selected by
+//! `IPA_SCRIPT_BACKEND`, so CI runs this whole file against both the
+//! tree-walk and the bytecode VM. A few tests at the bottom pin one
+//! backend explicitly.
 
 use std::sync::Arc;
 
 use ipa_dataset::{AnyRecord, CollisionEvent, DnaRead, FourVector, Particle};
-use ipa_script::{compile, AidaHost, Interpreter, NullHost, ScriptError, Value};
+use ipa_script::{
+    compile, engine_for, AidaHost, Interpreter, NullHost, RecordRef, ScriptBackend, ScriptEngine,
+    ScriptError, Value,
+};
+
+fn engine(src: &str) -> Box<dyn ScriptEngine> {
+    let p = compile(src).unwrap();
+    engine_for(&p, ScriptBackend::from_env()).unwrap()
+}
+
+fn process(
+    e: &mut Box<dyn ScriptEngine>,
+    host: &mut dyn ipa_script::Host,
+    rec: &AnyRecord,
+) -> Result<(), ScriptError> {
+    e.process(host, RecordRef::one(Arc::new(rec.clone())))
+}
 
 fn run_expr(expr: &str) -> Value {
     let src = format!("fn main() {{ return {expr}; }}");
-    let p = compile(&src).unwrap();
-    let mut i = Interpreter::new(&p);
-    i.call_function("main", vec![], &mut NullHost).unwrap()
+    let mut e = engine(&src);
+    e.call("main", vec![], &mut NullHost).unwrap()
 }
 
 fn num(v: Value) -> f64 {
@@ -52,16 +72,14 @@ fn comparisons_and_logic() {
 fn short_circuit_does_not_evaluate_rhs() {
     // Division by zero in rhs would be NaN, not an error, so use an unknown
     // function to prove the rhs never runs.
-    let p = compile("fn main() { return false && boom(); }").unwrap();
-    let mut i = Interpreter::new(&p);
+    let mut e = engine("fn main() { return false && boom(); }");
     assert!(matches!(
-        i.call_function("main", vec![], &mut NullHost).unwrap(),
+        e.call("main", vec![], &mut NullHost).unwrap(),
         Value::Bool(false)
     ));
-    let p = compile("fn main() { return true || boom(); }").unwrap();
-    let mut i = Interpreter::new(&p);
+    let mut e = engine("fn main() { return true || boom(); }");
     assert!(matches!(
-        i.call_function("main", vec![], &mut NullHost).unwrap(),
+        e.call("main", vec![], &mut NullHost).unwrap(),
         Value::Bool(true)
     ));
 }
@@ -81,12 +99,8 @@ fn control_flow_loops() {
             return total + j;
         }
     "#;
-    let p = compile(src).unwrap();
-    let mut i = Interpreter::new(&p);
-    assert_eq!(
-        num(i.call_function("main", vec![], &mut NullHost).unwrap()),
-        21.0
-    );
+    let mut e = engine(src);
+    assert_eq!(num(e.call("main", vec![], &mut NullHost).unwrap()), 21.0);
 }
 
 #[test]
@@ -100,31 +114,25 @@ fn arrays_index_and_assign() {
             return s + len(xs);
         }
     "#;
-    let p = compile(src).unwrap();
-    let mut i = Interpreter::new(&p);
-    assert_eq!(
-        num(i.call_function("main", vec![], &mut NullHost).unwrap()),
-        68.0
-    );
+    let mut e = engine(src);
+    assert_eq!(num(e.call("main", vec![], &mut NullHost).unwrap()), 68.0);
 }
 
 #[test]
 fn recursion_fibonacci() {
     let src = "fn fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); }";
-    let p = compile(src).unwrap();
-    let mut i = Interpreter::new(&p);
-    let v = i
-        .call_function("fib", vec![Value::Num(15.0)], &mut NullHost)
+    let mut e = engine(src);
+    let v = e
+        .call("fib", vec![Value::Num(15.0)], &mut NullHost)
         .unwrap();
     assert_eq!(num(v), 610.0);
 }
 
 #[test]
 fn runaway_recursion_hits_stack_limit() {
-    let p = compile("fn f(n) { return f(n + 1); }").unwrap();
-    let mut i = Interpreter::new(&p);
-    let err = i
-        .call_function("f", vec![Value::Num(0.0)], &mut NullHost)
+    let mut e = engine("fn f(n) { return f(n + 1); }");
+    let err = e
+        .call("f", vec![Value::Num(0.0)], &mut NullHost)
         .unwrap_err();
     assert!(matches!(
         err,
@@ -134,18 +142,17 @@ fn runaway_recursion_hits_stack_limit() {
 
 #[test]
 fn infinite_loop_runs_out_of_fuel() {
-    let p = compile("fn main() { while true { } }").unwrap();
-    let mut i = Interpreter::new(&p).with_fuel(100_000);
-    let err = i.call_function("main", vec![], &mut NullHost).unwrap_err();
+    let mut e = engine("fn main() { while true { } }");
+    e.set_fuel(100_000);
+    let err = e.call("main", vec![], &mut NullHost).unwrap_err();
     assert_eq!(err, ScriptError::OutOfFuel);
 }
 
 #[test]
 fn runtime_errors_carry_line_numbers() {
     let src = "fn main() {\n  let a = 1;\n  return a + \"\"[5];\n}";
-    let p = compile(src).unwrap();
-    let mut i = Interpreter::new(&p);
-    match i.call_function("main", vec![], &mut NullHost).unwrap_err() {
+    let mut e = engine(src);
+    match e.call("main", vec![], &mut NullHost).unwrap_err() {
         ScriptError::Runtime { line, .. } => assert_eq!(line, 3),
         other => panic!("{other:?}"),
     }
@@ -153,12 +160,10 @@ fn runtime_errors_carry_line_numbers() {
 
 #[test]
 fn unknown_variable_and_function_errors() {
-    let p = compile("fn main() { return nope; }").unwrap();
-    let mut i = Interpreter::new(&p);
-    assert!(i.call_function("main", vec![], &mut NullHost).is_err());
-    let p = compile("fn main() { return nope(); }").unwrap();
-    let mut i = Interpreter::new(&p);
-    assert!(i.call_function("main", vec![], &mut NullHost).is_err());
+    let mut e = engine("fn main() { return nope; }");
+    assert!(e.call("main", vec![], &mut NullHost).is_err());
+    let mut e = engine("fn main() { return nope(); }");
+    assert!(e.call("main", vec![], &mut NullHost).is_err());
 }
 
 #[test]
@@ -167,14 +172,10 @@ fn globals_from_top_level() {
         let cut = 30.0;
         fn main() { return cut * 2; }
     "#;
-    let p = compile(src).unwrap();
-    let mut i = Interpreter::new(&p);
-    i.run_init(&mut NullHost).unwrap();
-    assert_eq!(
-        num(i.call_function("main", vec![], &mut NullHost).unwrap()),
-        60.0
-    );
-    assert!(i.global("cut").is_some());
+    let mut e = engine(src);
+    e.run_init(&mut NullHost).unwrap();
+    assert_eq!(num(e.call("main", vec![], &mut NullHost).unwrap()), 60.0);
+    assert!(e.global("cut").is_some());
 }
 
 fn higgs_event(mass_pair: f64) -> AnyRecord {
@@ -209,14 +210,13 @@ fn full_analysis_against_aida_host() {
         }
         fn end() { log("analysis complete"); }
     "#;
-    let p = compile(src).unwrap();
     let mut host = AidaHost::new();
-    let mut interp = Interpreter::new(&p);
-    interp.run_init(&mut host).unwrap();
+    let mut e = engine(src);
+    e.run_init(&mut host).unwrap();
     for m in [120.0, 121.0, 119.5] {
-        interp.process_record(&mut host, &higgs_event(m)).unwrap();
+        process(&mut e, &mut host, &higgs_event(m)).unwrap();
     }
-    interp.run_end(&mut host).unwrap();
+    e.run_end(&mut host).unwrap();
 
     let h = host.tree.get("/higgs/mass").unwrap().as_h1().unwrap();
     assert_eq!(h.entries(), 3);
@@ -239,16 +239,14 @@ fn missing_field_reads_null_unknown_field_errors() {
             if r.gc_content > 0.2 { log("gc-rich"); }
         }
     "#;
-    let p = compile(src).unwrap();
     let mut host = AidaHost::new();
-    let mut i = Interpreter::new(&p);
-    i.process_record(&mut host, &rec).unwrap();
+    let mut e = engine(src);
+    process(&mut e, &mut host, &rec).unwrap();
     assert_eq!(host.messages.len(), 1);
 
     let src_bad = "fn process(r) { return r.not_a_field; }";
-    let p = compile(src_bad).unwrap();
-    let mut i = Interpreter::new(&p);
-    assert!(i.process_record(&mut NullHost, &rec).is_err());
+    let mut e = engine(src_bad);
+    assert!(process(&mut e, &mut NullHost, &rec).is_err());
 }
 
 #[test]
@@ -259,42 +257,36 @@ fn field_builtin_matches_dot_access() {
             if field(e, "n_btags") != e.n_btags { log("mismatch"); }
         }
     "#;
-    let p = compile(src).unwrap();
     let mut host = AidaHost::new();
-    let mut i = Interpreter::new(&p);
-    i.process_shared(&mut host, rec).unwrap();
+    let mut e = engine(src);
+    e.process(&mut host, RecordRef::one(rec)).unwrap();
     assert!(host.messages.is_empty());
 }
 
 #[test]
 fn filling_unbooked_histogram_is_a_runtime_error() {
-    let p = compile("fn process(e) { fill(\"/nope\", 1.0); }").unwrap();
     let mut host = AidaHost::new();
-    let mut i = Interpreter::new(&p);
-    let err = i.process_record(&mut host, &higgs_event(1.0)).unwrap_err();
+    let mut e = engine("fn process(e) { fill(\"/nope\", 1.0); }");
+    let err = process(&mut e, &mut host, &higgs_event(1.0)).unwrap_err();
     assert!(matches!(err, ScriptError::Runtime { .. }));
 }
 
 #[test]
 fn rebooking_same_histogram_is_idempotent_but_kind_conflict_errors() {
     let src = "fn init() { h1(\"/h\", 10, 0.0, 1.0); h1(\"/h\", 10, 0.0, 1.0); }";
-    let p = compile(src).unwrap();
     let mut host = AidaHost::new();
-    Interpreter::new(&p).run_init(&mut host).unwrap();
+    engine(src).run_init(&mut host).unwrap();
 
     let src = "fn init() { h1(\"/h\", 10, 0.0, 1.0); h2(\"/h\", 2, 0.0, 1.0, 2, 0.0, 1.0); }";
-    let p = compile(src).unwrap();
     let mut host = AidaHost::new();
-    assert!(Interpreter::new(&p).run_init(&mut host).is_err());
+    assert!(engine(src).run_init(&mut host).is_err());
 }
 
 #[test]
 fn missing_process_entry_point() {
-    let p = compile("fn init() { }").unwrap();
-    let mut i = Interpreter::new(&p);
+    let mut e = engine("fn init() { }");
     assert_eq!(
-        i.process_record(&mut NullHost, &higgs_event(1.0))
-            .unwrap_err(),
+        process(&mut e, &mut NullHost, &higgs_event(1.0)).unwrap_err(),
         ScriptError::MissingEntryPoint("process")
     );
 }
@@ -308,17 +300,17 @@ fn hot_reload_replaces_behaviour() {
     let rec = higgs_event(5.0);
 
     let mut host = AidaHost::new();
-    let mut i = Interpreter::new(&compile(v1).unwrap());
-    i.run_init(&mut host).unwrap();
-    i.process_record(&mut host, &rec).unwrap();
+    let mut e = engine(v1);
+    e.run_init(&mut host).unwrap();
+    process(&mut e, &mut host, &rec).unwrap();
     let h = host.tree.get("/m").unwrap().as_h1().unwrap();
     assert_eq!(h.bin_entries(1), 1);
 
-    // Reload: new interpreter, new result tree (rewind semantics).
+    // Reload: new engine, new result tree (rewind semantics).
     let mut host2 = AidaHost::new();
-    let mut i2 = Interpreter::new(&compile(v2).unwrap());
-    i2.run_init(&mut host2).unwrap();
-    i2.process_record(&mut host2, &rec).unwrap();
+    let mut e2 = engine(v2);
+    e2.run_init(&mut host2).unwrap();
+    process(&mut e2, &mut host2, &rec).unwrap();
     let h2 = host2.tree.get("/m").unwrap().as_h1().unwrap();
     assert_eq!(h2.bin_entries(9), 1);
     assert_eq!(h2.bin_entries(1), 0);
@@ -341,12 +333,8 @@ fn stdlib_functions_from_scripts() {
 #[test]
 fn user_function_shadows_builtin() {
     let src = "fn sqrt(x) { return 99; } fn main() { return sqrt(4); }";
-    let p = compile(src).unwrap();
-    let mut i = Interpreter::new(&p);
-    assert_eq!(
-        num(i.call_function("main", vec![], &mut NullHost).unwrap()),
-        99.0
-    );
+    let mut e = engine(src);
+    assert_eq!(num(e.call("main", vec![], &mut NullHost).unwrap()), 99.0);
 }
 
 #[test]
@@ -371,12 +359,11 @@ fn tuple_bindings_book_and_fill() {
             if m != null { tfill("/nt/events", m, e.n_particles); }
         }
     "#;
-    let p = compile(src).unwrap();
     let mut host = AidaHost::new();
-    let mut i = Interpreter::new(&p);
-    i.run_init(&mut host).unwrap();
+    let mut e = engine(src);
+    e.run_init(&mut host).unwrap();
     for m in [100.0, 120.0, 140.0] {
-        i.process_record(&mut host, &higgs_event(m)).unwrap();
+        process(&mut e, &mut host, &higgs_event(m)).unwrap();
     }
     let t = host.tree.get("/nt/events").unwrap().as_tuple().unwrap();
     assert_eq!(t.rows(), 3);
@@ -389,14 +376,73 @@ fn tuple_bindings_book_and_fill() {
     assert_eq!(h.entries(), 3);
 
     // Re-booking with the same schema is idempotent; different schema errors.
-    let mut i2 = Interpreter::new(&compile(src).unwrap());
-    i2.run_init(&mut host).unwrap();
+    let mut e2 = engine(src);
+    e2.run_init(&mut host).unwrap();
     let bad = r#"fn init() { tuple("/nt/events", "other"); } fn process(e) { }"#;
-    let mut i3 = Interpreter::new(&compile(bad).unwrap());
-    assert!(i3.run_init(&mut host).is_err());
+    let mut e3 = engine(bad);
+    assert!(e3.run_init(&mut host).is_err());
 
     // Filling with the wrong arity is a runtime error.
     let wrong = r#"fn process(e) { tfill("/nt/events", 1.0); }"#;
-    let mut i4 = Interpreter::new(&compile(wrong).unwrap());
-    assert!(i4.process_record(&mut host, &higgs_event(1.0)).is_err());
+    let mut e4 = engine(wrong);
+    assert!(process(&mut e4, &mut host, &higgs_event(1.0)).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Backend-pinned tests: these construct a specific backend regardless of
+// IPA_SCRIPT_BACKEND.
+
+#[test]
+fn tree_walk_backend_remains_directly_usable() {
+    let p = compile("fn fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); }").unwrap();
+    let mut i = Interpreter::new(&p);
+    let v = i
+        .call_function("fib", vec![Value::Num(10.0)], &mut NullHost)
+        .unwrap();
+    assert_eq!(num(v), 55.0);
+}
+
+#[test]
+fn both_backends_agree_on_a_small_analysis() {
+    let src = r#"
+        let scale = 2.0;
+        fn init() { h1("/x", 10, 0.0, 20.0); }
+        fn process(e) { fill("/x", e.n_particles * scale); }
+    "#;
+    let p = compile(src).unwrap();
+    let mut trees = Vec::new();
+    for backend in [ScriptBackend::Interp, ScriptBackend::Vm] {
+        let mut e = engine_for(&p, backend).unwrap();
+        let mut host = AidaHost::new();
+        e.run_init(&mut host).unwrap();
+        for m in [10.0, 11.0, 12.0] {
+            e.process(&mut host, RecordRef::one(Arc::new(higgs_event(m))))
+                .unwrap();
+        }
+        e.run_end(&mut host).unwrap();
+        trees.push(host.tree);
+    }
+    assert_eq!(trees[0], trees[1]);
+}
+
+#[test]
+fn no_per_record_deep_clone_either_backend() {
+    // The engines hand records to scripts as `Arc` handles; retaining one
+    // in a global must bump the refcount instead of deep-copying. This is
+    // the regression test for the old per-record `clone()` hot path.
+    let src = "let keep = null; fn process(e) { keep = e; }";
+    let p = compile(src).unwrap();
+    for backend in [ScriptBackend::Interp, ScriptBackend::Vm] {
+        let mut e = engine_for(&p, backend).unwrap();
+        e.run_init(&mut NullHost).unwrap();
+        let batch = Arc::new(vec![higgs_event(120.0)]);
+        let before = Arc::strong_count(&batch);
+        e.process(&mut NullHost, RecordRef::batch(Arc::clone(&batch), 0))
+            .unwrap();
+        // The script kept `e` in a global: exactly one more handle, and
+        // no copy of the record data anywhere.
+        assert_eq!(Arc::strong_count(&batch), before + 1, "{backend}");
+        drop(e);
+        assert_eq!(Arc::strong_count(&batch), before, "{backend}");
+    }
 }

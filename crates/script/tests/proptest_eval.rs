@@ -1,12 +1,15 @@
-//! Property tests for the IPAScript interpreter: randomly generated
+//! Property tests for the IPAScript engines: randomly generated
 //! arithmetic/boolean expression trees are rendered to source, compiled,
 //! evaluated, and compared against a Rust-side reference evaluator.
 //! Also: the fuel limit terminates arbitrary loop bounds, and the lexer
 //! never panics on arbitrary input.
+//!
+//! Runs under the backend selected by `IPA_SCRIPT_BACKEND` (the CI matrix
+//! covers both); `vm_differential.rs` holds the cross-backend comparisons.
 
 use proptest::prelude::*;
 
-use ipa_script::{compile, Interpreter, NullHost, ScriptError, Value};
+use ipa_script::{compile, engine_for, NullHost, ScriptBackend, ScriptError, Value};
 
 /// A reference expression we can both render to IPAScript and evaluate in
 /// Rust.
@@ -69,17 +72,17 @@ fn arb_expr() -> impl Strategy<Value = RExpr> {
 
 fn run_main(src: &str) -> Result<Value, ScriptError> {
     let p = compile(src)?;
-    let mut i = Interpreter::new(&p);
-    i.call_function("main", vec![], &mut NullHost)
+    let mut e = engine_for(&p, ScriptBackend::from_env())?;
+    e.call("main", vec![], &mut NullHost)
 }
 
 proptest! {
-    // The interpreter is intentionally slow per case; keep case counts
+    // Script execution is intentionally slow per case; keep case counts
     // modest so the whole suite stays fast.
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Interpreter arithmetic agrees with Rust bit-for-bit on integer-
-    /// valued trees (all operations here are exact in f64).
+    /// Script arithmetic agrees with Rust bit-for-bit on integer-valued
+    /// trees (all operations here are exact in f64).
     #[test]
     fn expressions_match_reference(e in arb_expr()) {
         let src = format!("fn main() {{ return {}; }}", e.render());
@@ -110,8 +113,9 @@ proptest! {
             "fn main() {{ let i = 0; while i < {bound} {{ i = i + 1; }} return i; }}"
         );
         let p = compile(&src).unwrap();
-        let mut interp = Interpreter::new(&p).with_fuel(50_000);
-        match interp.call_function("main", vec![], &mut NullHost) {
+        let mut e = engine_for(&p, ScriptBackend::from_env()).unwrap();
+        e.set_fuel(50_000);
+        match e.call("main", vec![], &mut NullHost) {
             Ok(Value::Num(v)) => prop_assert_eq!(v, bound as f64),
             Ok(other) => return Err(TestCaseError::fail(format!("{other:?}"))),
             Err(ScriptError::OutOfFuel) => {} // fine: terminated with an error
@@ -120,10 +124,13 @@ proptest! {
     }
 
     /// The lexer/parser never panic on arbitrary input — they return
-    /// Ok or a positioned syntax error.
+    /// Ok or a positioned syntax error — and whatever parses also
+    /// resolves to bytecode without panicking.
     #[test]
     fn compile_never_panics(src in "\\PC{0,200}") {
-        let _ = compile(&src);
+        if let Ok(p) = compile(&src) {
+            let _ = ipa_script::resolve::compile_program(&p);
+        }
     }
 
     /// String round trip: building a string from chars and indexing it

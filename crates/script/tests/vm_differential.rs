@@ -1,0 +1,459 @@
+//! Differential tests: the bytecode VM against the tree-walk oracle.
+//!
+//! Random programs — including ones that error at runtime — are executed
+//! by both backends through the full analysis lifecycle, and the entire
+//! observable transcript must match: every `Result` (errors compared
+//! exactly, message and line included), every global, every host message,
+//! and the final AIDA tree bin-for-bin. Both backends funnel operator and
+//! builtin semantics through shared helpers, so any divergence here is a
+//! compiler or VM bug, not a formatting nit.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use ipa_dataset::{AnyRecord, CollisionEvent, DnaRead, FourVector, Particle};
+use ipa_script::{
+    compile, engine_for, AidaHost, NullHost, RecordRef, ScriptBackend, ScriptError,
+};
+
+fn higgs_event(mass_pair: f64) -> AnyRecord {
+    let half = mass_pair / 2.0;
+    AnyRecord::Event(CollisionEvent {
+        event_id: 7,
+        run: 3,
+        sqrt_s: 500.0,
+        is_signal: false,
+        particles: vec![
+            Particle::new(5, -1.0 / 3.0, FourVector::new(half, half, 0.0, 0.0)),
+            Particle::new(-5, 1.0 / 3.0, FourVector::new(half, -half, 0.0, 0.0)),
+        ],
+    })
+}
+
+fn dna_read() -> AnyRecord {
+    AnyRecord::Dna(DnaRead {
+        read_id: 9,
+        sample: 1,
+        bases: "GATTACAGATTACA".into(),
+        quality: 31.5,
+    })
+}
+
+/// Run the full lifecycle on one backend and record everything a user
+/// could observe. Trees are compared separately (they don't Debug-print
+/// their full contents).
+fn transcript(
+    src: &str,
+    backend: ScriptBackend,
+    records: &[AnyRecord],
+) -> (Vec<String>, ipa_aida::Tree) {
+    let p = compile(src).expect("generated source parses");
+    let mut e = engine_for(&p, backend).expect("program resolves");
+    let mut host = AidaHost::new();
+    let mut out = Vec::new();
+    out.push(format!("init: {:?}", e.run_init(&mut host)));
+    for r in records {
+        out.push(format!(
+            "process: {:?}",
+            e.process(&mut host, RecordRef::one(Arc::new(r.clone())))
+        ));
+    }
+    out.push(format!("end: {:?}", e.run_end(&mut host)));
+    out.push(format!(
+        "main: {:?}",
+        e.call("main", vec![], &mut host)
+    ));
+    for g in ["g0", "g1", "a", "b"] {
+        out.push(format!("global {g}: {:?}", e.global(g)));
+    }
+    out.push(format!("messages: {:?}", host.messages));
+    (out, host.tree)
+}
+
+fn assert_backends_agree(src: &str, records: &[AnyRecord]) {
+    let (interp_log, interp_tree) = transcript(src, ScriptBackend::Interp, records);
+    let (vm_log, vm_tree) = transcript(src, ScriptBackend::Vm, records);
+    assert_eq!(interp_log, vm_log, "transcript diverged for:\n{src}");
+    assert_eq!(interp_tree, vm_tree, "result tree diverged for:\n{src}");
+}
+
+// ---------------------------------------------------------------------------
+// Random program generation. Variables draw from a small pool that mixes
+// locals, globals, a `process`-bound name, and a deliberately unbound name,
+// so unknown-variable error paths get exercised alongside happy paths.
+
+const VARS: [&str; 6] = ["a", "b", "m", "g0", "g1", "mystery"];
+const BINOPS: [&str; 13] = [
+    "+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&&", "||",
+];
+const FN1: [&str; 5] = ["abs", "floor", "ceil", "round", "sqrt"];
+
+#[derive(Debug, Clone)]
+enum GExpr {
+    Num(i32),
+    Var(u8),
+    Bin(u8, Box<GExpr>, Box<GExpr>),
+    Neg(Box<GExpr>),
+    Not(Box<GExpr>),
+    Call1(u8, Box<GExpr>),
+    Helper(Box<GExpr>, Box<GExpr>),
+    Arr(Vec<GExpr>),
+    Idx(Box<GExpr>, Box<GExpr>),
+    UnknownCall(Box<GExpr>),
+}
+
+impl GExpr {
+    fn render(&self, out: &mut String) {
+        match self {
+            GExpr::Num(n) => {
+                if *n < 0 {
+                    out.push_str(&format!("({n})"));
+                } else {
+                    out.push_str(&n.to_string());
+                }
+            }
+            GExpr::Var(i) => out.push_str(VARS[*i as usize % VARS.len()]),
+            GExpr::Bin(op, l, r) => {
+                out.push('(');
+                l.render(out);
+                out.push_str(&format!(" {} ", BINOPS[*op as usize % BINOPS.len()]));
+                r.render(out);
+                out.push(')');
+            }
+            GExpr::Neg(e) => {
+                out.push_str("(-");
+                e.render(out);
+                out.push(')');
+            }
+            GExpr::Not(e) => {
+                out.push_str("(!");
+                e.render(out);
+                out.push(')');
+            }
+            GExpr::Call1(f, e) => {
+                out.push_str(FN1[*f as usize % FN1.len()]);
+                out.push('(');
+                e.render(out);
+                out.push(')');
+            }
+            GExpr::Helper(x, y) => {
+                out.push_str("helper(");
+                x.render(out);
+                out.push_str(", ");
+                y.render(out);
+                out.push(')');
+            }
+            GExpr::Arr(items) => {
+                out.push('[');
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    e.render(out);
+                }
+                out.push(']');
+            }
+            GExpr::Idx(t, i) => {
+                t.render(out);
+                out.push('[');
+                i.render(out);
+                out.push(']');
+            }
+            GExpr::UnknownCall(e) => {
+                out.push_str("no_such_fn(");
+                e.render(out);
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum GStmt {
+    Let(u8, GExpr),
+    Assign(u8, GExpr),
+    ExprStmt(GExpr),
+    If(GExpr, Vec<GStmt>, Vec<GStmt>),
+    For(u8, u8, Vec<GStmt>),
+    Log(GExpr),
+}
+
+impl GStmt {
+    fn render(&self, out: &mut String) {
+        match self {
+            GStmt::Let(v, e) => {
+                out.push_str("let ");
+                out.push_str(VARS[*v as usize % 3]); // only a/b/m bind locally
+                out.push_str(" = ");
+                e.render(out);
+                out.push_str(";\n");
+            }
+            GStmt::Assign(v, e) => {
+                out.push_str(VARS[*v as usize % VARS.len()]);
+                out.push_str(" = ");
+                e.render(out);
+                out.push_str(";\n");
+            }
+            GStmt::ExprStmt(e) => {
+                e.render(out);
+                out.push_str(";\n");
+            }
+            GStmt::If(c, t, f) => {
+                out.push_str("if ");
+                c.render(out);
+                out.push_str(" {\n");
+                for s in t {
+                    s.render(out);
+                }
+                out.push('}');
+                if !f.is_empty() {
+                    out.push_str(" else {\n");
+                    for s in f {
+                        s.render(out);
+                    }
+                    out.push('}');
+                }
+                out.push('\n');
+            }
+            GStmt::For(v, n, body) => {
+                out.push_str("for ");
+                out.push_str(VARS[*v as usize % 2]); // a or b
+                out.push_str(&format!(" in 0..{} {{\n", n % 5));
+                for s in body {
+                    s.render(out);
+                }
+                out.push_str("}\n");
+            }
+            GStmt::Log(e) => {
+                out.push_str("log(str(");
+                e.render(out);
+                out.push_str("));\n");
+            }
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = GExpr> {
+    let leaf = prop_oneof![
+        (-20i32..20).prop_map(GExpr::Num),
+        (0u8..6).prop_map(GExpr::Var),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (0u8..13, inner.clone(), inner.clone())
+                .prop_map(|(op, l, r)| GExpr::Bin(op, Box::new(l), Box::new(r))),
+            inner.clone().prop_map(|e| GExpr::Neg(Box::new(e))),
+            inner.clone().prop_map(|e| GExpr::Not(Box::new(e))),
+            (0u8..5, inner.clone()).prop_map(|(f, e)| GExpr::Call1(f, Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| GExpr::Helper(Box::new(x), Box::new(y))),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(GExpr::Arr),
+            (inner.clone(), inner.clone())
+                .prop_map(|(t, i)| GExpr::Idx(Box::new(t), Box::new(i))),
+            inner.prop_map(|e| GExpr::UnknownCall(Box::new(e))),
+        ]
+    })
+}
+
+fn arb_stmts() -> impl Strategy<Value = Vec<GStmt>> {
+    let stmt = prop_oneof![
+        (0u8..3, arb_expr()).prop_map(|(v, e)| GStmt::Let(v, e)),
+        (0u8..6, arb_expr()).prop_map(|(v, e)| GStmt::Assign(v, e)),
+        arb_expr().prop_map(GStmt::ExprStmt),
+        arb_expr().prop_map(GStmt::Log),
+    ];
+    let nested = stmt.prop_recursive(2, 12, 4, |inner| {
+        prop_oneof![
+            (
+                arb_expr(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..2)
+            )
+                .prop_map(|(c, t, f)| GStmt::If(c, t, f)),
+            (0u8..2, 0u8..5, prop::collection::vec(inner, 0..3))
+                .prop_map(|(v, n, b)| GStmt::For(v, n, b)),
+        ]
+    });
+    prop::collection::vec(nested, 0..6)
+}
+
+fn render_program(
+    init_g0: &GExpr,
+    helper_body: &[GStmt],
+    helper_ret: &GExpr,
+    process_body: &[GStmt],
+    main_body: &[GStmt],
+    main_ret: &GExpr,
+) -> String {
+    let mut s = String::new();
+    s.push_str("let g0 = ");
+    init_g0.render(&mut s);
+    s.push_str(";\nlet g1 = 1;\n");
+    s.push_str("fn init() { h1(\"/d/h\", 10, 0.0, 10.0); }\n");
+    s.push_str("fn helper(a, b) {\n");
+    for st in helper_body {
+        st.render(&mut s);
+    }
+    s.push_str("return ");
+    helper_ret.render(&mut s);
+    s.push_str(";\n}\n");
+    s.push_str("fn process(ev) {\nlet m = ev.n_particles;\n");
+    s.push_str("if m != null { fill(\"/d/h\", m % 10); }\n");
+    for st in process_body {
+        st.render(&mut s);
+    }
+    s.push_str("}\n");
+    s.push_str("fn main() {\n");
+    for st in main_body {
+        st.render(&mut s);
+    }
+    s.push_str("return ");
+    main_ret.render(&mut s);
+    s.push_str(";\n}\n");
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole property: for random programs over the full lifecycle,
+    /// the VM and the tree-walk produce identical transcripts — values,
+    /// errors (message and line), globals, log output, and result trees.
+    #[test]
+    fn vm_matches_interp(
+        init_g0 in arb_expr(),
+        helper_body in arb_stmts(),
+        helper_ret in arb_expr(),
+        process_body in arb_stmts(),
+        main_body in arb_stmts(),
+        main_ret in arb_expr(),
+    ) {
+        let src = render_program(
+            &init_g0, &helper_body, &helper_ret, &process_body, &main_body, &main_ret,
+        );
+        let records = [higgs_event(120.0), dna_read(), higgs_event(80.0)];
+        // Generated programs are bounded (loops ≤ 4 iterations, helper
+        // recursion cut by the depth limit), so neither backend can come
+        // near the default fuel budget and fuel never skews the outcome.
+        let (interp_log, interp_tree) = transcript(&src, ScriptBackend::Interp, &records);
+        let (vm_log, vm_tree) = transcript(&src, ScriptBackend::Vm, &records);
+        prop_assert_eq!(interp_log, vm_log, "transcript diverged for:\n{}", &src);
+        prop_assert_eq!(interp_tree, vm_tree, "result tree diverged for:\n{}", &src);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handwritten corners: exact error equality (message AND line) on the
+// paths most likely to diverge between a compiler and a tree-walk.
+
+#[test]
+fn error_paths_are_byte_identical() {
+    let cases = [
+        // Unknown variable, lazily reported with the right line.
+        "fn main() {\n  let a = 1;\n  return zzz;\n}",
+        // Unknown function after evaluating its arguments.
+        "fn main() { return no_such(1 + 2); }",
+        // Arity mismatch reported at the definition line.
+        "fn f(a, b) { return a; }\nfn main() { return f(1); }",
+        // break outside a loop inside a function.
+        "fn main() { break; }",
+        // Iterating a non-array.
+        "fn main() { for x in 42 { } }",
+        // Range used outside `for`.
+        "fn main() { return 0..3; }",
+        // Range with a non-numeric start: start error wins over the end.
+        "fn main() { for x in \"a\"..zzz { } }",
+        // Index assignment: index conversion error beats unknown variable.
+        "fn main() { zzz[\"x\"] = 1; }",
+        // Index assignment to a non-array.
+        "fn main() { let a = 5; a[0] = 1; }",
+        // Out-of-bounds element assignment.
+        "fn main() { let a = [1]; a[9] = 2; }",
+        // Ordering non-numbers.
+        "fn main() { return [1] < [2]; }",
+        // Negating a string.
+        "fn main() { return -\"x\"; }",
+        // Field access on a non-record.
+        "fn main() { return 1.x; }",
+        // substr with a negative start (satellite fix, both backends).
+        "fn main() { return substr(\"abc\", -1, 2); }",
+        // Histogram booking with a bogus bin count (satellite fix).
+        "fn main() { return h1(\"/h\", 0 / 0, 0.0, 1.0); }",
+        // Division by zero is a value, not an error.
+        "fn main() { return 1 / 0; }",
+        // Deep recursion → stack overflow in both.
+        "fn f(n) { return f(n + 1); }\nfn main() { return f(0); }",
+        // Top-level return halts silently; globals still promote.
+        "let a = 1; return; let b = 2;",
+        // Top-level break halts silently too.
+        "let a = 1; break; a = 2;",
+        // Shadowing: a function-local binder hides the global.
+        "let a = 10;\nfn main() { let a = 1; return a; }",
+        // Assignment to a global from a function writes the global.
+        "let a = 10;\nfn bump() { a = a + 1; }\nfn main() { bump(); bump(); return a; }",
+        // Implicit local creation when no binder exists anywhere.
+        "fn main() { q = 5; return q; }",
+    ];
+    for src in cases {
+        assert_backends_agree(src, &[]);
+    }
+}
+
+#[test]
+fn record_semantics_are_identical() {
+    // Field reads, missing-field nulls, record equality, and the `field`
+    // builtin, against both an event and a DNA record.
+    let src = r#"
+        fn init() { h1("/r/h", 10, 0.0, 10.0); }
+        fn process(ev) {
+            if ev == ev { log("self-equal"); }
+            let n = ev.n_particles;
+            if n != null { fill("/r/h", n % 10); }
+            if field(ev, "quality") != null { log("dna"); }
+        }
+        fn main() { return 0; }
+    "#;
+    assert_backends_agree(src, &[higgs_event(100.0), dna_read()]);
+}
+
+#[test]
+fn fuel_exhaustion_hits_both_backends() {
+    // Exact fuel counts differ by design (per-op vs per-AST-node burn),
+    // but an unbounded loop must end in OutOfFuel on both.
+    let src = "fn main() { while true { } }";
+    let p = compile(src).unwrap();
+    for backend in [ScriptBackend::Interp, ScriptBackend::Vm] {
+        let mut e = engine_for(&p, backend).unwrap();
+        e.set_fuel(20_000);
+        let err = e.call("main", vec![], &mut NullHost).unwrap_err();
+        assert_eq!(err, ScriptError::OutOfFuel, "{backend}");
+    }
+}
+
+#[test]
+fn fuel_error_ordering_is_stable_per_backend() {
+    // A loop that errors after k iterations: with ample fuel both report
+    // the runtime error, not OutOfFuel — the error ordering survives the
+    // switch from AST-node accounting to per-op accounting.
+    let src = "fn main() { let i = 0; while true { i = i + 1; if i > 50 { return zzz; } } }";
+    let p = compile(src).unwrap();
+    for backend in [ScriptBackend::Interp, ScriptBackend::Vm] {
+        let mut e = engine_for(&p, backend).unwrap();
+        let err = e.call("main", vec![], &mut NullHost).unwrap_err();
+        assert_eq!(
+            err,
+            ScriptError::runtime("unknown variable 'zzz'", 1),
+            "{backend}"
+        );
+    }
+}
+
+#[test]
+fn multibyte_string_literals_agree() {
+    // Satellite: the lexer's UTF-8 fix, observable through both backends.
+    let src = "fn main() { let s = \"µ→αβγ\"; return len(s) + len(s[1]); }";
+    assert_backends_agree(src, &[]);
+    let src = "fn main() { return upper(\"gattaca µ\"); }";
+    assert_backends_agree(src, &[]);
+}
