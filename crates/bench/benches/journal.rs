@@ -1,0 +1,145 @@
+//! Session-journal benches (PR 7): WAL append cost per durability mode
+//! (memory, buffered file, fsync'd file) and replay throughput.
+//!
+//! Recovery is only compatible with an *interactive* facility if (a) the
+//! per-publish journal tax is far below the publish interval and (b)
+//! replaying a session's log is far cheaper than re-running the analysis.
+//! These benches put numbers on both; `reproduce -- perf` snapshots the
+//! same quantities into `BENCH_results.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use ipa_aida::Tree;
+use ipa_core::{
+    decode_events, replay, AnalysisCode, HiggsSearchAnalyzer, JournalBackend, JournalEvent,
+    PartPayload, PartUpdate, SessionJournal,
+};
+use ipa_dataset::{EventGeneratorConfig, GeneratorConfig};
+use ipa_script::AidaHost;
+
+const BATCH: usize = 64;
+const REPLAY_EVENTS: usize = 1_000;
+
+/// A realistic checkpoint payload: the higgs-search tree over a small
+/// event sample (three histograms, same shape engines publish mid-run).
+fn sample_tree() -> Tree {
+    let ds = ipa_dataset::generate_dataset(
+        "journal-bench",
+        "journal bench events",
+        &GeneratorConfig::Event(EventGeneratorConfig {
+            events: 500,
+            ..Default::default()
+        }),
+    );
+    let mut host = AidaHost::new();
+    ipa_core::run_analyzer_serial(&mut HiggsSearchAnalyzer::default(), &ds.records, &mut host)
+        .unwrap();
+    host.tree
+}
+
+/// `n` checkpoint publishes across 16 parts / 4 engines, epoch 0 — the
+/// steady-state record mix of a running session.
+fn publish_events(n: usize, tree: &Tree) -> Vec<JournalEvent> {
+    (0..n)
+        .map(|i| JournalEvent::ResultUpdate {
+            part: (i % 16) as u64,
+            update: PartUpdate {
+                engine: i % 4,
+                epoch: 0,
+                seq: 0,
+                processed: 100,
+                total: 100,
+                payload: PartPayload::Checkpoint(tree.clone()),
+                done: i % 16 == 15,
+            },
+        })
+        .collect()
+}
+
+/// A full session-shaped journal: creation, dataset, code, run, then
+/// `n` publishes with completions and a version mark at the end.
+fn session_events(n: usize, tree: &Tree) -> Vec<JournalEvent> {
+    let mut events = vec![
+        JournalEvent::SessionCreated {
+            session: 1,
+            subject: "/CN=bench".into(),
+            engines: 4,
+        },
+        JournalEvent::DatasetSelected {
+            id: "journal-bench".into(),
+        },
+        JournalEvent::CodeLoaded {
+            code: AnalysisCode::Native("higgs-search".into()),
+        },
+        JournalEvent::RunStarted,
+    ];
+    events.extend(publish_events(n, tree));
+    events.push(JournalEvent::ResultVersion { version: 1 });
+    events
+}
+
+fn bench_journal(c: &mut Criterion) {
+    let tree = sample_tree();
+    let batch = publish_events(BATCH, &tree);
+
+    let mut g = c.benchmark_group("journal_append");
+    g.bench_function("memory_64ev", |b| {
+        b.iter_batched(
+            || SessionJournal::new(JournalBackend::memory(), 0),
+            |mut j| {
+                for ev in &batch {
+                    j.append(ev);
+                }
+                assert_eq!(j.append_errors(), 0);
+                j
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let dir = std::env::temp_dir().join(format!("ipa-journal-bench-{}", std::process::id()));
+    for (label, fsync) in [("file_buffered_64ev", false), ("file_fsync_64ev", true)] {
+        let path = dir.join(format!("{label}.wal"));
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let _ = std::fs::remove_file(&path);
+                    SessionJournal::new(JournalBackend::file(&path, fsync), 0)
+                },
+                |mut j| {
+                    for ev in &batch {
+                        j.append(ev);
+                    }
+                    assert_eq!(j.append_errors(), 0);
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+
+    // Encode a full session journal once; decode and replay are what the
+    // recovery path actually pays at restart.
+    let events = session_events(REPLAY_EVENTS, &tree);
+    let mut j = SessionJournal::new(JournalBackend::memory(), 0);
+    for ev in &events {
+        j.append(ev);
+    }
+    let bytes = j.handle().unwrap().lock().clone();
+    assert_eq!(decode_events(&bytes).len(), events.len());
+
+    let mut g = c.benchmark_group("journal_recovery");
+    g.bench_function("decode_1k", |b| {
+        b.iter(|| black_box(decode_events(black_box(&bytes)).len()))
+    });
+    g.bench_function("replay_1k", |b| {
+        b.iter(|| {
+            let rec = replay(black_box(&events), 8, 1);
+            black_box(rec.aida.result_version())
+        })
+    });
+    g.finish();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_journal);
+criterion_main!(benches);

@@ -21,7 +21,11 @@ const SCRIPT: &str = r#"
 
 /// Run the full analysis lifecycle on one backend, sharing the batch the
 /// way the engine hot path does (`RecordRef::batch` — no record copies).
-fn run_backend(program: &Program, records: &Arc<Vec<AnyRecord>>, backend: ScriptBackend) -> AidaHost {
+fn run_backend(
+    program: &Program,
+    records: &Arc<Vec<AnyRecord>>,
+    backend: ScriptBackend,
+) -> AidaHost {
     let mut host = AidaHost::new();
     let mut engine = engine_for(program, backend).unwrap();
     engine.run_init(&mut host).unwrap();

@@ -23,14 +23,16 @@ const PARTS: usize = 16;
 
 fn locator() -> LocatorService {
     let store = DatasetStore::new();
-    store.put(ipa_dataset::generate_dataset(
-        "bench-ds",
-        "staging bench events",
-        &GeneratorConfig::Event(EventGeneratorConfig {
-            events: EVENTS,
-            ..Default::default()
-        }),
-    ));
+    store
+        .put(ipa_dataset::generate_dataset(
+            "bench-ds",
+            "staging bench events",
+            &GeneratorConfig::Event(EventGeneratorConfig {
+                events: EVENTS,
+                ..Default::default()
+            }),
+        ))
+        .unwrap();
     LocatorService::new(store, "bench-site")
 }
 

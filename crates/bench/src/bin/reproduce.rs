@@ -420,14 +420,16 @@ fn ablations_cmd(cal: &PaperCalibration) {
         use ipa_core::{DatasetPlane, SitePlane, SplitSpec, StagerConfig};
         let locator = || {
             let store = ipa_core::DatasetStore::new();
-            store.put(ipa_dataset::generate_dataset(
-                "abl-ds",
-                "staging-ablation events",
-                &ipa_dataset::GeneratorConfig::Event(ipa_dataset::EventGeneratorConfig {
-                    events: 30_000,
-                    ..Default::default()
-                }),
-            ));
+            store
+                .put(ipa_dataset::generate_dataset(
+                    "abl-ds",
+                    "staging-ablation events",
+                    &ipa_dataset::GeneratorConfig::Event(ipa_dataset::EventGeneratorConfig {
+                        events: 30_000,
+                        ..Default::default()
+                    }),
+                ))
+                .unwrap();
             ipa_core::LocatorService::new(store, "ablation-site")
         };
         let spec = SplitSpec {
@@ -471,6 +473,148 @@ fn ablations_cmd(cal: &PaperCalibration) {
     }
 }
 
+/// Machine-readable perf snapshot → `BENCH_results.json` (cwd): journal
+/// append cost per durability mode, decode + replay throughput (what a
+/// manager restart pays), and a small live end-to-end run as a
+/// throughput yardstick. CI archives the file per commit.
+fn perf_cmd() {
+    use ipa_core::{
+        decode_events, replay, AnalysisCode, JournalBackend, JournalEvent, PartPayload, PartUpdate,
+        SessionJournal,
+    };
+    use std::time::Instant;
+
+    hline();
+    println!("PERF — machine-readable snapshot -> BENCH_results.json");
+    hline();
+
+    // A realistic checkpoint payload: the higgs-search tree over a small
+    // event sample, the shape engines publish mid-run.
+    let ds = ipa_dataset::generate_dataset(
+        "perf-journal",
+        "perf snapshot events",
+        &ipa_dataset::GeneratorConfig::Event(ipa_dataset::EventGeneratorConfig {
+            events: 500,
+            ..Default::default()
+        }),
+    );
+    let mut host = ipa_script::AidaHost::new();
+    ipa_core::run_analyzer_serial(
+        &mut ipa_core::HiggsSearchAnalyzer::default(),
+        &ds.records,
+        &mut host,
+    )
+    .unwrap();
+    let tree = host.tree;
+
+    let make_event = |i: usize| JournalEvent::ResultUpdate {
+        part: (i % 16) as u64,
+        update: PartUpdate {
+            engine: i % 4,
+            epoch: 0,
+            seq: 0,
+            processed: 100,
+            total: 100,
+            payload: PartPayload::Checkpoint(tree.clone()),
+            done: i % 16 == 15,
+        },
+    };
+    const APPENDS: usize = 2_000;
+    const FSYNC_APPENDS: usize = 64;
+    let mut events: Vec<JournalEvent> = vec![
+        JournalEvent::SessionCreated {
+            session: 1,
+            subject: "/CN=perf".into(),
+            engines: 4,
+        },
+        JournalEvent::DatasetSelected {
+            id: "perf-journal".into(),
+        },
+        JournalEvent::CodeLoaded {
+            code: AnalysisCode::Native("higgs-search".into()),
+        },
+        JournalEvent::RunStarted,
+    ];
+    events.extend((0..APPENDS).map(make_event));
+    events.push(JournalEvent::ResultVersion { version: 1 });
+
+    // Append cost per durability mode.
+    let t0 = Instant::now();
+    let mut mem = SessionJournal::new(JournalBackend::memory(), 0);
+    for ev in &events {
+        mem.append(ev);
+    }
+    let append_memory_us = t0.elapsed().as_secs_f64() * 1e6 / events.len() as f64;
+
+    let dir = std::env::temp_dir().join(format!("ipa-reproduce-perf-{}", std::process::id()));
+    let buffered_path = dir.join("buffered.wal");
+    let t0 = Instant::now();
+    let mut buf = SessionJournal::new(JournalBackend::file(&buffered_path, false), 0);
+    for ev in &events {
+        buf.append(ev);
+    }
+    let append_buffered_us = t0.elapsed().as_secs_f64() * 1e6 / events.len() as f64;
+
+    let fsync_path = dir.join("fsync.wal");
+    let t0 = Instant::now();
+    let mut fs = SessionJournal::new(JournalBackend::file(&fsync_path, true), 0);
+    for ev in events.iter().take(FSYNC_APPENDS) {
+        fs.append(ev);
+    }
+    let append_fsync_us = t0.elapsed().as_secs_f64() * 1e6 / FSYNC_APPENDS as f64;
+    assert_eq!(
+        mem.append_errors() + buf.append_errors() + fs.append_errors(),
+        0
+    );
+
+    // Recovery cost: decode the frames, then fold them back into a
+    // session (the restart path's actual work).
+    let bytes = mem.handle().unwrap().lock().clone();
+    let journal_bytes = bytes.len();
+    let t0 = Instant::now();
+    let decoded = decode_events(&bytes);
+    let decode_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(decoded.len(), events.len());
+    let t0 = Instant::now();
+    let rec = replay(&events, 8, 1);
+    let replay_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let replay_events_per_s = events.len() as f64 / (replay_ms / 1e3);
+    assert_eq!(rec.session, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Live yardstick: a short end-to-end run with real engines.
+    let live_events = 20_000u64;
+    let rig = LiveRig::new(live_events, 2_000);
+    let live_wall_s = rig.run_code_to_completion(2, AnalysisCode::Native("higgs-search".into()));
+    let live_records_per_s = live_events as f64 / live_wall_s;
+
+    let json = format!(
+        "{{\n\
+         \x20 \"generated_by\": \"reproduce perf\",\n\
+         \x20 \"journal\": {{\n\
+         \x20   \"events\": {},\n\
+         \x20   \"bytes\": {journal_bytes},\n\
+         \x20   \"append_memory_us_per_event\": {append_memory_us:.3},\n\
+         \x20   \"append_file_buffered_us_per_event\": {append_buffered_us:.3},\n\
+         \x20   \"append_file_fsync_us_per_event\": {append_fsync_us:.3},\n\
+         \x20   \"decode_ms\": {decode_ms:.3},\n\
+         \x20   \"replay_ms\": {replay_ms:.3},\n\
+         \x20   \"replay_events_per_s\": {replay_events_per_s:.0}\n\
+         \x20 }},\n\
+         \x20 \"live\": {{\n\
+         \x20   \"engines\": 2,\n\
+         \x20   \"events\": {live_events},\n\
+         \x20   \"wall_s\": {live_wall_s:.4},\n\
+         \x20   \"records_per_s\": {live_records_per_s:.0}\n\
+         \x20 }}\n\
+         }}\n",
+        events.len(),
+    );
+    std::fs::write("BENCH_results.json", &json).unwrap();
+    println!("{json}");
+    println!("wrote BENCH_results.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cal = PaperCalibration::paper2006();
@@ -494,6 +638,9 @@ fn main() {
     }
     if want("ablations") {
         ablations_cmd(&cal);
+    }
+    if want("perf") {
+        perf_cmd();
     }
     hline();
 }

@@ -60,6 +60,25 @@ impl RemoteSession {
         }
     }
 
+    /// Reattach to a journaled session by id after a manager restart: the
+    /// gateway replays the session's write-ahead log and rebuilds it with
+    /// fresh engines — same epoch, same merged results, parts not durably
+    /// completed re-queued. A session that was running comes back paused;
+    /// call [`RemoteSession::run`] to continue it. No proxy is needed —
+    /// the session id is the capability, like a WSRF endpoint reference.
+    pub fn resume(addr: impl ToSocketAddrs, session: u64) -> Result<Self, RemoteError> {
+        let mut client = WsClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        match client.call_ok(&WsRequest::Resume { session })? {
+            WsResponse::SessionCreated { session, engines } => Ok(RemoteSession {
+                client,
+                session,
+                engines,
+                results_cache: None,
+            }),
+            other => Err(unexpected("SessionCreated", &other)),
+        }
+    }
+
     /// Remote session id.
     pub fn id(&self) -> u64 {
         self.session

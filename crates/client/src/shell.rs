@@ -29,6 +29,7 @@ commands:
   ls <folder>                  browse a catalog folder
   search <query>               metadata query (e.g. energy >= 500)
   connect <n>                  create a session with n engines
+  resume <session-id>          recover a journaled session after a crash
   select <dataset-id>          stage a dataset
   native <name>                load a registered native analyzer
   script <file>                load IPAScript source from a file
@@ -123,6 +124,28 @@ impl Shell {
                     .create_session(&self.proxy, 0.0, n)
                     .map_err(|e| e.to_string())?;
                 let msg = format!("session {} with {} engines", s.id(), s.engines());
+                self.session = Some(s);
+                msg
+            }
+            "resume" => {
+                let id: u64 = args
+                    .first()
+                    .and_then(|a| a.parse().ok())
+                    .ok_or("usage: resume <session-id>")?;
+                let mut s = self
+                    .manager
+                    .recover_session(id)
+                    .map_err(|e| e.to_string())?;
+                let state = s
+                    .poll()
+                    .map(|st| st.state)
+                    .unwrap_or(ipa_core::RunState::Idle);
+                let msg = format!(
+                    "session {} recovered with {} engines (epoch {}, {state:?})",
+                    s.id(),
+                    s.engines(),
+                    s.epoch(),
+                );
                 self.session = Some(s);
                 msg
             }
@@ -448,6 +471,56 @@ mod tests {
         assert!(sh.exec("plot /nothing").contains("error"));
         assert!(sh.exec("").is_empty());
         sh.exec("quit");
+    }
+
+    #[test]
+    fn resume_recovers_a_journaled_session() {
+        let dir = std::env::temp_dir().join(format!("ipa-shell-journal-{}", std::process::id()));
+        let dir_s = dir.to_string_lossy().into_owned();
+        let sec = SecurityDomain::new("shell-site", 13).with_policy(VoPolicy::new("ilc", 8));
+        let manager = Arc::new(ManagerNode::new(
+            "shell-site",
+            sec.clone(),
+            IpaConfig {
+                publish_every: 200,
+                journal: true,
+                journal_dir: dir_s,
+                journal_fsync: false,
+                ..Default::default()
+            },
+        ));
+        manager
+            .publish_dataset(
+                "/lc",
+                ipa_dataset::generate_dataset(
+                    "lc-shell",
+                    "events",
+                    &GeneratorConfig::Event(EventGeneratorConfig {
+                        events: 1_000,
+                        ..Default::default()
+                    }),
+                ),
+                ipa_catalog::Metadata::new(),
+            )
+            .unwrap();
+        let proxy = sec.issue_proxy("/CN=shell", "ilc", 0.0, 1e6);
+        let mut sh = Shell::new(manager, proxy);
+        sh.exec("connect 2");
+        sh.exec("select lc-shell");
+        sh.exec("native higgs-search");
+        sh.exec("run");
+        assert!(sh.exec("wait 60").contains("Finished"));
+        assert!(sh.exec("close").contains("closed"));
+
+        // The session is gone from memory; its id plus the write-ahead
+        // log bring the whole thing back — results included.
+        let out = sh.exec("resume 1");
+        assert!(out.contains("recovered with 2 engines"), "{out}");
+        assert!(sh.exec("status").contains("100.0%"));
+        assert!(sh.exec("plot /higgs/bb_mass").contains("entries="));
+        assert!(sh.exec("resume 99").contains("error"));
+        sh.exec("quit");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

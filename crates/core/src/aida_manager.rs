@@ -41,7 +41,7 @@ use crate::engine::PartId;
 use crate::error::CoreError;
 
 /// The result payload of one publish: a full snapshot or an increment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum PartPayload {
     /// Full cumulative tree for the part. Always accepted; replaces the
     /// part's accumulator and resynchronizes the delta stream.
@@ -52,7 +52,7 @@ pub enum PartPayload {
 }
 
 /// One published update for a part.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PartUpdate {
     /// Which engine produced it.
     pub engine: usize,
@@ -126,7 +126,10 @@ pub struct ResultPlaneStats {
 
 /// Per-part accumulator: the cumulative tree plus the bookkeeping needed
 /// to decide whether the next delta continues its stream.
-#[derive(Debug)]
+///
+/// Serializable so the session journal's compaction snapshots can carry
+/// the full result plane (see [`AidaExport`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct PartSlot {
     engine: usize,
     seq: u64,
@@ -134,6 +137,24 @@ struct PartSlot {
     total: u64,
     done: bool,
     tree: Tree,
+}
+
+/// Complete serializable state of an [`AidaManager`], as carried by the
+/// journal's compaction snapshots ([`crate::journal::SessionSnapshot`]).
+/// The sub-merger bucket caches are *not* exported — they are a pure
+/// function of `parts` and are rebuilt on import.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AidaExport {
+    /// Per-part accumulators with their delta-stream bookkeeping.
+    parts: BTreeMap<PartId, PartSlot>,
+    /// Run epoch the accumulators belong to.
+    epoch: u64,
+    /// Parts changed since the snapshot tree was last rebuilt.
+    dirty: Vec<PartId>,
+    /// The cached merged tree clients were being served.
+    snapshot: Tree,
+    /// Its monotonic version stamp.
+    result_version: u64,
 }
 
 /// The merge service.
@@ -311,6 +332,60 @@ impl AidaManager {
         if self.parts.remove(&part).is_some() {
             self.dirty.insert(part);
         }
+    }
+
+    /// Serialize the complete result-plane state (accumulators, dirty set,
+    /// cached snapshot, version) for a journal compaction snapshot.
+    pub fn export(&self) -> AidaExport {
+        AidaExport {
+            parts: self.parts.clone(),
+            epoch: self.epoch,
+            dirty: self.dirty.iter().copied().collect(),
+            snapshot: (*self.snapshot).clone(),
+            result_version: self.result_version,
+        }
+    }
+
+    /// Restore state captured by [`AidaManager::export`]. The visible
+    /// snapshot, its version, and the dirty set come back exactly as
+    /// exported; the sub-merger buckets are rebuilt from the accumulators
+    /// (for *every* bucket, not just dirty ones — a later dirty-only
+    /// rebuild must find its clean neighbors already cached). Counters
+    /// (merges, cache hits, ...) restart from zero: they are observability,
+    /// not state.
+    pub fn import(&mut self, export: AidaExport) {
+        let fan_in = self.fan_in as u64;
+        self.parts = export.parts;
+        self.epoch = export.epoch;
+        self.dirty = export.dirty.into_iter().collect();
+        self.snapshot = Arc::new(export.snapshot);
+        self.result_version = export.result_version;
+        self.buckets.clear();
+        let bucket_ids: BTreeSet<u64> = self.parts.keys().map(|p| p / fan_in).collect();
+        for b in bucket_ids {
+            if let Ok((tree, merges)) = rebuild_bucket(&self.parts, b, fan_in) {
+                if merges > 0 {
+                    self.buckets.insert(b, tree);
+                }
+            }
+        }
+    }
+
+    /// Override the snapshot version (journal replay only: the recovered
+    /// plane must present the *journaled* version so clients holding a
+    /// cached copy keep polling with a valid `if_newer_than`).
+    pub fn force_version(&mut self, version: u64) {
+        self.result_version = version;
+    }
+
+    /// Parts whose accumulator is flagged done (recovery: these never
+    /// re-queue).
+    pub fn completed_parts(&self) -> Vec<PartId> {
+        self.parts
+            .iter()
+            .filter(|(_, s)| s.done)
+            .map(|(&p, _)| p)
+            .collect()
     }
 
     /// Total records processed across parts.

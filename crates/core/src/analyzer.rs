@@ -45,7 +45,10 @@ pub trait Analyzer: Send {
 pub type AnalyzerFactory = Arc<dyn Fn() -> Box<dyn Analyzer> + Send + Sync>;
 
 /// Analysis code as shipped from the client to the engines.
-#[derive(Clone)]
+///
+/// Serializable so the session journal can persist the loaded code and
+/// recovery can re-ship it to fresh engines.
+#[derive(Clone, serde::Serialize, serde::Deserialize, PartialEq, Eq)]
 pub enum AnalysisCode {
     /// IPAScript source text (the PNUTS path).
     Script(String),

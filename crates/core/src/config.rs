@@ -87,6 +87,25 @@ pub struct IpaConfig {
     /// otherwise.
     #[serde(default = "ScriptBackend::from_env")]
     pub script_backend: ScriptBackend,
+    /// Write-ahead journal every session's control-plane transitions and
+    /// result stream under [`IpaConfig::journal_dir`], enabling
+    /// [`ManagerNode::recover`](crate::ManagerNode::recover) after a crash.
+    /// Defaults to the `IPA_JOURNAL` environment variable (`off`,
+    /// `buffered`, or `fsync`), off otherwise — off preserves the
+    /// journal-free behavior exactly.
+    #[serde(default = "default_journal")]
+    pub journal: bool,
+    /// Directory holding one `session-<id>.wal` per session.
+    #[serde(default = "default_journal_dir")]
+    pub journal_dir: String,
+    /// Sync journal appends to stable storage (`IPA_JOURNAL=fsync`).
+    /// Buffered appends survive a process crash but not an OS crash.
+    #[serde(default = "default_journal_fsync")]
+    pub journal_fsync: bool,
+    /// Compact a session's journal (rewrite as one snapshot record) every
+    /// this-many appended records; 0 disables compaction.
+    #[serde(default = "default_compact_every")]
+    pub compact_every: u64,
 }
 
 fn default_oversub() -> usize {
@@ -129,6 +148,29 @@ fn default_split_cache() -> bool {
     true
 }
 
+/// Parsed form of the `IPA_JOURNAL` environment variable.
+fn journal_env() -> Option<String> {
+    std::env::var("IPA_JOURNAL")
+        .ok()
+        .map(|v| v.trim().to_ascii_lowercase())
+}
+
+fn default_journal() -> bool {
+    matches!(journal_env().as_deref(), Some("buffered") | Some("fsync"))
+}
+
+fn default_journal_dir() -> String {
+    "ipa-journal".to_string()
+}
+
+fn default_journal_fsync() -> bool {
+    matches!(journal_env().as_deref(), Some("fsync"))
+}
+
+fn default_compact_every() -> u64 {
+    256
+}
+
 impl Default for IpaConfig {
     fn default() -> Self {
         IpaConfig {
@@ -150,6 +192,10 @@ impl Default for IpaConfig {
             stage_queue_depth: default_stage_queue_depth(),
             split_cache: default_split_cache(),
             script_backend: ScriptBackend::from_env(),
+            journal: default_journal(),
+            journal_dir: default_journal_dir(),
+            journal_fsync: default_journal_fsync(),
+            compact_every: default_compact_every(),
         }
     }
 }
@@ -192,8 +238,11 @@ mod tests {
         assert!(c.stage_overlap);
         assert_eq!(c.stage_queue_depth, 4);
         assert!(c.split_cache);
-        // The script backend (newest knob) defaults in as well.
+        // The script backend defaults in as well.
         assert_eq!(c.script_backend, ScriptBackend::from_env());
+        // Journal knobs (newest) default in too.
+        assert_eq!(c.journal_dir, "ipa-journal");
+        assert_eq!(c.compact_every, 256);
     }
 
     #[test]

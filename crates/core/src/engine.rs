@@ -700,7 +700,8 @@ mod tests {
     #[test]
     fn engine_lifecycle_ready_load_run_done() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(0, 100, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+        let mut e =
+            EngineHandle::spawn(0, 100, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         recv_until(&rx, |ev| matches!(ev, EngineEvent::Ready { .. }));
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
@@ -733,7 +734,8 @@ mod tests {
     #[test]
     fn partial_updates_arrive_between_batches() -> Result<(), CoreError> {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(1, 50, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+        let mut e =
+            EngineHandle::spawn(1, 50, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -764,7 +766,14 @@ mod tests {
     #[test]
     fn run_n_pauses_after_budget() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(2, 1000, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+        let mut e = EngineHandle::spawn(
+            2,
+            1000,
+            1,
+            builtin_registry(),
+            ScriptBackend::from_env(),
+            tx,
+        );
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -797,7 +806,14 @@ mod tests {
     #[test]
     fn rewind_resets_results() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(3, 1000, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+        let mut e = EngineHandle::spawn(
+            3,
+            1000,
+            1,
+            builtin_registry(),
+            ScriptBackend::from_env(),
+            tx,
+        );
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -842,7 +858,8 @@ mod tests {
     #[test]
     fn injected_failure_emits_failed_event() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(4, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+        let mut e =
+            EngineHandle::spawn(4, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -869,7 +886,14 @@ mod tests {
         // so the batch is fully processed and then the fault fires instead
         // of the part silently finishing (regression for the `<` boundary).
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(8, 1000, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+        let mut e = EngineHandle::spawn(
+            8,
+            1000,
+            1,
+            builtin_registry(),
+            ScriptBackend::from_env(),
+            tx,
+        );
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -896,7 +920,8 @@ mod tests {
     fn injected_failure_fires_on_zero_budget() {
         // FailAfter(0): the engine must die before processing anything.
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(9, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+        let mut e =
+            EngineHandle::spawn(9, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -921,7 +946,8 @@ mod tests {
     #[test]
     fn stop_drops_position_so_run_restarts_the_part() -> Result<(), CoreError> {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(10, 50, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+        let mut e =
+            EngineHandle::spawn(10, 50, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -960,7 +986,14 @@ mod tests {
     #[test]
     fn throttle_changes_speed_not_results() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(12, 100, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+        let mut e = EngineHandle::spawn(
+            12,
+            100,
+            1,
+            builtin_registry(),
+            ScriptBackend::from_env(),
+            tx,
+        );
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -991,7 +1024,14 @@ mod tests {
     #[test]
     fn events_carry_latest_epoch() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(11, 100, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+        let mut e = EngineHandle::spawn(
+            11,
+            100,
+            1,
+            builtin_registry(),
+            ScriptBackend::from_env(),
+            tx,
+        );
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 3,
@@ -1026,7 +1066,8 @@ mod tests {
         // 4 → pattern C D D D C(done forces nothing here: 5th publish is a
         // scheduled checkpoint, 6th is the done checkpoint).
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(13, 50, 4, builtin_registry(), ScriptBackend::from_env(), tx);
+        let mut e =
+            EngineHandle::spawn(13, 50, 4, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -1074,7 +1115,14 @@ mod tests {
         // re-running the same part with checkpoint_every=1 (full clones)
         // must give the identical final checkpoint.
         let (tx2, rx2) = unbounded();
-        let mut e2 = EngineHandle::spawn(14, 50, 1, builtin_registry(), ScriptBackend::from_env(), tx2);
+        let mut e2 = EngineHandle::spawn(
+            14,
+            50,
+            1,
+            builtin_registry(),
+            ScriptBackend::from_env(),
+            tx2,
+        );
         e2.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -1103,7 +1151,14 @@ mod tests {
         use crate::aida_manager::PartPayload;
 
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(15, 25, 1000, builtin_registry(), ScriptBackend::from_env(), tx);
+        let mut e = EngineHandle::spawn(
+            15,
+            25,
+            1000,
+            builtin_registry(),
+            ScriptBackend::from_env(),
+            tx,
+        );
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -1134,7 +1189,8 @@ mod tests {
     #[test]
     fn bad_script_reports_code_error() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(5, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+        let mut e =
+            EngineHandle::spawn(5, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Script("fn broken( {".into()),
             epoch: 0,
@@ -1146,7 +1202,8 @@ mod tests {
     #[test]
     fn run_without_code_fails_gracefully() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(6, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+        let mut e =
+            EngineHandle::spawn(6, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(10),
@@ -1164,7 +1221,8 @@ mod tests {
     #[test]
     fn script_logs_are_forwarded() {
         let (tx, rx) = unbounded();
-        let mut e = EngineHandle::spawn(7, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+        let mut e =
+            EngineHandle::spawn(7, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Script("fn init() { log(\"booked\"); } fn process(ev) { }".into()),
             epoch: 0,

@@ -52,6 +52,15 @@ pub enum CoreError {
     /// run to finish) so the caller can see how far the run got; `None`
     /// when a single engine event simply never came.
     Timeout(Option<SessionStatus>),
+    /// The session journal could not be read or replayed during recovery.
+    Journal(String),
+    /// A dataset was published under an id already bound to a *different*
+    /// descriptor; silent replacement would corrupt sessions (and cached
+    /// splits) staged from the old contents.
+    DatasetConflict {
+        /// The contested dataset id.
+        id: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -82,6 +91,11 @@ impl fmt::Display for CoreError {
                 s.state, s.records_processed, s.records_total
             ),
             CoreError::Timeout(None) => write!(f, "timed out waiting for an engine event"),
+            CoreError::Journal(m) => write!(f, "journal error: {m}"),
+            CoreError::DatasetConflict { id } => write!(
+                f,
+                "dataset '{id}' already published with a different descriptor"
+            ),
         }
     }
 }
@@ -122,5 +136,10 @@ mod tests {
             expected: 4,
         };
         assert!(e.to_string().contains("1 of 4"));
+        let e = CoreError::Journal("bad record".into());
+        assert!(e.to_string().contains("journal"));
+        let e = CoreError::DatasetConflict { id: "d1".into() };
+        assert!(e.to_string().contains("d1"));
+        assert!(e.to_string().contains("different descriptor"));
     }
 }

@@ -67,6 +67,17 @@ pub enum WsRequest {
         /// Engines requested (0 = site default).
         engines: usize,
     },
+    /// Resume a journaled session after a manager restart: replay its
+    /// write-ahead log, spawn fresh engines, and re-register it in the
+    /// session table under the same id. Holding the session id is the
+    /// capability (the WSRF endpoint-reference pattern) — the subject was
+    /// authenticated when the journal was first written. Answers
+    /// [`WsResponse::SessionCreated`]; a session already live in the table
+    /// is returned as-is rather than recovered twice.
+    Resume {
+        /// Session id to recover from the journal.
+        session: u64,
+    },
     /// Stage a dataset into a session.
     SelectDataset {
         /// Session id.
@@ -308,6 +319,25 @@ fn dispatch(req: WsRequest, manager: &ManagerNode, sessions: &Sessions) -> WsRes
                 sessions.lock().insert(id, session);
                 WsResponse::SessionCreated {
                     session: id,
+                    engines: granted,
+                }
+            }
+            WsRequest::Resume { session } => {
+                let mut table = sessions.lock();
+                let granted = match table.get(&session) {
+                    // Already live (e.g. another connection resumed it):
+                    // answering idempotently beats recovering a duplicate
+                    // whose engines would fight over the same journal.
+                    Some(live) => live.engines(),
+                    None => {
+                        let recovered = manager.recover_session(session)?;
+                        let granted = recovered.engines();
+                        table.insert(session, recovered);
+                        granted
+                    }
+                };
+                WsResponse::SessionCreated {
+                    session,
                     engines: granted,
                 }
             }

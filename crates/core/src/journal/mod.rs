@@ -1,0 +1,388 @@
+//! Durable session journal: write-ahead logging and crash recovery.
+//!
+//! Sessions are WSRF-style addressable resources (§3.2), but until this
+//! subsystem every one of them lived only in manager memory — a manager
+//! crash lost each user's epoch, dataset selection, loaded code, part
+//! progress, and merged results. The journal makes the control plane
+//! durable: every mutating transition and every result-plane publish is
+//! appended to a per-session write-ahead log
+//! ([`wal`]: length-prefixed, CRC-checksummed records), and
+//! [`ManagerNode::recover`](crate::ManagerNode::recover) replays the log to
+//! reconstruct each [`Session`](crate::Session) to its exact pre-crash
+//! snapshot — same epoch, same `result_version`, parts not durably
+//! completed re-queued through the scheduler.
+//!
+//! Replay is pure: [`replay`] folds a [`JournalEvent`] list into a
+//! [`RecoveredState`] using a scratch result plane, never touching engines
+//! or the network. The recovery path then rebuilds the live session around
+//! that state (re-staging the dataset through the staging plane — the
+//! split cache makes that O(parts) for a dataset staged before) and
+//! resumes scheduling from the first incomplete part.
+//!
+//! Periodic *compaction* bounds log growth: every
+//! [`compact_every`](crate::IpaConfig::compact_every) appended records the
+//! journal rewrites itself as a single [`JournalEvent::Snapshot`] record
+//! (full session + result-plane state) — replay treats a snapshot as a
+//! fast-forward. Recovery itself rewrites a freshly compacted journal, so
+//! repeated crash/recover cycles cannot accrete unbounded history.
+
+pub mod wal;
+
+use serde::{Deserialize, Serialize};
+
+use crate::aida_manager::{AidaExport, AidaManager, PartUpdate};
+use crate::analyzer::AnalysisCode;
+use crate::engine::PartId;
+use crate::error::CoreError;
+use crate::session::RunState;
+
+pub use wal::{decode_records, encode_record, JournalBackend, MemHandle};
+
+/// One durable control-plane or result-plane transition.
+///
+/// The variants mirror the session's mutating entry points one-to-one; the
+/// replayer folds them in order. `ResultUpdate` records the exact
+/// [`PartUpdate`] handed to the result plane (checkpoint or delta), so
+/// replay reproduces the accumulators bit-for-bit; `ResultVersion` records
+/// each time the cached merged snapshot actually re-materialized, so the
+/// recovered `result_version` — and therefore a client's cached copy —
+/// stays valid across the restart.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum JournalEvent {
+    /// The session came into existence (subject already authenticated).
+    SessionCreated {
+        /// Session id (also the journal's file name).
+        session: u64,
+        /// Authenticated subject the session belongs to.
+        subject: String,
+        /// Engines granted at creation.
+        engines: usize,
+    },
+    /// `select_dataset` succeeded for this id (original id text, including
+    /// `"<base>@<first>..<last>"` range views — recovery re-stages through
+    /// the same locator path).
+    DatasetSelected {
+        /// The dataset id as the client supplied it.
+        id: String,
+    },
+    /// `load_code` succeeded.
+    CodeLoaded {
+        /// The staged analysis code.
+        code: AnalysisCode,
+    },
+    /// A control-plane reset started run epoch `epoch`
+    /// (`select_dataset` / `load_code` / `rewind`).
+    EpochBumped {
+        /// The new epoch.
+        epoch: u64,
+    },
+    /// `run` / `run_events` put the session into `Running`.
+    RunStarted,
+    /// `pause` was issued.
+    RunPaused,
+    /// `stop` was issued.
+    RunStopped,
+    /// `rewind` was issued (its epoch bump is journaled separately).
+    Rewound,
+    /// A part completed durably under `epoch` (first winner only).
+    PartCompleted {
+        /// The completed part.
+        part: PartId,
+        /// Epoch the completion belongs to.
+        epoch: u64,
+    },
+    /// A result-plane publish, exactly as handed to
+    /// [`AidaManager::publish`](crate::AidaManager::publish).
+    ResultUpdate {
+        /// The part the update belongs to.
+        part: PartId,
+        /// The published update (checkpoint or delta).
+        update: PartUpdate,
+    },
+    /// A part's accumulated results were invalidated (failure recovery).
+    PartInvalidated {
+        /// The invalidated part.
+        part: PartId,
+    },
+    /// The cached merged snapshot re-materialized at this version (the
+    /// client-visible `result_version`).
+    ResultVersion {
+        /// The new snapshot version.
+        version: u64,
+    },
+    /// Compaction fast-forward: complete session state at a point in time.
+    Snapshot(SessionSnapshot),
+}
+
+/// Complete recoverable session state, written by compaction and replayed
+/// as a fast-forward.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// Session id.
+    pub session: u64,
+    /// Authenticated subject.
+    pub subject: String,
+    /// Engines granted at creation.
+    pub engines: usize,
+    /// Selected dataset id (client-supplied text), if any.
+    pub dataset: Option<String>,
+    /// Loaded analysis code, if any.
+    pub code: Option<AnalysisCode>,
+    /// Run epoch.
+    pub epoch: u64,
+    /// Run state.
+    pub state: RunState,
+    /// Parts durably completed in the current epoch.
+    pub completed: Vec<PartId>,
+    /// Full result-plane state (accumulators, dirty set, snapshot,
+    /// version).
+    pub results: AidaExport,
+}
+
+/// The per-session write-ahead log: an append sink with periodic
+/// compaction.
+pub struct SessionJournal {
+    backend: JournalBackend,
+    /// Records appended since the last compaction (or creation).
+    appended_since_compact: u64,
+    compact_every: u64,
+    /// Appends that failed at the I/O or serialization layer. Journaling
+    /// is best-effort by design: a full disk degrades durability, it does
+    /// not take the live session down.
+    append_errors: u64,
+}
+
+impl SessionJournal {
+    /// New journal over `backend`, compacting every `compact_every`
+    /// appended records (0 disables compaction).
+    pub fn new(backend: JournalBackend, compact_every: u64) -> Self {
+        SessionJournal {
+            backend,
+            appended_since_compact: 0,
+            compact_every,
+            append_errors: 0,
+        }
+    }
+
+    /// File-backed journal for session `id` under `dir`.
+    pub fn file_for_session(dir: &str, id: u64, fsync: bool, compact_every: u64) -> Self {
+        SessionJournal::new(
+            JournalBackend::file(session_journal_path(dir, id), fsync),
+            compact_every,
+        )
+    }
+
+    /// The shared buffer of a memory-backed journal (`None` for files).
+    pub fn handle(&self) -> Option<MemHandle> {
+        self.backend.handle()
+    }
+
+    /// Appends that failed (disk full, serialization error, ...).
+    pub fn append_errors(&self) -> u64 {
+        self.append_errors
+    }
+
+    /// Append one event. Best-effort: failures are counted, not raised.
+    pub fn append(&mut self, ev: &JournalEvent) {
+        match serde_json::to_vec(ev) {
+            Ok(payload) => {
+                if self.backend.append(&encode_record(&payload)).is_err() {
+                    self.append_errors += 1;
+                } else {
+                    self.appended_since_compact += 1;
+                }
+            }
+            Err(_) => self.append_errors += 1,
+        }
+    }
+
+    /// True when the append counter has reached the compaction threshold;
+    /// the owner should build a [`SessionSnapshot`] and call
+    /// [`SessionJournal::compact`].
+    pub fn should_compact(&self) -> bool {
+        self.compact_every > 0 && self.appended_since_compact >= self.compact_every
+    }
+
+    /// Rewrite the journal as a single snapshot record (atomic replace).
+    pub fn compact(&mut self, snapshot: &SessionSnapshot) {
+        let Ok(payload) = serde_json::to_vec(&JournalEvent::Snapshot(snapshot.clone())) else {
+            self.append_errors += 1;
+            return;
+        };
+        if self.backend.replace(&encode_record(&payload)).is_err() {
+            self.append_errors += 1;
+            return;
+        }
+        self.appended_since_compact = 0;
+    }
+
+    /// Read the journal back and decode every valid event, stopping at the
+    /// first torn or corrupt record (see [`decode_records`]).
+    pub fn read_events(&self) -> Result<Vec<JournalEvent>, CoreError> {
+        let bytes = self
+            .backend
+            .read_all()
+            .map_err(|e| CoreError::Journal(format!("read journal: {e}")))?;
+        Ok(decode_events(&bytes))
+    }
+}
+
+/// Journal file path for session `id` under `dir`.
+pub fn session_journal_path(dir: &str, id: u64) -> std::path::PathBuf {
+    std::path::Path::new(dir).join(format!("session-{id}.wal"))
+}
+
+/// Decode every valid [`JournalEvent`] from raw journal bytes. Stops at
+/// the first framing *or* deserialization failure — a record that passes
+/// its checksum but does not parse marks the same trust boundary as a torn
+/// tail.
+pub fn decode_events(bytes: &[u8]) -> Vec<JournalEvent> {
+    let (frames, _) = decode_records(bytes);
+    let mut events = Vec::with_capacity(frames.len());
+    for frame in frames {
+        match serde_json::from_slice::<JournalEvent>(frame) {
+            Ok(ev) => events.push(ev),
+            Err(_) => break,
+        }
+    }
+    events
+}
+
+/// Session state reconstructed by [`replay`] — everything the recovery
+/// path needs to rebuild a live [`Session`](crate::Session).
+pub struct RecoveredState {
+    /// Session id.
+    pub session: u64,
+    /// Authenticated subject.
+    pub subject: String,
+    /// Engines the session was created with.
+    pub engines: usize,
+    /// Selected dataset id (client-supplied text), if any.
+    pub dataset: Option<String>,
+    /// Loaded analysis code, if any.
+    pub code: Option<AnalysisCode>,
+    /// Run epoch at the time of the last durable record.
+    pub epoch: u64,
+    /// Run state at the time of the last durable record.
+    pub state: RunState,
+    /// Parts durably completed in the current epoch (union of journaled
+    /// completions and result-plane accumulators flagged done).
+    pub completed: Vec<PartId>,
+    /// The reconstructed result plane: same accumulators, same dirty set,
+    /// same cached snapshot, same `result_version` as before the crash.
+    pub aida: AidaManager,
+}
+
+impl RecoveredState {
+    /// The session's completed-part set as a sorted, deduplicated list:
+    /// journaled `PartCompleted` events plus accumulators flagged done (a
+    /// done checkpoint always precedes its completion record, so the union
+    /// only widens the set with parts whose final state *is* durable).
+    fn finalize_completed(&mut self) {
+        let mut set: std::collections::BTreeSet<PartId> = self.completed.iter().copied().collect();
+        set.extend(self.aida.completed_parts());
+        self.completed = set.into_iter().collect();
+    }
+}
+
+/// Fold a journal into the state it describes.
+///
+/// Pure: drives a scratch [`AidaManager`] (built with `merge_fan_in` /
+/// `merge_parallelism` so bucketing matches the live plane) and never
+/// touches engines, sockets, or the filesystem. `SessionCreated` and
+/// `Snapshot` records reset the fold — which is also what makes replay
+/// idempotent: replaying a log twice equals replaying it once, because the
+/// second pass begins by resetting to the first record's state.
+pub fn replay(
+    events: &[JournalEvent],
+    merge_fan_in: usize,
+    merge_parallelism: usize,
+) -> RecoveredState {
+    let mut st = RecoveredState {
+        session: 0,
+        subject: String::new(),
+        engines: 0,
+        dataset: None,
+        code: None,
+        epoch: 0,
+        state: RunState::Idle,
+        completed: Vec::new(),
+        aida: AidaManager::with_merge_config(merge_fan_in, merge_parallelism),
+    };
+    for ev in events {
+        match ev {
+            JournalEvent::SessionCreated {
+                session,
+                subject,
+                engines,
+            } => {
+                st = RecoveredState {
+                    session: *session,
+                    subject: subject.clone(),
+                    engines: *engines,
+                    dataset: None,
+                    code: None,
+                    epoch: 0,
+                    state: RunState::Idle,
+                    completed: Vec::new(),
+                    aida: AidaManager::with_merge_config(merge_fan_in, merge_parallelism),
+                };
+            }
+            JournalEvent::Snapshot(s) => {
+                let mut aida = AidaManager::with_merge_config(merge_fan_in, merge_parallelism);
+                aida.import(s.results.clone());
+                st = RecoveredState {
+                    session: s.session,
+                    subject: s.subject.clone(),
+                    engines: s.engines,
+                    dataset: s.dataset.clone(),
+                    code: s.code.clone(),
+                    epoch: s.epoch,
+                    state: s.state,
+                    completed: s.completed.clone(),
+                    aida,
+                };
+            }
+            JournalEvent::DatasetSelected { id } => st.dataset = Some(id.clone()),
+            JournalEvent::CodeLoaded { code } => st.code = Some(code.clone()),
+            JournalEvent::EpochBumped { epoch } => {
+                st.epoch = *epoch;
+                st.aida.begin_epoch(*epoch);
+                st.completed.clear();
+                // Every epoch bump is immediately followed by a queue
+                // re-stage, which leaves the session Idle.
+                st.state = RunState::Idle;
+            }
+            JournalEvent::RunStarted => st.state = RunState::Running,
+            JournalEvent::RunPaused => {
+                if st.state == RunState::Running {
+                    st.state = RunState::Paused;
+                }
+            }
+            JournalEvent::RunStopped => st.state = RunState::Stopped,
+            JournalEvent::Rewound => {} // its EpochBumped does the work
+            JournalEvent::PartCompleted { part, epoch } => {
+                if *epoch == st.epoch {
+                    st.completed.push(*part);
+                }
+            }
+            JournalEvent::ResultUpdate { part, update } => {
+                // Mirror the live publish exactly (epoch/seq/engine guards
+                // included) so the accumulators converge bit-for-bit.
+                st.aida.publish(*part, update.clone());
+            }
+            JournalEvent::PartInvalidated { part } => st.aida.invalidate(*part),
+            JournalEvent::ResultVersion { version } => {
+                // The live session re-materialized its snapshot here; doing
+                // the same folds the dirty set at the same point, then the
+                // journaled version overrides whatever the scratch plane
+                // counted (version arithmetic is not replayable — epochs
+                // with non-empty snapshots bump it as a side effect).
+                let _ = st.aida.snapshot();
+                st.aida.force_version(*version);
+            }
+        }
+    }
+    st.finalize_completed();
+    st
+}

@@ -1,0 +1,320 @@
+//! Record framing and storage backends for the session journal.
+//!
+//! The on-disk format is a flat sequence of length-prefixed, checksummed
+//! records:
+//!
+//! ```text
+//! ┌──────────────┬──────────────┬───────────────────┐
+//! │ len: u32 LE  │ crc: u32 LE  │ payload (len B)   │  × N
+//! └──────────────┴──────────────┴───────────────────┘
+//! ```
+//!
+//! `crc` is the IEEE CRC-32 of the payload. A reader walks records from the
+//! front and stops at the first record whose header is truncated, whose
+//! payload is shorter than `len`, or whose checksum mismatches — everything
+//! before that point is trusted, everything after is discarded. That is the
+//! property crash recovery needs: a write torn by the crash can only damage
+//! the tail, never reinterpret the prefix.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Header bytes per record: `u32` length + `u32` CRC.
+pub const RECORD_HEADER: usize = 8;
+
+/// Records larger than this are rejected at append time and treated as
+/// corruption at read time (a length field of garbage bytes would otherwise
+/// make the reader skip gigabytes past the real tail).
+pub const MAX_RECORD: usize = 256 << 20;
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 of `data` (the zlib/PNG polynomial).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// Frame one payload as a journal record.
+pub fn encode_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Walk `buf` from the front, returning every valid payload plus the byte
+/// offset of the first invalid/truncated record (== `buf.len()` when the
+/// whole buffer is clean). Decoding *stops* at the first bad record: a
+/// corrupt or torn tail never hides behind later, accidentally-plausible
+/// frames.
+pub fn decode_records(buf: &[u8]) -> (Vec<&[u8]>, usize) {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while buf.len() - pos >= RECORD_HEADER {
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let start = pos + RECORD_HEADER;
+        if len > MAX_RECORD || buf.len() - start < len {
+            break;
+        }
+        let payload = &buf[start..start + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        out.push(payload);
+        pos = start + len;
+    }
+    (out, pos)
+}
+
+/// Shared byte buffer behind the in-memory backend. Clones share storage,
+/// so a test can keep a handle while the session owns the journal — the
+/// "disk" survives the session being dropped (the simulated crash).
+pub type MemHandle = Arc<Mutex<Vec<u8>>>;
+
+/// Where journal bytes live.
+pub enum JournalBackend {
+    /// One append-only file; `fsync` adds a `sync_data` after every append
+    /// (durability against OS crash, not just process crash).
+    File {
+        /// Journal file path.
+        path: PathBuf,
+        /// Sync to stable storage after each append.
+        fsync: bool,
+        /// Open append handle, lazily (re)created.
+        file: Option<File>,
+    },
+    /// A shared in-memory buffer (tests): identical framing, no I/O.
+    Memory(MemHandle),
+}
+
+impl JournalBackend {
+    /// File backend at `path` (parent directories are created on first
+    /// append).
+    pub fn file(path: impl Into<PathBuf>, fsync: bool) -> Self {
+        JournalBackend::File {
+            path: path.into(),
+            fsync,
+            file: None,
+        }
+    }
+
+    /// Fresh in-memory backend; keep a [`JournalBackend::handle`] clone to
+    /// read it back after the owner is gone.
+    pub fn memory() -> Self {
+        JournalBackend::Memory(Arc::new(Mutex::new(Vec::new())))
+    }
+
+    /// In-memory backend over an existing shared buffer.
+    pub fn memory_shared(handle: MemHandle) -> Self {
+        JournalBackend::Memory(handle)
+    }
+
+    /// The shared buffer of a memory backend (`None` for files).
+    pub fn handle(&self) -> Option<MemHandle> {
+        match self {
+            JournalBackend::Memory(h) => Some(Arc::clone(h)),
+            JournalBackend::File { .. } => None,
+        }
+    }
+
+    /// The file path of a file backend (`None` for memory).
+    pub fn path(&self) -> Option<&Path> {
+        match self {
+            JournalBackend::File { path, .. } => Some(path),
+            JournalBackend::Memory(_) => None,
+        }
+    }
+
+    /// Append one framed record (already encoded by [`encode_record`]).
+    /// The full frame goes out in a single `write_all`, so a crash between
+    /// appends never leaves a half-frame from *this* process (a crash
+    /// mid-write can, which is exactly what the checksummed tail absorbs).
+    pub fn append(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        match self {
+            JournalBackend::File { path, fsync, file } => {
+                if file.is_none() {
+                    if let Some(parent) = path.parent() {
+                        if !parent.as_os_str().is_empty() {
+                            std::fs::create_dir_all(parent)?;
+                        }
+                    }
+                    *file = Some(OpenOptions::new().create(true).append(true).open(&*path)?);
+                }
+                let f = file.as_mut().expect("file opened above");
+                f.write_all(frame)?;
+                if *fsync {
+                    f.sync_data()?;
+                }
+                Ok(())
+            }
+            JournalBackend::Memory(buf) => {
+                buf.lock().extend_from_slice(frame);
+                Ok(())
+            }
+        }
+    }
+
+    /// Read the whole journal back (valid and torn bytes alike; the caller
+    /// runs [`decode_records`] over it).
+    pub fn read_all(&self) -> std::io::Result<Vec<u8>> {
+        match self {
+            JournalBackend::File { path, .. } => match File::open(path) {
+                Ok(mut f) => {
+                    let mut buf = Vec::new();
+                    f.read_to_end(&mut buf)?;
+                    Ok(buf)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+                Err(e) => Err(e),
+            },
+            JournalBackend::Memory(buf) => Ok(buf.lock().clone()),
+        }
+    }
+
+    /// Atomically replace the journal contents (compaction: a snapshot
+    /// record plus whatever followed it). Files go through a temp file +
+    /// rename so a crash mid-compaction leaves either the old or the new
+    /// journal, never a mix.
+    pub fn replace(&mut self, contents: &[u8]) -> std::io::Result<()> {
+        match self {
+            JournalBackend::File { path, fsync, file } => {
+                *file = None; // drop the append handle before swapping
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent)?;
+                    }
+                }
+                let tmp = path.with_extension("wal.tmp");
+                {
+                    let mut f = File::create(&tmp)?;
+                    f.write_all(contents)?;
+                    if *fsync {
+                        f.sync_data()?;
+                    }
+                }
+                std::fs::rename(&tmp, &*path)?;
+                Ok(())
+            }
+            JournalBackend::Memory(buf) => {
+                let mut b = buf.lock();
+                b.clear();
+                b.extend_from_slice(contents);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut buf = Vec::new();
+        let payloads: Vec<&[u8]> = vec![b"alpha", b"", b"gamma gamma"];
+        for p in &payloads {
+            buf.extend_from_slice(&encode_record(p));
+        }
+        let (got, consumed) = decode_records(&buf);
+        assert_eq!(got, payloads);
+        assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn decode_stops_at_truncated_tail() {
+        let mut buf = encode_record(b"keep me");
+        let second = encode_record(b"torn record");
+        buf.extend_from_slice(&second[..second.len() - 3]);
+        let (got, consumed) = decode_records(&buf);
+        assert_eq!(got, vec![b"keep me".as_slice()]);
+        assert_eq!(consumed, encode_record(b"keep me").len());
+    }
+
+    #[test]
+    fn decode_stops_at_corrupt_crc() {
+        let mut buf = encode_record(b"first");
+        let mut bad = encode_record(b"second");
+        let n = bad.len();
+        bad[n - 1] ^= 0xff; // flip a payload byte after the CRC was stamped
+        buf.extend_from_slice(&bad);
+        buf.extend_from_slice(&encode_record(b"unreachable"));
+        let (got, _) = decode_records(&buf);
+        // Decoding stops at the corrupt record; later valid records are
+        // *not* resurrected (the stream is untrustworthy past the tear).
+        assert_eq!(got, vec![b"first".as_slice()]);
+    }
+
+    #[test]
+    fn decode_rejects_absurd_length_field() {
+        let mut buf = encode_record(b"ok");
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(b"garbage");
+        let (got, _) = decode_records(&buf);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn memory_backend_survives_owner_drop() {
+        let mut backend = JournalBackend::memory();
+        let handle = backend.handle().unwrap();
+        backend.append(&encode_record(b"persist")).unwrap();
+        drop(backend); // the "crash"
+        let revived = JournalBackend::memory_shared(handle);
+        let bytes = revived.read_all().unwrap();
+        let (got, _) = decode_records(&bytes);
+        assert_eq!(got, vec![b"persist".as_slice()]);
+    }
+
+    #[test]
+    fn replace_swaps_contents() {
+        let mut backend = JournalBackend::memory();
+        backend.append(&encode_record(b"old")).unwrap();
+        let fresh = encode_record(b"compacted");
+        backend.replace(&fresh).unwrap();
+        let (got, _) = decode_records(&backend.read_all().unwrap());
+        assert_eq!(got, vec![b"compacted".as_slice()]);
+    }
+}

@@ -50,6 +50,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod gateway;
+pub mod journal;
 pub mod locator;
 pub mod manager;
 pub mod registry;
@@ -58,17 +59,23 @@ pub mod session;
 pub mod staging;
 pub mod store;
 
-pub use aida_manager::{AidaManager, PartPayload, PartUpdate, PublishOutcome, ResultPlaneStats};
+pub use aida_manager::{
+    AidaExport, AidaManager, PartPayload, PartUpdate, PublishOutcome, ResultPlaneStats,
+};
 pub use analyzer::{
     builtin_registry, instantiate_code, run_analyzer_serial, AnalysisCode, Analyzer,
     AnalyzerFactory, DnaMotifAnalyzer, FieldHistogramAnalyzer, HiggsSearchAnalyzer, NativeRegistry,
     ScriptAnalyzer, TradeVwapAnalyzer,
 };
 pub use config::IpaConfig;
-pub use ipa_script::ScriptBackend;
 pub use engine::{EngineCommand, EngineEvent, EngineHandle, EngineId, Epoch, PartId};
 pub use error::CoreError;
 pub use gateway::{WsClient, WsGateway, WsRequest, WsResponse};
+pub use ipa_script::ScriptBackend;
+pub use journal::{
+    decode_events, replay, session_journal_path, JournalBackend, JournalEvent, RecoveredState,
+    SessionJournal, SessionSnapshot,
+};
 pub use locator::{DatasetLocation, LocatorService};
 pub use manager::ManagerNode;
 pub use registry::{SessionInfo, WorkerInfo, WorkerRegistry, WorkerState};

@@ -124,17 +124,19 @@ mod tests {
     #[test]
     fn locate_known_and_unknown() {
         let store = DatasetStore::new();
-        store.put(Dataset::from_records(
-            "lc-1",
-            "LC",
-            vec![AnyRecord::Event(CollisionEvent {
-                event_id: 0,
-                run: 0,
-                sqrt_s: 500.0,
-                is_signal: false,
-                particles: vec![],
-            })],
-        ));
+        store
+            .put(Dataset::from_records(
+                "lc-1",
+                "LC",
+                vec![AnyRecord::Event(CollisionEvent {
+                    event_id: 0,
+                    run: 0,
+                    sqrt_s: 500.0,
+                    is_signal: false,
+                    particles: vec![],
+                })],
+            ))
+            .unwrap();
         let loc = LocatorService::new(store, "slac.stanford.edu");
         match loc.locate(&DatasetId::new("lc-1")).unwrap() {
             DatasetLocation::StorageElement { url } => {
@@ -163,7 +165,9 @@ mod tests {
                 })
             })
             .collect();
-        store.put(Dataset::from_records("base", "Base", recs));
+        store
+            .put(Dataset::from_records("base", "Base", recs))
+            .unwrap();
         LocatorService::new(store, "site")
     }
 

@@ -21,6 +21,7 @@ use crate::analyzer::{builtin_registry, NativeRegistry};
 use crate::config::IpaConfig;
 use crate::engine::EngineHandle;
 use crate::error::CoreError;
+use crate::journal::{replay, SessionJournal};
 use crate::locator::LocatorService;
 use crate::registry::WorkerRegistry;
 use crate::session::Session;
@@ -95,7 +96,7 @@ impl ManagerNode {
         metadata: Metadata,
     ) -> Result<(), CoreError> {
         let descriptor = dataset.descriptor.clone();
-        self.store.put(dataset);
+        self.store.put(dataset)?;
         self.catalog
             .write()
             .add(folder, descriptor, metadata)
@@ -175,7 +176,113 @@ impl ManagerNode {
             self.workers.clone(),
         );
         session.wait_ready()?;
+        if self.config.journal {
+            session.attach_journal(SessionJournal::file_for_session(
+                &self.config.journal_dir,
+                id,
+                self.config.journal_fsync,
+                self.config.compact_every,
+            ));
+        }
         Ok(session)
+    }
+
+    /// Recover one session from its write-ahead log after a crash: read
+    /// `journal_dir/session-<id>.wal`, replay it into a
+    /// [`RecoveredState`](crate::journal::RecoveredState), spawn fresh
+    /// engines, and rebuild the live [`Session`] to its exact pre-crash
+    /// snapshot — same epoch, same `result_version`, parts not durably
+    /// completed re-queued through the scheduler. A `Running` session
+    /// comes back `Paused` (the client resumes with `run`).
+    ///
+    /// No proxy is required: holding the session id *is* the capability,
+    /// exactly like dereferencing a WSRF endpoint reference — the subject
+    /// was authenticated when the journal's `SessionCreated` was written.
+    /// The dataset must be locatable again (re-published on the SE) for a
+    /// session that had one selected.
+    pub fn recover_session(&self, id: u64) -> Result<Session, CoreError> {
+        self.recover_session_in(&self.config.journal_dir, id)
+    }
+
+    fn recover_session_in(&self, journal_dir: &str, id: u64) -> Result<Session, CoreError> {
+        let journal = SessionJournal::file_for_session(
+            journal_dir,
+            id,
+            self.config.journal_fsync,
+            self.config.compact_every,
+        );
+        let events = journal.read_events()?;
+        let rec = replay(
+            &events,
+            self.config.merge_fan_in,
+            self.config.merge_parallelism,
+        );
+        if events.is_empty() || rec.session != id {
+            return Err(CoreError::Journal(format!(
+                "no recoverable state for session {id} in '{journal_dir}'"
+            )));
+        }
+
+        let (events_tx, events_rx) = unbounded();
+        let engines: Vec<EngineHandle> = (0..rec.engines.max(1))
+            .map(|i| {
+                EngineHandle::spawn(
+                    i,
+                    self.config.publish_every,
+                    self.config.checkpoint_every,
+                    self.registry.clone(),
+                    self.config.script_backend,
+                    events_tx.clone(),
+                )
+            })
+            .collect();
+
+        // Keep fresh ids above every recovered one.
+        self.next_session.fetch_max(id + 1, Ordering::Relaxed);
+        self.workers
+            .register_session(id, &rec.subject, engines.len(), &self.site);
+        Session::recover(
+            id,
+            rec,
+            engines,
+            events_rx,
+            Box::new(SitePlane::new(self.locator.clone(), &self.config)),
+            self.config.clone(),
+            self.workers.clone(),
+            Some(journal),
+        )
+    }
+
+    /// Recover every session journaled under `journal_dir` (manager
+    /// restart). Returns the rebuilt sessions; an unreadable or empty
+    /// journal fails the whole recovery rather than silently dropping a
+    /// user's session.
+    pub fn recover(&self, journal_dir: &str) -> Result<Vec<Session>, CoreError> {
+        let mut ids = Vec::new();
+        let entries = match std::fs::read_dir(journal_dir) {
+            Ok(entries) => entries,
+            // No directory simply means nothing was ever journaled.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(CoreError::Journal(format!("read {journal_dir}: {e}"))),
+        };
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| CoreError::Journal(format!("read {journal_dir}: {e}")))?;
+            let name = entry.file_name();
+            let Some(id) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix("session-"))
+                .and_then(|n| n.strip_suffix(".wal"))
+                .and_then(|n| n.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            ids.push(id);
+        }
+        ids.sort_unstable();
+        ids.into_iter()
+            .map(|id| self.recover_session_in(journal_dir, id))
+            .collect()
     }
 }
 

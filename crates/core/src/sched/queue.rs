@@ -58,6 +58,13 @@ impl PartQueue {
         self.completed.len()
     }
 
+    /// The completed parts, sorted (journal snapshots).
+    pub fn completed_parts(&self) -> Vec<PartId> {
+        let mut v: Vec<PartId> = self.completed.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
     /// True once `part` has a winning completion; late updates from any
     /// other runner must be dropped.
     pub fn is_complete(&self, part: PartId) -> bool {
@@ -118,6 +125,16 @@ impl PartQueue {
             self.pending.push_front(part);
         }
     }
+
+    /// Journal recovery: mark `part` complete without it ever running in
+    /// this process. The part leaves `pending` (and any phantom `running`
+    /// entry) so it is never dispatched, and late updates for it are
+    /// dropped by the usual [`PartQueue::is_complete`] guard.
+    pub fn mark_recovered_complete(&mut self, part: PartId) {
+        self.pending.retain(|&p| p != part);
+        self.running.remove(&part);
+        self.completed.insert(part);
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +173,22 @@ mod tests {
         assert!(q.is_complete(0));
         // Late speculation on a completed part is refused.
         assert!(!q.speculate(0, 2));
+    }
+
+    #[test]
+    fn recovered_completion_skips_dispatch() {
+        let mut q = PartQueue::default();
+        q.stage(3);
+        q.mark_recovered_complete(1);
+        assert!(q.is_complete(1));
+        assert_eq!(q.pending_len(), 2);
+        // Dispatch order skips the recovered part entirely.
+        assert_eq!(q.pop(0), Some(0));
+        assert_eq!(q.pop(1), Some(2));
+        assert_eq!(q.pop(2), None);
+        // Requeue of a recovered-complete part is refused.
+        q.requeue(1);
+        assert_eq!(q.pending_len(), 0);
     }
 
     #[test]

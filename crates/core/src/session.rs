@@ -41,6 +41,7 @@ use crate::analyzer::{instantiate_code, AnalysisCode, NativeRegistry};
 use crate::config::IpaConfig;
 use crate::engine::{EngineCommand, EngineEvent, EngineHandle, EngineId, PartId};
 use crate::error::CoreError;
+use crate::journal::{JournalEvent, RecoveredState, SessionJournal, SessionSnapshot};
 use crate::registry::{WorkerRegistry, WorkerState};
 use crate::sched::{CompletionOutcome, PartQueue, SchedStats, SchedulerPolicy, WorkerLedger};
 use crate::staging::{pipeline::StageFaultPlan, DatasetPlane, SplitSpec, StagingStats};
@@ -146,6 +147,10 @@ pub struct Session {
     config: IpaConfig,
 
     dataset: Option<DatasetDescriptor>,
+    /// The dataset id exactly as the client supplied it (including
+    /// `"<base>@<first>..<last>"` range views) — what the journal records
+    /// and recovery re-stages through the locator.
+    dataset_source: Option<String>,
     parts: Vec<Arc<Vec<AnyRecord>>>,
     queue: PartQueue,
     ledger: WorkerLedger,
@@ -156,6 +161,9 @@ pub struct Session {
     logs: Vec<(EngineId, String)>,
     failures: Vec<FailureRecord>,
     registry: WorkerRegistry,
+    /// Write-ahead log of this session's transitions (None = journal off;
+    /// every hook is a no-op and behavior matches the journal-free build).
+    journal: Option<SessionJournal>,
     closed: bool,
 }
 
@@ -204,6 +212,7 @@ impl Session {
             },
             config,
             dataset: None,
+            dataset_source: None,
             parts: Vec::new(),
             queue: PartQueue::default(),
             ledger,
@@ -213,7 +222,60 @@ impl Session {
             logs: Vec::new(),
             failures: Vec::new(),
             registry,
+            journal: None,
             closed: false,
+        }
+    }
+
+    /// Attach a write-ahead journal and record the session's creation.
+    /// Called by the manager right after spawn when journaling is on;
+    /// also public so tests can attach a memory-backed journal.
+    pub fn attach_journal(&mut self, journal: SessionJournal) {
+        self.journal = Some(journal);
+        self.journal_event(JournalEvent::SessionCreated {
+            session: self.id,
+            subject: self.subject.clone(),
+            engines: self.engines.len(),
+        });
+    }
+
+    /// Journal appends that failed (0 when journaling is off). Best-effort
+    /// durability: failures degrade recoverability, never the live run.
+    pub fn journal_append_errors(&self) -> u64 {
+        self.journal.as_ref().map_or(0, |j| j.append_errors())
+    }
+
+    /// Append `ev` to the journal (no-op with journaling off), compacting
+    /// the log down to a single snapshot record when the append counter
+    /// crosses [`crate::IpaConfig::compact_every`].
+    fn journal_event(&mut self, ev: JournalEvent) {
+        let should_compact = match self.journal.as_mut() {
+            Some(journal) => {
+                journal.append(&ev);
+                journal.should_compact()
+            }
+            None => return,
+        };
+        if should_compact {
+            let snapshot = self.session_snapshot();
+            if let Some(journal) = self.journal.as_mut() {
+                journal.compact(&snapshot);
+            }
+        }
+    }
+
+    /// Complete recoverable state at this instant (compaction record).
+    fn session_snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            session: self.id,
+            subject: self.subject.clone(),
+            engines: self.engines.len(),
+            dataset: self.dataset_source.clone(),
+            code: self.code.clone(),
+            epoch: self.epoch,
+            state: self.state,
+            completed: self.queue.completed_parts(),
+            results: self.aida.export(),
         }
     }
 
@@ -269,6 +331,7 @@ impl Session {
             slot.completed_records = 0;
             slot.retries_used = 0;
         }
+        self.journal_event(JournalEvent::EpochBumped { epoch: self.epoch });
     }
 
     fn check_open(&self) -> Result<(), CoreError> {
@@ -304,6 +367,108 @@ impl Session {
         Ok(())
     }
 
+    /// Rebuild a live session around journal-replayed state (the manager's
+    /// crash-recovery path). Fresh engines are spawned by the caller; this
+    /// re-stages the dataset through the staging plane (the split cache
+    /// makes that O(parts) for a dataset staged before the crash), restores
+    /// the run epoch *without* bumping it, ships the loaded code, installs
+    /// the recovered result plane verbatim, and re-queues every part not
+    /// durably completed. A session that was `Running` comes back `Paused`
+    /// — the client resumes explicitly with `run` — or `Finished` when
+    /// every part had already completed. The journal (if any) is rewritten
+    /// as a single compacted snapshot so crash/recover cycles cannot
+    /// accrete history.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn recover(
+        id: u64,
+        rec: RecoveredState,
+        engines: Vec<EngineHandle>,
+        events: Receiver<EngineEvent>,
+        plane: Box<dyn DatasetPlane>,
+        config: IpaConfig,
+        registry: WorkerRegistry,
+        journal: Option<SessionJournal>,
+    ) -> Result<Session, CoreError> {
+        let mut s = Session::new(
+            id,
+            rec.subject.clone(),
+            engines,
+            events,
+            plane,
+            config,
+            registry,
+        );
+        s.wait_ready()?;
+        if let Some(ds_id) = &rec.dataset {
+            let alive = s.engines_alive();
+            if alive == 0 {
+                return Err(CoreError::AllEnginesFailed);
+            }
+            // Same engine count as creation → same split → the replayed
+            // part ids line up with the re-staged parts.
+            let spec = SplitSpec::from_config(&s.config, alive);
+            let staged = s.plane.stage(&DatasetId::new(ds_id.clone()), &spec)?;
+            s.parts = staged.parts;
+            s.dataset = Some(staged.descriptor);
+            s.dataset_source = Some(ds_id.clone());
+        }
+        // Replay owns the epoch counter: restore, never bump (a bump would
+        // orphan the recovered results under a superseded epoch).
+        s.epoch = rec.epoch;
+        if let Some(code) = &rec.code {
+            let epoch = s.epoch;
+            for slot in s.engines.iter_mut().filter(|sl| sl.alive) {
+                slot.handle.send(EngineCommand::LoadCode {
+                    code: code.clone(),
+                    epoch,
+                });
+            }
+            s.code = Some(code.clone());
+        }
+        s.aida = rec.aida;
+        s.queue.stage(s.parts.len());
+        s.stats.parts_queued = s.parts.len() as u64;
+        for &p in &rec.completed {
+            if (p as usize) < s.parts.len() {
+                s.queue.mark_recovered_complete(p);
+            }
+        }
+        // Hand each engine its first incomplete part (mirror of restage).
+        // The first publish of a fresh assignment is always a checkpoint,
+        // so a re-run part replaces any replayed partial accumulator
+        // instead of double counting into it.
+        let epoch = s.epoch;
+        for (idx, slot) in s.engines.iter_mut().enumerate() {
+            if !slot.alive {
+                continue;
+            }
+            match s.queue.pop(idx) {
+                Some(part) => {
+                    slot.handle.send(EngineCommand::AssignPart {
+                        part,
+                        records: s.parts[part as usize].clone(),
+                        epoch,
+                    });
+                    slot.part = Some((part, false));
+                }
+                None => {
+                    slot.handle.send(EngineCommand::Stop);
+                }
+            }
+        }
+        let all_done = !s.parts.is_empty() && s.queue.completed_len() == s.parts.len();
+        s.state = match rec.state {
+            RunState::Running if all_done => RunState::Finished,
+            RunState::Running => RunState::Paused,
+            other => other,
+        };
+        if let Some(mut journal) = journal {
+            journal.compact(&s.session_snapshot());
+            s.journal = Some(journal);
+        }
+        Ok(s)
+    }
+
     /// Step 2: choose a dataset. The whole dataset path goes through the
     /// staging plane ([`crate::staging::DatasetPlane`]): the locator
     /// resolves the id (plain or `"<base>@<first>..<last>"` range view),
@@ -327,7 +492,9 @@ impl Session {
         let staged = self.plane.stage(id, &spec)?;
         self.parts = staged.parts;
         self.dataset = Some(staged.descriptor);
+        self.dataset_source = Some(id.to_string());
         self.restage();
+        self.journal_event(JournalEvent::DatasetSelected { id: id.to_string() });
         Ok(())
     }
 
@@ -390,6 +557,7 @@ impl Session {
                 epoch,
             });
         }
+        self.journal_event(JournalEvent::CodeLoaded { code: code.clone() });
         self.code = Some(code);
         Ok(())
     }
@@ -418,6 +586,7 @@ impl Session {
             slot.handle.send(EngineCommand::Run);
         }
         self.state = RunState::Running;
+        self.journal_event(JournalEvent::RunStarted);
         Ok(())
     }
 
@@ -441,6 +610,7 @@ impl Session {
             slot.handle.send(EngineCommand::RunN(n));
         }
         self.state = RunState::Running;
+        self.journal_event(JournalEvent::RunStarted);
         Ok(())
     }
 
@@ -453,6 +623,7 @@ impl Session {
         if self.state == RunState::Running {
             self.state = RunState::Paused;
         }
+        self.journal_event(JournalEvent::RunPaused);
         Ok(())
     }
 
@@ -472,6 +643,7 @@ impl Session {
             slot.budget_left = None;
         }
         self.state = RunState::Stopped;
+        self.journal_event(JournalEvent::RunStopped);
         Ok(())
     }
 
@@ -482,6 +654,7 @@ impl Session {
     pub fn rewind(&mut self) -> Result<(), CoreError> {
         self.check_open()?;
         self.restage();
+        self.journal_event(JournalEvent::Rewound);
         Ok(())
     }
 
@@ -561,6 +734,7 @@ impl Session {
                         Some(total),
                     );
                 }
+                let newly_completed = completion.is_some();
                 if let Some(outcome) = completion {
                     if outcome.winner_was_speculative {
                         self.stats.speculations_won += 1;
@@ -586,6 +760,21 @@ impl Session {
                     }
                 }
                 let engine = update.engine;
+                // Journal the publish exactly as the result plane sees it
+                // (the completion record follows its done checkpoint, so a
+                // replayed completion is always backed by durable results).
+                if self.journal.is_some() {
+                    self.journal_event(JournalEvent::ResultUpdate {
+                        part,
+                        update: update.clone(),
+                    });
+                    if newly_completed {
+                        self.journal_event(JournalEvent::PartCompleted {
+                            part,
+                            epoch: self.epoch,
+                        });
+                    }
+                }
                 if self.aida.publish(part, update) == PublishOutcome::NeedsResync {
                     // The delta stream for this part desynced (seq gap,
                     // reassignment, invalidation). Ask the engine for a
@@ -649,6 +838,7 @@ impl Session {
                     if !others_running && !self.queue.is_complete(p) {
                         self.aida.invalidate(p);
                         self.queue.requeue(p);
+                        self.journal_event(JournalEvent::PartInvalidated { part: p });
                     }
                 }
             }
@@ -845,7 +1035,16 @@ impl Session {
     /// cached snapshot: a poll with no new updates since the last one
     /// performs zero merges and returns the same [`Arc`].
     pub fn results(&mut self) -> Result<Arc<Tree>, CoreError> {
-        self.aida.snapshot()
+        let before = self.aida.result_version();
+        let snap = self.aida.snapshot()?;
+        let after = self.aida.result_version();
+        if after != before {
+            // Mark each actual re-materialization so the recovered
+            // `result_version` (and every client's cached copy keyed on
+            // it) stays valid across a crash.
+            self.journal_event(JournalEvent::ResultVersion { version: after });
+        }
+        Ok(snap)
     }
 
     /// Version of the cached merged snapshot; bumps only when the visible

@@ -298,19 +298,21 @@ mod tests {
 
     fn plane(events: u64, config: &IpaConfig) -> SitePlane {
         let store = DatasetStore::new();
-        store.put(Dataset::from_records(
-            "ds",
-            "ds",
-            ipa_dataset::generate_dataset(
+        store
+            .put(Dataset::from_records(
                 "ds",
                 "ds",
-                &GeneratorConfig::Event(EventGeneratorConfig {
-                    events,
-                    ..Default::default()
-                }),
-            )
-            .records,
-        ));
+                ipa_dataset::generate_dataset(
+                    "ds",
+                    "ds",
+                    &GeneratorConfig::Event(EventGeneratorConfig {
+                        events,
+                        ..Default::default()
+                    }),
+                )
+                .records,
+            ))
+            .unwrap();
         SitePlane::new(LocatorService::new(store, "site"), config)
     }
 

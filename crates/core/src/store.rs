@@ -6,6 +6,8 @@ use std::sync::Arc;
 use ipa_dataset::{Dataset, DatasetId};
 use parking_lot::RwLock;
 
+use crate::error::CoreError;
+
 /// An in-memory storage element holding complete datasets, shared between
 /// the manager services. (A real deployment would be a tape/disk SE behind
 /// GridFTP; the locator abstracts that away from the rest of the system.)
@@ -20,13 +22,25 @@ impl DatasetStore {
         DatasetStore::default()
     }
 
-    /// Add (or replace) a dataset; returns the shared handle.
-    pub fn put(&self, ds: Dataset) -> Arc<Dataset> {
+    /// Add a dataset; returns the shared handle. Re-publishing the *same*
+    /// dataset (identical descriptor) is idempotent and returns the stored
+    /// handle, but publishing a different descriptor under an existing id
+    /// is refused with [`CoreError::DatasetConflict`] — silently replacing
+    /// contents would desynchronize sessions and cached splits staged from
+    /// the old version. Replace explicitly via [`DatasetStore::remove`].
+    pub fn put(&self, ds: Dataset) -> Result<Arc<Dataset>, CoreError> {
+        let mut inner = self.inner.write();
+        if let Some(existing) = inner.get(&ds.descriptor.id) {
+            if existing.descriptor == ds.descriptor {
+                return Ok(existing.clone());
+            }
+            return Err(CoreError::DatasetConflict {
+                id: ds.descriptor.id.to_string(),
+            });
+        }
         let arc = Arc::new(ds);
-        self.inner
-            .write()
-            .insert(arc.descriptor.id.clone(), arc.clone());
-        arc
+        inner.insert(arc.descriptor.id.clone(), arc.clone());
+        Ok(arc)
     }
 
     /// Fetch a dataset by id.
@@ -80,8 +94,8 @@ mod tests {
     fn put_get_remove() {
         let store = DatasetStore::new();
         assert!(store.is_empty());
-        store.put(ds("a"));
-        store.put(ds("b"));
+        store.put(ds("a")).unwrap();
+        store.put(ds("b")).unwrap();
         assert_eq!(store.len(), 2);
         assert!(store.get(&DatasetId::new("a")).is_some());
         assert!(store.get(&DatasetId::new("z")).is_none());
@@ -94,7 +108,28 @@ mod tests {
     fn store_is_shared_between_clones() {
         let store = DatasetStore::new();
         let clone = store.clone();
-        store.put(ds("x"));
+        store.put(ds("x")).unwrap();
         assert!(clone.get(&DatasetId::new("x")).is_some());
+    }
+
+    #[test]
+    fn republish_is_idempotent_but_conflicts_are_refused() {
+        let store = DatasetStore::new();
+        let first = store.put(ds("a")).unwrap();
+        // Same descriptor again: fine, and the original handle is kept.
+        let again = store.put(ds("a")).unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        assert_eq!(store.len(), 1);
+        // Same id, different descriptor: refused, store unchanged.
+        let mut conflicting = ds("a");
+        conflicting.descriptor.name = "other name".into();
+        match store.put(conflicting) {
+            Err(CoreError::DatasetConflict { id }) => assert_eq!(id, "a"),
+            other => panic!("expected DatasetConflict, got {other:?}"),
+        }
+        assert!(Arc::ptr_eq(
+            &store.get(&DatasetId::new("a")).unwrap(),
+            &first
+        ));
     }
 }

@@ -775,9 +775,7 @@ pub(crate) fn index_value(target: Value, index: &Value, line: u32) -> Result<Val
             .chars()
             .nth(i)
             .map(|c| Value::Str(c.to_string()))
-            .ok_or_else(|| {
-                ScriptError::runtime(format!("index {i} out of string bounds"), line)
-            }),
+            .ok_or_else(|| ScriptError::runtime(format!("index {i} out of string bounds"), line)),
         other => Err(ScriptError::runtime(
             format!("cannot index a {}", other.type_name()),
             line,
@@ -807,8 +805,7 @@ pub(crate) fn field_value(target: &Value, field: &str, line: u32) -> Result<Valu
 pub(crate) fn index_to_usize(index: &Value, line: u32) -> Result<usize, ScriptError> {
     Ok(index
         .as_num()
-        .ok_or_else(|| ScriptError::runtime("array index must be numeric", line))?
-        as usize)
+        .ok_or_else(|| ScriptError::runtime("array index must be numeric", line))? as usize)
 }
 
 /// Store `v` into `slot[i]` for an index assignment `name[i] = v`.

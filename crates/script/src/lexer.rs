@@ -331,16 +331,12 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
                             for _ in 0..extra {
                                 match lx.bump() {
                                     Some(b) if (0x80..=0xBF).contains(&b) => {}
-                                    _ => {
-                                        return Err(lx.err("invalid UTF-8 in string literal"))
-                                    }
+                                    _ => return Err(lx.err("invalid UTF-8 in string literal")),
                                 }
                             }
                             match std::str::from_utf8(&lx.src[start..lx.pos]) {
                                 Ok(seq) => s.push_str(seq),
-                                Err(_) => {
-                                    return Err(lx.err("invalid UTF-8 in string literal"))
-                                }
+                                Err(_) => return Err(lx.err("invalid UTF-8 in string literal")),
                             }
                         }
                     }
@@ -482,19 +478,13 @@ mod tests {
     #[test]
     fn multibyte_string_literals_survive() {
         // Two-, three-, and four-byte UTF-8 sequences round-trip intact.
-        assert_eq!(
-            kinds("\"µ→bb\""),
-            vec![Tok::Str("µ→bb".into()), Tok::Eof]
-        );
+        assert_eq!(kinds("\"µ→bb\""), vec![Tok::Str("µ→bb".into()), Tok::Eof]);
         assert_eq!(
             kinds("\"αβγ 𝛘² ok\""),
             vec![Tok::Str("αβγ 𝛘² ok".into()), Tok::Eof]
         );
         // Mixed with escapes.
-        assert_eq!(
-            kinds(r#""µ\n→""#),
-            vec![Tok::Str("µ\n→".into()), Tok::Eof]
-        );
+        assert_eq!(kinds(r#""µ\n→""#), vec![Tok::Str("µ\n→".into()), Tok::Eof]);
     }
 
     #[test]

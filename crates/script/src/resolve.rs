@@ -70,7 +70,10 @@ pub fn compile_program(program: &Program) -> Result<CompiledScript, ScriptError>
 }
 
 fn limits(what: &str) -> ScriptError {
-    ScriptError::runtime(format!("script exceeds bytecode limits (too many {what})"), 0)
+    ScriptError::runtime(
+        format!("script exceeds bytecode limits (too many {what})"),
+        0,
+    )
 }
 
 /// Tables shared across all function bodies.
@@ -128,9 +131,14 @@ fn collect_binders(stmts: &[Stmt], out: &mut Vec<String>) {
                 target: AssignTarget::Var(name),
                 ..
             } => out.push(name.clone()),
-            Stmt::Assign { .. } | Stmt::Expr(_) | Stmt::Return(_) | Stmt::Break
+            Stmt::Assign { .. }
+            | Stmt::Expr(_)
+            | Stmt::Return(_)
+            | Stmt::Break
             | Stmt::Continue => {}
-            Stmt::If { then, otherwise, .. } => {
+            Stmt::If {
+                then, otherwise, ..
+            } => {
                 collect_binders(then, out);
                 collect_binders(otherwise, out);
             }
@@ -246,9 +254,7 @@ impl<'a> FnCompiler<'a> {
     fn patch(&mut self, at: usize) {
         let target = self.code.len() as u32;
         match &mut self.code[at] {
-            Op::Jump(t) | Op::JumpIfFalse(t) | Op::AndCircuit(t) | Op::OrCircuit(t) => {
-                *t = target
-            }
+            Op::Jump(t) | Op::JumpIfFalse(t) | Op::AndCircuit(t) | Op::OrCircuit(t) => *t = target,
             Op::IterNext { done, .. } => *done = target,
             other => unreachable!("cannot patch {other:?}"),
         }
@@ -440,11 +446,7 @@ impl<'a> FnCompiler<'a> {
             Stmt::Break => {
                 if !self.loops.is_empty() {
                     let at = self.emit_patch(Op::Jump(0), 0);
-                    self.loops
-                        .last_mut()
-                        .expect("loop context")
-                        .breaks
-                        .push(at);
+                    self.loops.last_mut().expect("loop context").breaks.push(at);
                 } else if self.top_level {
                     self.emit(Op::Halt, 0);
                 } else {
@@ -552,10 +554,7 @@ impl<'a> FnCompiler<'a> {
                     self.expr(a)?;
                 }
                 let argc = u8::try_from(args.len()).map_err(|_| {
-                    ScriptError::runtime(
-                        format!("call to '{name}' has too many arguments"),
-                        line,
-                    )
+                    ScriptError::runtime(format!("call to '{name}' has too many arguments"), line)
                 })?;
                 // User functions win name clashes with builtins — the same
                 // rule the tree-walk applies at call time.
@@ -595,18 +594,21 @@ mod tests {
 
     #[test]
     fn calls_resolve_at_compile_time() {
-        let c = resolved(
-            "fn sqrt(x) { return x; }\nfn process(e) { sqrt(1); abs(2); nothing(3); }",
-        );
+        let c =
+            resolved("fn sqrt(x) { return x; }\nfn process(e) { sqrt(1); abs(2); nothing(3); }");
         let proc_idx = c.fn_index["process"] as usize;
         let code = &c.protos[proc_idx].code;
         // User function shadows the builtin.
         assert!(code
             .iter()
             .any(|op| matches!(op, Op::CallFn { func, .. } if *func == c.fn_index["sqrt"])));
-        assert!(code
-            .iter()
-            .any(|op| matches!(op, Op::CallBuiltin { builtin: Builtin::Abs, .. })));
+        assert!(code.iter().any(|op| matches!(
+            op,
+            Op::CallBuiltin {
+                builtin: Builtin::Abs,
+                ..
+            }
+        )));
         // Unknown callees still compile — they error lazily at runtime.
         assert!(code.iter().any(|op| matches!(op, Op::CallUnknown { .. })));
     }
@@ -631,7 +633,10 @@ mod tests {
                 Op::IterNext { done, .. } => *done,
                 _ => continue,
             };
-            assert!((target as usize) < proto.code.len(), "target {target} in bounds");
+            assert!(
+                (target as usize) < proto.code.len(),
+                "target {target} in bounds"
+            );
         }
     }
 

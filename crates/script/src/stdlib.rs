@@ -837,8 +837,16 @@ mod tests {
         assert!(call("slice", &[arr.clone(), Value::Num(-1.0), Value::Num(2.0)]).is_err());
         assert!(call("slice", &[arr.clone(), Value::Num(0.0), Value::Num(-2.0)]).is_err());
         // NaN and infinity are rejected too.
-        assert!(call("substr", &[s.clone(), Value::Num(f64::NAN), Value::Num(1.0)]).is_err());
-        assert!(call("slice", &[arr.clone(), Value::Num(f64::INFINITY), Value::Num(1.0)]).is_err());
+        assert!(call(
+            "substr",
+            &[s.clone(), Value::Num(f64::NAN), Value::Num(1.0)]
+        )
+        .is_err());
+        assert!(call(
+            "slice",
+            &[arr.clone(), Value::Num(f64::INFINITY), Value::Num(1.0)]
+        )
+        .is_err());
         // In-range fractional indices truncate toward zero.
         assert!(matches!(
             call("substr", &[s, Value::Num(1.5), Value::Num(2.9)]).unwrap(),

@@ -224,18 +224,14 @@ impl Vm {
                 Op::Pop => {
                     frame.stack.pop().expect("operand stack underflow");
                 }
-                Op::LoadLocal { slot, name } => {
-                    match frame.locals[slot as usize].clone() {
-                        Some(v) => frame.stack.push(v),
-                        None => return Err(unknown_var(script, name, line)),
-                    }
-                }
-                Op::LoadGlobal { slot, name } => {
-                    match self.globals[slot as usize].clone() {
-                        Some(v) => frame.stack.push(v),
-                        None => return Err(unknown_var(script, name, line)),
-                    }
-                }
+                Op::LoadLocal { slot, name } => match frame.locals[slot as usize].clone() {
+                    Some(v) => frame.stack.push(v),
+                    None => return Err(unknown_var(script, name, line)),
+                },
+                Op::LoadGlobal { slot, name } => match self.globals[slot as usize].clone() {
+                    Some(v) => frame.stack.push(v),
+                    None => return Err(unknown_var(script, name, line)),
+                },
                 Op::LoadEither {
                     local,
                     global,
@@ -354,28 +350,22 @@ impl Vm {
                 Op::RangeStart => {
                     let v = frame.stack.last().expect("operand stack underflow");
                     if v.as_num().is_none() {
-                        return Err(ScriptError::runtime(
-                            "range start must be numeric",
-                            line,
-                        ));
+                        return Err(ScriptError::runtime("range start must be numeric", line));
                     }
                 }
                 Op::RangeToArray => {
                     let end = frame.stack.pop().expect("operand stack underflow");
                     let start = frame.stack.pop().expect("operand stack underflow");
                     let s = start.as_num().expect("start checked by RangeStart");
-                    let e = end.as_num().ok_or_else(|| {
-                        ScriptError::runtime("range end must be numeric", line)
-                    })?;
+                    let e = end
+                        .as_num()
+                        .ok_or_else(|| ScriptError::runtime("range end must be numeric", line))?;
                     let mut items = Vec::new();
                     let mut x = s;
                     while x < e {
                         // Fuel per element: a huge range runs out of fuel
                         // instead of out of memory.
-                        self.fuel = self
-                            .fuel
-                            .checked_sub(1)
-                            .ok_or(ScriptError::OutOfFuel)?;
+                        self.fuel = self.fuel.checked_sub(1).ok_or(ScriptError::OutOfFuel)?;
                         items.push(Value::Num(x));
                         x += 1.0;
                     }
@@ -409,10 +399,7 @@ impl Vm {
                         Some(v) => {
                             // One extra unit per yielded element, matching
                             // the tree-walk's per-iteration burn.
-                            self.fuel = self
-                                .fuel
-                                .checked_sub(1)
-                                .ok_or(ScriptError::OutOfFuel)?;
+                            self.fuel = self.fuel.checked_sub(1).ok_or(ScriptError::OutOfFuel)?;
                             frame.locals[idx as usize] = Some(Value::Num((i + 1) as f64));
                             frame.stack.push(v);
                         }
@@ -469,10 +456,7 @@ impl Vm {
                 Op::Return => return Ok(frame.stack.pop().expect("operand stack underflow")),
                 Op::ReturnNull | Op::Halt => return Ok(Value::Null),
                 Op::LooseBreak => {
-                    return Err(ScriptError::runtime(
-                        "break/continue outside a loop",
-                        line,
-                    ));
+                    return Err(ScriptError::runtime("break/continue outside a loop", line));
                 }
             }
         }
@@ -581,10 +565,7 @@ mod tests {
         v.run_init(&mut NullHost).unwrap();
         // Executed → the error carries the right line.
         let err = v.call_function("f", vec![], &mut NullHost).unwrap_err();
-        assert_eq!(
-            err,
-            ScriptError::runtime("unknown variable 'nope'", 1)
-        );
+        assert_eq!(err, ScriptError::runtime("unknown variable 'nope'", 1));
     }
 
     #[test]

@@ -13,9 +13,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use ipa_dataset::{AnyRecord, CollisionEvent, DnaRead, FourVector, Particle};
-use ipa_script::{
-    compile, engine_for, AidaHost, NullHost, RecordRef, ScriptBackend, ScriptError,
-};
+use ipa_script::{compile, engine_for, AidaHost, NullHost, RecordRef, ScriptBackend, ScriptError};
 
 fn higgs_event(mass_pair: f64) -> AnyRecord {
     let half = mass_pair / 2.0;
@@ -60,10 +58,7 @@ fn transcript(
         ));
     }
     out.push(format!("end: {:?}", e.run_end(&mut host)));
-    out.push(format!(
-        "main: {:?}",
-        e.call("main", vec![], &mut host)
-    ));
+    out.push(format!("main: {:?}", e.call("main", vec![], &mut host)));
     for g in ["g0", "g1", "a", "b"] {
         out.push(format!("global {g}: {:?}", e.global(g)));
     }
@@ -241,16 +236,18 @@ fn arb_expr() -> impl Strategy<Value = GExpr> {
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (0u8..13, inner.clone(), inner.clone())
-                .prop_map(|(op, l, r)| GExpr::Bin(op, Box::new(l), Box::new(r))),
+            (0u8..13, inner.clone(), inner.clone()).prop_map(|(op, l, r)| GExpr::Bin(
+                op,
+                Box::new(l),
+                Box::new(r)
+            )),
             inner.clone().prop_map(|e| GExpr::Neg(Box::new(e))),
             inner.clone().prop_map(|e| GExpr::Not(Box::new(e))),
             (0u8..5, inner.clone()).prop_map(|(f, e)| GExpr::Call1(f, Box::new(e))),
             (inner.clone(), inner.clone())
                 .prop_map(|(x, y)| GExpr::Helper(Box::new(x), Box::new(y))),
             prop::collection::vec(inner.clone(), 0..3).prop_map(GExpr::Arr),
-            (inner.clone(), inner.clone())
-                .prop_map(|(t, i)| GExpr::Idx(Box::new(t), Box::new(i))),
+            (inner.clone(), inner.clone()).prop_map(|(t, i)| GExpr::Idx(Box::new(t), Box::new(i))),
             inner.prop_map(|e| GExpr::UnknownCall(Box::new(e))),
         ]
     })
