@@ -148,6 +148,15 @@ impl Histogram2D {
         self.fill(x, y, 1.0);
     }
 
+    /// Bulk fill: one [`Histogram2D::fill`] per `(x, y)` pair, in slice
+    /// order with constant weight `w` (the shorter slice bounds the fill
+    /// count). Accumulation order matches the per-record path exactly.
+    pub fn fill_slice(&mut self, xs: &[f64], ys: &[f64], w: f64) {
+        for (&x, &y) in xs.iter().zip(ys) {
+            self.fill(x, y, w);
+        }
+    }
+
     /// Access a cell by bin indices (sentinels allowed).
     pub fn cell(&self, ix: BinIndex, iy: BinIndex) -> &Cell {
         &self.cells[self.cell_index(ix, iy)]
@@ -297,6 +306,19 @@ mod tests {
 
     fn approx(a: f64, b: f64) -> bool {
         (a - b).abs() <= 1e-10 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn fill_slice_matches_repeated_fill() {
+        let mut bulk = Histogram2D::new("t", 6, 0.0, 6.0, 4, 0.0, 4.0);
+        let mut serial = bulk.clone_empty();
+        let xs: Vec<f64> = (0..200).map(|i| i as f64 * 0.07 - 1.0).collect();
+        let ys: Vec<f64> = (0..200).map(|i| i as f64 * 0.031).collect();
+        bulk.fill_slice(&xs, &ys, 2.0);
+        for (&x, &y) in xs.iter().zip(&ys) {
+            serial.fill(x, y, 2.0);
+        }
+        assert_eq!(bulk, serial);
     }
 
     #[test]

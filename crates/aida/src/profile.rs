@@ -73,6 +73,15 @@ impl Profile1D {
         self.fill(x, y, 1.0);
     }
 
+    /// Bulk fill: one [`Profile1D::fill`] per `(x, y)` pair, in slice
+    /// order with constant weight `w` (the shorter slice bounds the fill
+    /// count). Accumulation order matches the per-record path exactly.
+    pub fn fill_slice(&mut self, xs: &[f64], ys: &[f64], w: f64) {
+        for (&x, &y) in xs.iter().zip(ys) {
+            self.fill(x, y, w);
+        }
+    }
+
     /// The y statistics of in-range bin `i`, or of the under/overflow
     /// sentinels.
     pub fn bin(&self, index: BinIndex) -> &WeightedStats {
@@ -158,6 +167,19 @@ mod tests {
 
     fn approx(a: f64, b: f64) -> bool {
         (a - b).abs() <= 1e-10 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn fill_slice_matches_repeated_fill() {
+        let mut bulk = Profile1D::new("t", 8, 0.0, 8.0);
+        let mut serial = bulk.clone_empty();
+        let xs: Vec<f64> = (0..150).map(|i| i as f64 * 0.09 - 1.0).collect();
+        let ys: Vec<f64> = (0..150).map(|i| (i % 7) as f64).collect();
+        bulk.fill_slice(&xs, &ys, 1.0);
+        for (&x, &y) in xs.iter().zip(&ys) {
+            serial.fill(x, y, 1.0);
+        }
+        assert_eq!(bulk, serial);
     }
 
     #[test]

@@ -588,6 +588,45 @@ fn perf_cmd() {
     let live_wall_s = rig.run_code_to_completion(2, AnalysisCode::Native("higgs-search".into()));
     let live_records_per_s = live_events as f64 / live_wall_s;
 
+    // Data-plane layouts: end-to-end engine throughput of the row oracle
+    // vs the columnar plane on the native Higgs workload. The per-record
+    // acceptance ratio lives in the `columnar` criterion bench; this
+    // records the session-level number (staging + transcode included).
+    let layout_events = 50_000u64;
+    let layout_rig = |layout| {
+        LiveRig::with_config(
+            layout_events,
+            ipa_core::IpaConfig {
+                publish_every: 5_000,
+                data_layout: layout,
+                ..Default::default()
+            },
+        )
+    };
+    let row_wall_s = layout_rig(ipa_dataset::DataLayout::Row)
+        .run_code_to_completion(2, AnalysisCode::Native("higgs-search".into()));
+    let col_wall_s = layout_rig(ipa_dataset::DataLayout::Columnar)
+        .run_code_to_completion(2, AnalysisCode::Native("higgs-search".into()));
+    let row_records_per_s = layout_events as f64 / row_wall_s;
+    let col_records_per_s = layout_events as f64 / col_wall_s;
+
+    // Node sweep: records/s vs engine count under the default layout,
+    // on the compute-bound interpreted script (Table 2's analysis shape).
+    let sweep_events = 40_000u64;
+    let sweep_rig = LiveRig::new(sweep_events, 5_000);
+    let mut sweep_json = String::new();
+    for (i, &n) in [1usize, 2, 4, 8].iter().enumerate() {
+        let wall = sweep_rig.run_code_to_completion(n, LiveRig::higgs_script());
+        if i > 0 {
+            sweep_json.push_str(", ");
+        }
+        sweep_json.push_str(&format!(
+            "\"{}\": {:.0}",
+            n,
+            sweep_events as f64 / wall
+        ));
+    }
+
     let json = format!(
         "{{\n\
          \x20 \"generated_by\": \"reproduce perf\",\n\
@@ -606,9 +645,22 @@ fn perf_cmd() {
          \x20   \"events\": {live_events},\n\
          \x20   \"wall_s\": {live_wall_s:.4},\n\
          \x20   \"records_per_s\": {live_records_per_s:.0}\n\
+         \x20 }},\n\
+         \x20 \"engine_throughput\": {{\n\
+         \x20   \"engines\": 2,\n\
+         \x20   \"events\": {layout_events},\n\
+         \x20   \"row_records_per_s\": {row_records_per_s:.0},\n\
+         \x20   \"columnar_records_per_s\": {col_records_per_s:.0},\n\
+         \x20   \"columnar_speedup\": {:.2}\n\
+         \x20 }},\n\
+         \x20 \"node_sweep\": {{\n\
+         \x20   \"events\": {sweep_events},\n\
+         \x20   \"code\": \"higgs_script\",\n\
+         \x20   \"records_per_s\": {{ {sweep_json} }}\n\
          \x20 }}\n\
          }}\n",
         events.len(),
+        col_records_per_s / row_records_per_s,
     );
     std::fs::write("BENCH_results.json", &json).unwrap();
     println!("{json}");

@@ -140,15 +140,19 @@ pub struct LiveRig {
 impl LiveRig {
     /// Build a rig with `events` generated collider events.
     pub fn new(events: u64, publish_every: usize) -> Self {
-        let sec = SecurityDomain::new("bench-site", 1).with_policy(VoPolicy::new("ilc", 64));
-        let manager = Arc::new(ManagerNode::new(
-            "bench-site",
-            sec.clone(),
+        LiveRig::with_config(
+            events,
             IpaConfig {
                 publish_every,
                 ..Default::default()
             },
-        ));
+        )
+    }
+
+    /// Build a rig under an explicit config (layout/scheduler ablations).
+    pub fn with_config(events: u64, config: IpaConfig) -> Self {
+        let sec = SecurityDomain::new("bench-site", 1).with_policy(VoPolicy::new("ilc", 64));
+        let manager = Arc::new(ManagerNode::new("bench-site", sec.clone(), config));
         let ds = ipa_dataset::generate_dataset(
             "bench-events",
             "Bench events",

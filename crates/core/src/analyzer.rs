@@ -8,9 +8,10 @@
 //! [`Host`](ipa_script::Host) interface.
 
 use std::collections::HashMap;
+use std::ops::Range;
 use std::sync::Arc;
 
-use ipa_dataset::{AnyRecord, RecordFields};
+use ipa_dataset::{AnyRecord, ColumnBatch, RecordFields};
 use ipa_script::{compile, engine_for, Host, RecordRef, ScriptBackend, ScriptEngine};
 
 use crate::error::CoreError;
@@ -32,6 +33,33 @@ pub trait Analyzer: Send {
         host: &mut dyn Host,
     ) -> Result<(), String> {
         self.process(&batch[index], host)
+    }
+    /// Drive a contiguous `range` of `batch` in one call — the engine's
+    /// publish-batch granularity. `columns` is the columnar transcode of
+    /// the *whole* batch when the data plane staged one
+    /// ([`ipa_dataset::DataLayout::Columnar`]); analyzers that can
+    /// vectorize override this and fall back to the row loop otherwise.
+    ///
+    /// Returns how many records were fully processed and the error that
+    /// stopped the batch, if any. The count must be record-exact even on
+    /// error: engines use it for progress accounting, `RunN` budgets, and
+    /// `FailAfter` injection, which must not drift between layouts.
+    fn process_batch(
+        &mut self,
+        batch: &Arc<Vec<AnyRecord>>,
+        columns: Option<&Arc<ColumnBatch>>,
+        range: Range<usize>,
+        host: &mut dyn Host,
+    ) -> (usize, Option<String>) {
+        let _ = columns;
+        let mut processed = 0;
+        for i in range {
+            if let Err(e) = self.process_indexed(batch, i, host) {
+                return (processed, Some(e));
+            }
+            processed += 1;
+        }
+        (processed, None)
     }
     /// Called after the last record of the part.
     fn end(&mut self, host: &mut dyn Host) -> Result<(), String> {
@@ -169,6 +197,29 @@ impl Analyzer for ScriptAnalyzer {
             .map_err(|e| e.to_string())
     }
 
+    fn process_batch(
+        &mut self,
+        batch: &Arc<Vec<AnyRecord>>,
+        columns: Option<&Arc<ColumnBatch>>,
+        range: Range<usize>,
+        host: &mut dyn Host,
+    ) -> (usize, Option<String>) {
+        if let Some(cols) = columns {
+            // Resolve the script's field names to column indices once per
+            // part; every field access in the loop below is then two array
+            // reads in the VM instead of a string match over the record.
+            self.engine.bind_columns(batch, cols);
+        }
+        let mut processed = 0;
+        for i in range {
+            if let Err(e) = self.process_indexed(batch, i, host) {
+                return (processed, Some(e));
+            }
+            processed += 1;
+        }
+        (processed, None)
+    }
+
     fn end(&mut self, host: &mut dyn Host) -> Result<(), String> {
         self.engine.run_end(host).map_err(|e| e.to_string())
     }
@@ -231,6 +282,76 @@ impl Analyzer for HiggsSearchAnalyzer {
             host.fill2("/higgs/mass_vs_mult", ev.particles.len() as f64, m, 1.0)?;
         }
         Ok(())
+    }
+
+    fn process_batch(
+        &mut self,
+        batch: &Arc<Vec<AnyRecord>>,
+        columns: Option<&Arc<ColumnBatch>>,
+        range: Range<usize>,
+        host: &mut dyn Host,
+    ) -> (usize, Option<String>) {
+        // Columnar fast path: the transcode already materialized the
+        // derived fields (`n_btags`, `visible_energy`, `bb_mass`), so the
+        // per-record particle sorts are gone and each histogram takes one
+        // bulk fill over a column slice. Per-histogram fill order is record
+        // order on both paths, so merged trees stay bit-identical.
+        let fast = columns.and_then(|c| {
+            if c.kind() != "event" || c.len() != batch.len() {
+                return None;
+            }
+            let col = |name: &str| c.column_index(name).map(|i| c.column(i));
+            let n_btags = col("n_btags")?;
+            let visible = col("visible_energy")?;
+            let bb_mass = col("bb_mass")?;
+            let n_particles = col("n_particles")?;
+            if !(n_btags.all_valid() && visible.all_valid() && n_particles.all_valid()) {
+                return None;
+            }
+            Some((
+                n_btags.i64s()?,
+                visible.f64s()?,
+                bb_mass,
+                n_particles.i64s()?,
+            ))
+        });
+        let Some((n_btags, visible, bb_mass, n_particles)) = fast else {
+            // Row layout (or a foreign/stale transcode): the reference loop.
+            let mut processed = 0;
+            for i in range {
+                if let Err(e) = self.process(&batch[i], host) {
+                    return (processed, Some(e));
+                }
+                processed += 1;
+            }
+            return (processed, None);
+        };
+
+        let mut xs: Vec<f64> = Vec::with_capacity(range.len());
+        xs.extend(n_btags[range.clone()].iter().map(|&b| b as f64));
+        if let Err(e) = host.fill1_slice("/higgs/n_btags", &xs, 1.0) {
+            return (0, Some(e));
+        }
+        if let Err(e) = host.fill1_slice("/higgs/visible_energy", &visible[range.clone()], 1.0) {
+            return (0, Some(e));
+        }
+        // Gather the rows where bb_mass is present (≥ 2 b-tags).
+        let masses = bb_mass.f64s().unwrap_or(&[]);
+        let mut ms: Vec<f64> = Vec::new();
+        let mut mult: Vec<f64> = Vec::new();
+        for i in range.clone() {
+            if bb_mass.is_valid(i) {
+                ms.push(masses[i]);
+                mult.push(n_particles[i] as f64);
+            }
+        }
+        if let Err(e) = host.fill1_slice("/higgs/bb_mass", &ms, 1.0) {
+            return (0, Some(e));
+        }
+        if let Err(e) = host.fill2_slice("/higgs/mass_vs_mult", &mult, &ms, 1.0) {
+            return (0, Some(e));
+        }
+        (range.len(), None)
     }
 }
 
@@ -316,14 +437,32 @@ pub fn builtin_registry() -> NativeRegistry {
 /// Convenience: apply an analyzer to a record slice against a host
 /// (single-threaded reference path used in tests to validate the parallel
 /// engines produce identical results).
+///
+/// The slice is copied once into a shared batch and driven through
+/// [`Analyzer::process_batch`] — the engines' exact path — instead of the
+/// borrowed [`Analyzer::process`], which would deep-copy every record into
+/// its own `Arc` for script analyzers.
 pub fn run_analyzer_serial(
     analyzer: &mut dyn Analyzer,
     records: &[AnyRecord],
     host: &mut dyn Host,
 ) -> Result<(), String> {
+    let batch = Arc::new(records.to_vec());
+    run_analyzer_batch(analyzer, &batch, None, host)
+}
+
+/// Like [`run_analyzer_serial`] but over an already-shared batch with an
+/// optional columnar transcode — zero record copies.
+pub fn run_analyzer_batch(
+    analyzer: &mut dyn Analyzer,
+    batch: &Arc<Vec<AnyRecord>>,
+    columns: Option<&Arc<ColumnBatch>>,
+    host: &mut dyn Host,
+) -> Result<(), String> {
     analyzer.init(host)?;
-    for r in records {
-        analyzer.process(r, host)?;
+    let (_, err) = analyzer.process_batch(batch, columns, 0..batch.len(), host);
+    if let Some(e) = err {
+        return Err(e);
     }
     analyzer.end(host)
 }
@@ -549,5 +688,118 @@ mod tests {
     fn staged_bytes_reports_payload_size() {
         assert_eq!(AnalysisCode::Script("abc".into()).staged_bytes(), 3);
         assert!(AnalysisCode::Native("higgs-search".into()).staged_bytes() > 0);
+    }
+
+    #[test]
+    fn batch_path_shares_records_without_cloning() {
+        // Regression for the per-record deep clone: driving a script
+        // through `process_batch` must not copy records — the batch Arc's
+        // strong count is back to 1 afterwards, and no hidden Arc-per-record
+        // wrapping happened along the way.
+        let batch = Arc::new(
+            TradeGeneratorConfig {
+                trades: 50,
+                ..Default::default()
+            }
+            .generate(),
+        );
+        let reg = NativeRegistry::new();
+        let script = "fn init() { h1(\"/p\", 20, 0.0, 200.0); }\n\
+                      fn process(t) { fill(\"/p\", t.price); }";
+        for backend in [ScriptBackend::Interp, ScriptBackend::Vm] {
+            let mut analyzer =
+                instantiate_code(&AnalysisCode::Script(script.into()), &reg, backend).unwrap();
+            let mut host = AidaHost::new();
+            analyzer.init(&mut host).unwrap();
+            assert_eq!(Arc::strong_count(&batch), 1);
+            let (done, err) = analyzer.process_batch(&batch, None, 0..batch.len(), &mut host);
+            assert_eq!((done, err), (50, None));
+            assert_eq!(Arc::strong_count(&batch), 1, "{backend}");
+            assert_eq!(host.tree.get("/p").unwrap().entries(), 50);
+        }
+    }
+
+    #[test]
+    fn columnar_batch_matches_row_for_native_and_script() {
+        let batch = Arc::new(
+            EventGeneratorConfig {
+                events: 800,
+                signal_fraction: 0.4,
+                ..Default::default()
+            }
+            .generate(),
+        );
+        let columns = Arc::new(ipa_dataset::ColumnBatch::from_records(&batch).unwrap());
+
+        // Native: the vectorized Higgs path against the row reference.
+        let mut row_host = AidaHost::new();
+        run_analyzer_batch(
+            &mut HiggsSearchAnalyzer::default(),
+            &batch,
+            None,
+            &mut row_host,
+        )
+        .unwrap();
+        let mut col_host = AidaHost::new();
+        run_analyzer_batch(
+            &mut HiggsSearchAnalyzer::default(),
+            &batch,
+            Some(&columns),
+            &mut col_host,
+        )
+        .unwrap();
+        assert_eq!(row_host.tree, col_host.tree);
+        assert!(row_host.tree.total_entries() > 0);
+
+        // Script: column-bound VM field reads against the row reference.
+        let script = r#"
+            fn init() { h1("/s/mass", 60, 0.0, 240.0); h1("/s/vis", 60, 0.0, 600.0); }
+            fn process(e) {
+                fill("/s/vis", e.visible_energy);
+                let m = e.bb_mass;
+                if m != null { fill("/s/mass", m); }
+            }
+        "#;
+        let reg = NativeRegistry::new();
+        for backend in [ScriptBackend::Interp, ScriptBackend::Vm] {
+            let mut row = instantiate_code(&AnalysisCode::Script(script.into()), &reg, backend)
+                .unwrap();
+            let mut row_host = AidaHost::new();
+            run_analyzer_batch(row.as_mut(), &batch, None, &mut row_host).unwrap();
+
+            let mut col = instantiate_code(&AnalysisCode::Script(script.into()), &reg, backend)
+                .unwrap();
+            let mut col_host = AidaHost::new();
+            run_analyzer_batch(col.as_mut(), &batch, Some(&columns), &mut col_host).unwrap();
+
+            assert_eq!(row_host.tree, col_host.tree, "{backend}");
+            assert!(row_host.tree.total_entries() > 0);
+        }
+    }
+
+    #[test]
+    fn process_batch_reports_exact_progress_on_error() {
+        // Mixed-domain batch: the Higgs analyzer dies on the first DNA
+        // read, and the (processed, error) contract must count exactly the
+        // events that preceded it — engines key FailAfter/RunN off this.
+        let mut records = EventGeneratorConfig {
+            events: 7,
+            ..Default::default()
+        }
+        .generate();
+        records.extend(
+            DnaGeneratorConfig {
+                reads: 3,
+                ..Default::default()
+            }
+            .generate(),
+        );
+        let batch = Arc::new(records);
+        let mut host = AidaHost::new();
+        let mut a = HiggsSearchAnalyzer::default();
+        a.init(&mut host).unwrap();
+        let (done, err) = a.process_batch(&batch, None, 0..batch.len(), &mut host);
+        assert_eq!(done, 7);
+        assert!(err.unwrap().contains("collider events"));
     }
 }

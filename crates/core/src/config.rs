@@ -1,5 +1,6 @@
 //! Site / session configuration.
 
+use ipa_dataset::DataLayout;
 use ipa_script::ScriptBackend;
 use serde::{Deserialize, Serialize};
 
@@ -87,6 +88,14 @@ pub struct IpaConfig {
     /// otherwise.
     #[serde(default = "ScriptBackend::from_env")]
     pub script_backend: ScriptBackend,
+    /// In-memory layout the data plane stages parts in. `columnar`
+    /// transcodes each part once at staging time so engines evaluate over
+    /// column slices with bulk histogram fills; `row` keeps the record
+    /// loop (the differential oracle). Results are bit-identical either
+    /// way. Defaults to the `IPA_DATA_LAYOUT` environment variable when
+    /// set, `columnar` otherwise.
+    #[serde(default = "DataLayout::from_env")]
+    pub data_layout: DataLayout,
     /// Write-ahead journal every session's control-plane transitions and
     /// result stream under [`IpaConfig::journal_dir`], enabling
     /// [`ManagerNode::recover`](crate::ManagerNode::recover) after a crash.
@@ -192,6 +201,7 @@ impl Default for IpaConfig {
             stage_queue_depth: default_stage_queue_depth(),
             split_cache: default_split_cache(),
             script_backend: ScriptBackend::from_env(),
+            data_layout: DataLayout::from_env(),
             journal: default_journal(),
             journal_dir: default_journal_dir(),
             journal_fsync: default_journal_fsync(),
@@ -240,6 +250,8 @@ mod tests {
         assert!(c.split_cache);
         // The script backend defaults in as well.
         assert_eq!(c.script_backend, ScriptBackend::from_env());
+        // So does the data-plane layout.
+        assert_eq!(c.data_layout, DataLayout::from_env());
         // Journal knobs (newest) default in too.
         assert_eq!(c.journal_dir, "ipa-journal");
         assert_eq!(c.compact_every, 256);
@@ -259,5 +271,21 @@ mod tests {
         c.script_backend = ScriptBackend::Vm;
         let json = serde_json::to_string(&c).unwrap();
         assert!(json.contains("\"script_backend\":\"vm\""), "{json}");
+    }
+
+    #[test]
+    fn data_layout_round_trips_through_json() {
+        let mut c = IpaConfig {
+            data_layout: DataLayout::Row,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("\"data_layout\":\"row\""), "{json}");
+        let back: IpaConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.data_layout, DataLayout::Row);
+
+        c.data_layout = DataLayout::Columnar;
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("\"data_layout\":\"columnar\""), "{json}");
     }
 }

@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use ipa_aida::Tree;
-use ipa_dataset::AnyRecord;
+use ipa_dataset::{AnyRecord, ColumnBatch};
 use ipa_script::{AidaHost, ScriptBackend};
 
 use crate::aida_manager::{PartPayload, PartUpdate};
@@ -53,6 +53,9 @@ pub enum EngineCommand {
         part: PartId,
         /// The records (shared, not copied).
         records: Arc<Vec<AnyRecord>>,
+        /// Columnar transcode of `records` when the data plane staged one
+        /// (`DataLayout::Columnar`); `None` keeps the row path.
+        columns: Option<Arc<ColumnBatch>>,
         /// Run epoch this assignment belongs to.
         epoch: Epoch,
     },
@@ -145,6 +148,7 @@ pub enum EngineEvent {
 struct CurrentPart {
     id: PartId,
     records: Arc<Vec<AnyRecord>>,
+    columns: Option<Arc<ColumnBatch>>,
     pos: usize,
     done: bool,
 }
@@ -323,12 +327,14 @@ impl EngineWorker {
             EngineCommand::AssignPart {
                 part,
                 records,
+                columns,
                 epoch,
             } => {
                 self.epoch = epoch;
                 self.part = Some(CurrentPart {
                     id: part,
                     records,
+                    columns,
                     pos: 0,
                     done: false,
                 });
@@ -462,21 +468,18 @@ impl EngineWorker {
         }
 
         let records = part.records.clone();
+        let columns = part.columns.clone();
         let start = part.pos;
         let batch_started = Instant::now();
         let mut analyzer = self.analyzer.take().expect("checked above");
-        let mut processed = 0usize;
-        let mut error: Option<String> = None;
-        // Hand each record to the analyzer by (batch, index) so script
-        // analyzers can share the Arc'd batch instead of deep-copying
-        // every record into the script's value space.
-        for i in start..start + batch {
-            if let Err(e) = analyzer.process_indexed(&records, i, &mut self.host) {
-                error = Some(e);
-                break;
-            }
-            processed += 1;
-        }
+        // Hand the whole publish batch to the analyzer at once: script
+        // analyzers share the Arc'd batch (and bind its columns when the
+        // data plane transcoded one) instead of deep-copying records, and
+        // vectorizing analyzers turn it into bulk histogram fills. The
+        // returned count stays record-exact so FailAfter/RunN/publish
+        // accounting is identical across layouts.
+        let (processed, error) =
+            analyzer.process_batch(&records, columns.as_ref(), start..start + batch, &mut self.host);
         self.analyzer = Some(analyzer);
         // A throttled engine pays `(factor − 1)×` the real compute time per
         // batch, stretching its wall-clock without changing its results.
@@ -711,6 +714,7 @@ mod tests {
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(250),
+            columns: None,
             epoch: 0,
         });
         e.send(EngineCommand::Run);
@@ -743,6 +747,7 @@ mod tests {
         e.send(EngineCommand::AssignPart {
             part: 3,
             records: records(200),
+            columns: None,
             epoch: 0,
         });
         e.send(EngineCommand::Run);
@@ -781,6 +786,7 @@ mod tests {
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(500),
+            columns: None,
             epoch: 0,
         });
         e.send(EngineCommand::RunN(120));
@@ -821,6 +827,7 @@ mod tests {
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(100),
+            columns: None,
             epoch: 0,
         });
         e.send(EngineCommand::Run);
@@ -867,6 +874,7 @@ mod tests {
         e.send(EngineCommand::AssignPart {
             part: 9,
             records: records(100),
+            columns: None,
             epoch: 0,
         });
         e.send(EngineCommand::FailAfter(25));
@@ -901,6 +909,7 @@ mod tests {
         e.send(EngineCommand::AssignPart {
             part: 2,
             records: records(100),
+            columns: None,
             epoch: 0,
         });
         e.send(EngineCommand::FailAfter(100));
@@ -929,6 +938,7 @@ mod tests {
         e.send(EngineCommand::AssignPart {
             part: 4,
             records: records(50),
+            columns: None,
             epoch: 0,
         });
         e.send(EngineCommand::FailAfter(0));
@@ -955,6 +965,7 @@ mod tests {
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(200),
+            columns: None,
             epoch: 0,
         });
         e.send(EngineCommand::RunN(100));
@@ -1001,6 +1012,7 @@ mod tests {
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(300),
+            columns: None,
             epoch: 0,
         });
         // A throttled engine is slower, never wrong.
@@ -1044,6 +1056,7 @@ mod tests {
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(60),
+            columns: None,
             epoch: 5,
         });
         e.send(EngineCommand::Run);
@@ -1075,6 +1088,7 @@ mod tests {
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(300),
+            columns: None,
             epoch: 0,
         });
         e.send(EngineCommand::Run);
@@ -1130,6 +1144,7 @@ mod tests {
         e2.send(EngineCommand::AssignPart {
             part: 0,
             records: records(300),
+            columns: None,
             epoch: 0,
         });
         e2.send(EngineCommand::Run);
@@ -1166,6 +1181,7 @@ mod tests {
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(100),
+            columns: None,
             epoch: 0,
         });
         e.send(EngineCommand::RunN(50));
@@ -1207,6 +1223,7 @@ mod tests {
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(10),
+            columns: None,
             epoch: 0,
         });
         e.send(EngineCommand::Run);
@@ -1230,6 +1247,7 @@ mod tests {
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(5),
+            columns: None,
             epoch: 0,
         });
         e.send(EngineCommand::Run);
@@ -1239,5 +1257,64 @@ mod tests {
         };
         assert_eq!(message, "booked");
         e.shutdown();
+    }
+
+    #[test]
+    fn columnar_assignment_matches_row_results() {
+        // Same part, same code, both layouts: the done checkpoints must be
+        // bit-identical, and publish cadence must not drift either.
+        let recs = records(300);
+        let columns = Arc::new(ColumnBatch::from_records(&recs).expect("homogeneous events"));
+        for code in [
+            AnalysisCode::Native("higgs-search".into()),
+            AnalysisCode::Script(
+                "fn init() { h1(\"/s/vis\", 60, 0.0, 600.0); }\n\
+                 fn process(e) { fill(\"/s/vis\", e.visible_energy); }"
+                    .into(),
+            ),
+        ] {
+            let mut trees = Vec::new();
+            let mut cadences = Vec::new();
+            for cols in [None, Some(columns.clone())] {
+                let (tx, rx) = unbounded();
+                let mut e = EngineHandle::spawn(
+                    17,
+                    50,
+                    1,
+                    builtin_registry(),
+                    ScriptBackend::from_env(),
+                    tx,
+                );
+                e.send(EngineCommand::LoadCode {
+                    code: code.clone(),
+                    epoch: 0,
+                });
+                e.send(EngineCommand::AssignPart {
+                    part: 0,
+                    records: recs.clone(),
+                    columns: cols,
+                    epoch: 0,
+                });
+                e.send(EngineCommand::Run);
+                let mut progress = Vec::new();
+                let tree = loop {
+                    if let EngineEvent::Update { update, .. } =
+                        recv_event_timeout(&rx, 17, Duration::from_secs(10)).unwrap()
+                    {
+                        progress.push(update.processed);
+                        if update.done {
+                            break update.checkpoint_tree().unwrap().clone();
+                        }
+                    }
+                };
+                trees.push(tree);
+                cadences.push(progress);
+                e.shutdown();
+            }
+            assert_eq!(trees[0], trees[1]);
+            assert!(trees[0].total_entries() > 0);
+            assert_eq!(cadences[0], vec![50, 100, 150, 200, 250, 300]);
+            assert_eq!(cadences[0], cadences[1]);
+        }
     }
 }

@@ -63,9 +63,9 @@ pub use aida_manager::{
     AidaExport, AidaManager, PartPayload, PartUpdate, PublishOutcome, ResultPlaneStats,
 };
 pub use analyzer::{
-    builtin_registry, instantiate_code, run_analyzer_serial, AnalysisCode, Analyzer,
-    AnalyzerFactory, DnaMotifAnalyzer, FieldHistogramAnalyzer, HiggsSearchAnalyzer, NativeRegistry,
-    ScriptAnalyzer, TradeVwapAnalyzer,
+    builtin_registry, instantiate_code, run_analyzer_batch, run_analyzer_serial, AnalysisCode,
+    Analyzer, AnalyzerFactory, DnaMotifAnalyzer, FieldHistogramAnalyzer, HiggsSearchAnalyzer,
+    NativeRegistry, ScriptAnalyzer, TradeVwapAnalyzer,
 };
 pub use config::IpaConfig;
 pub use engine::{EngineCommand, EngineEvent, EngineHandle, EngineId, Epoch, PartId};

@@ -33,7 +33,7 @@ use std::time::{Duration, Instant, SystemTime};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
 use ipa_aida::Tree;
-use ipa_dataset::{AnyRecord, DatasetDescriptor, DatasetId};
+use ipa_dataset::{AnyRecord, ColumnBatch, DatasetDescriptor, DatasetId};
 use serde::{Deserialize, Serialize};
 
 use crate::aida_manager::{AidaManager, PublishOutcome, ResultPlaneStats};
@@ -152,6 +152,10 @@ pub struct Session {
     /// and recovery re-stages through the locator.
     dataset_source: Option<String>,
     parts: Vec<Arc<Vec<AnyRecord>>>,
+    /// Columnar transcodes parallel to `parts` (`None` per part under the
+    /// row layout or when a part cannot transcode); shared with engines on
+    /// every assignment so rewind/re-assign reuse them with zero copies.
+    part_columns: Vec<Option<Arc<ColumnBatch>>>,
     queue: PartQueue,
     ledger: WorkerLedger,
     stats: SchedStats,
@@ -214,6 +218,7 @@ impl Session {
             dataset: None,
             dataset_source: None,
             parts: Vec::new(),
+            part_columns: Vec::new(),
             queue: PartQueue::default(),
             ledger,
             code: None,
@@ -409,6 +414,7 @@ impl Session {
             let spec = SplitSpec::from_config(&s.config, alive);
             let staged = s.plane.stage(&DatasetId::new(ds_id.clone()), &spec)?;
             s.parts = staged.parts;
+            s.part_columns = staged.columns;
             s.dataset = Some(staged.descriptor);
             s.dataset_source = Some(ds_id.clone());
         }
@@ -447,6 +453,7 @@ impl Session {
                     slot.handle.send(EngineCommand::AssignPart {
                         part,
                         records: s.parts[part as usize].clone(),
+                        columns: s.part_columns[part as usize].clone(),
                         epoch,
                     });
                     slot.part = Some((part, false));
@@ -491,6 +498,7 @@ impl Session {
         let spec = SplitSpec::from_config(&self.config, alive);
         let staged = self.plane.stage(id, &spec)?;
         self.parts = staged.parts;
+        self.part_columns = staged.columns;
         self.dataset = Some(staged.descriptor);
         self.dataset_source = Some(id.to_string());
         self.restage();
@@ -521,6 +529,7 @@ impl Session {
                     slot.handle.send(EngineCommand::AssignPart {
                         part,
                         records: self.parts[part as usize].clone(),
+                        columns: self.part_columns[part as usize].clone(),
                         epoch,
                     });
                     slot.part = Some((part, false));
@@ -882,6 +891,7 @@ impl Session {
             slot.handle.send(EngineCommand::AssignPart {
                 part,
                 records: self.parts[part as usize].clone(),
+                columns: self.part_columns[part as usize].clone(),
                 epoch,
             });
             slot.part = Some((part, false));
@@ -952,6 +962,7 @@ impl Session {
         slot.handle.send(EngineCommand::AssignPart {
             part,
             records: self.parts[part as usize].clone(),
+            columns: self.part_columns[part as usize].clone(),
             epoch,
         });
         slot.part = Some((part, false));

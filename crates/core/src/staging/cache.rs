@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use ipa_dataset::{AnyRecord, DatasetDescriptor, SplitPlan};
+use ipa_dataset::{AnyRecord, ColumnBatch, DatasetDescriptor, SplitPlan};
 
 use super::SplitSpec;
 
@@ -41,11 +41,16 @@ impl CacheKey {
     }
 }
 
-/// A cached cut: the parts and the plan they were cut under.
+/// A cached cut: the parts, their columnar transcodes, and the plan they
+/// were cut under.
 #[derive(Debug, Clone)]
 pub struct CachedSplit {
     /// Shared part buffers (bit-identical to the original cut).
     pub parts: Vec<Arc<Vec<AnyRecord>>>,
+    /// Columnar transcodes parallel to `parts` — keyed by the same
+    /// `(dataset content, split spec)` identity, so a hit reuses the
+    /// transcode work too (`None` per part under the row layout).
+    pub columns: Vec<Option<Arc<ColumnBatch>>>,
     /// The plan describing the cut.
     pub plan: SplitPlan,
 }
@@ -84,6 +89,7 @@ impl SplitCache {
         descriptor: &DatasetDescriptor,
         spec: &SplitSpec,
         parts: &[Arc<Vec<AnyRecord>>],
+        columns: &[Option<Arc<ColumnBatch>>],
         plan: &SplitPlan,
     ) {
         let key = CacheKey::new(descriptor, spec);
@@ -93,6 +99,7 @@ impl SplitCache {
                 key.clone(),
                 CachedSplit {
                     parts: parts.to_vec(),
+                    columns: columns.to_vec(),
                     plan: plan.clone(),
                 },
             )
@@ -148,9 +155,10 @@ mod tests {
         }
     }
 
-    fn cut(n: usize) -> (Vec<Arc<Vec<AnyRecord>>>, SplitPlan) {
+    fn cut(n: usize) -> (Vec<Arc<Vec<AnyRecord>>>, Vec<Option<Arc<ColumnBatch>>>, SplitPlan) {
         (
             vec![Arc::new(Vec::new()); n],
+            vec![None; n],
             SplitPlan {
                 parts: n,
                 ranges: vec![(0, 0, 0); n],
@@ -162,10 +170,11 @@ mod tests {
     fn hit_returns_same_arcs_and_respects_key() {
         let mut c = SplitCache::default();
         let d = descriptor("a", 10);
-        let (parts, plan) = cut(2);
-        c.put(&d, &spec(2), &parts, &plan);
+        let (parts, columns, plan) = cut(2);
+        c.put(&d, &spec(2), &parts, &columns, &plan);
         let hit = c.get(&d, &spec(2)).expect("hit");
         assert!(Arc::ptr_eq(&hit.parts[0], &parts[0]));
+        assert_eq!(hit.columns.len(), 2);
         // Different spec or different content → miss.
         assert!(c.get(&d, &spec(3)).is_none());
         assert!(c.get(&descriptor("a", 11), &spec(2)).is_none());
@@ -173,13 +182,43 @@ mod tests {
     }
 
     #[test]
+    fn hit_returns_the_same_transcode_arcs() {
+        let mut c = SplitCache::default();
+        let recs: Vec<AnyRecord> = (0..4)
+            .map(|i| {
+                AnyRecord::Event(ipa_dataset::CollisionEvent {
+                    event_id: i,
+                    run: 0,
+                    sqrt_s: 500.0,
+                    is_signal: false,
+                    particles: vec![],
+                })
+            })
+            .collect();
+        let d = Dataset::from_records("t", "t", recs.clone()).descriptor;
+        let parts = vec![Arc::new(recs)];
+        let columns = vec![ColumnBatch::from_records(&parts[0]).map(Arc::new)];
+        assert!(columns[0].is_some());
+        let plan = SplitPlan {
+            parts: 1,
+            ranges: vec![(0, 4, 0)],
+        };
+        c.put(&d, &spec(1), &parts, &columns, &plan);
+        let hit = c.get(&d, &spec(1)).expect("hit");
+        assert!(Arc::ptr_eq(
+            hit.columns[0].as_ref().unwrap(),
+            columns[0].as_ref().unwrap()
+        ));
+    }
+
+    #[test]
     fn capacity_evicts_oldest_first() {
         let mut c = SplitCache::with_capacity(2);
-        let (parts, plan) = cut(1);
+        let (parts, columns, plan) = cut(1);
         let (d1, d2, d3) = (descriptor("a", 1), descriptor("b", 1), descriptor("c", 1));
-        c.put(&d1, &spec(1), &parts, &plan);
-        c.put(&d2, &spec(1), &parts, &plan);
-        c.put(&d3, &spec(1), &parts, &plan);
+        c.put(&d1, &spec(1), &parts, &columns, &plan);
+        c.put(&d2, &spec(1), &parts, &columns, &plan);
+        c.put(&d3, &spec(1), &parts, &columns, &plan);
         assert_eq!(c.len(), 2);
         assert!(c.get(&d1, &spec(1)).is_none(), "oldest entry evicted");
         assert!(c.get(&d2, &spec(1)).is_some());
@@ -191,9 +230,9 @@ mod tests {
     fn replacing_an_entry_does_not_duplicate_order() {
         let mut c = SplitCache::with_capacity(2);
         let d = descriptor("a", 1);
-        let (parts, plan) = cut(1);
-        c.put(&d, &spec(1), &parts, &plan);
-        c.put(&d, &spec(1), &parts, &plan);
+        let (parts, columns, plan) = cut(1);
+        c.put(&d, &spec(1), &parts, &columns, &plan);
+        c.put(&d, &spec(1), &parts, &columns, &plan);
         assert_eq!(c.len(), 1);
     }
 }

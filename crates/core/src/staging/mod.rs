@@ -33,7 +33,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ipa_dataset::{
-    split_chunks, split_even, split_records, AnyRecord, DatasetDescriptor, DatasetId, SplitPlan,
+    split_chunks, split_even, split_records, AnyRecord, ColumnBatch, DataLayout,
+    DatasetDescriptor, DatasetId, SplitPlan,
 };
 use serde::{Deserialize, Serialize};
 
@@ -89,6 +90,10 @@ pub struct StagedDataset {
     pub location: DatasetLocation,
     /// The parts, ready to assign to engines.
     pub parts: Vec<Arc<Vec<AnyRecord>>>,
+    /// Columnar transcodes parallel to `parts`: `Some` per part under
+    /// [`DataLayout::Columnar`] (unless that part cannot transcode, e.g.
+    /// it is empty), all `None` under [`DataLayout::Row`].
+    pub columns: Vec<Option<Arc<ColumnBatch>>>,
     /// How the records were cut.
     pub plan: SplitPlan,
     /// True when the parts came out of the split cache (no re-split, no
@@ -116,6 +121,9 @@ pub struct StagingStats {
     pub cache_hits: u64,
     /// Stage requests that had to split + transfer.
     pub cache_misses: u64,
+    /// Parts transcoded to columnar layout (cache hits reuse the cached
+    /// transcode and do not count).
+    pub parts_transcoded: u64,
     /// Chunk transfers retried after an injected/transient fault.
     pub retries: u64,
     /// Parts whose retry budget was exhausted (each one surfaced a
@@ -125,6 +133,9 @@ pub struct StagingStats {
     pub locate_ms: f64,
     /// Last stage: split pass, milliseconds.
     pub split_ms: f64,
+    /// Last stage: columnar transcode pass, milliseconds (0 under the row
+    /// layout or from the cache).
+    pub transcode_ms: f64,
     /// Last stage: chunked part delivery (wall clock), milliseconds.
     pub deliver_ms: f64,
     /// Last stage: simulated serial staging-disk read, seconds (the
@@ -169,6 +180,7 @@ pub struct SitePlane {
     locator: LocatorService,
     cache: SplitCache,
     cache_enabled: bool,
+    layout: DataLayout,
     stager_config: StagerConfig,
     faults: StageFaultPlan,
     stats: StagingStats,
@@ -181,6 +193,7 @@ impl SitePlane {
             locator,
             cache: SplitCache::default(),
             cache_enabled: config.split_cache,
+            layout: config.data_layout,
             stager_config: StagerConfig::from_config(config),
             faults: StageFaultPlan::default(),
             stats: StagingStats::default(),
@@ -225,6 +238,7 @@ impl DatasetPlane for SitePlane {
             if let Some(hit) = self.cache.get(&ds.descriptor, spec) {
                 self.stats.cache_hits += 1;
                 self.stats.split_ms = 0.0;
+                self.stats.transcode_ms = 0.0;
                 self.stats.deliver_ms = 0.0;
                 self.stats.sim_read_s = 0.0;
                 self.stats.sim_transfer_s = 0.0;
@@ -234,6 +248,7 @@ impl DatasetPlane for SitePlane {
                     descriptor: ds.descriptor.clone(),
                     location,
                     parts: hit.parts,
+                    columns: hit.columns,
                     plan: hit.plan,
                     from_cache: true,
                 });
@@ -269,13 +284,32 @@ impl DatasetPlane for SitePlane {
         self.stats.overlap_ratio = outcome.overlap_ratio;
 
         let parts: Vec<Arc<Vec<AnyRecord>>> = delivered.into_iter().map(Arc::new).collect();
+
+        // Columnar layout: transcode each part once, here, so engines (and
+        // every later re-assignment out of the split cache) get the
+        // vectorizable form for free. Row layout skips the pass entirely.
+        let t3 = Instant::now();
+        let columns: Vec<Option<Arc<ColumnBatch>>> = match self.layout {
+            DataLayout::Columnar => {
+                let cols: Vec<Option<Arc<ColumnBatch>>> = parts
+                    .iter()
+                    .map(|p| ColumnBatch::from_records(p).map(Arc::new))
+                    .collect();
+                self.stats.parts_transcoded += cols.iter().filter(|c| c.is_some()).count() as u64;
+                cols
+            }
+            DataLayout::Row => vec![None; parts.len()],
+        };
+        self.stats.transcode_ms = t3.elapsed().as_secs_f64() * 1e3;
+
         if self.cache_enabled {
-            self.cache.put(&ds.descriptor, spec, &parts, &plan);
+            self.cache.put(&ds.descriptor, spec, &parts, &columns, &plan);
         }
         Ok(StagedDataset {
             descriptor: ds.descriptor.clone(),
             location,
             parts,
+            columns,
             plan,
             from_cache: false,
         })
@@ -377,6 +411,58 @@ mod tests {
             )
             .unwrap();
         assert!(!other.from_cache);
+    }
+
+    #[test]
+    fn columnar_layout_transcodes_once_and_cache_hits_reuse_it() {
+        let config = IpaConfig {
+            data_layout: DataLayout::Columnar,
+            ..Default::default()
+        };
+        let mut p = plane(400, &config);
+        let spec = SplitSpec {
+            micro_parts: false,
+            parts: 4,
+            byte_balanced: false,
+        };
+        let first = p.stage(&DatasetId::new("ds"), &spec).unwrap();
+        assert_eq!(first.columns.len(), first.parts.len());
+        for (part, cols) in first.parts.iter().zip(&first.columns) {
+            let cols = cols.as_ref().expect("event parts transcode");
+            assert_eq!(cols.len(), part.len());
+            assert_eq!(cols.kind(), "event");
+        }
+        assert_eq!(p.stats().parts_transcoded, 4);
+
+        // The hit hands back the same transcode Arcs — zero copies, and
+        // the counter does not move.
+        let second = p.stage(&DatasetId::new("ds"), &spec).unwrap();
+        assert!(second.from_cache);
+        for (a, b) in first.columns.iter().zip(&second.columns) {
+            assert!(Arc::ptr_eq(a.as_ref().unwrap(), b.as_ref().unwrap()));
+        }
+        assert_eq!(p.stats().parts_transcoded, 4);
+    }
+
+    #[test]
+    fn row_layout_skips_the_transcode() {
+        let config = IpaConfig {
+            data_layout: DataLayout::Row,
+            ..Default::default()
+        };
+        let mut p = plane(100, &config);
+        let staged = p
+            .stage(
+                &DatasetId::new("ds"),
+                &SplitSpec {
+                    micro_parts: false,
+                    parts: 2,
+                    byte_balanced: false,
+                },
+            )
+            .unwrap();
+        assert_eq!(staged.columns, vec![None, None]);
+        assert_eq!(p.stats().parts_transcoded, 0);
     }
 
     #[test]
@@ -505,10 +591,12 @@ mod tests {
             chunks_sent: 32,
             cache_hits: 2,
             cache_misses: 1,
+            parts_transcoded: 8,
             retries: 3,
             transfer_failures: 0,
             locate_ms: 0.1,
             split_ms: 1.5,
+            transcode_ms: 0.7,
             deliver_ms: 2.5,
             sim_read_s: 46.0,
             sim_transfer_s: 62.0,

@@ -165,7 +165,7 @@ fn decode_dna(buf: &mut &[u8]) -> Result<DnaRead, DatasetError> {
     let sample = buf.get_u32_le();
     let quality = buf.get_f32_le();
     let len = buf.get_u32_le() as usize;
-    let bases = read_string(buf, len)?;
+    let bases = read_string(buf, len)?.into();
     Ok(DnaRead {
         read_id,
         sample,
@@ -179,7 +179,7 @@ fn decode_trade(buf: &mut &[u8]) -> Result<TradeRecord, DatasetError> {
     let trade_id = buf.get_u64_le();
     let timestamp_ms = buf.get_u64_le();
     let sym_len = buf.get_u16_le() as usize;
-    let symbol = read_string(buf, sym_len)?;
+    let symbol = read_string(buf, sym_len)?.into();
     need(buf, 8 + 4 + 1, "trade tail")?;
     let price = buf.get_f64_le();
     let volume = buf.get_u32_le();
@@ -266,7 +266,7 @@ mod tests {
                 AnyRecord::Dna(DnaRead {
                     read_id: i,
                     sample: 2,
-                    bases: "ACGTACGT".repeat(i as usize + 1),
+                    bases: "ACGTACGT".repeat(i as usize + 1).into(),
                     quality: 30.5,
                 })
             })

@@ -1,0 +1,507 @@
+//! Columnar (structure-of-arrays) transcode of record batches.
+//!
+//! Engines iterate staged parts record by record, but the per-record path
+//! pays a name-keyed `FieldValue` lookup — and for derived observables like
+//! `bb_mass` a full recomputation — on every access. A [`ColumnBatch`]
+//! transcodes a homogeneous `AnyRecord` slice once into typed columns
+//! (`Vec<f64>` / `Vec<i64>` / `Vec<bool>` / shared `Arc<str>`), with a
+//! validity bitmap marking [`FieldValue::Missing`] slots, so the hot loop
+//! reads contiguous memory and bulk fills autovectorize.
+//!
+//! Bit-identity is by construction: every cell is produced by calling
+//! [`RecordFields::field`] during the transcode, so a per-record read
+//! through [`ColumnBatch::field_at`] returns exactly the `FieldValue` the
+//! row path would have produced — including `Missing` patterns and the
+//! original f64 bit patterns of derived quantities.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{AnyRecord, FieldValue, RecordFields};
+
+/// Which in-memory layout the data plane hands to engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum DataLayout {
+    /// Rows: engines read `AnyRecord`s directly (the differential oracle).
+    Row,
+    /// Columns: staging transcodes each part into a [`ColumnBatch`] and
+    /// engines take the vectorized path.
+    Columnar,
+}
+
+impl DataLayout {
+    /// Read the layout from `IPA_DATA_LAYOUT` (`row` | `columnar`),
+    /// defaulting to [`DataLayout::Columnar`].
+    pub fn from_env() -> Self {
+        match std::env::var("IPA_DATA_LAYOUT") {
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "row" | "rows" => DataLayout::Row,
+                "columnar" | "column" | "columns" => DataLayout::Columnar,
+                _ => DataLayout::Columnar,
+            },
+            Err(_) => DataLayout::Columnar,
+        }
+    }
+}
+
+impl std::fmt::Display for DataLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataLayout::Row => write!(f, "row"),
+            DataLayout::Columnar => write!(f, "columnar"),
+        }
+    }
+}
+
+/// Typed storage for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Numeric (`FieldValue::Num`) cells.
+    F64(Vec<f64>),
+    /// Integer (`FieldValue::Int`) cells.
+    I64(Vec<i64>),
+    /// Boolean (`FieldValue::Bool`) cells.
+    Bool(Vec<bool>),
+    /// String (`FieldValue::Str`) cells; each slot shares the record's
+    /// buffer, so the transcode copies pointers, not bytes.
+    Str(Vec<Arc<str>>),
+}
+
+/// One field of a [`ColumnBatch`]: typed data plus an optional validity
+/// bitmap (absent when every cell is present).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    /// Bit `i` set ⇔ row `i` holds a concrete value; `None` ⇔ all valid.
+    validity: Option<Vec<u64>>,
+}
+
+impl Column {
+    /// Typed cell storage. Invalid (missing) slots hold a type default and
+    /// must be masked through [`Column::is_valid`].
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Validity bitmap words (LSB-first within each word); `None` means
+    /// every row is valid.
+    pub fn validity(&self) -> Option<&[u64]> {
+        self.validity.as_deref()
+    }
+
+    /// True when every cell of the column is present.
+    pub fn all_valid(&self) -> bool {
+        self.validity.is_none()
+    }
+
+    /// True when row `row` holds a concrete value.
+    #[inline]
+    pub fn is_valid(&self, row: usize) -> bool {
+        match &self.validity {
+            None => true,
+            Some(words) => words[row >> 6] & (1u64 << (row & 63)) != 0,
+        }
+    }
+
+    /// The f64 cells, if this is a numeric column.
+    pub fn f64s(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The i64 cells, if this is an integer column.
+    pub fn i64s(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The bool cells, if this is a boolean column.
+    pub fn bools(&self) -> Option<&[bool]> {
+        match &self.data {
+            ColumnData::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string cells, if this is a string column.
+    pub fn strs(&self) -> Option<&[Arc<str>]> {
+        match &self.data {
+            ColumnData::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Approximate heap footprint of the column in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        let data = match &self.data {
+            ColumnData::F64(v) => v.len() * 8,
+            ColumnData::I64(v) => v.len() * 8,
+            ColumnData::Bool(v) => v.len(),
+            // Pointers only: the string bytes stay owned by the records.
+            ColumnData::Str(v) => v.len() * std::mem::size_of::<Arc<str>>(),
+        };
+        data + self.validity.as_ref().map_or(0, |w| w.len() * 8)
+    }
+}
+
+/// A homogeneous record slice transcoded to columnar layout.
+///
+/// Immutable after construction; shared between the staging cache, the
+/// session, and engines as `Arc<ColumnBatch>` so re-select and rewind reuse
+/// the transcode with zero copies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnBatch {
+    kind: &'static str,
+    names: &'static [&'static str],
+    len: usize,
+    columns: Vec<Column>,
+}
+
+impl ColumnBatch {
+    /// Transcode a record slice. Returns `None` when the slice is empty,
+    /// of mixed record kinds, or a field changes concrete type mid-slice —
+    /// callers fall back to the row path in those cases.
+    pub fn from_records(records: &[AnyRecord]) -> Option<ColumnBatch> {
+        let first = records.first()?;
+        let kind = first.kind();
+        let names = first.field_names();
+        let mut builders: Vec<ColumnBuilder> = names
+            .iter()
+            .map(|_| ColumnBuilder::new(records.len()))
+            .collect();
+        for rec in records {
+            if rec.kind() != kind {
+                return None;
+            }
+            for (builder, name) in builders.iter_mut().zip(names) {
+                // field_names() entries always resolve on their own kind.
+                let value = rec.field(name)?;
+                if !builder.push(value) {
+                    return None;
+                }
+            }
+        }
+        Some(ColumnBatch {
+            kind,
+            names,
+            len: records.len(),
+            columns: builders.into_iter().map(ColumnBuilder::finish).collect(),
+        })
+    }
+
+    /// Record kind shared by every row (`"event"`, `"dna"`, `"trade"`).
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// Field names, in column order.
+    pub fn names(&self) -> &'static [&'static str] {
+        self.names
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the batch holds no rows (never produced by
+    /// [`ColumnBatch::from_records`], which rejects empty slices).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Resolve a field name to its column index; `None` mirrors the row
+    /// path's "unknown field for this record kind".
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| *n == name)
+    }
+
+    /// The column at `col` (in [`ColumnBatch::names`] order).
+    pub fn column(&self, col: usize) -> &Column {
+        &self.columns[col]
+    }
+
+    /// Read one cell back as the exact `FieldValue` the row path produces.
+    #[inline]
+    pub fn field_at(&self, col: usize, row: usize) -> FieldValue {
+        let c = &self.columns[col];
+        if !c.is_valid(row) {
+            return FieldValue::Missing;
+        }
+        match &c.data {
+            ColumnData::F64(v) => FieldValue::Num(v[row]),
+            ColumnData::I64(v) => FieldValue::Int(v[row]),
+            ColumnData::Bool(v) => FieldValue::Bool(v[row]),
+            ColumnData::Str(v) => FieldValue::Str(v[row].clone()),
+        }
+    }
+
+    /// Name-keyed cell read, mirroring [`RecordFields::field`] semantics
+    /// (`None` = unknown field, `Some(Missing)` = known but absent).
+    pub fn field(&self, name: &str, row: usize) -> Option<FieldValue> {
+        self.column_index(name).map(|c| self.field_at(c, row))
+    }
+
+    /// Approximate heap footprint of the transcode in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.columns.iter().map(Column::heap_bytes).sum()
+    }
+}
+
+/// Incremental single-column builder. The column type is pinned by the
+/// first concrete value; leading `Missing` slots are back-filled with the
+/// type default once the type is known.
+struct ColumnBuilder {
+    data: BuilderData,
+    validity: Vec<u64>,
+    any_missing: bool,
+    rows: usize,
+    cap: usize,
+}
+
+enum BuilderData {
+    /// No concrete value seen yet; payload counts the missing slots.
+    Untyped(usize),
+    F64(Vec<f64>),
+    I64(Vec<i64>),
+    Bool(Vec<bool>),
+    Str(Vec<Arc<str>>),
+}
+
+impl ColumnBuilder {
+    fn new(cap: usize) -> Self {
+        ColumnBuilder {
+            data: BuilderData::Untyped(0),
+            validity: vec![0u64; cap.div_ceil(64)],
+            any_missing: false,
+            rows: 0,
+            cap,
+        }
+    }
+
+    /// Append one cell; `false` signals a concrete-type clash (the caller
+    /// abandons the transcode).
+    fn push(&mut self, value: FieldValue) -> bool {
+        let row = self.rows;
+        self.rows += 1;
+        if matches!(value, FieldValue::Missing) {
+            self.any_missing = true;
+            match &mut self.data {
+                BuilderData::Untyped(n) => *n += 1,
+                BuilderData::F64(v) => v.push(0.0),
+                BuilderData::I64(v) => v.push(0),
+                BuilderData::Bool(v) => v.push(false),
+                BuilderData::Str(v) => v.push(Arc::from("")),
+            }
+            return true;
+        }
+        self.validity[row >> 6] |= 1u64 << (row & 63);
+        if let BuilderData::Untyped(n) = self.data {
+            let mut typed = match &value {
+                FieldValue::Num(_) => BuilderData::F64(Vec::with_capacity(self.cap)),
+                FieldValue::Int(_) => BuilderData::I64(Vec::with_capacity(self.cap)),
+                FieldValue::Bool(_) => BuilderData::Bool(Vec::with_capacity(self.cap)),
+                FieldValue::Str(_) => BuilderData::Str(Vec::with_capacity(self.cap)),
+                FieldValue::Missing => unreachable!("handled above"),
+            };
+            match &mut typed {
+                BuilderData::F64(v) => v.resize(n, 0.0),
+                BuilderData::I64(v) => v.resize(n, 0),
+                BuilderData::Bool(v) => v.resize(n, false),
+                BuilderData::Str(v) => v.resize(n, Arc::from("")),
+                BuilderData::Untyped(_) => unreachable!(),
+            }
+            self.data = typed;
+        }
+        match (&mut self.data, value) {
+            (BuilderData::F64(v), FieldValue::Num(x)) => v.push(x),
+            (BuilderData::I64(v), FieldValue::Int(x)) => v.push(x),
+            (BuilderData::Bool(v), FieldValue::Bool(x)) => v.push(x),
+            (BuilderData::Str(v), FieldValue::Str(x)) => v.push(x),
+            _ => return false,
+        }
+        true
+    }
+
+    fn finish(self) -> Column {
+        let data = match self.data {
+            // Every cell missing: the cells are never read, any type works.
+            BuilderData::Untyped(n) => ColumnData::F64(vec![0.0; n]),
+            BuilderData::F64(v) => ColumnData::F64(v),
+            BuilderData::I64(v) => ColumnData::I64(v),
+            BuilderData::Bool(v) => ColumnData::Bool(v),
+            BuilderData::Str(v) => ColumnData::Str(v),
+        };
+        Column {
+            data,
+            validity: self.any_missing.then_some(self.validity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dna::DnaRead;
+    use crate::event::{CollisionEvent, FourVector, Particle};
+    use crate::trade::TradeRecord;
+
+    fn events(n: u64) -> Vec<AnyRecord> {
+        (0..n)
+            .map(|i| {
+                let particles = if i % 3 == 0 {
+                    // Two b-tags → bb_mass present.
+                    vec![
+                        Particle::new(
+                            5,
+                            -1.0 / 3.0,
+                            FourVector::from_mass_momentum(4.8, 40.0 + i as f64, 0.0, 5.0),
+                        ),
+                        Particle::new(
+                            -5,
+                            1.0 / 3.0,
+                            FourVector::from_mass_momentum(4.8, -35.0, 8.0, -5.0),
+                        ),
+                    ]
+                } else if i % 3 == 1 {
+                    // One particle → bb_mass missing, lead_pt present.
+                    vec![Particle::new(22, 0.0, FourVector::new(12.0, 3.0, 4.0, 0.0))]
+                } else {
+                    // No particles → bb_mass and lead_pt both missing.
+                    Vec::new()
+                };
+                AnyRecord::Event(CollisionEvent {
+                    event_id: i,
+                    run: 1,
+                    sqrt_s: 500.0,
+                    is_signal: i % 2 == 0,
+                    particles,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical_for_events() {
+        let recs = events(130); // crosses a validity-word boundary
+        let batch = ColumnBatch::from_records(&recs).unwrap();
+        assert_eq!(batch.kind(), "event");
+        assert_eq!(batch.len(), 130);
+        for (row, rec) in recs.iter().enumerate() {
+            for name in rec.field_names() {
+                assert_eq!(batch.field(name, row), rec.field(name), "{name}[{row}]");
+            }
+        }
+        assert_eq!(batch.field("bogus", 0), None);
+    }
+
+    #[test]
+    fn round_trip_dna_and_trade() {
+        let dna: Vec<AnyRecord> = (0..5)
+            .map(|i| {
+                AnyRecord::Dna(DnaRead {
+                    read_id: i,
+                    sample: (i % 3) as u32,
+                    bases: "ACGT".repeat(i as usize + 1).into(),
+                    quality: 30.0 + i as f32,
+                })
+            })
+            .collect();
+        let batch = ColumnBatch::from_records(&dna).unwrap();
+        for (row, rec) in dna.iter().enumerate() {
+            for name in rec.field_names() {
+                assert_eq!(batch.field(name, row), rec.field(name), "{name}[{row}]");
+            }
+        }
+
+        let trades: Vec<AnyRecord> = (0..5)
+            .map(|i| {
+                AnyRecord::Trade(TradeRecord {
+                    trade_id: i,
+                    timestamp_ms: i * 10,
+                    symbol: "TXC".into(),
+                    price: 100.0 + i as f64,
+                    volume: 10 + i as u32,
+                    buyer_initiated: i % 2 == 0,
+                })
+            })
+            .collect();
+        let batch = ColumnBatch::from_records(&trades).unwrap();
+        for (row, rec) in trades.iter().enumerate() {
+            for name in rec.field_names() {
+                assert_eq!(batch.field(name, row), rec.field(name), "{name}[{row}]");
+            }
+        }
+    }
+
+    #[test]
+    fn string_columns_share_the_record_buffer() {
+        let read = DnaRead {
+            read_id: 0,
+            sample: 0,
+            bases: "ACGTACGT".into(),
+            quality: 30.0,
+        };
+        let bases = read.bases.clone();
+        let recs = vec![AnyRecord::Dna(read)];
+        let batch = ColumnBatch::from_records(&recs).unwrap();
+        let col = batch.column(batch.column_index("bases").unwrap());
+        assert!(Arc::ptr_eq(&col.strs().unwrap()[0], &bases));
+    }
+
+    #[test]
+    fn missing_slots_are_masked_not_stored() {
+        let recs = events(6);
+        let batch = ColumnBatch::from_records(&recs).unwrap();
+        let bb = batch.column(batch.column_index("bb_mass").unwrap());
+        assert!(!bb.all_valid());
+        assert!(bb.is_valid(0) && bb.is_valid(3));
+        for row in [1, 2, 4, 5] {
+            assert!(!bb.is_valid(row));
+            assert_eq!(batch.field("bb_mass", row), Some(FieldValue::Missing));
+        }
+        // Fully-present columns drop the bitmap entirely.
+        let e = batch.column(batch.column_index("event_id").unwrap());
+        assert!(e.all_valid() && e.validity().is_none());
+    }
+
+    #[test]
+    fn empty_and_mixed_slices_fall_back() {
+        assert!(ColumnBatch::from_records(&[]).is_none());
+        let mut recs = events(1);
+        recs.push(AnyRecord::Dna(DnaRead {
+            read_id: 0,
+            sample: 0,
+            bases: "A".into(),
+            quality: 0.0,
+        }));
+        assert!(ColumnBatch::from_records(&recs).is_none());
+    }
+
+    #[test]
+    fn all_missing_column_reads_back_missing() {
+        let recs = events(3); // rows 1, 2 have no bb_mass; row 0 does
+        let only_missing: Vec<AnyRecord> = recs[1..].to_vec();
+        let batch = ColumnBatch::from_records(&only_missing).unwrap();
+        for row in 0..2 {
+            assert_eq!(batch.field("bb_mass", row), Some(FieldValue::Missing));
+        }
+    }
+
+    #[test]
+    fn layout_env_parsing_defaults_to_columnar() {
+        // Exercise the string mapping without touching process env.
+        assert_eq!(DataLayout::Columnar.to_string(), "columnar");
+        assert_eq!(DataLayout::Row.to_string(), "row");
+        let json = serde_json::to_string(&DataLayout::Row).unwrap();
+        assert_eq!(json, "\"row\"");
+        let back: DataLayout = serde_json::from_str("\"columnar\"").unwrap();
+        assert_eq!(back, DataLayout::Columnar);
+    }
+}

@@ -1,6 +1,8 @@
 //! DNA sequencing read model — the paper's cellular-biology example domain
 //! ("DNA sequencing combinations in cellular biology", §1).
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 /// One sequencing read: an id, a base string, and per-read quality.
@@ -10,8 +12,9 @@ pub struct DnaRead {
     pub read_id: u64,
     /// Sample/lane this read came from.
     pub sample: u32,
-    /// Base calls, one of `ACGT` per position.
-    pub bases: String,
+    /// Base calls, one of `ACGT` per position. Shared so field lookups and
+    /// columnar transcodes clone a pointer, not the buffer.
+    pub bases: Arc<str>,
     /// Phred-like average quality score for the read.
     pub quality: f32,
 }
@@ -61,7 +64,7 @@ mod tests {
         DnaRead {
             read_id: 0,
             sample: 0,
-            bases: bases.to_string(),
+            bases: bases.into(),
             quality: 30.0,
         }
     }

@@ -240,7 +240,7 @@ impl DnaGeneratorConfig {
                 AnyRecord::Dna(DnaRead {
                     read_id,
                     sample,
-                    bases: String::from_utf8(bases).expect("ACGT is valid UTF-8"),
+                    bases: String::from_utf8(bases).expect("ACGT is valid UTF-8").into(),
                     quality: (35.0 + 5.0 * gauss(&mut rng)).clamp(2.0, 60.0) as f32,
                 })
             })
@@ -286,6 +286,9 @@ impl TradeGeneratorConfig {
     pub fn generate(&self) -> Vec<AnyRecord> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let nsym = self.symbols.len().max(1);
+        // Intern symbols once; each trade then shares the buffer.
+        let symbols: Vec<std::sync::Arc<str>> =
+            self.symbols.iter().map(|s| s.as_str().into()).collect();
         let mut prices = vec![self.initial_price; nsym];
         let mut t_ms = 0u64;
         (0..self.trades)
@@ -298,11 +301,7 @@ impl TradeGeneratorConfig {
                 AnyRecord::Trade(TradeRecord {
                     trade_id,
                     timestamp_ms: t_ms,
-                    symbol: self
-                        .symbols
-                        .get(s)
-                        .cloned()
-                        .unwrap_or_else(|| "SYM".to_string()),
+                    symbol: symbols.get(s).cloned().unwrap_or_else(|| "SYM".into()),
                     price: prices[s],
                     volume,
                     buyer_initiated: rng.random::<bool>(),
@@ -477,7 +476,7 @@ mod tests {
                 assert!(t.volume >= 1);
                 assert!(t.timestamp_ms > last_ts, "timestamps strictly increase");
                 last_ts = t.timestamp_ms;
-                assert!(cfg.symbols.contains(&t.symbol));
+                assert!(cfg.symbols.iter().any(|s| s.as_str() == &*t.symbol));
             }
         }
     }

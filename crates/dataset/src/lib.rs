@@ -13,7 +13,9 @@
 //!   Linear-Collider simulation data with statistically controlled
 //!   equivalents (a Higgs-like resonance over continuum background),
 //! * the [`splitter`] that cuts a dataset into approximately equal parts for
-//!   the analysis engines, and the inverse check used in tests.
+//!   the analysis engines, and the inverse check used in tests,
+//! * the [`columnar`] transcode that re-lays staged parts out as typed
+//!   columns with validity bitmaps so engine fills autovectorize.
 //!
 //! Datasets carry a [`DatasetDescriptor`] (identifier, kind, record count,
 //! byte size) — the unit the catalog/locator services reason about.
@@ -21,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod columnar;
 pub mod dataset;
 pub mod dna;
 pub mod error;
@@ -32,6 +35,7 @@ pub mod stream;
 pub mod trade;
 
 pub use codec::{decode_dataset, encode_dataset, DATASET_MAGIC, FORMAT_VERSION};
+pub use columnar::{Column, ColumnBatch, ColumnData, DataLayout};
 pub use dataset::{Dataset, DatasetDescriptor, DatasetId, DatasetKind};
 pub use dna::DnaRead;
 pub use error::DatasetError;

@@ -5,6 +5,8 @@
 //! makes the framework "not specific to any particular science application"
 //! (paper §6) while still supporting rich, domain-specific observables.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::dna::DnaRead;
@@ -20,8 +22,9 @@ pub enum FieldValue {
     Int(i64),
     /// Boolean field.
     Bool(bool),
-    /// String field.
-    Str(String),
+    /// String field. Shared, not owned: looking up a string field is a
+    /// refcount bump, never an allocation.
+    Str(Arc<str>),
     /// A field that exists but is absent for this record
     /// (e.g. `bb_mass` in an event with fewer than two b-tags).
     Missing,

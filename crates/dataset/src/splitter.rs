@@ -196,7 +196,7 @@ mod tests {
                 AnyRecord::Dna(DnaRead {
                     read_id: i,
                     sample: 0,
-                    bases: "ACGT".repeat(1 + (i as usize * 7) % 40),
+                    bases: "ACGT".repeat(1 + (i as usize * 7) % 40).into(),
                     quality: 30.0,
                 })
             })
@@ -262,7 +262,7 @@ mod tests {
             recs.push(AnyRecord::Dna(DnaRead {
                 read_id: i,
                 sample: 0,
-                bases: "A".repeat(if i < 4 { 10_000 } else { 10 }),
+                bases: "A".repeat(if i < 4 { 10_000 } else { 10 }).into(),
                 quality: 1.0,
             }));
         }

@@ -222,7 +222,9 @@ impl<R: Read> StreamReader<R> {
             });
         }
         let body = self.take(len, "dna bases")?.to_vec();
-        let bases = String::from_utf8(body).map_err(|_| DatasetError::BadUtf8)?;
+        let bases = String::from_utf8(body)
+            .map_err(|_| DatasetError::BadUtf8)?
+            .into();
         Ok(crate::dna::DnaRead {
             read_id,
             sample,
@@ -238,7 +240,9 @@ impl<R: Read> StreamReader<R> {
         let timestamp_ms = b.get_u64_le();
         let sym_len = b.get_u16_le() as usize;
         let sym = self.take(sym_len, "trade symbol")?.to_vec();
-        let symbol = String::from_utf8(sym).map_err(|_| DatasetError::BadUtf8)?;
+        let symbol = String::from_utf8(sym)
+            .map_err(|_| DatasetError::BadUtf8)?
+            .into();
         let tail = self.take(8 + 4 + 1, "trade tail")?;
         let mut b = tail;
         let price = b.get_f64_le();

@@ -1,6 +1,8 @@
 //! Stock trading record model — the paper's business example domain
 //! ("stock trading records in business", §1).
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 /// One executed trade.
@@ -10,8 +12,9 @@ pub struct TradeRecord {
     pub trade_id: u64,
     /// Milliseconds since the session open.
     pub timestamp_ms: u64,
-    /// Ticker symbol.
-    pub symbol: String,
+    /// Ticker symbol. Shared so field lookups clone a pointer, not the
+    /// buffer.
+    pub symbol: Arc<str>,
     /// Execution price.
     pub price: f64,
     /// Number of shares.

@@ -44,6 +44,43 @@ pub trait Host {
     fn fill2(&mut self, path: &str, x: f64, y: f64, w: f64) -> Result<(), String>;
     /// Fill a profile.
     fn fill_profile(&mut self, path: &str, x: f64, y: f64, w: f64) -> Result<(), String>;
+    /// Bulk 1-D fill, equivalent to one [`Host::fill1`] per element of
+    /// `xs` in slice order. The default loops; tree-backed hosts override
+    /// with a single path lookup for the whole slice.
+    fn fill1_slice(&mut self, path: &str, xs: &[f64], w: f64) -> Result<(), String> {
+        for &x in xs {
+            self.fill1(path, x, w)?;
+        }
+        Ok(())
+    }
+    /// Bulk weighted 1-D fill over parallel coordinate/weight slices.
+    fn fill1_slice_weighted(&mut self, path: &str, xs: &[f64], ws: &[f64]) -> Result<(), String> {
+        for (&x, &w) in xs.iter().zip(ws) {
+            self.fill1(path, x, w)?;
+        }
+        Ok(())
+    }
+    /// Bulk 2-D fill, one [`Host::fill2`] per `(x, y)` pair in slice order.
+    fn fill2_slice(&mut self, path: &str, xs: &[f64], ys: &[f64], w: f64) -> Result<(), String> {
+        for (&x, &y) in xs.iter().zip(ys) {
+            self.fill2(path, x, y, w)?;
+        }
+        Ok(())
+    }
+    /// Bulk profile fill, one [`Host::fill_profile`] per `(x, y)` pair in
+    /// slice order.
+    fn fill_profile_slice(
+        &mut self,
+        path: &str,
+        xs: &[f64],
+        ys: &[f64],
+        w: f64,
+    ) -> Result<(), String> {
+        for (&x, &y) in xs.iter().zip(ys) {
+            self.fill_profile(path, x, y, w)?;
+        }
+        Ok(())
+    }
     /// Log a message from the script.
     fn log(&mut self, message: &str);
     /// Book an auto-ranging 1-D cloud (default: unsupported, so custom
@@ -196,6 +233,65 @@ impl Host for AidaHost {
         match self.tree.get_mut(path) {
             Ok(ipa_aida::AidaObject::P1(p)) => {
                 p.fill(x, y, w);
+                Ok(())
+            }
+            Ok(other) => Err(format!("'{path}' is a {}, not a profile", other.kind())),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    fn fill1_slice(&mut self, path: &str, xs: &[f64], w: f64) -> Result<(), String> {
+        match self.tree.get_mut(path) {
+            Ok(ipa_aida::AidaObject::H1(h)) => {
+                h.fill_slice(xs, w);
+                Ok(())
+            }
+            Ok(other) => Err(format!(
+                "'{path}' is a {}, not a 1-D histogram",
+                other.kind()
+            )),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    fn fill1_slice_weighted(&mut self, path: &str, xs: &[f64], ws: &[f64]) -> Result<(), String> {
+        match self.tree.get_mut(path) {
+            Ok(ipa_aida::AidaObject::H1(h)) => {
+                h.fill_slice_weighted(xs, ws);
+                Ok(())
+            }
+            Ok(other) => Err(format!(
+                "'{path}' is a {}, not a 1-D histogram",
+                other.kind()
+            )),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    fn fill2_slice(&mut self, path: &str, xs: &[f64], ys: &[f64], w: f64) -> Result<(), String> {
+        match self.tree.get_mut(path) {
+            Ok(ipa_aida::AidaObject::H2(h)) => {
+                h.fill_slice(xs, ys, w);
+                Ok(())
+            }
+            Ok(other) => Err(format!(
+                "'{path}' is a {}, not a 2-D histogram",
+                other.kind()
+            )),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    fn fill_profile_slice(
+        &mut self,
+        path: &str,
+        xs: &[f64],
+        ys: &[f64],
+        w: f64,
+    ) -> Result<(), String> {
+        match self.tree.get_mut(path) {
+            Ok(ipa_aida::AidaObject::P1(p)) => {
+                p.fill_slice(xs, ys, w);
                 Ok(())
             }
             Ok(other) => Err(format!("'{path}' is a {}, not a profile", other.kind())),

@@ -118,6 +118,20 @@ pub trait ScriptEngine: Send {
     fn set_fuel(&mut self, fuel: u64);
     /// Which backend this engine is.
     fn backend(&self) -> ScriptBackend;
+    /// Offer a columnar transcode of the part about to stream through
+    /// `process` — `records` is the row batch the upcoming
+    /// `RecordRef::Batch` handles point into, `columns` its transcode.
+    /// Backends that cannot exploit columns ignore the call (the default);
+    /// the bytecode VM resolves field names to column indices once here.
+    fn bind_columns(
+        &mut self,
+        records: &std::sync::Arc<Vec<ipa_dataset::AnyRecord>>,
+        columns: &std::sync::Arc<ipa_dataset::ColumnBatch>,
+    ) {
+        let _ = (records, columns);
+    }
+    /// Drop any column binding (row-path field reads resume).
+    fn unbind_columns(&mut self) {}
 }
 
 /// Build a script engine for `program` using the requested backend.

@@ -10,7 +10,7 @@ use ipa_dataset::{AnyRecord, FieldValue};
 /// clones an `Arc`, never the record data — this is what lets the engine
 /// hand its `Arc<Vec<AnyRecord>>` partitions straight to scripts without a
 /// per-record deep copy.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RecordRef {
     /// A record with its own allocation.
     One(Arc<AnyRecord>),
@@ -56,7 +56,11 @@ impl std::ops::Deref for RecordRef {
 }
 
 /// An IPAScript runtime value.
-#[derive(Debug, Clone)]
+///
+/// The derived `PartialEq` is structural (used by tests); the language's
+/// `==` operator goes through [`Value::equals`], which compares records by
+/// identity instead.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// Absence of a value (also what missing record fields read as).
     Null,
@@ -112,7 +116,7 @@ impl Value {
             FieldValue::Num(x) => Value::Num(x),
             FieldValue::Int(i) => Value::Num(i as f64),
             FieldValue::Bool(b) => Value::Bool(b),
-            FieldValue::Str(s) => Value::Str(s),
+            FieldValue::Str(s) => Value::Str(s.to_string()),
             FieldValue::Missing => Value::Null,
         }
     }

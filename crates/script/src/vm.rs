@@ -12,6 +12,8 @@
 
 use std::sync::Arc;
 
+use ipa_dataset::{AnyRecord, ColumnBatch};
+
 use crate::ast::{BinOp, UnOp};
 use crate::bytecode::{CompiledScript, FnProto, Op};
 use crate::error::ScriptError;
@@ -31,6 +33,20 @@ struct Frame {
     stack: Vec<Value>,
 }
 
+/// A columnar view of the part currently streaming through the VM. Field
+/// names are resolved to column indices once here, at bind time, so the
+/// per-record `Op::FieldGet` fast path is two array reads.
+struct ColumnBinding {
+    /// The row batch the incoming `RecordRef::Batch` handles point into —
+    /// pointer identity is the fast-path guard.
+    records: Arc<Vec<AnyRecord>>,
+    /// The transcode of `records`.
+    columns: Arc<ColumnBatch>,
+    /// Column index per `script.names` entry; `None` = the name is not a
+    /// field of this batch's record kind.
+    cols: Vec<Option<u32>>,
+}
+
 /// The bytecode interpreter: compiled script + global state. Drop-in
 /// behavioral replacement for [`crate::Interpreter`].
 pub struct Vm {
@@ -46,6 +62,9 @@ pub struct Vm {
     init_fn: Option<u16>,
     process_fn: Option<u16>,
     end_fn: Option<u16>,
+    /// Column binding for the part being streamed, when the engine runs
+    /// the columnar data plane.
+    bound: Option<ColumnBinding>,
 }
 
 impl Vm {
@@ -65,7 +84,35 @@ impl Vm {
             init_fn,
             process_fn,
             end_fn,
+            bound: None,
         }
+    }
+
+    /// Bind a columnar transcode of the part about to stream through
+    /// `process()`. Field names are resolved to column indices once per
+    /// part; re-binding the same `(records, columns)` pair is free.
+    pub fn bind_columns(&mut self, records: &Arc<Vec<AnyRecord>>, columns: &Arc<ColumnBatch>) {
+        if let Some(b) = &self.bound {
+            if Arc::ptr_eq(&b.records, records) && Arc::ptr_eq(&b.columns, columns) {
+                return;
+            }
+        }
+        let cols = self
+            .script
+            .names
+            .iter()
+            .map(|n| columns.column_index(n).map(|i| i as u32))
+            .collect();
+        self.bound = Some(ColumnBinding {
+            records: Arc::clone(records),
+            columns: Arc::clone(columns),
+            cols,
+        });
+    }
+
+    /// Drop any column binding; subsequent field reads use the row path.
+    pub fn unbind_columns(&mut self) {
+        self.bound = None;
     }
 
     /// Override the per-call fuel budget (tests and paranoid deployments).
@@ -344,6 +391,38 @@ impl Vm {
                 }
                 Op::FieldGet { name } => {
                     let t = frame.stack.pop().expect("operand stack underflow");
+                    // Column-bound fast path: when the target is a handle
+                    // into the bound batch, read the transcoded column
+                    // instead of dispatching a name-keyed field lookup.
+                    // `ColumnBatch` round-trips are bit-identical to
+                    // `RecordFields::field`, and both error strings below
+                    // match `field_value` exactly.
+                    if let (Value::Record(RecordRef::Batch { batch, index }), Some(b)) =
+                        (&t, &self.bound)
+                    {
+                        if Arc::ptr_eq(batch, &b.records) {
+                            match b.cols[name as usize] {
+                                Some(ci) => {
+                                    frame
+                                        .stack
+                                        .push(Value::from_field(
+                                            b.columns.field_at(ci as usize, *index),
+                                        ));
+                                    continue;
+                                }
+                                None => {
+                                    return Err(ScriptError::runtime(
+                                        format!(
+                                            "record kind '{}' has no field '{}'",
+                                            b.columns.kind(),
+                                            script.names[name as usize]
+                                        ),
+                                        line,
+                                    ));
+                                }
+                            }
+                        }
+                    }
                     let field = script.names[name as usize].as_str();
                     frame.stack.push(field_value(&t, field, line)?);
                 }
@@ -511,6 +590,14 @@ impl crate::ScriptEngine for Vm {
     fn backend(&self) -> crate::ScriptBackend {
         crate::ScriptBackend::Vm
     }
+
+    fn bind_columns(&mut self, records: &Arc<Vec<AnyRecord>>, columns: &Arc<ColumnBatch>) {
+        Vm::bind_columns(self, records, columns);
+    }
+
+    fn unbind_columns(&mut self) {
+        Vm::unbind_columns(self);
+    }
 }
 
 #[cfg(test)]
@@ -519,6 +606,7 @@ mod tests {
     use crate::interp::NullHost;
     use crate::parser::compile;
     use crate::resolve::compile_program;
+    use crate::ScriptEngine;
 
     fn vm(src: &str) -> Vm {
         Vm::new(compile_program(&compile(src).unwrap()).unwrap())
@@ -601,5 +689,92 @@ mod tests {
             .call_function("f", vec![Value::Num(0.0)], &mut NullHost)
             .unwrap_err();
         assert_eq!(err, ScriptError::StackOverflow);
+    }
+
+    fn trade_batch() -> Arc<Vec<AnyRecord>> {
+        Arc::new(
+            (0..8u64)
+                .map(|i| {
+                    AnyRecord::Trade(ipa_dataset::TradeRecord {
+                        trade_id: i,
+                        timestamp_ms: i * 1000,
+                        symbol: "IPA".into(),
+                        price: 10.0 + i as f64,
+                        volume: 100 + i as u32,
+                        buyer_initiated: i % 2 == 0,
+                    })
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn column_binding_matches_row_reads() {
+        let src = "let total = 0;\nfn process(t) { total = total + t.price * t.volume; }";
+        let records = trade_batch();
+        let columns = Arc::new(ColumnBatch::from_records(&records).unwrap());
+
+        let mut row = vm(src);
+        row.run_init(&mut NullHost).unwrap();
+        for i in 0..records.len() {
+            ScriptEngine::process(&mut row, &mut NullHost, RecordRef::batch(records.clone(), i))
+                .unwrap();
+        }
+
+        let mut col = vm(src);
+        col.run_init(&mut NullHost).unwrap();
+        col.bind_columns(&records, &columns);
+        for i in 0..records.len() {
+            ScriptEngine::process(&mut col, &mut NullHost, RecordRef::batch(records.clone(), i))
+                .unwrap();
+        }
+
+        assert_eq!(row.global("total"), col.global("total"));
+        assert!(matches!(col.global("total"), Some(Value::Num(n)) if n > 0.0));
+    }
+
+    #[test]
+    fn column_binding_preserves_unknown_field_error() {
+        let src = "fn process(t) { let x = t.nope; }";
+        let records = trade_batch();
+        let columns = Arc::new(ColumnBatch::from_records(&records).unwrap());
+
+        let mut row = vm(src);
+        row.run_init(&mut NullHost).unwrap();
+        let row_err =
+            ScriptEngine::process(&mut row, &mut NullHost, RecordRef::batch(records.clone(), 0))
+                .unwrap_err();
+
+        let mut col = vm(src);
+        col.run_init(&mut NullHost).unwrap();
+        col.bind_columns(&records, &columns);
+        let col_err =
+            ScriptEngine::process(&mut col, &mut NullHost, RecordRef::batch(records.clone(), 0))
+                .unwrap_err();
+
+        assert_eq!(row_err, col_err);
+    }
+
+    #[test]
+    fn stale_binding_falls_back_to_row_reads() {
+        let src = "let total = 0;\nfn process(t) { total = total + t.volume; }";
+        let records = trade_batch();
+        let other = trade_batch();
+        let columns = Arc::new(ColumnBatch::from_records(&other).unwrap());
+
+        // Bound to a *different* batch: ptr-identity guard must reject the
+        // binding and read through the row path.
+        let mut v = vm(src);
+        v.run_init(&mut NullHost).unwrap();
+        v.bind_columns(&other, &columns);
+        for i in 0..records.len() {
+            ScriptEngine::process(&mut v, &mut NullHost, RecordRef::batch(records.clone(), i))
+                .unwrap();
+        }
+        let expected: f64 = (0..8).map(|i| 100.0 + i as f64).sum();
+        assert_eq!(v.global("total"), Some(Value::Num(expected)));
+
+        v.unbind_columns();
+        assert_eq!(v.global("total"), Some(Value::Num(expected)));
     }
 }
