@@ -1,0 +1,175 @@
+//! Multi-tenant control-plane cost: what the shared engine pool and the
+//! reactor gateway add (or save) over single-tenant ownership. Three
+//! views: session admission latency with and without the pool (lease vs
+//! spawn), concurrent-tenant aggregate run throughput on one shared pool,
+//! and idle-session poll RTT through the gateway while other clients are
+//! connected — the reactor must keep that flat as connections stack up.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ipa_core::{
+    AnalysisCode, IpaConfig, ManagerNode, RunState, SchedulerPolicy, WsClient, WsGateway,
+    WsRequest, WsResponse,
+};
+use ipa_dataset::{DatasetId, EventGeneratorConfig, GeneratorConfig};
+use ipa_simgrid::{GridProxy, SecurityDomain, VoPolicy};
+
+const EVENTS: u64 = 10_000;
+
+fn manager(pool: bool, pool_size: usize) -> (Arc<ManagerNode>, GridProxy) {
+    let sec = SecurityDomain::new("bench-mt", 7).with_policy(VoPolicy::new("ilc", 64));
+    let m = Arc::new(ManagerNode::new(
+        "bench-mt",
+        sec.clone(),
+        IpaConfig {
+            engine_pool: pool,
+            pool_size,
+            pool_lease_timeout_ms: 30_000,
+            scheduler: SchedulerPolicy::WorkStealing,
+            publish_every: 1_000,
+            ..Default::default()
+        },
+    ));
+    m.publish_dataset(
+        "/d",
+        ipa_dataset::generate_dataset(
+            "mt-events",
+            "events",
+            &GeneratorConfig::Event(EventGeneratorConfig {
+                events: EVENTS,
+                ..Default::default()
+            }),
+        ),
+        ipa_catalog::Metadata::new(),
+    )
+    .unwrap();
+    let proxy = sec.issue_proxy("/CN=bench", "ilc", 0.0, 1e6);
+    (m, proxy)
+}
+
+/// Create+close latency: pooled leases recycle warm engines, ownership
+/// spawns (and joins) fresh threads every time.
+fn bench_admission(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multitenant/admission");
+    for (label, pool) in [("owned", false), ("pooled", true)] {
+        let (m, proxy) = manager(pool, 0);
+        // Warm the pool so the steady-state path is measured, not spawn.
+        let mut s = m.create_session(&proxy, 0.0, 4).unwrap();
+        s.close();
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut s = m.create_session(&proxy, 0.0, 4).unwrap();
+                s.close();
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Aggregate records/s with N tenants sharing one pool sized to the
+/// machine: fair-share should divide, not serialize.
+fn bench_concurrent_tenants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multitenant/aggregate");
+    g.sample_size(10);
+    for tenants in [1usize, 2, 4] {
+        let (m, proxy) = manager(true, 8);
+        g.throughput(Throughput::Elements(EVENTS * tenants as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(tenants),
+            &tenants,
+            |b, &tenants| {
+                b.iter(|| {
+                    let mut handles = Vec::new();
+                    for _ in 0..tenants {
+                        let m = m.clone();
+                        let proxy = proxy.clone();
+                        handles.push(std::thread::spawn(move || {
+                            let mut s = m.create_session(&proxy, 0.0, 2).unwrap();
+                            s.select_dataset(&DatasetId::new("mt-events")).unwrap();
+                            s.load_code(AnalysisCode::Native("higgs-search".into()))
+                                .unwrap();
+                            s.run().unwrap();
+                            let st = s.wait_finished(Duration::from_secs(120)).unwrap();
+                            assert_eq!(st.records_processed, EVENTS);
+                            s.close();
+                        }));
+                    }
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Poll RTT for one idle session while `others` extra clients sit
+/// connected to the same gateway: the reactor multiplexes them on a fixed
+/// worker pool, so idle fan-in must not tax the active client.
+fn bench_idle_poll_rtt(c: &mut Criterion) {
+    let (m, proxy) = manager(true, 8);
+    let gw = WsGateway::serve(m, ("127.0.0.1", 0)).unwrap();
+    let mut client = WsClient::connect(gw.addr()).unwrap();
+    let session = match client
+        .call_ok(&WsRequest::CreateSession {
+            proxy,
+            now: 0.0,
+            engines: 2,
+        })
+        .unwrap()
+    {
+        WsResponse::SessionCreated { session, .. } => session,
+        other => panic!("{other:?}"),
+    };
+    client
+        .call_ok(&WsRequest::SelectDataset {
+            session,
+            id: "mt-events".into(),
+        })
+        .unwrap();
+    client
+        .call_ok(&WsRequest::LoadNative {
+            session,
+            name: "higgs-search".into(),
+        })
+        .unwrap();
+    client.call_ok(&WsRequest::Run { session }).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        if let WsResponse::Status(st) = client.call_ok(&WsRequest::Poll { session }).unwrap() {
+            if st.state == RunState::Finished {
+                break;
+            }
+        }
+        assert!(std::time::Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let mut g = c.benchmark_group("multitenant/idle_poll_rtt");
+    let mut parked: Vec<WsClient> = Vec::new();
+    for others in [0usize, 16, 128] {
+        while parked.len() < others {
+            parked.push(WsClient::connect(gw.addr()).unwrap());
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(others), &others, |b, _| {
+            b.iter(|| client.call(&WsRequest::Poll { session }).unwrap())
+        });
+    }
+    g.finish();
+
+    client
+        .call_ok(&WsRequest::CloseSession { session })
+        .unwrap();
+    drop(parked);
+}
+
+criterion_group!(
+    benches,
+    bench_admission,
+    bench_concurrent_tenants,
+    bench_idle_poll_rtt
+);
+criterion_main!(benches);

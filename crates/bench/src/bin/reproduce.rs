@@ -620,12 +620,102 @@ fn perf_cmd() {
         if i > 0 {
             sweep_json.push_str(", ");
         }
-        sweep_json.push_str(&format!(
-            "\"{}\": {:.0}",
-            n,
-            sweep_events as f64 / wall
+        sweep_json.push_str(&format!("\"{}\": {:.0}", n, sweep_events as f64 / wall));
+    }
+
+    // Multi-tenant sweep: aggregate records/s as tenants stack onto one
+    // manager with and without the shared engine pool, then idle-session
+    // poll RTT through the reactor gateway as connected clients pile up.
+    // The acceptance shape: aggregate throughput scales with the pool,
+    // idle p99 stays flat under client fan-in.
+    let mt_events = 20_000u64;
+    let mt_rig = |pool: bool| {
+        LiveRig::with_config(
+            mt_events,
+            ipa_core::IpaConfig {
+                engine_pool: pool,
+                pool_size: if pool { 8 } else { 0 },
+                pool_lease_timeout_ms: 30_000,
+                scheduler: ipa_core::SchedulerPolicy::WorkStealing,
+                publish_every: 2_000,
+                ..Default::default()
+            },
+        )
+    };
+    let mut mt_json = String::new();
+    for (i, pool) in [false, true].into_iter().enumerate() {
+        let rig = mt_rig(pool);
+        if i > 0 {
+            mt_json.push_str(", ");
+        }
+        mt_json.push_str(&format!(
+            "\"pool_{}\": {{ ",
+            if pool { "on" } else { "off" }
+        ));
+        for (j, tenants) in [1usize, 2, 4].into_iter().enumerate() {
+            let t0 = Instant::now();
+            std::thread::scope(|scope| {
+                for _ in 0..tenants {
+                    scope.spawn(|| {
+                        rig.run_code_to_completion(2, AnalysisCode::Native("higgs-search".into()));
+                    });
+                }
+            });
+            let agg = (mt_events * tenants as u64) as f64 / t0.elapsed().as_secs_f64();
+            if j > 0 {
+                mt_json.push_str(", ");
+            }
+            mt_json.push_str(&format!("\"{tenants}\": {agg:.0}"));
+        }
+        mt_json.push_str(" }");
+    }
+
+    // Idle-session poll RTT vs parked connections on the same gateway.
+    let rtt_rig = mt_rig(true);
+    let mut gw = ipa_core::WsGateway::serve(rtt_rig.manager.clone(), ("127.0.0.1", 0)).unwrap();
+    let sec = ipa_simgrid::SecurityDomain::new("bench-site", 1)
+        .with_policy(ipa_simgrid::VoPolicy::new("ilc", 64));
+    let proxy = sec.issue_proxy("/CN=bench", "ilc", 0.0, 1e6);
+    let mut client = ipa_core::WsClient::connect(gw.addr()).unwrap();
+    let session = match client
+        .call_ok(&ipa_core::WsRequest::CreateSession {
+            proxy,
+            now: 0.0,
+            engines: 2,
+        })
+        .unwrap()
+    {
+        ipa_core::WsResponse::SessionCreated { session, .. } => session,
+        other => panic!("{other:?}"),
+    };
+    let mut rtt_json = String::new();
+    let mut parked: Vec<ipa_core::WsClient> = Vec::new();
+    for (i, others) in [0usize, 64, 256].into_iter().enumerate() {
+        while parked.len() < others {
+            parked.push(ipa_core::WsClient::connect(gw.addr()).unwrap());
+        }
+        let mut us: Vec<f64> = (0..300)
+            .map(|_| {
+                let t0 = Instant::now();
+                client.call(&ipa_core::WsRequest::Poll { session }).unwrap();
+                t0.elapsed().as_secs_f64() * 1e6
+            })
+            .collect();
+        us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = us[us.len() / 2];
+        let p99 = us[us.len() * 99 / 100];
+        if i > 0 {
+            rtt_json.push_str(", ");
+        }
+        rtt_json.push_str(&format!(
+            "\"{others}\": {{ \"p50_us\": {p50:.1}, \"p99_us\": {p99:.1} }}"
         ));
     }
+    client
+        .call_ok(&ipa_core::WsRequest::CloseSession { session })
+        .unwrap();
+    drop(parked);
+    gw.shutdown();
 
     let json = format!(
         "{{\n\
@@ -657,6 +747,13 @@ fn perf_cmd() {
          \x20   \"events\": {sweep_events},\n\
          \x20   \"code\": \"higgs_script\",\n\
          \x20   \"records_per_s\": {{ {sweep_json} }}\n\
+         \x20 }},\n\
+         \x20 \"multitenant\": {{\n\
+         \x20   \"events_per_tenant\": {mt_events},\n\
+         \x20   \"engines_per_tenant\": 2,\n\
+         \x20   \"pool_size\": 8,\n\
+         \x20   \"aggregate_records_per_s\": {{ {mt_json} }},\n\
+         \x20   \"idle_poll_rtt_by_extra_clients\": {{ {rtt_json} }}\n\
          \x20 }}\n\
          }}\n",
         events.len(),

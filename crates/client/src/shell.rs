@@ -40,6 +40,8 @@ commands:
   fit <path> <lo> <hi>         Gaussian peak fit in a mass window
   report                       simulated 2006-grid staging cost
   workers                      engine registry panel
+  sessions                     session directory (all tenants, VO, engines)
+  pool                         shared engine-pool stats (leases, recycling)
   failures                     engine failure records (epoch, part, message)
   sched                        scheduler stats (policy, queue, steals, rates)
   results                      result-plane stats (version, dirty parts, merge cache)
@@ -265,6 +267,35 @@ impl Shell {
                 )
             }
             "workers" => self.manager.worker_registry().render(),
+            "sessions" => self.manager.worker_registry().render_sessions(),
+            "pool" => {
+                let p = self.manager.pool_stats();
+                if !p.enabled {
+                    "engine pool: off (set IPA_ENGINE_POOL=on)\n".to_string()
+                } else {
+                    let mut out = format!(
+                        "engine pool: cap {}  engines {}  leased {}  free {}  sessions {}\n\
+                         leases granted {}  spawned {}  recycled {}  preemptions {}\n",
+                        if p.cap == 0 {
+                            "unbounded".to_string()
+                        } else {
+                            p.cap.to_string()
+                        },
+                        p.engines,
+                        p.leased,
+                        p.free,
+                        p.sessions,
+                        p.leases_granted,
+                        p.engines_spawned,
+                        p.engines_recycled,
+                        p.preemptions_requested,
+                    );
+                    for (vo, n) in &p.by_vo {
+                        out.push_str(&format!("  vo {vo}: {n} leased\n"));
+                    }
+                    out
+                }
+            }
             "sched" => {
                 let s = self.session_mut()?;
                 s.poll().map_err(|e| e.to_string())?;
@@ -440,6 +471,13 @@ mod tests {
         assert!(sh.exec("plot /higgs/bb_mass").contains("entries="));
         assert!(sh.exec("fit /higgs/bb_mass 80 200").contains("mean"));
         assert!(sh.exec("workers").contains("wn000.shell-site"));
+        let out = sh.exec("sessions");
+        assert!(out.contains("ilc"), "{out}");
+        assert!(out.contains("/CN=shell"), "{out}");
+        // The pool command reports honestly whether a pool is running
+        // (this shell's manager follows the IPA_ENGINE_POOL default).
+        let out = sh.exec("pool");
+        assert!(out.contains("engine pool"), "{out}");
         assert!(sh.exec("failures").contains("no failures"));
         assert!(sh.exec("sched").contains("parts queued"));
         let out = sh.exec("results");

@@ -762,13 +762,13 @@ mod tests {
         "#;
         let reg = NativeRegistry::new();
         for backend in [ScriptBackend::Interp, ScriptBackend::Vm] {
-            let mut row = instantiate_code(&AnalysisCode::Script(script.into()), &reg, backend)
-                .unwrap();
+            let mut row =
+                instantiate_code(&AnalysisCode::Script(script.into()), &reg, backend).unwrap();
             let mut row_host = AidaHost::new();
             run_analyzer_batch(row.as_mut(), &batch, None, &mut row_host).unwrap();
 
-            let mut col = instantiate_code(&AnalysisCode::Script(script.into()), &reg, backend)
-                .unwrap();
+            let mut col =
+                instantiate_code(&AnalysisCode::Script(script.into()), &reg, backend).unwrap();
             let mut col_host = AidaHost::new();
             run_analyzer_batch(col.as_mut(), &batch, Some(&columns), &mut col_host).unwrap();
 

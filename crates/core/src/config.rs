@@ -115,6 +115,29 @@ pub struct IpaConfig {
     /// this-many appended records; 0 disables compaction.
     #[serde(default = "default_compact_every")]
     pub compact_every: u64,
+    /// Lease engines from a manager-owned shared
+    /// [`EnginePool`](crate::pool::EnginePool) instead of spawning
+    /// per-session engine threads. Defaults to the `IPA_ENGINE_POOL`
+    /// environment variable (`on`/`1`/`true` enable it), off otherwise —
+    /// off preserves the per-session-ownership behavior exactly, and a
+    /// single session behaves bit-identically either way.
+    #[serde(default = "default_engine_pool")]
+    pub engine_pool: bool,
+    /// Cap on engines the shared pool will ever spawn; 0 (the default)
+    /// grows on demand and never preempts. With a cap, arriving sessions
+    /// trigger fair-share revocation of over-entitled sessions' engines
+    /// at part boundaries.
+    #[serde(default)]
+    pub pool_size: usize,
+    /// How long a lease request waits for preempted engines to come back
+    /// before granting partially (or failing with `PoolExhausted`).
+    #[serde(default = "default_pool_lease_timeout_ms")]
+    pub pool_lease_timeout_ms: u64,
+    /// Worker threads in the gateway's connection reactor. Each worker
+    /// multiplexes many nonblocking client sockets, so gateway thread
+    /// count stays constant regardless of connected clients.
+    #[serde(default = "default_gateway_workers")]
+    pub gateway_workers: usize,
 }
 
 fn default_oversub() -> usize {
@@ -180,6 +203,25 @@ fn default_compact_every() -> u64 {
     256
 }
 
+/// Parsed form of the `IPA_ENGINE_POOL` environment variable.
+fn default_engine_pool() -> bool {
+    matches!(
+        std::env::var("IPA_ENGINE_POOL")
+            .ok()
+            .map(|v| v.trim().to_ascii_lowercase())
+            .as_deref(),
+        Some("on") | Some("1") | Some("true")
+    )
+}
+
+fn default_pool_lease_timeout_ms() -> u64 {
+    2_000
+}
+
+fn default_gateway_workers() -> usize {
+    4
+}
+
 impl Default for IpaConfig {
     fn default() -> Self {
         IpaConfig {
@@ -206,6 +248,10 @@ impl Default for IpaConfig {
             journal_dir: default_journal_dir(),
             journal_fsync: default_journal_fsync(),
             compact_every: default_compact_every(),
+            engine_pool: default_engine_pool(),
+            pool_size: 0,
+            pool_lease_timeout_ms: default_pool_lease_timeout_ms(),
+            gateway_workers: default_gateway_workers(),
         }
     }
 }
@@ -255,6 +301,11 @@ mod tests {
         // Journal knobs (newest) default in too.
         assert_eq!(c.journal_dir, "ipa-journal");
         assert_eq!(c.compact_every, 256);
+        // Multi-tenant knobs default in as well.
+        assert_eq!(c.engine_pool, default_engine_pool());
+        assert_eq!(c.pool_size, 0);
+        assert_eq!(c.pool_lease_timeout_ms, 2_000);
+        assert_eq!(c.gateway_workers, 4);
     }
 
     #[test]

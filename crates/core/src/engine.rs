@@ -86,6 +86,20 @@ pub enum EngineCommand {
     /// staged). Sent by the session when the AIDA manager rejects a delta
     /// it cannot apply safely.
     Checkpoint,
+    /// Re-lease the engine to a new owner: wipe *all* per-session state
+    /// (code, analyzer, AIDA host, part, epoch, throttle, injected
+    /// faults, publish baseline), take on a new engine id, and redirect
+    /// events to the new owner's channel — then announce `Ready` there.
+    /// Because commands are processed strictly in order, every event the
+    /// previous owner could still drain precedes the rebind and every
+    /// event after it belongs to the new owner: a rebound engine is
+    /// indistinguishable from a freshly spawned one.
+    Rebind {
+        /// Engine id within the new owning session.
+        id: EngineId,
+        /// The new owner's event channel.
+        events: Sender<EngineEvent>,
+    },
     /// Terminate the engine thread.
     Shutdown,
 }
@@ -409,6 +423,25 @@ impl EngineWorker {
                     self.publish();
                 }
             }
+            EngineCommand::Rebind { id, events } => {
+                // Full per-session reset — must leave the worker exactly as
+                // `EngineHandle::spawn` builds it (bit-identity of pooled
+                // vs fresh engines rests on this list being complete).
+                self.id = id;
+                self.events = events;
+                self.code = None;
+                self.analyzer = None;
+                self.host = AidaHost::new();
+                self.needs_init = true;
+                self.part = None;
+                self.running = false;
+                self.budget = None;
+                self.fail_after = None;
+                self.speed_factor = 1.0;
+                self.epoch = 0;
+                self.reset_publish_state();
+                let _ = self.events.send(EngineEvent::Ready { engine: self.id });
+            }
             EngineCommand::Shutdown => return Disposition::Shutdown,
         }
         Disposition::Continue
@@ -478,8 +511,12 @@ impl EngineWorker {
         // vectorizing analyzers turn it into bulk histogram fills. The
         // returned count stays record-exact so FailAfter/RunN/publish
         // accounting is identical across layouts.
-        let (processed, error) =
-            analyzer.process_batch(&records, columns.as_ref(), start..start + batch, &mut self.host);
+        let (processed, error) = analyzer.process_batch(
+            &records,
+            columns.as_ref(),
+            start..start + batch,
+            &mut self.host,
+        );
         self.analyzer = Some(analyzer);
         // A throttled engine pays `(factor − 1)×` the real compute time per
         // batch, stretching its wall-clock without changing its results.
@@ -573,6 +610,12 @@ impl EngineWorker {
 }
 
 /// Client-side handle to a spawned engine.
+///
+/// Two flavors exist: an *owned* handle (from [`EngineHandle::spawn`])
+/// whose `shutdown` terminates and joins the engine thread, and a
+/// *leased* handle (from [`EnginePool::lease`](crate::pool::EnginePool::lease))
+/// whose `shutdown` instead returns the engine to its pool for re-lease.
+/// Sessions treat both identically.
 pub struct EngineHandle {
     /// Engine id within the session.
     pub id: EngineId,
@@ -580,6 +623,8 @@ pub struct EngineHandle {
     thread: Option<JoinHandle<()>>,
     /// Set false once the engine reports a failure.
     pub alive: bool,
+    /// Present on leased handles: returning ticket back to the pool.
+    lease: Option<crate::pool::LeaseReturn>,
 }
 
 impl EngineHandle {
@@ -629,21 +674,56 @@ impl EngineHandle {
             commands: tx,
             thread: Some(thread),
             alive: true,
+            lease: None,
         }
     }
 
-    /// Send a command; returns false if the engine is gone.
-    pub fn send(&self, cmd: EngineCommand) -> bool {
-        self.commands.send(cmd).is_ok()
+    /// Build a handle for an engine leased from a pool: commands go to the
+    /// pooled engine's long-lived thread (which has just been rebound to
+    /// this session), and `shutdown` returns the lease instead of killing
+    /// the thread.
+    pub(crate) fn leased(
+        id: EngineId,
+        commands: Sender<EngineCommand>,
+        lease: crate::pool::LeaseReturn,
+    ) -> Self {
+        EngineHandle {
+            id,
+            commands,
+            thread: None,
+            alive: true,
+            lease: Some(lease),
+        }
     }
 
-    /// Shut the engine down and join its thread.
+    /// Clone of the engine's command channel (for pools, which keep the
+    /// owned handle and hand command senders to lessees).
+    pub(crate) fn command_sender(&self) -> Sender<EngineCommand> {
+        self.commands.clone()
+    }
+
+    /// Send a command; returns false if the engine is gone (dead thread or
+    /// a leased handle already returned to its pool).
+    pub fn send(&self, cmd: EngineCommand) -> bool {
+        self.alive && self.commands.send(cmd).is_ok()
+    }
+
+    /// Shut the engine down: an owned handle terminates and joins the
+    /// thread; a leased handle returns the engine to its pool (the pool
+    /// rebinds it away, so this handle can no longer reach it).
     pub fn shutdown(&mut self) {
+        if !self.alive && self.thread.is_none() && self.lease.is_none() {
+            return;
+        }
+        self.alive = false;
+        if let Some(lease) = self.lease.take() {
+            lease.release();
+            return;
+        }
         let _ = self.commands.send(EngineCommand::Shutdown);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
-        self.alive = false;
     }
 }
 

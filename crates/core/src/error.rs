@@ -61,6 +61,24 @@ pub enum CoreError {
         /// The contested dataset id.
         id: String,
     },
+    /// Creating the session would push the VO's aggregate leased engines
+    /// past its configured quota
+    /// ([`VoPolicy::max_total_engines`](ipa_simgrid::VoPolicy)). The
+    /// request is rejected whole — retry with fewer engines or after a
+    /// sibling session closes.
+    QuotaExceeded {
+        /// The VO whose quota would be exceeded.
+        vo: String,
+        /// The VO's aggregate engine limit.
+        limit: usize,
+    },
+    /// The shared engine pool could not lease a single engine before the
+    /// lease timeout: every engine is held by sessions within their
+    /// fair-share entitlement.
+    PoolExhausted {
+        /// Engines the session asked for.
+        requested: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -95,6 +113,14 @@ impl fmt::Display for CoreError {
             CoreError::DatasetConflict { id } => write!(
                 f,
                 "dataset '{id}' already published with a different descriptor"
+            ),
+            CoreError::QuotaExceeded { vo, limit } => write!(
+                f,
+                "VO '{vo}' engine quota exceeded: at most {limit} engines may be leased"
+            ),
+            CoreError::PoolExhausted { requested } => write!(
+                f,
+                "engine pool exhausted: could not lease any of {requested} requested engines"
             ),
         }
     }
@@ -141,5 +167,13 @@ mod tests {
         let e = CoreError::DatasetConflict { id: "d1".into() };
         assert!(e.to_string().contains("d1"));
         assert!(e.to_string().contains("different descriptor"));
+        let e = CoreError::QuotaExceeded {
+            vo: "ilc".into(),
+            limit: 8,
+        };
+        assert!(e.to_string().contains("ilc"));
+        assert!(e.to_string().contains("at most 8"));
+        let e = CoreError::PoolExhausted { requested: 3 };
+        assert!(e.to_string().contains("3 requested"));
     }
 }

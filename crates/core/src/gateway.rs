@@ -3,11 +3,22 @@
 //! The paper's client talks to the manager node through SOAP web services
 //! hosted in a Globus container (Figure 2). This module is the working
 //! substitute: a newline-delimited JSON request/response protocol over TCP.
-//! Each connection is served by its own thread; sessions created over the
-//! wire live in a server-side session table keyed by session id — the same
-//! "stateless service + WSRF resource" pattern the paper describes (§3.2):
-//! the *protocol* is stateless, the *resource* (the session) is addressed
-//! by id on every call.
+//! Sessions created over the wire live in a server-side session table keyed
+//! by session id — the same "stateless service + WSRF resource" pattern the
+//! paper describes (§3.2): the *protocol* is stateless, the *resource* (the
+//! session) is addressed by id on every call.
+//!
+//! The server is a small worker-pool reactor, not thread-per-connection: one
+//! accept thread hands nonblocking sockets round-robin to a fixed set of
+//! reactor workers ([`crate::IpaConfig::gateway_workers`]), and each worker
+//! multiplexes all of its connections in a readiness loop — flush pending
+//! output, read what the socket has, dispatch every complete line. The
+//! gateway's thread count is therefore a constant of the configuration,
+//! independent of how many clients connect (or how fast they churn), which
+//! is what lets one manager front thousands of interactive clients.
+//! Dispatch itself stays synchronous: a slow request (session creation
+//! waits for engine-ready signals) delays only its worker's connections,
+//! never grows the thread count.
 //!
 //! Security carries over unchanged: `CreateSession` ships the caller's
 //! [`GridProxy`] and the manager authenticates/authorizes it before any
@@ -16,7 +27,7 @@
 //! ```text
 //! client                         gateway (manager node)
 //!   │  {"CreateSession":{...}}\n   │
-//!   ├──────────────────────────────▶  authorize proxy, spawn engines
+//!   ├──────────────────────────────▶  authorize proxy, lease engines
 //!   │  {"SessionCreated":{...}}\n  │
 //!   ◀──────────────────────────────┤
 //!   │  {"Poll":{"session":1}}\n    │
@@ -26,11 +37,12 @@
 //! ```
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use crossbeam::channel::{unbounded, Receiver};
 use ipa_aida::Tree;
 use ipa_catalog::{CatalogEntry, ListItem};
 use ipa_dataset::DatasetId;
@@ -41,6 +53,8 @@ use serde::{Deserialize, Serialize};
 use crate::analyzer::AnalysisCode;
 use crate::error::CoreError;
 use crate::manager::ManagerNode;
+use crate::pool::PoolStats;
+use crate::registry::SessionInfo;
 use crate::session::{FailureRecord, Session, SessionStatus};
 
 /// A request on the wire.
@@ -161,6 +175,11 @@ pub enum WsRequest {
         /// Session id.
         session: u64,
     },
+    /// Snapshot the manager's session directory (all tenants, active and
+    /// closed) — the multi-tenant operator view.
+    Sessions,
+    /// Fetch shared engine-pool statistics (all zeros with the pool off).
+    PoolStats,
     /// Close the session and shut its engines down.
     CloseSession {
         /// Session id.
@@ -208,6 +227,10 @@ pub enum WsResponse {
     Sched(crate::sched::SchedStats),
     /// Staging-plane statistics snapshot.
     Staging(crate::staging::StagingStats),
+    /// The manager's session directory.
+    SessionTable(Vec<SessionInfo>),
+    /// Engine-pool statistics snapshot.
+    Pool(PoolStats),
     /// The request failed.
     Error(String),
 }
@@ -219,55 +242,73 @@ type Sessions = Arc<Mutex<HashMap<u64, Session>>>;
 pub struct WsGateway {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    sessions: Sessions,
 }
 
 impl WsGateway {
     /// Bind and start serving `manager` on `addr` (use port 0 for an
     /// ephemeral port; the bound address is available via
-    /// [`WsGateway::addr`]). Each connection gets a handler thread.
+    /// [`WsGateway::addr`]). Spawns one accept thread plus
+    /// [`crate::IpaConfig::gateway_workers`] reactor workers; every
+    /// connection is multiplexed onto that fixed pool, so the gateway's
+    /// thread count does not depend on the number of clients.
     pub fn serve(manager: Arc<ManagerNode>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let sessions: Sessions = Arc::new(Mutex::new(HashMap::new()));
+        let workers = manager.config.gateway_workers.max(1);
+
+        let mut threads = Vec::with_capacity(workers + 1);
+        let mut slots = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = unbounded::<TcpStream>();
+            let manager = manager.clone();
+            let sessions = sessions.clone();
+            let stop = stop.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ipa-ws-worker-{i}"))
+                    .spawn(move || worker_loop(rx, manager, sessions, stop))?,
+            );
+            slots.push(tx);
+        }
 
         let stop2 = stop.clone();
-        let accept_thread = std::thread::Builder::new()
-            .name("ipa-ws-gateway".into())
-            .spawn(move || {
-                // Nonblocking accept so the stop flag is honoured promptly.
-                listener.set_nonblocking(true).ok();
-                let mut handlers = Vec::new();
-                while !stop2.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            stream.set_nonblocking(false).ok();
-                            let manager = manager.clone();
-                            let sessions = sessions.clone();
-                            let stop = stop2.clone();
-                            handlers.push(std::thread::spawn(move || {
-                                let _ = handle_connection(stream, manager, sessions, stop);
-                            }));
+        threads.push(
+            std::thread::Builder::new()
+                .name("ipa-ws-accept".into())
+                .spawn(move || {
+                    let mut next = 0usize;
+                    while !stop2.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                // Round-robin over the worker pool; the
+                                // socket goes nonblocking so a reactor pass
+                                // never stalls on one peer.
+                                if stream.set_nonblocking(true).is_ok() {
+                                    let _ = slots[next % slots.len()].send(stream);
+                                    next = next.wrapping_add(1);
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(std::time::Duration::from_millis(2));
+                            }
+                            Err(_) => break,
                         }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(std::time::Duration::from_millis(5));
-                        }
-                        Err(_) => break,
                     }
-                }
-                for h in handlers {
-                    let _ = h.join();
-                }
-                // Close any sessions left behind by disconnected clients.
-                for (_, mut s) in sessions.lock().drain() {
-                    s.close();
-                }
-            })?;
+                    // Dropping the distribution channels unparks any worker
+                    // waiting for its first connection.
+                    drop(slots);
+                })?,
+        );
         Ok(WsGateway {
             addr: local,
             stop,
-            accept_thread: Some(accept_thread),
+            threads,
+            sessions,
         })
     }
 
@@ -276,12 +317,15 @@ impl WsGateway {
         self.addr
     }
 
-    /// Stop accepting and join the server (open connections finish their
-    /// current request; their sessions are closed).
+    /// Stop accepting, join the accept thread and every reactor worker,
+    /// and close any sessions left behind by disconnected clients.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.accept_thread.take() {
+        for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        for (_, mut s) in self.sessions.lock().drain() {
+            s.close();
         }
     }
 }
@@ -289,6 +333,150 @@ impl WsGateway {
 impl Drop for WsGateway {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// One multiplexed connection: the socket plus its partial-request and
+/// pending-response buffers. All progress happens in [`Conn::pump`].
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet terminated by a newline.
+    buf: Vec<u8>,
+    /// Serialized responses awaiting room in the socket's send buffer.
+    out: Vec<u8>,
+    /// Prefix of `out` already written.
+    out_pos: usize,
+    closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            closed: false,
+        }
+    }
+
+    /// One readiness pass: flush pending output, read everything the
+    /// socket has, dispatch every complete line. Returns true if any byte
+    /// moved (the worker uses that to decide whether to sleep).
+    fn pump(&mut self, scratch: &mut [u8], manager: &ManagerNode, sessions: &Sessions) -> bool {
+        if self.closed {
+            return false;
+        }
+        let mut active = self.flush();
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    // Peer closed; any complete lines already buffered are
+                    // still dispatched below (e.g. a final CloseSession).
+                    self.closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&scratch[..n]);
+                    active = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.closed = true;
+                    break;
+                }
+            }
+        }
+        // A request split across passes keeps its partial tail in `buf`.
+        while let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.buf.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+            let text = text.trim();
+            if text.is_empty() {
+                continue;
+            }
+            let response = match serde_json::from_str::<WsRequest>(text) {
+                Ok(req) => dispatch(req, manager, sessions),
+                Err(e) => WsResponse::Error(format!("malformed request: {e}")),
+            };
+            let start = self.out.len();
+            if serde_json::to_writer(&mut self.out, &response).is_err() {
+                // A response that fails to serialize must not kill the
+                // connection: answer with a hand-built error instead.
+                self.out.truncate(start);
+                self.out
+                    .extend_from_slice(b"{\"Error\":\"response serialization failed\"}");
+            }
+            self.out.push(b'\n');
+            active = true;
+        }
+        self.flush() || active
+    }
+
+    /// Push pending output into the socket; true if any byte was written.
+    fn flush(&mut self) -> bool {
+        let mut wrote = false;
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    self.closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.out_pos += n;
+                    wrote = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.closed = true;
+                    break;
+                }
+            }
+        }
+        if self.out_pos == self.out.len() && !self.out.is_empty() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        wrote
+    }
+}
+
+/// Reactor worker: adopts connections from the accept thread and pumps
+/// them all each pass. An idle pass sleeps briefly (or parks on the accept
+/// channel when it has no connections at all), so an idle gateway costs
+/// near-zero CPU while a loaded one runs back-to-back passes.
+fn worker_loop(
+    incoming: Receiver<TcpStream>,
+    manager: Arc<ManagerNode>,
+    sessions: Sessions,
+    stop: Arc<AtomicBool>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; 16 * 1024];
+    while !stop.load(Ordering::Relaxed) {
+        while let Ok(stream) = incoming.try_recv() {
+            conns.push(Conn::new(stream));
+        }
+        let mut active = false;
+        for conn in conns.iter_mut() {
+            active |= conn.pump(&mut scratch, &manager, &sessions);
+        }
+        if conns.iter().any(|c| c.closed) {
+            conns.retain(|c| !c.closed);
+        }
+        if !active {
+            if conns.is_empty() {
+                // Park until a connection arrives (or shutdown; the timeout
+                // bounds how long the stop flag goes unchecked).
+                if let Ok(stream) = incoming.recv_timeout(std::time::Duration::from_millis(25)) {
+                    conns.push(Conn::new(stream));
+                }
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+        }
     }
 }
 
@@ -413,6 +601,8 @@ fn dispatch(req: WsRequest, manager: &ManagerNode, sessions: &Sessions) -> WsRes
             WsRequest::StagingStats { session } => {
                 WsResponse::Staging(with_session(sessions, session, |s| Ok(s.staging_stats()))?)
             }
+            WsRequest::Sessions => WsResponse::SessionTable(manager.worker_registry().sessions()),
+            WsRequest::PoolStats => WsResponse::Pool(manager.pool_stats()),
             WsRequest::CloseSession { session } => match sessions.lock().remove(&session) {
                 Some(mut s) => {
                     s.close();
@@ -423,62 +613,6 @@ fn dispatch(req: WsRequest, manager: &ManagerNode, sessions: &Sessions) -> WsRes
         })
     })();
     result.unwrap_or_else(|e| WsResponse::Error(e.to_string()))
-}
-
-fn handle_connection(
-    stream: TcpStream,
-    manager: Arc<ManagerNode>,
-    sessions: Sessions,
-    stop: Arc<AtomicBool>,
-) -> std::io::Result<()> {
-    // Buffer writes so a large result tree goes out in big TCP segments
-    // instead of one syscall per serializer fragment; flushed per response
-    // because the protocol is request/response interactive.
-    let mut writer = BufWriter::new(stream.try_clone()?);
-    // A short read timeout lets the handler notice gateway shutdown even
-    // while a client keeps its connection open but idle. `read_line`
-    // accumulates partial data across timeouts, so requests that straddle
-    // a timeout boundary are still assembled correctly.
-    stream.set_read_timeout(Some(std::time::Duration::from_millis(50)))?;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    // Serialization buffer, reused across responses so steady-state
-    // polling does not re-allocate per reply.
-    let mut payload: Vec<u8> = Vec::new();
-    loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // client closed the connection
-            Ok(_) => {
-                if !line.trim().is_empty() {
-                    let response = match serde_json::from_str::<WsRequest>(line.trim_end()) {
-                        Ok(req) => dispatch(req, &manager, &sessions),
-                        Err(e) => WsResponse::Error(format!("malformed request: {e}")),
-                    };
-                    payload.clear();
-                    if serde_json::to_writer(&mut payload, &response).is_err() {
-                        // A response that fails to serialize must not kill
-                        // the connection (or panic the handler): answer
-                        // with a hand-built error message instead.
-                        payload.clear();
-                        payload.extend_from_slice(b"{\"Error\":\"response serialization failed\"}");
-                    }
-                    payload.push(b'\n');
-                    writer.write_all(&payload)?;
-                    writer.flush()?;
-                }
-                line.clear();
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if stop.load(Ordering::Relaxed) {
-                    return Ok(());
-                }
-            }
-            Err(e) => return Err(e),
-        }
-    }
 }
 
 /// A synchronous client for the gateway protocol.

@@ -110,6 +110,14 @@ pub enum JournalEvent {
         /// The new snapshot version.
         version: u64,
     },
+    /// The session's lease on pooled engines changed (fair-share
+    /// revocation returned some at a part boundary). Recovery respawns the
+    /// post-revocation count, keeping the journal consistent with what the
+    /// session actually held.
+    LeaseChanged {
+        /// Engines still held after the change.
+        engines: usize,
+    },
     /// Compaction fast-forward: complete session state at a point in time.
     Snapshot(SessionSnapshot),
 }
@@ -372,6 +380,7 @@ pub fn replay(
                 st.aida.publish(*part, update.clone());
             }
             JournalEvent::PartInvalidated { part } => st.aida.invalidate(*part),
+            JournalEvent::LeaseChanged { engines } => st.engines = *engines,
             JournalEvent::ResultVersion { version } => {
                 // The live session re-materialized its snapshot here; doing
                 // the same folds the dirty set at the same point, then the

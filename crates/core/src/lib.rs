@@ -53,6 +53,7 @@ pub mod gateway;
 pub mod journal;
 pub mod locator;
 pub mod manager;
+pub mod pool;
 pub mod registry;
 pub mod sched;
 pub mod session;
@@ -78,6 +79,7 @@ pub use journal::{
 };
 pub use locator::{DatasetLocation, LocatorService};
 pub use manager::ManagerNode;
+pub use pool::{EnginePool, PoolStats};
 pub use registry::{SessionInfo, WorkerInfo, WorkerRegistry, WorkerState};
 pub use sched::{SchedStats, SchedulerPolicy};
 pub use session::{FailureRecord, RunState, Session, SessionStatus};

@@ -23,6 +23,7 @@ use crate::engine::EngineHandle;
 use crate::error::CoreError;
 use crate::journal::{replay, SessionJournal};
 use crate::locator::LocatorService;
+use crate::pool::{EnginePool, PoolStats};
 use crate::registry::WorkerRegistry;
 use crate::session::Session;
 use crate::staging::SitePlane;
@@ -39,6 +40,13 @@ pub struct ManagerNode {
     locator: LocatorService,
     registry: NativeRegistry,
     workers: WorkerRegistry,
+    /// Shared engine pool when `IpaConfig::engine_pool` is on; sessions
+    /// lease engines from here instead of owning their own threads.
+    pool: Option<EnginePool>,
+    /// Admission path: requested engines go through the (simulated) GRAM
+    /// grant, capped by VO policy and — when the pool is capped — by the
+    /// pool size standing in for the site's available nodes.
+    gram: ipa_simgrid::GramSimulator,
     next_session: AtomicU64,
 }
 
@@ -47,23 +55,88 @@ impl ManagerNode {
     pub fn new(site: impl Into<String>, security: SecurityDomain, config: IpaConfig) -> Self {
         let site = site.into();
         let store = DatasetStore::new();
+        let registry = builtin_registry();
+        let pool = config.engine_pool.then(|| {
+            let shares = security
+                .policies
+                .iter()
+                .map(|p| (p.vo.clone(), p.share))
+                .collect();
+            EnginePool::new(&config, registry.clone(), shares)
+        });
+        // GRAM's default 16-node site would silently shrink grants the VO
+        // policy allows; the site's node supply is the pool cap when one
+        // is set, effectively unbounded otherwise (threads are cheap
+        // here — policy and quota do the real limiting).
+        let gram = ipa_simgrid::GramSimulator::new(ipa_simgrid::SchedulerConfig {
+            nodes_available: if config.engine_pool && config.pool_size > 0 {
+                config.pool_size
+            } else {
+                usize::MAX
+            },
+            ..Default::default()
+        });
         ManagerNode {
-            config,
             locator: LocatorService::new(store.clone(), site.clone()),
             site,
             security,
             catalog: Arc::new(RwLock::new(Catalog::new())),
             store,
-            registry: builtin_registry(),
+            registry,
             workers: WorkerRegistry::new(),
+            pool,
+            gram,
             next_session: AtomicU64::new(1),
+            config,
         }
     }
 
     /// Replace the native-analyzer registry (sites install their own code).
+    /// Rebuilds the engine pool (if any) so pooled engines resolve the new
+    /// analyzers.
     pub fn with_registry(mut self, registry: NativeRegistry) -> Self {
         self.registry = registry;
+        if self.pool.is_some() {
+            let shares = self
+                .security
+                .policies
+                .iter()
+                .map(|p| (p.vo.clone(), p.share))
+                .collect();
+            self.pool = Some(EnginePool::new(&self.config, self.registry.clone(), shares));
+        }
         self
+    }
+
+    /// The shared engine pool, when the manager runs one.
+    pub fn pool(&self) -> Option<&EnginePool> {
+        self.pool.as_ref()
+    }
+
+    /// Pool statistics; `enabled: false` (all zeros) without a pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.as_ref().map(|p| p.stats()).unwrap_or_default()
+    }
+
+    /// Reject the request if the VO's aggregate leased engines would
+    /// exceed its configured quota (`VoPolicy::max_total_engines`).
+    fn check_vo_quota(&self, vo: &str, limit: usize, granted: usize) -> Result<(), CoreError> {
+        if limit == 0 {
+            return Ok(());
+        }
+        // With a pool the live lease counts are authoritative; without
+        // one, sum the engines of the VO's active sessions.
+        let in_use = match &self.pool {
+            Some(pool) => pool.leased_to_vo(vo),
+            None => self.workers.active_engines_for_vo(vo),
+        };
+        if in_use + granted > limit {
+            return Err(CoreError::QuotaExceeded {
+                vo: vo.to_string(),
+                limit,
+            });
+        }
+        Ok(())
     }
 
     /// Site name.
@@ -147,25 +220,31 @@ impl ManagerNode {
         } else {
             requested_engines
         };
-        let granted = requested.min(policy.max_nodes).max(1);
+        // Admission: the (simulated) GRAM grant caps the request by the VO
+        // policy and the site's node supply, then the VO's aggregate
+        // engine quota gets the final say.
+        let granted = self.gram.grant(requested, policy.max_nodes).max(1);
+        self.check_vo_quota(&proxy.vo, policy.max_total_engines, granted)?;
 
         let (events_tx, events_rx) = unbounded();
-        let engines: Vec<EngineHandle> = (0..granted)
-            .map(|i| {
-                EngineHandle::spawn(
-                    i,
-                    self.config.publish_every,
-                    self.config.checkpoint_every,
-                    self.registry.clone(),
-                    self.config.script_backend,
-                    events_tx.clone(),
-                )
-            })
-            .collect();
-
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let engines: Vec<EngineHandle> = match &self.pool {
+            Some(pool) => pool.lease(id, &proxy.vo, granted, &events_tx)?,
+            None => (0..granted)
+                .map(|i| {
+                    EngineHandle::spawn(
+                        i,
+                        self.config.publish_every,
+                        self.config.checkpoint_every,
+                        self.registry.clone(),
+                        self.config.script_backend,
+                        events_tx.clone(),
+                    )
+                })
+                .collect(),
+        };
         self.workers
-            .register_session(id, &proxy.subject, granted, &self.site);
+            .register_session(id, &proxy.subject, &proxy.vo, engines.len(), &self.site);
         let mut session = Session::new(
             id,
             proxy.subject.clone(),
@@ -175,6 +254,9 @@ impl ManagerNode {
             self.config.clone(),
             self.workers.clone(),
         );
+        if let Some(pool) = &self.pool {
+            session.attach_pool(pool.clone());
+        }
         session.wait_ready()?;
         if self.config.journal {
             session.attach_journal(SessionJournal::file_for_session(
@@ -224,24 +306,28 @@ impl ManagerNode {
         }
 
         let (events_tx, events_rx) = unbounded();
-        let engines: Vec<EngineHandle> = (0..rec.engines.max(1))
-            .map(|i| {
-                EngineHandle::spawn(
-                    i,
-                    self.config.publish_every,
-                    self.config.checkpoint_every,
-                    self.registry.clone(),
-                    self.config.script_backend,
-                    events_tx.clone(),
-                )
-            })
-            .collect();
-
         // Keep fresh ids above every recovered one.
         self.next_session.fetch_max(id + 1, Ordering::Relaxed);
+        // Journals predate VO tagging, so recovered leases ride under the
+        // empty VO (weight 1.0 in the fair-share split).
+        let engines: Vec<EngineHandle> = match &self.pool {
+            Some(pool) => pool.lease(id, "", rec.engines.max(1), &events_tx)?,
+            None => (0..rec.engines.max(1))
+                .map(|i| {
+                    EngineHandle::spawn(
+                        i,
+                        self.config.publish_every,
+                        self.config.checkpoint_every,
+                        self.registry.clone(),
+                        self.config.script_backend,
+                        events_tx.clone(),
+                    )
+                })
+                .collect(),
+        };
         self.workers
-            .register_session(id, &rec.subject, engines.len(), &self.site);
-        Session::recover(
+            .register_session(id, &rec.subject, "", engines.len(), &self.site);
+        let mut session = Session::recover(
             id,
             rec,
             engines,
@@ -250,7 +336,11 @@ impl ManagerNode {
             self.config.clone(),
             self.workers.clone(),
             Some(journal),
-        )
+        )?;
+        if let Some(pool) = &self.pool {
+            session.attach_pool(pool.clone());
+        }
+        Ok(session)
     }
 
     /// Recover every session journaled under `journal_dir` (manager
@@ -373,5 +463,62 @@ mod tests {
         let mut s = m.create_session(&proxy(&sec), 0.0, 0).unwrap();
         assert_eq!(s.engines(), 5);
         s.close();
+    }
+
+    #[test]
+    fn vo_engine_quota_admits_denies_and_releases() {
+        let sec = SecurityDomain::new("slac-osg", 7)
+            .with_policy(VoPolicy::new("ilc", 16).with_engine_quota(4));
+        let m = ManagerNode::new("slac", sec.clone(), IpaConfig::default());
+        let mut a = m.create_session(&proxy(&sec), 0.0, 3).unwrap();
+        // 3 in use + 2 more would cross the VO-wide limit of 4.
+        match m.create_session(&proxy(&sec), 0.0, 2) {
+            Err(CoreError::QuotaExceeded { vo, limit }) => {
+                assert_eq!(vo, "ilc");
+                assert_eq!(limit, 4);
+            }
+            Err(e) => panic!("expected QuotaExceeded, got {e:?}"),
+            Ok(_) => panic!("quota should have denied the request"),
+        }
+        // 3 + 1 == 4 still fits exactly.
+        let mut b = m.create_session(&proxy(&sec), 0.0, 1).unwrap();
+        assert_eq!(b.engines(), 1);
+        b.close();
+        a.close();
+        // Closing released the footprint: the denied request now admits.
+        let mut c = m.create_session(&proxy(&sec), 0.0, 2).unwrap();
+        assert_eq!(c.engines(), 2);
+        c.close();
+    }
+
+    #[test]
+    fn pooled_manager_leases_and_recycles_engines() {
+        let sec = SecurityDomain::new("slac-osg", 7).with_policy(VoPolicy::new("ilc", 16));
+        let m = ManagerNode::new(
+            "slac",
+            sec.clone(),
+            IpaConfig {
+                engine_pool: true,
+                ..Default::default()
+            },
+        );
+        assert!(m.pool_stats().enabled);
+        let mut s = m.create_session(&proxy(&sec), 0.0, 3).unwrap();
+        assert_eq!(s.engines(), 3);
+        let stats = m.pool_stats();
+        assert_eq!(stats.leased, 3);
+        assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.by_vo.get("ilc"), Some(&3));
+        s.close();
+        // Engines go back onto the free list instead of being joined.
+        let stats = m.pool_stats();
+        assert_eq!(stats.leased, 0);
+        assert_eq!(stats.free, 3);
+        assert_eq!(stats.engines_recycled, 3);
+        // And the next session reuses them without spawning more threads.
+        let mut s2 = m.create_session(&proxy(&sec), 0.0, 2).unwrap();
+        assert_eq!(s2.engines(), 2);
+        assert_eq!(m.pool_stats().engines_spawned, 3);
+        s2.close();
     }
 }

@@ -1,0 +1,541 @@
+//! Shared engine pool: the multi-tenant control plane's engine supply.
+//!
+//! Before this module, each [`Session`](crate::Session) *owned* its
+//! engine threads — created at `create_session`, destroyed at `close`,
+//! idle in between, untouchable by anyone else. The paper's manager is
+//! meant to serve many concurrent analysts (GRAPPA's portal shape), so
+//! here engine ownership moves to a [`ManagerNode`](crate::ManagerNode)-
+//! owned [`EnginePool`]: sessions *lease* engines, leases are revocable
+//! at part boundaries, and a cross-session fair-share policy
+//! ([`crate::sched::fair`]) decides who gives engines back when a new
+//! session arrives and the pool is capped.
+//!
+//! ## Lease lifecycle
+//!
+//! ```text
+//!  spawn ──► parked (events → pool sink)
+//!              │ lease(): Rebind{id, session events} ──► leased
+//!              │                                            │
+//!              ◄── release(): Rebind{slot, sink} ───────────┘
+//!  (pool drop: Shutdown + join every thread)
+//! ```
+//!
+//! A lease is an epoch-tagged capability: every grant bumps the slot's
+//! `lease_seq`, and a stale [`LeaseReturn`] (double release, late drop)
+//! is a no-op. [`EngineCommand::Rebind`] wipes *all* per-session worker
+//! state and re-announces `Ready` on the new owner's channel; because an
+//! engine processes commands strictly in order, no event from a previous
+//! tenant can leak past the rebind — a pooled engine is bit-identical to
+//! a freshly spawned one (the single-session chaos proptests run
+//! unchanged under `IPA_ENGINE_POOL=on` to pin exactly this).
+//!
+//! ## Capacity and preemption
+//!
+//! With `pool_size = 0` (the default) the pool grows on demand and never
+//! preempts: a single tenant sees precisely the engines it was granted.
+//! With a cap, a lease request that cannot be met from free engines
+//! computes fair-share victims, marks their sessions with a *revocation
+//! request* (a per-session counter, not per-engine flags — the victim
+//! returns whichever engines reach a part boundary first), and waits on
+//! a condvar up to `pool_lease_timeout_ms` for returns. Sessions honor
+//! revocations in [`Session::poll`](crate::Session::poll) by releasing
+//! idle engines, never dropping below one.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ipa_script::ScriptBackend;
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
+
+use crate::analyzer::NativeRegistry;
+use crate::config::IpaConfig;
+use crate::engine::{EngineCommand, EngineEvent, EngineHandle};
+use crate::error::CoreError;
+use crate::sched::fair::{self, SessionHolding};
+
+/// One engine slot: the owned handle (whose `Drop` joins the thread) plus
+/// lease bookkeeping.
+struct PooledEngine {
+    handle: EngineHandle,
+    /// Session currently holding the lease, if any.
+    leased_to: Option<u64>,
+    /// Bumped on every grant *and* release; a [`LeaseReturn`] carrying a
+    /// stale sequence is ignored.
+    lease_seq: u64,
+}
+
+/// Per-session lease bookkeeping.
+struct LeaseInfo {
+    vo: String,
+    /// Pool slots this session holds.
+    slots: HashSet<usize>,
+    /// Engines the fair-share scheduler has asked this session to return
+    /// at its next part boundaries. A counter, not per-engine flags: the
+    /// session returns whichever of its engines go idle first.
+    revoke_requested: usize,
+}
+
+#[derive(Default)]
+struct PoolState {
+    engines: Vec<PooledEngine>,
+    sessions: HashMap<u64, LeaseInfo>,
+}
+
+struct PoolInner {
+    /// Maximum engines ever spawned; 0 = grow on demand, never preempt.
+    cap: usize,
+    lease_timeout: Duration,
+    publish_every: usize,
+    checkpoint_every: usize,
+    backend: ScriptBackend,
+    registry: NativeRegistry,
+    /// VO → fair-share weight, snapshotted from the security domain's
+    /// policies at pool construction.
+    shares: HashMap<String, f64>,
+    state: Mutex<PoolState>,
+    /// Signalled on every lease return; `lease` waits here when short.
+    returned: Condvar,
+    /// Event channel parked engines are rebound to; their (only) event —
+    /// the `Ready` after parking — lands here and is discarded.
+    sink: Sender<EngineEvent>,
+    /// Held so the sink never disconnects.
+    _sink_rx: Receiver<EngineEvent>,
+    leases_granted: AtomicU64,
+    engines_spawned: AtomicU64,
+    preemptions_requested: AtomicU64,
+    engines_recycled: AtomicU64,
+}
+
+/// Snapshot of the pool for dashboards, the gateway's `PoolStats`
+/// request, and the shell's `pool` command.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Whether the manager runs a pool at all (`IpaConfig::engine_pool`).
+    #[serde(default)]
+    pub enabled: bool,
+    /// Configured cap (0 = grow on demand).
+    pub cap: usize,
+    /// Engine threads currently alive in the pool.
+    pub engines: usize,
+    /// Engines currently leased out.
+    pub leased: usize,
+    /// Engines parked and immediately grantable.
+    pub free: usize,
+    /// Sessions currently holding at least one lease.
+    pub sessions: usize,
+    /// Total leases granted over the pool's lifetime.
+    pub leases_granted: u64,
+    /// Engine threads ever spawned.
+    pub engines_spawned: u64,
+    /// Engines the fair-share scheduler asked sessions to return.
+    pub preemptions_requested: u64,
+    /// Leases returned (voluntarily or under preemption) and recycled.
+    pub engines_recycled: u64,
+    /// Engines currently leased, by VO (deterministic order).
+    pub by_vo: BTreeMap<String, usize>,
+}
+
+/// Returning ticket carried by a leased [`EngineHandle`]: gives the
+/// engine back to its pool (stale tickets are no-ops, and a ticket
+/// outliving its pool does nothing).
+pub struct LeaseReturn {
+    pool: Weak<PoolInner>,
+    slot: usize,
+    seq: u64,
+}
+
+impl LeaseReturn {
+    /// Return the engine: rebind it to the pool sink (wiping all session
+    /// state), mark the slot free, and wake any lease waiting for
+    /// capacity.
+    pub(crate) fn release(self) {
+        let Some(inner) = self.pool.upgrade() else {
+            return;
+        };
+        let mut st = inner.state.lock();
+        let owner = {
+            let Some(e) = st.engines.get_mut(self.slot) else {
+                return;
+            };
+            if e.lease_seq != self.seq || e.leased_to.is_none() {
+                return;
+            }
+            e.lease_seq += 1;
+            let _ = e.handle.send(EngineCommand::Rebind {
+                id: self.slot,
+                events: inner.sink.clone(),
+            });
+            e.leased_to.take().expect("checked above")
+        };
+        if let Some(info) = st.sessions.get_mut(&owner) {
+            info.slots.remove(&self.slot);
+            info.revoke_requested = info.revoke_requested.saturating_sub(1);
+            if info.slots.is_empty() {
+                st.sessions.remove(&owner);
+            }
+        }
+        inner.engines_recycled.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        inner.returned.notify_all();
+    }
+}
+
+/// Manager-owned shared engine pool. Cheap to clone (an `Arc`); dropping
+/// the last clone shuts down and joins every engine thread.
+#[derive(Clone)]
+pub struct EnginePool {
+    inner: Arc<PoolInner>,
+}
+
+impl EnginePool {
+    /// Build a pool from the manager's config (`pool_size`,
+    /// `pool_lease_timeout_ms`, `publish_every`, `checkpoint_every`,
+    /// `script_backend`), the site's analyzer registry, and the VO
+    /// fair-share weights from the security domain's policies.
+    pub fn new(config: &IpaConfig, registry: NativeRegistry, shares: HashMap<String, f64>) -> Self {
+        let (sink, sink_rx) = unbounded();
+        EnginePool {
+            inner: Arc::new(PoolInner {
+                cap: config.pool_size,
+                lease_timeout: Duration::from_millis(config.pool_lease_timeout_ms.max(1)),
+                publish_every: config.publish_every,
+                checkpoint_every: config.checkpoint_every,
+                backend: config.script_backend,
+                registry,
+                shares,
+                state: Mutex::new(PoolState::default()),
+                returned: Condvar::new(),
+                sink,
+                _sink_rx: sink_rx,
+                leases_granted: AtomicU64::new(0),
+                engines_spawned: AtomicU64::new(0),
+                preemptions_requested: AtomicU64::new(0),
+                engines_recycled: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Lease up to `count` engines to `session` (VO `vo` for fair-share
+    /// and quota accounting). Granted engines are rebound to `events` —
+    /// each announces `Ready` there, exactly like a fresh spawn — and the
+    /// returned handles carry ids `0..n` in order.
+    ///
+    /// Free engines are granted immediately; below the cap the pool spawns
+    /// more on demand. When capped and short, fair-share victims are asked
+    /// to return engines at their next part boundary and the call waits up
+    /// to `pool_lease_timeout_ms` for returns, then grants what arrived.
+    /// At least one engine is always granted or the call fails with
+    /// [`CoreError::PoolExhausted`].
+    pub fn lease(
+        &self,
+        session: u64,
+        vo: &str,
+        count: usize,
+        events: &Sender<EngineEvent>,
+    ) -> Result<Vec<EngineHandle>, CoreError> {
+        let inner = &self.inner;
+        let deadline = Instant::now() + inner.lease_timeout;
+        let mut handles: Vec<EngineHandle> = Vec::with_capacity(count);
+        let mut st = inner.state.lock();
+        st.sessions.entry(session).or_insert_with(|| LeaseInfo {
+            vo: vo.to_string(),
+            slots: HashSet::new(),
+            revoke_requested: 0,
+        });
+        loop {
+            while handles.len() < count {
+                let slot = match st.engines.iter().position(|e| e.leased_to.is_none()) {
+                    Some(s) => s,
+                    None if inner.cap == 0 || st.engines.len() < inner.cap => {
+                        let slot = st.engines.len();
+                        let handle = EngineHandle::spawn(
+                            slot,
+                            inner.publish_every,
+                            inner.checkpoint_every,
+                            inner.registry.clone(),
+                            inner.backend,
+                            inner.sink.clone(),
+                        );
+                        inner.engines_spawned.fetch_add(1, Ordering::Relaxed);
+                        st.engines.push(PooledEngine {
+                            handle,
+                            leased_to: None,
+                            lease_seq: 0,
+                        });
+                        slot
+                    }
+                    None => break,
+                };
+                let id = handles.len();
+                let e = &mut st.engines[slot];
+                e.leased_to = Some(session);
+                e.lease_seq += 1;
+                let seq = e.lease_seq;
+                let commands = e.handle.command_sender();
+                let _ = commands.send(EngineCommand::Rebind {
+                    id,
+                    events: events.clone(),
+                });
+                st.sessions
+                    .get_mut(&session)
+                    .expect("inserted above")
+                    .slots
+                    .insert(slot);
+                let ticket = LeaseReturn {
+                    pool: Arc::downgrade(inner),
+                    slot,
+                    seq,
+                };
+                handles.push(EngineHandle::leased(id, commands, ticket));
+                inner.leases_granted.fetch_add(1, Ordering::Relaxed);
+            }
+            if handles.len() >= count {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            self.request_revocations(&mut st, session, count - handles.len());
+            let _ = inner
+                .returned
+                .wait_for(&mut st, deadline.saturating_duration_since(now));
+        }
+        if handles.is_empty() {
+            if st
+                .sessions
+                .get(&session)
+                .is_some_and(|i| i.slots.is_empty())
+            {
+                st.sessions.remove(&session);
+            }
+            return Err(CoreError::PoolExhausted { requested: count });
+        }
+        Ok(handles)
+    }
+
+    /// Ask fair-share victims to free `need` engines (no-op when enough
+    /// revocations are already outstanding). Caller holds the state lock.
+    fn request_revocations(&self, st: &mut PoolState, requester: u64, need: usize) {
+        let outstanding: usize = st
+            .sessions
+            .values()
+            .map(|i| i.revoke_requested.min(i.slots.len()))
+            .sum();
+        if outstanding >= need {
+            return;
+        }
+        let capacity = if self.inner.cap > 0 {
+            self.inner.cap
+        } else {
+            st.engines.len()
+        };
+        // The requester counts in the entitlement math (its arrival is
+        // what shrinks everyone's fair share) but is never its own
+        // victim.
+        let holdings: Vec<SessionHolding> = st
+            .sessions
+            .iter()
+            .map(|(sid, info)| SessionHolding {
+                session: *sid,
+                vo: info.vo.clone(),
+                held: info.slots.len(),
+            })
+            .collect();
+        let victims =
+            fair::pick_victims(capacity, &holdings, &self.inner.shares, need - outstanding);
+        for (sid, k) in victims {
+            if sid == requester {
+                continue;
+            }
+            if let Some(info) = st.sessions.get_mut(&sid) {
+                info.revoke_requested = (info.revoke_requested + k).min(info.slots.len());
+            }
+            self.inner
+                .preemptions_requested
+                .fetch_add(k as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// How many engines the fair-share scheduler currently asks `session`
+    /// to return. Sessions poll this and release idle engines (keeping at
+    /// least one) via [`Session::poll`](crate::Session::poll).
+    pub fn revocations_requested(&self, session: u64) -> usize {
+        self.inner
+            .state
+            .lock()
+            .sessions
+            .get(&session)
+            .map(|i| i.revoke_requested)
+            .unwrap_or(0)
+    }
+
+    /// Engines currently leased to sessions of `vo` (the quota
+    /// denominator for [`VoPolicy`](ipa_simgrid::VoPolicy) enforcement).
+    pub fn leased_to_vo(&self, vo: &str) -> usize {
+        self.inner
+            .state
+            .lock()
+            .sessions
+            .values()
+            .filter(|i| i.vo == vo)
+            .map(|i| i.slots.len())
+            .sum()
+    }
+
+    /// Snapshot the pool's state and lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        let inner = &self.inner;
+        let st = inner.state.lock();
+        let leased = st.engines.iter().filter(|e| e.leased_to.is_some()).count();
+        let mut by_vo = BTreeMap::new();
+        for info in st.sessions.values() {
+            *by_vo.entry(info.vo.clone()).or_insert(0) += info.slots.len();
+        }
+        PoolStats {
+            enabled: true,
+            cap: inner.cap,
+            engines: st.engines.len(),
+            leased,
+            free: st.engines.len() - leased,
+            sessions: st.sessions.len(),
+            leases_granted: inner.leases_granted.load(Ordering::Relaxed),
+            engines_spawned: inner.engines_spawned.load(Ordering::Relaxed),
+            preemptions_requested: inner.preemptions_requested.load(Ordering::Relaxed),
+            engines_recycled: inner.engines_recycled.load(Ordering::Relaxed),
+            by_vo,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::builtin_registry;
+    use crate::engine::recv_event_timeout;
+
+    fn pool(cap: usize) -> EnginePool {
+        let config = IpaConfig {
+            pool_size: cap,
+            pool_lease_timeout_ms: 200,
+            publish_every: 100,
+            ..Default::default()
+        };
+        EnginePool::new(&config, builtin_registry(), HashMap::new())
+    }
+
+    fn drain_ready(rx: &Receiver<EngineEvent>, n: usize) {
+        for _ in 0..n {
+            loop {
+                match recv_event_timeout(rx, 0, Duration::from_secs(10)).expect("event") {
+                    EngineEvent::Ready { .. } => break,
+                    _ => continue,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uncapped_pool_grows_on_demand_and_recycles() {
+        let p = pool(0);
+        let (tx, rx) = unbounded();
+        let mut a = p.lease(1, "ilc", 3, &tx).unwrap();
+        assert_eq!(a.len(), 3);
+        drain_ready(&rx, 3);
+        assert_eq!(p.stats().engines_spawned, 3);
+        assert_eq!(p.stats().leased, 3);
+        assert_eq!(p.stats().by_vo.get("ilc"), Some(&3));
+        for h in &mut a {
+            h.shutdown();
+        }
+        assert_eq!(p.stats().leased, 0);
+        assert_eq!(p.stats().free, 3);
+        // A second lease reuses the parked engines — no new spawns.
+        let (tx2, rx2) = unbounded();
+        let b = p.lease(2, "cms", 3, &tx2).unwrap();
+        assert_eq!(b.len(), 3);
+        drain_ready(&rx2, 3);
+        assert_eq!(p.stats().engines_spawned, 3);
+        assert_eq!(p.stats().engines_recycled, 3);
+    }
+
+    #[test]
+    fn capped_pool_grants_partially_then_exhausts() {
+        let p = pool(2);
+        let (tx, rx) = unbounded();
+        let held = p.lease(1, "ilc", 2, &tx).unwrap();
+        drain_ready(&rx, 2);
+        assert_eq!(held.len(), 2);
+        // A second session asks for one: fair share marks session 1 for
+        // revocation, but nobody polls to honor it here, so the lease
+        // times out empty and reports exhaustion.
+        let (tx2, _rx2) = unbounded();
+        let err = p.lease(2, "ilc", 1, &tx2).unwrap_err();
+        assert!(matches!(err, CoreError::PoolExhausted { requested: 1 }));
+        assert!(p.revocations_requested(1) > 0);
+        drop(held);
+    }
+
+    #[test]
+    fn release_wakes_a_waiting_lease() {
+        let p = pool(1);
+        let (tx, rx) = unbounded();
+        let mut held = p.lease(1, "ilc", 1, &tx).unwrap();
+        drain_ready(&rx, 1);
+        let p2 = p.clone();
+        let waiter = std::thread::spawn(move || {
+            let (tx2, rx2) = unbounded();
+            let got = p2.lease(2, "ilc", 1, &tx2).unwrap();
+            drain_ready(&rx2, 1);
+            got.len()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        held[0].shutdown();
+        assert_eq!(waiter.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn stale_double_release_is_a_no_op() {
+        let p = pool(0);
+        let (tx, rx) = unbounded();
+        let mut a = p.lease(1, "ilc", 1, &tx).unwrap();
+        drain_ready(&rx, 1);
+        a[0].shutdown();
+        // shutdown() released the lease; a second shutdown (and Drop
+        // after it) must not double-free the slot even though the engine
+        // has since been leased to someone else.
+        let (tx2, rx2) = unbounded();
+        let b = p.lease(2, "cms", 1, &tx2).unwrap();
+        drain_ready(&rx2, 1);
+        a[0].shutdown();
+        drop(a);
+        assert_eq!(p.stats().leased, 1, "session 2's lease must survive");
+        assert_eq!(p.stats().by_vo.get("cms"), Some(&1));
+        drop(b);
+    }
+
+    #[test]
+    fn revocation_counter_tracks_fair_share() {
+        let p = pool(4);
+        let (tx, rx) = unbounded();
+        let held = p.lease(1, "ilc", 4, &tx).unwrap();
+        drain_ready(&rx, 4);
+        assert_eq!(held.len(), 4);
+        // Session 2 wants 2. With both sessions in one VO the
+        // entitlement is 2 each, so session 1 (holding 4) is 2 over —
+        // the lease times out (nothing honors revocations here) but
+        // leaves the revocation requests behind for session 1.
+        let (tx2, _rx2) = unbounded();
+        let err = p.lease(2, "ilc", 2, &tx2);
+        assert!(err.is_err());
+        assert!(
+            p.revocations_requested(1) > 0,
+            "fair share must ask session 1 to give engines back"
+        );
+        drop(held);
+    }
+}

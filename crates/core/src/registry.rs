@@ -51,6 +51,10 @@ pub struct SessionInfo {
     pub id: u64,
     /// Authenticated subject.
     pub subject: String,
+    /// VO the session's proxy belonged to (empty for sessions recovered
+    /// from pre-multi-tenant journals).
+    #[serde(default)]
+    pub vo: String,
     /// Engines granted.
     pub engines: usize,
     /// True until the session closes.
@@ -76,13 +80,14 @@ impl WorkerRegistry {
     }
 
     /// Record a new session and its engines (all [`WorkerState::Ready`]).
-    pub fn register_session(&self, id: u64, subject: &str, engines: usize, site: &str) {
+    pub fn register_session(&self, id: u64, subject: &str, vo: &str, engines: usize, site: &str) {
         let mut inner = self.inner.write();
         inner.sessions.insert(
             id,
             SessionInfo {
                 id,
                 subject: subject.to_string(),
+                vo: vo.to_string(),
                 engines,
                 active: true,
             },
@@ -173,6 +178,37 @@ impl WorkerRegistry {
             .count()
     }
 
+    /// Engines granted to *active* sessions of one VO — the quota
+    /// denominator when the manager runs without a shared pool (with a
+    /// pool, the pool's live lease counts are authoritative).
+    pub fn active_engines_for_vo(&self, vo: &str) -> usize {
+        self.inner
+            .read()
+            .sessions
+            .values()
+            .filter(|s| s.active && s.vo == vo)
+            .map(|s| s.engines)
+            .sum()
+    }
+
+    /// Render the session directory (one line per session) for the
+    /// shell's `sessions` command and operator dashboards.
+    pub fn render_sessions(&self) -> String {
+        let inner = self.inner.read();
+        let mut out = String::from("session  vo        engines  active  subject\n");
+        for s in inner.sessions.values() {
+            out.push_str(&format!(
+                "{:>7}  {:<8}  {:>7}  {:<6}  {}\n",
+                s.id,
+                if s.vo.is_empty() { "-" } else { &s.vo },
+                s.engines,
+                s.active,
+                s.subject
+            ));
+        }
+        out
+    }
+
     /// Render the operator panel (the "hosts that have analysis engines
     /// running" box of Figure 4).
     pub fn render(&self) -> String {
@@ -199,11 +235,15 @@ mod tests {
     #[test]
     fn register_update_snapshot() {
         let r = WorkerRegistry::new();
-        r.register_session(1, "/CN=alice", 3, "slac");
-        r.register_session(2, "/CN=bob", 2, "slac");
+        r.register_session(1, "/CN=alice", "ilc", 3, "slac");
+        r.register_session(2, "/CN=bob", "cms", 2, "slac");
         assert_eq!(r.workers().len(), 5);
         assert_eq!(r.sessions().len(), 2);
         assert_eq!(r.active_sessions(), 2);
+        assert_eq!(r.active_engines_for_vo("ilc"), 3);
+        assert_eq!(r.active_engines_for_vo("cms"), 2);
+        assert_eq!(r.active_engines_for_vo("atlas"), 0);
+        assert!(r.render_sessions().contains("ilc"));
 
         r.update_worker(1, 0, WorkerState::Busy, Some(500));
         let w = &r.session_workers(1)[0];
@@ -215,7 +255,7 @@ mod tests {
     #[test]
     fn progress_counter_is_monotone() {
         let r = WorkerRegistry::new();
-        r.register_session(1, "/CN=a", 1, "s");
+        r.register_session(1, "/CN=a", "ilc", 1, "s");
         r.update_worker(1, 0, WorkerState::Busy, Some(100));
         r.update_worker(1, 0, WorkerState::Busy, Some(50)); // stale update
         assert_eq!(r.session_workers(1)[0].records_processed, 100);
@@ -224,8 +264,8 @@ mod tests {
     #[test]
     fn reset_progress_zeroes_counters_but_keeps_state() {
         let r = WorkerRegistry::new();
-        r.register_session(1, "/CN=a", 2, "s");
-        r.register_session(2, "/CN=b", 1, "s");
+        r.register_session(1, "/CN=a", "ilc", 2, "s");
+        r.register_session(2, "/CN=b", "ilc", 1, "s");
         r.update_worker(1, 0, WorkerState::Busy, Some(100));
         r.update_worker(1, 1, WorkerState::Idle, Some(250));
         r.update_worker(2, 0, WorkerState::Busy, Some(42));
@@ -245,7 +285,7 @@ mod tests {
     #[test]
     fn failure_is_terminal() {
         let r = WorkerRegistry::new();
-        r.register_session(1, "/CN=a", 1, "s");
+        r.register_session(1, "/CN=a", "ilc", 1, "s");
         r.update_worker(1, 0, WorkerState::Failed, None);
         r.update_worker(1, 0, WorkerState::Busy, None); // ignored
         assert_eq!(r.session_workers(1)[0].state, WorkerState::Failed);
@@ -254,9 +294,11 @@ mod tests {
     #[test]
     fn close_session_shuts_workers_down() {
         let r = WorkerRegistry::new();
-        r.register_session(7, "/CN=a", 2, "s");
+        r.register_session(7, "/CN=a", "ilc", 2, "s");
         r.close_session(7);
         assert_eq!(r.active_sessions(), 0);
+        // Closed sessions release their quota footprint.
+        assert_eq!(r.active_engines_for_vo("ilc"), 0);
         assert!(r
             .session_workers(7)
             .iter()
@@ -266,7 +308,7 @@ mod tests {
     #[test]
     fn render_contains_hosts() {
         let r = WorkerRegistry::new();
-        r.register_session(1, "/CN=a", 2, "slac.example");
+        r.register_session(1, "/CN=a", "ilc", 2, "slac.example");
         let panel = r.render();
         assert!(panel.contains("wn000.slac.example"));
         assert!(panel.contains("wn001.slac.example"));

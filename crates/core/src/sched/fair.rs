@@ -1,0 +1,199 @@
+//! Cross-session fair-share arithmetic for the shared engine pool.
+//!
+//! The PR-2 scheduler balances *parts across one session's engines*; this
+//! module balances *engines across sessions* sharing a capped
+//! [`EnginePool`](crate::pool::EnginePool). The model follows the GAE
+//! resource-management paper's global scheduler: each VO carries a share
+//! weight ([`VoPolicy::share`](ipa_simgrid::VoPolicy)), pool capacity is
+//! divided between the VOs *currently holding leases* in proportion to
+//! their weights, and a VO's slice is divided evenly between its
+//! sessions. A session is a preemption victim only for engines it holds
+//! *above* that entitlement, and entitlements never drop below one — so
+//! every session always keeps at least one engine and makes progress each
+//! scheduling round (the no-starvation guarantee the chaos tests pin).
+//!
+//! Everything here is pure arithmetic over snapshots; the pool holds its
+//! lock while calling in, so determinism matters (ties break on session
+//! id, not map order).
+
+use std::collections::HashMap;
+
+/// A session's current standing in the pool: who it is, which VO it
+/// belongs to, and how many engines it holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionHolding {
+    /// Session id.
+    pub session: u64,
+    /// VO the session's proxy belonged to.
+    pub vo: String,
+    /// Engines currently leased to the session.
+    pub held: usize,
+}
+
+/// Effective share weight for a VO: configured weight when positive and
+/// finite, `1.0` otherwise (including VOs with no configured policy).
+fn share_of(shares: &HashMap<String, f64>, vo: &str) -> f64 {
+    match shares.get(vo).copied() {
+        Some(s) if s.is_finite() && s > 0.0 => s,
+        _ => 1.0,
+    }
+}
+
+/// Per-session engine entitlements for a pool of `capacity` engines.
+///
+/// Capacity is split between the VOs present in `holdings` weighted by
+/// `shares` (absent/invalid weights count as `1.0`), then each VO's slice
+/// is divided evenly between its sessions, floored, and clamped to at
+/// least one engine per session.
+pub fn entitlements(
+    capacity: usize,
+    holdings: &[SessionHolding],
+    shares: &HashMap<String, f64>,
+) -> HashMap<u64, usize> {
+    let mut vo_sessions: HashMap<&str, usize> = HashMap::new();
+    for h in holdings {
+        *vo_sessions.entry(h.vo.as_str()).or_insert(0) += 1;
+    }
+    let total: f64 = vo_sessions.keys().map(|vo| share_of(shares, vo)).sum();
+    let mut out = HashMap::with_capacity(holdings.len());
+    for h in holdings {
+        let w = share_of(shares, &h.vo);
+        let vo_capacity = if total > 0.0 {
+            capacity as f64 * w / total
+        } else {
+            capacity as f64
+        };
+        let n = vo_sessions[h.vo.as_str()] as f64;
+        let ent = ((vo_capacity / n).floor() as usize).max(1);
+        out.insert(h.session, ent);
+    }
+    out
+}
+
+/// Choose preemption victims to free `need` engines: sessions holding the
+/// most engines above their entitlement give back first, and no session
+/// is ever asked below its entitlement (hence never below one engine).
+///
+/// Returns `(session, engines_to_return)` pairs; the total may fall short
+/// of `need` when the pool is genuinely fully entitled.
+pub fn pick_victims(
+    capacity: usize,
+    holdings: &[SessionHolding],
+    shares: &HashMap<String, f64>,
+    need: usize,
+) -> Vec<(u64, usize)> {
+    let ent = entitlements(capacity, holdings, shares);
+    let mut over: Vec<(u64, usize)> = holdings
+        .iter()
+        .filter_map(|h| {
+            let e = ent.get(&h.session).copied().unwrap_or(1);
+            (h.held > e).then_some((h.session, h.held - e))
+        })
+        .collect();
+    over.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut out = Vec::new();
+    let mut left = need;
+    for (session, excess) in over {
+        if left == 0 {
+            break;
+        }
+        let k = excess.min(left);
+        out.push((session, k));
+        left -= k;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(session: u64, vo: &str, held: usize) -> SessionHolding {
+        SessionHolding {
+            session,
+            vo: vo.to_string(),
+            held,
+        }
+    }
+
+    #[test]
+    fn equal_shares_split_capacity_evenly() {
+        let shares = HashMap::new();
+        let holdings = vec![h(1, "ilc", 8), h(2, "cms", 0)];
+        let ent = entitlements(8, &holdings, &shares);
+        assert_eq!(ent[&1], 4);
+        assert_eq!(ent[&2], 4);
+    }
+
+    #[test]
+    fn weighted_shares_skew_the_split() {
+        let mut shares = HashMap::new();
+        shares.insert("ilc".to_string(), 3.0);
+        shares.insert("cms".to_string(), 1.0);
+        let holdings = vec![h(1, "ilc", 8), h(2, "cms", 0)];
+        let ent = entitlements(8, &holdings, &shares);
+        assert_eq!(ent[&1], 6);
+        assert_eq!(ent[&2], 2);
+    }
+
+    #[test]
+    fn vo_slice_divides_between_its_sessions() {
+        let shares = HashMap::new();
+        let holdings = vec![h(1, "ilc", 4), h(2, "ilc", 4), h(3, "cms", 0)];
+        // ilc gets 8 of 16, split 4/4; cms gets 8 whole.
+        let ent = entitlements(16, &holdings, &shares);
+        assert_eq!(ent[&1], 4);
+        assert_eq!(ent[&2], 4);
+        assert_eq!(ent[&3], 8);
+    }
+
+    #[test]
+    fn entitlement_never_below_one() {
+        let shares = HashMap::new();
+        let holdings: Vec<_> = (0..10).map(|i| h(i, "ilc", 1)).collect();
+        let ent = entitlements(4, &holdings, &shares);
+        assert!(ent.values().all(|&e| e == 1), "{ent:?}");
+    }
+
+    #[test]
+    fn invalid_or_missing_shares_default_to_one() {
+        let mut shares = HashMap::new();
+        shares.insert("bad".to_string(), f64::NAN);
+        shares.insert("zero".to_string(), 0.0);
+        let holdings = vec![h(1, "bad", 0), h(2, "zero", 0), h(3, "unknown", 0)];
+        let ent = entitlements(9, &holdings, &shares);
+        assert_eq!(ent[&1], 3);
+        assert_eq!(ent[&2], 3);
+        assert_eq!(ent[&3], 3);
+    }
+
+    #[test]
+    fn victims_are_the_most_over_entitled_first() {
+        let shares = HashMap::new();
+        // Capacity 8, two sessions of one VO: entitlement 4 each. Session
+        // 1 holds 7 (3 over), session 2 holds 1 (under) — only session 1
+        // yields, and only the 2 engines actually needed.
+        let holdings = vec![h(1, "ilc", 7), h(2, "ilc", 1)];
+        let v = pick_victims(8, &holdings, &shares, 2);
+        assert_eq!(v, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn victims_never_asked_below_entitlement() {
+        let shares = HashMap::new();
+        let holdings = vec![h(1, "ilc", 6), h(2, "cms", 2)];
+        // Entitlements: 4 each. Session 1 can yield at most 2, session 2
+        // nothing; a need of 5 is only partially satisfiable.
+        let v = pick_victims(8, &holdings, &shares, 5);
+        assert_eq!(v, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn ties_break_on_session_id() {
+        let shares = HashMap::new();
+        let holdings = vec![h(9, "ilc", 3), h(4, "ilc", 3)];
+        // Entitlement 2 each (capacity 4), both 1 over; lower id first.
+        let v = pick_victims(4, &holdings, &shares, 2);
+        assert_eq!(v, vec![(4, 1), (9, 1)]);
+    }
+}

@@ -19,6 +19,7 @@
 //! The policy is selected per-manager via [`crate::IpaConfig::scheduler`]
 //! and observable through [`SchedStats`] on every status poll.
 
+pub mod fair;
 mod ledger;
 mod queue;
 

@@ -42,6 +42,7 @@ use crate::config::IpaConfig;
 use crate::engine::{EngineCommand, EngineEvent, EngineHandle, EngineId, PartId};
 use crate::error::CoreError;
 use crate::journal::{JournalEvent, RecoveredState, SessionJournal, SessionSnapshot};
+use crate::pool::EnginePool;
 use crate::registry::{WorkerRegistry, WorkerState};
 use crate::sched::{CompletionOutcome, PartQueue, SchedStats, SchedulerPolicy, WorkerLedger};
 use crate::staging::{pipeline::StageFaultPlan, DatasetPlane, SplitSpec, StagingStats};
@@ -168,6 +169,13 @@ pub struct Session {
     /// Write-ahead log of this session's transitions (None = journal off;
     /// every hook is a no-op and behavior matches the journal-free build).
     journal: Option<SessionJournal>,
+    /// The shared pool these engines are leased from (None = the session
+    /// owns its engine threads outright). Enables part-boundary lease
+    /// revocation when other sessions are short.
+    pool: Option<EnginePool>,
+    /// Leases returned to the pool under revocation so far — engine slots
+    /// still occupy `engines` (ids are positional) but are dead.
+    released_engines: usize,
     closed: bool,
 }
 
@@ -228,8 +236,17 @@ impl Session {
             failures: Vec::new(),
             registry,
             journal: None,
+            pool: None,
+            released_engines: 0,
             closed: false,
         }
+    }
+
+    /// Attach the shared engine pool this session leases from (set by the
+    /// manager when `IpaConfig::engine_pool` is on). From then on every
+    /// poll honors pending lease revocations at part boundaries.
+    pub(crate) fn attach_pool(&mut self, pool: EnginePool) {
+        self.pool = Some(pool);
     }
 
     /// Attach a write-ahead journal and record the session's creation.
@@ -274,7 +291,7 @@ impl Session {
         SessionSnapshot {
             session: self.id,
             subject: self.subject.clone(),
-            engines: self.engines.len(),
+            engines: self.engines.len() - self.released_engines,
             dataset: self.dataset_source.clone(),
             code: self.code.clone(),
             epoch: self.epoch,
@@ -1005,6 +1022,53 @@ impl Session {
         self.plane.inject_faults(plan);
     }
 
+    /// Fair-share preemption point: when the pool has asked this session
+    /// to give engines back, return idle leases (no part assigned, or the
+    /// assigned part is complete) here, at the poll boundary. A part in
+    /// flight is never interrupted — its lease goes back at the next part
+    /// boundary — and the session always keeps at least one engine, so a
+    /// preempted tenant is slowed, never starved.
+    fn honor_revocations(&mut self) {
+        let Some(pool) = &self.pool else { return };
+        let mut wanted = pool.revocations_requested(self.id);
+        if wanted == 0 {
+            return;
+        }
+        let mut alive = self.engines_alive();
+        let mut released = false;
+        for (idx, slot) in self.engines.iter_mut().enumerate() {
+            if wanted == 0 || alive <= 1 {
+                break;
+            }
+            if !slot.alive {
+                continue;
+            }
+            let at_boundary = match slot.part {
+                None => true,
+                Some((_, done)) => done,
+            };
+            if !at_boundary {
+                continue;
+            }
+            // Shutdown on a leased handle returns the lease to the pool
+            // (the engine thread survives, parked for the next tenant).
+            slot.handle.shutdown();
+            slot.alive = false;
+            slot.part = None;
+            slot.part_progress = 0;
+            self.registry
+                .update_worker(self.id, idx, WorkerState::Shutdown, None);
+            self.released_engines += 1;
+            alive -= 1;
+            wanted -= 1;
+            released = true;
+        }
+        if released {
+            let engines = self.engines.len() - self.released_engines;
+            self.journal_event(JournalEvent::LeaseChanged { engines });
+        }
+    }
+
     /// Drain engine events, run failure recovery and work dispatch, and
     /// return a status snapshot. This is the client's polling entry point.
     pub fn poll(&mut self) -> Result<SessionStatus, CoreError> {
@@ -1016,6 +1080,7 @@ impl Session {
                 Err(TryRecvError::Disconnected) => break,
             }
         }
+        self.honor_revocations();
         self.dispatch_pending();
 
         let parts_total = self.parts.len();

@@ -155,7 +155,13 @@ mod tests {
         }
     }
 
-    fn cut(n: usize) -> (Vec<Arc<Vec<AnyRecord>>>, Vec<Option<Arc<ColumnBatch>>>, SplitPlan) {
+    fn cut(
+        n: usize,
+    ) -> (
+        Vec<Arc<Vec<AnyRecord>>>,
+        Vec<Option<Arc<ColumnBatch>>>,
+        SplitPlan,
+    ) {
         (
             vec![Arc::new(Vec::new()); n],
             vec![None; n],

@@ -33,8 +33,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ipa_dataset::{
-    split_chunks, split_even, split_records, AnyRecord, ColumnBatch, DataLayout,
-    DatasetDescriptor, DatasetId, SplitPlan,
+    split_chunks, split_even, split_records, AnyRecord, ColumnBatch, DataLayout, DatasetDescriptor,
+    DatasetId, SplitPlan,
 };
 use serde::{Deserialize, Serialize};
 
@@ -303,7 +303,8 @@ impl DatasetPlane for SitePlane {
         self.stats.transcode_ms = t3.elapsed().as_secs_f64() * 1e3;
 
         if self.cache_enabled {
-            self.cache.put(&ds.descriptor, spec, &parts, &columns, &plan);
+            self.cache
+                .put(&ds.descriptor, spec, &parts, &columns, &plan);
         }
         Ok(StagedDataset {
             descriptor: ds.descriptor.clone(),

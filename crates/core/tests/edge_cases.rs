@@ -181,6 +181,8 @@ fn banned_subject_cannot_create_session() {
         vo: "vo".into(),
         max_nodes: 4,
         banned_subjects: vec!["/CN=mallory".into()],
+        share: 1.0,
+        max_total_engines: 0,
     });
     let m = ManagerNode::new("edge-site", sec.clone(), IpaConfig::default());
     let bad = sec.issue_proxy("/CN=mallory", "vo", 0.0, 1e6);

@@ -347,3 +347,92 @@ fn interactive_controls_over_tcp() {
         .unwrap();
     gw.shutdown();
 }
+
+#[test]
+fn session_directory_and_pool_stats_cross_the_wire() {
+    let (mut gw, sec) = gateway();
+    let mut client = WsClient::connect(gw.addr()).unwrap();
+    let proxy = sec.issue_proxy("/CN=dir", "ilc", 0.0, 7200.0);
+    let WsResponse::SessionCreated { session, .. } = client
+        .call_ok(&WsRequest::CreateSession {
+            proxy,
+            now: 0.0,
+            engines: 2,
+        })
+        .unwrap()
+    else {
+        panic!()
+    };
+
+    let WsResponse::SessionTable(table) = client.call_ok(&WsRequest::Sessions).unwrap() else {
+        panic!("sessions")
+    };
+    let me = table.iter().find(|s| s.id == session).unwrap();
+    assert_eq!(me.vo, "ilc");
+    assert_eq!(me.engines, 2);
+    assert!(me.active);
+
+    // Pool stats answer whether or not a pool is running (this gateway's
+    // manager follows the IPA_ENGINE_POOL default).
+    let WsResponse::Pool(pool) = client.call_ok(&WsRequest::PoolStats).unwrap() else {
+        panic!("pool stats")
+    };
+    if pool.enabled {
+        assert_eq!(pool.leased, 2);
+    } else {
+        assert_eq!(pool.engines, 0);
+    }
+
+    client
+        .call_ok(&WsRequest::CloseSession { session })
+        .unwrap();
+    gw.shutdown();
+}
+
+/// Threads this process is running (Linux): the `Threads:` line of
+/// `/proc/self/status`.
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|n| n.trim().parse().ok())
+        .unwrap()
+}
+
+/// Regression for the handler-thread leak: the old gateway spawned (and
+/// kept a handle to) one thread per accepted connection, so connect/
+/// disconnect churn grew the thread count without bound until shutdown.
+/// The reactor serves every connection on a fixed worker pool, so churn
+/// must leave the process thread count flat.
+#[test]
+#[cfg(target_os = "linux")]
+fn connection_churn_keeps_thread_count_bounded() {
+    let (mut gw, _sec) = gateway();
+
+    // Warm up: the first connection exercises any lazily started plumbing.
+    {
+        let mut c = WsClient::connect(gw.addr()).unwrap();
+        let _ = c.call_ok(&WsRequest::CatalogTree).unwrap();
+    }
+    let baseline = thread_count();
+
+    for _ in 0..50 {
+        let mut c = WsClient::connect(gw.addr()).unwrap();
+        let WsResponse::Text(tree) = c.call_ok(&WsRequest::CatalogTree).unwrap() else {
+            panic!("catalog tree during churn")
+        };
+        assert!(tree.contains("lc-ws"));
+        // Dropping the client closes the socket; the reactor reaps the
+        // connection on its next pass without any thread ever exiting or
+        // spawning.
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    let after = thread_count();
+    assert!(
+        after <= baseline,
+        "gateway grew threads under connection churn: {baseline} -> {after}"
+    );
+    gw.shutdown();
+}

@@ -1,0 +1,268 @@
+//! Multi-tenant control-plane tests: the shared engine pool, cross-session
+//! fair-share preemption, per-VO quotas, and the bit-identity guarantee —
+//! a session leasing from the pool must merge exactly like a session that
+//! owns its engines outright.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ipa_aida::Tree;
+use ipa_core::{AnalysisCode, IpaConfig, ManagerNode, SchedulerPolicy, SessionStatus};
+use ipa_dataset::{DatasetId, EventGeneratorConfig, GeneratorConfig};
+use ipa_simgrid::{GridProxy, SecurityDomain, VoPolicy};
+use proptest::prelude::*;
+
+fn manager_with(events: u64, config: IpaConfig) -> (ManagerNode, GridProxy) {
+    let sec = SecurityDomain::new("mt-site", 42).with_policy(VoPolicy::new("ilc", 16));
+    let manager = ManagerNode::new("mt.example.org", sec.clone(), config);
+    let ds = ipa_dataset::generate_dataset(
+        "lc-mt",
+        "multi-tenant events",
+        &GeneratorConfig::Event(EventGeneratorConfig {
+            events,
+            ..Default::default()
+        }),
+    );
+    manager
+        .publish_dataset("/lc", ds, ipa_catalog::Metadata::new())
+        .unwrap();
+    let proxy = sec.issue_proxy("/CN=tenant", "ilc", 0.0, 7200.0);
+    (manager, proxy)
+}
+
+/// One full run of the whole dataset in a fresh session on `manager`.
+fn run_session(manager: &ManagerNode, proxy: &GridProxy, engines: usize) -> (SessionStatus, Tree) {
+    let mut s = manager.create_session(proxy, 0.0, engines).unwrap();
+    s.select_dataset(&DatasetId::new("lc-mt")).unwrap();
+    s.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    s.run().unwrap();
+    let st = s.wait_finished(Duration::from_secs(60)).unwrap();
+    let tree = s.results().unwrap().as_ref().clone();
+    s.close();
+    (st, tree)
+}
+
+/// The two runs must have merged to the same histograms: identical entry
+/// counts per bin, heights equal up to float summation order.
+fn assert_same_merge(a: &Tree, b: &Tree, path: &str) {
+    let ha = a.get(path).unwrap().as_h1().unwrap();
+    let hb = b.get(path).unwrap().as_h1().unwrap();
+    assert_eq!(ha.all_entries(), hb.all_entries(), "{path}: total entries");
+    for i in 0..ha.axis().bins() {
+        assert_eq!(ha.bin_entries(i), hb.bin_entries(i), "{path} bin {i}");
+        let d = (ha.bin_height(i) - hb.bin_height(i)).abs();
+        assert!(
+            d <= 1e-9 * ha.bin_height(i).abs().max(1.0),
+            "{path} bin {i} height: {} vs {}",
+            ha.bin_height(i),
+            hb.bin_height(i)
+        );
+    }
+}
+
+/// Tentpole acceptance: a pooled session is bit-identical to an owning
+/// session — and a *recycled* engine (leased, used, returned, re-leased)
+/// is indistinguishable from a freshly spawned one.
+#[test]
+fn pooled_session_merges_identically_to_owned_session() {
+    const EVENTS: u64 = 20_000;
+    let config = |pool: bool| IpaConfig {
+        engine_pool: pool,
+        scheduler: SchedulerPolicy::WorkStealing,
+        engines_per_session: 3,
+        oversub: 4,
+        publish_every: 100,
+        ..Default::default()
+    };
+
+    let (owned_mgr, owned_proxy) = manager_with(EVENTS, config(false));
+    let (owned_st, owned_tree) = run_session(&owned_mgr, &owned_proxy, 3);
+    assert_eq!(owned_st.records_processed, EVENTS);
+    assert!(!owned_mgr.pool_stats().enabled);
+
+    let (pool_mgr, pool_proxy) = manager_with(EVENTS, config(true));
+    let (pool_st, pool_tree) = run_session(&pool_mgr, &pool_proxy, 3);
+    assert_eq!(pool_st.records_processed, EVENTS);
+    assert_eq!(pool_st.parts_done, owned_st.parts_done);
+    assert_same_merge(&owned_tree, &pool_tree, "/higgs/n_btags");
+    assert_same_merge(&owned_tree, &pool_tree, "/higgs/bb_mass");
+    assert_same_merge(&owned_tree, &pool_tree, "/higgs/visible_energy");
+
+    // Second tenant on the same pool: every engine is a recycled one
+    // (Rebind must reset engine state exactly like a fresh spawn).
+    let stats = pool_mgr.pool_stats();
+    assert_eq!(stats.engines_spawned, 3);
+    assert_eq!(stats.free, 3);
+    let (again_st, again_tree) = run_session(&pool_mgr, &pool_proxy, 3);
+    assert_eq!(again_st.records_processed, EVENTS);
+    assert_same_merge(&owned_tree, &again_tree, "/higgs/n_btags");
+    assert_same_merge(&owned_tree, &again_tree, "/higgs/bb_mass");
+    let stats = pool_mgr.pool_stats();
+    assert_eq!(
+        stats.engines_spawned, 3,
+        "the second session must reuse pooled engines, not spawn more"
+    );
+    assert_eq!(stats.engines_recycled, 6);
+}
+
+/// Fair-share preemption under contention: tenant A holds the whole capped
+/// pool; tenant B's admission revokes part of A's lease at part
+/// boundaries. Both must finish, B is never starved below one engine, and
+/// A's results stay exactly-once despite losing engines mid-run.
+#[test]
+fn contended_pool_preempts_at_part_boundaries() {
+    const EVENTS: u64 = 120_000;
+    let config = IpaConfig {
+        engine_pool: true,
+        pool_size: 4,
+        pool_lease_timeout_ms: 30_000,
+        scheduler: SchedulerPolicy::WorkStealing,
+        engines_per_session: 4,
+        oversub: 8,
+        publish_every: 200,
+        ..Default::default()
+    };
+    let (manager, proxy) = manager_with(EVENTS, config);
+    let manager = Arc::new(manager);
+
+    // Tenant A takes the entire pool and starts a long run (throttled so
+    // it is still in flight when B arrives).
+    let mut a = manager.create_session(&proxy, 0.0, 4).unwrap();
+    a.select_dataset(&DatasetId::new("lc-mt")).unwrap();
+    a.load_code(AnalysisCode::Native("higgs-search".into()))
+        .unwrap();
+    for e in 0..4 {
+        a.inject_speed_factor(e, 6.0);
+    }
+    a.run().unwrap();
+
+    // Tenant B asks for half the pool from another thread; the lease
+    // blocks until A returns engines at part boundaries.
+    let b_done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let b_mgr = manager.clone();
+    let b_proxy = proxy.clone();
+    let b_flag = b_done.clone();
+    let b_thread = std::thread::spawn(move || {
+        let mut b = b_mgr.create_session(&b_proxy, 0.0, 2).unwrap();
+        let granted = b.engines();
+        b.select_dataset(&DatasetId::new("lc-mt")).unwrap();
+        b.load_code(AnalysisCode::Native("higgs-search".into()))
+            .unwrap();
+        b.run().unwrap();
+        let st = b.wait_finished(Duration::from_secs(60)).unwrap();
+        let tree = b.results().unwrap().as_ref().clone();
+        b.close();
+        b_flag.store(true, std::sync::atomic::Ordering::Relaxed);
+        (granted, st, tree)
+    });
+
+    // A keeps polling until *both* tenants are done — A's poll is the
+    // preemption point, so it must stay live while B waits for engines —
+    // and must complete every record even while giving engines back.
+    let deadline = Instant::now() + Duration::from_secs(90);
+    let a_st = loop {
+        let st = a.poll().unwrap();
+        if st.state == ipa_core::RunState::Finished
+            && b_done.load(std::sync::atomic::Ordering::Relaxed)
+        {
+            break st;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "tenants never both finished: {st:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    let a_tree = a.results().unwrap().as_ref().clone();
+
+    let (b_granted, b_st, b_tree) = b_thread.join().unwrap();
+    assert!(b_granted >= 1, "tenant B was starved out of the pool");
+    assert_eq!(a_st.records_processed, EVENTS);
+    assert_eq!(b_st.records_processed, EVENTS);
+    assert!(b_st.engines_alive >= 1);
+    // A and B computed the same physics despite the lease churn.
+    assert_same_merge(&a_tree, &b_tree, "/higgs/n_btags");
+    assert_same_merge(&a_tree, &b_tree, "/higgs/bb_mass");
+
+    let stats = manager.pool_stats();
+    assert!(
+        stats.preemptions_requested >= 1,
+        "admission under a full pool must request revocations: {stats:?}"
+    );
+    assert!(
+        a_st.engines_alive < 4,
+        "tenant A should have returned engines to the pool: {a_st:?}"
+    );
+    a.close();
+    assert_eq!(manager.pool_stats().leased, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Satellite: N concurrent tenants with random workloads and injected
+    /// kills on one capped shared pool must each merge bin-for-bin
+    /// identically to an isolated run, and none may starve.
+    #[test]
+    fn chaotic_shared_pool_matches_isolated_runs(
+        oversub in 1usize..=8,
+        kill_engine in 0usize..2,
+        kill_after in 0u64..300,
+        slow_engine in 0usize..2,
+        slow_factor in 1.0f64..4.0,
+    ) {
+        const EVENTS: u64 = 500;
+        const TENANTS: usize = 3;
+        let config = |pool: bool| IpaConfig {
+            engine_pool: pool,
+            // 4 < 3 tenants × 2 engines: admission must contend.
+            pool_size: if pool { 4 } else { 0 },
+            pool_lease_timeout_ms: 30_000,
+            scheduler: SchedulerPolicy::WorkStealing,
+            engines_per_session: 2,
+            oversub,
+            publish_every: 50,
+            ..Default::default()
+        };
+
+        // Oracle: one isolated, owning, chaos-free session.
+        let (iso_mgr, iso_proxy) = manager_with(EVENTS, config(false));
+        let (iso_st, iso_tree) = run_session(&iso_mgr, &iso_proxy, 2);
+        prop_assert_eq!(iso_st.records_processed, EVENTS);
+
+        let (manager, proxy) = manager_with(EVENTS, config(true));
+        let manager = Arc::new(manager);
+        let mut tenants = Vec::new();
+        for i in 0..TENANTS {
+            let manager = manager.clone();
+            let proxy = proxy.clone();
+            tenants.push(std::thread::spawn(move || {
+                let mut s = manager.create_session(&proxy, 0.0, 2).unwrap();
+                s.select_dataset(&DatasetId::new("lc-mt")).unwrap();
+                s.load_code(AnalysisCode::Native("higgs-search".into())).unwrap();
+                // Per-tenant chaos: one straggles, one loses an engine
+                // mid-part (absorbed by the retry budget), one runs clean.
+                if i == 0 {
+                    s.inject_speed_factor(slow_engine, slow_factor);
+                }
+                if i == 1 {
+                    s.inject_failure(kill_engine, kill_after);
+                }
+                s.run().unwrap();
+                let st = s.wait_finished(Duration::from_secs(60)).unwrap();
+                let tree = s.results().unwrap().as_ref().clone();
+                s.close();
+                (st, tree)
+            }));
+        }
+        for t in tenants {
+            let (st, tree) = t.join().unwrap();
+            prop_assert_eq!(st.records_processed, EVENTS, "a tenant lost records");
+            prop_assert!(st.engines_alive >= 1, "a tenant starved: {:?}", st);
+            assert_same_merge(&iso_tree, &tree, "/higgs/n_btags");
+            assert_same_merge(&iso_tree, &tree, "/higgs/bb_mass");
+        }
+        prop_assert_eq!(manager.pool_stats().leased, 0);
+    }
+}

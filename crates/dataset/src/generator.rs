@@ -240,7 +240,9 @@ impl DnaGeneratorConfig {
                 AnyRecord::Dna(DnaRead {
                     read_id,
                     sample,
-                    bases: String::from_utf8(bases).expect("ACGT is valid UTF-8").into(),
+                    bases: String::from_utf8(bases)
+                        .expect("ACGT is valid UTF-8")
+                        .into(),
                     quality: (35.0 + 5.0 * gauss(&mut rng)).clamp(2.0, 60.0) as f32,
                 })
             })

@@ -403,11 +403,9 @@ impl Vm {
                         if Arc::ptr_eq(batch, &b.records) {
                             match b.cols[name as usize] {
                                 Some(ci) => {
-                                    frame
-                                        .stack
-                                        .push(Value::from_field(
-                                            b.columns.field_at(ci as usize, *index),
-                                        ));
+                                    frame.stack.push(Value::from_field(
+                                        b.columns.field_at(ci as usize, *index),
+                                    ));
                                     continue;
                                 }
                                 None => {
@@ -717,16 +715,24 @@ mod tests {
         let mut row = vm(src);
         row.run_init(&mut NullHost).unwrap();
         for i in 0..records.len() {
-            ScriptEngine::process(&mut row, &mut NullHost, RecordRef::batch(records.clone(), i))
-                .unwrap();
+            ScriptEngine::process(
+                &mut row,
+                &mut NullHost,
+                RecordRef::batch(records.clone(), i),
+            )
+            .unwrap();
         }
 
         let mut col = vm(src);
         col.run_init(&mut NullHost).unwrap();
         col.bind_columns(&records, &columns);
         for i in 0..records.len() {
-            ScriptEngine::process(&mut col, &mut NullHost, RecordRef::batch(records.clone(), i))
-                .unwrap();
+            ScriptEngine::process(
+                &mut col,
+                &mut NullHost,
+                RecordRef::batch(records.clone(), i),
+            )
+            .unwrap();
         }
 
         assert_eq!(row.global("total"), col.global("total"));
@@ -741,16 +747,22 @@ mod tests {
 
         let mut row = vm(src);
         row.run_init(&mut NullHost).unwrap();
-        let row_err =
-            ScriptEngine::process(&mut row, &mut NullHost, RecordRef::batch(records.clone(), 0))
-                .unwrap_err();
+        let row_err = ScriptEngine::process(
+            &mut row,
+            &mut NullHost,
+            RecordRef::batch(records.clone(), 0),
+        )
+        .unwrap_err();
 
         let mut col = vm(src);
         col.run_init(&mut NullHost).unwrap();
         col.bind_columns(&records, &columns);
-        let col_err =
-            ScriptEngine::process(&mut col, &mut NullHost, RecordRef::batch(records.clone(), 0))
-                .unwrap_err();
+        let col_err = ScriptEngine::process(
+            &mut col,
+            &mut NullHost,
+            RecordRef::batch(records.clone(), 0),
+        )
+        .unwrap_err();
 
         assert_eq!(row_err, col_err);
     }

@@ -82,6 +82,22 @@ pub struct VoPolicy {
     pub max_nodes: usize,
     /// Banned subject names.
     pub banned_subjects: Vec<String>,
+    /// Fair-share weight of this VO when a shared engine pool is capped:
+    /// pool capacity is split between the VOs holding leases in
+    /// proportion to their weights. Non-positive or non-finite values
+    /// are treated as `1.0`.
+    #[serde(default = "default_share")]
+    pub share: f64,
+    /// Aggregate engine quota across *all* of the VO's concurrent
+    /// sessions; 0 (the default) means unlimited. Enforced at session
+    /// creation: a request that would push the VO's total leased engines
+    /// past this limit is rejected whole.
+    #[serde(default)]
+    pub max_total_engines: usize,
+}
+
+fn default_share() -> f64 {
+    1.0
 }
 
 impl VoPolicy {
@@ -91,7 +107,21 @@ impl VoPolicy {
             vo: vo.into(),
             max_nodes,
             banned_subjects: Vec::new(),
+            share: default_share(),
+            max_total_engines: 0,
         }
+    }
+
+    /// Set the VO's fair-share weight.
+    pub fn with_share(mut self, share: f64) -> Self {
+        self.share = share;
+        self
+    }
+
+    /// Cap the VO's aggregate engines across all concurrent sessions.
+    pub fn with_engine_quota(mut self, max_total_engines: usize) -> Self {
+        self.max_total_engines = max_total_engines;
+        self
     }
 }
 
@@ -190,6 +220,8 @@ mod tests {
                 vo: "atlas".into(),
                 max_nodes: 8,
                 banned_subjects: vec!["/DC=org/CN=mallory".into()],
+                share: 1.0,
+                max_total_engines: 0,
             })
     }
 
@@ -247,6 +279,19 @@ mod tests {
             d.authorize(&p, 1.0).unwrap_err(),
             AuthError::SubjectBanned(_)
         ));
+    }
+
+    #[test]
+    fn vo_policy_share_and_quota_default_in() {
+        // Policies serialized before the multi-tenant fields existed must
+        // still load, with weight 1 and no aggregate quota.
+        let json = r#"{"vo":"ilc","max_nodes":4,"banned_subjects":[]}"#;
+        let p: VoPolicy = serde_json::from_str(json).unwrap();
+        assert_eq!(p.share, 1.0);
+        assert_eq!(p.max_total_engines, 0);
+        let p = VoPolicy::new("ilc", 4).with_share(2.5).with_engine_quota(8);
+        assert_eq!(p.share, 2.5);
+        assert_eq!(p.max_total_engines, 8);
     }
 
     #[test]
