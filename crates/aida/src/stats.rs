@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Running weighted statistics for a one-dimensional quantity.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct WeightedStats {
     /// Number of `fill` calls (unweighted entry count).
     pub entries: u64,
@@ -20,10 +20,14 @@ pub struct WeightedStats {
     pub sum_wx: f64,
     /// Σw·x²
     pub sum_wx2: f64,
-    /// Smallest x seen (NaN when empty).
-    pub min: f64,
-    /// Largest x seen (NaN when empty).
-    pub max: f64,
+    /// Smallest x seen (`None` when empty). Stored as an option rather
+    /// than a NaN sentinel: NaN serializes to JSON `null`, which can never
+    /// be read back into a plain f64 — empty accumulators crossing the
+    /// gateway or journal would poison the whole payload. `None` encodes
+    /// to the same `null` on the wire but round-trips.
+    pub min: Option<f64>,
+    /// Largest x seen (`None` when empty).
+    pub max: Option<f64>,
 }
 
 impl WeightedStats {
@@ -35,8 +39,8 @@ impl WeightedStats {
             sum_w2: 0.0,
             sum_wx: 0.0,
             sum_wx2: 0.0,
-            min: f64::NAN,
-            max: f64::NAN,
+            min: None,
+            max: None,
         }
     }
 
@@ -47,11 +51,11 @@ impl WeightedStats {
         self.sum_w2 += w * w;
         self.sum_wx += w * x;
         self.sum_wx2 += w * x * x;
-        if self.min.is_nan() || x < self.min {
-            self.min = x;
+        if self.min.is_none_or(|m| x < m) {
+            self.min = Some(x);
         }
-        if self.max.is_nan() || x > self.max {
-            self.max = x;
+        if self.max.is_none_or(|m| x > m) {
+            self.max = Some(x);
         }
     }
 
@@ -95,11 +99,15 @@ impl WeightedStats {
         self.sum_w2 += other.sum_w2;
         self.sum_wx += other.sum_wx;
         self.sum_wx2 += other.sum_wx2;
-        if !other.min.is_nan() && (self.min.is_nan() || other.min < self.min) {
-            self.min = other.min;
+        if let Some(om) = other.min {
+            if self.min.is_none_or(|m| om < m) {
+                self.min = Some(om);
+            }
         }
-        if !other.max.is_nan() && (self.max.is_nan() || other.max > self.max) {
-            self.max = other.max;
+        if let Some(om) = other.max {
+            if self.max.is_none_or(|m| om > m) {
+                self.max = Some(om);
+            }
         }
     }
 
@@ -117,6 +125,30 @@ impl WeightedStats {
     }
 }
 
+/// NaN-aware equality: scripts can legitimately fill NaN coordinates
+/// (0.0/0.0 and friends), and a derived impl would then make an
+/// accumulator unequal to its own clone — which breaks
+/// `AidaObject::diff_from`'s unchanged-means-`None` contract and forces
+/// full `Replace` deltas for objects that did not change.
+impl PartialEq for WeightedStats {
+    fn eq(&self, other: &Self) -> bool {
+        fn feq(a: Option<f64>, b: Option<f64>) -> bool {
+            match (a, b) {
+                (None, None) => true,
+                (Some(x), Some(y)) => x == y || (x.is_nan() && y.is_nan()),
+                _ => false,
+            }
+        }
+        self.entries == other.entries
+            && self.sum_w == other.sum_w
+            && self.sum_w2 == other.sum_w2
+            && self.sum_wx == other.sum_wx
+            && self.sum_wx2 == other.sum_wx2
+            && feq(self.min, other.min)
+            && feq(self.max, other.max)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,7 +162,7 @@ mod tests {
         let s = WeightedStats::new();
         assert!(s.mean().is_nan());
         assert!(s.rms().is_nan());
-        assert!(s.min.is_nan());
+        assert!(s.min.is_none());
         assert!(s.is_empty());
         assert_eq!(s.effective_entries(), 0.0);
     }
@@ -145,8 +177,8 @@ mod tests {
         assert!(approx(s.rms(), (1.25f64).sqrt()));
         assert_eq!(s.entries, 4);
         assert!(approx(s.effective_entries(), 4.0));
-        assert_eq!(s.min, 1.0);
-        assert_eq!(s.max, 4.0);
+        assert_eq!(s.min, Some(1.0));
+        assert_eq!(s.max, Some(4.0));
     }
 
     #[test]

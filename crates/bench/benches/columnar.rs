@@ -16,7 +16,7 @@ use ipa_core::{
     HiggsSearchAnalyzer,
 };
 use ipa_dataset::{AnyRecord, ColumnBatch, EventGeneratorConfig};
-use ipa_script::{AidaHost, ScriptBackend};
+use ipa_script::{AidaHost, ScriptBackend, ScriptFusion};
 
 const SCRIPT: &str = r#"
     fn init() {
@@ -59,6 +59,7 @@ fn script_analyzer() -> Box<dyn Analyzer> {
         &AnalysisCode::Script(SCRIPT.into()),
         &builtin_registry(),
         ScriptBackend::Vm,
+        ScriptFusion::from_env(),
     )
     .unwrap()
 }

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ipa_core::{run_analyzer_serial, HiggsSearchAnalyzer};
 use ipa_dataset::{AnyRecord, EventGeneratorConfig};
-use ipa_script::{compile, engine_for, AidaHost, Program, RecordRef, ScriptBackend};
+use ipa_script::{compile, engine_for, AidaHost, Program, RecordRef, ScriptBackend, ScriptFusion};
 
 const SCRIPT: &str = r#"
     fn init() { h1("/higgs/bb_mass", 60, 0.0, 240.0); }
@@ -27,7 +27,7 @@ fn run_backend(
     backend: ScriptBackend,
 ) -> AidaHost {
     let mut host = AidaHost::new();
-    let mut engine = engine_for(program, backend).unwrap();
+    let mut engine = engine_for(program, backend, ScriptFusion::Off).unwrap();
     engine.run_init(&mut host).unwrap();
     for i in 0..records.len() {
         engine

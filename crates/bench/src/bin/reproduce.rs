@@ -473,10 +473,157 @@ fn ablations_cmd(cal: &PaperCalibration) {
     }
 }
 
+/// Flatten every numeric leaf of a JSON document into `path -> value`
+/// pairs (objects dotted, arrays indexed). A tiny hand-rolled scanner:
+/// the perf diff only ever reads documents this command itself wrote,
+/// and staying dependency-free keeps it usable in stripped-down builds.
+fn numeric_leaves(json: &str) -> Vec<(String, f64)> {
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    }
+    fn string(b: &[u8], i: &mut usize) -> String {
+        *i += 1; // opening quote
+        let mut s = String::new();
+        while *i < b.len() && b[*i] != b'"' {
+            if b[*i] == b'\\' {
+                *i += 1;
+            }
+            if *i < b.len() {
+                s.push(b[*i] as char);
+                *i += 1;
+            }
+        }
+        *i += 1; // closing quote
+        s
+    }
+    fn value(b: &[u8], i: &mut usize, path: &mut Vec<String>, out: &mut Vec<(String, f64)>) {
+        skip_ws(b, i);
+        if *i >= b.len() {
+            return;
+        }
+        match b[*i] {
+            b'{' => {
+                *i += 1;
+                loop {
+                    skip_ws(b, i);
+                    if *i >= b.len() {
+                        break;
+                    }
+                    if b[*i] == b'}' {
+                        *i += 1;
+                        break;
+                    }
+                    if b[*i] == b',' {
+                        *i += 1;
+                        continue;
+                    }
+                    let key = string(b, i);
+                    skip_ws(b, i);
+                    if *i < b.len() && b[*i] == b':' {
+                        *i += 1;
+                    }
+                    path.push(key);
+                    value(b, i, path, out);
+                    path.pop();
+                }
+            }
+            b'[' => {
+                *i += 1;
+                let mut idx = 0usize;
+                loop {
+                    skip_ws(b, i);
+                    if *i >= b.len() {
+                        break;
+                    }
+                    if b[*i] == b']' {
+                        *i += 1;
+                        break;
+                    }
+                    if b[*i] == b',' {
+                        *i += 1;
+                        continue;
+                    }
+                    path.push(idx.to_string());
+                    value(b, i, path, out);
+                    path.pop();
+                    idx += 1;
+                }
+            }
+            b'"' => {
+                let _ = string(b, i);
+            }
+            b't' | b'f' | b'n' => {
+                while *i < b.len() && b[*i].is_ascii_alphabetic() {
+                    *i += 1;
+                }
+            }
+            _ => {
+                let start = *i;
+                while *i < b.len()
+                    && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *i += 1;
+                }
+                if let Ok(v) = std::str::from_utf8(&b[start..*i])
+                    .unwrap_or("")
+                    .parse::<f64>()
+                {
+                    out.push((path.join("."), v));
+                }
+            }
+        }
+    }
+    let b = json.as_bytes();
+    let mut i = 0usize;
+    let (mut path, mut out) = (Vec::new(), Vec::new());
+    value(b, &mut i, &mut path, &mut out);
+    out
+}
+
+/// Metric-by-metric comparison of the fresh snapshot against the
+/// previously committed one (positive change = the number went up;
+/// whether that is good depends on the metric — appends and RTTs want
+/// down, records/s wants up).
+fn print_perf_diff(previous: &str, current: &str) {
+    let old: std::collections::HashMap<String, f64> =
+        numeric_leaves(previous).into_iter().collect();
+    let fresh = numeric_leaves(current);
+    hline();
+    println!("PERF DIFF — this run vs the committed BENCH_results.json");
+    hline();
+    println!(
+        "{:<58} {:>13} {:>13} {:>8}",
+        "metric", "previous", "current", "change"
+    );
+    for (path, now) in &fresh {
+        match old.get(path) {
+            Some(was) if *was != 0.0 => println!(
+                "{:<58} {:>13.3} {:>13.3} {:>+7.1}%",
+                path,
+                was,
+                now,
+                (now - was) / was.abs() * 100.0
+            ),
+            Some(was) => println!("{:<58} {:>13.3} {:>13.3} {:>8}", path, was, now, "-"),
+            None => println!("{:<58} {:>13} {:>13.3} {:>8}", path, "(new)", now, "-"),
+        }
+    }
+    for (path, was) in numeric_leaves(previous) {
+        if !fresh.iter().any(|(p, _)| p == &path) {
+            println!("{:<58} {:>13.3} {:>13} {:>8}", path, was, "(gone)", "-");
+        }
+    }
+}
+
 /// Machine-readable perf snapshot → `BENCH_results.json` (cwd): journal
 /// append cost per durability mode, decode + replay throughput (what a
-/// manager restart pays), and a small live end-to-end run as a
-/// throughput yardstick. CI archives the file per commit.
+/// manager restart pays), the script-fusion ladder, and a small live
+/// end-to-end run as a throughput yardstick. When a previous snapshot is
+/// already committed in the working directory, prints a metric-by-metric
+/// diff against it after writing the new one. CI archives the file per
+/// commit.
 fn perf_cmd() {
     use ipa_core::{
         decode_events, replay, AnalysisCode, JournalBackend, JournalEvent, PartPayload, PartUpdate,
@@ -609,6 +756,78 @@ fn perf_cmd() {
         .run_code_to_completion(2, AnalysisCode::Native("higgs-search".into()));
     let row_records_per_s = layout_events as f64 / row_wall_s;
     let col_records_per_s = layout_events as f64 / col_wall_s;
+
+    // Script fusion ladder: the canonical guarded-fill analyze body over
+    // one columnar part, through the engine's `run_fused` dispatch — the
+    // tree-walk as the semantic floor, then the VM at each fusion level.
+    // Gate first: every rung must produce a bit-identical result tree.
+    let fusion_src = r#"
+        fn init() {
+            h1("/f/bb_mass", 60, 0.0, 240.0);
+            h1("/f/visible_energy", 60, 0.0, 600.0);
+        }
+        fn process(e) {
+            let m = e.bb_mass;
+            if m != null { fill("/f/bb_mass", m); }
+            fill("/f/visible_energy", e.visible_energy);
+        }
+    "#;
+    let fusion_events = 20_000u64;
+    let frecords = std::sync::Arc::new(
+        ipa_dataset::EventGeneratorConfig {
+            events: fusion_events,
+            signal_fraction: 0.4,
+            ..Default::default()
+        }
+        .generate(),
+    );
+    let fcolumns = std::sync::Arc::new(
+        ipa_dataset::ColumnBatch::from_records(&frecords).expect("homogeneous event batch"),
+    );
+    let fprogram = ipa_script::compile(fusion_src).unwrap();
+    let fusion_mode = |backend: ipa_core::ScriptBackend, fusion: ipa_core::ScriptFusion| {
+        let run_once = || {
+            let mut engine = ipa_script::engine_for(&fprogram, backend, fusion).unwrap();
+            let mut kernel = (backend == ipa_core::ScriptBackend::Vm
+                && fusion == ipa_core::ScriptFusion::Kernel)
+                .then(|| ipa_script::BatchKernel::compile(&fprogram))
+                .flatten();
+            let mut host = ipa_script::AidaHost::new();
+            engine.run_init(&mut host).unwrap();
+            let (done, err) = ipa_script::run_fused(
+                engine.as_mut(),
+                kernel.as_mut(),
+                &frecords,
+                Some(&fcolumns),
+                0..frecords.len(),
+                &mut host,
+            );
+            assert_eq!(done as u64, fusion_events);
+            assert!(err.is_none(), "{err:?}");
+            engine.run_end(&mut host).unwrap();
+            host
+        };
+        let tree = format!("{:?}", run_once().tree); // warmup doubles as the gate run
+        let t0 = Instant::now();
+        run_once();
+        (fusion_events as f64 / t0.elapsed().as_secs_f64(), tree)
+    };
+    let (interp_rps, interp_tree) =
+        fusion_mode(ipa_core::ScriptBackend::Interp, ipa_core::ScriptFusion::Off);
+    let (vm_off_rps, vm_off_tree) =
+        fusion_mode(ipa_core::ScriptBackend::Vm, ipa_core::ScriptFusion::Off);
+    let (vm_super_rps, vm_super_tree) =
+        fusion_mode(ipa_core::ScriptBackend::Vm, ipa_core::ScriptFusion::Super);
+    let (vm_kernel_rps, vm_kernel_tree) =
+        fusion_mode(ipa_core::ScriptBackend::Vm, ipa_core::ScriptFusion::Kernel);
+    assert_eq!(interp_tree, vm_off_tree, "vm/off diverges from tree-walk");
+    assert_eq!(interp_tree, vm_super_tree, "vm/super diverges from tree-walk");
+    assert_eq!(interp_tree, vm_kernel_tree, "vm/kernel diverges from tree-walk");
+    let kernel_speedup = vm_kernel_rps / vm_off_rps;
+    println!(
+        "script fusion: interp {interp_rps:.0} rec/s, vm/off {vm_off_rps:.0}, \
+         vm/super {vm_super_rps:.0}, vm/kernel {vm_kernel_rps:.0} ({kernel_speedup:.1}x vm/off)"
+    );
 
     // Node sweep: records/s vs engine count under the default layout,
     // on the compute-bound interpreted script (Table 2's analysis shape).
@@ -743,6 +962,16 @@ fn perf_cmd() {
          \x20   \"columnar_records_per_s\": {col_records_per_s:.0},\n\
          \x20   \"columnar_speedup\": {:.2}\n\
          \x20 }},\n\
+         \x20 \"script_fusion\": {{\n\
+         \x20   \"events\": {fusion_events},\n\
+         \x20   \"records_per_s\": {{\n\
+         \x20     \"interp\": {interp_rps:.0},\n\
+         \x20     \"vm_off\": {vm_off_rps:.0},\n\
+         \x20     \"vm_super\": {vm_super_rps:.0},\n\
+         \x20     \"vm_kernel\": {vm_kernel_rps:.0}\n\
+         \x20   }},\n\
+         \x20   \"kernel_speedup_vs_vm_off\": {kernel_speedup:.2}\n\
+         \x20 }},\n\
          \x20 \"node_sweep\": {{\n\
          \x20   \"events\": {sweep_events},\n\
          \x20   \"code\": \"higgs_script\",\n\
@@ -759,9 +988,13 @@ fn perf_cmd() {
         events.len(),
         col_records_per_s / row_records_per_s,
     );
+    let previous = std::fs::read_to_string("BENCH_results.json").ok();
     std::fs::write("BENCH_results.json", &json).unwrap();
     println!("{json}");
     println!("wrote BENCH_results.json");
+    if let Some(previous) = previous {
+        print_perf_diff(&previous, &json);
+    }
 }
 
 fn main() {

@@ -12,7 +12,10 @@ use std::ops::Range;
 use std::sync::Arc;
 
 use ipa_dataset::{AnyRecord, ColumnBatch, RecordFields};
-use ipa_script::{compile, engine_for, Host, RecordRef, ScriptBackend, ScriptEngine};
+use ipa_script::{
+    compile, engine_for, run_fused, BatchKernel, Host, RecordRef, ScriptBackend, ScriptEngine,
+    ScriptFusion,
+};
 
 use crate::error::CoreError;
 
@@ -143,12 +146,18 @@ impl NativeRegistry {
 
 /// Build an [`Analyzer`] from shipped code (compiles scripts up front so
 /// syntax and resolution errors surface at load time, like the paper's
-/// class loader). `backend` selects the script execution backend; native
-/// code ignores it.
+/// class loader). `backend` selects the script execution backend and
+/// `fusion` the compile-pipeline fusion level; native code ignores both.
+///
+/// At [`ScriptFusion::Kernel`] on the VM backend the analyze body is also
+/// lowered to a [`BatchKernel`] when it has the canonical guard-and-fill
+/// shape; the tree-walk stays kernel-free so it remains a pure
+/// per-record oracle for differential tests.
 pub fn instantiate_code(
     code: &AnalysisCode,
     registry: &NativeRegistry,
     backend: ScriptBackend,
+    fusion: ScriptFusion,
 ) -> Result<Box<dyn Analyzer>, CoreError> {
     match code {
         AnalysisCode::Script(src) => {
@@ -158,17 +167,22 @@ pub fn instantiate_code(
                     "script must define fn process(record)".to_string(),
                 ));
             }
-            let engine =
-                engine_for(&program, backend).map_err(|e| CoreError::Code(e.to_string()))?;
-            Ok(Box::new(ScriptAnalyzer { engine }))
+            let engine = engine_for(&program, backend, fusion)
+                .map_err(|e| CoreError::Code(e.to_string()))?;
+            let kernel = (fusion == ScriptFusion::Kernel && backend == ScriptBackend::Vm)
+                .then(|| BatchKernel::compile(&program))
+                .flatten();
+            Ok(Box::new(ScriptAnalyzer { engine, kernel }))
         }
         AnalysisCode::Native(name) => registry.instantiate(name),
     }
 }
 
-/// [`Analyzer`] over an IPAScript engine (tree-walk or bytecode VM).
+/// [`Analyzer`] over an IPAScript engine (tree-walk or bytecode VM), plus
+/// an optional vectorized batch kernel for the canonical analyze shape.
 pub struct ScriptAnalyzer {
     engine: Box<dyn ScriptEngine>,
+    kernel: Option<BatchKernel>,
 }
 
 impl Analyzer for ScriptAnalyzer {
@@ -204,20 +218,19 @@ impl Analyzer for ScriptAnalyzer {
         range: Range<usize>,
         host: &mut dyn Host,
     ) -> (usize, Option<String>) {
-        if let Some(cols) = columns {
-            // Resolve the script's field names to column indices once per
-            // part; every field access in the loop below is then two array
-            // reads in the VM instead of a string match over the record.
-            self.engine.bind_columns(batch, cols);
-        }
-        let mut processed = 0;
-        for i in range {
-            if let Err(e) = self.process_indexed(batch, i, host) {
-                return (processed, Some(e));
-            }
-            processed += 1;
-        }
-        (processed, None)
+        // `run_fused` binds the columnar transcode (field reads become two
+        // array reads in the VM), runs the batch kernel over the eligible
+        // prefix when one compiled, and falls back to the per-record loop
+        // for the rest — record-exact progress either way.
+        let (done, err) = run_fused(
+            self.engine.as_mut(),
+            self.kernel.as_mut(),
+            batch,
+            columns,
+            range,
+            host,
+        );
+        (done, err.map(|e| e.to_string()))
     }
 
     fn end(&mut self, host: &mut dyn Host) -> Result<(), String> {
@@ -594,17 +607,21 @@ mod tests {
             "fn init() { h1(\"/x\", 10, 0.0, 1.0); } fn process(e) { }".to_string(),
         );
         for backend in [ScriptBackend::Interp, ScriptBackend::Vm] {
-            assert!(instantiate_code(&good, &reg, backend).is_ok(), "{backend}");
+            let fusion = ScriptFusion::from_env();
+            assert!(
+                instantiate_code(&good, &reg, backend, fusion).is_ok(),
+                "{backend}"
+            );
 
             let syntax_err = AnalysisCode::Script("fn process( {".to_string());
             assert!(matches!(
-                instantiate_code(&syntax_err, &reg, backend),
+                instantiate_code(&syntax_err, &reg, backend, fusion),
                 Err(CoreError::Code(_))
             ));
 
             let no_process = AnalysisCode::Script("fn init() { }".to_string());
             assert!(matches!(
-                instantiate_code(&no_process, &reg, backend),
+                instantiate_code(&no_process, &reg, backend, fusion),
                 Err(CoreError::Code(m)) if m.contains("process")
             ));
         }
@@ -632,6 +649,7 @@ mod tests {
             &AnalysisCode::Script(script.into()),
             &reg,
             ScriptBackend::from_env(),
+            ScriptFusion::from_env(),
         )
         .unwrap();
         let mut script_host = AidaHost::new();
@@ -707,8 +725,13 @@ mod tests {
         let script = "fn init() { h1(\"/p\", 20, 0.0, 200.0); }\n\
                       fn process(t) { fill(\"/p\", t.price); }";
         for backend in [ScriptBackend::Interp, ScriptBackend::Vm] {
-            let mut analyzer =
-                instantiate_code(&AnalysisCode::Script(script.into()), &reg, backend).unwrap();
+            let mut analyzer = instantiate_code(
+                &AnalysisCode::Script(script.into()),
+                &reg,
+                backend,
+                ScriptFusion::from_env(),
+            )
+            .unwrap();
             let mut host = AidaHost::new();
             analyzer.init(&mut host).unwrap();
             assert_eq!(Arc::strong_count(&batch), 1);
@@ -761,19 +784,23 @@ mod tests {
             }
         "#;
         let reg = NativeRegistry::new();
+        let reg2 = &reg;
+        let make = |backend, fusion| {
+            instantiate_code(&AnalysisCode::Script(script.into()), reg2, backend, fusion).unwrap()
+        };
         for backend in [ScriptBackend::Interp, ScriptBackend::Vm] {
-            let mut row =
-                instantiate_code(&AnalysisCode::Script(script.into()), &reg, backend).unwrap();
-            let mut row_host = AidaHost::new();
-            run_analyzer_batch(row.as_mut(), &batch, None, &mut row_host).unwrap();
+            for fusion in [ScriptFusion::Off, ScriptFusion::Super, ScriptFusion::Kernel] {
+                let mut row = make(backend, fusion);
+                let mut row_host = AidaHost::new();
+                run_analyzer_batch(row.as_mut(), &batch, None, &mut row_host).unwrap();
 
-            let mut col =
-                instantiate_code(&AnalysisCode::Script(script.into()), &reg, backend).unwrap();
-            let mut col_host = AidaHost::new();
-            run_analyzer_batch(col.as_mut(), &batch, Some(&columns), &mut col_host).unwrap();
+                let mut col = make(backend, fusion);
+                let mut col_host = AidaHost::new();
+                run_analyzer_batch(col.as_mut(), &batch, Some(&columns), &mut col_host).unwrap();
 
-            assert_eq!(row_host.tree, col_host.tree, "{backend}");
-            assert!(row_host.tree.total_entries() > 0);
+                assert_eq!(row_host.tree, col_host.tree, "{backend}/{fusion}");
+                assert!(row_host.tree.total_entries() > 0);
+            }
         }
     }
 

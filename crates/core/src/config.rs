@@ -1,7 +1,7 @@
 //! Site / session configuration.
 
 use ipa_dataset::DataLayout;
-use ipa_script::ScriptBackend;
+use ipa_script::{ScriptBackend, ScriptFusion};
 use serde::{Deserialize, Serialize};
 
 use crate::sched::SchedulerPolicy;
@@ -88,6 +88,14 @@ pub struct IpaConfig {
     /// otherwise.
     #[serde(default = "ScriptBackend::from_env")]
     pub script_backend: ScriptBackend,
+    /// How aggressively the script compile pipeline fuses the analyze
+    /// body (`off` = the resolver's raw op stream, `super` = peephole
+    /// superinstructions, `kernel` = superinstructions plus the
+    /// vectorized batch kernel over columnar parts). Results are
+    /// bit-identical across levels. Defaults to the `IPA_SCRIPT_FUSION`
+    /// environment variable when set, `kernel` otherwise.
+    #[serde(default = "ScriptFusion::from_env")]
+    pub script_fusion: ScriptFusion,
     /// In-memory layout the data plane stages parts in. `columnar`
     /// transcodes each part once at staging time so engines evaluate over
     /// column slices with bulk histogram fills; `row` keeps the record
@@ -243,6 +251,7 @@ impl Default for IpaConfig {
             stage_queue_depth: default_stage_queue_depth(),
             split_cache: default_split_cache(),
             script_backend: ScriptBackend::from_env(),
+            script_fusion: ScriptFusion::from_env(),
             data_layout: DataLayout::from_env(),
             journal: default_journal(),
             journal_dir: default_journal_dir(),
@@ -294,8 +303,9 @@ mod tests {
         assert!(c.stage_overlap);
         assert_eq!(c.stage_queue_depth, 4);
         assert!(c.split_cache);
-        // The script backend defaults in as well.
+        // The script backend and fusion level default in as well.
         assert_eq!(c.script_backend, ScriptBackend::from_env());
+        assert_eq!(c.script_fusion, ScriptFusion::from_env());
         // So does the data-plane layout.
         assert_eq!(c.data_layout, DataLayout::from_env());
         // Journal knobs (newest) default in too.
@@ -322,6 +332,18 @@ mod tests {
         c.script_backend = ScriptBackend::Vm;
         let json = serde_json::to_string(&c).unwrap();
         assert!(json.contains("\"script_backend\":\"vm\""), "{json}");
+    }
+
+    #[test]
+    fn script_fusion_round_trips_through_json() {
+        let c = IpaConfig {
+            script_fusion: ScriptFusion::Super,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("\"script_fusion\":\"super\""), "{json}");
+        let back: IpaConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.script_fusion, ScriptFusion::Super);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use ipa_aida::Tree;
 use ipa_dataset::{AnyRecord, ColumnBatch};
-use ipa_script::{AidaHost, ScriptBackend};
+use ipa_script::{AidaHost, ScriptBackend, ScriptFusion};
 
 use crate::aida_manager::{PartPayload, PartUpdate};
 use crate::analyzer::{instantiate_code, AnalysisCode, Analyzer, NativeRegistry};
@@ -178,6 +178,9 @@ struct EngineWorker {
     /// Script execution backend handed to `instantiate_code` (native
     /// analyzers ignore it).
     backend: ScriptBackend,
+    /// Script fusion level handed to `instantiate_code` alongside the
+    /// backend (superinstructions and/or the batch kernel).
+    fusion: ScriptFusion,
     events: Sender<EngineEvent>,
     commands: Receiver<EngineCommand>,
 
@@ -279,7 +282,7 @@ impl EngineWorker {
         let Some(code) = &self.code else {
             return Err("no code loaded".to_string());
         };
-        match instantiate_code(code, &self.registry, self.backend) {
+        match instantiate_code(code, &self.registry, self.backend, self.fusion) {
             Ok(a) => {
                 self.analyzer = Some(a);
                 self.needs_init = true;
@@ -632,13 +635,15 @@ impl EngineHandle {
     /// on `events`. `checkpoint_every` controls the delta stream: a
     /// full-tree checkpoint every that-many publishes, deltas in between
     /// (1 = checkpoint every publish, the legacy full-clone behavior).
-    /// `backend` picks the IPAScript execution backend for script code.
+    /// `backend` picks the IPAScript execution backend for script code and
+    /// `fusion` its compile-pipeline fusion level.
     pub fn spawn(
         id: EngineId,
         publish_every: usize,
         checkpoint_every: usize,
         registry: NativeRegistry,
         backend: ScriptBackend,
+        fusion: ScriptFusion,
         events: Sender<EngineEvent>,
     ) -> Self {
         let (tx, rx) = unbounded();
@@ -648,6 +653,7 @@ impl EngineHandle {
             checkpoint_every: checkpoint_every.max(1),
             registry,
             backend,
+            fusion,
             events,
             commands: rx,
             code: None,
@@ -784,7 +790,7 @@ mod tests {
     fn engine_lifecycle_ready_load_run_done() {
         let (tx, rx) = unbounded();
         let mut e =
-            EngineHandle::spawn(0, 100, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+            EngineHandle::spawn(0, 100, 1, builtin_registry(), ScriptBackend::from_env(), ScriptFusion::from_env(), tx);
         recv_until(&rx, |ev| matches!(ev, EngineEvent::Ready { .. }));
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
@@ -819,7 +825,7 @@ mod tests {
     fn partial_updates_arrive_between_batches() -> Result<(), CoreError> {
         let (tx, rx) = unbounded();
         let mut e =
-            EngineHandle::spawn(1, 50, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+            EngineHandle::spawn(1, 50, 1, builtin_registry(), ScriptBackend::from_env(), ScriptFusion::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -857,6 +863,7 @@ mod tests {
             1,
             builtin_registry(),
             ScriptBackend::from_env(),
+            ScriptFusion::from_env(),
             tx,
         );
         e.send(EngineCommand::LoadCode {
@@ -898,6 +905,7 @@ mod tests {
             1,
             builtin_registry(),
             ScriptBackend::from_env(),
+            ScriptFusion::from_env(),
             tx,
         );
         e.send(EngineCommand::LoadCode {
@@ -946,7 +954,7 @@ mod tests {
     fn injected_failure_emits_failed_event() {
         let (tx, rx) = unbounded();
         let mut e =
-            EngineHandle::spawn(4, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+            EngineHandle::spawn(4, 10, 1, builtin_registry(), ScriptBackend::from_env(), ScriptFusion::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -980,6 +988,7 @@ mod tests {
             1,
             builtin_registry(),
             ScriptBackend::from_env(),
+            ScriptFusion::from_env(),
             tx,
         );
         e.send(EngineCommand::LoadCode {
@@ -1010,7 +1019,7 @@ mod tests {
         // FailAfter(0): the engine must die before processing anything.
         let (tx, rx) = unbounded();
         let mut e =
-            EngineHandle::spawn(9, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+            EngineHandle::spawn(9, 10, 1, builtin_registry(), ScriptBackend::from_env(), ScriptFusion::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -1037,7 +1046,7 @@ mod tests {
     fn stop_drops_position_so_run_restarts_the_part() -> Result<(), CoreError> {
         let (tx, rx) = unbounded();
         let mut e =
-            EngineHandle::spawn(10, 50, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+            EngineHandle::spawn(10, 50, 1, builtin_registry(), ScriptBackend::from_env(), ScriptFusion::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -1083,6 +1092,7 @@ mod tests {
             1,
             builtin_registry(),
             ScriptBackend::from_env(),
+            ScriptFusion::from_env(),
             tx,
         );
         e.send(EngineCommand::LoadCode {
@@ -1122,6 +1132,7 @@ mod tests {
             1,
             builtin_registry(),
             ScriptBackend::from_env(),
+            ScriptFusion::from_env(),
             tx,
         );
         e.send(EngineCommand::LoadCode {
@@ -1160,7 +1171,7 @@ mod tests {
         // scheduled checkpoint, 6th is the done checkpoint).
         let (tx, rx) = unbounded();
         let mut e =
-            EngineHandle::spawn(13, 50, 4, builtin_registry(), ScriptBackend::from_env(), tx);
+            EngineHandle::spawn(13, 50, 4, builtin_registry(), ScriptBackend::from_env(), ScriptFusion::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Native("higgs-search".into()),
             epoch: 0,
@@ -1215,6 +1226,7 @@ mod tests {
             1,
             builtin_registry(),
             ScriptBackend::from_env(),
+            ScriptFusion::from_env(),
             tx2,
         );
         e2.send(EngineCommand::LoadCode {
@@ -1252,6 +1264,7 @@ mod tests {
             1000,
             builtin_registry(),
             ScriptBackend::from_env(),
+            ScriptFusion::from_env(),
             tx,
         );
         e.send(EngineCommand::LoadCode {
@@ -1286,7 +1299,7 @@ mod tests {
     fn bad_script_reports_code_error() {
         let (tx, rx) = unbounded();
         let mut e =
-            EngineHandle::spawn(5, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+            EngineHandle::spawn(5, 10, 1, builtin_registry(), ScriptBackend::from_env(), ScriptFusion::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Script("fn broken( {".into()),
             epoch: 0,
@@ -1299,7 +1312,7 @@ mod tests {
     fn run_without_code_fails_gracefully() {
         let (tx, rx) = unbounded();
         let mut e =
-            EngineHandle::spawn(6, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+            EngineHandle::spawn(6, 10, 1, builtin_registry(), ScriptBackend::from_env(), ScriptFusion::from_env(), tx);
         e.send(EngineCommand::AssignPart {
             part: 0,
             records: records(10),
@@ -1319,7 +1332,7 @@ mod tests {
     fn script_logs_are_forwarded() {
         let (tx, rx) = unbounded();
         let mut e =
-            EngineHandle::spawn(7, 10, 1, builtin_registry(), ScriptBackend::from_env(), tx);
+            EngineHandle::spawn(7, 10, 1, builtin_registry(), ScriptBackend::from_env(), ScriptFusion::from_env(), tx);
         e.send(EngineCommand::LoadCode {
             code: AnalysisCode::Script("fn init() { log(\"booked\"); } fn process(ev) { }".into()),
             epoch: 0,
@@ -1363,6 +1376,7 @@ mod tests {
                     1,
                     builtin_registry(),
                     ScriptBackend::from_env(),
+                    ScriptFusion::from_env(),
                     tx,
                 );
                 e.send(EngineCommand::LoadCode {

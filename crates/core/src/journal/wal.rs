@@ -314,7 +314,8 @@ mod tests {
         backend.append(&encode_record(b"old")).unwrap();
         let fresh = encode_record(b"compacted");
         backend.replace(&fresh).unwrap();
-        let (got, _) = decode_records(&backend.read_all().unwrap());
+        let bytes = backend.read_all().unwrap();
+        let (got, _) = decode_records(&bytes);
         assert_eq!(got, vec![b"compacted".as_slice()]);
     }
 }

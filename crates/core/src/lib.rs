@@ -72,7 +72,7 @@ pub use config::IpaConfig;
 pub use engine::{EngineCommand, EngineEvent, EngineHandle, EngineId, Epoch, PartId};
 pub use error::CoreError;
 pub use gateway::{WsClient, WsGateway, WsRequest, WsResponse};
-pub use ipa_script::ScriptBackend;
+pub use ipa_script::{ScriptBackend, ScriptFusion};
 pub use journal::{
     decode_events, replay, session_journal_path, JournalBackend, JournalEvent, RecoveredState,
     SessionJournal, SessionSnapshot,

@@ -238,6 +238,7 @@ impl ManagerNode {
                         self.config.checkpoint_every,
                         self.registry.clone(),
                         self.config.script_backend,
+                        self.config.script_fusion,
                         events_tx.clone(),
                     )
                 })
@@ -320,6 +321,7 @@ impl ManagerNode {
                         self.config.checkpoint_every,
                         self.registry.clone(),
                         self.config.script_backend,
+                        self.config.script_fusion,
                         events_tx.clone(),
                     )
                 })

@@ -47,7 +47,7 @@ use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use ipa_script::ScriptBackend;
+use ipa_script::{ScriptBackend, ScriptFusion};
 use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 
@@ -92,6 +92,7 @@ struct PoolInner {
     publish_every: usize,
     checkpoint_every: usize,
     backend: ScriptBackend,
+    fusion: ScriptFusion,
     registry: NativeRegistry,
     /// VO → fair-share weight, snapshotted from the security domain's
     /// policies at pool construction.
@@ -205,6 +206,7 @@ impl EnginePool {
                 publish_every: config.publish_every,
                 checkpoint_every: config.checkpoint_every,
                 backend: config.script_backend,
+                fusion: config.script_fusion,
                 registry,
                 shares,
                 state: Mutex::new(PoolState::default()),
@@ -258,6 +260,7 @@ impl EnginePool {
                             inner.checkpoint_every,
                             inner.registry.clone(),
                             inner.backend,
+                            inner.fusion,
                             inner.sink.clone(),
                         );
                         inner.engines_spawned.fetch_add(1, Ordering::Relaxed);
@@ -474,7 +477,7 @@ mod tests {
         // revocation, but nobody polls to honor it here, so the lease
         // times out empty and reports exhaustion.
         let (tx2, _rx2) = unbounded();
-        let err = p.lease(2, "ilc", 1, &tx2).unwrap_err();
+        let err = p.lease(2, "ilc", 1, &tx2).err().expect("lease must fail");
         assert!(matches!(err, CoreError::PoolExhausted { requested: 1 }));
         assert!(p.revocations_requested(1) > 0);
         drop(held);

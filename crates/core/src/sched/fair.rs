@@ -87,7 +87,7 @@ pub fn pick_victims(
         .iter()
         .filter_map(|h| {
             let e = ent.get(&h.session).copied().unwrap_or(1);
-            (h.held > e).then_some((h.session, h.held - e))
+            (h.held > e).then(|| (h.session, h.held - e))
         })
         .collect();
     over.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));

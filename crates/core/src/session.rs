@@ -566,7 +566,12 @@ impl Session {
         self.check_open()?;
         // Validate before shipping (scripts compile; natives must exist on
         // the engines' registry, which mirrors this one).
-        instantiate_code(&code, &self.local_registry(), self.config.script_backend)?;
+        instantiate_code(
+            &code,
+            &self.local_registry(),
+            self.config.script_backend,
+            self.config.script_fusion,
+        )?;
         if !self.parts.is_empty() {
             // Re-stage so the new code reprocesses the *whole* dataset:
             // under micro-partitioning the engines only hold the parts

@@ -18,6 +18,7 @@
 
 use std::collections::HashMap;
 
+use crate::ast::BinOp;
 use crate::stdlib::Builtin;
 use crate::value::Value;
 
@@ -211,6 +212,56 @@ pub enum Op {
     /// `break`/`continue` outside any loop inside a function body: a
     /// runtime error attributed to the function's definition line.
     LooseBreak,
+
+    // --- Superinstructions (emitted only by the `fuse` pass). Each one
+    // replays the exact semantics of its constituent ops — same values,
+    // same errors, same error lines (the fuse pass only fuses windows
+    // whose ops share one source line) — but costs a single dispatch and
+    // a single unit of fuel.
+    /// `LoadLocal{slot} + FieldGet{field}`: read a field of a record held
+    /// in a bound local without pushing the record itself.
+    LocalFieldGet {
+        /// Local slot holding the record.
+        slot: u16,
+        /// Interned variable name (diagnostics).
+        name: u16,
+        /// Interned field name.
+        field: u16,
+    },
+    /// `LoadLocal{slot} + Const(cidx) + <binop>`: push
+    /// `local <op> consts[cidx]`.
+    LocalConstBin {
+        /// Local slot of the left operand.
+        slot: u16,
+        /// Interned variable name (diagnostics).
+        name: u16,
+        /// Constant-pool index of the right operand.
+        cidx: u16,
+        /// The fused binary operator (never `And`/`Or`).
+        op: BinOp,
+    },
+    /// `<cmp> + JumpIfFalse(target)`: pop two operands, compare, branch
+    /// when the comparison is falsy without materializing the Bool.
+    CmpJump {
+        /// The fused comparison (`Eq`/`Ne`/`Lt`/`Le`/`Gt`/`Ge`).
+        op: BinOp,
+        /// Branch target when the comparison is false.
+        target: u32,
+    },
+    /// `FieldGet{name} + Const(cidx) + <cmp> + JumpIfFalse(target)`: the
+    /// canonical guard shape `if rec.field <cmp> k { … }`. Pops the
+    /// record, compares its field against the constant, branches when
+    /// falsy.
+    FieldConstCmpJump {
+        /// Interned field name.
+        name: u16,
+        /// Constant-pool index of the comparison operand.
+        cidx: u16,
+        /// The fused comparison (`Eq`/`Ne`/`Lt`/`Le`/`Gt`/`Ge`).
+        op: BinOp,
+        /// Branch target when the comparison is false.
+        target: u32,
+    },
 }
 
 /// A compiled function body (or the synthetic top-level body).

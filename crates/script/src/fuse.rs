@@ -1,0 +1,299 @@
+//! Superinstruction fusion: a peephole pass over compiled bytecode.
+//!
+//! The resolver emits one [`Op`] per AST step; a handful of multi-op
+//! shapes dominate per-record analysis bodies (`rec.field` reads, guard
+//! comparisons against constants, compare-and-branch). This pass rewrites
+//! those windows into single superinstructions so the VM pays one
+//! dispatch — and one unit of fuel — per pattern instead of per op. Fuel
+//! accounting therefore becomes per-*dispatch*: a fused loop body burns
+//! fuel proportional to its backedges, not its source op count. Runaway
+//! loops still exhaust fuel; exact fuel counts across fusion levels
+//! diverge by design, exactly as they already do between the tree-walk
+//! and the VM.
+//!
+//! Safety rules — a window is fused only when:
+//!
+//! 1. **No jump lands strictly inside it.** A target equal to the window
+//!    start is fine (the fused op inherits it); a target past the end is
+//!    fine (the next instruction inherits it). Anything in between would
+//!    vanish.
+//! 2. **Every constituent op carries the same source line**, so a fused
+//!    op reports runtime errors on exactly the line the unfused stream
+//!    would have.
+//!
+//! After emission every absolute jump target is remapped through the
+//! old-pc → new-pc table. With fusion off this module is never invoked
+//! and the op stream is byte-for-byte the resolver's output.
+
+use crate::ast::BinOp;
+use crate::bytecode::{CompiledScript, FnProto, Op};
+
+/// Fuse every function body (and the top level) of `script` in place.
+pub fn fuse(script: &mut CompiledScript) {
+    fuse_proto(&mut script.top_level);
+    for proto in &mut script.protos {
+        fuse_proto(proto);
+    }
+}
+
+/// The bare stack binop encoded by `op`, if any (`And`/`Or` compile to
+/// short-circuit jumps, never to bare ops).
+fn bare_binop(op: Op) -> Option<BinOp> {
+    Some(match op {
+        Op::Add => BinOp::Add,
+        Op::Sub => BinOp::Sub,
+        Op::Mul => BinOp::Mul,
+        Op::Div => BinOp::Div,
+        Op::Rem => BinOp::Rem,
+        _ => return cmp_binop(op),
+    })
+}
+
+/// The comparison binop encoded by `op`, if any.
+fn cmp_binop(op: Op) -> Option<BinOp> {
+    Some(match op {
+        Op::Eq => BinOp::Eq,
+        Op::Ne => BinOp::Ne,
+        Op::Lt => BinOp::Lt,
+        Op::Le => BinOp::Le,
+        Op::Gt => BinOp::Gt,
+        Op::Ge => BinOp::Ge,
+        _ => return None,
+    })
+}
+
+/// Every absolute jump target in `code` (positions that must survive).
+fn jump_targets(code: &[Op]) -> Vec<bool> {
+    let mut targeted = vec![false; code.len() + 1];
+    for op in code {
+        match *op {
+            Op::Jump(t)
+            | Op::JumpIfFalse(t)
+            | Op::AndCircuit(t)
+            | Op::OrCircuit(t)
+            | Op::IterNext { done: t, .. } => targeted[t as usize] = true,
+            _ => {}
+        }
+    }
+    targeted
+}
+
+fn fuse_proto(proto: &mut FnProto) {
+    let code = &proto.code;
+    let lines = &proto.lines;
+    let targeted = jump_targets(code);
+
+    // A window [s, s+len) is fusable when no jump lands strictly inside
+    // it and all its ops share one source line.
+    let window_ok = |s: usize, len: usize| -> bool {
+        s + len <= code.len()
+            && !(s + 1..s + len).any(|i| targeted[i])
+            && (s + 1..s + len).all(|i| lines[i] == lines[s])
+    };
+    // `FieldGet + Const + <cmp> + JumpIfFalse` starting at `s`?
+    let guard_at = |s: usize| -> Option<(u16, u16, BinOp, u32)> {
+        match (
+            code.get(s),
+            code.get(s + 1),
+            code.get(s + 2).copied().and_then(cmp_binop),
+            code.get(s + 3),
+        ) {
+            (
+                Some(&Op::FieldGet { name }),
+                Some(&Op::Const(cidx)),
+                Some(op),
+                Some(&Op::JumpIfFalse(target)),
+            ) if window_ok(s, 4) => Some((name, cidx, op, target)),
+            _ => None,
+        }
+    };
+
+    let mut new_code: Vec<Op> = Vec::with_capacity(code.len());
+    let mut new_lines: Vec<u32> = Vec::with_capacity(code.len());
+    let mut map: Vec<u32> = vec![0; code.len() + 1];
+
+    let mut i = 0;
+    while i < code.len() {
+        let new_pc = new_code.len() as u32;
+        // Interior positions of a fused window are never jump targets
+        // (checked above); map them to the fused op defensively.
+        let (op, len) = fused_at(code, i, &window_ok, &guard_at);
+        for slot in &mut map[i..i + len] {
+            *slot = new_pc;
+        }
+        new_code.push(op);
+        new_lines.push(lines[i]);
+        i += len;
+    }
+    map[code.len()] = new_code.len() as u32;
+
+    // Remap every absolute target through the old-pc → new-pc table.
+    for op in &mut new_code {
+        match op {
+            Op::Jump(t)
+            | Op::JumpIfFalse(t)
+            | Op::AndCircuit(t)
+            | Op::OrCircuit(t)
+            | Op::IterNext { done: t, .. }
+            | Op::CmpJump { target: t, .. }
+            | Op::FieldConstCmpJump { target: t, .. } => *t = map[*t as usize],
+            _ => {}
+        }
+    }
+
+    proto.code = new_code;
+    proto.lines = new_lines;
+}
+
+/// The (possibly fused) op starting at `i` and how many source ops it
+/// consumes. Longest profitable pattern wins, with one lookahead
+/// exception: a `LoadLocal` directly ahead of a 4-op guard window stays
+/// unfused so the guard can take the bigger fusion.
+fn fused_at(
+    code: &[Op],
+    i: usize,
+    window_ok: &dyn Fn(usize, usize) -> bool,
+    guard_at: &dyn Fn(usize) -> Option<(u16, u16, BinOp, u32)>,
+) -> (Op, usize) {
+    if let Some((name, cidx, op, target)) = guard_at(i) {
+        return (
+            Op::FieldConstCmpJump {
+                name,
+                cidx,
+                op,
+                target,
+            },
+            4,
+        );
+    }
+    if let Op::LoadLocal { slot, name } = code[i] {
+        if guard_at(i + 1).is_none() {
+            if let (Some(&Op::Const(cidx)), Some(op)) = (
+                code.get(i + 1),
+                code.get(i + 2).copied().and_then(bare_binop),
+            ) {
+                if window_ok(i, 3) {
+                    return (
+                        Op::LocalConstBin {
+                            slot,
+                            name,
+                            cidx,
+                            op,
+                        },
+                        3,
+                    );
+                }
+            }
+            if let Some(&Op::FieldGet { name: field }) = code.get(i + 1) {
+                if window_ok(i, 2) {
+                    return (Op::LocalFieldGet { slot, name, field }, 2);
+                }
+            }
+        }
+    }
+    if let Some(op) = cmp_binop(code[i]) {
+        if let Some(&Op::JumpIfFalse(target)) = code.get(i + 1) {
+            if window_ok(i, 2) {
+                return (Op::CmpJump { op, target }, 2);
+            }
+        }
+    }
+    (code[i], 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::compile;
+    use crate::resolve::compile_program;
+
+    fn fused(src: &str) -> CompiledScript {
+        let mut s = compile_program(&compile(src).unwrap()).unwrap();
+        fuse(&mut s);
+        s
+    }
+
+    fn proc_code(s: &CompiledScript) -> &[Op] {
+        let idx = s.fn_index["process"];
+        &s.protos[idx as usize].code
+    }
+
+    #[test]
+    fn guard_shape_becomes_field_const_cmp_jump() {
+        let s = fused("fn process(e) { if e.n_btags >= 2 { log(\"hi\"); } }");
+        let code = proc_code(&s);
+        assert!(
+            code.iter()
+                .any(|op| matches!(op, Op::FieldConstCmpJump { op: BinOp::Ge, .. })),
+            "expected a fused guard in {code:?}"
+        );
+        // The LoadLocal ahead of the guard stays unfused.
+        assert!(code.iter().any(|op| matches!(op, Op::LoadLocal { .. })));
+    }
+
+    #[test]
+    fn local_field_reads_fuse() {
+        let s = fused("fn process(e) { let m = e.bb_mass; }");
+        assert!(proc_code(&s)
+            .iter()
+            .any(|op| matches!(op, Op::LocalFieldGet { .. })));
+    }
+
+    #[test]
+    fn local_const_binop_fuses() {
+        let s = fused("fn process(e) { let m = 1; let k = m + 2; }");
+        assert!(proc_code(&s)
+            .iter()
+            .any(|op| matches!(op, Op::LocalConstBin { op: BinOp::Add, .. })));
+    }
+
+    #[test]
+    fn compare_and_branch_fuses() {
+        let s = fused("fn process(e) { let m = e.x; if m != null { log(\"y\"); } }");
+        assert!(proc_code(&s)
+            .iter()
+            .any(|op| matches!(op, Op::CmpJump { op: BinOp::Ne, .. })));
+    }
+
+    #[test]
+    fn jump_targets_survive_remapping() {
+        // A while loop whose body contains fusable windows: the backedge
+        // and exit targets must still point at real instructions.
+        let src = "fn process(e) {\n  let i = 0;\n  while i < 3 { i = i + 1; }\n}";
+        let s = fused(src);
+        let code = proc_code(&s);
+        for op in code {
+            if let Op::Jump(t) | Op::JumpIfFalse(t) | Op::CmpJump { target: t, .. } = op {
+                assert!((*t as usize) <= code.len(), "target {t} out of range");
+            }
+        }
+        // Execute it to prove the rewritten control flow is sound.
+        let mut vm = crate::vm::Vm::new(s);
+        let mut host = crate::interp::NullHost;
+        vm.run_init(&mut host).unwrap();
+        use crate::ScriptEngine;
+        vm.process(
+            &mut host,
+            crate::value::RecordRef::one(std::sync::Arc::new(ipa_dataset::AnyRecord::Dna(
+                ipa_dataset::DnaRead {
+                    read_id: 0,
+                    sample: 1,
+                    bases: "ACGT".into(),
+                    quality: 1.0,
+                },
+            ))),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn mixed_line_windows_do_not_fuse() {
+        // The guard spans two source lines: FieldGet on line 2, the
+        // comparison pieces on line 3 — no 4-op fusion may form.
+        let src = "fn process(e) { if e.\nx\n>= 2 { log(\"z\"); } }";
+        let s = fused(src);
+        assert!(!proc_code(&s)
+            .iter()
+            .any(|op| matches!(op, Op::FieldConstCmpJump { .. })));
+    }
+}

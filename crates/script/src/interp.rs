@@ -962,4 +962,8 @@ impl crate::ScriptEngine for Interpreter {
     fn backend(&self) -> crate::ScriptBackend {
         crate::ScriptBackend::Interp
     }
+
+    fn fuel_budget(&self) -> u64 {
+        self.fuel_budget
+    }
 }

@@ -43,7 +43,9 @@
 pub mod ast;
 pub mod bytecode;
 pub mod error;
+pub mod fuse;
 pub mod interp;
+pub mod kernel;
 pub mod lexer;
 pub mod parser;
 pub mod resolve;
@@ -54,6 +56,7 @@ pub mod vm;
 pub use ast::Program;
 pub use error::ScriptError;
 pub use interp::{AidaHost, Host, Interpreter, NullHost, DEFAULT_FUEL};
+pub use kernel::{run_fused, BatchKernel};
 pub use parser::compile;
 pub use stdlib::Builtin;
 pub use value::{RecordRef, Value};
@@ -95,6 +98,51 @@ impl std::fmt::Display for ScriptBackend {
     }
 }
 
+/// How aggressively the bytecode pipeline fuses ops. The tree-walk
+/// interpreter ignores this knob; the unfused VM (`Off`) and the
+/// interpreter stay available as differential oracles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ScriptFusion {
+    /// No fusion: the exact per-op bytecode stream the resolver emits.
+    Off,
+    /// Peephole superinstructions only ([`fuse::fuse`]): dominant multi-op
+    /// patterns collapse into one dispatch, fuel charged per dispatch.
+    Super,
+    /// Superinstructions plus the [`BatchKernel`]: eligible `process`
+    /// bodies execute vectorized over `ColumnBatch` slices, falling back
+    /// to the per-record VM loop otherwise. The default.
+    #[default]
+    Kernel,
+}
+
+impl ScriptFusion {
+    /// Read the fusion level from `IPA_SCRIPT_FUSION` (`off`/`super`/
+    /// `kernel`), defaulting to [`ScriptFusion::Kernel`] when unset or
+    /// unrecognized.
+    pub fn from_env() -> Self {
+        match std::env::var("IPA_SCRIPT_FUSION") {
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "off" | "none" => ScriptFusion::Off,
+                "super" | "superinstruction" | "peephole" => ScriptFusion::Super,
+                "kernel" | "batch" => ScriptFusion::Kernel,
+                _ => ScriptFusion::default(),
+            },
+            Err(_) => ScriptFusion::default(),
+        }
+    }
+}
+
+impl std::fmt::Display for ScriptFusion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScriptFusion::Off => write!(f, "off"),
+            ScriptFusion::Super => write!(f, "super"),
+            ScriptFusion::Kernel => write!(f, "kernel"),
+        }
+    }
+}
+
 /// A running script: either backend, same observable behavior. The engine
 /// holds one per analysis and drives it through the standard lifecycle —
 /// `run_init` once, `process` per record, `run_end` after the last one.
@@ -132,33 +180,51 @@ pub trait ScriptEngine: Send {
     }
     /// Drop any column binding (row-path field reads resume).
     fn unbind_columns(&mut self) {}
+    /// The per-entry-point fuel budget currently in force. The batch
+    /// kernel uses this to prove fuel exhaustion is unobservable before
+    /// skipping per-op accounting.
+    fn fuel_budget(&self) -> u64 {
+        DEFAULT_FUEL
+    }
 }
 
-/// Build a script engine for `program` using the requested backend.
+/// Build a script engine for `program` using the requested backend and
+/// fusion level.
 ///
 /// Compilation to bytecode can fail only on pathological inputs (more than
 /// 65 535 constants, identifiers, or functions); the tree-walk never fails
-/// to construct.
+/// to construct. Fusion applies to the VM only: `Super` and `Kernel` run
+/// the [`fuse`] peephole pass over the compiled code (the kernel itself is
+/// constructed by the caller via [`BatchKernel::compile`]); `Off` leaves
+/// the resolver's op stream untouched.
 pub fn engine_for(
     program: &Program,
     backend: ScriptBackend,
+    fusion: ScriptFusion,
 ) -> Result<Box<dyn ScriptEngine>, ScriptError> {
     match backend {
         ScriptBackend::Interp => Ok(Box::new(Interpreter::new(program))),
-        ScriptBackend::Vm => Ok(Box::new(Vm::new(resolve::compile_program(program)?))),
+        ScriptBackend::Vm => {
+            let mut compiled = resolve::compile_program(program)?;
+            if fusion != ScriptFusion::Off {
+                fuse::fuse(&mut compiled);
+            }
+            Ok(Box::new(Vm::new(compiled)))
+        }
     }
 }
 
 /// Convenience: compile a script and run it against a host as an analysis —
 /// `init()`, `process(record)` per record, then `end()`. Uses the backend
-/// selected by `IPA_SCRIPT_BACKEND` (default: the bytecode VM).
+/// selected by `IPA_SCRIPT_BACKEND` (default: the bytecode VM) and the
+/// fusion level from `IPA_SCRIPT_FUSION`.
 pub fn run_analysis(
     source: &str,
     records: &[ipa_dataset::AnyRecord],
     host: &mut dyn Host,
 ) -> Result<(), ScriptError> {
     let program = compile(source)?;
-    let mut engine = engine_for(&program, ScriptBackend::from_env())?;
+    let mut engine = engine_for(&program, ScriptBackend::from_env(), ScriptFusion::from_env())?;
     engine.run_init(host)?;
     for r in records {
         engine.process(host, RecordRef::one(std::sync::Arc::new(r.clone())))?;
@@ -179,10 +245,27 @@ mod tests {
     }
 
     #[test]
+    fn default_fusion_is_the_kernel() {
+        assert_eq!(ScriptFusion::default(), ScriptFusion::Kernel);
+        assert_eq!(ScriptFusion::Off.to_string(), "off");
+        assert_eq!(ScriptFusion::Super.to_string(), "super");
+        assert_eq!(ScriptFusion::Kernel.to_string(), "kernel");
+    }
+
+    #[test]
+    fn fusion_serde_round_trips() {
+        for f in [ScriptFusion::Off, ScriptFusion::Super, ScriptFusion::Kernel] {
+            let json = serde_json::to_string(&f).unwrap();
+            assert_eq!(json, format!("\"{f}\""));
+            assert_eq!(serde_json::from_str::<ScriptFusion>(&json).unwrap(), f);
+        }
+    }
+
+    #[test]
     fn engine_for_builds_both_backends() {
         let p = compile("fn process(e) { }").unwrap();
-        let interp = engine_for(&p, ScriptBackend::Interp).unwrap();
-        let vm = engine_for(&p, ScriptBackend::Vm).unwrap();
+        let interp = engine_for(&p, ScriptBackend::Interp, ScriptFusion::Off).unwrap();
+        let vm = engine_for(&p, ScriptBackend::Vm, ScriptFusion::Kernel).unwrap();
         assert_eq!(interp.backend(), ScriptBackend::Interp);
         assert_eq!(vm.backend(), ScriptBackend::Vm);
     }

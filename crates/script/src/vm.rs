@@ -10,6 +10,7 @@
 //! the shared helpers in [`crate::interp`], keeping the two backends
 //! bit-for-bit identical in results and error messages.
 
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 use ipa_dataset::{AnyRecord, ColumnBatch};
@@ -31,6 +32,58 @@ use crate::value::{RecordRef, Value};
 struct Frame {
     locals: Vec<Option<Value>>,
     stack: Vec<Value>,
+    /// Per-slot `LoadEither` resolution cache, parallel to `locals`:
+    /// `true` means the last probe found the local unbound and the global
+    /// bound, so subsequent loads read the global directly. Globals never
+    /// unbind within a VM's lifetime; anything that *binds* the local slot
+    /// (`StoreLocal`, `StoreEither`'s implicit creation, `IterInit`)
+    /// clears the entry.
+    either_global: Vec<bool>,
+}
+
+thread_local! {
+    /// Frames recycled across *all* VMs on this thread, not per-VM: an
+    /// engine thread builds a fresh `Vm` per part, and per-VM pools would
+    /// re-allocate every frame at each part boundary. Engines are
+    /// single-threaded, so a thread-local needs no locking.
+    static FRAME_POOL: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    /// Pool misses on this thread (a fresh `Frame` had to be allocated).
+    static FRAME_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// How many frames this thread has allocated fresh because the pool was
+/// empty. Steady-state processing keeps this flat — the allocation-count
+/// regression tests assert exactly that across part boundaries.
+pub fn frame_allocations() -> u64 {
+    FRAME_ALLOCS.with(|c| c.get())
+}
+
+/// Check a cleared frame out of the thread pool, sized for `n_slots`.
+fn take_frame(n_slots: usize) -> Frame {
+    let mut f = FRAME_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_else(|| {
+        FRAME_ALLOCS.with(|c| c.set(c.get() + 1));
+        Frame::default()
+    });
+    f.locals.clear();
+    f.locals.resize(n_slots, None);
+    f.either_global.clear();
+    f.either_global.resize(n_slots, false);
+    f.stack.clear();
+    f
+}
+
+/// Return a frame to the thread pool (values dropped, buffers kept).
+fn put_frame(mut f: Frame) {
+    f.locals.clear();
+    f.stack.clear();
+    FRAME_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        // Cap the pool at the call-depth limit: that is the most frames
+        // any execution can have live at once.
+        if p.len() < MAX_DEPTH {
+            p.push(f);
+        }
+    });
 }
 
 /// A columnar view of the part currently streaming through the VM. Field
@@ -57,8 +110,6 @@ pub struct Vm {
     fuel_budget: u64,
     fuel: u64,
     depth: usize,
-    /// Recycled frames: steady-state calls allocate nothing.
-    pool: Vec<Frame>,
     init_fn: Option<u16>,
     process_fn: Option<u16>,
     end_fn: Option<u16>,
@@ -80,7 +131,6 @@ impl Vm {
             fuel_budget: DEFAULT_FUEL,
             fuel: DEFAULT_FUEL,
             depth: 0,
-            pool: Vec::new(),
             init_fn,
             process_fn,
             end_fn,
@@ -122,16 +172,18 @@ impl Vm {
         self
     }
 
+    /// The per-entry-point fuel budget currently in force.
+    pub fn fuel_budget(&self) -> u64 {
+        self.fuel_budget
+    }
+
     /// Run the top-level body (promoting its locals to globals on
     /// success), then `init()` if defined. Call once per run.
     pub fn run_init(&mut self, host: &mut dyn Host) -> Result<(), ScriptError> {
         self.fuel = self.fuel_budget;
         let script = Arc::clone(&self.script);
         let proto = &script.top_level;
-        let mut frame = self.pool.pop().unwrap_or_default();
-        frame.locals.clear();
-        frame.locals.resize(proto.n_slots as usize, None);
-        frame.stack.clear();
+        let mut frame = take_frame(proto.n_slots as usize);
         let r = self.exec(&script, proto, &mut frame, host);
         if r.is_ok() {
             // Promote bound top-level locals into their global slots; an
@@ -142,9 +194,7 @@ impl Vm {
                 }
             }
         }
-        frame.locals.clear();
-        frame.stack.clear();
-        self.pool.push(frame);
+        put_frame(frame);
         r?;
         if let Some(idx) = self.init_fn {
             // Shares the budget refilled above — no second reset, matching
@@ -226,10 +276,7 @@ impl Vm {
         if self.depth >= MAX_DEPTH {
             return Err(ScriptError::StackOverflow);
         }
-        let mut frame = self.pool.pop().unwrap_or_default();
-        frame.locals.clear();
-        frame.locals.resize(proto.n_slots as usize, None);
-        frame.stack.clear();
+        let mut frame = take_frame(proto.n_slots as usize);
         // Duplicate parameter names share a slot: later args overwrite.
         for (k, v) in args.into_iter().enumerate() {
             frame.locals[proto.params[k] as usize] = Some(v);
@@ -237,10 +284,40 @@ impl Vm {
         self.depth += 1;
         let r = self.exec(&script, proto, &mut frame, host);
         self.depth -= 1;
-        frame.locals.clear();
-        frame.stack.clear();
-        self.pool.push(frame);
+        put_frame(frame);
         r
+    }
+
+    /// Read field `name` of `target`, preferring the column-bound fast
+    /// path: when the target is a handle into the bound batch, the
+    /// transcoded column is read directly instead of dispatching a
+    /// name-keyed field lookup. `ColumnBatch` round-trips are
+    /// bit-identical to `RecordFields::field`, and the miss error matches
+    /// `field_value` exactly. Shared by `FieldGet` and the fused
+    /// `LocalFieldGet`/`FieldConstCmpJump` superinstructions.
+    fn read_field(
+        &self,
+        script: &CompiledScript,
+        target: &Value,
+        name: u16,
+        line: u32,
+    ) -> Result<Value, ScriptError> {
+        if let (Value::Record(RecordRef::Batch { batch, index }), Some(b)) = (target, &self.bound) {
+            if Arc::ptr_eq(batch, &b.records) {
+                return match b.cols[name as usize] {
+                    Some(ci) => Ok(Value::from_field(b.columns.field_at(ci as usize, *index))),
+                    None => Err(ScriptError::runtime(
+                        format!(
+                            "record kind '{}' has no field '{}'",
+                            b.columns.kind(),
+                            script.names[name as usize]
+                        ),
+                        line,
+                    )),
+                };
+            }
+        }
+        field_value(target, script.names[name as usize].as_str(), line)
     }
 
     /// The dispatch loop. `script` is an `Arc` clone held by the caller so
@@ -284,18 +361,28 @@ impl Vm {
                     global,
                     name,
                 } => {
-                    let v = frame.locals[local as usize]
-                        .clone()
-                        .or_else(|| self.globals[global as usize].clone());
-                    match v {
-                        Some(v) => frame.stack.push(v),
-                        None => return Err(unknown_var(script, name, line)),
+                    if frame.either_global[local as usize] {
+                        // Cached resolution: the local was unbound at the
+                        // last probe and globals never unbind, so the
+                        // global read cannot fail.
+                        let v = self.globals[global as usize]
+                            .clone()
+                            .expect("cached either-global unbound");
+                        frame.stack.push(v);
+                    } else if let Some(v) = frame.locals[local as usize].clone() {
+                        frame.stack.push(v);
+                    } else if let Some(v) = self.globals[global as usize].clone() {
+                        frame.either_global[local as usize] = true;
+                        frame.stack.push(v);
+                    } else {
+                        return Err(unknown_var(script, name, line));
                     }
                 }
                 Op::LoadUndef { name } => return Err(unknown_var(script, name, line)),
                 Op::StoreLocal { slot } => {
                     let v = frame.stack.pop().expect("operand stack underflow");
                     frame.locals[slot as usize] = Some(v);
+                    frame.either_global[slot as usize] = false;
                 }
                 Op::StoreEither { local, global } => {
                     let v = frame.stack.pop().expect("operand stack underflow");
@@ -306,6 +393,7 @@ impl Vm {
                     } else {
                         // Implicit creation in the current scope.
                         frame.locals[local as usize] = Some(v);
+                        frame.either_global[local as usize] = false;
                     }
                 }
                 Op::IndexSetLocal { name, .. }
@@ -391,44 +479,20 @@ impl Vm {
                 }
                 Op::FieldGet { name } => {
                     let t = frame.stack.pop().expect("operand stack underflow");
-                    // Column-bound fast path: when the target is a handle
-                    // into the bound batch, read the transcoded column
-                    // instead of dispatching a name-keyed field lookup.
-                    // `ColumnBatch` round-trips are bit-identical to
-                    // `RecordFields::field`, and both error strings below
-                    // match `field_value` exactly.
-                    if let (Value::Record(RecordRef::Batch { batch, index }), Some(b)) =
-                        (&t, &self.bound)
-                    {
-                        if Arc::ptr_eq(batch, &b.records) {
-                            match b.cols[name as usize] {
-                                Some(ci) => {
-                                    frame.stack.push(Value::from_field(
-                                        b.columns.field_at(ci as usize, *index),
-                                    ));
-                                    continue;
-                                }
-                                None => {
-                                    return Err(ScriptError::runtime(
-                                        format!(
-                                            "record kind '{}' has no field '{}'",
-                                            b.columns.kind(),
-                                            script.names[name as usize]
-                                        ),
-                                        line,
-                                    ));
-                                }
-                            }
-                        }
-                    }
-                    let field = script.names[name as usize].as_str();
-                    frame.stack.push(field_value(&t, field, line)?);
+                    let v = self.read_field(script, &t, name, line)?;
+                    frame.stack.push(v);
                 }
                 Op::RangeStart => {
                     let v = frame.stack.last().expect("operand stack underflow");
                     if v.as_num().is_none() {
                         return Err(ScriptError::runtime("range start must be numeric", line));
                     }
+                }
+                Op::RangeOutsideFor => {
+                    return Err(ScriptError::runtime(
+                        "a range is only valid in 'for … in'",
+                        line,
+                    ));
                 }
                 Op::RangeToArray => {
                     let end = frame.stack.pop().expect("operand stack underflow");
@@ -454,6 +518,8 @@ impl Vm {
                         Value::Array(_) => {
                             frame.locals[iter as usize] = Some(v);
                             frame.locals[idx as usize] = Some(Value::Num(0.0));
+                            frame.either_global[iter as usize] = false;
+                            frame.either_global[idx as usize] = false;
                         }
                         other => {
                             return Err(ScriptError::runtime(
@@ -503,19 +569,14 @@ impl Vm {
                         return Err(ScriptError::StackOverflow);
                     }
                     let base = frame.stack.len() - argc;
-                    let mut callee_frame = self.pool.pop().unwrap_or_default();
-                    callee_frame.locals.clear();
-                    callee_frame.locals.resize(callee.n_slots as usize, None);
-                    callee_frame.stack.clear();
+                    let mut callee_frame = take_frame(callee.n_slots as usize);
                     for (k, v) in frame.stack.drain(base..).enumerate() {
                         callee_frame.locals[callee.params[k] as usize] = Some(v);
                     }
                     self.depth += 1;
                     let r = self.exec(script, callee, &mut callee_frame, host);
                     self.depth -= 1;
-                    callee_frame.locals.clear();
-                    callee_frame.stack.clear();
-                    self.pool.push(callee_frame);
+                    put_frame(callee_frame);
                     frame.stack.push(r?);
                 }
                 Op::CallBuiltin { builtin, argc } => {
@@ -534,6 +595,47 @@ impl Vm {
                 Op::ReturnNull | Op::Halt => return Ok(Value::Null),
                 Op::LooseBreak => {
                     return Err(ScriptError::runtime("break/continue outside a loop", line));
+                }
+                // --- Superinstructions: one dispatch (and one unit of
+                // fuel) per fused pattern, same values/errors/lines as
+                // the constituent ops.
+                Op::LocalFieldGet { slot, name, field } => {
+                    let v = match &frame.locals[slot as usize] {
+                        Some(rec) => self.read_field(script, rec, field, line)?,
+                        None => return Err(unknown_var(script, name, line)),
+                    };
+                    frame.stack.push(v);
+                }
+                Op::LocalConstBin {
+                    slot,
+                    name,
+                    cidx,
+                    op,
+                } => {
+                    let v = match &frame.locals[slot as usize] {
+                        Some(l) => eval_binary_values(op, l, &script.consts[cidx as usize], line)?,
+                        None => return Err(unknown_var(script, name, line)),
+                    };
+                    frame.stack.push(v);
+                }
+                Op::CmpJump { op, target } => {
+                    let r = frame.stack.pop().expect("operand stack underflow");
+                    let l = frame.stack.pop().expect("operand stack underflow");
+                    if !eval_binary_values(op, &l, &r, line)?.truthy() {
+                        pc = target as usize;
+                    }
+                }
+                Op::FieldConstCmpJump {
+                    name,
+                    cidx,
+                    op,
+                    target,
+                } => {
+                    let t = frame.stack.pop().expect("operand stack underflow");
+                    let fv = self.read_field(script, &t, name, line)?;
+                    if !eval_binary_values(op, &fv, &script.consts[cidx as usize], line)?.truthy() {
+                        pc = target as usize;
+                    }
                 }
             }
         }
@@ -587,6 +689,10 @@ impl crate::ScriptEngine for Vm {
 
     fn backend(&self) -> crate::ScriptBackend {
         crate::ScriptBackend::Vm
+    }
+
+    fn fuel_budget(&self) -> u64 {
+        Vm::fuel_budget(self)
     }
 
     fn bind_columns(&mut self, records: &Arc<Vec<AnyRecord>>, columns: &Arc<ColumnBatch>) {
@@ -788,5 +894,53 @@ mod tests {
 
         v.unbind_columns();
         assert_eq!(v.global("total"), Some(Value::Num(expected)));
+    }
+
+    #[test]
+    fn frame_pool_survives_part_boundaries() {
+        // An engine builds a fresh Vm per part; the frame pool is
+        // thread-local, so the second "part" must process without a
+        // single new frame allocation.
+        let src = "fn helper(x) { return x * 2; }\nfn process(t) { let v = helper(t.volume); }";
+        let records = trade_batch();
+        let run_part = |records: &Arc<Vec<AnyRecord>>| {
+            let mut v = vm(src);
+            v.run_init(&mut NullHost).unwrap();
+            for i in 0..records.len() {
+                ScriptEngine::process(&mut v, &mut NullHost, RecordRef::batch(records.clone(), i))
+                    .unwrap();
+            }
+        };
+        run_part(&records); // warm the pool
+        let before = frame_allocations();
+        run_part(&records); // a brand-new Vm — same thread, same pool
+        assert_eq!(
+            frame_allocations(),
+            before,
+            "second part allocated fresh frames instead of reusing the pool"
+        );
+    }
+
+    #[test]
+    fn load_either_cache_respects_shadowing() {
+        // `x` is global; `process` reads it (caching the global
+        // resolution), mutates it through the cached path, then binds a
+        // shadowing local `x` mid-body — later reads must see the local,
+        // and the next call must start on the global again.
+        let src = "let x = 10;\nlet a = 0;\nlet b = 0;\nfn process(t) {\n  a = a + x;\n  if t.volume > 103 { x = x + 1; let x = 1000; b = b + x; }\n}";
+        let mut v = vm(src);
+        v.run_init(&mut NullHost).unwrap();
+        let records = trade_batch();
+        for i in 0..6 {
+            ScriptEngine::process(&mut v, &mut NullHost, RecordRef::batch(records.clone(), i))
+                .unwrap();
+        }
+        // Records 0..=3 (volumes 100..=103) skip the branch: a = 4 × 10.
+        // Record 4 reads x=10 (a=50) then bumps the global to 11 and adds
+        // the shadowed local (b=1000). Record 5 reads the *updated*
+        // global 11 (a=61), bumps it to 12, adds the local again (b=2000).
+        assert_eq!(v.global("x"), Some(Value::Num(12.0)));
+        assert_eq!(v.global("a"), Some(Value::Num(61.0)));
+        assert_eq!(v.global("b"), Some(Value::Num(2000.0)));
     }
 }

@@ -11,12 +11,12 @@ use std::sync::Arc;
 use ipa_dataset::{AnyRecord, CollisionEvent, DnaRead, FourVector, Particle};
 use ipa_script::{
     compile, engine_for, AidaHost, Interpreter, NullHost, RecordRef, ScriptBackend, ScriptEngine,
-    ScriptError, Value,
+    ScriptError, ScriptFusion, Value,
 };
 
 fn engine(src: &str) -> Box<dyn ScriptEngine> {
     let p = compile(src).unwrap();
-    engine_for(&p, ScriptBackend::from_env()).unwrap()
+    engine_for(&p, ScriptBackend::from_env(), ScriptFusion::from_env()).unwrap()
 }
 
 fn process(
@@ -412,7 +412,7 @@ fn both_backends_agree_on_a_small_analysis() {
     let p = compile(src).unwrap();
     let mut trees = Vec::new();
     for backend in [ScriptBackend::Interp, ScriptBackend::Vm] {
-        let mut e = engine_for(&p, backend).unwrap();
+        let mut e = engine_for(&p, backend, ScriptFusion::from_env()).unwrap();
         let mut host = AidaHost::new();
         e.run_init(&mut host).unwrap();
         for m in [10.0, 11.0, 12.0] {
@@ -433,7 +433,7 @@ fn no_per_record_deep_clone_either_backend() {
     let src = "let keep = null; fn process(e) { keep = e; }";
     let p = compile(src).unwrap();
     for backend in [ScriptBackend::Interp, ScriptBackend::Vm] {
-        let mut e = engine_for(&p, backend).unwrap();
+        let mut e = engine_for(&p, backend, ScriptFusion::from_env()).unwrap();
         e.run_init(&mut NullHost).unwrap();
         let batch = Arc::new(vec![higgs_event(120.0)]);
         let before = Arc::strong_count(&batch);

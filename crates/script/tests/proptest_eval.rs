@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 
-use ipa_script::{compile, engine_for, NullHost, ScriptBackend, ScriptError, Value};
+use ipa_script::{compile, engine_for, NullHost, ScriptBackend, ScriptError, ScriptFusion, Value};
 
 /// A reference expression we can both render to IPAScript and evaluate in
 /// Rust.
@@ -72,7 +72,7 @@ fn arb_expr() -> impl Strategy<Value = RExpr> {
 
 fn run_main(src: &str) -> Result<Value, ScriptError> {
     let p = compile(src)?;
-    let mut e = engine_for(&p, ScriptBackend::from_env())?;
+    let mut e = engine_for(&p, ScriptBackend::from_env(), ScriptFusion::from_env())?;
     e.call("main", vec![], &mut NullHost)
 }
 
@@ -113,7 +113,7 @@ proptest! {
             "fn main() {{ let i = 0; while i < {bound} {{ i = i + 1; }} return i; }}"
         );
         let p = compile(&src).unwrap();
-        let mut e = engine_for(&p, ScriptBackend::from_env()).unwrap();
+        let mut e = engine_for(&p, ScriptBackend::from_env(), ScriptFusion::from_env()).unwrap();
         e.set_fuel(50_000);
         match e.call("main", vec![], &mut NullHost) {
             Ok(Value::Num(v)) => prop_assert_eq!(v, bound as f64),

@@ -1,19 +1,44 @@
-//! Differential tests: the bytecode VM against the tree-walk oracle.
+//! Differential tests: every execution mode against the tree-walk oracle.
 //!
 //! Random programs — including ones that error at runtime — are executed
-//! by both backends through the full analysis lifecycle, and the entire
-//! observable transcript must match: every `Result` (errors compared
-//! exactly, message and line included), every global, every host message,
-//! and the final AIDA tree bin-for-bin. Both backends funnel operator and
-//! builtin semantics through shared helpers, so any divergence here is a
-//! compiler or VM bug, not a formatting nit.
+//! by every mode of the engine matrix through the full analysis
+//! lifecycle, and the entire observable transcript must match: every
+//! `Result` (errors compared exactly, message and line included), every
+//! global, every host message, and the final AIDA tree bin-for-bin. The
+//! matrix covers both backends and every fusion level:
+//!
+//! * `interp` — the AST tree-walk (the semantic oracle),
+//! * `vm` with fusion `off` — the resolver's raw op stream,
+//! * `vm` with fusion `super` — peephole superinstructions,
+//! * `vm` with fusion `kernel` — superinstructions plus the vectorized
+//!   batch kernel over `ColumnBatch` parts (with per-record fallback).
+//!
+//! Two paths drive the matrix: the per-record `process` path (mixed-type
+//! record slices) and the batch path through [`run_fused`] (uniform
+//! parts with a columnar transcode, where the kernel actually runs).
+//! Both backends funnel operator and builtin semantics through shared
+//! helpers, so any divergence here is a compiler, fuser, or kernel bug,
+//! not a formatting nit.
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use ipa_dataset::{AnyRecord, CollisionEvent, DnaRead, FourVector, Particle};
-use ipa_script::{compile, engine_for, AidaHost, NullHost, RecordRef, ScriptBackend, ScriptError};
+use ipa_dataset::{
+    AnyRecord, CollisionEvent, ColumnBatch, DnaRead, FourVector, Particle, TradeRecord,
+};
+use ipa_script::{
+    compile, engine_for, run_fused, AidaHost, BatchKernel, NullHost, RecordRef, ScriptBackend,
+    ScriptError, ScriptFusion,
+};
+
+/// The full mode matrix, oracle first.
+const MODES: [(ScriptBackend, ScriptFusion); 4] = [
+    (ScriptBackend::Interp, ScriptFusion::Off),
+    (ScriptBackend::Vm, ScriptFusion::Off),
+    (ScriptBackend::Vm, ScriptFusion::Super),
+    (ScriptBackend::Vm, ScriptFusion::Kernel),
+];
 
 fn higgs_event(mass_pair: f64) -> AnyRecord {
     let half = mass_pair / 2.0;
@@ -38,16 +63,36 @@ fn dna_read() -> AnyRecord {
     })
 }
 
-/// Run the full lifecycle on one backend and record everything a user
-/// could observe. Trees are compared separately (they don't Debug-print
-/// their full contents).
+fn trades(n: usize) -> Arc<Vec<AnyRecord>> {
+    Arc::new(
+        (0..n)
+            .map(|i| {
+                AnyRecord::Trade(TradeRecord {
+                    trade_id: i as u64,
+                    timestamp_ms: 1_000 * i as u64,
+                    symbol: "IPA".into(),
+                    price: 100.0 + (i as f64) * 0.75,
+                    volume: 50 + (i as u32 % 90),
+                    buyer_initiated: i % 3 == 0,
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Run the full lifecycle on one mode via the per-record path and record
+/// everything a user could observe. The tree goes in as a `Debug` dump:
+/// the derived `Debug` prints every bin, and it sidesteps the
+/// `NaN != NaN` hole in the derived `PartialEq` (empty stats carry NaN
+/// min/max).
 fn transcript(
     src: &str,
     backend: ScriptBackend,
+    fusion: ScriptFusion,
     records: &[AnyRecord],
-) -> (Vec<String>, ipa_aida::Tree) {
+) -> Vec<String> {
     let p = compile(src).expect("generated source parses");
-    let mut e = engine_for(&p, backend).expect("program resolves");
+    let mut e = engine_for(&p, backend, fusion).expect("program resolves");
     let mut host = AidaHost::new();
     let mut out = Vec::new();
     out.push(format!("init: {:?}", e.run_init(&mut host)));
@@ -63,14 +108,66 @@ fn transcript(
         out.push(format!("global {g}: {:?}", e.global(g)));
     }
     out.push(format!("messages: {:?}", host.messages));
-    (out, host.tree)
+    out.push(format!("tree: {:?}", host.tree));
+    out
+}
+
+/// Run the full lifecycle on one mode via the batch path — the engine's
+/// real dispatch: a columnar transcode when the part is uniform, the
+/// batch kernel when the mode builds one, per-record fallback otherwise.
+fn batch_transcript(
+    src: &str,
+    backend: ScriptBackend,
+    fusion: ScriptFusion,
+    records: &Arc<Vec<AnyRecord>>,
+) -> Vec<String> {
+    let p = compile(src).expect("generated source parses");
+    let mut e = engine_for(&p, backend, fusion).expect("program resolves");
+    let mut kernel = (backend == ScriptBackend::Vm && fusion == ScriptFusion::Kernel)
+        .then(|| BatchKernel::compile(&p))
+        .flatten();
+    let columns = ColumnBatch::from_records(records).map(Arc::new);
+    let mut host = AidaHost::new();
+    let mut out = Vec::new();
+    out.push(format!("init: {:?}", e.run_init(&mut host)));
+    let (done, err) = run_fused(
+        e.as_mut(),
+        kernel.as_mut(),
+        records,
+        columns.as_ref(),
+        0..records.len(),
+        &mut host,
+    );
+    out.push(format!("batch: done={done} err={err:?}"));
+    out.push(format!("end: {:?}", e.run_end(&mut host)));
+    for g in ["g0", "g1", "a", "b", "seen", "cut"] {
+        out.push(format!("global {g}: {:?}", e.global(g)));
+    }
+    out.push(format!("messages: {:?}", host.messages));
+    out.push(format!("tree: {:?}", host.tree));
+    out
 }
 
 fn assert_backends_agree(src: &str, records: &[AnyRecord]) {
-    let (interp_log, interp_tree) = transcript(src, ScriptBackend::Interp, records);
-    let (vm_log, vm_tree) = transcript(src, ScriptBackend::Vm, records);
-    assert_eq!(interp_log, vm_log, "transcript diverged for:\n{src}");
-    assert_eq!(interp_tree, vm_tree, "result tree diverged for:\n{src}");
+    let want = transcript(src, MODES[0].0, MODES[0].1, records);
+    for (backend, fusion) in &MODES[1..] {
+        let got = transcript(src, *backend, *fusion, records);
+        assert_eq!(
+            want, got,
+            "per-record transcript diverged for {backend}/{fusion}:\n{src}"
+        );
+    }
+}
+
+fn assert_fusion_modes_agree(src: &str, records: &Arc<Vec<AnyRecord>>) {
+    let want = batch_transcript(src, MODES[0].0, MODES[0].1, records);
+    for (backend, fusion) in &MODES[1..] {
+        let got = batch_transcript(src, *backend, *fusion, records);
+        assert_eq!(
+            want, got,
+            "batch transcript diverged for {backend}/{fusion}:\n{src}"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -311,12 +408,215 @@ fn render_program(
     s
 }
 
+// ---------------------------------------------------------------------------
+// Kernel-shaped generation: straight-line `process` bodies of `let`
+// bindings over trade fields, guarded fills, and weighted fills — the
+// shape `BatchKernel::compile` targets — salted with constructs that are
+// deliberately *ineligible* (log calls, global mutation, string fields),
+// so the matrix exercises the vectorized path, the bind-time fallback,
+// and the compile-time fallback side by side.
+
+/// Trade fields the generator reads. `symbol` is a string column (bind
+/// falls back), `absent` is not a field at all (reads null per record,
+/// missing column in the batch).
+const KFIELDS: [&str; 6] = [
+    "price",
+    "volume",
+    "trade_id",
+    "buyer_initiated",
+    "symbol",
+    "absent",
+];
+const KPATHS: [&str; 3] = ["/k/h0", "/k/h1", "/k/h2"];
+const KMATH1: [&str; 5] = ["abs", "floor", "ceil", "round", "sqrt"];
+const KBINOPS: [&str; 12] = [
+    "+", "-", "*", "/", "<", "<=", ">", ">=", "==", "!=", "&&", "||",
+];
+
+#[derive(Debug, Clone)]
+enum KgExpr {
+    Num(i8),
+    Field(u8),
+    /// The `cut` global.
+    Global,
+    /// One of the two leading `let` bindings.
+    Local(u8),
+    Bin(u8, Box<KgExpr>, Box<KgExpr>),
+    Neg(Box<KgExpr>),
+    Not(Box<KgExpr>),
+    IsNull(Box<KgExpr>),
+    Math1(u8, Box<KgExpr>),
+}
+
+impl KgExpr {
+    fn render(&self, out: &mut String) {
+        match self {
+            KgExpr::Num(n) => {
+                if *n < 0 {
+                    out.push_str(&format!("({n})"));
+                } else {
+                    out.push_str(&n.to_string());
+                }
+            }
+            KgExpr::Field(i) => {
+                out.push_str("t.");
+                out.push_str(KFIELDS[*i as usize % KFIELDS.len()]);
+            }
+            KgExpr::Global => out.push_str("cut"),
+            KgExpr::Local(i) => out.push_str(if i % 2 == 0 { "l0" } else { "l1" }),
+            KgExpr::Bin(op, l, r) => {
+                out.push('(');
+                l.render(out);
+                out.push_str(&format!(" {} ", KBINOPS[*op as usize % KBINOPS.len()]));
+                r.render(out);
+                out.push(')');
+            }
+            KgExpr::Neg(e) => {
+                out.push_str("(-");
+                e.render(out);
+                out.push(')');
+            }
+            KgExpr::Not(e) => {
+                out.push_str("(!");
+                e.render(out);
+                out.push(')');
+            }
+            KgExpr::IsNull(e) => {
+                out.push_str("is_null(");
+                e.render(out);
+                out.push(')');
+            }
+            KgExpr::Math1(f, e) => {
+                out.push_str(KMATH1[*f as usize % KMATH1.len()]);
+                out.push('(');
+                e.render(out);
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum KgStmt {
+    /// `fill(path, x)` / `fill(path, x, w)` with a literal weight.
+    Fill(u8, KgExpr, Option<i8>),
+    /// `fill(path, x, w)` with an expression weight.
+    FillWeighted(u8, KgExpr, KgExpr),
+    /// `if cond { fills… }` — branches hold only fills, as the kernel
+    /// requires.
+    Guard(KgExpr, Vec<(u8, KgExpr)>),
+    /// Compile-time ineligible: a host call that is not a fill.
+    Log(KgExpr),
+    /// Compile-time ineligible: global mutation.
+    GlobalBump,
+}
+
+impl KgStmt {
+    fn render(&self, out: &mut String) {
+        match self {
+            KgStmt::Fill(p, x, w) => {
+                out.push_str(&format!("fill(\"{}\", ", KPATHS[*p as usize % KPATHS.len()]));
+                x.render(out);
+                if let Some(w) = w {
+                    out.push_str(&format!(", {w}"));
+                }
+                out.push_str(");\n");
+            }
+            KgStmt::FillWeighted(p, x, w) => {
+                out.push_str(&format!("fill(\"{}\", ", KPATHS[*p as usize % KPATHS.len()]));
+                x.render(out);
+                out.push_str(", ");
+                w.render(out);
+                out.push_str(");\n");
+            }
+            KgStmt::Guard(cond, fills) => {
+                out.push_str("if ");
+                cond.render(out);
+                out.push_str(" {\n");
+                for (p, x) in fills {
+                    out.push_str(&format!("fill(\"{}\", ", KPATHS[*p as usize % KPATHS.len()]));
+                    x.render(out);
+                    out.push_str(");\n");
+                }
+                out.push_str("}\n");
+            }
+            KgStmt::Log(e) => {
+                out.push_str("log(str(");
+                e.render(out);
+                out.push_str("));\n");
+            }
+            KgStmt::GlobalBump => out.push_str("seen = seen + 1;\n"),
+        }
+    }
+}
+
+fn arb_kernel_expr() -> impl Strategy<Value = KgExpr> {
+    let leaf = prop_oneof![
+        (-9i8..10).prop_map(KgExpr::Num),
+        (0u8..6).prop_map(KgExpr::Field),
+        (0u8..2).prop_map(KgExpr::Local),
+        (0u8..2).prop_map(|_| KgExpr::Global),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (0u8..12, inner.clone(), inner.clone()).prop_map(|(op, l, r)| KgExpr::Bin(
+                op,
+                Box::new(l),
+                Box::new(r)
+            )),
+            inner.clone().prop_map(|e| KgExpr::Neg(Box::new(e))),
+            inner.clone().prop_map(|e| KgExpr::Not(Box::new(e))),
+            inner.clone().prop_map(|e| KgExpr::IsNull(Box::new(e))),
+            (0u8..5, inner).prop_map(|(f, e)| KgExpr::Math1(f, Box::new(e))),
+        ]
+    })
+}
+
+fn arb_kernel_body() -> impl Strategy<Value = Vec<KgStmt>> {
+    let fill_pair = (0u8..3, arb_kernel_expr());
+    let stmt = prop_oneof![
+        (0u8..3, arb_kernel_expr(), prop_oneof![
+            (0i8..1).prop_map(|_| None),
+            (1i8..5).prop_map(Some),
+        ])
+        .prop_map(|(p, x, w)| KgStmt::Fill(p, x, w)),
+        (0u8..3, arb_kernel_expr(), arb_kernel_expr())
+            .prop_map(|(p, x, w)| KgStmt::FillWeighted(p, x, w)),
+        (arb_kernel_expr(), prop::collection::vec(fill_pair, 1..3))
+            .prop_map(|(c, f)| KgStmt::Guard(c, f)),
+        arb_kernel_expr().prop_map(KgStmt::Log),
+        (0u8..1).prop_map(|_| KgStmt::GlobalBump),
+    ];
+    prop::collection::vec(stmt, 0..5)
+}
+
+fn render_kernel_program(l0: &KgExpr, l1: &KgExpr, body: &[KgStmt]) -> String {
+    let mut s = String::new();
+    s.push_str("let cut = 3;\nlet seen = 0;\n");
+    s.push_str("fn init() {\n");
+    for p in KPATHS {
+        s.push_str(&format!("h1(\"{p}\", 16, 0.0, 400.0);\n"));
+    }
+    s.push_str("}\n");
+    s.push_str("fn process(t) {\nlet l0 = ");
+    l0.render(&mut s);
+    s.push_str(";\nlet l1 = ");
+    l1.render(&mut s);
+    s.push_str(";\n");
+    for st in body {
+        st.render(&mut s);
+    }
+    s.push_str("}\n");
+    s
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// The tentpole property: for random programs over the full lifecycle,
-    /// the VM and the tree-walk produce identical transcripts — values,
-    /// errors (message and line), globals, log output, and result trees.
+    /// every mode in the matrix produces a transcript identical to the
+    /// tree-walk's — values, errors (message and line), globals, log
+    /// output, and result trees.
     #[test]
     fn vm_matches_interp(
         init_g0 in arb_expr(),
@@ -331,12 +631,34 @@ proptest! {
         );
         let records = [higgs_event(120.0), dna_read(), higgs_event(80.0)];
         // Generated programs are bounded (loops ≤ 4 iterations, helper
-        // recursion cut by the depth limit), so neither backend can come
-        // near the default fuel budget and fuel never skews the outcome.
-        let (interp_log, interp_tree) = transcript(&src, ScriptBackend::Interp, &records);
-        let (vm_log, vm_tree) = transcript(&src, ScriptBackend::Vm, &records);
-        prop_assert_eq!(interp_log, vm_log, "transcript diverged for:\n{}", &src);
-        prop_assert_eq!(interp_tree, vm_tree, "result tree diverged for:\n{}", &src);
+        // recursion cut by the depth limit), so no mode can come near the
+        // default fuel budget and fuel never skews the outcome.
+        let want = transcript(&src, MODES[0].0, MODES[0].1, &records);
+        for (backend, fusion) in &MODES[1..] {
+            let got = transcript(&src, *backend, *fusion, &records);
+            prop_assert_eq!(&want, &got, "transcript diverged for {}/{}:\n{}", backend, fusion, &src);
+        }
+    }
+
+    /// The fusion axis over the batch path: kernel-shaped random programs
+    /// (and near misses that must fall back) run over a uniform trade
+    /// part with its columnar transcode, in every mode. The kernel's
+    /// bulk fills, selection masks, and fallback boundaries must be
+    /// transcript-identical to per-record execution.
+    #[test]
+    fn fusion_modes_agree_on_uniform_batches(
+        l0 in arb_kernel_expr(),
+        l1 in arb_kernel_expr(),
+        body in arb_kernel_body(),
+        n in 1usize..48,
+    ) {
+        let src = render_kernel_program(&l0, &l1, &body);
+        let records = trades(n);
+        let want = batch_transcript(&src, MODES[0].0, MODES[0].1, &records);
+        for (backend, fusion) in &MODES[1..] {
+            let got = batch_transcript(&src, *backend, *fusion, &records);
+            prop_assert_eq!(&want, &got, "batch diverged for {}/{}:\n{}", backend, fusion, &src);
+        }
     }
 }
 
@@ -420,11 +742,11 @@ fn fuel_exhaustion_hits_both_backends() {
     // but an unbounded loop must end in OutOfFuel on both.
     let src = "fn main() { while true { } }";
     let p = compile(src).unwrap();
-    for backend in [ScriptBackend::Interp, ScriptBackend::Vm] {
-        let mut e = engine_for(&p, backend).unwrap();
+    for (backend, fusion) in MODES {
+        let mut e = engine_for(&p, backend, fusion).unwrap();
         e.set_fuel(20_000);
         let err = e.call("main", vec![], &mut NullHost).unwrap_err();
-        assert_eq!(err, ScriptError::OutOfFuel, "{backend}");
+        assert_eq!(err, ScriptError::OutOfFuel, "{backend}/{fusion}");
     }
 }
 
@@ -435,13 +757,13 @@ fn fuel_error_ordering_is_stable_per_backend() {
     // switch from AST-node accounting to per-op accounting.
     let src = "fn main() { let i = 0; while true { i = i + 1; if i > 50 { return zzz; } } }";
     let p = compile(src).unwrap();
-    for backend in [ScriptBackend::Interp, ScriptBackend::Vm] {
-        let mut e = engine_for(&p, backend).unwrap();
+    for (backend, fusion) in MODES {
+        let mut e = engine_for(&p, backend, fusion).unwrap();
         let err = e.call("main", vec![], &mut NullHost).unwrap_err();
         assert_eq!(
             err,
             ScriptError::runtime("unknown variable 'zzz'", 1),
-            "{backend}"
+            "{backend}/{fusion}"
         );
     }
 }
@@ -453,4 +775,132 @@ fn multibyte_string_literals_agree() {
     assert_backends_agree(src, &[]);
     let src = "fn main() { return upper(\"gattaca µ\"); }";
     assert_backends_agree(src, &[]);
+}
+
+// ---------------------------------------------------------------------------
+// Fallback-boundary corners for the batch kernel: each one pins *where*
+// the fallback happens (compile time vs bind time vs probe time) and that
+// the observable transcript is unchanged by it.
+
+#[test]
+fn string_guard_is_compile_time_ineligible_and_agrees() {
+    // A string literal in the guard predicate is outside the kernel's
+    // expression language: `BatchKernel::compile` must refuse, and the
+    // per-record fallback must still fill every row (all symbols match).
+    let src = r#"
+        fn init() { h1("/s/h", 16, 0.0, 400.0); }
+        fn process(t) {
+            if t.symbol == "IPA" { fill("/s/h", t.price); }
+        }
+    "#;
+    assert!(BatchKernel::compile(&compile(src).unwrap()).is_none());
+    assert_fusion_modes_agree(src, &trades(64));
+}
+
+#[test]
+fn global_mutation_is_compile_time_ineligible_and_agrees() {
+    // Writing a global from `process` cannot vectorize (each record
+    // observes the previous record's write). The transcript — including
+    // the final value of `seen` — must match per-record execution.
+    let src = r#"
+        let seen = 0;
+        fn init() { h1("/g/h", 16, 0.0, 400.0); }
+        fn process(t) {
+            seen = seen + 1;
+            fill("/g/h", t.volume);
+        }
+    "#;
+    assert!(BatchKernel::compile(&compile(src).unwrap()).is_none());
+    assert_fusion_modes_agree(src, &trades(33));
+}
+
+#[test]
+fn string_column_read_falls_back_at_bind_time() {
+    // `t.symbol` is an eligible *name* at compile time but binds to a
+    // string column, which the kernel cannot evaluate: compile succeeds,
+    // bind refuses, and every mode reports the identical per-row error
+    // (a string is not a number) at the identical row.
+    let src = r#"
+        fn init() { h1("/b/h", 16, 0.0, 400.0); }
+        fn process(t) {
+            fill("/b/h", t.symbol + 1);
+        }
+    "#;
+    assert!(BatchKernel::compile(&compile(src).unwrap()).is_some());
+    assert_fusion_modes_agree(src, &trades(8));
+}
+
+#[test]
+fn missing_column_falls_back_at_bind_time() {
+    // `t.absent` reads null per record and has no column at all in the
+    // batch: the kernel binds `None` and the fallback's null-guarded
+    // fills never fire — in every mode.
+    let src = r#"
+        fn init() { h1("/m/h", 16, 0.0, 400.0); h1("/m/v", 16, 0.0, 400.0); }
+        fn process(t) {
+            let a = t.absent;
+            if a != null { fill("/m/h", a); }
+            fill("/m/v", t.volume);
+        }
+    "#;
+    assert!(BatchKernel::compile(&compile(src).unwrap()).is_some());
+    assert_fusion_modes_agree(src, &trades(21));
+}
+
+#[test]
+fn mixed_type_batch_has_no_columns_and_agrees() {
+    // A part mixing record types has no columnar transcode: `run_fused`
+    // gets `columns: None` and every mode degrades to the plain
+    // per-record loop over `RecordRef::batch` handles.
+    let src = r#"
+        fn init() { h1("/x/h", 10, 0.0, 10.0); }
+        fn process(r) {
+            let n = r.n_particles;
+            if n != null { fill("/x/h", n); }
+        }
+    "#;
+    let records = Arc::new(vec![higgs_event(120.0), dna_read(), higgs_event(80.0)]);
+    assert!(ColumnBatch::from_records(&records).is_none());
+    assert_fusion_modes_agree(src, &records);
+}
+
+#[test]
+fn unbooked_fill_path_aborts_at_probe_time_with_exact_row() {
+    // `/e/missing` is never booked. The kernel's empty-slice probe
+    // errors, so it must abort before ANY side effect and let the
+    // per-record loop reproduce the error at the exact row (volume hits
+    // 57 at row 7) with the erroring record's partial fills applied.
+    let src = r#"
+        fn init() { h1("/e/h", 16, 0.0, 400.0); }
+        fn process(t) {
+            fill("/e/h", t.price);
+            if t.volume == 57 { fill("/e/missing", 1); }
+        }
+    "#;
+    let records = trades(20);
+    let want = batch_transcript(src, MODES[0].0, MODES[0].1, &records);
+    assert!(
+        want.iter().any(|l| l.contains("done=7")),
+        "oracle must stop at row 7: {want:?}"
+    );
+    for (backend, fusion) in &MODES[1..] {
+        let got = batch_transcript(src, *backend, *fusion, &records);
+        assert_eq!(want, got, "batch diverged for {backend}/{fusion}");
+    }
+}
+
+#[test]
+fn global_read_in_guard_vectorizes_and_agrees() {
+    // Reading (not writing) a global in the predicate is eligible: the
+    // kernel snapshots it once, which is sound because the body cannot
+    // change it. Transcript-identical across the matrix.
+    let src = r#"
+        let cut = 100.0;
+        fn init() { h1("/c/h", 16, 0.0, 400.0); }
+        fn process(t) {
+            if t.price > cut { fill("/c/h", t.price); }
+        }
+    "#;
+    assert!(BatchKernel::compile(&compile(src).unwrap()).is_some());
+    assert_fusion_modes_agree(src, &trades(40));
 }
